@@ -1,0 +1,117 @@
+// Fig. 3 reproduction: instruction-mix breakdown of the homology detection
+// problem at 16 lanes for NW/SG/SW x {Striped, Scan}.
+//
+// The paper captured the mix with Intel Pin; here the same categories are
+// tallied by instrument::CountingVec (DESIGN.md §3). Expected shape (§VI-B):
+//   * Scan's per-category counts barely vary across NW/SG/SW;
+//   * NW-Striped executes the most instructions of any configuration;
+//   * Striped does more scalar ops; Scan does more vector ops overall;
+//   * Scan does more vector memory + swizzle ops;
+//   * Striped is the only one creating vector masks.
+#include "common.hpp"
+
+using namespace valign;
+using namespace valign::bench;
+namespace ins = valign::instrument;
+
+namespace {
+
+using CV = ins::CountingVec<simd::VEmul<std::int32_t, 16>>;
+
+template <AlignClass C, template <AlignClass, class> class Engine>
+ins::OpCounts census(const Dataset& ds) {
+  Engine<C, CV> eng(ScoreMatrix::blosum62(), GapPenalty{11, 1});
+  ins::reset();
+  Sink sink;
+  run_all_to_all(eng, ds, nullptr, &sink);
+  return ins::snapshot();
+}
+
+}  // namespace
+
+int main() {
+  banner("Fig. 3", "instruction mix of homology detection at 16 lanes");
+
+  const Dataset ds = workload::bacteria_2k(1, scaled(24));
+  std::printf("dataset: %zu sequences, mean length %.0f, all-to-all\n\n", ds.size(),
+              ds.mean_length());
+
+  struct Config {
+    const char* name;
+    ins::OpCounts counts;
+  };
+  std::vector<Config> cfgs;
+  cfgs.push_back({"NW-Striped", census<AlignClass::Global, StripedAligner>(ds)});
+  cfgs.push_back({"NW-Scan", census<AlignClass::Global, ScanAligner>(ds)});
+  cfgs.push_back({"SG-Striped", census<AlignClass::SemiGlobal, StripedAligner>(ds)});
+  cfgs.push_back({"SG-Scan", census<AlignClass::SemiGlobal, ScanAligner>(ds)});
+  cfgs.push_back({"SW-Striped", census<AlignClass::Local, StripedAligner>(ds)});
+  cfgs.push_back({"SW-Scan", census<AlignClass::Local, ScanAligner>(ds)});
+
+  std::printf("%-14s", "category");
+  for (const Config& c : cfgs) std::printf(" %11s", c.name);
+  std::printf("\n");
+  for (int i = 0; i < ins::kOpCategoryCount; ++i) {
+    const auto cat = static_cast<ins::OpCategory>(i);
+    std::printf("%-14s", ins::to_string(cat));
+    for (const Config& c : cfgs) {
+      std::printf(" %11.3e", static_cast<double>(c.counts[cat]));
+    }
+    std::printf("\n");
+  }
+  std::printf("%-14s", "TOTAL");
+  for (const Config& c : cfgs) {
+    std::printf(" %11.3e", static_cast<double>(c.counts.instruction_refs()));
+  }
+  std::printf("\n\n");
+
+  auto get = [&](const char* n) -> const ins::OpCounts& {
+    for (const Config& c : cfgs) {
+      if (std::string(c.name) == n) return c.counts;
+    }
+    throw Error("missing config");
+  };
+
+  bool ok = true;
+  // NW-Striped tops every configuration.
+  const std::uint64_t nws = get("NW-Striped").instruction_refs();
+  for (const Config& c : cfgs) {
+    if (std::string(c.name) != "NW-Striped") ok &= nws > c.counts.instruction_refs();
+  }
+  std::printf("shape checks:\n  NW-Striped executes the most instructions: %s\n",
+              ok ? "yes" : "NO");
+
+  // Scan's counts vary little across classes.
+  const double scan_min = static_cast<double>(
+      std::min({get("NW-Scan").vector_total(), get("SG-Scan").vector_total(),
+                get("SW-Scan").vector_total()}));
+  const double scan_max = static_cast<double>(
+      std::max({get("NW-Scan").vector_total(), get("SG-Scan").vector_total(),
+                get("SW-Scan").vector_total()}));
+  const bool stable = scan_min / scan_max > 0.85;
+  std::printf("  Scan vector ops vary <15%% across classes: %s\n",
+              stable ? "yes" : "NO");
+  ok &= stable;
+
+  // Mask creation: Striped only.
+  bool masks = true;
+  for (const char* s : {"NW-Striped", "SG-Striped", "SW-Striped"}) {
+    masks &= get(s)[ins::OpCategory::VecMask] > 0;
+  }
+  for (const char* s : {"NW-Scan", "SG-Scan", "SW-Scan"}) {
+    masks &= get(s)[ins::OpCategory::VecMask] == 0;
+  }
+  std::printf("  only Striped creates vector masks: %s\n", masks ? "yes" : "NO");
+  ok &= masks;
+
+  // Scan uses more vector memory and swizzle ops per class.
+  bool memswiz = true;
+  for (const char* k : {"NW", "SG", "SW"}) {
+    const auto& striped = get((std::string(k) + "-Striped").c_str());
+    const auto& scan = get((std::string(k) + "-Scan").c_str());
+    memswiz &= scan[ins::OpCategory::VecSwizzle] > striped[ins::OpCategory::VecSwizzle];
+  }
+  std::printf("  Scan performs more vector swizzle ops: %s\n", memswiz ? "yes" : "NO");
+  ok &= memswiz;
+  return ok ? 0 : 1;
+}

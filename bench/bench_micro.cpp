@@ -1,0 +1,88 @@
+// Micro-benchmarks (google-benchmark): single-alignment kernel throughput for
+// every engine/backend combination, reported as GCUPS-equivalent items.
+// These are not paper exhibits; they are the developer-facing regression
+// harness for the kernels themselves.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "valign/valign.hpp"
+
+namespace {
+
+using namespace valign;
+
+std::vector<std::uint8_t> make_seq(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> d(0, 19);
+  std::vector<std::uint8_t> v(n);
+  for (auto& c : v) c = static_cast<std::uint8_t>(d(rng));
+  return v;
+}
+
+template <class Engine>
+void run_engine_bench(benchmark::State& state) {
+  const auto qlen = static_cast<std::size_t>(state.range(0));
+  const auto dlen = static_cast<std::size_t>(state.range(1));
+  const auto q = make_seq(qlen, 1);
+  const auto d = make_seq(dlen, 2);
+  Engine eng(ScoreMatrix::blosum62(), GapPenalty{11, 1});
+  eng.set_query(q);
+  std::int64_t sum = 0;
+  for (auto _ : state) {
+    sum += eng.align(d).score;
+  }
+  benchmark::DoNotOptimize(sum);
+  state.counters["CUPS"] = benchmark::Counter(
+      static_cast<double>(qlen * dlen) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+
+void bench_scalar(benchmark::State& state) {
+  run_engine_bench<ScalarAligner<AlignClass::Local>>(state);
+}
+
+#define VALIGN_BENCH_VEC(name, Engine, Klass, Vec)                    \
+  void name(benchmark::State& state) {                               \
+    run_engine_bench<Engine<Klass, Vec>>(state);                     \
+  }                                                                   \
+  BENCHMARK(name)->Args({300, 300})->Args({1000, 1000})
+
+BENCHMARK(bench_scalar)->Args({300, 300});
+
+#if defined(__SSE4_1__)
+using Sse16 = valign::simd::V128<std::int16_t>;
+using Sse32 = valign::simd::V128<std::int32_t>;
+VALIGN_BENCH_VEC(sw_striped_sse_i16, StripedAligner, AlignClass::Local, Sse16);
+VALIGN_BENCH_VEC(sw_scan_sse_i16, ScanAligner, AlignClass::Local, Sse16);
+VALIGN_BENCH_VEC(sw_blocked_sse_i16, BlockedAligner, AlignClass::Local, Sse16);
+VALIGN_BENCH_VEC(sw_diagonal_sse_i16, DiagonalAligner, AlignClass::Local, Sse16);
+VALIGN_BENCH_VEC(nw_striped_sse_i32, StripedAligner, AlignClass::Global, Sse32);
+VALIGN_BENCH_VEC(nw_scan_sse_i32, ScanAligner, AlignClass::Global, Sse32);
+#endif
+
+#if defined(__AVX2__)
+using Avx16 = valign::simd::V256<std::int16_t>;
+using Avx32 = valign::simd::V256<std::int32_t>;
+VALIGN_BENCH_VEC(sw_striped_avx2_i16, StripedAligner, AlignClass::Local, Avx16);
+VALIGN_BENCH_VEC(sw_scan_avx2_i16, ScanAligner, AlignClass::Local, Avx16);
+VALIGN_BENCH_VEC(nw_striped_avx2_i32, StripedAligner, AlignClass::Global, Avx32);
+VALIGN_BENCH_VEC(nw_scan_avx2_i32, ScanAligner, AlignClass::Global, Avx32);
+#endif
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+using Avx512_16 = valign::simd::V512<std::int16_t>;
+using Avx512_32 = valign::simd::V512<std::int32_t>;
+VALIGN_BENCH_VEC(sw_striped_avx512_i16, StripedAligner, AlignClass::Local, Avx512_16);
+VALIGN_BENCH_VEC(sw_scan_avx512_i16, ScanAligner, AlignClass::Local, Avx512_16);
+VALIGN_BENCH_VEC(sw_striped_avx512_i32, StripedAligner, AlignClass::Local, Avx512_32);
+VALIGN_BENCH_VEC(sw_scan_avx512_i32, ScanAligner, AlignClass::Local, Avx512_32);
+VALIGN_BENCH_VEC(sg_striped_avx512_i32, StripedAligner, AlignClass::SemiGlobal, Avx512_32);
+VALIGN_BENCH_VEC(sg_scan_avx512_i32, ScanAligner, AlignClass::SemiGlobal, Avx512_32);
+VALIGN_BENCH_VEC(nw_striped_avx512_i32, StripedAligner, AlignClass::Global, Avx512_32);
+VALIGN_BENCH_VEC(nw_scan_avx512_i32, ScanAligner, AlignClass::Global, Avx512_32);
+#endif
+
+}  // namespace
+
+BENCHMARK_MAIN();

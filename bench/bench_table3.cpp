@@ -1,0 +1,127 @@
+// Table III reproduction: the 16-lane "Xeon Phi" counter profile of the
+// homology detection problem for NW/SG/SW x {Scan, Striped}.
+//
+// The paper read VTune hardware counters on a KNC card. Neither the card nor
+// VTune exist here, so each VTune metric is mapped to its architectural
+// counterpart computed from the op census (DESIGN.md §3):
+//
+//   Instructions-Retired           -> total ops issued by the kernel
+//   Vectorization-Intensity        -> element-ops per vector instruction
+//                                     (lanes * vector fraction of all ops)
+//   L1-Compute-to-Data-Access      -> (vec arith+compare element ops) / D-refs
+//   L1-Hit-Ratio                   -> working-set analysis vs. a 32 KiB L1
+//
+// CPI and absolute miss counts are microarchitectural and are not modelled.
+// Expected shape: NW-Striped retires the most ops of the six configurations
+// (paper: 9.1e11 vs 6.0-6.5e11 for all others); Scan's vectorization
+// intensity is slightly higher than Striped's; every working set fits L1.
+#include "common.hpp"
+
+using namespace valign;
+using namespace valign::bench;
+namespace ins = valign::instrument;
+
+namespace {
+
+constexpr int kLanes = 16;
+using CV = ins::CountingVec<simd::VEmul<std::int32_t, kLanes>>;
+
+struct Profile {
+  std::uint64_t retired = 0;
+  double vec_intensity = 0.0;
+  double compute_to_data = 0.0;
+  double l1_fit_fraction = 0.0;  // alignments whose working set fits 32 KiB
+};
+
+template <AlignClass C, template <AlignClass, class> class Engine>
+Profile profile(const Dataset& ds) {
+  Engine<C, CV> eng(ScoreMatrix::blosum62(), GapPenalty{11, 1});
+  ins::reset();
+  Sink sink;
+  run_all_to_all(eng, ds, nullptr, &sink);
+  const ins::OpCounts c = ins::snapshot();
+
+  Profile p;
+  p.retired = c.instruction_refs();
+  // Every vector op processes `kLanes` elements; scalar ops process one.
+  const double vec_ops = static_cast<double>(c.vector_total());
+  const double all_ops = static_cast<double>(c.instruction_refs());
+  p.vec_intensity = kLanes * vec_ops / all_ops;
+  const double compute_elems =
+      static_cast<double>(c[ins::OpCategory::VecArith] +
+                          c[ins::OpCategory::VecCompare]) *
+      kLanes;
+  p.compute_to_data = compute_elems / static_cast<double>(c.data_refs());
+
+  // Working set per alignment: striped H/E(/Ht) arrays + one profile row set.
+  std::size_t fit = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const std::size_t L = (ds[i].size() + kLanes - 1) / kLanes;
+    const std::size_t arrays = (Engine<C, CV>::kApproach == Approach::Scan ? 4u : 3u);
+    const std::size_t bytes = arrays * L * kLanes * sizeof(std::int32_t);
+    if (bytes <= 32 * 1024) ++fit;
+  }
+  p.l1_fit_fraction = static_cast<double>(fit) / static_cast<double>(ds.size());
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  banner("Table III", "16-lane counter profile of homology detection (Phi stand-in)");
+
+  const Dataset ds = workload::bacteria_2k(1, scaled(24));
+  std::printf("dataset: %zu sequences, mean length %.0f, all-to-all, %d lanes\n\n",
+              ds.size(), ds.mean_length(), kLanes);
+
+  struct Named {
+    const char* name;
+    Profile p;
+  };
+  std::vector<Named> cols;
+  cols.push_back({"NW-Scan", profile<AlignClass::Global, ScanAligner>(ds)});
+  cols.push_back({"NW-Striped", profile<AlignClass::Global, StripedAligner>(ds)});
+  cols.push_back({"SG-Scan", profile<AlignClass::SemiGlobal, ScanAligner>(ds)});
+  cols.push_back({"SG-Striped", profile<AlignClass::SemiGlobal, StripedAligner>(ds)});
+  cols.push_back({"SW-Scan", profile<AlignClass::Local, ScanAligner>(ds)});
+  cols.push_back({"SW-Striped", profile<AlignClass::Local, StripedAligner>(ds)});
+
+  std::printf("%-34s", "metric");
+  for (const Named& n : cols) std::printf(" %11s", n.name);
+  std::printf("\n");
+  std::printf("%-34s", "Ops-Retired (proxy)");
+  for (const Named& n : cols) std::printf(" %11.3e", static_cast<double>(n.p.retired));
+  std::printf("\n");
+  std::printf("%-34s", "Vectorization-Intensity (proxy)");
+  for (const Named& n : cols) std::printf(" %11.2f", n.p.vec_intensity);
+  std::printf("\n");
+  std::printf("%-34s", "Compute-to-Data-Access (proxy)");
+  for (const Named& n : cols) std::printf(" %11.2f", n.p.compute_to_data);
+  std::printf("\n");
+  std::printf("%-34s", "Working-set-fits-L1 fraction");
+  for (const Named& n : cols) std::printf(" %11.2f", n.p.l1_fit_fraction);
+  std::printf("\n\n");
+
+  bool ok = true;
+  // Paper: NW-Striped retires the most instructions of all six.
+  for (const Named& n : cols) {
+    if (std::string(n.name) != "NW-Striped") ok &= cols[1].p.retired > n.p.retired;
+  }
+  std::printf("shape checks:\n  NW-Striped retires the most ops: %s\n",
+              ok ? "yes" : "NO");
+  // Paper: vectorization intensity ~14-15 for Scan vs ~13.8-14.1 for Striped.
+  // Our proxy has no masked-vector-op term (a KNC artifact that penalized
+  // Striped's VPU element activity), so require strict ordering only where
+  // the corrective loop's scalar work dominates (NW, SG) and parity for SW.
+  bool vi = true;
+  vi &= cols[0].p.vec_intensity > cols[1].p.vec_intensity;          // NW
+  vi &= cols[2].p.vec_intensity > cols[3].p.vec_intensity;          // SG
+  vi &= cols[4].p.vec_intensity > 0.93 * cols[5].p.vec_intensity;   // SW ~parity
+  std::printf("  Scan vectorization intensity >= Striped (NW, SG; ~parity SW): %s\n",
+              vi ? "yes" : "NO");
+  // Paper: L1 hit ratios ~0.99 (everything cache-resident).
+  bool l1 = true;
+  for (const Named& n : cols) l1 &= n.p.l1_fit_fraction > 0.95;
+  std::printf("  working sets are cache-resident: %s\n", l1 ? "yes" : "NO");
+  return (ok && vi && l1) ? 0 : 1;
+}

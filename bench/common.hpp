@@ -1,0 +1,143 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Every bench binary regenerates one exhibit (table or figure) of the paper.
+// Dataset sizes default to laptop-scale stand-ins; set VALIGN_BENCH_SCALE
+// (e.g. 4.0) to enlarge them toward the paper's full workloads.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "valign/valign.hpp"
+
+namespace valign::bench {
+
+/// Global size multiplier from VALIGN_BENCH_SCALE (default 1.0).
+inline double scale() {
+  static const double s = [] {
+    const char* env = std::getenv("VALIGN_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return s;
+}
+
+inline std::size_t scaled(std::size_t base) {
+  return static_cast<std::size_t>(static_cast<double>(base) * scale());
+}
+
+/// Wall-clock a callable once.
+template <class F>
+double time_once(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Simple sum sink to keep the optimizer honest.
+struct Sink {
+  std::int64_t sum = 0;
+  void operator()(const AlignResult& r) { sum += r.score; }
+};
+
+/// Run an engine over an all-to-all workload (homology detection shape).
+/// Returns wall seconds; accumulates stats and the score sink.
+template <class Engine>
+double run_all_to_all(Engine& eng, const Dataset& ds, AlignStats* stats, Sink* sink) {
+  return time_once([&] {
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      eng.set_query(ds[i].codes());
+      for (std::size_t j = 0; j < ds.size(); ++j) {
+        if (i == j) continue;
+        const AlignResult r = eng.align(ds[j].codes());
+        if (stats != nullptr) *stats += r.stats;
+        if (sink != nullptr) (*sink)(r);
+      }
+    }
+  });
+}
+
+/// Run an engine for one query against a whole database (db-search shape).
+template <class Engine>
+double run_query_vs_db(Engine& eng, std::span<const std::uint8_t> query,
+                       const Dataset& db, AlignStats* stats, Sink* sink) {
+  return time_once([&] {
+    eng.set_query(query);
+    for (const Sequence& s : db) {
+      const AlignResult r = eng.align(s.codes());
+      if (stats != nullptr) *stats += r.stats;
+      if (sink != nullptr) (*sink)(r);
+    }
+  });
+}
+
+/// Instantiates `fn.template operator()<V>()` for the native 32-bit backend
+/// with the requested lane count (4 = SSE4.1, 8 = AVX2, 16 = AVX-512).
+/// Returns false when that ISA is not available on this host.
+template <class Fn>
+bool with_native_i32(int lanes, Fn&& fn) {
+  switch (lanes) {
+#if defined(__SSE4_1__)
+    case 4:
+      if (!simd::isa_available(Isa::SSE41)) return false;
+      fn.template operator()<simd::V128<std::int32_t>>();
+      return true;
+#endif
+#if defined(__AVX2__)
+    case 8:
+      if (!simd::isa_available(Isa::AVX2)) return false;
+      fn.template operator()<simd::V256<std::int32_t>>();
+      return true;
+#endif
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+    case 16:
+      if (!simd::isa_available(Isa::AVX512)) return false;
+      fn.template operator()<simd::V512<std::int32_t>>();
+      return true;
+#endif
+    default:
+      return false;
+  }
+}
+
+/// Same, with the instrumented emulated backend (architecture-independent op
+/// censuses for the Table II/III and Fig. 3 reproductions).
+template <class Fn>
+bool with_counting_i32(int lanes, Fn&& fn) {
+  namespace ins = instrument;
+  switch (lanes) {
+    case 4:
+      fn.template operator()<ins::CountingVec<simd::VEmul<std::int32_t, 4>>>();
+      return true;
+    case 8:
+      fn.template operator()<ins::CountingVec<simd::VEmul<std::int32_t, 8>>>();
+      return true;
+    case 16:
+      fn.template operator()<ins::CountingVec<simd::VEmul<std::int32_t, 16>>>();
+      return true;
+    case 32:
+      fn.template operator()<ins::CountingVec<simd::VEmul<std::int32_t, 32>>>();
+      return true;
+    case 64:
+      fn.template operator()<ins::CountingVec<simd::VEmul<std::int32_t, 64>>>();
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Pretty banner for bench output.
+inline void banner(const char* exhibit, const char* description) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", exhibit, description);
+  std::printf("(reproduction of Daily et al., ICPP 2016; see EXPERIMENTS.md)\n");
+  std::printf("scale=%.2g  host-isa=%s\n", scale(), to_string(simd::best_isa()));
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace valign::bench

@@ -1,0 +1,114 @@
+// Shared query-length sweep behind the Fig. 4 and Table IV reproductions:
+// database search of fixed-length queries against a UniProt-like database,
+// timed for Striped and Scan at 4/8/16 lanes (32-bit elements on the native
+// SSE4.1/AVX2/AVX-512 backends — the same lanes-per-element mapping the paper
+// used across SSE4.1/AVX2/KNC).
+#pragma once
+
+#include "common.hpp"
+
+namespace valign::bench {
+
+struct SweepPoint {
+  std::size_t qlen = 0;
+  double t_striped = 0.0;
+  double t_scan = 0.0;
+  std::uint64_t corrections = 0;  ///< total striped corrective epochs
+  /// Relative performance of Scan over Striped (Fig. 4a-c y-axis): > 1 means
+  /// Scan is faster.
+  [[nodiscard]] double ratio() const { return t_striped / t_scan; }
+};
+
+struct SweepSeries {
+  AlignClass klass = AlignClass::Local;
+  int lanes = 0;
+  std::vector<SweepPoint> points;
+};
+
+inline const std::vector<std::size_t>& sweep_lengths() {
+  static const std::vector<std::size_t> lens = {
+      10, 20, 30, 45, 60, 77, 95, 115, 135, 152, 175,
+      200, 230, 260, 300, 360, 430, 520, 640, 800, 1000};
+  return lens;
+}
+
+/// Repeat a timed pass until at least `min_seconds` accumulate; returns
+/// seconds per pass.
+template <class F>
+double time_adaptive(F&& f, double min_seconds = 0.03) {
+  int reps = 0;
+  double total = 0.0;
+  do {
+    total += time_once(f);
+    ++reps;
+  } while (total < min_seconds && reps < 1000);
+  return total / reps;
+}
+
+/// Runs the full sweep for one alignment class across all native lane counts.
+template <AlignClass C>
+std::vector<SweepSeries> sweep_class(const Dataset& db, std::uint64_t seed) {
+  std::vector<SweepSeries> out;
+  for (const int lanes : {4, 8, 16}) {
+    SweepSeries series;
+    series.klass = C;
+    series.lanes = lanes;
+    const bool ran = with_native_i32(lanes, [&]<class V>() {
+      StripedAligner<C, V> striped(ScoreMatrix::blosum62(), GapPenalty{11, 1});
+      ScanAligner<C, V> scan(ScoreMatrix::blosum62(), GapPenalty{11, 1});
+      std::mt19937_64 rng(seed);
+      for (const std::size_t qlen : sweep_lengths()) {
+        std::vector<std::uint8_t> q(qlen);
+        for (auto& c : q) c = workload::ResidueModel::protein().sample(rng);
+
+        SweepPoint pt;
+        pt.qlen = qlen;
+        striped.set_query(q);
+        scan.set_query(q);
+        Sink sink;
+        pt.t_striped = time_adaptive([&] {
+          for (const Sequence& s : db) sink(striped.align(s.codes()));
+        });
+        pt.t_scan = time_adaptive([&] {
+          for (const Sequence& s : db) sink(scan.align(s.codes()));
+        });
+        AlignStats stats;
+        for (const Sequence& s : db) stats += striped.align(s.codes()).stats;
+        pt.corrections = stats.corrective_epochs;
+        series.points.push_back(pt);
+      }
+    });
+    if (ran) out.push_back(std::move(series));
+  }
+  return out;
+}
+
+inline std::vector<SweepSeries> run_fig4_sweep(const Dataset& db) {
+  std::vector<SweepSeries> all;
+  for (auto& s : sweep_class<AlignClass::Global>(db, 11)) all.push_back(std::move(s));
+  for (auto& s : sweep_class<AlignClass::SemiGlobal>(db, 22)) all.push_back(std::move(s));
+  for (auto& s : sweep_class<AlignClass::Local>(db, 33)) all.push_back(std::move(s));
+  return all;
+}
+
+/// Measured crossover: the query length where the Scan/Striped ratio crosses
+/// 1.0 in the direction the paper reports for this class (NW: Striped wins
+/// short queries; SG/SW: Scan wins short queries). Linear interpolation
+/// between grid points; returns 0 when no crossing is observed.
+inline double measured_crossover(const SweepSeries& s) {
+  const bool scan_short = (s.klass != AlignClass::Global);
+  for (std::size_t i = 1; i < s.points.size(); ++i) {
+    const double r0 = s.points[i - 1].ratio();
+    const double r1 = s.points[i].ratio();
+    const bool crossing = scan_short ? (r0 >= 1.0 && r1 < 1.0)
+                                     : (r0 <= 1.0 && r1 > 1.0);
+    if (crossing && r1 != r0) {
+      const double f = (1.0 - r0) / (r1 - r0);
+      return static_cast<double>(s.points[i - 1].qlen) +
+             f * static_cast<double>(s.points[i].qlen - s.points[i - 1].qlen);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace valign::bench

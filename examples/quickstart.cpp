@@ -1,0 +1,52 @@
+// Quickstart: align two protein sequences three ways and print the result.
+//
+//   $ ./quickstart
+//
+// Demonstrates the one-shot align() API, the reusable Aligner, and the
+// scalar traceback engine for recovering the actual alignment.
+#include <cstdio>
+
+#include "valign/valign.hpp"
+
+int main() {
+  using namespace valign;
+
+  // Two related protein fragments (hemoglobin-like toys).
+  const Sequence query("query", "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ", Alphabet::protein());
+  const Sequence db("subject", "MKTAYIAKQRGISFVKSHFSRQLEERLGLIE", Alphabet::protein());
+
+  std::printf("valign %s — quickstart\n", version());
+  std::printf("query  : %s\n", query.to_string().c_str());
+  std::printf("subject: %s\n\n", db.to_string().c_str());
+
+  // 1. One-shot alignment for each class. Everything defaults: BLOSUM62,
+  //    gap 11/1, widest ISA, automatic element width and Table IV approach.
+  for (const AlignClass klass :
+       {AlignClass::Global, AlignClass::SemiGlobal, AlignClass::Local}) {
+    Options opts;
+    opts.klass = klass;
+    const AlignResult r = align(query, db, opts);
+    std::printf("%-3s score=%4d  approach=%-7s isa=%-6s lanes=%2d elems=%2d-bit\n",
+                to_string(klass), r.score, to_string(r.approach), to_string(r.isa),
+                r.lanes, r.bits);
+  }
+
+  // 2. The reusable Aligner amortizes the query profile across many targets.
+  Options opts;
+  opts.klass = AlignClass::Local;
+  opts.approach = Approach::Scan;  // the paper's contribution
+  Aligner aligner(opts);
+  aligner.set_query(query);
+  const AlignResult r = aligner.align(db);
+  std::printf("\nSW via Scan: score=%d ends=(q=%d, s=%d)\n", r.score, r.query_end,
+              r.db_end);
+
+  // 3. Recover the alignment itself with the scalar traceback engine.
+  const Traceback tb = align_traceback(AlignClass::Local, ScoreMatrix::blosum62(),
+                                       GapPenalty{11, 1}, query, db);
+  std::printf("\nLocal alignment (identity %.0f%%, cigar %s):\n",
+              100.0 * tb.identity(), tb.cigar.c_str());
+  std::printf("  %s\n  %s\n  %s\n", tb.aligned_query.c_str(), tb.midline.c_str(),
+              tb.aligned_db.c_str());
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "valign/apps/db_search.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#if defined(VALIGN_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace valign::apps {
+
+double SearchReport::gcups() const noexcept {
+  if (seconds <= 0.0) return 0.0;
+  // Real cell updates: query_len * db_len summed over alignments. We use the
+  // engines' padded cell counters scaled is avoided; totals.cells counts
+  // padded stripes, which is the work actually performed.
+  return static_cast<double>(totals.cells) / seconds / 1e9;
+}
+
+namespace {
+
+void keep_top(std::vector<SearchHit>& hits, int top_k) {
+  const auto k = static_cast<std::size_t>(top_k);
+  if (hits.size() <= k) {
+    std::sort(hits.begin(), hits.end(),
+              [](const SearchHit& a, const SearchHit& b) { return a.score > b.score; });
+    return;
+  }
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<std::ptrdiff_t>(k),
+                    hits.end(),
+                    [](const SearchHit& a, const SearchHit& b) { return a.score > b.score; });
+  hits.resize(k);
+}
+
+}  // namespace
+
+SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfig& cfg) {
+  SearchReport report;
+  report.top_hits.resize(queries.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+#if defined(VALIGN_HAVE_OPENMP)
+  const int nthreads = cfg.threads > 0 ? cfg.threads : 1;
+#pragma omp parallel num_threads(nthreads)
+#endif
+  {
+    Aligner aligner(cfg.align);
+    AlignStats local_stats{};
+    std::uint64_t local_aligns = 0;
+
+#if defined(VALIGN_HAVE_OPENMP)
+#pragma omp for schedule(dynamic)
+#endif
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      aligner.set_query(queries[q]);
+      std::vector<SearchHit> hits;
+      hits.reserve(db.size());
+      for (std::size_t d = 0; d < db.size(); ++d) {
+        const AlignResult r = aligner.align(db[d]);
+        local_stats += r.stats;
+        ++local_aligns;
+        hits.push_back(SearchHit{d, r.score, r.query_end, r.db_end});
+      }
+      keep_top(hits, cfg.top_k);
+      report.top_hits[q] = std::move(hits);
+    }
+
+#if defined(VALIGN_HAVE_OPENMP)
+#pragma omp critical
+#endif
+    {
+      report.totals += local_stats;
+      report.alignments += local_aligns;
+    }
+  }
+
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return report;
+}
+
+}  // namespace valign::apps

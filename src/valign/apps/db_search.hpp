@@ -1,0 +1,39 @@
+// Database search driver (§V "Use Cases"): every query sequence is aligned
+// against every database sequence; the best hits per query are returned.
+#pragma once
+
+#include <vector>
+
+#include "valign/core/dispatch.hpp"
+#include "valign/io/sequence.hpp"
+
+namespace valign::apps {
+
+struct SearchHit {
+  std::size_t db_index = 0;
+  std::int32_t score = 0;
+  std::int32_t query_end = -1;
+  std::int32_t db_end = -1;
+};
+
+struct SearchConfig {
+  Options align{};     ///< Alignment class / approach / ISA / width / scoring.
+  int top_k = 10;      ///< Hits retained per query.
+  int threads = 1;     ///< OpenMP threads over queries (1 = serial).
+};
+
+struct SearchReport {
+  /// top_hits[q] = best hits for query q, sorted by descending score.
+  std::vector<std::vector<SearchHit>> top_hits;
+  AlignStats totals{};
+  std::uint64_t alignments = 0;
+  double seconds = 0.0;
+  /// Giga cell updates per second over real (unpadded) cells.
+  [[nodiscard]] double gcups() const noexcept;
+};
+
+/// Align every sequence of `queries` against every sequence of `db`.
+[[nodiscard]] SearchReport search(const Dataset& queries, const Dataset& db,
+                                  const SearchConfig& cfg = {});
+
+}  // namespace valign::apps

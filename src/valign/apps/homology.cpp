@@ -1,0 +1,95 @@
+#include "valign/apps/homology.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#if defined(VALIGN_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace valign::apps {
+
+namespace {
+
+/// Plain union-find for the family clustering.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[b] = a;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+HomologyReport detect(const Dataset& ds, const HomologyConfig& cfg) {
+  HomologyReport report;
+  const std::size_t n = ds.size();
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+#if defined(VALIGN_HAVE_OPENMP)
+  const int nthreads = cfg.threads > 0 ? cfg.threads : 1;
+#pragma omp parallel num_threads(nthreads)
+#endif
+  {
+    Aligner aligner(cfg.align);
+    AlignStats local_stats{};
+    std::uint64_t local_aligns = 0;
+    std::vector<HomologyEdge> local_edges;
+
+#if defined(VALIGN_HAVE_OPENMP)
+#pragma omp for schedule(dynamic)
+#endif
+    for (std::size_t i = 0; i < n; ++i) {
+      aligner.set_query(ds[i]);
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const AlignResult r = aligner.align(ds[j]);
+        local_stats += r.stats;
+        ++local_aligns;
+        if (cfg.keep_edges && r.score >= cfg.score_threshold) {
+          local_edges.push_back(HomologyEdge{i, j, r.score});
+        }
+      }
+    }
+
+#if defined(VALIGN_HAVE_OPENMP)
+#pragma omp critical
+#endif
+    {
+      report.totals += local_stats;
+      report.alignments += local_aligns;
+      report.edges.insert(report.edges.end(), local_edges.begin(), local_edges.end());
+    }
+  }
+
+  UnionFind uf(n);
+  for (const HomologyEdge& e : report.edges) uf.unite(e.a, e.b);
+  report.cluster_of.resize(n);
+  for (std::size_t i = 0; i < n; ++i) report.cluster_of[i] = uf.find(i);
+  std::vector<std::size_t> reps = report.cluster_of;
+  std::sort(reps.begin(), reps.end());
+  report.cluster_count =
+      static_cast<std::size_t>(std::unique(reps.begin(), reps.end()) - reps.begin());
+
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return report;
+}
+
+}  // namespace valign::apps

@@ -1,0 +1,42 @@
+// Homology detection driver (§V "Use Cases"): all-to-all alignment of one
+// dataset; pairs scoring above a threshold become edges of a homology graph,
+// whose connected components are reported as putative protein families.
+#pragma once
+
+#include <vector>
+
+#include "valign/core/dispatch.hpp"
+#include "valign/io/sequence.hpp"
+
+namespace valign::apps {
+
+struct HomologyEdge {
+  std::size_t a = 0, b = 0;
+  std::int32_t score = 0;
+};
+
+struct HomologyConfig {
+  Options align{};
+  /// Pairs with score >= threshold are homologous edges.
+  std::int32_t score_threshold = 60;
+  int threads = 1;
+  /// Keep edges in the report (disable for counting-only runs).
+  bool keep_edges = true;
+};
+
+struct HomologyReport {
+  std::vector<HomologyEdge> edges;
+  /// cluster_of[i] = representative index of sequence i's family.
+  std::vector<std::size_t> cluster_of;
+  std::size_t cluster_count = 0;
+  AlignStats totals{};
+  std::uint64_t alignments = 0;
+  double seconds = 0.0;
+};
+
+/// All-to-all homology detection over `ds` (i < j pairs only; the DP is
+/// symmetric up to sequence order, and score(a,b) == score(b,a) for the
+/// symmetric matrices shipped here).
+[[nodiscard]] HomologyReport detect(const Dataset& ds, const HomologyConfig& cfg = {});
+
+}  // namespace valign::apps

@@ -1,0 +1,112 @@
+// Minimal command-line argument parser for the valign CLI.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "valign/common.hpp"
+
+namespace valign::cli {
+
+/// Parses `--flag value`, `--flag=value`, bare `--switch`, and positionals.
+/// Flags must be registered before parse() so typos are diagnosed.
+class ArgParser {
+ public:
+  /// Register a value-taking flag (e.g. "--matrix").
+  void add_option(std::string name) { options_.insert(std::move(name)); }
+  /// Register a boolean switch (e.g. "--traceback").
+  void add_switch(std::string name) { switches_.insert(std::move(name)); }
+
+  /// Throws valign::Error on unknown flags or missing values.
+  void parse(std::span<const std::string_view> args) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string_view a = args[i];
+      if (a.size() >= 2 && a.substr(0, 2) == "--") {
+        const std::size_t eq = a.find('=');
+        std::string name(eq == std::string_view::npos ? a : a.substr(0, eq));
+        if (switches_.contains(name)) {
+          if (eq != std::string_view::npos) {
+            throw Error("switch " + name + " does not take a value");
+          }
+          present_.insert(name);
+        } else if (options_.contains(name)) {
+          std::string value;
+          if (eq != std::string_view::npos) {
+            value = std::string(a.substr(eq + 1));
+          } else {
+            if (i + 1 >= args.size()) {
+              throw Error("missing value for " + name);
+            }
+            value = std::string(args[++i]);
+          }
+          values_[name] = std::move(value);
+        } else {
+          throw Error("unknown flag: " + name);
+        }
+      } else {
+        positionals_.emplace_back(a);
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(std::string_view name) const {
+    return present_.contains(std::string(name)) ||
+           values_.contains(std::string(name));
+  }
+
+  [[nodiscard]] std::optional<std::string> value(std::string_view name) const {
+    const auto it = values_.find(std::string(name));
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::string value_or(std::string_view name,
+                                     std::string fallback) const {
+    return value(name).value_or(std::move(fallback));
+  }
+
+  [[nodiscard]] long int_value_or(std::string_view name, long fallback) const {
+    const auto v = value(name);
+    if (!v) return fallback;
+    try {
+      std::size_t pos = 0;
+      const long r = std::stol(*v, &pos);
+      if (pos != v->size()) throw Error("");
+      return r;
+    } catch (...) {
+      throw Error("flag " + std::string(name) + " expects an integer, got '" + *v +
+                  "'");
+    }
+  }
+
+  [[nodiscard]] double double_value_or(std::string_view name, double fallback) const {
+    const auto v = value(name);
+    if (!v) return fallback;
+    try {
+      std::size_t pos = 0;
+      const double r = std::stod(*v, &pos);
+      if (pos != v->size()) throw Error("");
+      return r;
+    } catch (...) {
+      throw Error("flag " + std::string(name) + " expects a number, got '" + *v + "'");
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+ private:
+  std::set<std::string> options_;
+  std::set<std::string> switches_;
+  std::set<std::string> present_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace valign::cli

@@ -1,0 +1,320 @@
+#include "valign/cli/cli.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "valign/apps/db_search.hpp"
+#include "valign/cli/args.hpp"
+#include "valign/core/calibrate.hpp"
+#include "valign/core/dispatch.hpp"
+#include "valign/core/scalar.hpp"
+#include "valign/io/fasta.hpp"
+#include "valign/matrices/parser.hpp"
+#include "valign/stats/karlin.hpp"
+#include "valign/version.hpp"
+#include "valign/workload/generator.hpp"
+
+namespace valign::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(valign — SIMD pairwise sequence alignment
+
+usage:
+  valign align  <query.fa> <db.fa>            pairwise-align first records
+  valign align  --q-seq SEQ --d-seq SEQ       pairwise-align literal sequences
+  valign search <queries.fa> <db.fa>          database search with top hits
+  valign generate --out FILE                  write a synthetic FASTA dataset
+  valign matrices [NAME]                      list or print scoring matrices
+  valign stats                                Karlin-Altschul parameters
+  valign calibrate                            measure Striped/Scan crossovers
+  valign info                                 version and CPU capabilities
+
+common options:
+  --class nw|sg|sw          alignment class (default sw)
+  --matrix NAME             substitution matrix (default blosum62)
+  --gap-open N --gap-extend N   penalties (default: matrix's NCBI defaults)
+  --approach scalar|blocked|diagonal|striped|scan|auto   (default auto)
+  --isa emul|sse41|avx2|avx512|auto                      (default auto)
+  --dna                     DNA alphabet and +2/-3 matrix
+align options:
+  --traceback               print the alignment itself
+search options:
+  --top N                   hits per query (default 5)
+  --threads N               OpenMP threads (default 1)
+generate options:
+  --out FILE --count N --seed S --preset bacteria2k|uniprot --dna
+)";
+
+AlignClass parse_class(const std::string& s) {
+  if (s == "nw" || s == "global") return AlignClass::Global;
+  if (s == "sg" || s == "semiglobal") return AlignClass::SemiGlobal;
+  if (s == "sw" || s == "local") return AlignClass::Local;
+  throw Error("unknown alignment class: " + s + " (expected nw|sg|sw)");
+}
+
+Approach parse_approach(const std::string& s) {
+  if (s == "scalar") return Approach::Scalar;
+  if (s == "blocked") return Approach::Blocked;
+  if (s == "diagonal") return Approach::Diagonal;
+  if (s == "striped") return Approach::Striped;
+  if (s == "scan") return Approach::Scan;
+  if (s == "auto") return Approach::Auto;
+  throw Error("unknown approach: " + s);
+}
+
+Isa parse_isa(const std::string& s) {
+  if (s == "emul") return Isa::Emul;
+  if (s == "sse41" || s == "sse4.1") return Isa::SSE41;
+  if (s == "avx2") return Isa::AVX2;
+  if (s == "avx512") return Isa::AVX512;
+  if (s == "auto") return Isa::Auto;
+  throw Error("unknown isa: " + s);
+}
+
+/// Resolved scoring scheme. The DNA matrix is owned (value member) so the
+/// struct is safely copyable/movable; mat() picks the right table.
+struct Scoring {
+  bool use_dna = false;
+  ScoreMatrix dna_matrix;
+  const ScoreMatrix* named = nullptr;
+  GapPenalty gap{};
+
+  [[nodiscard]] const ScoreMatrix& mat() const { return use_dna ? dna_matrix : *named; }
+};
+
+Scoring resolve_scoring(const ArgParser& args) {
+  Scoring s;
+  if (args.has("--dna")) {
+    s.use_dna = true;
+    s.dna_matrix = ScoreMatrix::dna();
+  } else {
+    s.named = &ScoreMatrix::from_name(args.value_or("--matrix", "blosum62"));
+  }
+  const long open = args.int_value_or("--gap-open", -1);
+  const long extend = args.int_value_or("--gap-extend", -1);
+  s.gap = s.mat().default_gaps();
+  if (open >= 0) s.gap.open = static_cast<int>(open);
+  if (extend >= 0) s.gap.extend = static_cast<int>(extend);
+  return s;
+}
+
+Options resolve_options(const ArgParser& args, const Scoring& scoring) {
+  Options opts;
+  opts.klass = parse_class(args.value_or("--class", "sw"));
+  opts.approach = parse_approach(args.value_or("--approach", "auto"));
+  opts.isa = parse_isa(args.value_or("--isa", "auto"));
+  opts.matrix = &scoring.mat();
+  opts.gap = scoring.gap;
+  return opts;
+}
+
+const Alphabet& alphabet_for(const ArgParser& args) {
+  return args.has("--dna") ? Alphabet::dna() : Alphabet::protein();
+}
+
+int cmd_align(const ArgParser& args, std::ostream& out) {
+  const Scoring scoring = resolve_scoring(args);
+  const Options opts = resolve_options(args, scoring);
+  const Alphabet& alpha = alphabet_for(args);
+
+  Sequence q, d;
+  if (args.has("--q-seq") || args.has("--d-seq")) {
+    if (!args.has("--q-seq") || !args.has("--d-seq")) {
+      throw Error("align: --q-seq and --d-seq must be given together");
+    }
+    q = Sequence("query", *args.value("--q-seq"), alpha);
+    d = Sequence("subject", *args.value("--d-seq"), alpha);
+  } else {
+    if (args.positionals().size() != 3) {  // "align" + two paths
+      throw Error("align: expected <query.fa> <db.fa> or --q-seq/--d-seq");
+    }
+    const Dataset qs = read_fasta_file(args.positionals()[1], alpha);
+    const Dataset ds = read_fasta_file(args.positionals()[2], alpha);
+    if (qs.empty() || ds.empty()) throw Error("align: empty FASTA input");
+    q = qs[0];
+    d = ds[0];
+  }
+
+  const AlignResult r = align(q, d, opts);
+  out << "query   : " << q.name() << " (" << q.size() << " residues)\n";
+  out << "subject : " << d.name() << " (" << d.size() << " residues)\n";
+  out << "class   : " << to_string(opts.klass) << "  matrix: " << scoring.mat().name()
+      << "  gaps: " << scoring.gap.open << "/" << scoring.gap.extend << "\n";
+  out << "engine  : " << to_string(r.approach) << " @ " << to_string(r.isa) << ", "
+      << r.lanes << " lanes x " << r.bits << "-bit\n";
+  out << "score   : " << r.score;
+  if (r.query_end >= 0) {
+    out << "  (ends: query " << r.query_end << ", subject " << r.db_end << ")";
+  }
+  out << "\n";
+
+  if (args.has("--traceback")) {
+    const Traceback tb = align_traceback(opts.klass, scoring.mat(), scoring.gap,
+                                         q, d, opts.sg_ends);
+    out << "identity: " << static_cast<int>(100.0 * tb.identity())
+        << "%  cigar: " << tb.cigar << "\n";
+    // Wrap the alignment at 60 columns.
+    const std::size_t len = tb.aligned_query.size();
+    for (std::size_t i = 0; i < len; i += 60) {
+      const std::size_t w = std::min<std::size_t>(60, len - i);
+      out << "  " << tb.aligned_query.substr(i, w) << "\n";
+      out << "  " << tb.midline.substr(i, w) << "\n";
+      out << "  " << tb.aligned_db.substr(i, w) << "\n\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_search(const ArgParser& args, std::ostream& out) {
+  if (args.positionals().size() != 3) {
+    throw Error("search: expected <queries.fa> <db.fa>");
+  }
+  const Scoring scoring = resolve_scoring(args);
+  const Alphabet& alpha = alphabet_for(args);
+  const Dataset queries = read_fasta_file(args.positionals()[1], alpha);
+  const Dataset db = read_fasta_file(args.positionals()[2], alpha);
+
+  apps::SearchConfig cfg;
+  cfg.align = resolve_options(args, scoring);
+  cfg.top_k = static_cast<int>(args.int_value_or("--top", 5));
+  cfg.threads = static_cast<int>(args.int_value_or("--threads", 1));
+
+  const apps::SearchReport rep = apps::search(queries, db, cfg);
+  const stats::KarlinParams params = stats::lookup_params(scoring.mat(), scoring.gap);
+  const std::uint64_t db_residues = db.total_residues();
+
+  out << "# " << queries.size() << " queries x " << db.size() << " subjects, "
+      << rep.alignments << " alignments in " << rep.seconds << " s\n";
+  out << "# query\tsubject\tscore\tbits\tevalue\n";
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    for (const apps::SearchHit& h : rep.top_hits[qi]) {
+      std::ostringstream ev;
+      ev.precision(2);
+      ev << std::scientific << stats::evalue(params, h.score, queries[qi].size(),
+                                             db_residues);
+      out << queries[qi].name() << "\t" << db[h.db_index].name() << "\t" << h.score
+          << "\t" << static_cast<int>(stats::bit_score(params, h.score)) << "\t"
+          << ev.str() << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_generate(const ArgParser& args, std::ostream& out) {
+  const auto path = args.value("--out");
+  if (!path) throw Error("generate: --out FILE is required");
+  workload::GeneratorConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(args.int_value_or("--seed", 1));
+  cfg.dna = args.has("--dna");
+  const std::string preset = args.value_or("--preset", "bacteria2k");
+  std::size_t count = 0;
+  if (preset == "bacteria2k") {
+    cfg.lengths = workload::LengthModel::bacteria_protein();
+    count = 2000;
+  } else if (preset == "uniprot") {
+    cfg.lengths = workload::LengthModel::uniprot_protein();
+    count = 10000;
+  } else {
+    throw Error("generate: unknown preset " + preset);
+  }
+  count = static_cast<std::size_t>(args.int_value_or("--count", static_cast<long>(count)));
+  const Dataset ds = workload::generate(count, cfg);
+  write_fasta_file(*path, ds);
+  out << "wrote " << ds.size() << " sequences (" << ds.total_residues()
+      << " residues, mean " << static_cast<int>(ds.mean_length()) << ") to " << *path
+      << "\n";
+  return 0;
+}
+
+int cmd_matrices(const ArgParser& args, std::ostream& out) {
+  if (args.positionals().size() >= 2) {
+    const ScoreMatrix& m = ScoreMatrix::from_name(args.positionals()[1]);
+    out << format_ncbi_matrix(m);
+    return 0;
+  }
+  out << "built-in matrices (with NCBI default gap penalties):\n";
+  for (const ScoreMatrix* m : ScoreMatrix::builtins()) {
+    out << "  " << m->name() << "  gaps " << m->default_gaps().open << "/"
+        << m->default_gaps().extend << "  scores [" << int{m->min_score()} << ", "
+        << int{m->max_score()} << "]\n";
+  }
+  return 0;
+}
+
+int cmd_stats(const ArgParser& args, std::ostream& out) {
+  const Scoring scoring = resolve_scoring(args);
+  const stats::KarlinParams gapped = stats::lookup_params(scoring.mat(), scoring.gap);
+  const stats::KarlinParams ungapped = stats::ungapped_params(scoring.mat());
+  out << "matrix " << scoring.mat().name() << ", gaps " << scoring.gap.open << "/"
+      << scoring.gap.extend << "\n";
+  out << "ungapped: lambda=" << ungapped.lambda << " K=" << ungapped.k
+      << " H=" << ungapped.h << "\n";
+  out << "in use  : lambda=" << gapped.lambda << " K=" << gapped.k
+      << (gapped.gapped ? " (published gapped)" : " (ungapped fallback)") << "\n";
+  return 0;
+}
+
+int cmd_calibrate(std::ostream& out) {
+  out << "measuring Striped/Scan crossovers on this host (a few seconds)...\n";
+  const PrescriptionTable measured = calibrate();
+  out << "measured:\n" << measured.to_string();
+  out << "paper (Table IV):\n" << PrescriptionTable::paper().to_string();
+  return 0;
+}
+
+int cmd_info(std::ostream& out) {
+  out << "valign " << version() << "\n";
+  const simd::CpuFeatures& f = simd::cpu_features();
+  out << "cpu: sse4.1=" << (f.sse41 ? "yes" : "no") << " avx2="
+      << (f.avx2 ? "yes" : "no") << " avx512bw=" << (f.avx512bw ? "yes" : "no")
+      << "\n";
+  out << "best isa: " << to_string(simd::best_isa()) << "\n";
+  out << "lanes at 8/16/32-bit:";
+  for (const Isa isa : {Isa::SSE41, Isa::AVX2, Isa::AVX512}) {
+    if (!simd::isa_available(isa)) continue;
+    out << "  " << to_string(isa) << "=" << simd::native_lanes(isa, 8) << "/"
+        << simd::native_lanes(isa, 16) << "/" << simd::native_lanes(isa, 32);
+  }
+  out << "\n";
+  return 0;
+}
+
+}  // namespace
+
+const char* usage() { return kUsage; }
+
+int run(std::span<const std::string_view> args, std::ostream& out, std::ostream& err) {
+  try {
+    if (args.empty() || args[0] == "--help" || args[0] == "help") {
+      out << kUsage;
+      return args.empty() ? 2 : 0;
+    }
+    ArgParser parser;
+    for (const char* opt :
+         {"--class", "--matrix", "--gap-open", "--gap-extend", "--approach", "--isa",
+          "--q-seq", "--d-seq", "--top", "--threads", "--out", "--count", "--seed",
+          "--preset"}) {
+      parser.add_option(opt);
+    }
+    for (const char* sw : {"--dna", "--traceback"}) parser.add_switch(sw);
+    parser.parse(args);
+
+    const std::string& cmd = parser.positionals().empty() ? std::string()
+                                                          : parser.positionals()[0];
+    if (cmd == "align") return cmd_align(parser, out);
+    if (cmd == "search") return cmd_search(parser, out);
+    if (cmd == "generate") return cmd_generate(parser, out);
+    if (cmd == "matrices") return cmd_matrices(parser, out);
+    if (cmd == "stats") return cmd_stats(parser, out);
+    if (cmd == "calibrate") return cmd_calibrate(out);
+    if (cmd == "info") return cmd_info(out);
+    err << "unknown command: " << cmd << "\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace valign::cli

@@ -1,0 +1,30 @@
+// The valign command-line interface, implemented as a library function so the
+// tests can drive it directly.
+//
+//   valign align  <query.fa> <db.fa> | --q-seq SEQ --d-seq SEQ  [options]
+//   valign search <queries.fa> <db.fa> [--top N] [options]
+//   valign generate --out FILE [--count N] [--preset P] [--seed S] [--dna]
+//   valign matrices [NAME]
+//   valign stats [--matrix M] [--gap-open O] [--gap-extend E]
+//   valign info
+//
+// Common options: --class nw|sg|sw, --matrix NAME, --gap-open N,
+// --gap-extend N, --approach scalar|blocked|diagonal|striped|scan|auto,
+// --isa emul|sse41|avx2|avx512|auto, --dna, --traceback (align only),
+// --threads N / --top N (search only).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string_view>
+
+namespace valign::cli {
+
+/// Runs the CLI. `args` excludes the program name. Writes results to `out`
+/// and diagnostics to `err`; returns a process exit code.
+int run(std::span<const std::string_view> args, std::ostream& out, std::ostream& err);
+
+/// The usage text printed by `valign --help`.
+[[nodiscard]] const char* usage();
+
+}  // namespace valign::cli

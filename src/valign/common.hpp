@@ -1,0 +1,210 @@
+// Core vocabulary types shared by every valign module.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <new>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace valign {
+
+/// The three classes of pairwise alignment studied by the paper (§II).
+enum class AlignClass : std::uint8_t {
+  Global,      ///< Needleman-Wunsch (NW): end-to-end alignment.
+  SemiGlobal,  ///< SG: free end gaps; alignment overlaps one end of each sequence.
+  Local,       ///< Smith-Waterman (SW): best-scoring subsequence pair.
+};
+
+/// Vectorization approaches enumerated in Fig. 1 of the paper.
+enum class Approach : std::uint8_t {
+  Scalar,    ///< Plain dynamic programming (ground truth).
+  Blocked,   ///< Rognes & Seeberg 2000: vectors parallel to query, convergence loop.
+  Diagonal,  ///< Wozniak 1997: vectors along the anti-diagonal.
+  Striped,   ///< Farrar 2007: striped layout + lazy-F corrective loop.
+  Scan,      ///< This paper: striped layout + two-pass prefix scan.
+  Auto,      ///< Prescriptive selection per Table IV.
+};
+
+/// Instruction-set backends available for the vector engines.
+enum class Isa : std::uint8_t {
+  Emul,    ///< Portable scalar emulation of an N-lane vector (any width).
+  SSE41,   ///< 128-bit.
+  AVX2,    ///< 256-bit.
+  AVX512,  ///< 512-bit (AVX-512BW).
+  Auto,    ///< Widest ISA supported by the running CPU.
+};
+
+/// Integer element width used for the DP cell values.
+enum class ElemWidth : std::uint8_t { W8, W16, W32, Auto };
+
+inline int elem_bits(ElemWidth w) {
+  switch (w) {
+    case ElemWidth::W8: return 8;
+    case ElemWidth::W16: return 16;
+    case ElemWidth::W32: return 32;
+    default: return 0;
+  }
+}
+
+inline const char* to_string(AlignClass c) {
+  switch (c) {
+    case AlignClass::Global: return "NW";
+    case AlignClass::SemiGlobal: return "SG";
+    case AlignClass::Local: return "SW";
+  }
+  return "?";
+}
+
+inline const char* to_string(Approach a) {
+  switch (a) {
+    case Approach::Scalar: return "scalar";
+    case Approach::Blocked: return "blocked";
+    case Approach::Diagonal: return "diagonal";
+    case Approach::Striped: return "striped";
+    case Approach::Scan: return "scan";
+    case Approach::Auto: return "auto";
+  }
+  return "?";
+}
+
+inline const char* to_string(Isa i) {
+  switch (i) {
+    case Isa::Emul: return "emul";
+    case Isa::SSE41: return "sse4.1";
+    case Isa::AVX2: return "avx2";
+    case Isa::AVX512: return "avx512";
+    case Isa::Auto: return "auto";
+  }
+  return "?";
+}
+
+/// Affine gap penalties, stored as positive magnitudes.
+/// A gap of length g costs `open + g * extend` (the NCBI blastp convention:
+/// BLOSUM62's default `-11/-1` is `GapPenalty{11, 1}`).
+struct GapPenalty {
+  int open = 11;    ///< Charged once per gap, on top of the first extension.
+  int extend = 1;   ///< Charged once per gap character.
+};
+
+/// Which sequence ends are free of gap penalties in a semi-global alignment.
+///
+/// The default (everything free) is the paper's SG. Clearing all four flags
+/// reproduces global alignment; mixed settings give the intermediate variants
+/// used e.g. for read mapping (free query ends, penalized database ends) or
+/// overlap detection. Only the Scalar, Striped and Scan engines honour these
+/// flags; Blocked and Diagonal implement the classic all-free SG.
+struct SemiGlobalEnds {
+  bool free_query_begin = true;  ///< Leading database residues may go unaligned.
+  bool free_query_end = true;    ///< Trailing database residues may go unaligned.
+  bool free_db_begin = true;     ///< Leading query residues may go unaligned.
+  bool free_db_end = true;       ///< Trailing query residues may go unaligned.
+
+  [[nodiscard]] bool all_free() const noexcept {
+    return free_query_begin && free_query_end && free_db_begin && free_db_end;
+  }
+  [[nodiscard]] bool none_free() const noexcept {
+    return !free_query_begin && !free_query_end && !free_db_begin && !free_db_end;
+  }
+};
+
+/// Per-alignment work counters (basis of the paper's complexity analysis, §IV).
+struct AlignStats {
+  std::uint64_t columns = 0;            ///< DP columns processed (database length).
+  std::uint64_t main_epochs = 0;        ///< Vector epochs in unconditional passes.
+  std::uint64_t corrective_epochs = 0;  ///< k: lazy-F corrective epochs (Striped only).
+  std::uint64_t hscan_steps = 0;        ///< Horizontal scan steps (Scan only).
+  std::uint64_t cells = 0;              ///< DP cells covered (n*m, incl. padding).
+
+  /// The paper's corrective factor C = k / m / ceil(n/p)  (§IV).
+  [[nodiscard]] double corrective_factor(std::uint64_t query_len, int lanes) const {
+    if (columns == 0 || query_len == 0 || lanes <= 0) return 0.0;
+    const double epochs_per_col =
+        static_cast<double>((query_len + static_cast<std::uint64_t>(lanes) - 1) /
+                            static_cast<std::uint64_t>(lanes));
+    return static_cast<double>(corrective_epochs) /
+           static_cast<double>(columns) / epochs_per_col;
+  }
+
+  AlignStats& operator+=(const AlignStats& o) {
+    columns += o.columns;
+    main_epochs += o.main_epochs;
+    corrective_epochs += o.corrective_epochs;
+    hscan_steps += o.hscan_steps;
+    cells += o.cells;
+    return *this;
+  }
+};
+
+/// Result of a pairwise alignment.
+struct AlignResult {
+  std::int32_t score = 0;   ///< Optimal alignment score.
+  std::int32_t query_end = -1;  ///< 0-based row of the optimal cell (-1 if not tracked).
+  std::int32_t db_end = -1;     ///< 0-based column of the optimal cell (-1 if not tracked).
+  bool overflowed = false;  ///< Element width saturated; retry with wider elements.
+  AlignStats stats{};
+  Approach approach = Approach::Scalar;
+  Isa isa = Isa::Emul;
+  int lanes = 1;
+  int bits = 32;  ///< Element width in bits.
+};
+
+/// Thrown on malformed input (FASTA syntax, unknown matrix, bad options…).
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+/// 64-byte aligned, heap-backed array for vector loads/stores.
+template <class T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t n) { resize(n); }
+
+  /// Grows (never shrinks) the allocation; contents are NOT preserved.
+  void resize(std::size_t n) {
+    if (n <= cap_) {
+      size_ = n;
+      return;
+    }
+    void* p = ::operator new[](n * sizeof(T), std::align_val_t{64});
+    data_.reset(static_cast<T*>(p));
+    cap_ = n;
+    size_ = n;
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.get(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.get(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  [[nodiscard]] std::span<T> span() noexcept { return {data_.get(), size_}; }
+
+ private:
+  struct Deleter {
+    void operator()(T* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{64});
+    }
+  };
+  std::unique_ptr<T[], Deleter> data_;
+  std::size_t cap_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Clamp a wide integer into the representable range of element type T.
+template <class T>
+[[nodiscard]] constexpr T clamp_to(std::int64_t v) noexcept {
+  constexpr std::int64_t lo = std::numeric_limits<T>::min();
+  constexpr std::int64_t hi = std::numeric_limits<T>::max();
+  return static_cast<T>(v < lo ? lo : (v > hi ? hi : v));
+}
+
+}  // namespace detail
+}  // namespace valign

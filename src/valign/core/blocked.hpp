@@ -1,0 +1,224 @@
+// Blocked vectorized alignment (Rognes & Seeberg 2000).
+//
+// Vectors run parallel to the query over *contiguous* blocks of p rows
+// (Fig. 1 Blocked). Within a block the vertical (F) dependency crosses every
+// lane, so each block is computed optimistically and then corrected until the
+// values converge — the same convergence idea as Farrar's lazy-F, but at
+// block granularity, plus an exact F carry must be reduced out of every block
+// for the next one. Those two costs are why Blocked trails Striped (Table I).
+#pragma once
+
+#include <span>
+
+#include "valign/core/engine_common.hpp"
+#include "valign/core/profile.hpp"
+
+namespace valign {
+
+template <AlignClass C, simd::SimdVec V>
+class BlockedAligner {
+ public:
+  using T = typename V::value_type;
+  static constexpr Approach kApproach = Approach::Blocked;
+  static constexpr AlignClass kClass = C;
+  static constexpr int kLanes = V::lanes;
+
+  BlockedAligner(const ScoreMatrix& matrix, GapPenalty gap)
+      : matrix_(&matrix), gap_(gap) {}
+
+  void set_query(std::span<const std::uint8_t> query) {
+    prof_.build(*matrix_, query, V::lanes);
+    qlen_ = query.size();
+    const std::size_t rows = prof_.blocks() * static_cast<std::size_t>(V::lanes);
+    h0_.resize(rows);
+    h1_.resize(rows);
+    e_.resize(rows);
+    // Ladder used by the exact carry-out reduction: lane s gets -(p-1-s)*e.
+    ladder_.resize(static_cast<std::size_t>(V::lanes));
+    // Decay ladder for the optimistic in-block F: lane s gets -s*e.
+    ladder2_.resize(static_cast<std::size_t>(V::lanes));
+    for (int s = 0; s < V::lanes; ++s) {
+      ladder_[static_cast<std::size_t>(s)] = detail::clamp_to<T>(
+          -static_cast<std::int64_t>(V::lanes - 1 - s) * gap_.extend);
+      ladder2_[static_cast<std::size_t>(s)] =
+          detail::clamp_to<T>(-static_cast<std::int64_t>(s) * gap_.extend);
+    }
+  }
+
+  [[nodiscard]] std::size_t query_length() const noexcept { return qlen_; }
+
+  AlignResult align(std::span<const std::uint8_t> db) {
+    constexpr int p = V::lanes;
+    const std::size_t nblocks = prof_.blocks();
+    const std::size_t m = db.size();
+    const std::int64_t o = gap_.open;
+    const std::int64_t e = gap_.extend;
+    constexpr T kNegInf = V::neg_inf;
+
+    AlignResult res;
+    res.approach = Approach::Blocked;
+    res.isa = detail::isa_of<V>();
+    res.lanes = p;
+    res.bits = 8 * int(sizeof(T));
+    res.stats.columns = m;
+    res.stats.cells = m * nblocks * static_cast<std::size_t>(p);
+
+    if (qlen_ == 0 || m == 0) {
+      return detail::degenerate_result<C>(res, qlen_, m, gap_);
+    }
+
+    T* hload = h0_.data();
+    T* hstore = h1_.data();
+    T* earr = e_.data();
+    // Contiguous layout: row r lives at index r.
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      for (int s = 0; s < p; ++s) {
+        const std::size_t r = b * static_cast<std::size_t>(p) +
+                              static_cast<std::size_t>(s);
+        if constexpr (C == AlignClass::Local) {
+          hload[r] = 0;
+        } else {
+          hload[r] = (r < qlen_)
+                         ? detail::edge_elem<C, T>(static_cast<std::int64_t>(r) + 1, gap_)
+                         : kNegInf;
+        }
+        earr[r] = kNegInf;
+      }
+    }
+
+    const V vGapO = V::broadcast(detail::clamp_to<T>(o));
+    const V vGapE = V::broadcast(detail::clamp_to<T>(e));
+    const V vGapOE = V::broadcast(detail::clamp_to<T>(o + e));
+    const V vZero = V::zero();
+    const V vLadder = V::load(ladder_.data());
+    const V vLadder2 = V::load(ladder2_.data());
+    V vMax = V::broadcast(kNegInf);
+    T best = 0;
+    std::int32_t best_j = -1;  // SW: column of the best score
+
+    std::int64_t sg_best = std::numeric_limits<std::int64_t>::min();
+    std::int32_t sg_best_j = -1;
+
+    for (std::size_t j = 0; j < m; ++j) {
+      const int code = db[j];
+      // F entering row 0 of this column (gap opened from the top boundary).
+      T fc = detail::clamp_to<T>(
+          detail::edge_boundary<C>(static_cast<std::int64_t>(j) + 1, gap_) - o - e);
+      const T hb = (j == 0) ? T{0}
+                            : detail::edge_elem<C, T>(static_cast<std::int64_t>(j), gap_);
+
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        const std::size_t off = b * static_cast<std::size_t>(p);
+        // Diagonal carry for lane 0 = previous column's H one row above.
+        const T hdiag_fill = (b == 0) ? hb : hload[off - 1];
+        const V vHp = V::load(hload + off);
+        const V vHdiag = V::shift_in(vHp, hdiag_fill);
+        const V vE =
+            V::subs(V::max(V::load(earr + off), V::subs(vHp, vGapO)), vGapE);
+        V vH = V::max(V::adds(vHdiag, V::load(prof_.block(code, b))), vE);
+        if constexpr (C == AlignClass::Local) vH = V::max(vH, vZero);
+        ++res.stats.main_epochs;
+
+        // Rognes & Seeberg's SWAT optimization: for local alignment, any F
+        // value <= 0 is dominated by the zero clamp, so when the incoming
+        // carry cannot help and no H in the block exceeds o+e, the entire F
+        // machinery (in-block resolution and the exact carry reduction) can
+        // be skipped. This is the case for most blocks of an SW table and is
+        // what makes Blocked several times faster than scalar.
+        bool skip_f = false;
+        if constexpr (C == AlignClass::Local) {
+          skip_f = fc <= 0 && !V::any_gt(vH, vGapOE);
+        }
+        if (skip_f) {
+          fc = 0;  // exact value irrelevant: any F <= 0 is clamped away
+        } else {
+          // Optimistic F: pure extension of the carry across the block
+          // (lane s sees fc - s*e).
+          const V vF = V::adds(V::broadcast(fc), vLadder2);
+          vH = V::max(vH, vF);
+          if constexpr (C == AlignClass::Local) vH = V::max(vH, vZero);
+
+          // In-block F resolution ("recompute until the values converge"):
+          // gap openings propagate one lane per step, re-deriving openings
+          // from the updated H every round. Unlike Farrar's striped lazy-F,
+          // no sound early exit exists here — Blocked's base pass contains
+          // no in-block open chain, so the p-1 relaxation rounds must all
+          // run (this is part of why Blocked trails Striped, Table I).
+          V vProp = V::subs(V::max(vF, V::subs(vH, vGapO)), vGapE);
+          for (int k = 1; k < p; ++k) {
+            vProp = V::shift_in(vProp, fc);
+            ++res.stats.corrective_epochs;
+            vH = V::max(vH, vProp);
+            vProp = V::subs(V::max(vProp, V::subs(vH, vGapO)), vGapE);
+          }
+
+          // Exact F carry out of the block:
+          //   F(next) = max(fc - p*e, max_s(H[s] - o - (p - s)*e)).
+          const T inner = V::adds(vH, vLadder).hmax();
+          const std::int64_t from_rows = std::int64_t{inner} - o - e;
+          const std::int64_t from_carry =
+              std::int64_t{fc} - static_cast<std::int64_t>(p) * e;
+          fc = detail::clamp_to<T>(from_rows > from_carry ? from_rows : from_carry);
+        }
+
+        vMax = V::max(vMax, vH);
+        vH.store(hstore + off);
+        vE.store(earr + off);
+      }
+
+      if constexpr (C == AlignClass::Local) {
+        const T mx = vMax.hmax();
+        if (mx > best) {
+          best = mx;
+          best_j = static_cast<std::int32_t>(j);
+        }
+      }
+      if constexpr (C == AlignClass::SemiGlobal) {
+        const T last = hstore[qlen_ - 1];
+        if (std::int64_t{last} > sg_best) {
+          sg_best = last;
+          sg_best_j = static_cast<std::int32_t>(j);
+        }
+      }
+      std::swap(hload, hstore);
+    }
+
+    const T* hfinal = hload;
+    if constexpr (C == AlignClass::Global) {
+      res.score = hfinal[qlen_ - 1];
+      res.query_end = static_cast<std::int32_t>(qlen_) - 1;
+      res.db_end = static_cast<std::int32_t>(m) - 1;
+      res.overflowed = detail::answer_hit_rails<T>(res.score);
+    } else if constexpr (C == AlignClass::SemiGlobal) {
+      res.score = static_cast<std::int32_t>(sg_best);
+      res.query_end = static_cast<std::int32_t>(qlen_) - 1;
+      res.db_end = sg_best_j;
+      for (std::size_t r = 0; r < qlen_; ++r) {
+        if (std::int64_t{hfinal[r]} > res.score) {
+          res.score = hfinal[r];
+          res.query_end = static_cast<std::int32_t>(r);
+          res.db_end = static_cast<std::int32_t>(m) - 1;
+        }
+      }
+      res.overflowed = detail::answer_hit_rails<T>(res.score);
+    } else {
+      res.score = best;
+      res.db_end = best_j;
+      res.query_end = -1;  // Blocked does not track the query end.
+      if (best >= simd::ElemTraits<T>::max_value) res.overflowed = true;
+    }
+    if constexpr (simd::ElemTraits<T>::saturating) {
+      if (vMax.hmax() >= simd::ElemTraits<T>::max_value) res.overflowed = true;
+    }
+    return res;
+  }
+
+ private:
+  const ScoreMatrix* matrix_;
+  GapPenalty gap_;
+  SequentialProfile<T> prof_;
+  std::size_t qlen_ = 0;
+  detail::AlignedBuffer<T> h0_, h1_, e_, ladder_, ladder2_;
+};
+
+}  // namespace valign

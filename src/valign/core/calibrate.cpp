@@ -1,0 +1,206 @@
+#include "valign/core/calibrate.hpp"
+
+#include <chrono>
+#include <random>
+#include <sstream>
+
+#include "valign/core/prescribe.hpp"
+#include "valign/core/scan.hpp"
+#include "valign/core/striped.hpp"
+#include "valign/workload/generator.hpp"
+
+namespace valign {
+
+namespace {
+
+int class_row(AlignClass klass) {
+  switch (klass) {
+    case AlignClass::Global: return 0;
+    case AlignClass::SemiGlobal: return 1;
+    case AlignClass::Local: return 2;
+  }
+  return 2;
+}
+
+int lane_col(int lanes) {
+  if (lanes <= 4) return 0;
+  if (lanes <= 8) return 1;
+  return 2;
+}
+
+template <class F>
+double time_at_least(F&& f, double min_seconds) {
+  int reps = 0;
+  double total = 0.0;
+  do {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    total += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                 .count();
+    ++reps;
+  } while (total < min_seconds && reps < 1000);
+  return total / reps;
+}
+
+/// Ratio series (t_striped / t_scan) over the configured lengths for one
+/// class and backend.
+template <AlignClass C, simd::SimdVec V>
+std::vector<double> measure_ratios(const CalibrationConfig& cfg, const Dataset& db) {
+  const ScoreMatrix& mat = cfg.matrix ? *cfg.matrix : ScoreMatrix::blosum62();
+  StripedAligner<C, V> striped(mat, cfg.gap);
+  ScanAligner<C, V> scan(mat, cfg.gap);
+  std::mt19937_64 rng(cfg.seed + static_cast<std::uint64_t>(class_row(C)));
+  std::vector<double> ratios;
+  std::int64_t sink = 0;
+  for (const std::size_t qlen : cfg.lengths) {
+    std::vector<std::uint8_t> q(qlen);
+    for (auto& c : q) c = workload::ResidueModel::protein().sample(rng);
+    striped.set_query(q);
+    scan.set_query(q);
+    const double ts = time_at_least(
+        [&] {
+          for (const Sequence& s : db) sink += striped.align(s.codes()).score;
+        },
+        cfg.min_seconds);
+    const double tc = time_at_least(
+        [&] {
+          for (const Sequence& s : db) sink += scan.align(s.codes()).score;
+        },
+        cfg.min_seconds);
+    ratios.push_back(ts / tc);
+  }
+  static_cast<void>(sink);
+  return ratios;
+}
+
+/// First crossing of 1.0 in the class's expected direction; 0 when absent.
+int find_crossover(const std::vector<double>& ratios,
+                   const std::vector<std::size_t>& lengths, bool scan_short) {
+  for (std::size_t i = 1; i < ratios.size(); ++i) {
+    const double r0 = ratios[i - 1];
+    const double r1 = ratios[i];
+    const bool crossing = scan_short ? (r0 >= 1.0 && r1 < 1.0)
+                                     : (r0 <= 1.0 && r1 > 1.0);
+    if (crossing && r1 != r0) {
+      const double f = (1.0 - r0) / (r1 - r0);
+      return static_cast<int>(static_cast<double>(lengths[i - 1]) +
+                              f * static_cast<double>(lengths[i] - lengths[i - 1]));
+    }
+  }
+  return 0;
+}
+
+template <AlignClass C>
+void calibrate_class(const CalibrationConfig& cfg, const Dataset& db,
+                     PrescriptionTable& table) {
+  const int row = class_row(C);
+  const bool scan_short = (C != AlignClass::Global);
+  table.scan_wins_short[static_cast<std::size_t>(row)] = scan_short;
+
+  const auto run_lane = [&](int lanes, auto tag) {
+    using V = typename decltype(tag)::type;
+    const std::vector<double> ratios = measure_ratios<C, V>(cfg, db);
+    table.crossover[static_cast<std::size_t>(row)]
+                   [static_cast<std::size_t>(lane_col(lanes))] =
+        find_crossover(ratios, cfg.lengths, scan_short);
+  };
+  struct Tag4 {
+#if defined(__SSE4_1__)
+    using type = simd::V128<std::int32_t>;
+#else
+    using type = simd::VEmul<std::int32_t, 4>;
+#endif
+  };
+  struct Tag8 {
+#if defined(__AVX2__)
+    using type = simd::V256<std::int32_t>;
+#else
+    using type = simd::VEmul<std::int32_t, 8>;
+#endif
+  };
+  struct Tag16 {
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+    using type = simd::V512<std::int32_t>;
+#else
+    using type = simd::VEmul<std::int32_t, 16>;
+#endif
+  };
+#if defined(__SSE4_1__)
+  if (simd::isa_available(Isa::SSE41)) run_lane(4, Tag4{});
+#endif
+#if defined(__AVX2__)
+  if (simd::isa_available(Isa::AVX2)) run_lane(8, Tag8{});
+#endif
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+  if (simd::isa_available(Isa::AVX512)) run_lane(16, Tag16{});
+#endif
+}
+
+}  // namespace
+
+Approach PrescriptionTable::choose(AlignClass klass, int lanes,
+                                   std::size_t qlen) const noexcept {
+  const int c = cross(klass, lanes);
+  const bool scan_short = scan_wins_short[static_cast<std::size_t>(class_row(klass))];
+  if (c <= 0) {
+    // No crossover measured: one engine dominated the probed range; it was
+    // the long-query winner (the series ended on its side of 1.0).
+    return scan_short ? Approach::Striped : Approach::Scan;
+  }
+  const bool below = qlen < static_cast<std::size_t>(c);
+  if (klass == AlignClass::Global) return below ? Approach::Striped : Approach::Scan;
+  return below ? Approach::Scan : Approach::Striped;
+}
+
+int PrescriptionTable::cross(AlignClass klass, int lanes) const noexcept {
+  return crossover[static_cast<std::size_t>(class_row(klass))]
+                  [static_cast<std::size_t>(lane_col(lanes))];
+}
+
+PrescriptionTable PrescriptionTable::paper() noexcept {
+  PrescriptionTable t;
+  for (const AlignClass c :
+       {AlignClass::Global, AlignClass::SemiGlobal, AlignClass::Local}) {
+    for (const int lanes : {4, 8, 16}) {
+      t.crossover[static_cast<std::size_t>(class_row(c))]
+                 [static_cast<std::size_t>(lane_col(lanes))] =
+          prescribe_crossover(c, lanes);
+    }
+    t.scan_wins_short[static_cast<std::size_t>(class_row(c))] =
+        (c != AlignClass::Global);
+  }
+  return t;
+}
+
+std::string PrescriptionTable::to_string() const {
+  std::ostringstream os;
+  const char* names[3] = {"NW", "SG", "SW"};
+  for (int row = 0; row < 3; ++row) {
+    os << names[row] << ": short=" << (scan_wins_short[static_cast<std::size_t>(row)]
+                                           ? "scan"
+                                           : "striped");
+    os << " crossovers(4/8/16)=" << crossover[static_cast<std::size_t>(row)][0] << "/"
+       << crossover[static_cast<std::size_t>(row)][1] << "/"
+       << crossover[static_cast<std::size_t>(row)][2] << "\n";
+  }
+  return os.str();
+}
+
+PrescriptionTable calibrate(const CalibrationConfig& cfg) {
+  if (cfg.lengths.size() < 2) {
+    throw Error("calibrate: need at least two probe lengths");
+  }
+  // Seed the result with the paper's values so lane columns this host cannot
+  // measure keep a sensible prescription.
+  PrescriptionTable table = PrescriptionTable::paper();
+  workload::GeneratorConfig gen;
+  gen.lengths = workload::LengthModel::uniprot_protein();
+  gen.seed = cfg.seed;
+  const Dataset db = workload::generate(cfg.db_count, gen);
+  calibrate_class<AlignClass::Global>(cfg, db, table);
+  calibrate_class<AlignClass::SemiGlobal>(cfg, db, table);
+  calibrate_class<AlignClass::Local>(cfg, db, table);
+  return table;
+}
+
+}  // namespace valign

@@ -1,0 +1,61 @@
+// Host calibration of the Striped/Scan decision table.
+//
+// Table IV's crossover lengths were measured on the paper's machines and, as
+// EXPERIMENTS.md documents, they move with microarchitecture. This module
+// reruns a condensed version of the paper's Fig. 4 sweep on the *current*
+// host and produces a PrescriptionTable the dispatcher can use instead of
+// the published numbers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "valign/common.hpp"
+#include "valign/matrices/matrix.hpp"
+
+namespace valign {
+
+/// A decision table in the shape of the paper's Table IV: per alignment
+/// class, which engine wins short queries, and the crossover query length
+/// for 4/8/16-lane execution (0 = no crossover observed, one engine
+/// dominates the measured range).
+struct PrescriptionTable {
+  std::array<std::array<int, 3>, 3> crossover{};  ///< [class][lane column]
+  std::array<bool, 3> scan_wins_short{};          ///< per class
+
+  /// The engine this table prescribes.
+  [[nodiscard]] Approach choose(AlignClass klass, int lanes,
+                                std::size_t qlen) const noexcept;
+
+  /// Crossover for a class/lane pair (lane counts clamp to 4/8/16 columns).
+  [[nodiscard]] int cross(AlignClass klass, int lanes) const noexcept;
+
+  /// The paper's published Table IV.
+  [[nodiscard]] static PrescriptionTable paper() noexcept;
+
+  /// Human-readable rendering (one row per class).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Calibration workload knobs. The defaults run in a few seconds.
+struct CalibrationConfig {
+  /// Database sequences sampled from the UniProt-like model.
+  std::size_t db_count = 60;
+  std::uint64_t seed = 17;
+  /// Query lengths probed (must be ascending).
+  std::vector<std::size_t> lengths = {16, 32, 64, 96, 128, 192, 256, 384, 512};
+  /// Minimum measurement time per (length, engine) point, seconds.
+  double min_seconds = 0.01;
+  /// Scoring scheme under test.
+  const ScoreMatrix* matrix = nullptr;  ///< default BLOSUM62
+  GapPenalty gap{11, 1};
+};
+
+/// Measure the decision table on this host (native 32-bit backends at
+/// whatever of 4/8/16 lanes the CPU provides; unavailable lane counts fall
+/// back to the paper's values for that column).
+[[nodiscard]] PrescriptionTable calibrate(const CalibrationConfig& cfg = {});
+
+}  // namespace valign

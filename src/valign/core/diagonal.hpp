@@ -1,0 +1,265 @@
+// Diagonal vectorized alignment (Wozniak 1997).
+//
+// Vectors run along the anti-diagonal inside strips of p database columns
+// (Fig. 1 Diagonal). Cells on one anti-diagonal are independent — their
+// inputs come from the two previous diagonals — so no corrective pass is
+// needed. The costs are the per-cell gather of substitution scores (the
+// "irregular memory access" §III calls out) and the padded cells at the
+// strip edges; both keep Diagonal well behind Striped (Table I).
+//
+// Implementation notes: diagonal state lives in registers and is spilled to
+// (small, cache-resident) arrays only on boundary diagonals that need lane
+// patching, plus one store per diagonal to expose the strip's last column
+// for the next strip's carries.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "valign/core/engine_common.hpp"
+
+namespace valign {
+
+template <AlignClass C, simd::SimdVec V>
+class DiagonalAligner {
+ public:
+  using T = typename V::value_type;
+  static constexpr Approach kApproach = Approach::Diagonal;
+  static constexpr AlignClass kClass = C;
+  static constexpr int kLanes = V::lanes;
+
+  DiagonalAligner(const ScoreMatrix& matrix, GapPenalty gap)
+      : matrix_(&matrix), gap_(gap) {}
+
+  void set_query(std::span<const std::uint8_t> query) {
+    query_.assign(query.begin(), query.end());
+    const std::size_t n = query_.size();
+    hc_.resize(n + 1);
+    ec_.resize(n + 1);
+    fincol_.resize(n + 1);
+    constexpr std::size_t p = static_cast<std::size_t>(V::lanes);
+    for (auto* buf : {&hbuf_, &ebuf_, &fbuf_, &w_}) buf->resize(p);
+  }
+
+  [[nodiscard]] std::size_t query_length() const noexcept { return query_.size(); }
+
+  AlignResult align(std::span<const std::uint8_t> db) {
+    constexpr int p = V::lanes;
+    const std::size_t n = query_.size();
+    const std::size_t m = db.size();
+    const std::int64_t o = gap_.open;
+    const std::int64_t e = gap_.extend;
+    constexpr T kNegInf = V::neg_inf;
+
+    AlignResult res;
+    res.approach = Approach::Diagonal;
+    res.isa = detail::isa_of<V>();
+    res.lanes = p;
+    res.bits = 8 * int(sizeof(T));
+    res.stats.columns = m;
+
+    if (n == 0 || m == 0) {
+      return detail::degenerate_result<C>(res, n, m, gap_);
+    }
+
+    // Carries from the column left of the current strip.
+    for (std::size_t i = 0; i < n; ++i) {
+      hc_[i] = (C == AlignClass::Local)
+                   ? T{0}
+                   : detail::edge_elem<C, T>(static_cast<std::int64_t>(i) + 1, gap_);
+      ec_[i] = kNegInf;
+    }
+
+    const V vGapO = V::broadcast(detail::clamp_to<T>(o));
+    const V vGapE = V::broadcast(detail::clamp_to<T>(e));
+    const V vZero = V::zero();
+    V vMax = V::broadcast(kNegInf);
+    T best = 0;
+    std::int32_t best_j = -1;
+
+    std::int64_t sg_best = std::numeric_limits<std::int64_t>::min();
+    std::int32_t sg_best_j = -1;
+    bool have_fincol = false;
+
+    T* hcur = hbuf_.data();
+    T* ecur = ebuf_.data();
+    T* fcur = fbuf_.data();
+
+    std::array<const std::int8_t*, static_cast<std::size_t>(p)> rowptr{};
+
+    for (std::size_t J = 0; J < m; J += static_cast<std::size_t>(p)) {
+      const bool strip_full = (J + static_cast<std::size_t>(p) <= m);
+      const bool strip_has_final =
+          (m - 1 >= J) && (m - 1 < J + static_cast<std::size_t>(p));
+      const int lf = strip_has_final ? static_cast<int>(m - 1 - J) : -1;
+
+      // Hoist the substitution-matrix row pointers for this strip's columns.
+      for (int l = 0; l < p; ++l) {
+        const std::size_t j = J + static_cast<std::size_t>(l);
+        rowptr[static_cast<std::size_t>(l)] =
+            (j < m) ? matrix_->row(db[j]).data() : nullptr;
+      }
+
+      // Diagonal r = -1 state; r = -2 is never read with a valid lane.
+      V vHd2 = V::broadcast(kNegInf);
+      V vEd1 = V::broadcast(kNegInf);
+      V vFd1 = V::broadcast(kNegInf);
+      V vHd1 = V::shift_in(
+          V::broadcast(kNegInf),
+          detail::edge_elem<C, T>(static_cast<std::int64_t>(J) + 1, gap_));
+
+      const std::size_t diags = n + static_cast<std::size_t>(p) - 1;
+      for (std::size_t r = 0; r < diags; ++r) {
+        // Interior diagonals of a full strip touch only in-table cells: no
+        // boundary patching, no bounds checks in the gather.
+        const bool interior =
+            strip_full && r >= static_cast<std::size_t>(p) - 1 && r < n;
+
+        // Gather substitution scores: the irregular access of this approach.
+        if (interior) {
+          for (int l = 0; l < p; ++l) {
+            w_[l] = static_cast<T>(
+                rowptr[static_cast<std::size_t>(l)][query_[r - static_cast<std::size_t>(l)]]);
+          }
+        } else {
+          for (int l = 0; l < p; ++l) {
+            const std::int64_t i = static_cast<std::int64_t>(r) - l;
+            const std::size_t j = J + static_cast<std::size_t>(l);
+            w_[l] = (i >= 0 && i < static_cast<std::int64_t>(n) && j < m)
+                        ? static_cast<T>(
+                              rowptr[static_cast<std::size_t>(l)][query_[static_cast<std::size_t>(i)]])
+                        : kNegInf;
+          }
+        }
+
+        // Lane-0 fills come from the strip's left-neighbour column.
+        const T hfill_e = (r < n) ? hc_[r] : kNegInf;
+        const T efill = (r < n) ? ec_[r] : kNegInf;
+        T hfill_s;
+        if (r == 0) {
+          hfill_s = (J == 0) ? T{0}
+                             : detail::edge_elem<C, T>(static_cast<std::int64_t>(J), gap_);
+        } else {
+          hfill_s = (r - 1 < n) ? hc_[r - 1] : kNegInf;
+        }
+
+        const V vHj1 = V::shift_in(vHd1, hfill_e);   // H[i][j-1]
+        const V vEj1 = V::shift_in(vEd1, efill);     // E[i][j-1]
+        const V vHd2s = V::shift_in(vHd2, hfill_s);  // H[i-1][j-1]
+
+        V vE = V::subs(V::max(vEj1, V::subs(vHj1, vGapO)), vGapE);
+        V vF = V::subs(V::max(vFd1, V::subs(vHd1, vGapO)), vGapE);
+        V vH = V::max(V::adds(vHd2s, V::load(w_.data())), V::max(vE, vF));
+        if constexpr (C == AlignClass::Local) vH = V::max(vH, vZero);
+
+        if (!interior) {
+          // Spill, patch out-of-table lanes, reload.
+          vH.store(hcur);
+          vE.store(ecur);
+          vF.store(fcur);
+          for (int l = 0; l < p; ++l) {
+            const std::int64_t i = static_cast<std::int64_t>(r) - l;
+            const std::size_t j = J + static_cast<std::size_t>(l);
+            if (i == -1 && j < m) {
+              hcur[l] = detail::edge_elem<C, T>(static_cast<std::int64_t>(j) + 1, gap_);
+              ecur[l] = kNegInf;
+              fcur[l] = kNegInf;
+            } else if (i < 0 || i >= static_cast<std::int64_t>(n) || j >= m) {
+              hcur[l] = kNegInf;
+              ecur[l] = kNegInf;
+              fcur[l] = kNegInf;
+            }
+          }
+          vH = V::load(hcur);
+          vE = V::load(ecur);
+          vF = V::load(fcur);
+        }
+
+        vMax = V::max(vMax, vH);
+        ++res.stats.main_epochs;
+
+        if constexpr (C == AlignClass::SemiGlobal) {
+          // Row n-1 appears once per diagonal at lane r-(n-1).
+          const std::int64_t l = static_cast<std::int64_t>(r) -
+                                 (static_cast<std::int64_t>(n) - 1);
+          if (l >= 0 && l < p && J + static_cast<std::size_t>(l) < m) {
+            const T v = vH.lane(static_cast<int>(l));
+            if (std::int64_t{v} > sg_best) {
+              sg_best = v;
+              sg_best_j = static_cast<std::int32_t>(J + static_cast<std::size_t>(l));
+            }
+          }
+        }
+        if (lf >= 0) {
+          const std::int64_t i = static_cast<std::int64_t>(r) - lf;
+          if (i >= 0 && i < static_cast<std::int64_t>(n)) {
+            fincol_[static_cast<std::size_t>(i)] = vH.lane(lf);
+            have_fincol = true;
+          }
+        }
+
+        // Save carries out of the strip's last column for the next strip.
+        if (strip_full && J + static_cast<std::size_t>(p) < m) {
+          const std::int64_t i = static_cast<std::int64_t>(r) - (p - 1);
+          if (i >= 0 && i < static_cast<std::int64_t>(n)) {
+            hc_[static_cast<std::size_t>(i)] = vH.last();
+            ec_[static_cast<std::size_t>(i)] = vE.last();
+          }
+        }
+
+        vHd2 = vHd1;
+        vHd1 = vH;
+        vEd1 = vE;
+        vFd1 = vF;
+      }
+      res.stats.cells += diags * static_cast<std::size_t>(p);
+
+      if constexpr (C == AlignClass::Local) {
+        // Strip-granular best tracking (Diagonal reports approximate ends).
+        const T mx = vMax.hmax();
+        if (mx > best) {
+          best = mx;
+          best_j = static_cast<std::int32_t>(J);
+        }
+      }
+    }
+
+    if constexpr (C == AlignClass::Global) {
+      if (!have_fincol) throw Error("DiagonalAligner: final column not captured");
+      res.score = fincol_[n - 1];
+      res.query_end = static_cast<std::int32_t>(n) - 1;
+      res.db_end = static_cast<std::int32_t>(m) - 1;
+      res.overflowed = detail::answer_hit_rails<T>(res.score);
+    } else if constexpr (C == AlignClass::SemiGlobal) {
+      res.score = static_cast<std::int32_t>(sg_best);
+      res.query_end = static_cast<std::int32_t>(n) - 1;
+      res.db_end = sg_best_j;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (std::int64_t{fincol_[i]} > res.score) {
+          res.score = fincol_[i];
+          res.query_end = static_cast<std::int32_t>(i);
+          res.db_end = static_cast<std::int32_t>(m) - 1;
+        }
+      }
+      res.overflowed = detail::answer_hit_rails<T>(res.score);
+    } else {
+      res.score = best;
+      res.db_end = best_j;   // approximate (strip granularity)
+      res.query_end = -1;    // Diagonal does not track the query end
+      if (best >= simd::ElemTraits<T>::max_value) res.overflowed = true;
+    }
+    if constexpr (simd::ElemTraits<T>::saturating) {
+      if (vMax.hmax() >= simd::ElemTraits<T>::max_value) res.overflowed = true;
+    }
+    return res;
+  }
+
+ private:
+  const ScoreMatrix* matrix_;
+  GapPenalty gap_;
+  std::vector<std::uint8_t> query_;
+  std::vector<T> hc_, ec_, fincol_;
+  detail::AlignedBuffer<T> hbuf_, ebuf_, fbuf_, w_;
+};
+
+}  // namespace valign

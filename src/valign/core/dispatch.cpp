@@ -1,0 +1,158 @@
+#include "valign/core/dispatch.hpp"
+
+#include "valign/core/calibrate.hpp"
+#include "valign/core/dispatch_impl.hpp"
+#include "valign/simd/arch.hpp"
+
+namespace valign {
+
+namespace detail {
+
+std::unique_ptr<EngineBase> make_engine_scalar(const EngineSpec& s) {
+  switch (s.klass) {
+    case AlignClass::Global:
+      return std::make_unique<ScalarHolder<AlignClass::Global>>(
+          ScalarAligner<AlignClass::Global>(*s.matrix, s.gap));
+    case AlignClass::SemiGlobal:
+      return std::make_unique<ScalarHolder<AlignClass::SemiGlobal>>(
+          ScalarAligner<AlignClass::SemiGlobal>(*s.matrix, s.gap, s.sg_ends));
+    case AlignClass::Local:
+      return std::make_unique<ScalarHolder<AlignClass::Local>>(
+          ScalarAligner<AlignClass::Local>(*s.matrix, s.gap));
+  }
+  return nullptr;
+}
+
+std::unique_ptr<EngineBase> make_engine(const EngineSpec& s) {
+  if (s.matrix == nullptr) throw Error("make_engine: no substitution matrix");
+  if (s.approach == Approach::Scalar) return make_engine_scalar(s);
+  std::unique_ptr<EngineBase> eng;
+  switch (s.isa) {
+    case Isa::SSE41: eng = make_engine_sse(s); break;
+    case Isa::AVX2: eng = make_engine_avx2(s); break;
+    case Isa::AVX512: eng = make_engine_avx512(s); break;
+    case Isa::Emul: eng = make_engine_emul(s); break;
+    case Isa::Auto: break;
+  }
+  if (!eng) {
+    throw Error(std::string("make_engine: unsupported combination (") +
+                to_string(s.klass) + "/" + to_string(s.approach) + "/" +
+                to_string(s.isa) + "/" + std::to_string(s.bits) + "-bit)");
+  }
+  return eng;
+}
+
+}  // namespace detail
+
+bool width_is_safe(AlignClass klass, int bits, std::size_t qlen, std::size_t dlen,
+                   GapPenalty gap, const ScoreMatrix& matrix) noexcept {
+  if (bits >= 32) return true;
+  if (bits != 8 && bits != 16) return false;
+  if (klass == AlignClass::Local) {
+    // Values are clamped at zero: low-side saturation is dominated and
+    // high-side saturation is detected at run time (rail check).
+    return true;
+  }
+  // NW/SG: the silent failure mode is low-side saturation of a value that
+  // should later recover. Require the worst-case negative excursion to fit.
+  const std::int64_t min_value = -(std::int64_t{1} << (bits - 1));
+  const std::int64_t worst_step =
+      std::max<std::int64_t>(gap.extend, -std::int64_t{matrix.min_score()});
+  const std::int64_t excursion =
+      2 * std::int64_t{gap.open} +
+      static_cast<std::int64_t>(qlen + dlen) * worst_step;
+  return excursion <= -(min_value + 2);
+}
+
+Aligner::Aligner(Options opts) : opts_(opts) {
+  matrix_ = opts.matrix ? opts.matrix : &ScoreMatrix::blosum62();
+  gap_ = (opts.gap.open < 0 || opts.gap.extend < 0) ? matrix_->default_gaps()
+                                                    : opts.gap;
+  isa_ = (opts.isa == Isa::Auto) ? simd::best_isa() : opts.isa;
+  if (!simd::isa_available(isa_)) {
+    throw Error(std::string("Aligner: ISA not available on this CPU: ") +
+                to_string(isa_));
+  }
+}
+
+void Aligner::build(int bits, Approach approach) {
+  detail::EngineSpec spec;
+  spec.klass = opts_.klass;
+  spec.approach = approach;
+  spec.isa = isa_;
+  spec.bits = bits;
+  spec.emul_lanes = opts_.emul_lanes;
+  spec.matrix = matrix_;
+  spec.gap = gap_;
+  spec.hscan = opts_.hscan;
+  spec.sg_ends = opts_.sg_ends;
+  engine_ = detail::make_engine(spec);
+  cur_bits_ = bits;
+  cur_approach_ = approach;
+  engine_->set_query(query_);
+}
+
+void Aligner::set_query(std::span<const std::uint8_t> query) {
+  query_.assign(query.begin(), query.end());
+  if (engine_) engine_->set_query(query_);
+}
+
+AlignResult Aligner::align(std::span<const std::uint8_t> db) {
+  // Resolve the element width for this problem instance.
+  int bits = elem_bits(opts_.width);
+  if (bits == 0) {
+    // Auto: narrowest safe width, never narrower than a previous build
+    // (avoids rebuild thrash across a database sweep).
+    bits = 8;
+    while (bits < 32 &&
+           !width_is_safe(opts_.klass, bits, query_.size(), db.size(), gap_, *matrix_)) {
+      bits *= 2;
+    }
+    if (bits < cur_bits_) bits = cur_bits_;
+    // The emulated backend only supports 16/32-bit elements.
+    if (isa_ == Isa::Emul && bits < 16) bits = 16;
+  }
+
+  // Resolve the approach (Table IV when Auto).
+  Approach approach = opts_.approach;
+  if (approach == Approach::Auto) {
+    const int lanes = (isa_ == Isa::Emul) ? opts_.emul_lanes
+                                          : simd::native_lanes(isa_, bits);
+    approach = opts_.prescription
+                   ? opts_.prescription->choose(opts_.klass, lanes, query_.size())
+                   : prescribe(opts_.klass, lanes, query_.size());
+  }
+
+  if (!engine_ || bits != cur_bits_ || approach != cur_approach_) {
+    build(bits, approach);
+  }
+
+  AlignResult res = engine_->align(db);
+  // Overflow retry ladder (only when the user left the width to us).
+  while (res.overflowed && opts_.width == ElemWidth::Auto && cur_bits_ < 32) {
+    int wider = cur_bits_ * 2;
+    if (opts_.approach == Approach::Auto) {
+      const int lanes = (isa_ == Isa::Emul) ? opts_.emul_lanes
+                                            : simd::native_lanes(isa_, wider);
+      approach = opts_.prescription
+                     ? opts_.prescription->choose(opts_.klass, lanes, query_.size())
+                     : prescribe(opts_.klass, lanes, query_.size());
+    }
+    build(wider, approach);
+    res = engine_->align(db);
+  }
+  return res;
+}
+
+AlignResult align(const Sequence& query, const Sequence& db, const Options& opts) {
+  return align(query.codes(), db.codes(), opts);
+}
+
+AlignResult align(std::span<const std::uint8_t> query,
+                  std::span<const std::uint8_t> db, const Options& opts) {
+  Aligner a(opts);
+  a.set_query(query);
+  return a.align(db);
+}
+
+}  // namespace valign

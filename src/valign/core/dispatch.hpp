@@ -1,0 +1,133 @@
+// Public alignment API: runtime selection of class, approach, ISA and element
+// width, with automatic overflow retry at wider elements.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "valign/common.hpp"
+#include "valign/core/prescribe.hpp"
+#include "valign/core/scan.hpp"  // HscanKind
+#include "valign/io/sequence.hpp"
+#include "valign/matrices/matrix.hpp"
+
+namespace valign {
+
+/// Options controlling a dispatched alignment.
+struct Options {
+  AlignClass klass = AlignClass::Local;
+  /// Auto applies the paper's Table IV decision (prescribe()).
+  Approach approach = Approach::Auto;
+  /// Auto picks the widest ISA the CPU supports.
+  Isa isa = Isa::Auto;
+  /// Auto starts at the narrowest element width that is provably safe for
+  /// the inputs and scoring scheme, retrying wider on overflow.
+  ElemWidth width = ElemWidth::Auto;
+  const ScoreMatrix* matrix = nullptr;  ///< Defaults to BLOSUM62.
+  /// Negative-open sentinel means "use the matrix's NCBI default penalties".
+  GapPenalty gap{-1, -1};
+  HscanKind hscan = HscanKind::Linear;
+  /// Lane count when isa == Emul (one of 4, 8, 16, 32, 64).
+  int emul_lanes = 16;
+  /// Free-end-gap configuration for AlignClass::SemiGlobal (ignored
+  /// otherwise). Only Scalar/Striped/Scan honour non-default settings.
+  SemiGlobalEnds sg_ends{};
+  /// Decision table consulted by Approach::Auto. Null = the paper's
+  /// Table IV (prescribe()); point at a calibrate() result to use
+  /// host-measured crossovers instead. Not owned; must outlive the Aligner.
+  const struct PrescriptionTable* prescription = nullptr;
+};
+
+namespace detail {
+
+/// Type-erased engine behind the runtime dispatcher.
+class EngineBase {
+ public:
+  virtual ~EngineBase() = default;
+  virtual void set_query(std::span<const std::uint8_t> q) = 0;
+  virtual AlignResult align(std::span<const std::uint8_t> db) = 0;
+  [[nodiscard]] virtual int lanes() const noexcept = 0;
+  [[nodiscard]] virtual int bits() const noexcept = 0;
+  [[nodiscard]] virtual Approach approach() const noexcept = 0;
+};
+
+/// Everything needed to construct one concrete engine.
+struct EngineSpec {
+  AlignClass klass = AlignClass::Local;
+  Approach approach = Approach::Striped;  // never Auto here
+  Isa isa = Isa::Emul;                    // never Auto here
+  int bits = 32;
+  int emul_lanes = 16;
+  const ScoreMatrix* matrix = nullptr;
+  GapPenalty gap{11, 1};
+  HscanKind hscan = HscanKind::Linear;
+  SemiGlobalEnds sg_ends{};
+};
+
+// Per-ISA factories (one translation unit each, compiled with the matching
+// target flags). Return nullptr for unsupported combinations.
+[[nodiscard]] std::unique_ptr<EngineBase> make_engine_sse(const EngineSpec& s);
+[[nodiscard]] std::unique_ptr<EngineBase> make_engine_avx2(const EngineSpec& s);
+[[nodiscard]] std::unique_ptr<EngineBase> make_engine_avx512(const EngineSpec& s);
+[[nodiscard]] std::unique_ptr<EngineBase> make_engine_emul(const EngineSpec& s);
+[[nodiscard]] std::unique_ptr<EngineBase> make_engine_scalar(const EngineSpec& s);
+
+[[nodiscard]] std::unique_ptr<EngineBase> make_engine(const EngineSpec& s);
+
+}  // namespace detail
+
+/// True when element width `bits` can represent every intermediate value of
+/// aligning a query of length `qlen` against a database sequence of length
+/// `dlen` under the given class and scoring scheme.
+///
+/// Local alignments always qualify (values are clamped at zero, so low-side
+/// saturation is harmless and high-side saturation is detected at run time).
+/// Global/semi-global alignments additionally require the worst-case negative
+/// excursion to fit, because low-side saturation there is silent.
+[[nodiscard]] bool width_is_safe(AlignClass klass, int bits, std::size_t qlen,
+                                 std::size_t dlen, GapPenalty gap,
+                                 const ScoreMatrix& matrix) noexcept;
+
+/// Reusable dispatcher: resolves Options against the host CPU, builds the
+/// engine lazily, applies Table IV for Approach::Auto, and transparently
+/// retries at a wider element width when a result overflows.
+class Aligner {
+ public:
+  explicit Aligner(Options opts = {});
+
+  /// The scoring scheme in effect (Options defaults resolved).
+  [[nodiscard]] const ScoreMatrix& matrix() const noexcept { return *matrix_; }
+  [[nodiscard]] GapPenalty gap() const noexcept { return gap_; }
+  [[nodiscard]] Isa isa() const noexcept { return isa_; }
+  [[nodiscard]] const Options& options() const noexcept { return opts_; }
+
+  void set_query(std::span<const std::uint8_t> query);
+  void set_query(const Sequence& query) { set_query(query.codes()); }
+
+  /// Aligns the current query against `db`. Never returns an overflowed
+  /// result when width is Auto: overflow triggers a rebuild at the next
+  /// wider element width and a re-run.
+  AlignResult align(std::span<const std::uint8_t> db);
+  AlignResult align(const Sequence& db) { return align(db.codes()); }
+
+ private:
+  void build(int bits, Approach approach);
+
+  Options opts_;
+  const ScoreMatrix* matrix_;
+  GapPenalty gap_;
+  Isa isa_;
+  std::vector<std::uint8_t> query_;
+  std::unique_ptr<detail::EngineBase> engine_;
+  int cur_bits_ = 0;
+  Approach cur_approach_ = Approach::Auto;
+};
+
+/// One-shot convenience wrapper around Aligner.
+[[nodiscard]] AlignResult align(const Sequence& query, const Sequence& db,
+                                const Options& opts = {});
+[[nodiscard]] AlignResult align(std::span<const std::uint8_t> query,
+                                std::span<const std::uint8_t> db,
+                                const Options& opts = {});
+
+}  // namespace valign

@@ -1,0 +1,16 @@
+// AVX2 engine factory.
+#include "valign/core/dispatch_impl.hpp"
+
+namespace valign::detail {
+
+std::unique_ptr<EngineBase> make_engine_avx2(const EngineSpec& s) {
+#if defined(__AVX2__)
+  if (!simd::isa_available(Isa::AVX2)) return nullptr;
+  return make_native<simd::V256>(s);
+#else
+  (void)s;
+  return nullptr;
+#endif
+}
+
+}  // namespace valign::detail

@@ -1,0 +1,16 @@
+// AVX-512BW engine factory.
+#include "valign/core/dispatch_impl.hpp"
+
+namespace valign::detail {
+
+std::unique_ptr<EngineBase> make_engine_avx512(const EngineSpec& s) {
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+  if (!simd::isa_available(Isa::AVX512)) return nullptr;
+  return make_native<simd::V512>(s);
+#else
+  (void)s;
+  return nullptr;
+#endif
+}
+
+}  // namespace valign::detail

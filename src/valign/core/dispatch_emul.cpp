@@ -1,0 +1,32 @@
+// Emulated-backend engine factory: any power-of-two lane count in {4..64},
+// 16- or 32-bit elements, Striped and Scan only (the baselines are reached
+// through their templates directly when emulation is wanted).
+#include "valign/core/dispatch_impl.hpp"
+
+namespace valign::detail {
+
+namespace {
+
+template <class T>
+std::unique_ptr<EngineBase> make_emul_t(const EngineSpec& s) {
+  switch (s.emul_lanes) {
+    case 4: return make_for_vec<simd::VEmul<T, 4>>(s, /*striped_scan_only=*/true);
+    case 8: return make_for_vec<simd::VEmul<T, 8>>(s, true);
+    case 16: return make_for_vec<simd::VEmul<T, 16>>(s, true);
+    case 32: return make_for_vec<simd::VEmul<T, 32>>(s, true);
+    case 64: return make_for_vec<simd::VEmul<T, 64>>(s, true);
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<EngineBase> make_engine_emul(const EngineSpec& s) {
+  switch (s.bits) {
+    case 16: return make_emul_t<std::int16_t>(s);
+    case 32: return make_emul_t<std::int32_t>(s);
+    default: return nullptr;
+  }
+}
+
+}  // namespace valign::detail

@@ -1,0 +1,100 @@
+// Shared template machinery for the per-ISA engine factories.
+// Included only by the dispatch_*.cpp translation units.
+#pragma once
+
+#include "valign/core/blocked.hpp"
+#include "valign/core/diagonal.hpp"
+#include "valign/core/dispatch.hpp"
+#include "valign/core/scan.hpp"
+#include "valign/core/striped.hpp"
+
+namespace valign::detail {
+
+template <class Eng>
+class EngineHolder final : public EngineBase {
+ public:
+  explicit EngineHolder(Eng eng) : eng_(std::move(eng)) {}
+
+  void set_query(std::span<const std::uint8_t> q) override { eng_.set_query(q); }
+  AlignResult align(std::span<const std::uint8_t> db) override { return eng_.align(db); }
+  [[nodiscard]] int lanes() const noexcept override { return Eng::kLanes; }
+  [[nodiscard]] int bits() const noexcept override {
+    return Eng::kLanes == 1 ? 32 : 8 * int(sizeof(typename Eng::T));
+  }
+  [[nodiscard]] Approach approach() const noexcept override { return Eng::kApproach; }
+
+ private:
+  Eng eng_;
+};
+
+// Scalar has no vector element type; specialize bits().
+template <AlignClass C>
+class ScalarHolder final : public EngineBase {
+ public:
+  explicit ScalarHolder(ScalarAligner<C> eng) : eng_(std::move(eng)) {}
+  void set_query(std::span<const std::uint8_t> q) override { eng_.set_query(q); }
+  AlignResult align(std::span<const std::uint8_t> db) override { return eng_.align(db); }
+  [[nodiscard]] int lanes() const noexcept override { return 1; }
+  [[nodiscard]] int bits() const noexcept override { return 32; }
+  [[nodiscard]] Approach approach() const noexcept override { return Approach::Scalar; }
+
+ private:
+  ScalarAligner<C> eng_;
+};
+
+/// `vector_only` disables Blocked/Diagonal (used by the emulated factory to
+/// bound template bloat; those baselines are exercised through their
+/// templates directly).
+template <AlignClass C, simd::SimdVec V>
+std::unique_ptr<EngineBase> make_for_class_vec(const EngineSpec& s, bool striped_scan_only) {
+  switch (s.approach) {
+    case Approach::Striped:
+      return std::make_unique<EngineHolder<StripedAligner<C, V>>>(
+          StripedAligner<C, V>(*s.matrix, s.gap, s.sg_ends));
+    case Approach::Scan:
+      return std::make_unique<EngineHolder<ScanAligner<C, V>>>(
+          ScanAligner<C, V>(*s.matrix, s.gap, s.hscan, s.sg_ends));
+    case Approach::Blocked:
+      if (striped_scan_only ||
+          (C == AlignClass::SemiGlobal && !s.sg_ends.all_free())) {
+        return nullptr;  // Blocked implements classic all-free SG only
+      }
+      return std::make_unique<EngineHolder<BlockedAligner<C, V>>>(
+          BlockedAligner<C, V>(*s.matrix, s.gap));
+    case Approach::Diagonal:
+      if (striped_scan_only ||
+          (C == AlignClass::SemiGlobal && !s.sg_ends.all_free())) {
+        return nullptr;  // Diagonal implements classic all-free SG only
+      }
+      return std::make_unique<EngineHolder<DiagonalAligner<C, V>>>(
+          DiagonalAligner<C, V>(*s.matrix, s.gap));
+    default:
+      return nullptr;
+  }
+}
+
+template <simd::SimdVec V>
+std::unique_ptr<EngineBase> make_for_vec(const EngineSpec& s,
+                                         bool striped_scan_only = false) {
+  switch (s.klass) {
+    case AlignClass::Global:
+      return make_for_class_vec<AlignClass::Global, V>(s, striped_scan_only);
+    case AlignClass::SemiGlobal:
+      return make_for_class_vec<AlignClass::SemiGlobal, V>(s, striped_scan_only);
+    case AlignClass::Local:
+      return make_for_class_vec<AlignClass::Local, V>(s, striped_scan_only);
+  }
+  return nullptr;
+}
+
+template <template <class> class VecOf>
+std::unique_ptr<EngineBase> make_native(const EngineSpec& s) {
+  switch (s.bits) {
+    case 8: return make_for_vec<VecOf<std::int8_t>>(s);
+    case 16: return make_for_vec<VecOf<std::int16_t>>(s);
+    case 32: return make_for_vec<VecOf<std::int32_t>>(s);
+    default: return nullptr;
+  }
+}
+
+}  // namespace valign::detail

@@ -1,0 +1,16 @@
+// SSE4.1 engine factory.
+#include "valign/core/dispatch_impl.hpp"
+
+namespace valign::detail {
+
+std::unique_ptr<EngineBase> make_engine_sse(const EngineSpec& s) {
+#if defined(__SSE4_1__)
+  if (!simd::isa_available(Isa::SSE41)) return nullptr;
+  return make_native<simd::V128>(s);
+#else
+  (void)s;
+  return nullptr;
+#endif
+}
+
+}  // namespace valign::detail

@@ -1,0 +1,170 @@
+// Helpers shared by the vectorized alignment engines.
+#pragma once
+
+#include <cstring>
+
+#include "valign/common.hpp"
+#include "valign/core/scalar.hpp"  // detail::edge_boundary
+#include "valign/instrument/counting_vec.hpp"
+#include "valign/simd/simd.hpp"
+
+namespace valign::detail {
+
+/// Class-C boundary value H[r][-1] / H[-1][j], clamped into element type T
+/// (classic semantics: SG = all ends free).
+template <AlignClass C, class T>
+[[nodiscard]] inline T edge_elem(std::int64_t index_plus_1, GapPenalty gap) noexcept {
+  return clamp_to<T>(edge_boundary<C>(index_plus_1, gap));
+}
+
+/// First-column boundary H[r][-1], end-flag aware, clamped into T.
+template <AlignClass C, class T>
+[[nodiscard]] inline T col_edge_elem(std::int64_t index_plus_1, GapPenalty gap,
+                                     const SemiGlobalEnds& ends) noexcept {
+  return clamp_to<T>(col_boundary<C>(index_plus_1, gap, ends));
+}
+
+/// First-row boundary H[-1][j], end-flag aware, clamped into T.
+template <AlignClass C, class T>
+[[nodiscard]] inline T row_edge_elem(std::int64_t index_plus_1, GapPenalty gap,
+                                     const SemiGlobalEnds& ends) noexcept {
+  return clamp_to<T>(row_boundary<C>(index_plus_1, gap, ends));
+}
+
+/// Initialize the striped H array to the first-column boundary and E to
+/// neg_inf. Padded rows (r >= qlen) get neg_inf for NW/SG so they stay at the
+/// bottom of the range; for SW everything real starts at zero. `row_offset`
+/// shifts the boundary formula for tiled processing (rows [offset, offset+…)).
+template <AlignClass C, class T>
+inline void init_striped_column(T* h, T* e, std::size_t seglen, int lanes,
+                                std::size_t qlen, GapPenalty gap,
+                                const SemiGlobalEnds& ends = {},
+                                std::size_t row_offset = 0) noexcept {
+  constexpr T kNegInf = simd::ElemTraits<T>::neg_inf;
+  for (std::size_t t = 0; t < seglen; ++t) {
+    for (int s = 0; s < lanes; ++s) {
+      const std::size_t r = static_cast<std::size_t>(s) * seglen + t;
+      const std::size_t i = t * static_cast<std::size_t>(lanes) +
+                            static_cast<std::size_t>(s);
+      if constexpr (C == AlignClass::Local) {
+        h[i] = 0;
+      } else {
+        h[i] = (r < qlen)
+                   ? col_edge_elem<C, T>(
+                         static_cast<std::int64_t>(row_offset + r) + 1, gap, ends)
+                   : kNegInf;
+      }
+      e[i] = kNegInf;
+    }
+  }
+}
+
+/// Value of query row r in a striped array.
+template <class T>
+[[nodiscard]] inline T striped_get(const T* h, std::size_t seglen, int lanes,
+                                   std::size_t r) noexcept {
+  const std::size_t s = r / seglen;
+  const std::size_t t = r % seglen;
+  return h[t * static_cast<std::size_t>(lanes) + s];
+}
+
+/// Smallest query row holding `value` in a striped array (row-major order),
+/// restricted to real rows. Returns -1 when absent.
+template <class T>
+[[nodiscard]] inline std::int32_t striped_find_row(const T* h, std::size_t seglen,
+                                                   int lanes, std::size_t qlen,
+                                                   T value) noexcept {
+  for (std::size_t r = 0; r < qlen; ++r) {
+    if (striped_get(h, seglen, lanes, r) == value) {
+      return static_cast<std::int32_t>(r);
+    }
+  }
+  return -1;
+}
+
+/// Running best tracker for Local (SW) engines: keeps the global per-lane max
+/// and snapshots the H column whenever the global maximum improves, so the
+/// end position can be recovered afterwards (the parasail technique).
+template <simd::SimdVec V>
+struct LocalBest {
+  using T = typename V::value_type;
+
+  T best = 0;
+  std::int32_t best_j = -1;
+  AlignedBuffer<T> snapshot;
+
+  void prepare(std::size_t seglen) {
+    snapshot.resize(seglen * static_cast<std::size_t>(V::lanes));
+    best = 0;
+    best_j = -1;
+  }
+
+  /// Call after finishing column j with the engine's running max vector and
+  /// the column's stored H array.
+  void end_column(V vmax, const T* h, std::size_t seglen, std::int32_t j) {
+    const T m = vmax.hmax();
+    if (m > best) {
+      best = m;
+      best_j = j;
+      std::memcpy(snapshot.data(), h,
+                  seglen * static_cast<std::size_t>(V::lanes) * sizeof(T));
+    }
+  }
+
+  /// Fill the SW portion of an AlignResult.
+  void finish(AlignResult& res, std::size_t seglen, std::size_t qlen) const {
+    res.score = best;
+    res.db_end = best_j;
+    res.query_end = (best_j >= 0)
+                        ? striped_find_row(snapshot.data(), seglen, V::lanes, qlen, best)
+                        : -1;
+    if (best >= simd::ElemTraits<T>::max_value) res.overflowed = true;
+  }
+};
+
+/// Compile-time ISA tag for a vector backend (CountingVec is transparent).
+template <class V>
+struct IsaOf {
+  static constexpr Isa value = Isa::Emul;
+};
+#if defined(__SSE4_1__)
+template <class T>
+struct IsaOf<simd::V128<T>> {
+  static constexpr Isa value = Isa::SSE41;
+};
+#endif
+#if defined(__AVX2__)
+template <class T>
+struct IsaOf<simd::V256<T>> {
+  static constexpr Isa value = Isa::AVX2;
+};
+#endif
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+template <class T>
+struct IsaOf<simd::V512<T>> {
+  static constexpr Isa value = Isa::AVX512;
+};
+#endif
+template <class V>
+struct IsaOf<instrument::CountingVec<V>> {
+  static constexpr Isa value = IsaOf<V>::value;
+};
+
+template <class V>
+[[nodiscard]] constexpr Isa isa_of() noexcept {
+  return IsaOf<V>::value;
+}
+
+/// Rail check for NW/SG answers on saturating element types.
+template <class T>
+[[nodiscard]] inline bool answer_hit_rails(std::int64_t score) noexcept {
+  if constexpr (simd::ElemTraits<T>::saturating) {
+    return score >= simd::ElemTraits<T>::max_value ||
+           score <= simd::ElemTraits<T>::min_value + 1;
+  } else {
+    (void)score;
+    return false;
+  }
+}
+
+}  // namespace valign::detail

@@ -1,0 +1,43 @@
+#include "valign/core/prescribe.hpp"
+
+namespace valign {
+
+namespace {
+
+// Table IV, columns "4 Lanes / 8 Lanes / 16 Lanes".
+constexpr int kCross[3][3] = {
+    {149, 149, 149},  // NW
+    {121, 188, 253},  // SG
+    {77, 77, 152},    // SW
+};
+
+int class_row(AlignClass klass) {
+  switch (klass) {
+    case AlignClass::Global: return 0;
+    case AlignClass::SemiGlobal: return 1;
+    case AlignClass::Local: return 2;
+  }
+  return 2;
+}
+
+int lane_col(int lanes) {
+  if (lanes <= 4) return 0;
+  if (lanes <= 8) return 1;
+  return 2;
+}
+
+}  // namespace
+
+int prescribe_crossover(AlignClass klass, int lanes) noexcept {
+  return kCross[class_row(klass)][lane_col(lanes)];
+}
+
+Approach prescribe(AlignClass klass, int lanes, std::size_t qlen) noexcept {
+  const bool below = qlen < static_cast<std::size_t>(prescribe_crossover(klass, lanes));
+  if (klass == AlignClass::Global) {
+    return below ? Approach::Striped : Approach::Scan;
+  }
+  return below ? Approach::Scan : Approach::Striped;
+}
+
+}  // namespace valign

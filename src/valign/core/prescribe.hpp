@@ -1,0 +1,22 @@
+// Prescriptive algorithm choice (Table IV of the paper).
+#pragma once
+
+#include <cstddef>
+
+#include "valign/common.hpp"
+
+namespace valign {
+
+/// Crossover query length between the short- and long-query regimes for the
+/// given class and lane count (Table IV). Lane counts are clamped to the
+/// measured 4/8/16 columns.
+[[nodiscard]] int prescribe_crossover(AlignClass klass, int lanes) noexcept;
+
+/// The paper's decision table: which of Striped/Scan to use for a query of
+/// length `qlen` at `lanes` vector lanes.
+///
+///   NW: Striped below the crossover, Scan above.
+///   SG/SW: Scan below the crossover, Striped above.
+[[nodiscard]] Approach prescribe(AlignClass klass, int lanes, std::size_t qlen) noexcept;
+
+}  // namespace valign

@@ -1,0 +1,115 @@
+// Query profiles: substitution scores pre-gathered per query residue.
+//
+// Both Striped and Scan consume the same striped layout (Farrar 2007): for a
+// vector of p lanes and segment length L = ceil(n/p), lane s of epoch t holds
+// query row r = s*L + t. The profile stores, for every database residue code
+// c, the vector sequence W(query[s*L+t], c) for t = 0..L-1.
+//
+// Rows beyond the query length ("padding", the light-gray cells of Fig. 1)
+// score the element type's neg_inf so padded cells can never contaminate real
+// ones (they saturate/clamp low for NW/SG and clamp to zero for SW).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "valign/common.hpp"
+#include "valign/matrices/matrix.hpp"
+#include "valign/simd/vec_traits.hpp"
+
+namespace valign {
+
+/// Striped query profile for element type T.
+template <class T>
+class StripedProfile {
+ public:
+  StripedProfile() = default;
+
+  void build(const ScoreMatrix& matrix, std::span<const std::uint8_t> query,
+             int lanes) {
+    lanes_ = lanes;
+    qlen_ = query.size();
+    seglen_ = (qlen_ + static_cast<std::size_t>(lanes) - 1) /
+              static_cast<std::size_t>(lanes);
+    if (seglen_ == 0) seglen_ = 1;  // keep one (fully padded) epoch for n==0
+    alpha_ = matrix.size();
+    const std::size_t per_code = seglen_ * static_cast<std::size_t>(lanes);
+    buf_.resize(per_code * static_cast<std::size_t>(alpha_));
+    constexpr T pad = simd::ElemTraits<T>::neg_inf;
+    for (int c = 0; c < alpha_; ++c) {
+      const std::span<const std::int8_t> row = matrix.row(c);
+      T* dst = buf_.data() + static_cast<std::size_t>(c) * per_code;
+      for (std::size_t t = 0; t < seglen_; ++t) {
+        for (int s = 0; s < lanes; ++s) {
+          const std::size_t r = static_cast<std::size_t>(s) * seglen_ + t;
+          dst[t * static_cast<std::size_t>(lanes) + static_cast<std::size_t>(s)] =
+              (r < qlen_) ? static_cast<T>(row[query[r]]) : pad;
+        }
+      }
+    }
+  }
+
+  /// Pointer to epoch `t`'s vector for database residue code `c`.
+  [[nodiscard]] const T* epoch(int c, std::size_t t) const noexcept {
+    return buf_.data() +
+           (static_cast<std::size_t>(c) * seglen_ + t) * static_cast<std::size_t>(lanes_);
+  }
+
+  [[nodiscard]] int lanes() const noexcept { return lanes_; }
+  [[nodiscard]] std::size_t seglen() const noexcept { return seglen_; }
+  [[nodiscard]] std::size_t query_length() const noexcept { return qlen_; }
+
+ private:
+  detail::AlignedBuffer<T> buf_;
+  int lanes_ = 0;
+  int alpha_ = 0;
+  std::size_t seglen_ = 0;
+  std::size_t qlen_ = 0;
+};
+
+/// Sequential (blocked-layout) query profile: lane s of block b holds query
+/// row b*lanes + s. Used by the Blocked engine (Rognes & Seeberg 2000).
+template <class T>
+class SequentialProfile {
+ public:
+  SequentialProfile() = default;
+
+  void build(const ScoreMatrix& matrix, std::span<const std::uint8_t> query,
+             int lanes) {
+    lanes_ = lanes;
+    qlen_ = query.size();
+    blocks_ = (qlen_ + static_cast<std::size_t>(lanes) - 1) /
+              static_cast<std::size_t>(lanes);
+    if (blocks_ == 0) blocks_ = 1;
+    alpha_ = matrix.size();
+    const std::size_t per_code = blocks_ * static_cast<std::size_t>(lanes);
+    buf_.resize(per_code * static_cast<std::size_t>(alpha_));
+    constexpr T pad = simd::ElemTraits<T>::neg_inf;
+    for (int c = 0; c < alpha_; ++c) {
+      const std::span<const std::int8_t> row = matrix.row(c);
+      T* dst = buf_.data() + static_cast<std::size_t>(c) * per_code;
+      for (std::size_t r = 0; r < per_code; ++r) {
+        dst[r] = (r < qlen_) ? static_cast<T>(row[query[r]]) : pad;
+      }
+    }
+  }
+
+  /// Pointer to block `b`'s vector for database residue code `c`.
+  [[nodiscard]] const T* block(int c, std::size_t b) const noexcept {
+    return buf_.data() +
+           (static_cast<std::size_t>(c) * blocks_ + b) * static_cast<std::size_t>(lanes_);
+  }
+
+  [[nodiscard]] int lanes() const noexcept { return lanes_; }
+  [[nodiscard]] std::size_t blocks() const noexcept { return blocks_; }
+  [[nodiscard]] std::size_t query_length() const noexcept { return qlen_; }
+
+ private:
+  detail::AlignedBuffer<T> buf_;
+  int lanes_ = 0;
+  int alpha_ = 0;
+  std::size_t blocks_ = 0;
+  std::size_t qlen_ = 0;
+};
+
+}  // namespace valign

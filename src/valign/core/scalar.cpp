@@ -1,0 +1,283 @@
+#include "valign/core/scalar.hpp"
+
+#include <limits>
+
+namespace valign {
+
+AlignResult align_scalar(AlignClass klass, const ScoreMatrix& matrix, GapPenalty gap,
+                         std::span<const std::uint8_t> query,
+                         std::span<const std::uint8_t> db) {
+  switch (klass) {
+    case AlignClass::Global: {
+      ScalarAligner<AlignClass::Global> a(matrix, gap);
+      a.set_query(query);
+      return a.align(db);
+    }
+    case AlignClass::SemiGlobal: {
+      ScalarAligner<AlignClass::SemiGlobal> a(matrix, gap);
+      a.set_query(query);
+      return a.align(db);
+    }
+    case AlignClass::Local: {
+      ScalarAligner<AlignClass::Local> a(matrix, gap);
+      a.set_query(query);
+      return a.align(db);
+    }
+  }
+  throw Error("align_scalar: bad alignment class");
+}
+
+namespace {
+
+constexpr std::int64_t kNegInf = std::numeric_limits<std::int32_t>::min() / 2;
+
+std::int64_t col_edge(AlignClass klass, std::int64_t index_plus_1, GapPenalty gap,
+                      const SemiGlobalEnds& ends) {
+  switch (klass) {
+    case AlignClass::Global:
+      return detail::col_boundary<AlignClass::Global>(index_plus_1, gap, ends);
+    case AlignClass::SemiGlobal:
+      return detail::col_boundary<AlignClass::SemiGlobal>(index_plus_1, gap, ends);
+    case AlignClass::Local:
+      return 0;
+  }
+  return 0;
+}
+
+std::int64_t row_edge(AlignClass klass, std::int64_t index_plus_1, GapPenalty gap,
+                      const SemiGlobalEnds& ends) {
+  switch (klass) {
+    case AlignClass::Global:
+      return detail::row_boundary<AlignClass::Global>(index_plus_1, gap, ends);
+    case AlignClass::SemiGlobal:
+      return detail::row_boundary<AlignClass::SemiGlobal>(index_plus_1, gap, ends);
+    case AlignClass::Local:
+      return 0;
+  }
+  return 0;
+}
+
+/// Run-length encode a reversed op string into CIGAR form.
+std::string to_cigar(const std::string& ops) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    std::size_t j = i;
+    while (j < ops.size() && ops[j] == ops[i]) ++j;
+    out += std::to_string(j - i);
+    out += ops[i];
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+Traceback align_traceback(AlignClass klass, const ScoreMatrix& matrix, GapPenalty gap,
+                          const Sequence& query, const Sequence& db,
+                          SemiGlobalEnds ends, std::size_t max_cells) {
+  const std::size_t n = query.size();
+  const std::size_t m = db.size();
+  const std::size_t rows = n + 1;
+  const std::size_t cols = m + 1;
+  if (rows * cols > max_cells) {
+    throw Error("align_traceback: table of " + std::to_string(rows * cols) +
+                " cells exceeds limit " + std::to_string(max_cells));
+  }
+
+  const std::int64_t o = gap.open;
+  const std::int64_t e = gap.extend;
+  auto q = query.codes();
+  auto d = db.codes();
+
+  std::vector<std::int64_t> H(rows * cols), E(rows * cols), F(rows * cols);
+  auto at = [cols](std::size_t r, std::size_t j) { return r * cols + j; };
+
+  H[at(0, 0)] = 0;
+  E[at(0, 0)] = kNegInf;
+  F[at(0, 0)] = kNegInf;
+  for (std::size_t r = 1; r < rows; ++r) {
+    H[at(r, 0)] = col_edge(klass, static_cast<std::int64_t>(r), gap, ends);
+    E[at(r, 0)] = kNegInf;
+    F[at(r, 0)] = kNegInf;
+  }
+  for (std::size_t j = 1; j < cols; ++j) {
+    H[at(0, j)] = row_edge(klass, static_cast<std::int64_t>(j), gap, ends);
+    E[at(0, j)] = kNegInf;
+    F[at(0, j)] = kNegInf;
+  }
+
+  std::int64_t best = (klass == AlignClass::Local) ? 0 : kNegInf;
+  std::size_t best_r = 0, best_j = 0;  // padded coords
+
+  for (std::size_t j = 1; j < cols; ++j) {
+    const std::span<const std::int8_t> wrow = matrix.row(d[j - 1]);
+    for (std::size_t r = 1; r < rows; ++r) {
+      const std::int64_t ev = std::max(E[at(r, j - 1)], H[at(r, j - 1)] - o) - e;
+      const std::int64_t fv = std::max(F[at(r - 1, j)], H[at(r - 1, j)] - o) - e;
+      std::int64_t hv = H[at(r - 1, j - 1)] + wrow[q[r - 1]];
+      hv = std::max({hv, ev, fv});
+      if (klass == AlignClass::Local) hv = std::max<std::int64_t>(hv, 0);
+      E[at(r, j)] = ev;
+      F[at(r, j)] = fv;
+      H[at(r, j)] = hv;
+      const bool sg_admissible =
+          (r == rows - 1 && ends.free_query_end) ||
+          (j == cols - 1 && ends.free_db_end);
+      if ((klass == AlignClass::Local ||
+           (klass == AlignClass::SemiGlobal && sg_admissible)) &&
+          hv > best) {
+        best = hv;
+        best_r = r;
+        best_j = j;
+      }
+    }
+  }
+
+  if (klass == AlignClass::Global) {
+    best = H[at(n, m)];
+    best_r = n;
+    best_j = m;
+  }
+  if (klass == AlignClass::SemiGlobal) {
+    // Both sequences fully consumed is always admissible (this also covers
+    // empty inputs, whose score is the corner boundary value).
+    if (H[at(n, m)] > best) {
+      best = H[at(n, m)];
+      best_r = n;
+      best_j = m;
+    }
+    // Boundary endpoints: no database consumed / no query consumed.
+    if (ends.free_query_end && H[at(n, 0)] > best) {
+      best = H[at(n, 0)];
+      best_r = n;
+      best_j = 0;
+    }
+    if (ends.free_db_end && H[at(0, m)] > best) {
+      best = H[at(0, m)];
+      best_r = 0;
+      best_j = m;
+    }
+  }
+
+  Traceback tb;
+  tb.score = static_cast<std::int32_t>(best);
+  tb.query_end = static_cast<std::int32_t>(best_r) - 1;
+  tb.db_end = static_cast<std::int32_t>(best_j) - 1;
+
+  // Walk back emitting ops (in reverse): M pair, D gap-in-db, I gap-in-query.
+  std::string ops;
+  enum class State { H, E, F };
+  State st = State::H;
+  std::size_t r = best_r, j = best_j;
+
+  auto at_start = [&] {
+    if (klass == AlignClass::Local) return st == State::H && H[at(r, j)] == 0;
+    if (r == 0 && j == 0) return true;
+    if (klass == AlignClass::SemiGlobal) {
+      if (r == 0 && ends.free_query_begin) return true;
+      if (j == 0 && ends.free_db_begin) return true;
+    }
+    return false;
+  };
+
+  while (!at_start()) {
+    if (klass != AlignClass::Local && st == State::H && (r == 0 || j == 0)) {
+      // Penalized boundary gaps (global alignment, or a semi-global variant
+      // whose begin is pinned).
+      while (j > 0) { ops += 'I'; --j; }
+      while (r > 0) { ops += 'D'; --r; }
+      break;
+    }
+    switch (st) {
+      case State::H: {
+        const std::int64_t hv = H[at(r, j)];
+        const std::int64_t diag =
+            H[at(r - 1, j - 1)] + matrix.score(d[j - 1], q[r - 1]);
+        if (hv == diag) {
+          ops += 'M';
+          --r;
+          --j;
+        } else if (hv == E[at(r, j)]) {
+          st = State::E;
+        } else if (hv == F[at(r, j)]) {
+          st = State::F;
+        } else {
+          throw Error("align_traceback: inconsistent H cell");
+        }
+        break;
+      }
+      case State::E: {
+        ops += 'I';
+        const std::int64_t ev = E[at(r, j)];
+        st = (ev == E[at(r, j - 1)] - e) ? State::E : State::H;
+        --j;
+        break;
+      }
+      case State::F: {
+        ops += 'D';
+        const std::int64_t fv = F[at(r, j)];
+        st = (fv == F[at(r - 1, j)] - e) ? State::F : State::H;
+        --r;
+        break;
+      }
+    }
+  }
+
+  tb.query_begin = static_cast<std::int32_t>(r);
+  tb.db_begin = static_cast<std::int32_t>(j);
+
+  std::reverse(ops.begin(), ops.end());
+  tb.cigar = to_cigar(ops);
+
+  // Render the alignment strings.
+  std::size_t qi = r, dj = j;
+  const Alphabet& qa = query.alphabet();
+  const Alphabet& da = db.alphabet();
+  tb.aligned_query.reserve(ops.size());
+  tb.aligned_db.reserve(ops.size());
+  tb.midline.reserve(ops.size());
+  for (char op : ops) {
+    switch (op) {
+      case 'M': {
+        const char qc = qa.decode(q[qi]);
+        const char dc = da.decode(d[dj]);
+        tb.aligned_query += qc;
+        tb.aligned_db += dc;
+        if (qc == dc) {
+          tb.midline += '|';
+          ++tb.matches;
+        } else if (matrix.score(q[qi], d[dj]) > 0) {
+          tb.midline += '+';
+          ++tb.mismatches;
+        } else {
+          tb.midline += ' ';
+          ++tb.mismatches;
+        }
+        ++qi;
+        ++dj;
+        break;
+      }
+      case 'D':
+        tb.aligned_query += qa.decode(q[qi]);
+        tb.aligned_db += '-';
+        tb.midline += ' ';
+        ++tb.gap_cols;
+        ++qi;
+        break;
+      case 'I':
+        tb.aligned_query += '-';
+        tb.aligned_db += da.decode(d[dj]);
+        tb.midline += ' ';
+        ++tb.gap_cols;
+        ++dj;
+        break;
+      default:
+        throw Error("align_traceback: bad op");
+    }
+  }
+
+  return tb;
+}
+
+}  // namespace valign

@@ -1,0 +1,280 @@
+// Scalar (non-vectorized) alignment engines — the ground truth.
+//
+// Implements Algorithm 1 of the paper for all three alignment classes with
+// affine gap penalties (Gotoh). The score-only engine runs in O(n) memory and
+// is the "Scalar" baseline of Table I; the traceback variant keeps the full
+// table and recovers the optimal alignment.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "valign/common.hpp"
+#include "valign/io/sequence.hpp"
+#include "valign/matrices/matrix.hpp"
+
+namespace valign {
+
+namespace detail {
+
+/// Boundary value H[r][-1] (first-column) or H[-1][j] (first-row) for class C
+/// under the classic semantics (SG = all ends free).
+template <AlignClass C>
+[[nodiscard]] inline std::int64_t edge_boundary(std::int64_t index_plus_1,
+                                                GapPenalty gap) noexcept {
+  if constexpr (C == AlignClass::Global) {
+    return -(std::int64_t{gap.open} + index_plus_1 * std::int64_t{gap.extend});
+  } else {
+    (void)index_plus_1;
+    (void)gap;
+    return 0;
+  }
+}
+
+/// First-column boundary H[r][-1]: leading query residues aligned to gaps.
+/// Free exactly when the class is Local, or SemiGlobal with free_db_begin.
+template <AlignClass C>
+[[nodiscard]] inline std::int64_t col_boundary(std::int64_t index_plus_1,
+                                               GapPenalty gap,
+                                               const SemiGlobalEnds& ends) noexcept {
+  if constexpr (C == AlignClass::SemiGlobal) {
+    return ends.free_db_begin
+               ? 0
+               : -(std::int64_t{gap.open} + index_plus_1 * std::int64_t{gap.extend});
+  } else {
+    return edge_boundary<C>(index_plus_1, gap);
+  }
+}
+
+/// First-row boundary H[-1][j]: leading database residues aligned to gaps.
+/// Free exactly when the class is Local, or SemiGlobal with free_query_begin.
+template <AlignClass C>
+[[nodiscard]] inline std::int64_t row_boundary(std::int64_t index_plus_1,
+                                               GapPenalty gap,
+                                               const SemiGlobalEnds& ends) noexcept {
+  if constexpr (C == AlignClass::SemiGlobal) {
+    return ends.free_query_begin
+               ? 0
+               : -(std::int64_t{gap.open} + index_plus_1 * std::int64_t{gap.extend});
+  } else {
+    return edge_boundary<C>(index_plus_1, gap);
+  }
+}
+
+/// Fill in the result for an empty query and/or database.
+template <AlignClass C>
+inline AlignResult degenerate_result(AlignResult res, std::size_t qlen,
+                                     std::size_t dlen, GapPenalty gap,
+                                     const SemiGlobalEnds& ends = {}) noexcept {
+  const std::int64_t o = gap.open;
+  const std::int64_t e = gap.extend;
+  res.score = 0;
+  if constexpr (C == AlignClass::Global) {
+    const std::size_t len = qlen > dlen ? qlen : dlen;
+    if (len > 0) {
+      res.score = static_cast<std::int32_t>(-(o + static_cast<std::int64_t>(len) * e));
+    }
+  } else if constexpr (C == AlignClass::SemiGlobal) {
+    // The non-empty sequence aligns against one run of gaps; free if the
+    // matching end flags allow it.
+    if (qlen == 0 && dlen > 0 && !ends.free_query_begin && !ends.free_query_end) {
+      res.score = static_cast<std::int32_t>(-(o + static_cast<std::int64_t>(dlen) * e));
+    }
+    if (dlen == 0 && qlen > 0 && !ends.free_db_begin && !ends.free_db_end) {
+      res.score = static_cast<std::int32_t>(-(o + static_cast<std::int64_t>(qlen) * e));
+    }
+  }
+  return res;
+}
+
+}  // namespace detail
+
+/// Score-only scalar aligner with the uniform engine interface:
+/// construct with scoring scheme, `set_query()`, then `align()` repeatedly.
+template <AlignClass C>
+class ScalarAligner {
+ public:
+  static constexpr Approach kApproach = Approach::Scalar;
+  static constexpr AlignClass kClass = C;
+
+  /// `ends` configures free end gaps and is honoured only when
+  /// C == AlignClass::SemiGlobal (the default reproduces classic SG).
+  ScalarAligner(const ScoreMatrix& matrix, GapPenalty gap,
+                SemiGlobalEnds ends = {})
+      : matrix_(&matrix), gap_(gap), ends_(ends) {}
+
+  void set_query(std::span<const std::uint8_t> query) {
+    query_.assign(query.begin(), query.end());
+    h_.resize(query_.size());
+    e_.resize(query_.size());
+  }
+
+  [[nodiscard]] std::size_t query_length() const noexcept { return query_.size(); }
+
+  AlignResult align(std::span<const std::uint8_t> db) {
+    constexpr std::int64_t kNegInf = std::numeric_limits<std::int32_t>::min() / 2;
+    const std::int64_t o = gap_.open;
+    const std::int64_t e = gap_.extend;
+    const std::size_t n = query_.size();
+    const std::size_t m = db.size();
+
+    AlignResult res;
+    res.approach = Approach::Scalar;
+    res.isa = Isa::Emul;
+    res.lanes = 1;
+    res.bits = 32;
+    res.stats.columns = m;
+    res.stats.cells = n * m;
+
+    // Degenerate inputs: the alignment is all-gaps or empty.
+    if (n == 0 || m == 0) {
+      return detail::degenerate_result<C>(res, n, m, gap_, ends_);
+    }
+
+    // Previous column's H and E, indexed by query row.
+    for (std::size_t r = 0; r < n; ++r) {
+      h_[r] = detail::col_boundary<C>(static_cast<std::int64_t>(r) + 1, gap_, ends_);
+      e_[r] = kNegInf;
+    }
+
+    std::int64_t best = kNegInf;
+    std::int32_t best_r = -1;
+    std::int32_t best_j = -1;
+    if constexpr (C == AlignClass::Local) best = 0;
+
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::span<const std::int8_t> wrow = matrix_->row(db[j]);
+      std::int64_t hdiag =
+          (j == 0) ? 0
+                   : detail::row_boundary<C>(static_cast<std::int64_t>(j), gap_, ends_);
+      std::int64_t f = kNegInf;
+      std::int64_t hup =
+          detail::row_boundary<C>(static_cast<std::int64_t>(j) + 1, gap_, ends_);
+
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::int64_t eval = std::max(e_[r], h_[r] - o) - e;
+        f = std::max(f, hup - o) - e;
+        std::int64_t h = hdiag + wrow[query_[r]];
+        h = std::max({h, eval, f});
+        if constexpr (C == AlignClass::Local) {
+          h = std::max<std::int64_t>(h, 0);
+          if (h > best) {
+            best = h;
+            best_r = static_cast<std::int32_t>(r);
+            best_j = static_cast<std::int32_t>(j);
+          }
+        }
+        hdiag = h_[r];
+        hup = h;
+        h_[r] = h;
+        e_[r] = eval;
+      }
+
+      if constexpr (C == AlignClass::SemiGlobal) {
+        // Last row: alignment may end here when trailing database residues
+        // are free (free_query_end).
+        if (ends_.free_query_end && h_[n - 1] > best) {
+          best = h_[n - 1];
+          best_r = static_cast<std::int32_t>(n - 1);
+          best_j = static_cast<std::int32_t>(j);
+        }
+      }
+    }
+
+    if constexpr (C == AlignClass::Global) {
+      best = h_[n - 1];
+      best_r = static_cast<std::int32_t>(n - 1);
+      best_j = static_cast<std::int32_t>(m - 1);
+    } else if constexpr (C == AlignClass::SemiGlobal) {
+      // Both sequences fully consumed is always admissible.
+      if (h_[n - 1] > best) {
+        best = h_[n - 1];
+        best_r = static_cast<std::int32_t>(n - 1);
+        best_j = static_cast<std::int32_t>(m - 1);
+      }
+      // Last column: alignment may end here when trailing query residues are
+      // free (free_db_end).
+      if (ends_.free_db_end) {
+        for (std::size_t r = 0; r < n; ++r) {
+          if (h_[r] > best) {
+            best = h_[r];
+            best_r = static_cast<std::int32_t>(r);
+            best_j = static_cast<std::int32_t>(m - 1);
+          }
+        }
+      }
+      // Boundary endpoints: the alignment may consume no database residues
+      // (cell H[n][0]) or no query residues (cell H[0][m]) when the matching
+      // end is free.
+      if (ends_.free_query_end) {
+        const std::int64_t b =
+            detail::col_boundary<C>(static_cast<std::int64_t>(n), gap_, ends_);
+        if (b > best) {
+          best = b;
+          best_r = static_cast<std::int32_t>(n) - 1;
+          best_j = -1;
+        }
+      }
+      if (ends_.free_db_end) {
+        const std::int64_t b =
+            detail::row_boundary<C>(static_cast<std::int64_t>(m), gap_, ends_);
+        if (b > best) {
+          best = b;
+          best_r = -1;
+          best_j = static_cast<std::int32_t>(m) - 1;
+        }
+      }
+    }
+
+    res.score = static_cast<std::int32_t>(best);
+    res.query_end = best_r;
+    res.db_end = best_j;
+    return res;
+  }
+
+ private:
+  const ScoreMatrix* matrix_;
+  GapPenalty gap_;
+  SemiGlobalEnds ends_;
+  std::vector<std::uint8_t> query_;
+  std::vector<std::int64_t> h_;
+  std::vector<std::int64_t> e_;
+};
+
+/// A recovered optimal alignment (scalar traceback engine).
+struct Traceback {
+  std::int32_t score = 0;
+  // 0-based, inclusive coordinates of the aligned region.
+  std::int32_t query_begin = 0, query_end = -1;
+  std::int32_t db_begin = 0, db_end = -1;
+  std::string aligned_query;  ///< Query residues with '-' for gaps.
+  std::string aligned_db;     ///< Database residues with '-' for gaps.
+  std::string midline;        ///< '|' match, '+' positive score, ' ' otherwise.
+  std::string cigar;          ///< M (pair), D (gap in db), I (gap in query).
+  std::size_t matches = 0, mismatches = 0, gap_cols = 0;
+
+  /// Fraction of alignment columns that are identical residues.
+  [[nodiscard]] double identity() const noexcept {
+    const std::size_t len = aligned_query.size();
+    return len == 0 ? 0.0 : static_cast<double>(matches) / static_cast<double>(len);
+  }
+};
+
+/// Full-table alignment with traceback. Memory is O(n*m); throws
+/// valign::Error when the table would exceed `max_cells`. `ends` is honoured
+/// for AlignClass::SemiGlobal only.
+[[nodiscard]] Traceback align_traceback(AlignClass klass, const ScoreMatrix& matrix,
+                                        GapPenalty gap, const Sequence& query,
+                                        const Sequence& db,
+                                        SemiGlobalEnds ends = {},
+                                        std::size_t max_cells = std::size_t{1} << 28);
+
+/// Convenience: score-only scalar alignment without engine reuse.
+[[nodiscard]] AlignResult align_scalar(AlignClass klass, const ScoreMatrix& matrix,
+                                       GapPenalty gap,
+                                       std::span<const std::uint8_t> query,
+                                       std::span<const std::uint8_t> db);
+
+}  // namespace valign

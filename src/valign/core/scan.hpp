@@ -1,0 +1,239 @@
+// Prefix-scan vectorized alignment — the paper's contribution (§IV, Alg. 4).
+//
+// Same striped layout as Farrar, but the vertical dependency is resolved
+// algebraically instead of iteratively (Khajeh-Saeed et al. 2010, Eqs. 2-5):
+//
+//   pass 1: compute I (E) and the temporary T-tilde (Ht) that ignores the
+//           column maximum, plus a per-lane running max-with-decay aggregate;
+//   hscan:  a p-1 step horizontal max-scan (decay L*Gext per lane step)
+//           resolves the cross-lane carries exactly;
+//   pass 2: finalize T = max(Ht, D-tilde + Gopen) walking the column again.
+//
+// Exactly two passes per column, unconditionally — which is why Scan's
+// runtime is flat across scoring schemes (Fig. 5) while Striped's varies.
+#pragma once
+
+#include <span>
+
+#include "valign/core/engine_common.hpp"
+#include "valign/core/profile.hpp"
+
+namespace valign {
+
+/// Strategy for the cross-lane scan step (ablation knob; the paper's
+/// implementation and complexity analysis use the linear form).
+enum class HscanKind : std::uint8_t {
+  Linear,  ///< p-1 shift/max steps (what the paper describes).
+  Log,     ///< lg(p) doubling steps (Blelloch-style).
+};
+
+template <AlignClass C, simd::SimdVec V>
+class ScanAligner {
+ public:
+  using T = typename V::value_type;
+  static constexpr Approach kApproach = Approach::Scan;
+  static constexpr AlignClass kClass = C;
+  static constexpr int kLanes = V::lanes;
+
+  /// `ends` configures free end gaps; honoured when C == SemiGlobal.
+  ScanAligner(const ScoreMatrix& matrix, GapPenalty gap,
+              HscanKind hscan = HscanKind::Linear, SemiGlobalEnds ends = {})
+      : matrix_(&matrix), gap_(gap), hscan_(hscan), ends_(ends) {}
+
+  void set_query(std::span<const std::uint8_t> query) {
+    prof_.build(*matrix_, query, V::lanes);
+    qlen_ = query.size();
+    const std::size_t vecs = prof_.seglen() * static_cast<std::size_t>(V::lanes);
+    h0_.resize(vecs);
+    h1_.resize(vecs);
+    e_.resize(vecs);
+    ht_.resize(vecs);
+  }
+
+  [[nodiscard]] std::size_t query_length() const noexcept { return qlen_; }
+
+  AlignResult align(std::span<const std::uint8_t> db) {
+    namespace ins = instrument;
+    constexpr int p = V::lanes;
+    const std::size_t L = prof_.seglen();
+    const std::size_t m = db.size();
+    const std::int64_t o = gap_.open;
+    const std::int64_t e = gap_.extend;
+
+    AlignResult res;
+    res.approach = Approach::Scan;
+    res.isa = detail::isa_of<V>();
+    res.lanes = p;
+    res.bits = 8 * int(sizeof(T));
+    res.stats.columns = m;
+    res.stats.cells = m * L * static_cast<std::size_t>(p);
+
+    if (qlen_ == 0 || m == 0) {
+      return detail::degenerate_result<C>(res, qlen_, m, gap_, ends_);
+    }
+
+    T* hload = h0_.data();
+    T* hstore = h1_.data();
+    T* earr = e_.data();
+    T* htarr = ht_.data();
+    detail::init_striped_column<C, T>(hload, earr, L, p, qlen_, gap_, ends_);
+
+    const V vGapO = V::broadcast(detail::clamp_to<T>(o));
+    const V vGapE = V::broadcast(detail::clamp_to<T>(e));
+    const V vNegInf = V::broadcast(V::neg_inf);
+    const V vZero = V::zero();
+    V vMax = vNegInf;
+
+    // Cross-lane decay: one lane step spans L query rows.
+    const T lane_decay =
+        detail::clamp_to<T>(static_cast<std::int64_t>(L) * e);
+
+    detail::LocalBest<V> lb;
+    if constexpr (C == AlignClass::Local) lb.prepare(L);
+
+    std::int64_t sg_best = std::numeric_limits<std::int64_t>::min();
+    std::int32_t sg_best_j = -1;
+
+    for (std::size_t j = 0; j < m; ++j) {
+      const int code = db[j];
+      const T hb_prev =
+          (j == 0) ? T{0}
+                   : detail::row_edge_elem<C, T>(static_cast<std::int64_t>(j), gap_,
+                                                 ends_);
+      V vHdiag = V::shift_in(V::load(hload + (L - 1) * static_cast<std::size_t>(p)),
+                             hb_prev);
+      V vA = vNegInf;  // per-lane aggregate max_t(Ht[t] - (L-1-t)*e)
+
+      // --- pass 1: E, T-tilde, per-lane aggregate -------------------------
+      for (std::size_t t = 0; t < L; ++t) {
+        const std::size_t off = t * static_cast<std::size_t>(p);
+        const V vHp = V::load(hload + off);
+        const V vE = V::subs(V::max(V::load(earr + off), V::subs(vHp, vGapO)), vGapE);
+        V vHt = V::max(V::adds(vHdiag, V::load(prof_.epoch(code, t))), vE);
+        if constexpr (C == AlignClass::Local) vHt = V::max(vHt, vZero);
+        vE.store(earr + off);
+        vHt.store(htarr + off);
+        vA = V::max(V::subs(vA, vGapE), vHt);
+        vHdiag = vHp;
+        ins::count_scalar<V>(ins::OpCategory::ScalarArith, 2);
+        ins::count_scalar<V>(ins::OpCategory::ScalarBranch, 1);
+      }
+
+      // --- horizontal scan: resolve cross-lane D-tilde carries ------------
+      const T hb =
+          detail::row_edge_elem<C, T>(static_cast<std::int64_t>(j) + 1, gap_, ends_);
+      const V cand = V::subs(V::shift_in(vA, hb), vGapE);
+      const V vB = (hscan_ == HscanKind::Linear)
+                       ? simd::hscan_max_decay_linear(cand, lane_decay)
+                       : simd::hscan_max_decay_log(cand, static_cast<T>(lane_decay));
+      res.stats.hscan_steps += static_cast<std::uint64_t>(p - 1);
+      // Horizontal-scan loop control.
+      ins::count_scalar<V>(ins::OpCategory::ScalarArith, static_cast<std::uint64_t>(p - 1));
+      ins::count_scalar<V>(ins::OpCategory::ScalarBranch, static_cast<std::uint64_t>(p - 1));
+
+      // --- pass 2: finalize T = max(Ht, D-tilde - o) ----------------------
+      V vDt = vB;
+      for (std::size_t t = 0; t < L; ++t) {
+        const std::size_t off = t * static_cast<std::size_t>(p);
+        const V vHt = V::load(htarr + off);
+        const V vH = V::max(vHt, V::subs(vDt, vGapO));
+        vMax = V::max(vMax, vH);
+        vH.store(hstore + off);
+        vDt = V::subs(V::max(vDt, vHt), vGapE);
+        ins::count_scalar<V>(ins::OpCategory::ScalarArith, 2);
+        ins::count_scalar<V>(ins::OpCategory::ScalarBranch, 1);
+      }
+      res.stats.main_epochs += 2 * L;
+
+      if constexpr (C == AlignClass::Local) {
+        lb.end_column(vMax, hstore, L, static_cast<std::int32_t>(j));
+      }
+      if constexpr (C == AlignClass::SemiGlobal) {
+        if (ends_.free_query_end) {
+          const T last = detail::striped_get(hstore, L, p, qlen_ - 1);
+          ins::count_scalar<V>(ins::OpCategory::ScalarMemory, 1);
+          if (std::int64_t{last} > sg_best) {
+            sg_best = last;
+            sg_best_j = static_cast<std::int32_t>(j);
+          }
+        }
+      }
+
+      std::swap(hload, hstore);
+    }
+
+    const T* hfinal = hload;
+    if constexpr (C == AlignClass::Global) {
+      res.score = detail::striped_get(hfinal, L, p, qlen_ - 1);
+      res.query_end = static_cast<std::int32_t>(qlen_) - 1;
+      res.db_end = static_cast<std::int32_t>(m) - 1;
+      res.overflowed = detail::answer_hit_rails<T>(res.score);
+    } else if constexpr (C == AlignClass::SemiGlobal) {
+      // Both sequences fully consumed is always admissible.
+      const T corner = detail::striped_get(hfinal, L, p, qlen_ - 1);
+      if (std::int64_t{corner} > sg_best) {
+        sg_best = corner;
+        sg_best_j = static_cast<std::int32_t>(m) - 1;
+      }
+      res.score = static_cast<std::int32_t>(sg_best);
+      res.query_end = static_cast<std::int32_t>(qlen_) - 1;
+      res.db_end = sg_best_j;
+      // Final column: admissible when trailing query residues are free.
+      if (ends_.free_db_end) {
+        std::int64_t col_best = std::numeric_limits<std::int64_t>::min();
+        std::int32_t col_r = -1;
+        for (std::size_t r = 0; r < qlen_; ++r) {
+          const T v = detail::striped_get(hfinal, L, p, r);
+          if (std::int64_t{v} > col_best) {
+            col_best = v;
+            col_r = static_cast<std::int32_t>(r);
+          }
+        }
+        if (col_best > sg_best) {
+          res.score = static_cast<std::int32_t>(col_best);
+          res.query_end = col_r;
+          res.db_end = static_cast<std::int32_t>(m) - 1;
+        }
+      }
+      // Boundary endpoints: the alignment may consume no database residues
+      // (cell H[n][0]) or no query residues (cell H[0][m]) when the matching
+      // end is free.
+      if (ends_.free_query_end) {
+        const std::int64_t b = detail::col_boundary<C>(
+            static_cast<std::int64_t>(qlen_), gap_, ends_);
+        if (b > std::int64_t{res.score}) {
+          res.score = static_cast<std::int32_t>(b);
+          res.query_end = static_cast<std::int32_t>(qlen_) - 1;
+          res.db_end = -1;
+        }
+      }
+      if (ends_.free_db_end) {
+        const std::int64_t b = detail::row_boundary<C>(
+            static_cast<std::int64_t>(m), gap_, ends_);
+        if (b > std::int64_t{res.score}) {
+          res.score = static_cast<std::int32_t>(b);
+          res.query_end = -1;
+          res.db_end = static_cast<std::int32_t>(m) - 1;
+        }
+      }
+      res.overflowed = detail::answer_hit_rails<T>(res.score);
+    } else {
+      lb.finish(res, L, qlen_);
+    }
+    if constexpr (simd::ElemTraits<T>::saturating) {
+      if (vMax.hmax() >= simd::ElemTraits<T>::max_value) res.overflowed = true;
+    }
+    return res;
+  }
+
+ private:
+  const ScoreMatrix* matrix_;
+  GapPenalty gap_;
+  HscanKind hscan_;
+  SemiGlobalEnds ends_;
+  StripedProfile<T> prof_;
+  std::size_t qlen_ = 0;
+  detail::AlignedBuffer<T> h0_, h1_, e_, ht_;
+};
+
+}  // namespace valign

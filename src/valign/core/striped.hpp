@@ -1,0 +1,234 @@
+// Striped vectorized alignment (Farrar 2007), generalized to NW/SG/SW.
+//
+// Vectors run parallel to the query in the striped layout (Fig. 1 Striped).
+// Each column is computed once while *ignoring* the cross-lane part of the
+// vertical (F) dependency, then a corrective "lazy-F" loop re-walks the
+// column until the F contributions converge — at most p-1 extra passes
+// (Algorithm 5). The number of corrective epochs is recorded in
+// AlignStats::corrective_epochs; the paper's corrective factor C (§IV)
+// derives from it.
+#pragma once
+
+#include <span>
+
+#include "valign/core/engine_common.hpp"
+#include "valign/core/profile.hpp"
+
+namespace valign {
+
+template <AlignClass C, simd::SimdVec V>
+class StripedAligner {
+ public:
+  using T = typename V::value_type;
+  static constexpr Approach kApproach = Approach::Striped;
+  static constexpr AlignClass kClass = C;
+  static constexpr int kLanes = V::lanes;
+
+  /// `ends` configures free end gaps; honoured when C == SemiGlobal.
+  StripedAligner(const ScoreMatrix& matrix, GapPenalty gap,
+                 SemiGlobalEnds ends = {})
+      : matrix_(&matrix), gap_(gap), ends_(ends) {}
+
+  void set_query(std::span<const std::uint8_t> query) {
+    prof_.build(*matrix_, query, V::lanes);
+    qlen_ = query.size();
+    const std::size_t vecs = prof_.seglen() * static_cast<std::size_t>(V::lanes);
+    h0_.resize(vecs);
+    h1_.resize(vecs);
+    e_.resize(vecs);
+  }
+
+  [[nodiscard]] std::size_t query_length() const noexcept { return qlen_; }
+
+  AlignResult align(std::span<const std::uint8_t> db) {
+    namespace ins = instrument;
+    constexpr int p = V::lanes;
+    const std::size_t L = prof_.seglen();
+    const std::size_t m = db.size();
+    const std::int64_t o = gap_.open;
+    const std::int64_t e = gap_.extend;
+
+    AlignResult res;
+    res.approach = Approach::Striped;
+    res.isa = detail::isa_of<V>();
+    res.lanes = p;
+    res.bits = 8 * int(sizeof(T));
+    res.stats.columns = m;
+    res.stats.cells = m * L * static_cast<std::size_t>(p);
+
+    if (qlen_ == 0 || m == 0) {
+      return detail::degenerate_result<C>(res, qlen_, m, gap_, ends_);
+    }
+
+    T* hload = h0_.data();
+    T* hstore = h1_.data();
+    T* earr = e_.data();
+    detail::init_striped_column<C, T>(hload, earr, L, p, qlen_, gap_, ends_);
+
+    const V vGapO = V::broadcast(detail::clamp_to<T>(o));
+    const V vGapE = V::broadcast(detail::clamp_to<T>(e));
+    const V vNegInf = V::broadcast(V::neg_inf);
+    const V vZero = V::zero();
+    V vMax = vNegInf;  // +rail overflow sentinel (and the SW running best)
+
+    detail::LocalBest<V> lb;
+    if constexpr (C == AlignClass::Local) lb.prepare(L);
+
+    // SemiGlobal: running best over the last query row across columns.
+    std::int64_t sg_best = std::numeric_limits<std::int64_t>::min();
+    std::int32_t sg_best_j = -1;
+
+    for (std::size_t j = 0; j < m; ++j) {
+      const int code = db[j];
+      // F candidate entering row 0: open a gap from the top boundary.
+      const T f0 = detail::clamp_to<T>(
+          detail::row_boundary<C>(static_cast<std::int64_t>(j) + 1, gap_, ends_) - o - e);
+      V vF = V::shift_in(vNegInf, f0);
+      // Diagonal carry: previous column's H shifted down one row, with the
+      // previous column's top boundary entering lane 0.
+      const T hb = (j == 0)
+                       ? T{0}
+                       : detail::row_edge_elem<C, T>(static_cast<std::int64_t>(j), gap_,
+                                                     ends_);
+      V vHdiag = V::shift_in(V::load(hload + (L - 1) * static_cast<std::size_t>(p)), hb);
+
+      for (std::size_t t = 0; t < L; ++t) {
+        const std::size_t off = t * static_cast<std::size_t>(p);
+        V vH = V::adds(vHdiag, V::load(prof_.epoch(code, t)));
+        const V vHp = V::load(hload + off);
+        const V vE = V::subs(V::max(V::load(earr + off), V::subs(vHp, vGapO)), vGapE);
+        vH = V::max(vH, vE);
+        vH = V::max(vH, vF);
+        if constexpr (C == AlignClass::Local) vH = V::max(vH, vZero);
+        vMax = V::max(vMax, vH);
+        vH.store(hstore + off);
+        vE.store(earr + off);
+        vF = V::subs(V::max(vF, V::subs(vH, vGapO)), vGapE);
+        vHdiag = vHp;
+        ins::count_scalar<V>(ins::OpCategory::ScalarArith, 2);
+        ins::count_scalar<V>(ins::OpCategory::ScalarBranch, 1);
+      }
+      res.stats.main_epochs += L;
+
+      // Lazy-F corrective loop (Algorithm 5's "while F contributes").
+      //
+      // The convergence test is Farrar's: stop once no lane's carried F can
+      // beat re-opening from the stored H. Its soundness needs o > 0 — at
+      // o == 0 a carried F *equal* to H still matters downstream (extension
+      // and re-opening tie), so for that corner the loop runs its full
+      // worst case instead of exiting early.
+      const bool may_converge = (o > 0);
+      bool converged = false;
+      for (int k = 0; k < p && !converged; ++k) {
+        vF = V::shift_in(vF, f0);
+        for (std::size_t t = 0; t < L; ++t) {
+          const std::size_t off = t * static_cast<std::size_t>(p);
+          V vH = V::load(hstore + off);
+          vH = V::max(vH, vF);
+          vH.store(hstore + off);
+          vMax = V::max(vMax, vH);
+          ++res.stats.corrective_epochs;
+          vF = V::subs(vF, vGapE);
+          // Loop control plus consuming the convergence mask in scalar code
+          // (movemask transfer, test, conditional jump).
+          ins::count_scalar<V>(ins::OpCategory::ScalarArith, 3);
+          ins::count_scalar<V>(ins::OpCategory::ScalarBranch, 2);
+          if (may_converge && !V::any_gt(vF, V::subs(vH, vGapO))) {
+            converged = true;
+            break;
+          }
+        }
+      }
+
+      if constexpr (C == AlignClass::Local) {
+        lb.end_column(vMax, hstore, L, static_cast<std::int32_t>(j));
+      }
+      if constexpr (C == AlignClass::SemiGlobal) {
+        if (ends_.free_query_end) {
+          const T last = detail::striped_get(hstore, L, p, qlen_ - 1);
+          ins::count_scalar<V>(ins::OpCategory::ScalarMemory, 1);
+          if (std::int64_t{last} > sg_best) {
+            sg_best = last;
+            sg_best_j = static_cast<std::int32_t>(j);
+          }
+        }
+      }
+
+      std::swap(hload, hstore);
+    }
+
+    // `hload` now holds the final column (post-swap).
+    const T* hfinal = hload;
+    if constexpr (C == AlignClass::Global) {
+      res.score = detail::striped_get(hfinal, L, p, qlen_ - 1);
+      res.query_end = static_cast<std::int32_t>(qlen_) - 1;
+      res.db_end = static_cast<std::int32_t>(m) - 1;
+      res.overflowed = detail::answer_hit_rails<T>(res.score);
+    } else if constexpr (C == AlignClass::SemiGlobal) {
+      // Both sequences fully consumed is always admissible.
+      const T corner = detail::striped_get(hfinal, L, p, qlen_ - 1);
+      if (std::int64_t{corner} > sg_best) {
+        sg_best = corner;
+        sg_best_j = static_cast<std::int32_t>(m) - 1;
+      }
+      res.score = static_cast<std::int32_t>(sg_best);
+      res.query_end = static_cast<std::int32_t>(qlen_) - 1;
+      res.db_end = sg_best_j;
+      // Final column: admissible when trailing query residues are free.
+      if (ends_.free_db_end) {
+        std::int64_t col_best = std::numeric_limits<std::int64_t>::min();
+        std::int32_t col_r = -1;
+        for (std::size_t r = 0; r < qlen_; ++r) {
+          const T v = detail::striped_get(hfinal, L, p, r);
+          if (std::int64_t{v} > col_best) {
+            col_best = v;
+            col_r = static_cast<std::int32_t>(r);
+          }
+        }
+        if (col_best > sg_best) {
+          res.score = static_cast<std::int32_t>(col_best);
+          res.query_end = col_r;
+          res.db_end = static_cast<std::int32_t>(m) - 1;
+        }
+      }
+      // Boundary endpoints: the alignment may consume no database residues
+      // (cell H[n][0]) or no query residues (cell H[0][m]) when the matching
+      // end is free.
+      if (ends_.free_query_end) {
+        const std::int64_t b = detail::col_boundary<C>(
+            static_cast<std::int64_t>(qlen_), gap_, ends_);
+        if (b > std::int64_t{res.score}) {
+          res.score = static_cast<std::int32_t>(b);
+          res.query_end = static_cast<std::int32_t>(qlen_) - 1;
+          res.db_end = -1;
+        }
+      }
+      if (ends_.free_db_end) {
+        const std::int64_t b = detail::row_boundary<C>(
+            static_cast<std::int64_t>(m), gap_, ends_);
+        if (b > std::int64_t{res.score}) {
+          res.score = static_cast<std::int32_t>(b);
+          res.query_end = -1;
+          res.db_end = static_cast<std::int32_t>(m) - 1;
+        }
+      }
+      res.overflowed = detail::answer_hit_rails<T>(res.score);
+    } else {
+      lb.finish(res, L, qlen_);
+    }
+    if constexpr (simd::ElemTraits<T>::saturating) {
+      if (vMax.hmax() >= simd::ElemTraits<T>::max_value) res.overflowed = true;
+    }
+    return res;
+  }
+
+ private:
+  const ScoreMatrix* matrix_;
+  GapPenalty gap_;
+  SemiGlobalEnds ends_;
+  StripedProfile<T> prof_;
+  std::size_t qlen_ = 0;
+  detail::AlignedBuffer<T> h0_, h1_, e_;
+};
+
+}  // namespace valign

@@ -1,0 +1,224 @@
+// Tiled prefix-scan alignment for very long queries (DNA-scale).
+//
+// The paper's future-work proposal (§VIII): since Scan favours small query
+// lengths, partition the problem into query-row tiles to improve cache
+// utilization when aligning much longer sequences. This engine implements
+// that idea on top of the Scan formulation: the query is split into tiles of
+// `tile_rows` rows; each tile sweeps the whole database while its striped
+// working set (H/E/Ht arrays plus the tile's query profile) stays
+// cache-resident, and two per-column carry arrays connect consecutive tiles:
+//
+//   hc[j] = H[a-1][j]   — the previous tile's last row (feeds S diagonally),
+//   dc[j] = D~[a][j]    — the exact vertical carry entering this tile's
+//                         first row (Eq. 4's running max-with-decay).
+//
+// The Scan kernel produces both exactly: hc from the stored column and dc
+// from the last lane of the pass-2 D~ register, because in the striped
+// layout that lane's final value is D~ at the row one past the tile.
+//
+// Supports Global (NW) and Local (SW) alignment; 32-bit elements are
+// recommended for DNA-scale scores.
+#pragma once
+
+#include <span>
+
+#include "valign/core/engine_common.hpp"
+#include "valign/core/profile.hpp"
+#include "valign/core/scan.hpp"
+
+namespace valign {
+
+template <AlignClass C, simd::SimdVec V>
+class TiledScanAligner {
+  static_assert(C == AlignClass::Global || C == AlignClass::Local,
+                "TiledScanAligner supports Global and Local alignment");
+
+ public:
+  using T = typename V::value_type;
+  static constexpr Approach kApproach = Approach::Scan;
+  static constexpr AlignClass kClass = C;
+  static constexpr int kLanes = V::lanes;
+
+  /// `tile_rows` is rounded up to a multiple of the lane count. The default
+  /// keeps the per-tile working set (~4 arrays of tile_rows elements plus the
+  /// tile profile) inside a typical 1 MiB L2 for 32-bit elements.
+  TiledScanAligner(const ScoreMatrix& matrix, GapPenalty gap,
+                   std::size_t tile_rows = 8192)
+      : matrix_(&matrix), gap_(gap) {
+    const auto p = static_cast<std::size_t>(V::lanes);
+    if (tile_rows < p) tile_rows = p;
+    tile_rows_ = (tile_rows + p - 1) / p * p;
+  }
+
+  void set_query(std::span<const std::uint8_t> query) {
+    query_.assign(query.begin(), query.end());
+  }
+
+  [[nodiscard]] std::size_t query_length() const noexcept { return query_.size(); }
+  [[nodiscard]] std::size_t tile_rows() const noexcept { return tile_rows_; }
+
+  AlignResult align(std::span<const std::uint8_t> db) {
+    constexpr int p = V::lanes;
+    const std::size_t n = query_.size();
+    const std::size_t m = db.size();
+    const std::int64_t o = gap_.open;
+    const std::int64_t e = gap_.extend;
+    constexpr T kNegInf = V::neg_inf;
+
+    AlignResult res;
+    res.approach = Approach::Scan;
+    res.isa = detail::isa_of<V>();
+    res.lanes = p;
+    res.bits = 8 * int(sizeof(T));
+    res.stats.columns = m;
+
+    if (n == 0 || m == 0) {
+      return detail::degenerate_result<C>(res, n, m, gap_);
+    }
+
+    // Cross-tile carries (previous tile's last row; D~ entering this tile).
+    hc_.resize(m);
+    dc_.resize(m);
+    hc_next_.resize(m);
+    dc_next_.resize(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      // H[-1][j] and D~[0][j] from the top boundary.
+      const T hb = detail::edge_elem<C, T>(static_cast<std::int64_t>(j) + 1, gap_);
+      hc_[j] = hb;
+      dc_[j] = detail::clamp_to<T>(std::int64_t{hb} - e);
+    }
+
+    const V vGapO = V::broadcast(detail::clamp_to<T>(o));
+    const V vGapE = V::broadcast(detail::clamp_to<T>(e));
+    const V vZero = V::zero();
+
+    T best = 0;                 // SW global best
+    std::int32_t best_r = -1, best_j = -1;
+    T nw_score = 0;             // NW final cell
+    bool overflowed = false;
+
+    for (std::size_t a = 0; a < n; a += tile_rows_) {
+      const std::size_t rows = std::min(tile_rows_, n - a);
+      const bool last_tile = (a + rows >= n);
+      const std::size_t L = (rows + static_cast<std::size_t>(p) - 1) /
+                            static_cast<std::size_t>(p);
+      const T lane_decay = detail::clamp_to<T>(static_cast<std::int64_t>(L) * e);
+
+      prof_.build(*matrix_, std::span(query_).subspan(a, rows), p);
+      const std::size_t vecs = L * static_cast<std::size_t>(p);
+      h0_.resize(vecs);
+      h1_.resize(vecs);
+      earr_.resize(vecs);
+      htarr_.resize(vecs);
+      T* hload = h0_.data();
+      T* hstore = h1_.data();
+      detail::init_striped_column<C, T>(hload, earr_.data(), L, p, rows, gap_, {}, a);
+
+      V vMax = V::broadcast(kNegInf);
+      detail::LocalBest<V> lb;
+      if constexpr (C == AlignClass::Local) lb.prepare(L);
+
+      for (std::size_t j = 0; j < m; ++j) {
+        const int code = db[j];
+        // Diagonal fill: H[a-1][j-1] from the carry (or the corner/edge).
+        T hb_prev;
+        if (j == 0) {
+          hb_prev = (a == 0) ? T{0}
+                             : detail::edge_elem<C, T>(static_cast<std::int64_t>(a),
+                                                       gap_);
+        } else {
+          hb_prev = hc_[j - 1];
+        }
+        V vHdiag =
+            V::shift_in(V::load(hload + (L - 1) * static_cast<std::size_t>(p)), hb_prev);
+        V vA = V::broadcast(kNegInf);
+
+        // Pass 1: E, T-tilde, per-lane aggregate.
+        for (std::size_t t = 0; t < L; ++t) {
+          const std::size_t off = t * static_cast<std::size_t>(p);
+          const V vHp = V::load(hload + off);
+          const V vE =
+              V::subs(V::max(V::load(earr_.data() + off), V::subs(vHp, vGapO)), vGapE);
+          V vHt = V::max(V::adds(vHdiag, V::load(prof_.epoch(code, t))), vE);
+          if constexpr (C == AlignClass::Local) vHt = V::max(vHt, vZero);
+          vE.store(earr_.data() + off);
+          vHt.store(htarr_.data() + off);
+          vA = V::max(V::subs(vA, vGapE), vHt);
+          vHdiag = vHp;
+        }
+
+        // Horizontal scan; lane 0 carries the exact D~ from the tile above.
+        const T fill = detail::clamp_to<T>(std::int64_t{dc_[j]} + e);
+        const V cand = V::subs(V::shift_in(vA, fill), vGapE);
+        const V vB = simd::hscan_max_decay_linear(cand, lane_decay);
+        res.stats.hscan_steps += static_cast<std::uint64_t>(p - 1);
+
+        // Pass 2: finalize T; vDt's last lane becomes the next tile's carry.
+        V vDt = vB;
+        for (std::size_t t = 0; t < L; ++t) {
+          const std::size_t off = t * static_cast<std::size_t>(p);
+          const V vHt = V::load(htarr_.data() + off);
+          const V vH = V::max(vHt, V::subs(vDt, vGapO));
+          vMax = V::max(vMax, vH);
+          vH.store(hstore + off);
+          vDt = V::subs(V::max(vDt, vHt), vGapE);
+        }
+        res.stats.main_epochs += 2 * L;
+
+        if constexpr (C == AlignClass::Local) {
+          lb.end_column(vMax, hstore, L, static_cast<std::int32_t>(j));
+        }
+        if (!last_tile) {
+          hc_next_[j] = detail::striped_get(hstore, L, p, rows - 1);
+          dc_next_[j] = vDt.last();
+        }
+        std::swap(hload, hstore);
+      }
+      res.stats.cells += m * vecs;
+
+      if constexpr (C == AlignClass::Local) {
+        AlignResult tile_res;
+        lb.finish(tile_res, L, rows);
+        if (tile_res.score > best) {
+          best = static_cast<T>(tile_res.score);
+          best_r = tile_res.query_end +
+                   static_cast<std::int32_t>(a);
+          best_j = tile_res.db_end;
+        }
+        overflowed |= tile_res.overflowed;
+      } else if (last_tile) {
+        nw_score = detail::striped_get(hload, L, p, (n - 1) - a);
+      }
+      if constexpr (simd::ElemTraits<T>::saturating) {
+        if (vMax.hmax() >= simd::ElemTraits<T>::max_value) overflowed = true;
+      }
+
+      std::swap(hc_, hc_next_);
+      std::swap(dc_, dc_next_);
+    }
+
+    if constexpr (C == AlignClass::Local) {
+      res.score = best;
+      res.query_end = best_r;
+      res.db_end = best_j;
+    } else {
+      res.score = nw_score;
+      res.query_end = static_cast<std::int32_t>(n) - 1;
+      res.db_end = static_cast<std::int32_t>(m) - 1;
+      overflowed |= detail::answer_hit_rails<T>(res.score);
+    }
+    res.overflowed = overflowed;
+    return res;
+  }
+
+ private:
+  const ScoreMatrix* matrix_;
+  GapPenalty gap_;
+  std::size_t tile_rows_;
+  std::vector<std::uint8_t> query_;
+  StripedProfile<T> prof_;
+  detail::AlignedBuffer<T> h0_, h1_, earr_, htarr_;
+  std::vector<T> hc_, dc_, hc_next_, dc_next_;
+};
+
+}  // namespace valign

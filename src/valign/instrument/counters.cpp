@@ -1,0 +1,73 @@
+#include "valign/instrument/counters.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace valign::instrument {
+
+namespace detail {
+thread_local std::array<std::uint64_t, kOpCategoryCount> tls_counts{};
+}  // namespace detail
+
+const char* to_string(OpCategory c) {
+  switch (c) {
+    case OpCategory::VecArith: return "vec-arith";
+    case OpCategory::VecCompare: return "vec-compare";
+    case OpCategory::VecMemory: return "vec-memory";
+    case OpCategory::VecSwizzle: return "vec-swizzle";
+    case OpCategory::VecMask: return "vec-mask";
+    case OpCategory::ScalarArith: return "scalar-arith";
+    case OpCategory::ScalarMemory: return "scalar-memory";
+    case OpCategory::ScalarBranch: return "scalar-branch";
+    case OpCategory::kCount_: break;
+  }
+  return "?";
+}
+
+std::uint64_t OpCounts::vector_total() const {
+  return (*this)[OpCategory::VecArith] + (*this)[OpCategory::VecCompare] +
+         (*this)[OpCategory::VecMemory] + (*this)[OpCategory::VecSwizzle] +
+         (*this)[OpCategory::VecMask];
+}
+
+std::uint64_t OpCounts::scalar_total() const {
+  return (*this)[OpCategory::ScalarArith] + (*this)[OpCategory::ScalarMemory] +
+         (*this)[OpCategory::ScalarBranch];
+}
+
+std::uint64_t OpCounts::instruction_refs() const {
+  return vector_total() + scalar_total();
+}
+
+std::uint64_t OpCounts::data_refs() const {
+  return (*this)[OpCategory::VecMemory] + (*this)[OpCategory::ScalarMemory];
+}
+
+OpCounts& OpCounts::operator+=(const OpCounts& o) {
+  for (int i = 0; i < kOpCategoryCount; ++i)
+    by_category[static_cast<std::size_t>(i)] +=
+        o.by_category[static_cast<std::size_t>(i)];
+  return *this;
+}
+
+std::string OpCounts::summary() const {
+  std::ostringstream os;
+  for (int i = 0; i < kOpCategoryCount; ++i) {
+    const auto c = static_cast<OpCategory>(i);
+    os << to_string(c) << "=" << (*this)[c];
+    if (i + 1 < kOpCategoryCount) os << " ";
+  }
+  return os.str();
+}
+
+void reset() { detail::tls_counts.fill(0); }
+
+OpCounts snapshot() {
+  OpCounts c;
+  c.by_category = detail::tls_counts;
+  return c;
+}
+
+void count(OpCategory c, std::uint64_t n) noexcept { count_inline(c, n); }
+
+}  // namespace valign::instrument

@@ -1,0 +1,76 @@
+// Architectural operation counters.
+//
+// The paper measures instruction references with cachegrind (Table II), VTune
+// (Table III) and Pin (Fig. 3). None of those are usable here, so valign
+// counts operations at the abstraction boundary instead: every vector-backend
+// call made by an engine is categorized and tallied when the engine is
+// instantiated with instrument::CountingVec<V>. Scalar bookkeeping inside the
+// engines is reported through the scalar_* hooks.
+//
+// Counters are thread-local: concurrent instrumented runs do not interleave.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace valign::instrument {
+
+/// Operation categories, matching Fig. 3's instruction-mix breakdown.
+enum class OpCategory : std::uint8_t {
+  VecArith,    ///< adds/subs vector ops.
+  VecCompare,  ///< max/min/compare vector ops.
+  VecMemory,   ///< vector loads and stores.
+  VecSwizzle,  ///< lane shifts, broadcasts, extracts, horizontal reductions.
+  VecMask,     ///< mask-creation ops (movemask-style convergence tests).
+  ScalarArith, ///< scalar arithmetic performed by the engine.
+  ScalarMemory,///< scalar loads/stores performed by the engine.
+  ScalarBranch,///< scalar branches (loop control, convergence branching).
+  kCount_,
+};
+
+inline constexpr int kOpCategoryCount = static_cast<int>(OpCategory::kCount_);
+
+[[nodiscard]] const char* to_string(OpCategory c);
+
+/// A snapshot of all categories.
+struct OpCounts {
+  std::array<std::uint64_t, kOpCategoryCount> by_category{};
+
+  [[nodiscard]] std::uint64_t operator[](OpCategory c) const {
+    return by_category[static_cast<std::size_t>(c)];
+  }
+
+  /// Total vector operations (instruction-reference proxy, vector part).
+  [[nodiscard]] std::uint64_t vector_total() const;
+  /// Total scalar operations (instruction-reference proxy, scalar part).
+  [[nodiscard]] std::uint64_t scalar_total() const;
+  /// Instruction-reference proxy: everything.
+  [[nodiscard]] std::uint64_t instruction_refs() const;
+  /// Data-reference proxy: vector + scalar memory operations.
+  [[nodiscard]] std::uint64_t data_refs() const;
+
+  OpCounts& operator+=(const OpCounts& o);
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Reset this thread's counters to zero.
+void reset();
+
+/// Snapshot this thread's counters.
+[[nodiscard]] OpCounts snapshot();
+
+/// Add `n` to category `c` on this thread. Engines call this through the
+/// VALIGN_COUNT hooks; it is a plain thread-local increment.
+void count(OpCategory c, std::uint64_t n) noexcept;
+
+namespace detail {
+// Exposed for the hot-path inline increment in counting_vec.hpp.
+extern thread_local std::array<std::uint64_t, kOpCategoryCount> tls_counts;
+}  // namespace detail
+
+inline void count_inline(OpCategory c, std::uint64_t n) noexcept {
+  detail::tls_counts[static_cast<std::size_t>(c)] += n;
+}
+
+}  // namespace valign::instrument

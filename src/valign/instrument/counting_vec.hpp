@@ -1,0 +1,118 @@
+// Drop-in instrumented wrapper for any SIMD backend.
+//
+// CountingVec<V> satisfies the same SimdVec contract as V while tallying
+// every operation into the thread-local instrument counters. Engines are
+// templates over the vector type, so instantiating them with CountingVec<V>
+// yields an exact per-category operation census of the kernel — the valign
+// stand-in for the paper's Pin/cachegrind/VTune measurements.
+#pragma once
+
+#include "valign/instrument/counters.hpp"
+#include "valign/simd/vec_traits.hpp"
+
+namespace valign::instrument {
+
+template <valign::simd::SimdVec V>
+struct CountingVec {
+  using inner_type = V;
+  using value_type = typename V::value_type;
+  using traits = typename V::traits;
+  static constexpr int lanes = V::lanes;
+  static constexpr int bits = V::bits;
+  static constexpr value_type neg_inf = V::neg_inf;
+
+  V v;
+
+  CountingVec() = default;
+  explicit CountingVec(V inner) : v(inner) {}
+
+  [[nodiscard]] static CountingVec zero() noexcept {
+    count_inline(OpCategory::VecSwizzle, 1);
+    return CountingVec{V::zero()};
+  }
+  [[nodiscard]] static CountingVec broadcast(value_type s) noexcept {
+    count_inline(OpCategory::VecSwizzle, 1);
+    return CountingVec{V::broadcast(s)};
+  }
+  [[nodiscard]] static CountingVec load(const value_type* p) noexcept {
+    count_inline(OpCategory::VecMemory, 1);
+    return CountingVec{V::load(p)};
+  }
+  [[nodiscard]] static CountingVec loadu(const value_type* p) noexcept {
+    count_inline(OpCategory::VecMemory, 1);
+    return CountingVec{V::loadu(p)};
+  }
+  void store(value_type* p) const noexcept {
+    count_inline(OpCategory::VecMemory, 1);
+    v.store(p);
+  }
+  void storeu(value_type* p) const noexcept {
+    count_inline(OpCategory::VecMemory, 1);
+    v.storeu(p);
+  }
+
+  [[nodiscard]] static CountingVec adds(CountingVec a, CountingVec b) noexcept {
+    count_inline(OpCategory::VecArith, 1);
+    return CountingVec{V::adds(a.v, b.v)};
+  }
+  [[nodiscard]] static CountingVec subs(CountingVec a, CountingVec b) noexcept {
+    count_inline(OpCategory::VecArith, 1);
+    return CountingVec{V::subs(a.v, b.v)};
+  }
+  [[nodiscard]] static CountingVec max(CountingVec a, CountingVec b) noexcept {
+    count_inline(OpCategory::VecCompare, 1);
+    return CountingVec{V::max(a.v, b.v)};
+  }
+  [[nodiscard]] static CountingVec min(CountingVec a, CountingVec b) noexcept {
+    count_inline(OpCategory::VecCompare, 1);
+    return CountingVec{V::min(a.v, b.v)};
+  }
+
+  [[nodiscard]] static bool any_gt(CountingVec a, CountingVec b) noexcept {
+    // A convergence test is one vector compare plus one mask creation.
+    count_inline(OpCategory::VecCompare, 1);
+    count_inline(OpCategory::VecMask, 1);
+    return V::any_gt(a.v, b.v);
+  }
+  [[nodiscard]] static bool equals(CountingVec a, CountingVec b) noexcept {
+    count_inline(OpCategory::VecCompare, 1);
+    count_inline(OpCategory::VecMask, 1);
+    return V::equals(a.v, b.v);
+  }
+
+  [[nodiscard]] static CountingVec shift_in(CountingVec a, value_type fill) noexcept {
+    count_inline(OpCategory::VecSwizzle, 1);
+    return CountingVec{V::shift_in(a.v, fill)};
+  }
+  template <int K>
+  [[nodiscard]] static CountingVec shift_in_k(CountingVec a, value_type fill) noexcept {
+    count_inline(OpCategory::VecSwizzle, 1);
+    return CountingVec{V::template shift_in_k<K>(a.v, fill)};
+  }
+
+  [[nodiscard]] value_type lane(int i) const noexcept {
+    count_inline(OpCategory::VecSwizzle, 1);
+    return v.lane(i);
+  }
+  [[nodiscard]] value_type first() const noexcept { return lane(0); }
+  [[nodiscard]] value_type last() const noexcept { return lane(lanes - 1); }
+  [[nodiscard]] value_type hmax() const noexcept {
+    count_inline(OpCategory::VecSwizzle, 1);
+    return v.hmax();
+  }
+};
+
+/// True for CountingVec instantiations; engines use this to emit their
+/// scalar-op bookkeeping only when instrumented (zero cost otherwise).
+template <class V>
+inline constexpr bool is_counting_v = false;
+template <valign::simd::SimdVec V>
+inline constexpr bool is_counting_v<CountingVec<V>> = true;
+
+/// Engine-side scalar op hook: a no-op unless V is a CountingVec.
+template <class V>
+inline void count_scalar(OpCategory c, std::uint64_t n) noexcept {
+  if constexpr (is_counting_v<V>) count_inline(c, n);
+}
+
+}  // namespace valign::instrument

@@ -1,0 +1,60 @@
+// Residue alphabets and character encoding.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "valign/common.hpp"
+
+namespace valign {
+
+/// Maps residue characters to dense codes [0, size) and back.
+///
+/// Encoding is case-insensitive. Characters outside the alphabet map to the
+/// wildcard residue when one exists ('X' for protein, 'N' for DNA), otherwise
+/// encode() reports failure via the -1 sentinel.
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  /// `letters` lists the residues in code order, e.g. "ARNDCQEGHILKMFPSTWYVBZX*".
+  /// `wildcard` is the catch-all residue (0 to disable).
+  explicit Alphabet(std::string letters, char wildcard = 0);
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(letters_.size()); }
+  [[nodiscard]] const std::string& letters() const noexcept { return letters_; }
+  [[nodiscard]] char wildcard() const noexcept { return wildcard_; }
+
+  /// Dense code for `c`, the wildcard's code for unknown characters, or -1
+  /// when unknown and no wildcard is configured.
+  [[nodiscard]] int encode(char c) const noexcept {
+    return table_[static_cast<unsigned char>(c)];
+  }
+
+  /// Character for code `i` (undefined for out-of-range codes).
+  [[nodiscard]] char decode(int i) const noexcept {
+    return letters_[static_cast<std::size_t>(i)];
+  }
+
+  [[nodiscard]] bool contains(char c) const noexcept {
+    return table_[static_cast<unsigned char>(c)] >= 0;
+  }
+
+  [[nodiscard]] bool operator==(const Alphabet& o) const noexcept {
+    return letters_ == o.letters_ && wildcard_ == o.wildcard_;
+  }
+
+  /// The 24-letter NCBI protein alphabet used by the BLOSUM matrices.
+  [[nodiscard]] static const Alphabet& protein();
+  /// A-C-G-T plus the N wildcard.
+  [[nodiscard]] static const Alphabet& dna();
+
+ private:
+  std::string letters_;
+  char wildcard_ = 0;
+  std::array<std::int16_t, 256> table_{};  // -1 = unknown
+};
+
+}  // namespace valign

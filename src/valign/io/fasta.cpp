@@ -1,0 +1,86 @@
+#include "valign/io/fasta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace valign {
+
+namespace {
+
+std::string header_name(const std::string& line) {
+  // Skip '>' then take the first whitespace-delimited token.
+  std::size_t start = 1;
+  while (start < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[start]))) {
+    ++start;
+  }
+  std::size_t end = start;
+  while (end < line.size() && !std::isspace(static_cast<unsigned char>(line[end]))) {
+    ++end;
+  }
+  return line.substr(start, end - start);
+}
+
+}  // namespace
+
+Dataset read_fasta(std::istream& in, const Alphabet& alphabet) {
+  Dataset ds(alphabet);
+  std::string line;
+  std::string name;
+  std::string residues;
+  bool in_record = false;
+
+  auto flush = [&] {
+    if (!in_record) return;
+    if (residues.empty()) {
+      throw Error("FASTA: record '" + name + "' has no residues");
+    }
+    ds.add(Sequence(name, residues, alphabet));
+    residues.clear();
+  };
+
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      name = header_name(line);
+      if (name.empty()) throw Error("FASTA: header with empty name");
+      in_record = true;
+    } else if (line[0] == ';') {
+      continue;  // classic FASTA comment line
+    } else {
+      if (!in_record) throw Error("FASTA: sequence data before first '>' header");
+      residues += line;
+    }
+  }
+  flush();
+  return ds;
+}
+
+Dataset read_fasta_file(const std::string& path, const Alphabet& alphabet) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open FASTA file: " + path);
+  return read_fasta(in, alphabet);
+}
+
+void write_fasta(std::ostream& out, const Dataset& ds, int width) {
+  if (width <= 0) throw Error("write_fasta: width must be positive");
+  for (const Sequence& s : ds) {
+    out << '>' << s.name() << '\n';
+    const std::string chars = s.to_string();
+    for (std::size_t i = 0; i < chars.size(); i += static_cast<std::size_t>(width)) {
+      out << chars.substr(i, static_cast<std::size_t>(width)) << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path, const Dataset& ds, int width) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open FASTA file for writing: " + path);
+  write_fasta(out, ds, width);
+}
+
+}  // namespace valign

@@ -1,0 +1,26 @@
+// FASTA reading and writing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "valign/io/sequence.hpp"
+
+namespace valign {
+
+/// Reads every record of a FASTA stream into a Dataset, encoding residues
+/// with `alphabet`. Header lines start with '>'; the first whitespace-
+/// delimited token becomes the sequence name. Throws valign::Error on
+/// malformed input (data before the first header, empty records).
+[[nodiscard]] Dataset read_fasta(std::istream& in, const Alphabet& alphabet);
+
+/// File-path convenience overload. Throws valign::Error if unreadable.
+[[nodiscard]] Dataset read_fasta_file(const std::string& path, const Alphabet& alphabet);
+
+/// Writes `ds` in FASTA format with lines wrapped at `width` residues.
+void write_fasta(std::ostream& out, const Dataset& ds, int width = 70);
+
+/// File-path convenience overload. Throws valign::Error if unwritable.
+void write_fasta_file(const std::string& path, const Dataset& ds, int width = 70);
+
+}  // namespace valign

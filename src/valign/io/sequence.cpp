@@ -1,0 +1,101 @@
+#include "valign/io/sequence.hpp"
+
+#include <cctype>
+
+namespace valign {
+
+// --- Alphabet ---------------------------------------------------------------
+
+Alphabet::Alphabet(std::string letters, char wildcard)
+    : letters_(std::move(letters)), wildcard_(wildcard) {
+  table_.fill(-1);
+  for (std::size_t i = 0; i < letters_.size(); ++i) {
+    const char c = letters_[i];
+    table_[static_cast<unsigned char>(std::toupper(static_cast<unsigned char>(c)))] =
+        static_cast<std::int16_t>(i);
+    table_[static_cast<unsigned char>(std::tolower(static_cast<unsigned char>(c)))] =
+        static_cast<std::int16_t>(i);
+  }
+  if (wildcard_ != 0) {
+    const std::int16_t wc = table_[static_cast<unsigned char>(wildcard_)];
+    if (wc < 0) throw Error("Alphabet: wildcard not in letter set");
+    for (int c = 0; c < 256; ++c) {
+      if (table_[static_cast<std::size_t>(c)] < 0 &&
+          std::isalpha(static_cast<unsigned char>(c))) {
+        table_[static_cast<std::size_t>(c)] = wc;
+      }
+    }
+  }
+}
+
+const Alphabet& Alphabet::protein() {
+  static const Alphabet a("ARNDCQEGHILKMFPSTWYVBZX*", 'X');
+  return a;
+}
+
+const Alphabet& Alphabet::dna() {
+  static const Alphabet a("ACGTN", 'N');
+  return a;
+}
+
+// --- Sequence ---------------------------------------------------------------
+
+Sequence::Sequence(std::string name, std::string_view residues,
+                   const Alphabet& alphabet)
+    : name_(std::move(name)), alphabet_(&alphabet) {
+  codes_.reserve(residues.size());
+  for (char c : residues) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const int code = alphabet.encode(c);
+    if (code < 0) {
+      throw Error("Sequence '" + name_ + "': character '" + std::string(1, c) +
+                  "' outside alphabet and no wildcard configured");
+    }
+    codes_.push_back(static_cast<std::uint8_t>(code));
+  }
+}
+
+Sequence::Sequence(std::string name, std::vector<std::uint8_t> codes,
+                   const Alphabet& alphabet)
+    : name_(std::move(name)), codes_(std::move(codes)), alphabet_(&alphabet) {
+  for (const std::uint8_t c : codes_) {
+    if (c >= static_cast<std::uint8_t>(alphabet.size())) {
+      throw Error("Sequence '" + name_ + "': code out of alphabet range");
+    }
+  }
+}
+
+std::string Sequence::to_string() const {
+  std::string s;
+  s.reserve(codes_.size());
+  for (const std::uint8_t c : codes_) s.push_back(alphabet_->decode(c));
+  return s;
+}
+
+// --- Dataset ----------------------------------------------------------------
+
+void Dataset::add(Sequence s) {
+  if (!(s.alphabet() == *alphabet_)) {
+    throw Error("Dataset::add: sequence alphabet differs from dataset alphabet");
+  }
+  seqs_.push_back(std::move(s));
+}
+
+std::uint64_t Dataset::total_residues() const noexcept {
+  std::uint64_t t = 0;
+  for (const Sequence& s : seqs_) t += s.size();
+  return t;
+}
+
+double Dataset::mean_length() const noexcept {
+  if (seqs_.empty()) return 0.0;
+  return static_cast<double>(total_residues()) / static_cast<double>(seqs_.size());
+}
+
+std::size_t Dataset::max_length() const noexcept {
+  std::size_t m = 0;
+  for (const Sequence& s : seqs_) m = std::max(m, s.size());
+  return m;
+}
+
+}  // namespace valign

@@ -1,0 +1,73 @@
+// Biological sequences: encoded residue storage plus dataset containers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "valign/common.hpp"
+#include "valign/io/alphabet.hpp"
+
+namespace valign {
+
+/// A named sequence stored as dense residue codes for an Alphabet.
+///
+/// Engines consume the encoded form (`codes()`); the raw characters can be
+/// recovered with `to_string()`.
+class Sequence {
+ public:
+  Sequence() = default;
+
+  /// Encodes `residues` with `alphabet`. Unknown characters map to the
+  /// alphabet wildcard; throws valign::Error if there is no wildcard.
+  Sequence(std::string name, std::string_view residues, const Alphabet& alphabet);
+
+  /// Adopts already-encoded codes (used by generators).
+  Sequence(std::string name, std::vector<std::uint8_t> codes, const Alphabet& alphabet);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return codes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return codes_.empty(); }
+  [[nodiscard]] std::span<const std::uint8_t> codes() const noexcept { return codes_; }
+  [[nodiscard]] const Alphabet& alphabet() const noexcept { return *alphabet_; }
+  [[nodiscard]] std::uint8_t operator[](std::size_t i) const noexcept { return codes_[i]; }
+
+  /// Decode back into residue characters.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<std::uint8_t> codes_;
+  const Alphabet* alphabet_ = &Alphabet::protein();
+};
+
+/// An ordered collection of sequences sharing one alphabet.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(const Alphabet& alphabet) : alphabet_(&alphabet) {}
+
+  void add(Sequence s);
+  [[nodiscard]] std::size_t size() const noexcept { return seqs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return seqs_.empty(); }
+  [[nodiscard]] const Sequence& operator[](std::size_t i) const noexcept { return seqs_[i]; }
+  [[nodiscard]] const Alphabet& alphabet() const noexcept { return *alphabet_; }
+
+  [[nodiscard]] auto begin() const noexcept { return seqs_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return seqs_.end(); }
+
+  /// Total residues across all sequences.
+  [[nodiscard]] std::uint64_t total_residues() const noexcept;
+  /// Mean sequence length (0 for an empty dataset).
+  [[nodiscard]] double mean_length() const noexcept;
+  /// Longest sequence length (0 for an empty dataset).
+  [[nodiscard]] std::size_t max_length() const noexcept;
+
+ private:
+  std::vector<Sequence> seqs_;
+  const Alphabet* alphabet_ = &Alphabet::protein();
+};
+
+}  // namespace valign

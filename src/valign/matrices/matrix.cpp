@@ -1,0 +1,68 @@
+#include "valign/matrices/matrix.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace valign {
+
+ScoreMatrix::ScoreMatrix(std::string name, Alphabet alphabet,
+                         std::vector<std::int8_t> scores, GapPenalty default_gaps)
+    : name_(std::move(name)),
+      alphabet_(std::move(alphabet)),
+      scores_(std::move(scores)),
+      gaps_(default_gaps),
+      size_(alphabet_.size()) {
+  const auto expected =
+      static_cast<std::size_t>(size_) * static_cast<std::size_t>(size_);
+  if (scores_.size() != expected) {
+    throw Error("ScoreMatrix '" + name_ + "': got " + std::to_string(scores_.size()) +
+                " scores, expected " + std::to_string(expected));
+  }
+  const auto [mn, mx] = std::minmax_element(scores_.begin(), scores_.end());
+  min_ = *mn;
+  max_ = *mx;
+}
+
+std::int8_t ScoreMatrix::score_chars(char a, char b) const {
+  const int ca = alphabet_.encode(a);
+  const int cb = alphabet_.encode(b);
+  if (ca < 0 || cb < 0) {
+    throw Error("ScoreMatrix '" + name_ + "': character outside alphabet");
+  }
+  return score(ca, cb);
+}
+
+bool ScoreMatrix::symmetric() const noexcept {
+  for (int a = 0; a < size_; ++a)
+    for (int b = a + 1; b < size_; ++b)
+      if (score(a, b) != score(b, a)) return false;
+  return true;
+}
+
+const ScoreMatrix& ScoreMatrix::from_name(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  for (const ScoreMatrix* m : builtins()) {
+    if (m->name() == lower) return *m;
+  }
+  throw Error("unknown substitution matrix: " + std::string(name));
+}
+
+ScoreMatrix ScoreMatrix::dna(std::int8_t match, std::int8_t mismatch) {
+  const Alphabet& a = Alphabet::dna();
+  const int n = a.size();
+  std::vector<std::int8_t> s(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  const int wild = a.encode(a.wildcard());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::int8_t v = (i == j) ? match : static_cast<std::int8_t>(-mismatch);
+      if (i == wild || j == wild) v = 0;
+      s[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+        static_cast<std::size_t>(j)] = v;
+    }
+  }
+  return ScoreMatrix("dna", a, std::move(s), GapPenalty{10, 1});
+}
+
+}  // namespace valign

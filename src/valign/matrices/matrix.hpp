@@ -1,0 +1,78 @@
+// Substitution matrices (BLOSUM family, DNA, identity) and lookups.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "valign/common.hpp"
+#include "valign/io/alphabet.hpp"
+
+namespace valign {
+
+/// A residue-pair substitution score matrix plus its NCBI default gap
+/// penalties (the defaults the paper uses in §VI-E / Fig. 5).
+class ScoreMatrix {
+ public:
+  ScoreMatrix() = default;
+
+  /// `scores` is row-major, size() x size() in the alphabet's code order.
+  ScoreMatrix(std::string name, Alphabet alphabet,
+              std::vector<std::int8_t> scores, GapPenalty default_gaps);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Alphabet& alphabet() const noexcept { return alphabet_; }
+  [[nodiscard]] int size() const noexcept { return alphabet_.size(); }
+  [[nodiscard]] GapPenalty default_gaps() const noexcept { return gaps_; }
+
+  /// Score for the encoded residue pair (a, b).
+  [[nodiscard]] std::int8_t score(int a, int b) const noexcept {
+    return scores_[static_cast<std::size_t>(a) * static_cast<std::size_t>(size_) +
+                   static_cast<std::size_t>(b)];
+  }
+
+  /// Score for a raw character pair (convenience; encodes through the alphabet).
+  [[nodiscard]] std::int8_t score_chars(char a, char b) const;
+
+  /// Row `a` of the matrix (used by profile construction).
+  [[nodiscard]] std::span<const std::int8_t> row(int a) const noexcept {
+    return {scores_.data() + static_cast<std::size_t>(a) * static_cast<std::size_t>(size_),
+            static_cast<std::size_t>(size_)};
+  }
+
+  [[nodiscard]] std::int8_t max_score() const noexcept { return max_; }
+  [[nodiscard]] std::int8_t min_score() const noexcept { return min_; }
+
+  /// True when score(a,b) == score(b,a) for all pairs.
+  [[nodiscard]] bool symmetric() const noexcept;
+
+  // --- Built-in matrices (NCBI data, §VI "Scoring Scheme Defaults") -------
+  [[nodiscard]] static const ScoreMatrix& blosum45();
+  [[nodiscard]] static const ScoreMatrix& blosum50();
+  [[nodiscard]] static const ScoreMatrix& blosum62();
+  [[nodiscard]] static const ScoreMatrix& blosum80();
+  [[nodiscard]] static const ScoreMatrix& blosum90();
+
+  /// Lookup by case-insensitive name ("blosum62", "BLOSUM80", …).
+  /// Throws valign::Error for unknown names.
+  [[nodiscard]] static const ScoreMatrix& from_name(std::string_view name);
+
+  /// All built-in matrices, in the order the paper sweeps them (Fig. 5).
+  [[nodiscard]] static std::span<const ScoreMatrix* const> builtins();
+
+  /// Simple DNA matrix: `match` on the diagonal, `-mismatch` elsewhere,
+  /// zero against the N wildcard.
+  [[nodiscard]] static ScoreMatrix dna(std::int8_t match = 2, std::int8_t mismatch = 3);
+
+ private:
+  std::string name_;
+  Alphabet alphabet_;
+  std::vector<std::int8_t> scores_;
+  GapPenalty gaps_{};
+  int size_ = 0;
+  std::int8_t max_ = 0;
+  std::int8_t min_ = 0;
+};
+
+}  // namespace valign

@@ -1,0 +1,110 @@
+#include "valign/matrices/parser.hpp"
+
+#include <cctype>
+#include <iomanip>
+#include <istream>
+#include <sstream>
+#include <vector>
+
+namespace valign {
+
+namespace {
+
+bool is_blank_or_comment(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ScoreMatrix parse_ncbi_matrix(std::string_view text, std::string name,
+                              GapPenalty default_gaps) {
+  std::istringstream in{std::string(text)};
+  return parse_ncbi_matrix(in, std::move(name), default_gaps);
+}
+
+ScoreMatrix parse_ncbi_matrix(std::istream& in, std::string name,
+                              GapPenalty default_gaps) {
+  std::string line;
+  std::string header_letters;
+
+  // Column header: the first non-comment, non-blank line.
+  while (std::getline(in, line)) {
+    if (is_blank_or_comment(line)) continue;
+    std::istringstream ls(line);
+    std::string tok;
+    while (ls >> tok) {
+      if (tok.size() != 1) {
+        throw Error("matrix '" + name + "': bad header token '" + tok + "'");
+      }
+      header_letters.push_back(tok[0]);
+    }
+    break;
+  }
+  if (header_letters.empty()) {
+    throw Error("matrix '" + name + "': missing column header");
+  }
+
+  const int n = static_cast<int>(header_letters.size());
+  char wildcard = 0;
+  if (header_letters.find('X') != std::string::npos) wildcard = 'X';
+  else if (header_letters.find('N') != std::string::npos) wildcard = 'N';
+
+  std::vector<std::int8_t> scores(static_cast<std::size_t>(n) *
+                                  static_cast<std::size_t>(n));
+  int row = 0;
+  while (row < n && std::getline(in, line)) {
+    if (is_blank_or_comment(line)) continue;
+    std::istringstream ls(line);
+    std::string tok;
+    if (!(ls >> tok) || tok.size() != 1 || tok[0] != header_letters[static_cast<std::size_t>(row)]) {
+      throw Error("matrix '" + name + "': row " + std::to_string(row) +
+                  " does not start with '" + header_letters[static_cast<std::size_t>(row)] + "'");
+    }
+    for (int col = 0; col < n; ++col) {
+      int v = 0;
+      if (!(ls >> v)) {
+        throw Error("matrix '" + name + "': row '" + tok + "' has fewer than " +
+                    std::to_string(n) + " scores");
+      }
+      if (v < -128 || v > 127) {
+        throw Error("matrix '" + name + "': score " + std::to_string(v) +
+                    " out of int8 range");
+      }
+      scores[static_cast<std::size_t>(row) * static_cast<std::size_t>(n) +
+             static_cast<std::size_t>(col)] = static_cast<std::int8_t>(v);
+    }
+    int extra = 0;
+    if (ls >> extra) {
+      throw Error("matrix '" + name + "': row '" + tok + "' has more than " +
+                  std::to_string(n) + " scores");
+    }
+    ++row;
+  }
+  if (row != n) {
+    throw Error("matrix '" + name + "': expected " + std::to_string(n) +
+                " rows, got " + std::to_string(row));
+  }
+
+  return ScoreMatrix(std::move(name), Alphabet(header_letters, wildcard),
+                     std::move(scores), default_gaps);
+}
+
+std::string format_ncbi_matrix(const ScoreMatrix& m) {
+  std::ostringstream os;
+  os << "# " << m.name() << "\n  ";
+  const int n = m.size();
+  for (int j = 0; j < n; ++j) os << ' ' << std::setw(2) << m.alphabet().decode(j);
+  os << "\n";
+  for (int i = 0; i < n; ++i) {
+    os << m.alphabet().decode(i) << ' ';
+    for (int j = 0; j < n; ++j) os << ' ' << std::setw(2) << int{m.score(i, j)};
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace valign

@@ -1,0 +1,31 @@
+// Parser for NCBI-format substitution matrix files.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+#include "valign/matrices/matrix.hpp"
+
+namespace valign {
+
+/// Parses the NCBI matrix text format:
+///
+///   # comment lines
+///      A  R  N  D ...        <- column header: residues in code order
+///   A  4 -1 -2 -2 ...        <- one row per residue
+///   R -1  5  0 -2 ...
+///
+/// The alphabet is taken from the header (wildcard 'X'/'N' detected
+/// automatically). Row characters must match the header order.
+/// Throws valign::Error on malformed input.
+[[nodiscard]] ScoreMatrix parse_ncbi_matrix(std::string_view text, std::string name,
+                                            GapPenalty default_gaps);
+
+/// Stream overload (reads to EOF).
+[[nodiscard]] ScoreMatrix parse_ncbi_matrix(std::istream& in, std::string name,
+                                            GapPenalty default_gaps);
+
+/// Renders a matrix back into NCBI text format (round-trips with the parser).
+[[nodiscard]] std::string format_ncbi_matrix(const ScoreMatrix& m);
+
+}  // namespace valign

@@ -1,0 +1,73 @@
+#include "valign/simd/arch.hpp"
+
+namespace valign::simd {
+
+namespace {
+
+CpuFeatures detect() noexcept {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  f.sse41 = __builtin_cpu_supports("sse4.1");
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.avx512bw = __builtin_cpu_supports("avx512f") &&
+               __builtin_cpu_supports("avx512bw") &&
+               __builtin_cpu_supports("avx512vl");
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() noexcept {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+bool isa_available(Isa isa) noexcept {
+  const CpuFeatures& f = cpu_features();
+  switch (isa) {
+    case Isa::Emul:
+      return true;
+    case Isa::SSE41:
+#if defined(__SSE4_1__)
+      return f.sse41;
+#else
+      return false;
+#endif
+    case Isa::AVX2:
+#if defined(__AVX2__)
+      return f.avx2;
+#else
+      return false;
+#endif
+    case Isa::AVX512:
+#if defined(__AVX512BW__)
+      return f.avx512bw;
+#else
+      return false;
+#endif
+    case Isa::Auto:
+      return true;
+  }
+  return false;
+}
+
+Isa best_isa() noexcept {
+  if (isa_available(Isa::AVX512)) return Isa::AVX512;
+  if (isa_available(Isa::AVX2)) return Isa::AVX2;
+  if (isa_available(Isa::SSE41)) return Isa::SSE41;
+  return Isa::Emul;
+}
+
+int native_lanes(Isa isa, int bits) noexcept {
+  if (bits != 8 && bits != 16 && bits != 32) return 0;
+  switch (isa) {
+    case Isa::SSE41: return 128 / bits;
+    case Isa::AVX2: return 256 / bits;
+    case Isa::AVX512: return 512 / bits;
+    default: return 0;
+  }
+}
+
+}  // namespace valign::simd

@@ -1,0 +1,28 @@
+// Runtime CPU feature detection used to gate ISA dispatch.
+#pragma once
+
+#include "valign/common.hpp"
+
+namespace valign::simd {
+
+/// Feature bits of the running CPU, queried once at startup.
+struct CpuFeatures {
+  bool sse41 = false;
+  bool avx2 = false;
+  bool avx512bw = false;  ///< AVX-512 F+BW+VL (what the 512-bit backend needs).
+};
+
+/// Detected features of the executing CPU (cached after first call).
+[[nodiscard]] const CpuFeatures& cpu_features() noexcept;
+
+/// True when `isa` can execute on this CPU *and* was compiled in.
+[[nodiscard]] bool isa_available(Isa isa) noexcept;
+
+/// Widest available ISA (resolution of Isa::Auto).
+[[nodiscard]] Isa best_isa() noexcept;
+
+/// Native lane count for `isa` at the given element width in bits,
+/// e.g. lanes(AVX2, 16) == 16. Emul reports 0 (caller chooses).
+[[nodiscard]] int native_lanes(Isa isa, int bits) noexcept;
+
+}  // namespace valign::simd

@@ -1,0 +1,55 @@
+// Horizontal (cross-lane) scan primitives used by the Scan engine (§IV).
+//
+// The Scan formulation reduces the vertical DP dependency to a prefix
+// max-with-decay over the column. In the striped layout the cross-lane part
+// of that scan is resolved here: given per-lane aggregates, compute for every
+// lane the max over all lower lanes with a fixed decay per lane step.
+#pragma once
+
+#include "valign/common.hpp"
+#include "valign/simd/vec_traits.hpp"
+
+namespace valign::simd {
+
+/// Inclusive max-scan with decay, linear form: p-1 shift/subs/max steps.
+///
+/// out[s] = max over s' <= s of (in[s'] - (s - s') * decay).
+/// This is the form the paper describes ("shifting the vector p-1 times").
+template <SimdVec V>
+[[nodiscard]] V hscan_max_decay_linear(V x, typename V::value_type decay) noexcept {
+  const V vdec = V::broadcast(decay);
+  for (int s = 1; s < V::lanes; ++s) {
+    x = V::max(x, V::subs(V::shift_in(x, V::neg_inf), vdec));
+  }
+  return x;
+}
+
+namespace detail {
+
+template <int K, SimdVec V>
+[[nodiscard]] V log_scan_step(V x, std::int64_t decay) noexcept {
+  if constexpr (K >= V::lanes) {
+    return x;
+  } else {
+    using T = typename V::value_type;
+    // Saturating the step constant is harmless: a candidate decayed by a
+    // saturated constant lands at/below neg_inf semantics for value ranges
+    // the engines permit (see dispatch width guards).
+    const T d = valign::detail::clamp_to<T>(std::int64_t{K} * decay);
+    const V shifted = V::template shift_in_k<K>(x, V::neg_inf);
+    x = V::max(x, V::subs(shifted, V::broadcast(d)));
+    return log_scan_step<K * 2>(x, decay);
+  }
+}
+
+}  // namespace detail
+
+/// Inclusive max-scan with decay, Blelloch-style doubling: lg(p) steps of
+/// shift-by-2^k. Same result as the linear form; used by the ablation bench
+/// to quantify the O(p) vs O(lg p) horizontal-scan trade-off.
+template <SimdVec V>
+[[nodiscard]] V hscan_max_decay_log(V x, typename V::value_type decay) noexcept {
+  return detail::log_scan_step<1>(x, std::int64_t{decay});
+}
+
+}  // namespace valign::simd

@@ -1,0 +1,54 @@
+// Umbrella header for the SIMD substrate.
+#pragma once
+
+#include "valign/simd/arch.hpp"
+#include "valign/simd/scan_ops.hpp"
+#include "valign/simd/vec_emul.hpp"
+#include "valign/simd/vec_traits.hpp"
+
+#if defined(__SSE4_1__)
+#include "valign/simd/vec128.hpp"
+#endif
+#if defined(__AVX2__)
+#include "valign/simd/vec256.hpp"
+#endif
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+#include "valign/simd/vec512.hpp"
+#endif
+
+namespace valign::simd {
+
+/// Compile-time map from (Isa, element type) to the backend vector type.
+/// Only defined for ISAs compiled into this binary.
+template <Isa I, class T>
+struct NativeVec;
+
+template <class T>
+struct NativeVec<Isa::Emul, T> {
+  // 16 lanes by default mirrors the paper's widest measured configuration.
+  using type = VEmul<T, 16>;
+};
+
+#if defined(__SSE4_1__)
+template <class T>
+struct NativeVec<Isa::SSE41, T> {
+  using type = V128<T>;
+};
+#endif
+#if defined(__AVX2__)
+template <class T>
+struct NativeVec<Isa::AVX2, T> {
+  using type = V256<T>;
+};
+#endif
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+template <class T>
+struct NativeVec<Isa::AVX512, T> {
+  using type = V512<T>;
+};
+#endif
+
+template <Isa I, class T>
+using native_vec_t = typename NativeVec<I, T>::type;
+
+}  // namespace valign::simd

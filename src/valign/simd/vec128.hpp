@@ -1,0 +1,144 @@
+// 128-bit (SSE4.1) vector backend.
+#pragma once
+
+#if defined(__SSE4_1__)
+
+#include <smmintrin.h>
+
+#include <array>
+#include <cstdint>
+
+#include "valign/simd/vec_traits.hpp"
+
+namespace valign::simd {
+
+/// 128-bit vector of T ∈ {int8_t, int16_t, int32_t} over SSE4.1.
+template <class T>
+struct V128 {
+  using value_type = T;
+  using traits = ElemTraits<T>;
+  static constexpr int lanes = 16 / int(sizeof(T));
+  static constexpr int bits = 128;
+  static constexpr T neg_inf = traits::neg_inf;
+
+  __m128i raw;
+
+  V128() : raw(_mm_setzero_si128()) {}
+  explicit V128(__m128i r) : raw(r) {}
+
+  [[nodiscard]] static V128 zero() noexcept { return V128{_mm_setzero_si128()}; }
+
+  [[nodiscard]] static V128 broadcast(T s) noexcept {
+    if constexpr (sizeof(T) == 1) return V128{_mm_set1_epi8(s)};
+    if constexpr (sizeof(T) == 2) return V128{_mm_set1_epi16(s)};
+    if constexpr (sizeof(T) == 4) return V128{_mm_set1_epi32(s)};
+  }
+
+  [[nodiscard]] static V128 load(const T* p) noexcept {
+    return V128{_mm_load_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  [[nodiscard]] static V128 loadu(const T* p) noexcept {
+    return V128{_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  void store(T* p) const noexcept {
+    _mm_store_si128(reinterpret_cast<__m128i*>(p), raw);
+  }
+  void storeu(T* p) const noexcept {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), raw);
+  }
+
+  [[nodiscard]] static V128 adds(V128 a, V128 b) noexcept {
+    if constexpr (sizeof(T) == 1) return V128{_mm_adds_epi8(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 2) return V128{_mm_adds_epi16(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 4) return V128{_mm_add_epi32(a.raw, b.raw)};
+  }
+  [[nodiscard]] static V128 subs(V128 a, V128 b) noexcept {
+    if constexpr (sizeof(T) == 1) return V128{_mm_subs_epi8(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 2) return V128{_mm_subs_epi16(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 4) return V128{_mm_sub_epi32(a.raw, b.raw)};
+  }
+  [[nodiscard]] static V128 max(V128 a, V128 b) noexcept {
+    if constexpr (sizeof(T) == 1) return V128{_mm_max_epi8(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 2) return V128{_mm_max_epi16(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 4) return V128{_mm_max_epi32(a.raw, b.raw)};
+  }
+  [[nodiscard]] static V128 min(V128 a, V128 b) noexcept {
+    if constexpr (sizeof(T) == 1) return V128{_mm_min_epi8(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 2) return V128{_mm_min_epi16(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 4) return V128{_mm_min_epi32(a.raw, b.raw)};
+  }
+
+  [[nodiscard]] static bool any_gt(V128 a, V128 b) noexcept {
+    __m128i m;
+    if constexpr (sizeof(T) == 1) m = _mm_cmpgt_epi8(a.raw, b.raw);
+    if constexpr (sizeof(T) == 2) m = _mm_cmpgt_epi16(a.raw, b.raw);
+    if constexpr (sizeof(T) == 4) m = _mm_cmpgt_epi32(a.raw, b.raw);
+    return _mm_movemask_epi8(m) != 0;
+  }
+
+  [[nodiscard]] static bool equals(V128 a, V128 b) noexcept {
+    const __m128i m = _mm_cmpeq_epi8(a.raw, b.raw);
+    return _mm_movemask_epi8(m) == 0xFFFF;
+  }
+
+  /// Shift every lane toward the higher index by one; `fill` enters lane 0.
+  [[nodiscard]] static V128 shift_in(V128 a, T fill) noexcept {
+    if constexpr (sizeof(T) == 1) {
+      return V128{_mm_insert_epi8(_mm_slli_si128(a.raw, 1), fill, 0)};
+    }
+    if constexpr (sizeof(T) == 2) {
+      return V128{_mm_insert_epi16(_mm_slli_si128(a.raw, 2), fill, 0)};
+    }
+    if constexpr (sizeof(T) == 4) {
+      return V128{_mm_insert_epi32(_mm_slli_si128(a.raw, 4), fill, 0)};
+    }
+  }
+
+  /// Shift by K lanes; `fill` enters lanes [0, K).
+  template <int K>
+  [[nodiscard]] static V128 shift_in_k(V128 a, T fill) noexcept {
+    static_assert(K >= 0 && K <= lanes);
+    if constexpr (K == 0) return a;
+    else if constexpr (K == lanes) return broadcast(fill);
+    else {
+      const __m128i shifted = _mm_slli_si128(a.raw, K * int(sizeof(T)));
+      return V128{_mm_blendv_epi8(shifted, broadcast(fill).raw,
+                                  low_bytes_mask<K * int(sizeof(T))>())};
+    }
+  }
+
+  [[nodiscard]] T lane(int i) const noexcept {
+    alignas(16) std::array<T, lanes> tmp;
+    store(tmp.data());
+    return tmp[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] T first() const noexcept { return lane(0); }
+  [[nodiscard]] T last() const noexcept { return lane(lanes - 1); }
+
+  [[nodiscard]] T hmax() const noexcept {
+    alignas(16) std::array<T, lanes> tmp;
+    store(tmp.data());
+    T m = tmp[0];
+    for (int i = 1; i < lanes; ++i) m = tmp[i] > m ? tmp[i] : m;
+    return m;
+  }
+
+ private:
+  template <int BYTES>
+  [[nodiscard]] static __m128i low_bytes_mask() noexcept {
+    static const __m128i m = [] {
+      alignas(16) std::array<std::int8_t, 16> a{};
+      for (int i = 0; i < BYTES; ++i) a[static_cast<std::size_t>(i)] = -1;
+      return _mm_load_si128(reinterpret_cast<const __m128i*>(a.data()));
+    }();
+    return m;
+  }
+};
+
+static_assert(SimdVec<V128<std::int8_t>>);
+static_assert(SimdVec<V128<std::int16_t>>);
+static_assert(SimdVec<V128<std::int32_t>>);
+
+}  // namespace valign::simd
+
+#endif  // __SSE4_1__

@@ -1,0 +1,157 @@
+// 256-bit (AVX2) vector backend.
+#pragma once
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <array>
+#include <cstdint>
+
+#include "valign/simd/vec_traits.hpp"
+
+namespace valign::simd {
+
+/// 256-bit vector of T ∈ {int8_t, int16_t, int32_t} over AVX2.
+template <class T>
+struct V256 {
+  using value_type = T;
+  using traits = ElemTraits<T>;
+  static constexpr int lanes = 32 / int(sizeof(T));
+  static constexpr int bits = 256;
+  static constexpr T neg_inf = traits::neg_inf;
+
+  __m256i raw;
+
+  V256() : raw(_mm256_setzero_si256()) {}
+  explicit V256(__m256i r) : raw(r) {}
+
+  [[nodiscard]] static V256 zero() noexcept { return V256{_mm256_setzero_si256()}; }
+
+  [[nodiscard]] static V256 broadcast(T s) noexcept {
+    if constexpr (sizeof(T) == 1) return V256{_mm256_set1_epi8(s)};
+    if constexpr (sizeof(T) == 2) return V256{_mm256_set1_epi16(s)};
+    if constexpr (sizeof(T) == 4) return V256{_mm256_set1_epi32(s)};
+  }
+
+  [[nodiscard]] static V256 load(const T* p) noexcept {
+    return V256{_mm256_load_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  [[nodiscard]] static V256 loadu(const T* p) noexcept {
+    return V256{_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  void store(T* p) const noexcept {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), raw);
+  }
+  void storeu(T* p) const noexcept {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), raw);
+  }
+
+  [[nodiscard]] static V256 adds(V256 a, V256 b) noexcept {
+    if constexpr (sizeof(T) == 1) return V256{_mm256_adds_epi8(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 2) return V256{_mm256_adds_epi16(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 4) return V256{_mm256_add_epi32(a.raw, b.raw)};
+  }
+  [[nodiscard]] static V256 subs(V256 a, V256 b) noexcept {
+    if constexpr (sizeof(T) == 1) return V256{_mm256_subs_epi8(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 2) return V256{_mm256_subs_epi16(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 4) return V256{_mm256_sub_epi32(a.raw, b.raw)};
+  }
+  [[nodiscard]] static V256 max(V256 a, V256 b) noexcept {
+    if constexpr (sizeof(T) == 1) return V256{_mm256_max_epi8(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 2) return V256{_mm256_max_epi16(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 4) return V256{_mm256_max_epi32(a.raw, b.raw)};
+  }
+  [[nodiscard]] static V256 min(V256 a, V256 b) noexcept {
+    if constexpr (sizeof(T) == 1) return V256{_mm256_min_epi8(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 2) return V256{_mm256_min_epi16(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 4) return V256{_mm256_min_epi32(a.raw, b.raw)};
+  }
+
+  [[nodiscard]] static bool any_gt(V256 a, V256 b) noexcept {
+    __m256i m;
+    if constexpr (sizeof(T) == 1) m = _mm256_cmpgt_epi8(a.raw, b.raw);
+    if constexpr (sizeof(T) == 2) m = _mm256_cmpgt_epi16(a.raw, b.raw);
+    if constexpr (sizeof(T) == 4) m = _mm256_cmpgt_epi32(a.raw, b.raw);
+    return _mm256_movemask_epi8(m) != 0;
+  }
+
+  [[nodiscard]] static bool equals(V256 a, V256 b) noexcept {
+    const __m256i m = _mm256_cmpeq_epi8(a.raw, b.raw);
+    return _mm256_movemask_epi8(m) == -1;
+  }
+
+  /// Shift every lane toward the higher index by one; `fill` enters lane 0.
+  ///
+  /// AVX2 byte shifts are per-128-bit-lane, so the low word of the upper half
+  /// must be carried across via permute2x128 + alignr (the standard idiom).
+  [[nodiscard]] static V256 shift_in(V256 a, T fill) noexcept {
+    // t = [ 0 (low 128) , a.low (high 128) ]
+    const __m256i t = _mm256_permute2x128_si256(a.raw, a.raw, 0x08);
+    __m256i r = _mm256_alignr_epi8(a.raw, t, 16 - int(sizeof(T)));
+    if constexpr (sizeof(T) == 1) r = _mm256_insert_epi8(r, fill, 0);
+    if constexpr (sizeof(T) == 2) r = _mm256_insert_epi16(r, fill, 0);
+    if constexpr (sizeof(T) == 4) r = _mm256_insert_epi32(r, fill, 0);
+    return V256{r};
+  }
+
+  /// Shift by K lanes; `fill` enters lanes [0, K).
+  template <int K>
+  [[nodiscard]] static V256 shift_in_k(V256 a, T fill) noexcept {
+    static_assert(K >= 0 && K <= lanes);
+    constexpr int B = K * int(sizeof(T));
+    if constexpr (K == 0) {
+      return a;
+    } else if constexpr (K == lanes) {
+      return broadcast(fill);
+    } else {
+      __m256i shifted;
+      const __m256i t = _mm256_permute2x128_si256(a.raw, a.raw, 0x08);
+      if constexpr (B < 16) {
+        shifted = _mm256_alignr_epi8(a.raw, t, 16 - B);
+      } else if constexpr (B == 16) {
+        shifted = t;
+      } else {
+        // Low 128 of t is zero, so a per-lane shift finishes the job.
+        shifted = _mm256_slli_si256(t, B - 16);
+      }
+      return V256{_mm256_blendv_epi8(shifted, broadcast(fill).raw,
+                                     low_bytes_mask<B>())};
+    }
+  }
+
+  [[nodiscard]] T lane(int i) const noexcept {
+    alignas(32) std::array<T, lanes> tmp;
+    store(tmp.data());
+    return tmp[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] T first() const noexcept { return lane(0); }
+  [[nodiscard]] T last() const noexcept { return lane(lanes - 1); }
+
+  [[nodiscard]] T hmax() const noexcept {
+    alignas(32) std::array<T, lanes> tmp;
+    store(tmp.data());
+    T m = tmp[0];
+    for (int i = 1; i < lanes; ++i) m = tmp[i] > m ? tmp[i] : m;
+    return m;
+  }
+
+ private:
+  template <int BYTES>
+  [[nodiscard]] static __m256i low_bytes_mask() noexcept {
+    static const __m256i m = [] {
+      alignas(32) std::array<std::int8_t, 32> a{};
+      for (int i = 0; i < BYTES; ++i) a[static_cast<std::size_t>(i)] = -1;
+      return _mm256_load_si256(reinterpret_cast<const __m256i*>(a.data()));
+    }();
+    return m;
+  }
+};
+
+static_assert(SimdVec<V256<std::int8_t>>);
+static_assert(SimdVec<V256<std::int16_t>>);
+static_assert(SimdVec<V256<std::int32_t>>);
+
+}  // namespace valign::simd
+
+#endif  // __AVX2__

@@ -1,0 +1,164 @@
+// 512-bit (AVX-512F/BW) vector backend.
+#pragma once
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+#include <array>
+#include <cstdint>
+
+#include "valign/simd/vec_traits.hpp"
+
+namespace valign::simd {
+
+/// 512-bit vector of T ∈ {int8_t, int16_t, int32_t} over AVX-512F+BW.
+template <class T>
+struct V512 {
+  using value_type = T;
+  using traits = ElemTraits<T>;
+  static constexpr int lanes = 64 / int(sizeof(T));
+  static constexpr int bits = 512;
+  static constexpr T neg_inf = traits::neg_inf;
+
+  __m512i raw;
+
+  V512() : raw(_mm512_setzero_si512()) {}
+  explicit V512(__m512i r) : raw(r) {}
+
+  [[nodiscard]] static V512 zero() noexcept { return V512{_mm512_setzero_si512()}; }
+
+  [[nodiscard]] static V512 broadcast(T s) noexcept {
+    if constexpr (sizeof(T) == 1) return V512{_mm512_set1_epi8(s)};
+    if constexpr (sizeof(T) == 2) return V512{_mm512_set1_epi16(s)};
+    if constexpr (sizeof(T) == 4) return V512{_mm512_set1_epi32(s)};
+  }
+
+  [[nodiscard]] static V512 load(const T* p) noexcept {
+    return V512{_mm512_load_si512(reinterpret_cast<const void*>(p))};
+  }
+  [[nodiscard]] static V512 loadu(const T* p) noexcept {
+    return V512{_mm512_loadu_si512(reinterpret_cast<const void*>(p))};
+  }
+  void store(T* p) const noexcept {
+    _mm512_store_si512(reinterpret_cast<void*>(p), raw);
+  }
+  void storeu(T* p) const noexcept {
+    _mm512_storeu_si512(reinterpret_cast<void*>(p), raw);
+  }
+
+  [[nodiscard]] static V512 adds(V512 a, V512 b) noexcept {
+    if constexpr (sizeof(T) == 1) return V512{_mm512_adds_epi8(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 2) return V512{_mm512_adds_epi16(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 4) return V512{_mm512_add_epi32(a.raw, b.raw)};
+  }
+  [[nodiscard]] static V512 subs(V512 a, V512 b) noexcept {
+    if constexpr (sizeof(T) == 1) return V512{_mm512_subs_epi8(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 2) return V512{_mm512_subs_epi16(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 4) return V512{_mm512_sub_epi32(a.raw, b.raw)};
+  }
+  [[nodiscard]] static V512 max(V512 a, V512 b) noexcept {
+    if constexpr (sizeof(T) == 1) return V512{_mm512_max_epi8(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 2) return V512{_mm512_max_epi16(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 4) return V512{_mm512_max_epi32(a.raw, b.raw)};
+  }
+  [[nodiscard]] static V512 min(V512 a, V512 b) noexcept {
+    if constexpr (sizeof(T) == 1) return V512{_mm512_min_epi8(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 2) return V512{_mm512_min_epi16(a.raw, b.raw)};
+    if constexpr (sizeof(T) == 4) return V512{_mm512_min_epi32(a.raw, b.raw)};
+  }
+
+  [[nodiscard]] static bool any_gt(V512 a, V512 b) noexcept {
+    if constexpr (sizeof(T) == 1) return _mm512_cmpgt_epi8_mask(a.raw, b.raw) != 0;
+    if constexpr (sizeof(T) == 2) return _mm512_cmpgt_epi16_mask(a.raw, b.raw) != 0;
+    if constexpr (sizeof(T) == 4) return _mm512_cmpgt_epi32_mask(a.raw, b.raw) != 0;
+  }
+
+  [[nodiscard]] static bool equals(V512 a, V512 b) noexcept {
+    return _mm512_cmpneq_epi64_mask(a.raw, b.raw) == 0;
+  }
+
+  /// Shift every lane toward the higher index by one; `fill` enters lane 0.
+  [[nodiscard]] static V512 shift_in(V512 a, T fill) noexcept {
+    if constexpr (sizeof(T) == 4) {
+      // valignd pulls the fill from a broadcast in the "low" operand.
+      return V512{_mm512_alignr_epi32(a.raw, _mm512_set1_epi32(fill), 15)};
+    } else {
+      // Per-128-lane alignr with the previous 128-bit lane as the carry.
+      const __m512i prev = _mm512_alignr_epi64(a.raw, _mm512_setzero_si512(), 6);
+      const __m512i r = _mm512_alignr_epi8(a.raw, prev, 16 - int(sizeof(T)));
+      if constexpr (sizeof(T) == 1)
+        return V512{_mm512_mask_set1_epi8(r, __mmask64{1}, fill)};
+      else
+        return V512{_mm512_mask_set1_epi16(r, __mmask32{1}, fill)};
+    }
+  }
+
+  /// Shift by K lanes; `fill` enters lanes [0, K).
+  template <int K>
+  [[nodiscard]] static V512 shift_in_k(V512 a, T fill) noexcept {
+    static_assert(K >= 0 && K <= lanes);
+    constexpr int B = K * int(sizeof(T));
+    if constexpr (K == 0) {
+      return a;
+    } else if constexpr (K == lanes) {
+      return broadcast(fill);
+    } else {
+      constexpr int whole128 = B / 16;
+      constexpr int rem = B % 16;
+      const __m512i z = _mm512_setzero_si512();
+      __m512i whole;
+      if constexpr (whole128 == 0) {
+        whole = a.raw;
+      } else {
+        whole = _mm512_alignr_epi64(a.raw, z, 8 - 2 * whole128);
+      }
+      __m512i res;
+      if constexpr (rem == 0) {
+        res = whole;
+      } else {
+        __m512i carry;
+        if constexpr (whole128 + 1 >= 4) {
+          carry = z;
+        } else {
+          carry = _mm512_alignr_epi64(a.raw, z, 8 - 2 * (whole128 + 1));
+        }
+        res = _mm512_alignr_epi8(whole, carry, 16 - rem);
+      }
+      if constexpr (sizeof(T) == 1) {
+        constexpr __mmask64 m = (K >= 64) ? ~__mmask64{0} : ((__mmask64{1} << K) - 1);
+        return V512{_mm512_mask_set1_epi8(res, m, fill)};
+      } else if constexpr (sizeof(T) == 2) {
+        constexpr auto m = static_cast<__mmask32>((std::uint64_t{1} << K) - 1);
+        return V512{_mm512_mask_set1_epi16(res, m, fill)};
+      } else {
+        constexpr auto m = static_cast<__mmask16>((std::uint64_t{1} << K) - 1);
+        return V512{_mm512_mask_set1_epi32(res, m, fill)};
+      }
+    }
+  }
+
+  [[nodiscard]] T lane(int i) const noexcept {
+    alignas(64) std::array<T, lanes> tmp;
+    store(tmp.data());
+    return tmp[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] T first() const noexcept { return lane(0); }
+  [[nodiscard]] T last() const noexcept { return lane(lanes - 1); }
+
+  [[nodiscard]] T hmax() const noexcept {
+    alignas(64) std::array<T, lanes> tmp;
+    store(tmp.data());
+    T m = tmp[0];
+    for (int i = 1; i < lanes; ++i) m = tmp[i] > m ? tmp[i] : m;
+    return m;
+  }
+};
+
+static_assert(SimdVec<V512<std::int8_t>>);
+static_assert(SimdVec<V512<std::int16_t>>);
+static_assert(SimdVec<V512<std::int32_t>>);
+
+}  // namespace valign::simd
+
+#endif  // __AVX512F__ && __AVX512BW__

@@ -1,0 +1,111 @@
+// Portable emulated vector backend.
+//
+// VEmul<T, N> implements the full backend contract with plain loops. It is
+// the semantic reference every intrinsic backend is tested against, and the
+// way to model lane counts beyond the host's native width (e.g. the 32- and
+// 64-lane "future hardware" the paper speculates about, §VI-C).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "valign/simd/vec_traits.hpp"
+
+namespace valign::simd {
+
+template <class T, int N>
+struct VEmul {
+  static_assert(N > 0 && (N & (N - 1)) == 0, "lane count must be a power of two");
+
+  using value_type = T;
+  using traits = ElemTraits<T>;
+  static constexpr int lanes = N;
+  static constexpr int bits = N * int(sizeof(T)) * 8;
+  static constexpr T neg_inf = traits::neg_inf;
+
+  std::array<T, N> v{};
+
+  [[nodiscard]] static VEmul zero() noexcept { return VEmul{}; }
+
+  [[nodiscard]] static VEmul broadcast(T s) noexcept {
+    VEmul r;
+    r.v.fill(s);
+    return r;
+  }
+
+  [[nodiscard]] static VEmul load(const T* p) noexcept {
+    VEmul r;
+    std::memcpy(r.v.data(), p, sizeof(r.v));
+    return r;
+  }
+  [[nodiscard]] static VEmul loadu(const T* p) noexcept { return load(p); }
+
+  void store(T* p) const noexcept { std::memcpy(p, v.data(), sizeof(v)); }
+  void storeu(T* p) const noexcept { store(p); }
+
+  [[nodiscard]] static VEmul adds(VEmul a, VEmul b) noexcept {
+    VEmul r;
+    for (int i = 0; i < N; ++i) r.v[i] = traits::adds(a.v[i], b.v[i]);
+    return r;
+  }
+
+  [[nodiscard]] static VEmul subs(VEmul a, VEmul b) noexcept {
+    VEmul r;
+    for (int i = 0; i < N; ++i) r.v[i] = traits::subs(a.v[i], b.v[i]);
+    return r;
+  }
+
+  [[nodiscard]] static VEmul max(VEmul a, VEmul b) noexcept {
+    VEmul r;
+    for (int i = 0; i < N; ++i) r.v[i] = std::max(a.v[i], b.v[i]);
+    return r;
+  }
+
+  [[nodiscard]] static VEmul min(VEmul a, VEmul b) noexcept {
+    VEmul r;
+    for (int i = 0; i < N; ++i) r.v[i] = std::min(a.v[i], b.v[i]);
+    return r;
+  }
+
+  /// True when a[i] > b[i] in any lane.
+  [[nodiscard]] static bool any_gt(VEmul a, VEmul b) noexcept {
+    for (int i = 0; i < N; ++i)
+      if (a.v[i] > b.v[i]) return true;
+    return false;
+  }
+
+  /// True when every lane is equal.
+  [[nodiscard]] static bool equals(VEmul a, VEmul b) noexcept { return a.v == b.v; }
+
+  /// Shift every lane toward the higher index by one; `fill` enters lane 0.
+  /// (Matches _mm_slli_si128 orientation on little-endian x86.)
+  [[nodiscard]] static VEmul shift_in(VEmul a, T fill) noexcept {
+    VEmul r;
+    r.v[0] = fill;
+    for (int i = 1; i < N; ++i) r.v[i] = a.v[i - 1];
+    return r;
+  }
+
+  /// Shift by K lanes; `fill` enters lanes [0, K).
+  template <int K>
+  [[nodiscard]] static VEmul shift_in_k(VEmul a, T fill) noexcept {
+    static_assert(K >= 0 && K <= N);
+    VEmul r;
+    for (int i = 0; i < K; ++i) r.v[i] = fill;
+    for (int i = K; i < N; ++i) r.v[i] = a.v[i - K];
+    return r;
+  }
+
+  [[nodiscard]] T lane(int i) const noexcept { return v[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] T first() const noexcept { return v[0]; }
+  [[nodiscard]] T last() const noexcept { return v[N - 1]; }
+
+  [[nodiscard]] T hmax() const noexcept { return *std::max_element(v.begin(), v.end()); }
+};
+
+static_assert(SimdVec<VEmul<std::int8_t, 16>>);
+static_assert(SimdVec<VEmul<std::int16_t, 8>>);
+static_assert(SimdVec<VEmul<std::int32_t, 4>>);
+
+}  // namespace valign::simd

@@ -1,0 +1,89 @@
+// Element-level semantics shared by every vector backend.
+//
+// valign's DP kernels use *saturating* arithmetic for 8/16-bit elements (the
+// x86 native behaviour) and plain wrapping arithmetic for 32-bit elements
+// (x86 has no saturating 32-bit adds). Engines using 32-bit elements keep all
+// values within [lowest()/2, max()/2] so wrapping never occurs in practice;
+// the dispatch layer enforces this (see core/dispatch.hpp).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace valign::simd {
+
+/// Per-element-type constants and reference (scalar) semantics.
+template <class T>
+struct ElemTraits {
+  static_assert(std::is_same_v<T, std::int8_t> || std::is_same_v<T, std::int16_t> ||
+                    std::is_same_v<T, std::int32_t>,
+                "valign supports int8_t, int16_t and int32_t DP elements");
+
+  static constexpr bool saturating = sizeof(T) < 4;
+
+  /// The "minus infinity" sentinel for DP boundaries. For saturating types the
+  /// type minimum is itself absorbing under `adds`. For 32-bit (wrapping adds)
+  /// we use min/4 so that even neg_inf + neg_inf plus bounded downward drift
+  /// (at most gap costs per column) stays strictly above the wrap point.
+  static constexpr T neg_inf =
+      saturating ? std::numeric_limits<T>::min()
+                 : static_cast<T>(std::numeric_limits<T>::min() / 4);
+
+  static constexpr T max_value = std::numeric_limits<T>::max();
+  static constexpr T min_value = std::numeric_limits<T>::min();
+
+  /// Reference semantics of the backend `adds` operation.
+  [[nodiscard]] static constexpr T adds(T a, T b) noexcept {
+    if constexpr (saturating) {
+      const std::int32_t s = std::int32_t{a} + std::int32_t{b};
+      if (s > max_value) return max_value;
+      if (s < min_value) return min_value;
+      return static_cast<T>(s);
+    } else {
+      return static_cast<T>(static_cast<std::uint32_t>(a) +
+                            static_cast<std::uint32_t>(b));
+    }
+  }
+
+  /// Reference semantics of the backend `subs` operation.
+  [[nodiscard]] static constexpr T subs(T a, T b) noexcept {
+    if constexpr (saturating) {
+      const std::int32_t s = std::int32_t{a} - std::int32_t{b};
+      if (s > max_value) return max_value;
+      if (s < min_value) return min_value;
+      return static_cast<T>(s);
+    } else {
+      return static_cast<T>(static_cast<std::uint32_t>(a) -
+                            static_cast<std::uint32_t>(b));
+    }
+  }
+};
+
+/// Compile-time shape/behaviour contract for the alignment kernels.
+/// Satisfied by VEmul, V128, V256, V512 and instrument::CountingVec.
+template <class V>
+concept SimdVec = requires(V v, typename V::value_type s,
+                           const typename V::value_type* cp,
+                           typename V::value_type* p) {
+  typename V::value_type;
+  { V::lanes } -> std::convertible_to<int>;
+  { V::zero() } -> std::same_as<V>;
+  { V::broadcast(s) } -> std::same_as<V>;
+  { V::load(cp) } -> std::same_as<V>;
+  { V::loadu(cp) } -> std::same_as<V>;
+  { v.store(p) };
+  { v.storeu(p) };
+  { V::adds(v, v) } -> std::same_as<V>;
+  { V::subs(v, v) } -> std::same_as<V>;
+  { V::max(v, v) } -> std::same_as<V>;
+  { V::min(v, v) } -> std::same_as<V>;
+  { V::any_gt(v, v) } -> std::same_as<bool>;
+  { V::equals(v, v) } -> std::same_as<bool>;
+  { V::shift_in(v, s) } -> std::same_as<V>;
+  { v.lane(0) } -> std::same_as<typename V::value_type>;
+  { v.hmax() } -> std::same_as<typename V::value_type>;
+};
+
+}  // namespace valign::simd

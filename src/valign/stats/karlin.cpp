@@ -1,0 +1,186 @@
+#include "valign/stats/karlin.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace valign::stats {
+
+namespace {
+
+// Robinson & Robinson (1991) amino-acid frequencies, code order
+// A R N D C Q E G H I L K M F P S T W Y V.
+constexpr std::array<double, 20> kRobinson = {
+    0.07805, 0.05129, 0.04487, 0.05364, 0.01925, 0.04264, 0.06295,
+    0.07377, 0.02199, 0.05142, 0.09019, 0.05744, 0.02243, 0.03856,
+    0.05203, 0.07120, 0.05841, 0.01330, 0.03216, 0.06441};
+
+constexpr std::array<double, 4> kDnaUniform = {0.25, 0.25, 0.25, 0.25};
+
+/// Score distribution of a random aligned pair: prob[s - lo] = P(score == s).
+struct ScoreDist {
+  int lo = 0;
+  int hi = 0;
+  std::vector<double> prob;  // size hi - lo + 1
+};
+
+ScoreDist score_distribution(const ScoreMatrix& matrix, std::span<const double> freqs) {
+  const int n = std::min<int>(matrix.size(), static_cast<int>(freqs.size()));
+  int lo = 0, hi = 0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      lo = std::min<int>(lo, matrix.score(a, b));
+      hi = std::max<int>(hi, matrix.score(a, b));
+    }
+  }
+  ScoreDist d;
+  d.lo = lo;
+  d.hi = hi;
+  d.prob.assign(static_cast<std::size_t>(hi - lo + 1), 0.0);
+  double total = 0.0;
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      const double p = freqs[static_cast<std::size_t>(a)] *
+                       freqs[static_cast<std::size_t>(b)];
+      d.prob[static_cast<std::size_t>(matrix.score(a, b) - lo)] += p;
+      total += p;
+    }
+  }
+  // Renormalize (the background may not cover the full alphabet).
+  for (double& p : d.prob) p /= total;
+  return d;
+}
+
+double expected_score(const ScoreDist& d) {
+  double ev = 0.0;
+  for (std::size_t i = 0; i < d.prob.size(); ++i) {
+    ev += d.prob[i] * static_cast<double>(d.lo + static_cast<int>(i));
+  }
+  return ev;
+}
+
+}  // namespace
+
+std::span<const double> robinson_frequencies() { return kRobinson; }
+std::span<const double> dna_frequencies() { return kDnaUniform; }
+
+double ungapped_lambda(const ScoreMatrix& matrix, std::span<const double> freqs) {
+  const ScoreDist d = score_distribution(matrix, freqs);
+  if (expected_score(d) >= 0.0) {
+    throw Error("ungapped_lambda: expected pair score must be negative");
+  }
+  if (d.hi <= 0) {
+    throw Error("ungapped_lambda: some pair must score positively");
+  }
+  auto f = [&](double lambda) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < d.prob.size(); ++i) {
+      s += d.prob[i] * std::exp(lambda * static_cast<double>(d.lo + static_cast<int>(i)));
+    }
+    return s - 1.0;
+  };
+  // f(0) = 0 with f'(0) < 0; bracket the positive root by doubling.
+  double hi = 0.5;
+  while (f(hi) < 0.0) {
+    hi *= 2.0;
+    if (hi > 1e4) throw Error("ungapped_lambda: failed to bracket the root");
+  }
+  double lo = hi / 2.0;
+  while (f(lo) > 0.0) lo /= 2.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) > 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double relative_entropy(const ScoreMatrix& matrix, std::span<const double> freqs,
+                        double lambda) {
+  const ScoreDist d = score_distribution(matrix, freqs);
+  double h = 0.0;
+  for (std::size_t i = 0; i < d.prob.size(); ++i) {
+    const double s = static_cast<double>(d.lo + static_cast<int>(i));
+    h += lambda * s * d.prob[i] * std::exp(lambda * s);
+  }
+  return h;
+}
+
+double ungapped_k(const ScoreMatrix& matrix, std::span<const double> freqs,
+                  double lambda, int iterations) {
+  const ScoreDist base = score_distribution(matrix, freqs);
+  const double h = relative_entropy(matrix, freqs, lambda);
+
+  // Lattice spacing: gcd of all scores with nonzero probability.
+  int d = 0;
+  for (std::size_t i = 0; i < base.prob.size(); ++i) {
+    if (base.prob[i] > 0.0) {
+      const int s = base.lo + static_cast<int>(i);
+      d = std::gcd(d, std::abs(s));
+    }
+  }
+  if (d == 0) d = 1;
+
+  // sigma = sum_{j>=1} (1/j) [ sum_{s<0} P_j(s) e^{lambda s} + sum_{s>=0} P_j(s) ]
+  // where P_j is the distribution of a sum of j i.i.d. pair scores.
+  double sigma = 0.0;
+  std::vector<double> pj = base.prob;  // P_1
+  int lo_j = base.lo;
+  for (int j = 1; j <= iterations; ++j) {
+    double inner = 0.0;
+    for (std::size_t i = 0; i < pj.size(); ++i) {
+      const double s = static_cast<double>(lo_j + static_cast<int>(i));
+      inner += (s < 0.0) ? pj[i] * std::exp(lambda * s) : pj[i];
+    }
+    sigma += inner / static_cast<double>(j);
+    if (j == iterations) break;
+    // Convolve with the base distribution for P_{j+1}.
+    std::vector<double> next(pj.size() + base.prob.size() - 1, 0.0);
+    for (std::size_t i = 0; i < pj.size(); ++i) {
+      if (pj[i] == 0.0) continue;
+      for (std::size_t k = 0; k < base.prob.size(); ++k) {
+        next[i + k] += pj[i] * base.prob[k];
+      }
+    }
+    pj = std::move(next);
+    lo_j += base.lo;
+  }
+
+  return static_cast<double>(d) * lambda * std::exp(-2.0 * sigma) /
+         (h * (1.0 - std::exp(-lambda * static_cast<double>(d))));
+}
+
+KarlinParams ungapped_params(const ScoreMatrix& matrix) {
+  const std::span<const double> freqs =
+      (matrix.alphabet() == Alphabet::dna()) ? dna_frequencies()
+                                             : robinson_frequencies();
+  KarlinParams p;
+  p.lambda = ungapped_lambda(matrix, freqs);
+  p.h = relative_entropy(matrix, freqs, p.lambda);
+  p.k = ungapped_k(matrix, freqs, p.lambda);
+  p.gapped = false;
+  return p;
+}
+
+KarlinParams lookup_params(const ScoreMatrix& matrix, GapPenalty gap) {
+  // Published NCBI gapped parameters for the default scheme the paper uses.
+  if (matrix.name() == "blosum62" && gap.open == 11 && gap.extend == 1) {
+    return KarlinParams{0.267, 0.041, 0.140, true};
+  }
+  return ungapped_params(matrix);
+}
+
+double bit_score(const KarlinParams& p, std::int64_t raw_score) {
+  return (p.lambda * static_cast<double>(raw_score) - std::log(p.k)) / std::log(2.0);
+}
+
+double evalue(const KarlinParams& p, std::int64_t raw_score, std::size_t query_len,
+              std::uint64_t db_residues) {
+  return static_cast<double>(query_len) * static_cast<double>(db_residues) *
+         std::exp2(-bit_score(p, raw_score));
+}
+
+}  // namespace valign::stats

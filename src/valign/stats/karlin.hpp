@@ -1,0 +1,83 @@
+// Karlin-Altschul alignment statistics: lambda, K, H, bit scores, E-values.
+//
+// For an ungapped local alignment with substitution scores s(a,b) and
+// residue background frequencies p(a), the score of the best alignment
+// between random sequences follows a Gumbel law with parameters computable
+// from the scoring system alone (Karlin & Altschul, PNAS 1990):
+//
+//   lambda : unique positive root of  sum_ab p(a) p(b) e^{lambda s(a,b)} = 1
+//   K      : the finite-size correction (computed by the series over sums of
+//            i.i.d. score draws, the same construction NCBI BLAST uses)
+//   H      : relative entropy of the aligned-pair distribution (bits of
+//            information per aligned residue pair)
+//
+// From these:  bit score S' = (lambda*S - ln K) / ln 2,
+//              E-value     = m*n*2^{-S'}  (search space m x n).
+//
+// These ungapped parameters are exact for the shipped matrices and validated
+// against the published NCBI values in the tests. For *gapped* alignments the
+// Gumbel form still holds empirically but lambda/K must be estimated by
+// simulation; the published gapped parameters for the NCBI default scoring
+// scheme (BLOSUM62, gap 11/1) are provided, and other schemes fall back to
+// the (conservative) ungapped parameters with `gapped == false`.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "valign/matrices/matrix.hpp"
+
+namespace valign::stats {
+
+/// Gumbel parameters of a scoring system.
+struct KarlinParams {
+  double lambda = 0.0;  ///< Scale (nats per score unit).
+  double k = 0.0;       ///< Finite-size correction.
+  double h = 0.0;       ///< Relative entropy (nats per aligned pair).
+  bool gapped = false;  ///< True when the parameters model gapped alignment.
+};
+
+/// Robinson & Robinson (1991) background frequencies for the 20 standard
+/// amino acids in code order A R N D C Q E G H I L K M F P S T W Y V —
+/// the background BLAST uses.
+[[nodiscard]] std::span<const double> robinson_frequencies();
+
+/// Uniform background for A/C/G/T.
+[[nodiscard]] std::span<const double> dna_frequencies();
+
+/// Solve for lambda. `freqs` must cover the residue codes the matrix scores;
+/// codes beyond freqs.size() are ignored (wildcards/stops are excluded from
+/// the background). Throws valign::Error if the expected score is
+/// non-negative (no Gumbel regime; e.g. a match-only matrix).
+[[nodiscard]] double ungapped_lambda(const ScoreMatrix& matrix,
+                                     std::span<const double> freqs);
+
+/// Relative entropy H in nats per aligned pair at the given lambda.
+[[nodiscard]] double relative_entropy(const ScoreMatrix& matrix,
+                                      std::span<const double> freqs, double lambda);
+
+/// The Karlin-Altschul K parameter (series over i.i.d. score-sum
+/// distributions, truncated at `iterations` terms).
+[[nodiscard]] double ungapped_k(const ScoreMatrix& matrix,
+                                std::span<const double> freqs, double lambda,
+                                int iterations = 60);
+
+/// Full ungapped parameter set for a protein matrix under the Robinson
+/// background (or DNA matrix under uniform background, detected by alphabet).
+[[nodiscard]] KarlinParams ungapped_params(const ScoreMatrix& matrix);
+
+/// Best-available parameters for a scoring scheme: published gapped values
+/// when we have them (BLOSUM62 with gaps 11/1), otherwise the computed
+/// ungapped parameters (conservative for gapped searches).
+[[nodiscard]] KarlinParams lookup_params(const ScoreMatrix& matrix, GapPenalty gap);
+
+/// Normalized bit score for a raw alignment score.
+[[nodiscard]] double bit_score(const KarlinParams& p, std::int64_t raw_score);
+
+/// Expected number of chance hits at `raw_score` or better when searching a
+/// query of length `query_len` against a database of `db_residues` total
+/// residues.
+[[nodiscard]] double evalue(const KarlinParams& p, std::int64_t raw_score,
+                            std::size_t query_len, std::uint64_t db_residues);
+
+}  // namespace valign::stats

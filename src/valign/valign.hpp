@@ -1,0 +1,48 @@
+// valign — SIMD pairwise sequence alignment across vector widths.
+//
+// Umbrella header: pulls in the public API.
+//
+//   #include "valign/valign.hpp"
+//
+//   using namespace valign;
+//   Sequence q("q", "MKTAYIAKQR", Alphabet::protein());
+//   Sequence d("d", "MKTAYIAKQL", Alphabet::protein());
+//   AlignResult r = align(q, d, Options{.klass = AlignClass::Local});
+//
+// See README.md for the architecture overview and DESIGN.md for the mapping
+// to the reproduced paper (Daily et al., ICPP 2016).
+#pragma once
+
+#include "valign/common.hpp"
+#include "valign/version.hpp"
+
+// Substrates
+#include "valign/io/alphabet.hpp"
+#include "valign/io/fasta.hpp"
+#include "valign/io/sequence.hpp"
+#include "valign/matrices/matrix.hpp"
+#include "valign/matrices/parser.hpp"
+#include "valign/simd/simd.hpp"
+
+// Engines
+#include "valign/core/blocked.hpp"
+#include "valign/core/diagonal.hpp"
+#include "valign/core/scalar.hpp"
+#include "valign/core/scan.hpp"
+#include "valign/core/striped.hpp"
+#include "valign/core/tiled.hpp"
+
+// Public dispatch API
+#include "valign/core/calibrate.hpp"
+#include "valign/core/dispatch.hpp"
+#include "valign/core/prescribe.hpp"
+
+// Instrumentation
+#include "valign/instrument/counters.hpp"
+#include "valign/instrument/counting_vec.hpp"
+
+// Workloads and application drivers
+#include "valign/apps/db_search.hpp"
+#include "valign/apps/homology.hpp"
+#include "valign/stats/karlin.hpp"
+#include "valign/workload/generator.hpp"

@@ -1,0 +1,16 @@
+// valign — SIMD pairwise sequence alignment across vector widths.
+// Reproduction of Daily et al., "On the Impact of Widening Vector Registers
+// on Sequence Alignment", ICPP 2016.
+#pragma once
+
+#define VALIGN_VERSION_MAJOR 1
+#define VALIGN_VERSION_MINOR 0
+#define VALIGN_VERSION_PATCH 0
+#define VALIGN_VERSION_STRING "1.0.0"
+
+namespace valign {
+
+/// Library version as a printable string, e.g. "1.0.0".
+inline const char* version() noexcept { return VALIGN_VERSION_STRING; }
+
+}  // namespace valign

@@ -1,0 +1,46 @@
+#include "valign/workload/distributions.hpp"
+
+#include <cmath>
+
+namespace valign::workload {
+
+double LengthModel::model_mean() const {
+  return std::exp(mu + sigma * sigma / 2.0);
+}
+
+LengthModel LengthModel::bacteria_protein() {
+  // mean 314 => mu = ln(314) - sigma^2/2 with sigma = 0.55; median ~270,
+  // matching "half of the sequences are length 300 or less" (Fig. 2c).
+  return {"bacteria-protein", 5.598, 0.55, 20, 3206};
+}
+
+LengthModel LengthModel::uniprot_protein() {
+  // mean 356 with a heavier tail (longest 35,213; Fig. 2d).
+  return {"uniprot-protein", 5.664, 0.65, 20, 35213};
+}
+
+LengthModel LengthModel::bacteria_dna() {
+  // Genomic records span plasmids to full chromosomes: very heavy tail,
+  // longest 14.8 Mbp (Fig. 2b).
+  return {"bacteria-dna", 11.5, 2.2, 200, 14800000};
+}
+
+LengthModel LengthModel::human_dna() {
+  // Chromosomes plus scaffolds, longest 125 Mbp (Fig. 2a).
+  return {"human-dna", 12.2, 2.5, 500, 125000000};
+}
+
+const ResidueModel& ResidueModel::protein() {
+  // Natural background frequencies (percent) for ARNDCQEGHILKMFPSTWYV.
+  static const ResidueModel m{std::discrete_distribution<int>{
+      8.3, 5.5, 4.1, 5.5, 1.4, 3.9, 6.8, 7.1, 2.3, 6.0,
+      9.7, 5.8, 2.4, 3.9, 4.7, 6.6, 5.3, 1.1, 2.9, 6.9}};
+  return m;
+}
+
+const ResidueModel& ResidueModel::dna() {
+  static const ResidueModel m{std::discrete_distribution<int>{1.0, 1.0, 1.0, 1.0}};
+  return m;
+}
+
+}  // namespace valign::workload

@@ -1,0 +1,72 @@
+// Sequence-length and residue-composition models (§V, Fig. 2).
+//
+// The paper characterizes four datasets (RefSeq Homo sapiens DNA, RefSeq
+// bacteria DNA, RefSeq bacteria proteins, UniProt proteins). Those releases
+// are tens of gigabytes and are not shipped here; instead each dataset is
+// modelled as a clamped log-normal length distribution fitted to the summary
+// statistics the paper reports, plus a residue-frequency model. DESIGN.md §3
+// documents the substitution.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "valign/common.hpp"
+
+namespace valign::workload {
+
+/// Clamped log-normal sequence-length model.
+struct LengthModel {
+  std::string name;
+  double mu = 5.6;      ///< log-space mean.
+  double sigma = 0.55;  ///< log-space standard deviation.
+  std::size_t min_len = 20;
+  std::size_t max_len = 40000;
+
+  /// Draw one length.
+  template <class Rng>
+  [[nodiscard]] std::size_t sample(Rng& rng) const {
+    std::lognormal_distribution<double> d(mu, sigma);
+    const double v = d(rng);
+    auto len = static_cast<std::size_t>(v);
+    if (len < min_len) len = min_len;
+    if (len > max_len) len = max_len;
+    return len;
+  }
+
+  /// Expected mean of the *unclamped* log-normal (exp(mu + sigma^2/2)).
+  [[nodiscard]] double model_mean() const;
+
+  // --- Fitted presets (paper §V) -------------------------------------------
+  /// RefSeq bacteria proteins ("bacteria 2K": mean 314, max 3,206).
+  [[nodiscard]] static LengthModel bacteria_protein();
+  /// UniProt proteins (mean 356, max 35,213; half of sequences <= ~300).
+  [[nodiscard]] static LengthModel uniprot_protein();
+  /// RefSeq bacteria genomic DNA (heavy tail, longest 14.8 Mbp).
+  [[nodiscard]] static LengthModel bacteria_dna();
+  /// RefSeq Homo sapiens genomic DNA (longest 125 Mbp).
+  [[nodiscard]] static LengthModel human_dna();
+};
+
+/// Residue sampler: natural amino-acid frequencies or uniform DNA bases.
+class ResidueModel {
+ public:
+  /// Natural amino-acid background frequencies over the 20 standard residues
+  /// (codes 0..19 of Alphabet::protein()).
+  [[nodiscard]] static const ResidueModel& protein();
+  /// Uniform A/C/G/T (codes 0..3 of Alphabet::dna()).
+  [[nodiscard]] static const ResidueModel& dna();
+
+  template <class Rng>
+  [[nodiscard]] std::uint8_t sample(Rng& rng) const {
+    return static_cast<std::uint8_t>(dist_(rng));
+  }
+
+ private:
+  explicit ResidueModel(std::discrete_distribution<int> dist)
+      : dist_(std::move(dist)) {}
+  mutable std::discrete_distribution<int> dist_;
+};
+
+}  // namespace valign::workload

@@ -1,0 +1,52 @@
+#include "valign/workload/generator.hpp"
+
+namespace valign::workload {
+
+Dataset generate(std::size_t count, const GeneratorConfig& cfg) {
+  const Alphabet& alpha = cfg.dna ? Alphabet::dna() : Alphabet::protein();
+  const ResidueModel& residues = cfg.dna ? ResidueModel::dna() : ResidueModel::protein();
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+
+  Dataset ds(alpha);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name = cfg.name_prefix + "_" + std::to_string(i);
+    if (i > 0 && u(rng) < cfg.homolog_fraction) {
+      std::uniform_int_distribution<std::size_t> pick(0, i - 1);
+      ds.add(mutate(ds[pick(rng)], cfg.mutation, residues, rng, std::move(name)));
+      continue;
+    }
+    const std::size_t len = cfg.lengths.sample(rng);
+    std::vector<std::uint8_t> codes(len);
+    for (auto& c : codes) c = residues.sample(rng);
+    ds.add(Sequence(std::move(name), std::move(codes), alpha));
+  }
+  return ds;
+}
+
+Dataset bacteria_2k(std::uint64_t seed, std::size_t count) {
+  GeneratorConfig cfg;
+  cfg.lengths = LengthModel::bacteria_protein();
+  cfg.seed = seed;
+  cfg.name_prefix = "bact";
+  return generate(count, cfg);
+}
+
+Dataset uniprot_like(std::size_t count, std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.lengths = LengthModel::uniprot_protein();
+  cfg.seed = seed;
+  cfg.name_prefix = "up";
+  return generate(count, cfg);
+}
+
+Dataset small_representative(std::size_t count, std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.lengths = LengthModel::bacteria_protein();
+  cfg.lengths.max_len = 800;  // keep the all-to-all baseline sweep tractable
+  cfg.seed = seed;
+  cfg.name_prefix = "rep";
+  return generate(count, cfg);
+}
+
+}  // namespace valign::workload

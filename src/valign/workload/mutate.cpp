@@ -1,0 +1,35 @@
+#include "valign/workload/mutate.hpp"
+
+namespace valign::workload {
+
+Sequence mutate(const Sequence& parent, const MutationModel& model,
+                const ResidueModel& residues, std::mt19937_64& rng,
+                std::string name) {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<std::uint8_t> out;
+  out.reserve(parent.size() + parent.size() / 8);
+
+  const auto codes = parent.codes();
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const double roll = u(rng);
+    if (roll < model.indel_rate / 2) {
+      // Deletion: skip this and geometrically more residues.
+      while (i + 1 < codes.size() && u(rng) < model.indel_extend) ++i;
+      continue;
+    }
+    if (roll < model.indel_rate) {
+      // Insertion before this residue.
+      out.push_back(residues.sample(rng));
+      while (u(rng) < model.indel_extend) out.push_back(residues.sample(rng));
+    }
+    if (u(rng) < model.substitution_rate) {
+      out.push_back(residues.sample(rng));
+    } else {
+      out.push_back(codes[i]);
+    }
+  }
+  if (out.empty()) out.push_back(residues.sample(rng));
+  return Sequence(std::move(name), std::move(out), parent.alphabet());
+}
+
+}  // namespace valign::workload

@@ -1,0 +1,28 @@
+// Homolog simulation: derive related sequences by point mutation and indels.
+//
+// Real protein datasets contain families of homologous sequences; the number
+// of lazy-F corrections Striped performs depends on how alignments score, so
+// the synthetic datasets seed a fraction of sequences from earlier ones
+// through this mutation model instead of drawing everything independently.
+#pragma once
+
+#include <random>
+
+#include "valign/io/sequence.hpp"
+#include "valign/workload/distributions.hpp"
+
+namespace valign::workload {
+
+/// Mutation-model parameters.
+struct MutationModel {
+  double substitution_rate = 0.30;  ///< Per-residue substitution probability.
+  double indel_rate = 0.03;         ///< Per-position gap open probability.
+  double indel_extend = 0.5;        ///< Geometric continuation of a gap.
+};
+
+/// Returns a mutated copy of `parent` named `name`. Deterministic in `rng`.
+[[nodiscard]] Sequence mutate(const Sequence& parent, const MutationModel& model,
+                              const ResidueModel& residues, std::mt19937_64& rng,
+                              std::string name);
+
+}  // namespace valign::workload

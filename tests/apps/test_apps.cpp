@@ -1,0 +1,149 @@
+// Database search and homology detection drivers against brute-force truth.
+#include <gtest/gtest.h>
+
+#include "valign/apps/db_search.hpp"
+#include "valign/apps/homology.hpp"
+#include "valign/core/scalar.hpp"
+#include "valign/workload/generator.hpp"
+
+namespace valign::apps {
+namespace {
+
+Dataset tiny_queries() { return workload::bacteria_2k(11, 6); }
+Dataset tiny_db() { return workload::uniprot_like(15, 12); }
+
+TEST(DbSearch, TopHitsMatchBruteForce) {
+  const Dataset queries = tiny_queries();
+  const Dataset db = tiny_db();
+  SearchConfig cfg;
+  cfg.align.klass = AlignClass::Local;
+  cfg.top_k = 3;
+  const SearchReport rep = search(queries, db, cfg);
+  ASSERT_EQ(rep.top_hits.size(), queries.size());
+  EXPECT_EQ(rep.alignments, queries.size() * db.size());
+
+  ScalarAligner<AlignClass::Local> ref(ScoreMatrix::blosum62(),
+                                       ScoreMatrix::blosum62().default_gaps());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    ref.set_query(queries[q].codes());
+    std::vector<std::int32_t> all;
+    for (std::size_t d = 0; d < db.size(); ++d) {
+      all.push_back(ref.align(db[d].codes()).score);
+    }
+    std::vector<std::int32_t> want = all;
+    std::sort(want.rbegin(), want.rend());
+    ASSERT_EQ(rep.top_hits[q].size(), 3u);
+    for (std::size_t k = 0; k < 3; ++k) {
+      EXPECT_EQ(rep.top_hits[q][k].score, want[k]) << "query " << q << " rank " << k;
+      // The reported index really has that score.
+      EXPECT_EQ(all[rep.top_hits[q][k].db_index], rep.top_hits[q][k].score);
+    }
+    // Sorted descending.
+    for (std::size_t k = 1; k < rep.top_hits[q].size(); ++k) {
+      EXPECT_GE(rep.top_hits[q][k - 1].score, rep.top_hits[q][k].score);
+    }
+  }
+}
+
+TEST(DbSearch, TopKLargerThanDbReturnsAll) {
+  const Dataset queries = tiny_queries();
+  const Dataset db = tiny_db();
+  SearchConfig cfg;
+  cfg.top_k = 1000;
+  const SearchReport rep = search(queries, db, cfg);
+  for (const auto& hits : rep.top_hits) {
+    EXPECT_EQ(hits.size(), db.size());
+  }
+}
+
+TEST(DbSearch, StatsAccumulate) {
+  const Dataset queries = tiny_queries();
+  const Dataset db = tiny_db();
+  const SearchReport rep = search(queries, db, {});
+  EXPECT_GT(rep.totals.cells, 0u);
+  EXPECT_GT(rep.totals.columns, 0u);
+  EXPECT_GT(rep.seconds, 0.0);
+  EXPECT_GE(rep.gcups(), 0.0);
+}
+
+#if defined(VALIGN_HAVE_OPENMP)
+TEST(DbSearch, ThreadedRunMatchesSerial) {
+  const Dataset queries = tiny_queries();
+  const Dataset db = tiny_db();
+  SearchConfig serial, threaded;
+  serial.threads = 1;
+  threaded.threads = 4;
+  const SearchReport a = search(queries, db, serial);
+  const SearchReport b = search(queries, db, threaded);
+  ASSERT_EQ(a.top_hits.size(), b.top_hits.size());
+  for (std::size_t q = 0; q < a.top_hits.size(); ++q) {
+    ASSERT_EQ(a.top_hits[q].size(), b.top_hits[q].size());
+    for (std::size_t k = 0; k < a.top_hits[q].size(); ++k) {
+      EXPECT_EQ(a.top_hits[q][k].score, b.top_hits[q][k].score);
+    }
+  }
+  EXPECT_EQ(a.alignments, b.alignments);
+}
+#endif
+
+TEST(Homology, EdgesMatchBruteForce) {
+  const Dataset ds = workload::bacteria_2k(13, 12);
+  HomologyConfig cfg;
+  cfg.score_threshold = 80;
+  const HomologyReport rep = detect(ds, cfg);
+  EXPECT_EQ(rep.alignments, ds.size() * (ds.size() - 1) / 2);
+
+  ScalarAligner<AlignClass::Local> ref(ScoreMatrix::blosum62(),
+                                       ScoreMatrix::blosum62().default_gaps());
+  std::size_t want_edges = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    ref.set_query(ds[i].codes());
+    for (std::size_t j = i + 1; j < ds.size(); ++j) {
+      if (ref.align(ds[j].codes()).score >= cfg.score_threshold) ++want_edges;
+    }
+  }
+  EXPECT_EQ(rep.edges.size(), want_edges);
+  for (const HomologyEdge& e : rep.edges) {
+    ref.set_query(ds[e.a].codes());
+    EXPECT_EQ(ref.align(ds[e.b].codes()).score, e.score);
+    EXPECT_LT(e.a, e.b);
+  }
+}
+
+TEST(Homology, ClustersAreConsistentWithEdges) {
+  const Dataset ds = workload::bacteria_2k(17, 14);
+  HomologyConfig cfg;
+  cfg.score_threshold = 70;
+  const HomologyReport rep = detect(ds, cfg);
+  ASSERT_EQ(rep.cluster_of.size(), ds.size());
+  // Every edge joins two sequences of the same cluster.
+  for (const HomologyEdge& e : rep.edges) {
+    EXPECT_EQ(rep.cluster_of[e.a], rep.cluster_of[e.b]);
+  }
+  EXPECT_GE(rep.cluster_count, 1u);
+  EXPECT_LE(rep.cluster_count, ds.size());
+  // No edges at an absurd threshold => every sequence is its own cluster.
+  HomologyConfig strict;
+  strict.score_threshold = 1000000;
+  const HomologyReport none = detect(ds, strict);
+  EXPECT_TRUE(none.edges.empty());
+  EXPECT_EQ(none.cluster_count, ds.size());
+}
+
+TEST(Homology, HomologRichDatasetClustersTighter) {
+  workload::GeneratorConfig lo, hi;
+  lo.homolog_fraction = 0.0;
+  lo.seed = 21;
+  hi.homolog_fraction = 0.9;
+  hi.seed = 21;
+  const Dataset indep = workload::generate(14, lo);
+  const Dataset related = workload::generate(14, hi);
+  HomologyConfig cfg;
+  cfg.score_threshold = 100;
+  const auto rep_indep = detect(indep, cfg);
+  const auto rep_related = detect(related, cfg);
+  EXPECT_LT(rep_related.cluster_count, rep_indep.cluster_count);
+}
+
+}  // namespace
+}  // namespace valign::apps

@@ -1,0 +1,198 @@
+// The CLI, driven in-process through valign::cli::run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "valign/cli/args.hpp"
+#include "valign/cli/cli.hpp"
+
+namespace valign::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::initializer_list<std::string_view> args) {
+  std::ostringstream out, err;
+  std::vector<std::string_view> v(args);
+  const int code = run(v, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::filesystem::path temp_file(const std::string& name) {
+  return std::filesystem::temp_directory_path() / ("valign_test_" + name);
+}
+
+// --- ArgParser ---------------------------------------------------------------
+
+TEST(ArgParser, ParsesOptionsSwitchesAndPositionals) {
+  ArgParser p;
+  p.add_option("--matrix");
+  p.add_option("--top");
+  p.add_switch("--dna");
+  const std::vector<std::string_view> args = {"search", "--matrix=blosum45",
+                                              "a.fa",   "--top",
+                                              "7",      "--dna",
+                                              "b.fa"};
+  p.parse(args);
+  EXPECT_EQ(p.positionals(), (std::vector<std::string>{"search", "a.fa", "b.fa"}));
+  EXPECT_EQ(p.value_or("--matrix", ""), "blosum45");
+  EXPECT_EQ(p.int_value_or("--top", 0), 7);
+  EXPECT_TRUE(p.has("--dna"));
+  EXPECT_FALSE(p.has("--traceback"));
+}
+
+TEST(ArgParser, Diagnostics) {
+  ArgParser p;
+  p.add_option("--top");
+  p.add_switch("--dna");
+  {
+    const std::vector<std::string_view> a = {"--nope"};
+    EXPECT_THROW(p.parse(a), Error);
+  }
+  {
+    ArgParser q;
+    q.add_option("--top");
+    const std::vector<std::string_view> a = {"--top"};
+    EXPECT_THROW(q.parse(a), Error);  // missing value
+  }
+  {
+    ArgParser q;
+    q.add_switch("--dna");
+    const std::vector<std::string_view> a = {"--dna=yes"};
+    EXPECT_THROW(q.parse(a), Error);  // switch with value
+  }
+  {
+    ArgParser q;
+    q.add_option("--top");
+    const std::vector<std::string_view> a = {"--top", "seven"};
+    q.parse(a);
+    EXPECT_THROW((void)q.int_value_or("--top", 0), Error);
+  }
+}
+
+// --- Commands ----------------------------------------------------------------
+
+TEST(Cli, HelpAndUnknownCommand) {
+  const CliResult help = run_cli({"--help"});
+  EXPECT_EQ(help.code, 0);
+  EXPECT_NE(help.out.find("usage:"), std::string::npos);
+  const CliResult none = run_cli({});
+  EXPECT_EQ(none.code, 2);
+  const CliResult bad = run_cli({"frobnicate"});
+  EXPECT_EQ(bad.code, 2);
+  EXPECT_NE(bad.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, AlignLiteralSequences) {
+  const CliResult r = run_cli({"align", "--q-seq", "MKTAYIAKQR", "--d-seq",
+                               "MKTAYIAKQR", "--class", "nw"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("score"), std::string::npos);
+  // Identical sequences: NW score = sum of diagonal BLOSUM62 entries
+  // (M5 K5 T5 A4 Y7 I4 A4 K5 Q5 R5 = 49).
+  EXPECT_NE(r.out.find("score   : 49"), std::string::npos);
+}
+
+TEST(Cli, AlignWithTraceback) {
+  const CliResult r = run_cli({"align", "--q-seq", "WCWHCWKY", "--d-seq", "WCWHCWKY",
+                               "--traceback"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("identity: 100%"), std::string::npos);
+  EXPECT_NE(r.out.find("8M"), std::string::npos);
+  EXPECT_NE(r.out.find("||||||||"), std::string::npos);
+}
+
+TEST(Cli, AlignDnaSequences) {
+  const CliResult r = run_cli({"align", "--dna", "--q-seq", "ACGTACGTACGT",
+                               "--d-seq", "ACGTACGTACGT"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("score   : 24"), std::string::npos);  // 12 x (+2)
+}
+
+TEST(Cli, AlignRejectsBadFlags) {
+  EXPECT_EQ(run_cli({"align", "--q-seq", "MKT"}).code, 1);  // missing --d-seq
+  EXPECT_EQ(run_cli({"align", "--q-seq", "M", "--d-seq", "M", "--class", "zz"}).code, 1);
+  EXPECT_EQ(run_cli({"align", "--q-seq", "M", "--d-seq", "M", "--matrix", "nope"}).code,
+            1);
+  EXPECT_EQ(run_cli({"align", "/no/such.fa", "/no/such2.fa"}).code, 1);
+}
+
+TEST(Cli, GenerateThenSearchRoundTrip) {
+  const auto qpath = temp_file("queries.fa");
+  const auto dpath = temp_file("db.fa");
+  const CliResult g1 = run_cli({"generate", "--out", qpath.string(), "--count", "4",
+                                "--seed", "11"});
+  EXPECT_EQ(g1.code, 0) << g1.err;
+  const CliResult g2 = run_cli({"generate", "--out", dpath.string(), "--count", "12",
+                                "--seed", "12", "--preset", "uniprot"});
+  EXPECT_EQ(g2.code, 0) << g2.err;
+
+  const CliResult s = run_cli({"search", qpath.string(), dpath.string(), "--top", "2"});
+  EXPECT_EQ(s.code, 0) << s.err;
+  // 4 queries x top 2 = 8 hit lines plus 2 header lines.
+  int lines = 0;
+  for (const char c : s.out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 10);
+  EXPECT_NE(s.out.find("evalue"), std::string::npos);
+  std::filesystem::remove(qpath);
+  std::filesystem::remove(dpath);
+}
+
+TEST(Cli, GenerateRequiresOut) {
+  EXPECT_EQ(run_cli({"generate"}).code, 1);
+  EXPECT_EQ(run_cli({"generate", "--out", "/tmp/x.fa", "--preset", "nope"}).code, 1);
+}
+
+TEST(Cli, MatricesListAndPrint) {
+  const CliResult list = run_cli({"matrices"});
+  EXPECT_EQ(list.code, 0);
+  for (const char* name : {"blosum45", "blosum50", "blosum62", "blosum80", "blosum90"}) {
+    EXPECT_NE(list.out.find(name), std::string::npos) << name;
+  }
+  const CliResult print = run_cli({"matrices", "blosum62"});
+  EXPECT_EQ(print.code, 0);
+  EXPECT_NE(print.out.find("A  R  N  D"), std::string::npos);
+}
+
+TEST(Cli, StatsCommand) {
+  const CliResult r = run_cli({"stats", "--matrix", "blosum62"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("lambda=0.317"), std::string::npos);
+  EXPECT_NE(r.out.find("published gapped"), std::string::npos);
+  const CliResult u = run_cli({"stats", "--matrix", "blosum80", "--gap-open", "9"});
+  EXPECT_EQ(u.code, 0);
+  EXPECT_NE(u.out.find("ungapped fallback"), std::string::npos);
+}
+
+TEST(Cli, InfoCommand) {
+  const CliResult r = run_cli({"info"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("valign"), std::string::npos);
+  EXPECT_NE(r.out.find("best isa"), std::string::npos);
+}
+
+TEST(Cli, ApproachAndIsaSelection) {
+  for (const char* approach : {"scalar", "blocked", "diagonal", "striped", "scan"}) {
+    const CliResult r = run_cli({"align", "--q-seq", "MKTAYIAKQRMKTAYIAKQR", "--d-seq",
+                                 "MKTAYIAKQRMKTAYIAKQR", "--class", "sw",
+                                 "--approach", approach});
+    EXPECT_EQ(r.code, 0) << approach << ": " << r.err;
+    EXPECT_NE(r.out.find("score   : 98"), std::string::npos) << approach;
+  }
+  const CliResult r = run_cli({"align", "--q-seq", "MKTAYIAKQR", "--d-seq",
+                               "MKTAYIAKQR", "--isa", "emul"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("emul"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace valign::cli

@@ -1,0 +1,100 @@
+// Host calibration of the Striped/Scan decision table.
+#include <gtest/gtest.h>
+
+#include "../support/random_seqs.hpp"
+#include "valign/core/calibrate.hpp"
+#include "valign/core/dispatch.hpp"
+#include "valign/core/prescribe.hpp"
+
+namespace valign {
+namespace {
+
+TEST(PrescriptionTable, PaperValuesRoundTrip) {
+  const PrescriptionTable t = PrescriptionTable::paper();
+  for (const AlignClass c :
+       {AlignClass::Global, AlignClass::SemiGlobal, AlignClass::Local}) {
+    for (const int lanes : {4, 8, 16}) {
+      EXPECT_EQ(t.cross(c, lanes), prescribe_crossover(c, lanes));
+      // choose() must agree with prescribe() on both sides of the crossover.
+      const auto cr = static_cast<std::size_t>(t.cross(c, lanes));
+      EXPECT_EQ(t.choose(c, lanes, cr - 1), prescribe(c, lanes, cr - 1));
+      EXPECT_EQ(t.choose(c, lanes, cr + 1), prescribe(c, lanes, cr + 1));
+    }
+  }
+}
+
+TEST(PrescriptionTable, ZeroCrossoverMeansLongQueryWinnerEverywhere) {
+  PrescriptionTable t = PrescriptionTable::paper();
+  t.crossover[2][2] = 0;  // SW @16 lanes: no crossover observed
+  // SW's long-query winner is Striped.
+  EXPECT_EQ(t.choose(AlignClass::Local, 16, 10), Approach::Striped);
+  EXPECT_EQ(t.choose(AlignClass::Local, 16, 1000), Approach::Striped);
+  t.crossover[0][2] = 0;  // NW @16: long-query winner is Scan
+  EXPECT_EQ(t.choose(AlignClass::Global, 16, 10), Approach::Scan);
+}
+
+TEST(PrescriptionTable, ToStringListsAllClasses) {
+  const std::string s = PrescriptionTable::paper().to_string();
+  EXPECT_NE(s.find("NW"), std::string::npos);
+  EXPECT_NE(s.find("SG"), std::string::npos);
+  EXPECT_NE(s.find("SW"), std::string::npos);
+  EXPECT_NE(s.find("149"), std::string::npos);
+}
+
+TEST(Calibrate, ProducesAValidTable) {
+  CalibrationConfig cfg;
+  cfg.db_count = 8;
+  cfg.lengths = {16, 64, 192};
+  cfg.min_seconds = 0.001;  // keep the test fast; noise is fine here
+  const PrescriptionTable t = calibrate(cfg);
+  for (int row = 0; row < 3; ++row) {
+    for (int col = 0; col < 3; ++col) {
+      const int c = t.crossover[static_cast<std::size_t>(row)]
+                               [static_cast<std::size_t>(col)];
+      // Either no crossover, inside the probed grid, or the paper fallback
+      // for lane columns this host cannot run natively.
+      EXPECT_GE(c, 0);
+      EXPECT_LE(c, 300);
+    }
+  }
+  // Directions are structural, not measured.
+  EXPECT_FALSE(t.scan_wins_short[0]);  // NW
+  EXPECT_TRUE(t.scan_wins_short[1]);   // SG
+  EXPECT_TRUE(t.scan_wins_short[2]);   // SW
+}
+
+TEST(Calibrate, RejectsDegenerateConfig) {
+  CalibrationConfig cfg;
+  cfg.lengths = {100};
+  EXPECT_THROW((void)calibrate(cfg), Error);
+}
+
+TEST(Aligner, UsesInjectedPrescriptionTable) {
+  std::mt19937_64 rng(12);
+  const auto q = testing_support::random_codes(100, rng);
+  const auto d = testing_support::random_codes(100, rng);
+
+  // A table that always prescribes Scan for SW (crossover above any qlen).
+  PrescriptionTable scan_always = PrescriptionTable::paper();
+  for (auto& row : scan_always.crossover) row = {1000000, 1000000, 1000000};
+
+  Options opts;
+  opts.klass = AlignClass::Local;
+  opts.width = ElemWidth::W32;
+  opts.prescription = &scan_always;
+  Aligner aligner(opts);
+  aligner.set_query(q);
+  EXPECT_EQ(aligner.align(d).approach, Approach::Scan);
+
+  // And one that always prescribes Striped.
+  PrescriptionTable striped_always = PrescriptionTable::paper();
+  for (auto& row : striped_always.crossover) row = {1, 1, 1};
+  Options opts2 = opts;
+  opts2.prescription = &striped_always;
+  Aligner a2(opts2);
+  a2.set_query(q);
+  EXPECT_EQ(a2.align(d).approach, Approach::Striped);
+}
+
+}  // namespace
+}  // namespace valign

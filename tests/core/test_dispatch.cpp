@@ -1,0 +1,239 @@
+// Public API: Options resolution, ISA/width dispatch, overflow retry,
+// the Table IV prescriptive selector, and error paths.
+#include <gtest/gtest.h>
+
+#include "../support/random_seqs.hpp"
+#include "valign/core/dispatch.hpp"
+#include "valign/core/scalar.hpp"
+
+namespace valign {
+namespace {
+
+using testing_support::random_codes;
+using testing_support::related_pair;
+
+class DispatchClassTest : public ::testing::TestWithParam<AlignClass> {};
+INSTANTIATE_TEST_SUITE_P(AllClasses, DispatchClassTest,
+                         ::testing::Values(AlignClass::Global,
+                                           AlignClass::SemiGlobal,
+                                           AlignClass::Local),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST_P(DispatchClassTest, AutoEverythingMatchesScalar) {
+  std::mt19937_64 rng(1);
+  Options opts;
+  opts.klass = GetParam();
+  Aligner aligner(opts);
+  for (int i = 0; i < 20; ++i) {
+    std::uniform_int_distribution<std::size_t> len(1, 250);
+    const auto q = random_codes(len(rng), rng);
+    const auto d = random_codes(len(rng), rng);
+    aligner.set_query(q);
+    const AlignResult got = aligner.align(d);
+    const AlignResult want =
+        align_scalar(GetParam(), aligner.matrix(), aligner.gap(), q, d);
+    EXPECT_EQ(got.score, want.score) << "iter " << i;
+    EXPECT_FALSE(got.overflowed);  // Auto width must resolve overflow itself
+  }
+}
+
+TEST_P(DispatchClassTest, EveryRequestedApproachAgrees) {
+  std::mt19937_64 rng(2);
+  const auto q = random_codes(120, rng);
+  const auto d = random_codes(150, rng);
+  const AlignResult want = align_scalar(GetParam(), ScoreMatrix::blosum62(),
+                                        ScoreMatrix::blosum62().default_gaps(), q, d);
+  for (const Approach a : {Approach::Scalar, Approach::Blocked, Approach::Diagonal,
+                           Approach::Striped, Approach::Scan}) {
+    Options opts;
+    opts.klass = GetParam();
+    opts.approach = a;
+    opts.width = ElemWidth::W32;
+    Aligner aligner(opts);
+    aligner.set_query(q);
+    EXPECT_EQ(aligner.align(d).score, want.score) << to_string(a);
+  }
+}
+
+TEST(Dispatch, EveryAvailableIsaAgrees) {
+  std::mt19937_64 rng(3);
+  const auto q = random_codes(90, rng);
+  const auto d = random_codes(110, rng);
+  const AlignResult want = align_scalar(AlignClass::Local, ScoreMatrix::blosum62(),
+                                        {11, 1}, q, d);
+  for (const Isa isa : {Isa::Emul, Isa::SSE41, Isa::AVX2, Isa::AVX512}) {
+    if (!simd::isa_available(isa)) continue;
+    Options opts;
+    opts.klass = AlignClass::Local;
+    opts.approach = Approach::Scan;
+    opts.isa = isa;
+    opts.gap = {11, 1};
+    Aligner aligner(opts);
+    aligner.set_query(q);
+    const AlignResult r = aligner.align(d);
+    EXPECT_EQ(r.score, want.score) << to_string(isa);
+    EXPECT_EQ(r.isa, isa);
+  }
+}
+
+TEST(Dispatch, EmulLaneCounts) {
+  std::mt19937_64 rng(4);
+  const auto q = random_codes(100, rng);
+  const auto d = random_codes(100, rng);
+  const AlignResult want =
+      align_scalar(AlignClass::SemiGlobal, ScoreMatrix::blosum62(), {11, 1}, q, d);
+  for (const int lanes : {4, 8, 16, 32, 64}) {
+    Options opts;
+    opts.klass = AlignClass::SemiGlobal;
+    opts.approach = Approach::Striped;
+    opts.isa = Isa::Emul;
+    opts.emul_lanes = lanes;
+    opts.gap = {11, 1};
+    Aligner aligner(opts);
+    aligner.set_query(q);
+    const AlignResult r = aligner.align(d);
+    EXPECT_EQ(r.score, want.score) << lanes << " lanes";
+    EXPECT_EQ(r.lanes, lanes);
+  }
+}
+
+TEST(Dispatch, OverflowRetryWidensAutomatically) {
+  // A long self-alignment scores ~5*len, far beyond int8 and int16 for
+  // len = 8000 (score ~40000), forcing the ladder up to 32 bits.
+  std::mt19937_64 rng(5);
+  const auto q = random_codes(8000, rng);
+  Options opts;
+  opts.klass = AlignClass::Local;
+  opts.approach = Approach::Striped;
+  Aligner aligner(opts);
+  aligner.set_query(q);
+  const AlignResult r = aligner.align(q);
+  EXPECT_FALSE(r.overflowed);
+  EXPECT_EQ(r.bits, 32);
+  EXPECT_GT(r.score, 32767);
+}
+
+TEST(Dispatch, FixedNarrowWidthReportsOverflow) {
+  std::mt19937_64 rng(6);
+  const auto q = random_codes(2000, rng);
+  Options opts;
+  opts.klass = AlignClass::Local;
+  opts.approach = Approach::Scan;
+  opts.width = ElemWidth::W8;
+  if (!simd::isa_available(simd::best_isa()) || simd::best_isa() == Isa::Emul) {
+    GTEST_SKIP() << "no native ISA for 8-bit";
+  }
+  Aligner aligner(opts);
+  aligner.set_query(q);
+  const AlignResult r = aligner.align(q);
+  EXPECT_TRUE(r.overflowed);  // user pinned the width; we must not lie
+}
+
+TEST(Dispatch, WidthIsSafeRules) {
+  const ScoreMatrix& m = ScoreMatrix::blosum62();
+  // Local is always allowed to try narrow widths.
+  EXPECT_TRUE(width_is_safe(AlignClass::Local, 8, 100000, 100000, {11, 1}, m));
+  // Global on tiny inputs fits 8-bit...
+  EXPECT_TRUE(width_is_safe(AlignClass::Global, 8, 10, 10, {11, 1}, m));
+  // ...but not on long ones (negative excursion).
+  EXPECT_FALSE(width_is_safe(AlignClass::Global, 8, 200, 200, {11, 1}, m));
+  // 16-bit holds considerably longer sequences.
+  EXPECT_TRUE(width_is_safe(AlignClass::SemiGlobal, 16, 2000, 2000, {11, 1}, m));
+  // BLOSUM62's worst mismatch is -4, so a gap-extend of 5 dominates:
+  // 2*11 + 8000*5 = 40,022 exceeds the int16 range.
+  EXPECT_FALSE(width_is_safe(AlignClass::SemiGlobal, 16, 4000, 4000, {11, 5}, m));
+  // 32-bit always qualifies.
+  EXPECT_TRUE(width_is_safe(AlignClass::Global, 32, 1000000, 1000000, {11, 1}, m));
+}
+
+TEST(Dispatch, DefaultsComeFromMatrix) {
+  Options opts;
+  opts.matrix = &ScoreMatrix::blosum45();
+  Aligner aligner(opts);
+  EXPECT_EQ(aligner.gap().open, 15);
+  EXPECT_EQ(aligner.gap().extend, 2);
+  Options opts2;
+  opts2.matrix = &ScoreMatrix::blosum45();
+  opts2.gap = {7, 3};
+  Aligner a2(opts2);
+  EXPECT_EQ(a2.gap().open, 7);
+  EXPECT_EQ(a2.gap().extend, 3);
+}
+
+TEST(Dispatch, SequenceOverloads) {
+  const Sequence q("q", "MKTAYIAKQRWW", Alphabet::protein());
+  const Sequence d("d", "MKTAYIAKQRWW", Alphabet::protein());
+  const AlignResult r = align(q, d, Options{.klass = AlignClass::Global});
+  std::int32_t want = 0;
+  for (const std::uint8_t c : q.codes()) want += ScoreMatrix::blosum62().score(c, c);
+  EXPECT_EQ(r.score, want);
+}
+
+TEST(Dispatch, RejectsUnavailableIsa) {
+  // Emul never fails; fabricate failure via an unsupported emul width request.
+  Options opts;
+  opts.isa = Isa::Emul;
+  opts.approach = Approach::Blocked;  // emul factory is striped/scan-only
+  Aligner aligner(opts);
+  aligner.set_query(std::vector<std::uint8_t>{0, 1, 2});
+  EXPECT_THROW((void)aligner.align(std::vector<std::uint8_t>{0, 1, 2}), Error);
+}
+
+// --- Table IV prescriptive selection -----------------------------------------
+
+TEST(Prescribe, MatchesTableIV) {
+  // NW: Striped below ~149, Scan above; stable across lanes.
+  EXPECT_EQ(prescribe(AlignClass::Global, 4, 100), Approach::Striped);
+  EXPECT_EQ(prescribe(AlignClass::Global, 16, 100), Approach::Striped);
+  EXPECT_EQ(prescribe(AlignClass::Global, 8, 200), Approach::Scan);
+  // SG: Scan below the crossover, Striped above; crossover grows with lanes.
+  EXPECT_EQ(prescribe(AlignClass::SemiGlobal, 4, 100), Approach::Scan);
+  EXPECT_EQ(prescribe(AlignClass::SemiGlobal, 4, 150), Approach::Striped);
+  EXPECT_EQ(prescribe(AlignClass::SemiGlobal, 16, 200), Approach::Scan);
+  EXPECT_EQ(prescribe(AlignClass::SemiGlobal, 16, 300), Approach::Striped);
+  // SW: Scan below, Striped above; 77/77/152.
+  EXPECT_EQ(prescribe(AlignClass::Local, 4, 50), Approach::Scan);
+  EXPECT_EQ(prescribe(AlignClass::Local, 8, 100), Approach::Striped);
+  EXPECT_EQ(prescribe(AlignClass::Local, 16, 100), Approach::Scan);
+  EXPECT_EQ(prescribe(AlignClass::Local, 16, 200), Approach::Striped);
+}
+
+TEST(Prescribe, CrossoversGrowWithLanesForLocal) {
+  EXPECT_LE(prescribe_crossover(AlignClass::Local, 4),
+            prescribe_crossover(AlignClass::Local, 8));
+  EXPECT_LE(prescribe_crossover(AlignClass::Local, 8),
+            prescribe_crossover(AlignClass::Local, 16));
+  // NW crossover is flat (paper: "consistently ... around 150").
+  EXPECT_EQ(prescribe_crossover(AlignClass::Global, 4),
+            prescribe_crossover(AlignClass::Global, 16));
+  // Lane counts outside the measured set clamp to the nearest column.
+  EXPECT_EQ(prescribe_crossover(AlignClass::Local, 32),
+            prescribe_crossover(AlignClass::Local, 16));
+  EXPECT_EQ(prescribe_crossover(AlignClass::Local, 2),
+            prescribe_crossover(AlignClass::Local, 4));
+}
+
+TEST(Dispatch, AutoApproachFollowsPrescription) {
+  std::mt19937_64 rng(7);
+  Options opts;
+  opts.klass = AlignClass::Local;
+  opts.width = ElemWidth::W32;
+  Aligner aligner(opts);
+  const int lanes = simd::native_lanes(aligner.isa(), 32);
+  const int cross = prescribe_crossover(AlignClass::Local, lanes);
+  {
+    const auto q = random_codes(static_cast<std::size_t>(cross) - 10, rng);
+    aligner.set_query(q);
+    const AlignResult r = aligner.align(random_codes(100, rng));
+    EXPECT_EQ(r.approach, Approach::Scan);
+  }
+  {
+    const auto q = random_codes(static_cast<std::size_t>(cross) + 10, rng);
+    aligner.set_query(q);
+    const AlignResult r = aligner.align(random_codes(100, rng));
+    EXPECT_EQ(r.approach, Approach::Striped);
+  }
+}
+
+}  // namespace
+}  // namespace valign

@@ -1,0 +1,399 @@
+// Cross-engine property suite: every vector engine must reproduce the scalar
+// ground truth for every alignment class, backend, element width and scoring
+// scheme, and its work counters must satisfy the paper's complexity analysis.
+#include <gtest/gtest.h>
+
+#include "../support/random_seqs.hpp"
+#include "valign/core/blocked.hpp"
+#include "valign/core/diagonal.hpp"
+#include "valign/core/scalar.hpp"
+#include "valign/core/scan.hpp"
+#include "valign/core/striped.hpp"
+#include "valign/matrices/matrix.hpp"
+
+namespace valign {
+namespace {
+
+using simd::V128;
+using simd::V256;
+using simd::V512;
+using simd::VEmul;
+using testing_support::random_codes;
+using testing_support::related_pair;
+
+template <class V>
+class EngineVsScalarTest : public ::testing::Test {};
+
+using Backends = ::testing::Types<
+    VEmul<std::int32_t, 4>, VEmul<std::int32_t, 8>, VEmul<std::int16_t, 16>,
+    VEmul<std::int16_t, 32>, VEmul<std::int16_t, 64>
+#if defined(__SSE4_1__)
+    ,
+    V128<std::int16_t>, V128<std::int32_t>
+#endif
+#if defined(__AVX2__)
+    ,
+    V256<std::int16_t>, V256<std::int32_t>
+#endif
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+    ,
+    V512<std::int16_t>, V512<std::int32_t>
+#endif
+    >;
+TYPED_TEST_SUITE(EngineVsScalarTest, Backends);
+
+constexpr AlignClass kClasses[] = {AlignClass::Global, AlignClass::SemiGlobal,
+                                   AlignClass::Local};
+
+template <AlignClass C, class V, template <AlignClass, class> class Engine>
+void sweep_vs_scalar(const ScoreMatrix& mat, GapPenalty gap, std::uint64_t seed,
+                     int iters, std::size_t max_len, const char* tag) {
+  Engine<C, V> eng(mat, gap);
+  ScalarAligner<C> ref(mat, gap);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> len(1, max_len);
+  for (int i = 0; i < iters; ++i) {
+    const auto q = random_codes(len(rng), rng);
+    const auto d = random_codes(len(rng), rng);
+    eng.set_query(q);
+    ref.set_query(q);
+    const AlignResult got = eng.align(d);
+    if (got.overflowed) continue;  // narrow widths may legitimately bail
+    const AlignResult want = ref.align(d);
+    ASSERT_EQ(got.score, want.score)
+        << tag << " " << to_string(C) << " iter " << i << " q=" << q.size()
+        << " d=" << d.size();
+  }
+}
+
+template <class V, template <AlignClass, class> class Engine>
+void sweep_all_classes(const ScoreMatrix& mat, GapPenalty gap, std::uint64_t seed,
+                       int iters, std::size_t max_len, const char* tag) {
+  sweep_vs_scalar<AlignClass::Global, V, Engine>(mat, gap, seed, iters, max_len, tag);
+  sweep_vs_scalar<AlignClass::SemiGlobal, V, Engine>(mat, gap, seed + 1, iters,
+                                                     max_len, tag);
+  sweep_vs_scalar<AlignClass::Local, V, Engine>(mat, gap, seed + 2, iters, max_len,
+                                                tag);
+}
+
+TYPED_TEST(EngineVsScalarTest, StripedMatchesScalar) {
+  sweep_all_classes<TypeParam, StripedAligner>(ScoreMatrix::blosum62(), {11, 1}, 101,
+                                               10, 200, "striped");
+}
+
+TYPED_TEST(EngineVsScalarTest, ScanMatchesScalar) {
+  sweep_all_classes<TypeParam, ScanAligner>(ScoreMatrix::blosum62(), {11, 1}, 202, 10,
+                                            200, "scan");
+}
+
+TYPED_TEST(EngineVsScalarTest, BlockedMatchesScalar) {
+  sweep_all_classes<TypeParam, BlockedAligner>(ScoreMatrix::blosum62(), {11, 1}, 303,
+                                               8, 160, "blocked");
+}
+
+TYPED_TEST(EngineVsScalarTest, DiagonalMatchesScalar) {
+  sweep_all_classes<TypeParam, DiagonalAligner>(ScoreMatrix::blosum62(), {11, 1}, 404,
+                                                8, 160, "diagonal");
+}
+
+TYPED_TEST(EngineVsScalarTest, AlternativeScoringSchemes) {
+  // Cheap gaps stress the corrective machinery (more, longer gaps win).
+  sweep_all_classes<TypeParam, StripedAligner>(ScoreMatrix::blosum45(), {2, 1}, 505, 6,
+                                               150, "striped-cheapgap");
+  sweep_all_classes<TypeParam, ScanAligner>(ScoreMatrix::blosum45(), {2, 1}, 606, 6,
+                                            150, "scan-cheapgap");
+  // Zero extension (pure open cost per residue beyond the first).
+  sweep_all_classes<TypeParam, StripedAligner>(ScoreMatrix::blosum90(), {8, 0}, 707, 6,
+                                               120, "striped-e0");
+  sweep_all_classes<TypeParam, ScanAligner>(ScoreMatrix::blosum90(), {8, 0}, 808, 6,
+                                            120, "scan-e0");
+}
+
+TYPED_TEST(EngineVsScalarTest, PlantedHomologyPairs) {
+  using V = TypeParam;
+  std::mt19937_64 rng(909);
+  StripedAligner<AlignClass::Local, V> striped(ScoreMatrix::blosum62(), {11, 1});
+  ScanAligner<AlignClass::Local, V> scan(ScoreMatrix::blosum62(), {11, 1});
+  ScalarAligner<AlignClass::Local> ref(ScoreMatrix::blosum62(), {11, 1});
+  for (int i = 0; i < 10; ++i) {
+    const auto [q, d] = related_pair(120, 150, 40, rng);
+    striped.set_query(q);
+    scan.set_query(q);
+    ref.set_query(q);
+    const auto want = ref.align(d);
+    const auto r1 = striped.align(d);
+    const auto r2 = scan.align(d);
+    if (!r1.overflowed) EXPECT_EQ(r1.score, want.score);
+    if (!r2.overflowed) EXPECT_EQ(r2.score, want.score);
+    // A 40-residue identical core guarantees a strong hit.
+    EXPECT_GT(want.score, 100);
+  }
+}
+
+TYPED_TEST(EngineVsScalarTest, QueryShorterThanOneVector) {
+  using V = TypeParam;
+  std::mt19937_64 rng(111);
+  for (std::size_t qlen : {std::size_t{1}, std::size_t{2},
+                           static_cast<std::size_t>(V::lanes) - 1,
+                           static_cast<std::size_t>(V::lanes)}) {
+    if (qlen == 0) continue;
+    const auto q = random_codes(qlen, rng);
+    const auto d = random_codes(37, rng);
+    for (const AlignClass c : kClasses) {
+      const auto want = align_scalar(c, ScoreMatrix::blosum62(), {11, 1}, q, d);
+      AlignResult got;
+      switch (c) {
+        case AlignClass::Global: {
+          StripedAligner<AlignClass::Global, V> e(ScoreMatrix::blosum62(), {11, 1});
+          e.set_query(q);
+          got = e.align(d);
+          break;
+        }
+        case AlignClass::SemiGlobal: {
+          ScanAligner<AlignClass::SemiGlobal, V> e(ScoreMatrix::blosum62(), {11, 1});
+          e.set_query(q);
+          got = e.align(d);
+          break;
+        }
+        case AlignClass::Local: {
+          ScanAligner<AlignClass::Local, V> e(ScoreMatrix::blosum62(), {11, 1});
+          e.set_query(q);
+          got = e.align(d);
+          break;
+        }
+      }
+      if (!got.overflowed) EXPECT_EQ(got.score, want.score) << to_string(c);
+    }
+  }
+}
+
+TYPED_TEST(EngineVsScalarTest, EmptyInputs) {
+  using V = TypeParam;
+  const std::vector<std::uint8_t> empty;
+  const std::vector<std::uint8_t> seq = {0, 1, 2, 3};
+  StripedAligner<AlignClass::Global, V> nw(ScoreMatrix::blosum62(), {11, 1});
+  nw.set_query(empty);
+  EXPECT_EQ(nw.align(seq).score, -(11 + 4));
+  nw.set_query(seq);
+  EXPECT_EQ(nw.align(empty).score, -(11 + 4));
+  ScanAligner<AlignClass::Local, V> sw(ScoreMatrix::blosum62(), {11, 1});
+  sw.set_query(empty);
+  EXPECT_EQ(sw.align(seq).score, 0);
+}
+
+TYPED_TEST(EngineVsScalarTest, ScanLogEqualsLinear) {
+  using V = TypeParam;
+  std::mt19937_64 rng(222);
+  for (const AlignClass c : kClasses) {
+    const auto q = random_codes(130, rng);
+    const auto d = random_codes(170, rng);
+    AlignResult lin, log;
+    switch (c) {
+      case AlignClass::Global: {
+        ScanAligner<AlignClass::Global, V> a(ScoreMatrix::blosum62(), {11, 1},
+                                             HscanKind::Linear);
+        ScanAligner<AlignClass::Global, V> b(ScoreMatrix::blosum62(), {11, 1},
+                                             HscanKind::Log);
+        a.set_query(q);
+        b.set_query(q);
+        lin = a.align(d);
+        log = b.align(d);
+        break;
+      }
+      case AlignClass::SemiGlobal: {
+        ScanAligner<AlignClass::SemiGlobal, V> a(ScoreMatrix::blosum62(), {11, 1},
+                                                 HscanKind::Linear);
+        ScanAligner<AlignClass::SemiGlobal, V> b(ScoreMatrix::blosum62(), {11, 1},
+                                                 HscanKind::Log);
+        a.set_query(q);
+        b.set_query(q);
+        lin = a.align(d);
+        log = b.align(d);
+        break;
+      }
+      case AlignClass::Local: {
+        ScanAligner<AlignClass::Local, V> a(ScoreMatrix::blosum62(), {11, 1},
+                                            HscanKind::Linear);
+        ScanAligner<AlignClass::Local, V> b(ScoreMatrix::blosum62(), {11, 1},
+                                            HscanKind::Log);
+        a.set_query(q);
+        b.set_query(q);
+        lin = a.align(d);
+        log = b.align(d);
+        break;
+      }
+    }
+    EXPECT_EQ(lin.score, log.score) << to_string(c);
+  }
+}
+
+// --- Work-counter properties (§IV complexity analysis) -----------------------
+
+TYPED_TEST(EngineVsScalarTest, ScanWorkCountersAreDeterministic) {
+  using V = TypeParam;
+  std::mt19937_64 rng(333);
+  const auto q = random_codes(100, rng);
+  const auto d = random_codes(140, rng);
+  ScanAligner<AlignClass::Local, V> scan(ScoreMatrix::blosum62(), {11, 1});
+  scan.set_query(q);
+  const AlignResult r = scan.align(d);
+  const std::uint64_t L = (q.size() + static_cast<std::size_t>(V::lanes) - 1) /
+                          static_cast<std::size_t>(V::lanes);
+  // Exactly two passes per column, p-1 horizontal steps per column.
+  EXPECT_EQ(r.stats.main_epochs, 2 * L * d.size());
+  EXPECT_EQ(r.stats.hscan_steps, static_cast<std::uint64_t>(V::lanes - 1) * d.size());
+  EXPECT_EQ(r.stats.corrective_epochs, 0u);
+  EXPECT_EQ(r.stats.columns, d.size());
+}
+
+TYPED_TEST(EngineVsScalarTest, StripedCorrectiveFactorBounded) {
+  using V = TypeParam;
+  std::mt19937_64 rng(444);
+  const auto q = random_codes(150, rng);
+  const auto d = random_codes(200, rng);
+  StripedAligner<AlignClass::Local, V> striped(ScoreMatrix::blosum62(), {11, 1});
+  striped.set_query(q);
+  const AlignResult r = striped.align(d);
+  const std::uint64_t L = (q.size() + static_cast<std::size_t>(V::lanes) - 1) /
+                          static_cast<std::size_t>(V::lanes);
+  EXPECT_EQ(r.stats.main_epochs, L * d.size());
+  // The corrective loop may not exceed p passes of L epochs per column.
+  EXPECT_LE(r.stats.corrective_epochs,
+            static_cast<std::uint64_t>(V::lanes) * L * d.size());
+  const double c = r.stats.corrective_factor(q.size(), V::lanes);
+  EXPECT_GE(c, 0.0);
+  EXPECT_LT(c, static_cast<double>(V::lanes));
+}
+
+TYPED_TEST(EngineVsScalarTest, LocalEndPositionsVerifyByTruncation) {
+  using V = TypeParam;
+  std::mt19937_64 rng(555);
+  for (int i = 0; i < 6; ++i) {
+    const auto [q, d] = related_pair(100, 130, 35, rng);
+    for (int which = 0; which < 2; ++which) {
+      AlignResult r;
+      if (which == 0) {
+        StripedAligner<AlignClass::Local, V> e(ScoreMatrix::blosum62(), {11, 1});
+        e.set_query(q);
+        r = e.align(d);
+      } else {
+        ScanAligner<AlignClass::Local, V> e(ScoreMatrix::blosum62(), {11, 1});
+        e.set_query(q);
+        r = e.align(d);
+      }
+      if (r.overflowed || r.score == 0) continue;
+      ASSERT_GE(r.query_end, 0);
+      ASSERT_GE(r.db_end, 0);
+      std::vector<std::uint8_t> qt(q.begin(), q.begin() + r.query_end + 1);
+      std::vector<std::uint8_t> dt(d.begin(), d.begin() + r.db_end + 1);
+      EXPECT_EQ(align_scalar(AlignClass::Local, ScoreMatrix::blosum62(), {11, 1}, qt, dt)
+                    .score,
+                r.score)
+          << (which == 0 ? "striped" : "scan");
+    }
+  }
+}
+
+// --- Overflow behaviour -------------------------------------------------------
+
+TEST(EngineOverflow, Int8LocalSaturationIsFlaggedNotSilent) {
+#if defined(__SSE4_1__)
+  std::mt19937_64 rng(666);
+  // A long identical pair scores far beyond int8 range.
+  const auto q = random_codes(200, rng);
+  StripedAligner<AlignClass::Local, V128<std::int8_t>> striped(ScoreMatrix::blosum62(),
+                                                               {11, 1});
+  ScanAligner<AlignClass::Local, V128<std::int8_t>> scan(ScoreMatrix::blosum62(),
+                                                         {11, 1});
+  striped.set_query(q);
+  scan.set_query(q);
+  const auto r1 = striped.align(q);
+  const auto r2 = scan.align(q);
+  EXPECT_TRUE(r1.overflowed);
+  EXPECT_TRUE(r2.overflowed);
+  const auto want = align_scalar(AlignClass::Local, ScoreMatrix::blosum62(), {11, 1}, q, q);
+  EXPECT_GT(want.score, 127);
+#else
+  GTEST_SKIP() << "SSE4.1 not compiled in";
+#endif
+}
+
+TEST(EngineOverflow, Int8LocalSmallScoresAreExact) {
+#if defined(__SSE4_1__)
+  std::mt19937_64 rng(777);
+  int checked = 0;
+  StripedAligner<AlignClass::Local, V128<std::int8_t>> striped(ScoreMatrix::blosum62(),
+                                                               {11, 1});
+  ScanAligner<AlignClass::Local, V128<std::int8_t>> scan(ScoreMatrix::blosum62(),
+                                                         {11, 1});
+  ScalarAligner<AlignClass::Local> ref(ScoreMatrix::blosum62(), {11, 1});
+  for (int i = 0; i < 30; ++i) {
+    // Unrelated random sequences: SW scores stay small.
+    const auto q = random_codes(300, rng);
+    const auto d = random_codes(300, rng);
+    striped.set_query(q);
+    scan.set_query(q);
+    ref.set_query(q);
+    const auto want = ref.align(d);
+    const auto r1 = striped.align(d);
+    const auto r2 = scan.align(d);
+    if (!r1.overflowed) {
+      EXPECT_EQ(r1.score, want.score);
+      ++checked;
+    }
+    if (!r2.overflowed) EXPECT_EQ(r2.score, want.score);
+  }
+  EXPECT_GT(checked, 0);  // most random pairs stay within int8 range
+#else
+  GTEST_SKIP() << "SSE4.1 not compiled in";
+#endif
+}
+
+// --- Query profile ------------------------------------------------------------
+
+TEST(StripedProfileTest, LayoutAndPadding) {
+  const ScoreMatrix& m = ScoreMatrix::blosum62();
+  std::vector<std::uint8_t> q = {0, 1, 2, 3, 4, 5, 6};  // 7 residues
+  StripedProfile<std::int16_t> prof;
+  prof.build(m, q, /*lanes=*/4);
+  EXPECT_EQ(prof.seglen(), 2u);  // ceil(7/4)
+  EXPECT_EQ(prof.lanes(), 4);
+  // Row r = s*L + t; check every real cell against the matrix.
+  for (int c = 0; c < m.size(); ++c) {
+    for (std::size_t t = 0; t < prof.seglen(); ++t) {
+      const std::int16_t* v = prof.epoch(c, t);
+      for (int s = 0; s < 4; ++s) {
+        const std::size_t r = static_cast<std::size_t>(s) * prof.seglen() + t;
+        if (r < q.size()) {
+          EXPECT_EQ(v[s], m.score(q[r], c)) << "c=" << c << " t=" << t << " s=" << s;
+        } else {
+          EXPECT_EQ(v[s], simd::ElemTraits<std::int16_t>::neg_inf);
+        }
+      }
+    }
+  }
+}
+
+TEST(SequentialProfileTest, LayoutAndPadding) {
+  const ScoreMatrix& m = ScoreMatrix::blosum62();
+  std::vector<std::uint8_t> q = {7, 8, 9, 10, 11};
+  SequentialProfile<std::int32_t> prof;
+  prof.build(m, q, /*lanes=*/4);
+  EXPECT_EQ(prof.blocks(), 2u);
+  for (int c = 0; c < m.size(); ++c) {
+    for (std::size_t b = 0; b < prof.blocks(); ++b) {
+      const std::int32_t* v = prof.block(c, b);
+      for (int s = 0; s < 4; ++s) {
+        const std::size_t r = b * 4 + static_cast<std::size_t>(s);
+        if (r < q.size()) {
+          EXPECT_EQ(v[s], m.score(q[r], c));
+        } else {
+          EXPECT_EQ(v[s], simd::ElemTraits<std::int32_t>::neg_inf);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace valign

@@ -1,0 +1,326 @@
+// Extended engine properties: golden regression scores, DNA alphabet,
+// engine reuse, degenerate shapes, adversarial correction workloads, and
+// linear-gap limits — the long tail beyond the core differential suite.
+#include <gtest/gtest.h>
+
+#include "../support/random_seqs.hpp"
+#include "valign/core/blocked.hpp"
+#include "valign/core/diagonal.hpp"
+#include "valign/core/scalar.hpp"
+#include "valign/core/scan.hpp"
+#include "valign/core/striped.hpp"
+#include "valign/matrices/matrix.hpp"
+
+namespace valign {
+namespace {
+
+using simd::VEmul;
+using testing_support::random_codes;
+
+const ScoreMatrix& b62() { return ScoreMatrix::blosum62(); }
+constexpr GapPenalty kGap{11, 1};
+
+// --- Golden regression scores ------------------------------------------------
+// Fixed inputs with hand-checkable optimal alignments. These protect against
+// silent cross-version regressions that differential tests (which compare
+// implementations to each other) cannot catch if the reference drifts too.
+
+struct Golden {
+  const char* q;
+  const char* d;
+  std::int32_t nw, sg, sw;
+};
+
+// Scores verified manually:
+//  * identical pairs: sum of BLOSUM62 diagonal entries;
+//  * "WW"/"W": one W match (11) minus a length-1 gap (12);
+//  * disjoint alphabet halves: SW floors at 0, NW pays every substitution.
+const Golden kGolden[] = {
+    {"W", "W", 11, 11, 11},
+    {"WW", "W", -1, 11, 11},
+    {"MKTAYIAKQR", "MKTAYIAKQR", 49, 49, 49},
+    // One substitution in the middle: Q->G at position 3 (Q/G = -2).
+    {"MKQAYIAKQR", "MKGAYIAKQR", 49 - 5 - 2, 42, 42},
+    // Prefix overlap: SG/SW take the common prefix, NW pays the tail gap.
+    {"MKTAYI", "MKTAYIWWWW", 30 - (11 + 4), 30, 30},
+    // Hydrophobic vs charged runs: everything mismatches.
+    {"IIIII", "DDDDD", 5 * -3, 0, 0},
+};
+
+TEST(GoldenScores, ScalarEngine) {
+  for (const Golden& g : kGolden) {
+    const Sequence q("q", g.q, Alphabet::protein());
+    const Sequence d("d", g.d, Alphabet::protein());
+    EXPECT_EQ(align_scalar(AlignClass::Global, b62(), kGap, q.codes(), d.codes()).score,
+              g.nw)
+        << g.q << " / " << g.d;
+    EXPECT_EQ(
+        align_scalar(AlignClass::SemiGlobal, b62(), kGap, q.codes(), d.codes()).score,
+        g.sg)
+        << g.q << " / " << g.d;
+    EXPECT_EQ(align_scalar(AlignClass::Local, b62(), kGap, q.codes(), d.codes()).score,
+              g.sw)
+        << g.q << " / " << g.d;
+  }
+}
+
+TEST(GoldenScores, VectorEnginesAgree) {
+  using V = VEmul<std::int32_t, 8>;
+  for (const Golden& g : kGolden) {
+    const Sequence q("q", g.q, Alphabet::protein());
+    const Sequence d("d", g.d, Alphabet::protein());
+    {
+      StripedAligner<AlignClass::Global, V> e(b62(), kGap);
+      e.set_query(q.codes());
+      EXPECT_EQ(e.align(d.codes()).score, g.nw) << g.q;
+    }
+    {
+      ScanAligner<AlignClass::SemiGlobal, V> e(b62(), kGap);
+      e.set_query(q.codes());
+      EXPECT_EQ(e.align(d.codes()).score, g.sg) << g.q;
+    }
+    {
+      BlockedAligner<AlignClass::Local, V> e(b62(), kGap);
+      e.set_query(q.codes());
+      EXPECT_EQ(e.align(d.codes()).score, g.sw) << g.q;
+    }
+    {
+      DiagonalAligner<AlignClass::Local, V> e(b62(), kGap);
+      e.set_query(q.codes());
+      EXPECT_EQ(e.align(d.codes()).score, g.sw) << g.q;
+    }
+  }
+}
+
+// --- DNA alphabet across every engine -----------------------------------------
+
+TEST(DnaEngines, AllEnginesMatchScalar) {
+  const ScoreMatrix dna = ScoreMatrix::dna(2, 3);
+  const GapPenalty gap{10, 1};
+  std::mt19937_64 rng(31);
+  std::uniform_int_distribution<int> base(0, 3);
+  using V = VEmul<std::int32_t, 16>;
+  for (int iter = 0; iter < 6; ++iter) {
+    std::uniform_int_distribution<std::size_t> len(1, 250);
+    std::vector<std::uint8_t> q(len(rng)), d(len(rng));
+    for (auto& c : q) c = static_cast<std::uint8_t>(base(rng));
+    for (auto& c : d) c = static_cast<std::uint8_t>(base(rng));
+    for (const AlignClass klass :
+         {AlignClass::Global, AlignClass::SemiGlobal, AlignClass::Local}) {
+      const auto want = align_scalar(klass, dna, gap, q, d).score;
+      AlignResult r1, r2;
+      switch (klass) {
+        case AlignClass::Global: {
+          StripedAligner<AlignClass::Global, V> e1(dna, gap);
+          ScanAligner<AlignClass::Global, V> e2(dna, gap);
+          e1.set_query(q);
+          e2.set_query(q);
+          r1 = e1.align(d);
+          r2 = e2.align(d);
+          break;
+        }
+        case AlignClass::SemiGlobal: {
+          StripedAligner<AlignClass::SemiGlobal, V> e1(dna, gap);
+          ScanAligner<AlignClass::SemiGlobal, V> e2(dna, gap);
+          e1.set_query(q);
+          e2.set_query(q);
+          r1 = e1.align(d);
+          r2 = e2.align(d);
+          break;
+        }
+        case AlignClass::Local: {
+          StripedAligner<AlignClass::Local, V> e1(dna, gap);
+          ScanAligner<AlignClass::Local, V> e2(dna, gap);
+          e1.set_query(q);
+          e2.set_query(q);
+          r1 = e1.align(d);
+          r2 = e2.align(d);
+          break;
+        }
+      }
+      EXPECT_EQ(r1.score, want) << "striped " << to_string(klass) << " iter " << iter;
+      EXPECT_EQ(r2.score, want) << "scan " << to_string(klass) << " iter " << iter;
+    }
+  }
+}
+
+TEST(DnaEngines, WildcardNeverHelpsNorHurts) {
+  // N scores 0 against everything, so replacing residues with N can only
+  // lower (or keep) a local score, never raise it.
+  const ScoreMatrix dna = ScoreMatrix::dna(2, 3);
+  std::mt19937_64 rng(32);
+  std::uniform_int_distribution<int> base(0, 3);
+  std::vector<std::uint8_t> q(120), d(120);
+  for (auto& c : q) c = static_cast<std::uint8_t>(base(rng));
+  d = q;  // identical pair
+  const auto full = align_scalar(AlignClass::Local, dna, {10, 1}, q, d).score;
+  auto qn = q;
+  for (std::size_t i = 0; i < qn.size(); i += 3) qn[i] = 4;  // N
+  const auto masked = align_scalar(AlignClass::Local, dna, {10, 1}, qn, d).score;
+  EXPECT_LT(masked, full);
+  EXPECT_GE(masked, 0);
+}
+
+// --- Engine reuse --------------------------------------------------------------
+
+TEST(EngineReuse, SetQueryRepeatedlyWithShrinkingAndGrowingQueries) {
+  using V = VEmul<std::int32_t, 8>;
+  StripedAligner<AlignClass::Local, V> striped(b62(), kGap);
+  ScanAligner<AlignClass::Local, V> scan(b62(), kGap);
+  ScalarAligner<AlignClass::Local> ref(b62(), kGap);
+  std::mt19937_64 rng(33);
+  // Lengths deliberately zig-zag to stress buffer reuse.
+  for (const std::size_t qlen : {200u, 10u, 500u, 1u, 64u, 63u, 65u}) {
+    const auto q = random_codes(qlen, rng);
+    const auto d = random_codes(150, rng);
+    striped.set_query(q);
+    scan.set_query(q);
+    ref.set_query(q);
+    const auto want = ref.align(d);
+    EXPECT_EQ(striped.align(d).score, want.score) << qlen;
+    EXPECT_EQ(scan.align(d).score, want.score) << qlen;
+  }
+}
+
+TEST(EngineReuse, RepeatedAlignIsDeterministic) {
+  using V = VEmul<std::int32_t, 8>;
+  std::mt19937_64 rng(34);
+  const auto q = random_codes(130, rng);
+  const auto d = random_codes(170, rng);
+  ScanAligner<AlignClass::SemiGlobal, V> eng(b62(), kGap);
+  eng.set_query(q);
+  const auto first = eng.align(d);
+  for (int i = 0; i < 5; ++i) {
+    const auto again = eng.align(d);
+    EXPECT_EQ(again.score, first.score);
+    EXPECT_EQ(again.query_end, first.query_end);
+    EXPECT_EQ(again.db_end, first.db_end);
+  }
+}
+
+// --- Degenerate shapes ---------------------------------------------------------
+
+TEST(DegenerateShapes, OneByNAndNByOne) {
+  using V = VEmul<std::int32_t, 4>;
+  std::mt19937_64 rng(35);
+  const auto lone = random_codes(1, rng);
+  const auto seq = random_codes(333, rng);
+  for (const AlignClass klass :
+       {AlignClass::Global, AlignClass::SemiGlobal, AlignClass::Local}) {
+    const auto want1 = align_scalar(klass, b62(), kGap, lone, seq).score;
+    const auto want2 = align_scalar(klass, b62(), kGap, seq, lone).score;
+    switch (klass) {
+      case AlignClass::Global: {
+        StripedAligner<AlignClass::Global, V> e(b62(), kGap);
+        e.set_query(lone);
+        EXPECT_EQ(e.align(seq).score, want1);
+        e.set_query(seq);
+        EXPECT_EQ(e.align(lone).score, want2);
+        break;
+      }
+      case AlignClass::SemiGlobal: {
+        ScanAligner<AlignClass::SemiGlobal, V> e(b62(), kGap);
+        e.set_query(lone);
+        EXPECT_EQ(e.align(seq).score, want1);
+        e.set_query(seq);
+        EXPECT_EQ(e.align(lone).score, want2);
+        break;
+      }
+      case AlignClass::Local: {
+        BlockedAligner<AlignClass::Local, V> e(b62(), kGap);
+        e.set_query(lone);
+        EXPECT_EQ(e.align(seq).score, want1);
+        e.set_query(seq);
+        EXPECT_EQ(e.align(lone).score, want2);
+        break;
+      }
+    }
+  }
+}
+
+TEST(DegenerateShapes, UniformResidueRuns) {
+  // Maximal-similarity degenerate inputs: poly-W against poly-W of a
+  // different length exercises the pure-gap decision everywhere.
+  using V = VEmul<std::int32_t, 8>;
+  const std::vector<std::uint8_t> w40(40, static_cast<std::uint8_t>(
+                                             Alphabet::protein().encode('W')));
+  const std::vector<std::uint8_t> w25(25, static_cast<std::uint8_t>(
+                                             Alphabet::protein().encode('W')));
+  const auto want = align_scalar(AlignClass::Global, b62(), kGap, w40, w25).score;
+  // 25 matches (11 each) minus one gap of length 15.
+  EXPECT_EQ(want, 25 * 11 - (11 + 15));
+  StripedAligner<AlignClass::Global, V> striped(b62(), kGap);
+  ScanAligner<AlignClass::Global, V> scan(b62(), kGap);
+  striped.set_query(w40);
+  scan.set_query(w40);
+  EXPECT_EQ(striped.align(w25).score, want);
+  EXPECT_EQ(scan.align(w25).score, want);
+}
+
+// --- Adversarial correction workloads ------------------------------------------
+
+TEST(Adversarial, GapLadderMaximizesStripedCorrections) {
+  // A query whose optimum threads long vertical gaps: high-scoring residues
+  // at stripe-boundary-crossing spacings force the lazy-F loop to carry F
+  // across many lanes. Striped must stay exact regardless.
+  using V = VEmul<std::int32_t, 16>;
+  const std::uint8_t W = static_cast<std::uint8_t>(Alphabet::protein().encode('W'));
+  const std::uint8_t A = static_cast<std::uint8_t>(Alphabet::protein().encode('A'));
+  std::vector<std::uint8_t> q(320, A);
+  for (std::size_t i = 0; i < q.size(); i += 20) q[i] = W;
+  std::vector<std::uint8_t> d(40, W);
+
+  StripedAligner<AlignClass::Global, V> striped(b62(), GapPenalty{1, 0});
+  ScalarAligner<AlignClass::Global> ref(b62(), GapPenalty{1, 0});
+  striped.set_query(q);
+  ref.set_query(q);
+  const auto rs = striped.align(d);
+  EXPECT_EQ(rs.score, ref.align(d).score);
+  // The corrective loop really fired — heavily.
+  EXPECT_GT(rs.stats.corrective_epochs, rs.stats.main_epochs / 4);
+}
+
+TEST(Adversarial, ZeroOpenGapsAcrossEngines) {
+  // o = 0 makes gaps linear and maximally attractive; every engine's
+  // open/extend bookkeeping must still agree with the ground truth.
+  using V = VEmul<std::int32_t, 8>;
+  std::mt19937_64 rng(36);
+  const GapPenalty linear{0, 2};
+  for (int iter = 0; iter < 6; ++iter) {
+    const auto q = random_codes(90, rng);
+    const auto d = random_codes(110, rng);
+    const auto want = align_scalar(AlignClass::Local, b62(), linear, q, d).score;
+    StripedAligner<AlignClass::Local, V> e1(b62(), linear);
+    ScanAligner<AlignClass::Local, V> e2(b62(), linear);
+    BlockedAligner<AlignClass::Local, V> e3(b62(), linear);
+    DiagonalAligner<AlignClass::Local, V> e4(b62(), linear);
+    e1.set_query(q);
+    e2.set_query(q);
+    e3.set_query(q);
+    e4.set_query(q);
+    EXPECT_EQ(e1.align(d).score, want) << iter;
+    EXPECT_EQ(e2.align(d).score, want) << iter;
+    EXPECT_EQ(e3.align(d).score, want) << iter;
+    EXPECT_EQ(e4.align(d).score, want) << iter;
+  }
+}
+
+TEST(Adversarial, HugeGapPenaltiesForbidGaps) {
+  // With gaps priced beyond any possible match gain, NW degenerates into a
+  // pure substitution alignment when lengths agree.
+  using V = VEmul<std::int32_t, 8>;
+  std::mt19937_64 rng(37);
+  const auto q = random_codes(64, rng);
+  const auto d = random_codes(64, rng);
+  const GapPenalty huge{100, 20};
+  std::int64_t diag = 0;
+  for (std::size_t i = 0; i < q.size(); ++i) diag += b62().score(q[i], d[i]);
+  const auto want = align_scalar(AlignClass::Global, b62(), huge, q, d).score;
+  EXPECT_EQ(want, diag);
+  ScanAligner<AlignClass::Global, V> scan(b62(), huge);
+  scan.set_query(q);
+  EXPECT_EQ(scan.align(d).score, want);
+}
+
+}  // namespace
+}  // namespace valign

@@ -1,0 +1,258 @@
+// Scalar engine invariants and the traceback engine.
+//
+// The scalar engine is the ground truth for everything else, so it is tested
+// against first principles: hand-computed alignments, algebraic invariants,
+// and consistency between the score-only and full-table implementations.
+#include <gtest/gtest.h>
+
+#include "../support/random_seqs.hpp"
+#include "valign/core/scalar.hpp"
+#include "valign/matrices/matrix.hpp"
+
+namespace valign {
+namespace {
+
+using testing_support::random_codes;
+
+const ScoreMatrix& b62() { return ScoreMatrix::blosum62(); }
+constexpr GapPenalty kGap{11, 1};
+
+Sequence prot(const char* s) { return Sequence("s", s, Alphabet::protein()); }
+
+std::int32_t score_of(AlignClass c, const Sequence& q, const Sequence& d,
+                      GapPenalty g = kGap) {
+  return align_scalar(c, b62(), g, q.codes(), d.codes()).score;
+}
+
+TEST(Scalar, IdenticalSequencesScoreSumOfDiagonal) {
+  const Sequence s = prot("MKTAYIAKQRQISFVK");
+  std::int32_t want = 0;
+  for (const std::uint8_t c : s.codes()) want += b62().score(c, c);
+  EXPECT_EQ(score_of(AlignClass::Global, s, s), want);
+  EXPECT_EQ(score_of(AlignClass::SemiGlobal, s, s), want);
+  EXPECT_EQ(score_of(AlignClass::Local, s, s), want);
+}
+
+TEST(Scalar, SingleResiduePair) {
+  const Sequence a = prot("W");
+  const Sequence b = prot("W");
+  const Sequence c = prot("P");
+  EXPECT_EQ(score_of(AlignClass::Global, a, b), 11);  // W/W in BLOSUM62
+  EXPECT_EQ(score_of(AlignClass::Local, a, c), 0);    // W/P = -4 -> empty local
+  EXPECT_EQ(score_of(AlignClass::Global, a, c), -4);  // forced substitution
+}
+
+TEST(Scalar, GlobalGapCosts) {
+  // Aligning WW against W: one residue must be deleted.
+  const Sequence q = prot("WW");
+  const Sequence d = prot("W");
+  // Best: match W/W (11) plus a length-1 gap (-(11+1)).
+  EXPECT_EQ(score_of(AlignClass::Global, q, d), 11 - 12);
+}
+
+TEST(Scalar, EmptyInputs) {
+  const Sequence e("e", std::vector<std::uint8_t>{}, Alphabet::protein());
+  const Sequence s = prot("MKT");
+  EXPECT_EQ(score_of(AlignClass::Global, e, s), -(11 + 3));
+  EXPECT_EQ(score_of(AlignClass::Global, s, e), -(11 + 3));
+  EXPECT_EQ(score_of(AlignClass::Global, e, e), 0);
+  EXPECT_EQ(score_of(AlignClass::SemiGlobal, e, s), 0);
+  EXPECT_EQ(score_of(AlignClass::Local, s, e), 0);
+}
+
+TEST(Scalar, SemiGlobalIgnoresEndGaps) {
+  // The query appears verbatim inside a longer database sequence: SG should
+  // find the full-score overlap with no gap penalties.
+  const Sequence q = prot("WCWHCW");
+  const Sequence d = prot("AAAAAWCWHCWAAAAA");
+  std::int32_t want = 0;
+  for (const std::uint8_t c : q.codes()) want += b62().score(c, c);
+  EXPECT_EQ(score_of(AlignClass::SemiGlobal, q, d), want);
+  // Global must pay for the flanks.
+  EXPECT_LT(score_of(AlignClass::Global, q, d), want);
+}
+
+TEST(Scalar, ClassOrderingInvariant) {
+  // For any input pair: SW >= SG >= NW (each relaxes constraints).
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 50; ++i) {
+    std::uniform_int_distribution<std::size_t> len(1, 120);
+    const auto q = random_codes(len(rng), rng);
+    const auto d = random_codes(len(rng), rng);
+    const auto nw = align_scalar(AlignClass::Global, b62(), kGap, q, d).score;
+    const auto sg = align_scalar(AlignClass::SemiGlobal, b62(), kGap, q, d).score;
+    const auto sw = align_scalar(AlignClass::Local, b62(), kGap, q, d).score;
+    EXPECT_GE(sw, sg);
+    EXPECT_GE(sg, nw);
+    EXPECT_GE(sw, 0);
+  }
+}
+
+TEST(Scalar, SymmetryUnderSwap) {
+  // Symmetric matrix => score(q,d) == score(d,q) for all classes.
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 30; ++i) {
+    std::uniform_int_distribution<std::size_t> len(1, 100);
+    const auto q = random_codes(len(rng), rng);
+    const auto d = random_codes(len(rng), rng);
+    for (const AlignClass c :
+         {AlignClass::Global, AlignClass::SemiGlobal, AlignClass::Local}) {
+      EXPECT_EQ(align_scalar(c, b62(), kGap, q, d).score,
+                align_scalar(c, b62(), kGap, d, q).score);
+    }
+  }
+}
+
+TEST(Scalar, LocalScoreMonotoneInExtension) {
+  // Appending residues can never lower a local score.
+  std::mt19937_64 rng(21);
+  auto q = random_codes(60, rng);
+  const auto d = random_codes(80, rng);
+  std::int32_t prev = 0;
+  for (int grow = 0; grow < 10; ++grow) {
+    const auto cur = align_scalar(AlignClass::Local, b62(), kGap, q, d).score;
+    EXPECT_GE(cur, prev);
+    prev = cur;
+    const auto extra = random_codes(5, rng);
+    q.insert(q.end(), extra.begin(), extra.end());
+  }
+}
+
+TEST(Scalar, EndPositionsPointAtOptimum) {
+  std::mt19937_64 rng(33);
+  const auto [q, d] = testing_support::related_pair(90, 120, 30, rng);
+  const auto r = align_scalar(AlignClass::Local, b62(), kGap, q, d);
+  ASSERT_GE(r.query_end, 0);
+  ASSERT_GE(r.db_end, 0);
+  // Truncating just past the reported ends preserves the score.
+  std::vector<std::uint8_t> qt(q.begin(), q.begin() + r.query_end + 1);
+  std::vector<std::uint8_t> dt(d.begin(), d.begin() + r.db_end + 1);
+  EXPECT_EQ(align_scalar(AlignClass::Local, b62(), kGap, qt, dt).score, r.score);
+}
+
+// --- Traceback ---------------------------------------------------------------
+
+/// Re-scores a traceback's alignment strings; must reproduce tb.score.
+std::int64_t rescore(const Traceback& tb, AlignClass klass, const ScoreMatrix& m,
+                     GapPenalty g) {
+  std::int64_t s = 0;
+  bool in_gap_q = false, in_gap_d = false;
+  for (std::size_t i = 0; i < tb.aligned_query.size(); ++i) {
+    const char qc = tb.aligned_query[i];
+    const char dc = tb.aligned_db[i];
+    if (qc == '-') {
+      s -= in_gap_q ? g.extend : (g.open + g.extend);
+      in_gap_q = true;
+      in_gap_d = false;
+    } else if (dc == '-') {
+      s -= in_gap_d ? g.extend : (g.open + g.extend);
+      in_gap_d = true;
+      in_gap_q = false;
+    } else {
+      s += m.score_chars(qc, dc);
+      in_gap_q = in_gap_d = false;
+    }
+  }
+  (void)klass;
+  return s;
+}
+
+class TracebackTest : public ::testing::TestWithParam<AlignClass> {};
+INSTANTIATE_TEST_SUITE_P(AllClasses, TracebackTest,
+                         ::testing::Values(AlignClass::Global,
+                                           AlignClass::SemiGlobal,
+                                           AlignClass::Local),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST_P(TracebackTest, ScoreMatchesScoreOnlyEngine) {
+  std::mt19937_64 rng(55);
+  for (int i = 0; i < 40; ++i) {
+    std::uniform_int_distribution<std::size_t> len(1, 90);
+    const Sequence q = testing_support::random_protein("q", len(rng), rng);
+    const Sequence d = testing_support::random_protein("d", len(rng), rng);
+    const auto tb = align_traceback(GetParam(), b62(), kGap, q, d);
+    const auto so = align_scalar(GetParam(), b62(), kGap, q.codes(), d.codes());
+    EXPECT_EQ(tb.score, so.score) << "iter " << i;
+  }
+}
+
+TEST_P(TracebackTest, AlignmentStringsRescoreToReportedScore) {
+  std::mt19937_64 rng(66);
+  for (int i = 0; i < 40; ++i) {
+    const auto [qv, dv] = testing_support::related_pair(70, 90, 25, rng);
+    const Sequence q("q", qv, Alphabet::protein());
+    const Sequence d("d", dv, Alphabet::protein());
+    const auto tb = align_traceback(GetParam(), b62(), kGap, q, d);
+    ASSERT_EQ(tb.aligned_query.size(), tb.aligned_db.size());
+    ASSERT_EQ(tb.aligned_query.size(), tb.midline.size());
+    if (GetParam() == AlignClass::Global) {
+      EXPECT_EQ(rescore(tb, GetParam(), b62(), kGap), tb.score);
+    } else {
+      // SG/SW: the free outer gaps are not part of the alignment strings.
+      EXPECT_EQ(rescore(tb, GetParam(), b62(), kGap), tb.score);
+    }
+  }
+}
+
+TEST_P(TracebackTest, CoordinatesConsistentWithStrings) {
+  std::mt19937_64 rng(77);
+  const auto [qv, dv] = testing_support::related_pair(60, 80, 20, rng);
+  const Sequence q("q", qv, Alphabet::protein());
+  const Sequence d("d", dv, Alphabet::protein());
+  const auto tb = align_traceback(GetParam(), b62(), kGap, q, d);
+  std::size_t q_res = 0, d_res = 0;
+  for (char c : tb.aligned_query)
+    if (c != '-') ++q_res;
+  for (char c : tb.aligned_db)
+    if (c != '-') ++d_res;
+  EXPECT_EQ(static_cast<std::int64_t>(q_res),
+            std::int64_t{tb.query_end} - tb.query_begin + 1);
+  EXPECT_EQ(static_cast<std::int64_t>(d_res),
+            std::int64_t{tb.db_end} - tb.db_begin + 1);
+  EXPECT_EQ(tb.matches + tb.mismatches + tb.gap_cols, tb.aligned_query.size());
+}
+
+TEST(Traceback, GlobalCoversWholeSequences) {
+  std::mt19937_64 rng(88);
+  const Sequence q = testing_support::random_protein("q", 40, rng);
+  const Sequence d = testing_support::random_protein("d", 55, rng);
+  const auto tb = align_traceback(AlignClass::Global, b62(), kGap, q, d);
+  EXPECT_EQ(tb.query_begin, 0);
+  EXPECT_EQ(tb.db_begin, 0);
+  EXPECT_EQ(tb.query_end, 39);
+  EXPECT_EQ(tb.db_end, 54);
+}
+
+TEST(Traceback, PerfectLocalAlignmentIsAllMatches) {
+  const Sequence s("s", "WCWHCWKY", Alphabet::protein());
+  const auto tb = align_traceback(AlignClass::Local, b62(), kGap, s, s);
+  EXPECT_EQ(tb.matches, 8u);
+  EXPECT_EQ(tb.mismatches, 0u);
+  EXPECT_EQ(tb.gap_cols, 0u);
+  EXPECT_DOUBLE_EQ(tb.identity(), 1.0);
+  EXPECT_EQ(tb.cigar, "8M");
+}
+
+TEST(Traceback, CigarEncodesGaps) {
+  // WW vs W: global alignment must contain exactly one D (gap in db).
+  const Sequence q("q", "WW", Alphabet::protein());
+  const Sequence d("d", "W", Alphabet::protein());
+  const auto tb = align_traceback(AlignClass::Global, b62(), kGap, q, d);
+  std::size_t d_count = 0;
+  for (char c : tb.cigar)
+    if (c == 'D') ++d_count;
+  EXPECT_EQ(d_count, 1u);
+  EXPECT_EQ(tb.score, 11 - 12);
+}
+
+TEST(Traceback, RespectsCellLimit) {
+  std::mt19937_64 rng(5);
+  const Sequence q = testing_support::random_protein("q", 100, rng);
+  const Sequence d = testing_support::random_protein("d", 100, rng);
+  EXPECT_THROW((void)align_traceback(AlignClass::Global, b62(), kGap, q, d,
+                                     SemiGlobalEnds{}, /*max_cells=*/100),
+               Error);
+}
+
+}  // namespace
+}  // namespace valign

@@ -1,0 +1,223 @@
+// Semi-global end-gap variants: all 16 free/pinned combinations validated
+// against an independent brute-force reference for the scalar, striped and
+// scan engines plus the traceback.
+#include <gtest/gtest.h>
+
+#include "../support/random_seqs.hpp"
+#include "valign/core/dispatch.hpp"
+#include "valign/core/scalar.hpp"
+#include "valign/core/scan.hpp"
+#include "valign/core/striped.hpp"
+#include "valign/matrices/matrix.hpp"
+
+namespace valign {
+namespace {
+
+using testing_support::random_codes;
+
+constexpr GapPenalty kGap{11, 1};
+const ScoreMatrix& b62() { return ScoreMatrix::blosum62(); }
+
+/// Independent reference: plain full-table DP with explicit end-flag logic,
+/// written without sharing any code with the engines under test.
+std::int64_t reference_sg(std::span<const std::uint8_t> q,
+                          std::span<const std::uint8_t> d, GapPenalty gap,
+                          const ScoreMatrix& mat, SemiGlobalEnds ends) {
+  const std::size_t n = q.size();
+  const std::size_t m = d.size();
+  constexpr std::int64_t kInf = std::numeric_limits<std::int32_t>::min() / 2;
+  const std::int64_t o = gap.open;
+  const std::int64_t e = gap.extend;
+  std::vector<std::vector<std::int64_t>> H(n + 1, std::vector<std::int64_t>(m + 1));
+  std::vector<std::vector<std::int64_t>> E = H, F = H;
+  for (std::size_t r = 0; r <= n; ++r) {
+    H[r][0] = ends.free_db_begin ? 0 : -(o + static_cast<std::int64_t>(r) * e);
+    E[r][0] = kInf;
+    F[r][0] = kInf;
+  }
+  for (std::size_t j = 0; j <= m; ++j) {
+    H[0][j] = ends.free_query_begin ? 0 : -(o + static_cast<std::int64_t>(j) * e);
+    E[0][j] = kInf;
+    F[0][j] = kInf;
+  }
+  H[0][0] = 0;
+  for (std::size_t r = 1; r <= n; ++r) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      E[r][j] = std::max(E[r][j - 1], H[r][j - 1] - o) - e;
+      F[r][j] = std::max(F[r - 1][j], H[r - 1][j] - o) - e;
+      H[r][j] = std::max({H[r - 1][j - 1] + mat.score(q[r - 1], d[j - 1]),
+                          E[r][j], F[r][j]});
+    }
+  }
+  std::int64_t best = H[n][m];
+  if (ends.free_query_end) {
+    for (std::size_t j = 0; j <= m; ++j) best = std::max(best, H[n][j]);
+  }
+  if (ends.free_db_end) {
+    for (std::size_t r = 0; r <= n; ++r) best = std::max(best, H[r][m]);
+  }
+  return best;
+}
+
+std::vector<SemiGlobalEnds> all_combos() {
+  std::vector<SemiGlobalEnds> out;
+  for (int bits = 0; bits < 16; ++bits) {
+    out.push_back(SemiGlobalEnds{(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0,
+                                 (bits & 8) != 0});
+  }
+  return out;
+}
+
+std::string combo_name(const SemiGlobalEnds& e) {
+  std::string s = "qb";
+  s += e.free_query_begin ? '1' : '0';
+  s += "qe";
+  s += e.free_query_end ? '1' : '0';
+  s += "db";
+  s += e.free_db_begin ? '1' : '0';
+  s += "de";
+  s += e.free_db_end ? '1' : '0';
+  return s;
+}
+
+class SgVariantTest : public ::testing::TestWithParam<SemiGlobalEnds> {};
+INSTANTIATE_TEST_SUITE_P(AllCombos, SgVariantTest,
+                         ::testing::ValuesIn(all_combos()),
+                         [](const auto& info) { return combo_name(info.param); });
+
+TEST_P(SgVariantTest, ScalarMatchesReference) {
+  const SemiGlobalEnds ends = GetParam();
+  std::mt19937_64 rng(500);
+  ScalarAligner<AlignClass::SemiGlobal> eng(b62(), kGap, ends);
+  for (int i = 0; i < 12; ++i) {
+    std::uniform_int_distribution<std::size_t> len(1, 90);
+    const auto q = random_codes(len(rng), rng);
+    const auto d = random_codes(len(rng), rng);
+    eng.set_query(q);
+    EXPECT_EQ(eng.align(d).score, reference_sg(q, d, kGap, b62(), ends))
+        << "iter " << i;
+  }
+}
+
+TEST_P(SgVariantTest, StripedAndScanMatchReference) {
+  const SemiGlobalEnds ends = GetParam();
+  std::mt19937_64 rng(600);
+  using V = simd::VEmul<std::int32_t, 8>;
+  StripedAligner<AlignClass::SemiGlobal, V> striped(b62(), kGap, ends);
+  ScanAligner<AlignClass::SemiGlobal, V> scan(b62(), kGap, HscanKind::Linear, ends);
+  for (int i = 0; i < 8; ++i) {
+    std::uniform_int_distribution<std::size_t> len(1, 110);
+    const auto q = random_codes(len(rng), rng);
+    const auto d = random_codes(len(rng), rng);
+    striped.set_query(q);
+    scan.set_query(q);
+    const std::int64_t want = reference_sg(q, d, kGap, b62(), ends);
+    EXPECT_EQ(striped.align(d).score, want) << "striped iter " << i;
+    EXPECT_EQ(scan.align(d).score, want) << "scan iter " << i;
+  }
+}
+
+#if defined(__AVX2__)
+TEST_P(SgVariantTest, NativeBackendMatchesReference) {
+  if (!simd::isa_available(Isa::AVX2)) GTEST_SKIP();
+  const SemiGlobalEnds ends = GetParam();
+  std::mt19937_64 rng(700);
+  using V = simd::V256<std::int32_t>;
+  StripedAligner<AlignClass::SemiGlobal, V> striped(b62(), kGap, ends);
+  ScanAligner<AlignClass::SemiGlobal, V> scan(b62(), kGap, HscanKind::Linear, ends);
+  for (int i = 0; i < 6; ++i) {
+    std::uniform_int_distribution<std::size_t> len(1, 150);
+    const auto q = random_codes(len(rng), rng);
+    const auto d = random_codes(len(rng), rng);
+    striped.set_query(q);
+    scan.set_query(q);
+    const std::int64_t want = reference_sg(q, d, kGap, b62(), ends);
+    EXPECT_EQ(striped.align(d).score, want);
+    EXPECT_EQ(scan.align(d).score, want);
+  }
+}
+#endif
+
+TEST_P(SgVariantTest, TracebackScoreMatchesReference) {
+  const SemiGlobalEnds ends = GetParam();
+  std::mt19937_64 rng(800);
+  for (int i = 0; i < 5; ++i) {
+    std::uniform_int_distribution<std::size_t> len(1, 60);
+    const Sequence q = testing_support::random_protein("q", len(rng), rng);
+    const Sequence d = testing_support::random_protein("d", len(rng), rng);
+    const Traceback tb =
+        align_traceback(AlignClass::SemiGlobal, b62(), kGap, q, d, ends);
+    EXPECT_EQ(tb.score, reference_sg(q.codes(), d.codes(), kGap, b62(), ends))
+        << "iter " << i;
+  }
+}
+
+TEST_P(SgVariantTest, DispatchHonoursEnds) {
+  const SemiGlobalEnds ends = GetParam();
+  std::mt19937_64 rng(900);
+  Options opts;
+  opts.klass = AlignClass::SemiGlobal;
+  opts.approach = Approach::Scan;
+  opts.gap = kGap;
+  opts.sg_ends = ends;
+  Aligner aligner(opts);
+  const auto q = random_codes(70, rng);
+  const auto d = random_codes(85, rng);
+  aligner.set_query(q);
+  EXPECT_EQ(aligner.align(d).score, reference_sg(q, d, kGap, b62(), ends));
+}
+
+TEST(SgVariants, LimitsReproduceClassicClasses) {
+  std::mt19937_64 rng(42);
+  const auto q = random_codes(80, rng);
+  const auto d = random_codes(95, rng);
+  // All ends pinned == global alignment.
+  SemiGlobalEnds pinned{false, false, false, false};
+  ScalarAligner<AlignClass::SemiGlobal> as_nw(b62(), kGap, pinned);
+  as_nw.set_query(q);
+  EXPECT_EQ(as_nw.align(d).score,
+            align_scalar(AlignClass::Global, b62(), kGap, q, d).score);
+  // All ends free == classic SG (the engine default).
+  ScalarAligner<AlignClass::SemiGlobal> as_sg(b62(), kGap, SemiGlobalEnds{});
+  as_sg.set_query(q);
+  EXPECT_EQ(as_sg.align(d).score,
+            align_scalar(AlignClass::SemiGlobal, b62(), kGap, q, d).score);
+}
+
+TEST(SgVariants, ReadMappingShapeExample) {
+  // A short "read" must be contained in a long "reference": free reference
+  // (db) begin/end, pinned read ends. Scoring the read's verbatim occurrence
+  // must yield the full match score.
+  std::mt19937_64 rng(77);
+  const auto read = random_codes(30, rng);
+  auto ref = random_codes(200, rng);
+  std::copy(read.begin(), read.end(), ref.begin() + 100);
+  SemiGlobalEnds mapping;
+  mapping.free_query_begin = true;   // leading reference residues free
+  mapping.free_query_end = true;     // trailing reference residues free
+  mapping.free_db_begin = false;     // the whole read must align
+  mapping.free_db_end = false;
+  ScalarAligner<AlignClass::SemiGlobal> eng(b62(), kGap, mapping);
+  eng.set_query(read);
+  std::int32_t want = 0;
+  for (const std::uint8_t c : read) want += b62().score(c, c);
+  EXPECT_EQ(eng.align(ref).score, want);
+}
+
+TEST(SgVariants, EmptyInputsRespectFlags) {
+  const std::vector<std::uint8_t> empty;
+  const std::vector<std::uint8_t> seq = {0, 1, 2, 3, 4};
+  // Pinned query ends: an empty query forces the whole db into a paid gap.
+  SemiGlobalEnds pinned_q{false, false, true, true};
+  ScalarAligner<AlignClass::SemiGlobal> eng(b62(), kGap, pinned_q);
+  eng.set_query(empty);
+  EXPECT_EQ(eng.align(seq).score, -(11 + 5));
+  // Free query ends: the db is absorbed for free.
+  SemiGlobalEnds free_q{true, true, false, false};
+  ScalarAligner<AlignClass::SemiGlobal> eng2(b62(), kGap, free_q);
+  eng2.set_query(empty);
+  EXPECT_EQ(eng2.align(seq).score, 0);
+}
+
+}  // namespace
+}  // namespace valign

@@ -1,0 +1,158 @@
+// Tiled scan alignment (the paper's §VIII future-work proposal): correctness
+// against the scalar ground truth and the untiled Scan engine, across tile
+// sizes, classes, and alphabets.
+#include <gtest/gtest.h>
+
+#include "../support/random_seqs.hpp"
+#include "valign/core/scalar.hpp"
+#include "valign/core/scan.hpp"
+#include "valign/core/tiled.hpp"
+#include "valign/matrices/matrix.hpp"
+
+namespace valign {
+namespace {
+
+using simd::VEmul;
+using testing_support::random_codes;
+
+constexpr GapPenalty kGap{11, 1};
+const ScoreMatrix& b62() { return ScoreMatrix::blosum62(); }
+
+class TiledTileSizeTest : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(TileSizes, TiledTileSizeTest,
+                         ::testing::Values(8, 16, 24, 64, 1024),
+                         [](const auto& info) {
+                           return "tile" + std::to_string(info.param);
+                         });
+
+TEST_P(TiledTileSizeTest, LocalMatchesScalar) {
+  std::mt19937_64 rng(1000 + GetParam());
+  using V = VEmul<std::int32_t, 8>;
+  TiledScanAligner<AlignClass::Local, V> tiled(b62(), kGap, GetParam());
+  ScalarAligner<AlignClass::Local> ref(b62(), kGap);
+  for (int i = 0; i < 8; ++i) {
+    std::uniform_int_distribution<std::size_t> len(1, 300);
+    const auto q = random_codes(len(rng), rng);
+    const auto d = random_codes(len(rng), rng);
+    tiled.set_query(q);
+    ref.set_query(q);
+    EXPECT_EQ(tiled.align(d).score, ref.align(d).score)
+        << "iter " << i << " q=" << q.size() << " d=" << d.size();
+  }
+}
+
+TEST_P(TiledTileSizeTest, GlobalMatchesScalar) {
+  std::mt19937_64 rng(2000 + GetParam());
+  using V = VEmul<std::int32_t, 8>;
+  TiledScanAligner<AlignClass::Global, V> tiled(b62(), kGap, GetParam());
+  ScalarAligner<AlignClass::Global> ref(b62(), kGap);
+  for (int i = 0; i < 8; ++i) {
+    std::uniform_int_distribution<std::size_t> len(1, 300);
+    const auto q = random_codes(len(rng), rng);
+    const auto d = random_codes(len(rng), rng);
+    tiled.set_query(q);
+    ref.set_query(q);
+    EXPECT_EQ(tiled.align(d).score, ref.align(d).score)
+        << "iter " << i << " q=" << q.size() << " d=" << d.size();
+  }
+}
+
+TEST(Tiled, TileRowsRoundedToLaneMultiple) {
+  using V = VEmul<std::int32_t, 8>;
+  TiledScanAligner<AlignClass::Local, V> t1(b62(), kGap, 1);
+  EXPECT_EQ(t1.tile_rows(), 8u);
+  TiledScanAligner<AlignClass::Local, V> t2(b62(), kGap, 13);
+  EXPECT_EQ(t2.tile_rows(), 16u);
+  TiledScanAligner<AlignClass::Local, V> t3(b62(), kGap, 16);
+  EXPECT_EQ(t3.tile_rows(), 16u);
+}
+
+TEST(Tiled, SingleTileEqualsScanEngine) {
+  std::mt19937_64 rng(3);
+  using V = VEmul<std::int32_t, 8>;
+  const auto q = random_codes(120, rng);
+  const auto d = random_codes(150, rng);
+  TiledScanAligner<AlignClass::Local, V> tiled(b62(), kGap, 4096);  // one tile
+  ScanAligner<AlignClass::Local, V> scan(b62(), kGap);
+  tiled.set_query(q);
+  scan.set_query(q);
+  const auto rt = tiled.align(d);
+  const auto rs = scan.align(d);
+  EXPECT_EQ(rt.score, rs.score);
+  EXPECT_EQ(rt.query_end, rs.query_end);
+  EXPECT_EQ(rt.db_end, rs.db_end);
+}
+
+TEST(Tiled, LocalEndPositionsVerifyByTruncation) {
+  std::mt19937_64 rng(4);
+  using V = VEmul<std::int32_t, 8>;
+  for (int i = 0; i < 5; ++i) {
+    const auto [q, d] = testing_support::related_pair(260, 300, 60, rng);
+    TiledScanAligner<AlignClass::Local, V> tiled(b62(), kGap, 64);
+    tiled.set_query(q);
+    const AlignResult r = tiled.align(d);
+    ASSERT_GE(r.query_end, 0);
+    ASSERT_GE(r.db_end, 0);
+    std::vector<std::uint8_t> qt(q.begin(), q.begin() + r.query_end + 1);
+    std::vector<std::uint8_t> dt(d.begin(), d.begin() + r.db_end + 1);
+    EXPECT_EQ(align_scalar(AlignClass::Local, b62(), kGap, qt, dt).score, r.score);
+  }
+}
+
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+TEST(Tiled, NativeDnaLongSequences) {
+  if (!simd::isa_available(Isa::AVX512)) GTEST_SKIP();
+  // The intended use case: DNA-length sequences with a small alphabet.
+  const ScoreMatrix dna = ScoreMatrix::dna(2, 3);
+  const GapPenalty gap{10, 1};
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<int> base(0, 3);
+  std::vector<std::uint8_t> q(20000), d(8000);
+  for (auto& c : q) c = static_cast<std::uint8_t>(base(rng));
+  for (auto& c : d) c = static_cast<std::uint8_t>(base(rng));
+  // Plant a strong local hit.
+  std::copy(d.begin() + 1000, d.begin() + 3000, q.begin() + 9000);
+
+  using V = simd::V512<std::int32_t>;
+  TiledScanAligner<AlignClass::Local, V> tiled(dna, gap, 4096);
+  ScanAligner<AlignClass::Local, V> scan(dna, gap);
+  tiled.set_query(q);
+  scan.set_query(q);
+  const auto rt = tiled.align(d);
+  const auto rs = scan.align(d);
+  EXPECT_EQ(rt.score, rs.score);
+  EXPECT_GT(rt.score, 3000);  // the planted 2 kb identity scores ~4000
+}
+#endif
+
+TEST(Tiled, EmptyInputs) {
+  using V = VEmul<std::int32_t, 8>;
+  TiledScanAligner<AlignClass::Global, V> nw(b62(), kGap, 64);
+  const std::vector<std::uint8_t> empty;
+  const std::vector<std::uint8_t> seq = {0, 1, 2};
+  nw.set_query(empty);
+  EXPECT_EQ(nw.align(seq).score, -(11 + 3));
+  nw.set_query(seq);
+  EXPECT_EQ(nw.align(empty).score, -(11 + 3));
+  TiledScanAligner<AlignClass::Local, V> sw(b62(), kGap, 64);
+  sw.set_query(empty);
+  EXPECT_EQ(sw.align(seq).score, 0);
+}
+
+TEST(Tiled, StatsAccumulateAcrossTiles) {
+  std::mt19937_64 rng(6);
+  using V = VEmul<std::int32_t, 8>;
+  const auto q = random_codes(200, rng);
+  const auto d = random_codes(100, rng);
+  TiledScanAligner<AlignClass::Local, V> tiled(b62(), kGap, 64);
+  tiled.set_query(q);
+  const AlignResult r = tiled.align(d);
+  // 200 rows in 64-row tiles: 3 full tiles + 1 partial (8 rows -> L=1).
+  // Epochs per column: 2 * (8+8+8+1); hscan steps: 4 tiles * 7 per column.
+  EXPECT_EQ(r.stats.main_epochs, 2u * (8 + 8 + 8 + 1) * d.size());
+  EXPECT_EQ(r.stats.hscan_steps, 4u * 7 * d.size());
+  EXPECT_EQ(r.stats.columns, d.size());
+}
+
+}  // namespace
+}  // namespace valign

@@ -1,0 +1,141 @@
+// Alphabet encoding, Sequence/Dataset containers, FASTA round-trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "valign/io/fasta.hpp"
+#include "valign/io/sequence.hpp"
+
+namespace valign {
+namespace {
+
+TEST(Alphabet, ProteinEncodeDecode) {
+  const Alphabet& a = Alphabet::protein();
+  EXPECT_EQ(a.size(), 24);
+  EXPECT_EQ(a.encode('A'), 0);
+  EXPECT_EQ(a.encode('a'), 0);
+  EXPECT_EQ(a.encode('R'), 1);
+  EXPECT_EQ(a.encode('*'), 23);
+  EXPECT_EQ(a.decode(0), 'A');
+  // Unknown alphabetic characters map to the 'X' wildcard.
+  EXPECT_EQ(a.encode('J'), a.encode('X'));
+  EXPECT_EQ(a.encode('O'), a.encode('X'));
+  // Non-alphabetic characters stay unknown.
+  EXPECT_EQ(a.encode('1'), -1);
+  EXPECT_EQ(a.encode(' '), -1);
+  EXPECT_TRUE(a.contains('W'));
+  EXPECT_FALSE(a.contains('#'));
+}
+
+TEST(Alphabet, DnaEncodeDecode) {
+  const Alphabet& a = Alphabet::dna();
+  EXPECT_EQ(a.size(), 5);
+  EXPECT_EQ(a.encode('T'), 3);
+  EXPECT_EQ(a.encode('t'), 3);
+  EXPECT_EQ(a.encode('N'), 4);
+  EXPECT_EQ(a.encode('R'), a.encode('N'));  // IUPAC ambiguity -> wildcard
+  EXPECT_EQ(a.wildcard(), 'N');
+}
+
+TEST(Alphabet, WildcardMustBeInLetterSet) {
+  EXPECT_THROW(Alphabet("ACGT", 'N'), Error);
+}
+
+TEST(Sequence, EncodesAndDecodes) {
+  const Sequence s("test", "MKTAYIAKQR", Alphabet::protein());
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.name(), "test");
+  EXPECT_EQ(s.to_string(), "MKTAYIAKQR");
+  EXPECT_EQ(s[0], static_cast<std::uint8_t>(Alphabet::protein().encode('M')));
+}
+
+TEST(Sequence, SkipsWhitespaceAndLowercases) {
+  const Sequence s("t", "mkta yiak\tqr", Alphabet::protein());
+  EXPECT_EQ(s.to_string(), "MKTAYIAKQR");
+}
+
+TEST(Sequence, RejectsOutOfRangeCodes) {
+  std::vector<std::uint8_t> bad = {0, 200};
+  EXPECT_THROW(Sequence("t", std::move(bad), Alphabet::protein()), Error);
+}
+
+TEST(Dataset, Statistics) {
+  Dataset ds(Alphabet::protein());
+  ds.add(Sequence("a", "MKT", Alphabet::protein()));
+  ds.add(Sequence("b", "MKTAYIA", Alphabet::protein()));
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds.total_residues(), 10u);
+  EXPECT_DOUBLE_EQ(ds.mean_length(), 5.0);
+  EXPECT_EQ(ds.max_length(), 7u);
+}
+
+TEST(Dataset, RejectsForeignAlphabet) {
+  Dataset ds(Alphabet::protein());
+  EXPECT_THROW(ds.add(Sequence("d", "ACGT", Alphabet::dna())), Error);
+}
+
+TEST(Fasta, ReadsBasicRecords) {
+  std::istringstream in(
+      ">seq1 description ignored\n"
+      "MKTAYI\n"
+      "AKQR\n"
+      "\n"
+      ">seq2\n"
+      "WWWW\n");
+  const Dataset ds = read_fasta(in, Alphabet::protein());
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].name(), "seq1");
+  EXPECT_EQ(ds[0].to_string(), "MKTAYIAKQR");
+  EXPECT_EQ(ds[1].name(), "seq2");
+  EXPECT_EQ(ds[1].to_string(), "WWWW");
+}
+
+TEST(Fasta, HandlesCrlfAndComments) {
+  std::istringstream in(">s1\r\n; a classic comment\r\nMKT\r\n");
+  const Dataset ds = read_fasta(in, Alphabet::protein());
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].to_string(), "MKT");
+}
+
+TEST(Fasta, RejectsMalformedInput) {
+  {
+    std::istringstream in("MKT\n>late header\nAAA\n");
+    EXPECT_THROW((void)read_fasta(in, Alphabet::protein()), Error);
+  }
+  {
+    std::istringstream in(">empty_record\n>next\nAAA\n");
+    EXPECT_THROW((void)read_fasta(in, Alphabet::protein()), Error);
+  }
+  {
+    std::istringstream in(">\nAAA\n");
+    EXPECT_THROW((void)read_fasta(in, Alphabet::protein()), Error);
+  }
+}
+
+TEST(Fasta, RoundTripsWithWrapping) {
+  Dataset ds(Alphabet::protein());
+  ds.add(Sequence("long_one", std::string(157, 'W'), Alphabet::protein()));
+  ds.add(Sequence("short", "MK", Alphabet::protein()));
+  std::ostringstream out;
+  write_fasta(out, ds, 60);
+  std::istringstream in(out.str());
+  const Dataset back = read_fasta(in, Alphabet::protein());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name(), "long_one");
+  EXPECT_EQ(back[0].to_string(), std::string(157, 'W'));
+  EXPECT_EQ(back[1].to_string(), "MK");
+}
+
+TEST(Fasta, WriteRejectsBadWidth) {
+  Dataset ds(Alphabet::protein());
+  std::ostringstream out;
+  EXPECT_THROW(write_fasta(out, ds, 0), Error);
+}
+
+TEST(Fasta, FileHelpersThrowOnMissingPath) {
+  EXPECT_THROW((void)read_fasta_file("/nonexistent/nope.fa", Alphabet::protein()),
+               Error);
+}
+
+}  // namespace
+}  // namespace valign

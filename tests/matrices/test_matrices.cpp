@@ -1,0 +1,144 @@
+// Substitution matrix data integrity and the NCBI-format parser.
+#include <gtest/gtest.h>
+
+#include "valign/matrices/matrix.hpp"
+#include "valign/matrices/parser.hpp"
+
+namespace valign {
+namespace {
+
+class BuiltinMatrixTest : public ::testing::TestWithParam<const ScoreMatrix*> {};
+
+INSTANTIATE_TEST_SUITE_P(AllBuiltins, BuiltinMatrixTest,
+                         ::testing::ValuesIn(ScoreMatrix::builtins().begin(),
+                                             ScoreMatrix::builtins().end()),
+                         [](const auto& info) { return info.param->name(); });
+
+TEST_P(BuiltinMatrixTest, IsSymmetric) { EXPECT_TRUE(GetParam()->symmetric()); }
+
+TEST_P(BuiltinMatrixTest, Has24LetterAlphabet) {
+  EXPECT_EQ(GetParam()->size(), 24);
+  EXPECT_EQ(GetParam()->alphabet().letters(), "ARNDCQEGHILKMFPSTWYVBZX*");
+}
+
+TEST_P(BuiltinMatrixTest, DiagonalIsRowMaximum) {
+  const ScoreMatrix& m = *GetParam();
+  // Every residue scores itself at least as high as any substitution
+  // (true for all BLOSUM matrices over the 20 standard residues).
+  for (int a = 0; a < 20; ++a) {
+    for (int b = 0; b < 20; ++b) {
+      EXPECT_LE(m.score(a, b), m.score(a, a))
+          << m.name() << " " << m.alphabet().decode(a) << "/"
+          << m.alphabet().decode(b);
+    }
+  }
+}
+
+TEST_P(BuiltinMatrixTest, ScoreRangeCached) {
+  const ScoreMatrix& m = *GetParam();
+  std::int8_t lo = 127, hi = -128;
+  for (int a = 0; a < m.size(); ++a) {
+    for (int b = 0; b < m.size(); ++b) {
+      lo = std::min(lo, m.score(a, b));
+      hi = std::max(hi, m.score(a, b));
+    }
+  }
+  EXPECT_EQ(m.min_score(), lo);
+  EXPECT_EQ(m.max_score(), hi);
+}
+
+TEST_P(BuiltinMatrixTest, GapDefaultsArePositiveMagnitudes) {
+  const GapPenalty g = GetParam()->default_gaps();
+  EXPECT_GT(g.open, 0);
+  EXPECT_GT(g.extend, 0);
+  EXPECT_GE(g.open, g.extend);
+}
+
+TEST(ScoreMatrix, Blosum62PublishedSpotValues) {
+  const ScoreMatrix& m = ScoreMatrix::blosum62();
+  EXPECT_EQ(m.score_chars('W', 'W'), 11);
+  EXPECT_EQ(m.score_chars('C', 'C'), 9);
+  EXPECT_EQ(m.score_chars('A', 'A'), 4);
+  EXPECT_EQ(m.score_chars('R', 'K'), 2);
+  EXPECT_EQ(m.score_chars('W', 'A'), -3);
+  EXPECT_EQ(m.score_chars('E', 'Z'), 4);
+  EXPECT_EQ(m.default_gaps().open, 11);
+  EXPECT_EQ(m.default_gaps().extend, 1);
+}
+
+TEST(ScoreMatrix, Blosum45and90SpotValues) {
+  EXPECT_EQ(ScoreMatrix::blosum45().score_chars('W', 'W'), 15);
+  EXPECT_EQ(ScoreMatrix::blosum50().score_chars('W', 'W'), 15);
+  EXPECT_EQ(ScoreMatrix::blosum90().score_chars('W', 'W'), 11);
+  EXPECT_EQ(ScoreMatrix::blosum45().default_gaps().open, 15);
+  EXPECT_EQ(ScoreMatrix::blosum45().default_gaps().extend, 2);
+  EXPECT_EQ(ScoreMatrix::blosum50().default_gaps().open, 13);
+  EXPECT_EQ(ScoreMatrix::blosum80().default_gaps().open, 10);
+}
+
+TEST(ScoreMatrix, FromNameIsCaseInsensitive) {
+  EXPECT_EQ(&ScoreMatrix::from_name("blosum62"), &ScoreMatrix::blosum62());
+  EXPECT_EQ(&ScoreMatrix::from_name("BLOSUM80"), &ScoreMatrix::blosum80());
+  EXPECT_THROW((void)ScoreMatrix::from_name("pam999"), Error);
+}
+
+TEST(ScoreMatrix, DnaMatrix) {
+  const ScoreMatrix m = ScoreMatrix::dna(2, 3);
+  EXPECT_EQ(m.score_chars('A', 'A'), 2);
+  EXPECT_EQ(m.score_chars('A', 'C'), -3);
+  EXPECT_EQ(m.score_chars('A', 'N'), 0);
+  EXPECT_EQ(m.score_chars('N', 'N'), 0);
+  EXPECT_TRUE(m.symmetric());
+}
+
+TEST(ScoreMatrix, ScoreCharsRejectsNonAlphabet) {
+  // '1' is not alphabetic, so the protein wildcard does not absorb it.
+  EXPECT_THROW((void)ScoreMatrix::blosum62().score_chars('1', 'A'), Error);
+}
+
+TEST(MatrixParser, ParsesMinimalMatrix) {
+  const ScoreMatrix m = parse_ncbi_matrix(
+      "# tiny\n"
+      "   A  B\n"
+      "A  1 -2\n"
+      "B -2  3\n",
+      "tiny", GapPenalty{5, 1});
+  EXPECT_EQ(m.size(), 2);
+  EXPECT_EQ(m.score_chars('A', 'A'), 1);
+  EXPECT_EQ(m.score_chars('B', 'B'), 3);
+  EXPECT_EQ(m.score_chars('a', 'b'), -2);  // case-insensitive encode
+  EXPECT_TRUE(m.symmetric());
+}
+
+TEST(MatrixParser, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_ncbi_matrix("", "x", {}), Error);
+  EXPECT_THROW((void)parse_ncbi_matrix("# only comments\n", "x", {}), Error);
+  // Row label mismatch.
+  EXPECT_THROW((void)parse_ncbi_matrix("   A  B\nB 1 2\nA 2 1\n", "x", {}), Error);
+  // Too few columns.
+  EXPECT_THROW((void)parse_ncbi_matrix("   A  B\nA 1\nB 1 2\n", "x", {}), Error);
+  // Too many columns.
+  EXPECT_THROW((void)parse_ncbi_matrix("   A  B\nA 1 2 3\nB 1 2\n", "x", {}), Error);
+  // Missing rows.
+  EXPECT_THROW((void)parse_ncbi_matrix("   A  B\nA 1 2\n", "x", {}), Error);
+  // Score out of int8 range.
+  EXPECT_THROW((void)parse_ncbi_matrix("   A\nA 1000\n", "x", {}), Error);
+  // Multi-character header token.
+  EXPECT_THROW((void)parse_ncbi_matrix("   AB\nA 1\n", "x", {}), Error);
+}
+
+TEST(MatrixParser, FormatRoundTrips) {
+  const ScoreMatrix& orig = ScoreMatrix::blosum62();
+  const std::string text = format_ncbi_matrix(orig);
+  const ScoreMatrix back = parse_ncbi_matrix(text, "blosum62", orig.default_gaps());
+  ASSERT_EQ(back.size(), orig.size());
+  for (int a = 0; a < orig.size(); ++a) {
+    for (int b = 0; b < orig.size(); ++b) {
+      EXPECT_EQ(back.score(a, b), orig.score(a, b));
+    }
+  }
+  EXPECT_EQ(back.alphabet().letters(), orig.alphabet().letters());
+}
+
+}  // namespace
+}  // namespace valign

@@ -1,0 +1,107 @@
+// Karlin-Altschul statistics: the computed ungapped parameters must hit the
+// published NCBI values, and the derived bit scores / E-values must behave.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "valign/stats/karlin.hpp"
+
+namespace valign::stats {
+namespace {
+
+TEST(Karlin, Blosum62UngappedMatchesPublishedValues) {
+  // NCBI BLAST's published ungapped parameters for BLOSUM62:
+  // lambda = 0.3176, K = 0.134, H = 0.4012.
+  const KarlinParams p = ungapped_params(ScoreMatrix::blosum62());
+  EXPECT_NEAR(p.lambda, 0.3176, 0.0005);
+  EXPECT_NEAR(p.k, 0.134, 0.002);
+  EXPECT_NEAR(p.h, 0.4012, 0.002);
+  EXPECT_FALSE(p.gapped);
+}
+
+TEST(Karlin, Blosum45UngappedMatchesPublishedValues) {
+  // Published: lambda = 0.2291, K = 0.0924, H = 0.2514.
+  const KarlinParams p = ungapped_params(ScoreMatrix::blosum45());
+  EXPECT_NEAR(p.lambda, 0.2291, 0.0005);
+  EXPECT_NEAR(p.k, 0.0924, 0.002);
+  EXPECT_NEAR(p.h, 0.2514, 0.002);
+}
+
+TEST(Karlin, BlastnDnaParameters) {
+  // blastn's +1/-2 scoring: lambda = 1.33, K = 0.621.
+  const KarlinParams p = ungapped_params(ScoreMatrix::dna(1, 2));
+  EXPECT_NEAR(p.lambda, 1.33, 0.01);
+  EXPECT_NEAR(p.k, 0.621, 0.005);
+}
+
+TEST(Karlin, LambdaSatisfiesDefiningEquation) {
+  const ScoreMatrix& m = ScoreMatrix::blosum80();
+  const auto freqs = robinson_frequencies();
+  const double lambda = ungapped_lambda(m, freqs);
+  double sum = 0.0, total = 0.0;
+  for (int a = 0; a < 20; ++a) {
+    for (int b = 0; b < 20; ++b) {
+      const double p = freqs[static_cast<std::size_t>(a)] *
+                       freqs[static_cast<std::size_t>(b)];
+      sum += p * std::exp(lambda * m.score(a, b));
+      total += p;
+    }
+  }
+  EXPECT_NEAR(sum / total, 1.0, 1e-9);
+}
+
+TEST(Karlin, StricterMatricesHaveHigherEntropy) {
+  // BLOSUM90 targets close homologs: more information per aligned pair.
+  const double h45 = ungapped_params(ScoreMatrix::blosum45()).h;
+  const double h62 = ungapped_params(ScoreMatrix::blosum62()).h;
+  const double h90 = ungapped_params(ScoreMatrix::blosum90()).h;
+  EXPECT_LT(h45, h62);
+  EXPECT_LT(h62, h90);
+}
+
+TEST(Karlin, LookupUsesPublishedGappedForDefaultScheme) {
+  const KarlinParams p = lookup_params(ScoreMatrix::blosum62(), GapPenalty{11, 1});
+  EXPECT_TRUE(p.gapped);
+  EXPECT_NEAR(p.lambda, 0.267, 1e-9);
+  EXPECT_NEAR(p.k, 0.041, 1e-9);
+  // A different scheme falls back to the computed ungapped parameters.
+  const KarlinParams q = lookup_params(ScoreMatrix::blosum62(), GapPenalty{9, 2});
+  EXPECT_FALSE(q.gapped);
+  EXPECT_NEAR(q.lambda, 0.3176, 0.0005);
+}
+
+TEST(Karlin, BitScoreAndEvalueRelations) {
+  const KarlinParams p = lookup_params(ScoreMatrix::blosum62(), GapPenalty{11, 1});
+  // Bit score is affine in the raw score with positive slope.
+  EXPECT_GT(bit_score(p, 100), bit_score(p, 50));
+  const double slope =
+      (bit_score(p, 101) - bit_score(p, 100));
+  EXPECT_NEAR(slope, p.lambda / std::log(2.0), 1e-12);
+  // E-value decreases with score and grows with the search space.
+  EXPECT_LT(evalue(p, 100, 300, 1000000), evalue(p, 50, 300, 1000000));
+  EXPECT_LT(evalue(p, 100, 300, 1000000), evalue(p, 100, 300, 100000000));
+  // E = m * n * 2^{-S'} by definition.
+  const double e = evalue(p, 80, 250, 5000000);
+  EXPECT_NEAR(e, 250.0 * 5000000.0 * std::exp2(-bit_score(p, 80)), e * 1e-12);
+}
+
+TEST(Karlin, RejectsNonNegativeExpectedScore) {
+  // A match-heavy "matrix" whose expected score is positive has no Gumbel
+  // regime: lambda is undefined.
+  std::vector<std::int8_t> scores(25, 1);  // 5x5 all +1
+  const ScoreMatrix all_match("allmatch", Alphabet("ABCDE", 0), std::move(scores),
+                              GapPenalty{1, 1});
+  EXPECT_THROW((void)ungapped_lambda(all_match, dna_frequencies()), Error);
+}
+
+TEST(Karlin, FrequenciesAreNormalized) {
+  double sum = 0.0;
+  for (const double f : robinson_frequencies()) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-3);
+  sum = 0.0;
+  for (const double f : dna_frequencies()) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace valign::stats

@@ -1,0 +1,39 @@
+// Shared helpers for randomized alignment tests.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "valign/io/sequence.hpp"
+
+namespace valign::testing_support {
+
+/// Random protein codes over the 20 standard residues.
+inline std::vector<std::uint8_t> random_codes(std::size_t n, std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> d(0, 19);
+  std::vector<std::uint8_t> v(n);
+  for (auto& c : v) c = static_cast<std::uint8_t>(d(rng));
+  return v;
+}
+
+inline Sequence random_protein(std::string name, std::size_t n, std::mt19937_64& rng) {
+  return Sequence(std::move(name), random_codes(n, rng), Alphabet::protein());
+}
+
+/// A pair with a planted strong local similarity: `core` is copied into both.
+inline std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>
+related_pair(std::size_t qlen, std::size_t dlen, std::size_t core_len,
+             std::mt19937_64& rng) {
+  auto q = random_codes(qlen, rng);
+  auto d = random_codes(dlen, rng);
+  const auto core = random_codes(core_len, rng);
+  if (core_len <= qlen && core_len <= dlen) {
+    std::uniform_int_distribution<std::size_t> qoff(0, qlen - core_len);
+    std::uniform_int_distribution<std::size_t> doff(0, dlen - core_len);
+    std::copy(core.begin(), core.end(), q.begin() + static_cast<std::ptrdiff_t>(qoff(rng)));
+    std::copy(core.begin(), core.end(), d.begin() + static_cast<std::ptrdiff_t>(doff(rng)));
+  }
+  return {std::move(q), std::move(d)};
+}
+
+}  // namespace valign::testing_support

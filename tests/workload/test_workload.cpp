@@ -1,0 +1,158 @@
+// Synthetic dataset generators: determinism, fitted statistics, mutation model.
+#include <gtest/gtest.h>
+
+#include "valign/core/scalar.hpp"
+#include "valign/workload/generator.hpp"
+
+namespace valign::workload {
+namespace {
+
+TEST(LengthModel, PresetsMatchPaperStatistics) {
+  // Model means must sit near the paper's reported dataset means (§V).
+  EXPECT_NEAR(LengthModel::bacteria_protein().model_mean(), 314.0, 15.0);
+  EXPECT_NEAR(LengthModel::uniprot_protein().model_mean(), 356.0, 20.0);
+  EXPECT_EQ(LengthModel::bacteria_protein().max_len, 3206u);
+  EXPECT_EQ(LengthModel::uniprot_protein().max_len, 35213u);
+  EXPECT_EQ(LengthModel::bacteria_dna().max_len, 14800000u);
+  EXPECT_EQ(LengthModel::human_dna().max_len, 125000000u);
+}
+
+TEST(LengthModel, SamplesRespectClamps) {
+  std::mt19937_64 rng(1);
+  const LengthModel m = LengthModel::bacteria_protein();
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t len = m.sample(rng);
+    EXPECT_GE(len, m.min_len);
+    EXPECT_LE(len, m.max_len);
+  }
+}
+
+TEST(LengthModel, MedianNear300ForProteins) {
+  // Fig. 2c/d: "half of the sequences are length 300 or less".
+  std::mt19937_64 rng(2);
+  const LengthModel m = LengthModel::uniprot_protein();
+  int below = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (m.sample(rng) <= 300) ++below;
+  }
+  const double frac = static_cast<double>(below) / kN;
+  EXPECT_GT(frac, 0.40);
+  EXPECT_LT(frac, 0.65);
+}
+
+TEST(Generator, DeterministicInSeed) {
+  const Dataset a = bacteria_2k(7, 50);
+  const Dataset b = bacteria_2k(7, 50);
+  const Dataset c = bacteria_2k(8, 50);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_diff_from_c = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].to_string(), b[i].to_string());
+    if (a[i].to_string() != c[i].to_string()) any_diff_from_c = true;
+  }
+  EXPECT_TRUE(any_diff_from_c);
+}
+
+TEST(Generator, Bacteria2kShape) {
+  const Dataset ds = bacteria_2k(1, 2000);
+  EXPECT_EQ(ds.size(), 2000u);
+  EXPECT_NEAR(ds.mean_length(), 314.0, 45.0);
+  EXPECT_LE(ds.max_length(), 3206u);
+  EXPECT_EQ(&ds.alphabet(), &Alphabet::protein());
+}
+
+TEST(Generator, HomologFractionPlantsRealHomologs) {
+  GeneratorConfig cfg;
+  cfg.homolog_fraction = 1.0;  // every sequence after the first is derived
+  cfg.seed = 3;
+  const Dataset ds = generate(20, cfg);
+  // Derived sequences must align strongly to some earlier sequence.
+  ScalarAligner<AlignClass::Local> sw(ScoreMatrix::blosum62(), {11, 1});
+  int strong = 0;
+  for (std::size_t i = 1; i < ds.size(); ++i) {
+    std::int32_t best = 0;
+    sw.set_query(ds[i].codes());
+    for (std::size_t j = 0; j < i; ++j) {
+      best = std::max(best, sw.align(ds[j].codes()).score);
+    }
+    // An unrelated pair of ~300-residue random proteins scores < ~60.
+    if (best > 100) ++strong;
+  }
+  EXPECT_GE(strong, 15);
+}
+
+TEST(Generator, ZeroHomologFractionIsIndependent) {
+  GeneratorConfig cfg;
+  cfg.homolog_fraction = 0.0;
+  cfg.seed = 4;
+  const Dataset ds = generate(10, cfg);
+  EXPECT_EQ(ds.size(), 10u);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_FALSE(ds[i].empty());
+  }
+}
+
+TEST(Generator, DnaDatasets) {
+  GeneratorConfig cfg;
+  cfg.dna = true;
+  cfg.lengths = LengthModel{"t", 6.0, 0.3, 100, 2000};
+  cfg.seed = 5;
+  const Dataset ds = generate(10, cfg);
+  EXPECT_EQ(&ds.alphabet(), &Alphabet::dna());
+  for (const Sequence& s : ds) {
+    for (const char c : s.to_string()) {
+      EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T');
+    }
+  }
+}
+
+TEST(Mutate, IdentityLimits) {
+  std::mt19937_64 rng(6);
+  const Sequence parent = Sequence("p", std::string(200, 'W'), Alphabet::protein());
+  MutationModel none;
+  none.substitution_rate = 0.0;
+  none.indel_rate = 0.0;
+  const Sequence same = mutate(parent, none, ResidueModel::protein(), rng, "c");
+  EXPECT_EQ(same.to_string(), parent.to_string());
+
+  MutationModel all;
+  all.substitution_rate = 1.0;
+  all.indel_rate = 0.0;
+  const Sequence scrambled = mutate(parent, all, ResidueModel::protein(), rng, "c2");
+  EXPECT_EQ(scrambled.size(), parent.size());
+  int same_count = 0;
+  const std::string sc = scrambled.to_string();
+  for (char c : sc) {
+    if (c == 'W') ++same_count;
+  }
+  // W has ~1% background frequency; nearly all positions change.
+  EXPECT_LT(same_count, 20);
+}
+
+TEST(Mutate, IndelsChangeLength) {
+  std::mt19937_64 rng(7);
+  const Sequence parent = Sequence("p", std::string(500, 'A'), Alphabet::protein());
+  MutationModel indel;
+  indel.substitution_rate = 0.0;
+  indel.indel_rate = 0.2;
+  bool changed = false;
+  for (int i = 0; i < 5; ++i) {
+    const Sequence child = mutate(parent, indel, ResidueModel::protein(), rng, "c");
+    if (child.size() != parent.size()) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(ResidueModel, ProteinCodesInRange) {
+  std::mt19937_64 rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(ResidueModel::protein().sample(rng), 20);
+  }
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(ResidueModel::dna().sample(rng), 4);
+  }
+}
+
+}  // namespace
+}  // namespace valign::workload

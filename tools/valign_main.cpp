@@ -1,0 +1,14 @@
+// The `valign` command-line tool. All logic lives in valign/cli/cli.cpp so
+// the test suite can exercise it without spawning processes.
+#include <iostream>
+#include <string_view>
+#include <vector>
+
+#include "valign/cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string_view> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return valign::cli::run(args, std::cout, std::cerr);
+}
