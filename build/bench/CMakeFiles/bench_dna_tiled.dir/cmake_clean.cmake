@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dna_tiled.dir/bench_dna_tiled.cpp.o"
+  "CMakeFiles/bench_dna_tiled.dir/bench_dna_tiled.cpp.o.d"
+  "bench_dna_tiled"
+  "bench_dna_tiled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dna_tiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

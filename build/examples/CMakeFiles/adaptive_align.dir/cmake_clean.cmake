@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_align.dir/adaptive_align.cpp.o"
+  "CMakeFiles/adaptive_align.dir/adaptive_align.cpp.o.d"
+  "adaptive_align"
+  "adaptive_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homology_detection.dir/homology_detection.cpp.o"
+  "CMakeFiles/homology_detection.dir/homology_detection.cpp.o.d"
+  "homology_detection"
+  "homology_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homology_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/valign/apps/db_search.cpp" "src/CMakeFiles/valign.dir/valign/apps/db_search.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/apps/db_search.cpp.o.d"
+  "/root/repo/src/valign/apps/homology.cpp" "src/CMakeFiles/valign.dir/valign/apps/homology.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/apps/homology.cpp.o.d"
+  "/root/repo/src/valign/cli/cli.cpp" "src/CMakeFiles/valign.dir/valign/cli/cli.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/cli/cli.cpp.o.d"
+  "/root/repo/src/valign/core/calibrate.cpp" "src/CMakeFiles/valign.dir/valign/core/calibrate.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/core/calibrate.cpp.o.d"
+  "/root/repo/src/valign/core/dispatch.cpp" "src/CMakeFiles/valign.dir/valign/core/dispatch.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/core/dispatch.cpp.o.d"
+  "/root/repo/src/valign/core/dispatch_avx2.cpp" "src/CMakeFiles/valign.dir/valign/core/dispatch_avx2.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/core/dispatch_avx2.cpp.o.d"
+  "/root/repo/src/valign/core/dispatch_avx512.cpp" "src/CMakeFiles/valign.dir/valign/core/dispatch_avx512.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/core/dispatch_avx512.cpp.o.d"
+  "/root/repo/src/valign/core/dispatch_emul.cpp" "src/CMakeFiles/valign.dir/valign/core/dispatch_emul.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/core/dispatch_emul.cpp.o.d"
+  "/root/repo/src/valign/core/dispatch_sse.cpp" "src/CMakeFiles/valign.dir/valign/core/dispatch_sse.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/core/dispatch_sse.cpp.o.d"
+  "/root/repo/src/valign/core/prescribe.cpp" "src/CMakeFiles/valign.dir/valign/core/prescribe.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/core/prescribe.cpp.o.d"
+  "/root/repo/src/valign/core/scalar.cpp" "src/CMakeFiles/valign.dir/valign/core/scalar.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/core/scalar.cpp.o.d"
+  "/root/repo/src/valign/instrument/counters.cpp" "src/CMakeFiles/valign.dir/valign/instrument/counters.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/instrument/counters.cpp.o.d"
+  "/root/repo/src/valign/io/fasta.cpp" "src/CMakeFiles/valign.dir/valign/io/fasta.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/io/fasta.cpp.o.d"
+  "/root/repo/src/valign/io/sequence.cpp" "src/CMakeFiles/valign.dir/valign/io/sequence.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/io/sequence.cpp.o.d"
+  "/root/repo/src/valign/matrices/blosum.cpp" "src/CMakeFiles/valign.dir/valign/matrices/blosum.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/matrices/blosum.cpp.o.d"
+  "/root/repo/src/valign/matrices/matrix.cpp" "src/CMakeFiles/valign.dir/valign/matrices/matrix.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/matrices/matrix.cpp.o.d"
+  "/root/repo/src/valign/matrices/parser.cpp" "src/CMakeFiles/valign.dir/valign/matrices/parser.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/matrices/parser.cpp.o.d"
+  "/root/repo/src/valign/simd/arch.cpp" "src/CMakeFiles/valign.dir/valign/simd/arch.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/simd/arch.cpp.o.d"
+  "/root/repo/src/valign/stats/karlin.cpp" "src/CMakeFiles/valign.dir/valign/stats/karlin.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/stats/karlin.cpp.o.d"
+  "/root/repo/src/valign/workload/distributions.cpp" "src/CMakeFiles/valign.dir/valign/workload/distributions.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/workload/distributions.cpp.o.d"
+  "/root/repo/src/valign/workload/generator.cpp" "src/CMakeFiles/valign.dir/valign/workload/generator.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/workload/generator.cpp.o.d"
+  "/root/repo/src/valign/workload/mutate.cpp" "src/CMakeFiles/valign.dir/valign/workload/mutate.cpp.o" "gcc" "src/CMakeFiles/valign.dir/valign/workload/mutate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engines_extended.dir/core/test_engines_extended.cpp.o"
+  "CMakeFiles/test_engines_extended.dir/core/test_engines_extended.cpp.o.d"
+  "test_engines_extended"
+  "test_engines_extended.pdb"
+  "test_engines_extended[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engines_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scalar.dir/core/test_scalar.cpp.o"
+  "CMakeFiles/test_scalar.dir/core/test_scalar.cpp.o.d"
+  "test_scalar"
+  "test_scalar.pdb"
+  "test_scalar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sg_variants.dir/core/test_sg_variants.cpp.o"
+  "CMakeFiles/test_sg_variants.dir/core/test_sg_variants.cpp.o.d"
+  "test_sg_variants"
+  "test_sg_variants.pdb"
+  "test_sg_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sg_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

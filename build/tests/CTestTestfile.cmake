@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_simd[1]_include.cmake")
+include("/root/repo/build/tests/test_matrices[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_scalar[1]_include.cmake")
+include("/root/repo/build/tests/test_engines[1]_include.cmake")
+include("/root/repo/build/tests/test_sg_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_tiled[1]_include.cmake")
+include("/root/repo/build/tests/test_calibrate[1]_include.cmake")
+include("/root/repo/build/tests/test_engines_extended[1]_include.cmake")
+include("/root/repo/build/tests/test_dispatch[1]_include.cmake")
+include("/root/repo/build/tests/test_instrument[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/valign_cli.dir/valign_main.cpp.o"
+  "CMakeFiles/valign_cli.dir/valign_main.cpp.o.d"
+  "valign"
+  "valign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/valign_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
