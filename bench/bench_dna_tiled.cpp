@@ -81,6 +81,19 @@ int main() {
     });
   }
 
+  {
+    // The batched runtime's dispatch path on the same problem: the width
+    // ladder and engine cache choose ISA/width/approach. Its score must match
+    // the hand-picked engines above — this is the end-to-end configuration
+    // apps::search runs with.
+    Options opts;
+    opts.klass = AlignClass::Local;
+    opts.matrix = &dna;
+    opts.gap = gap;
+    Aligner eng(opts);
+    run(std::string("runtime Aligner (auto)"), eng, 0.0);
+  }
+
   std::printf("%-26s %10s %10s %12s %9s\n", "engine", "time (s)", "GCUPS",
               "working-set", "score");
   const double cells = static_cast<double>(qlen) * static_cast<double>(dlen);

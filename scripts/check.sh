@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the plain suite plus the ASan+UBSan suite.
+#
+#   scripts/check.sh            # both
+#   scripts/check.sh plain      # release build + ctest only
+#   scripts/check.sh sanitize   # sanitized build + ctest only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_plain() {
+  cmake --preset release
+  cmake --build --preset release
+  ctest --preset release -j "$(nproc)"
+}
+
+run_sanitize() {
+  cmake --preset sanitize
+  cmake --build --preset sanitize
+  ctest --preset sanitize -j "$(nproc)"
+}
+
+case "${1:-all}" in
+  plain)    run_plain ;;
+  sanitize) run_sanitize ;;
+  all)      run_plain; run_sanitize ;;
+  *) echo "usage: $0 [plain|sanitize|all]" >&2; exit 2 ;;
+esac
+echo "check.sh: all requested suites passed"

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "valign/io/fasta.hpp"
+#include "valign/runtime/pipeline.hpp"
+
 #if defined(VALIGN_HAVE_OPENMP)
 #include <omp.h>
 #endif
@@ -11,34 +14,37 @@ namespace valign::apps {
 
 double SearchReport::gcups() const noexcept {
   if (seconds <= 0.0) return 0.0;
-  // Real cell updates: query_len * db_len summed over alignments. We use the
-  // engines' padded cell counters scaled is avoided; totals.cells counts
-  // padded stripes, which is the work actually performed.
+  return static_cast<double>(cells_real) / seconds / 1e9;
+}
+
+double SearchReport::gcups_padded() const noexcept {
+  if (seconds <= 0.0) return 0.0;
   return static_cast<double>(totals.cells) / seconds / 1e9;
 }
 
-namespace {
-
-void keep_top(std::vector<SearchHit>& hits, int top_k) {
-  const auto k = static_cast<std::size_t>(top_k);
+void keep_top_hits(std::vector<SearchHit>& hits, int top_k) {
+  const auto k = static_cast<std::size_t>(std::max(top_k, 0));
   if (hits.size() <= k) {
-    std::sort(hits.begin(), hits.end(),
-              [](const SearchHit& a, const SearchHit& b) { return a.score > b.score; });
+    std::sort(hits.begin(), hits.end(), hit_before);
     return;
   }
   std::partial_sort(hits.begin(), hits.begin() + static_cast<std::ptrdiff_t>(k),
-                    hits.end(),
-                    [](const SearchHit& a, const SearchHit& b) { return a.score > b.score; });
+                    hits.end(), hit_before);
   hits.resize(k);
 }
-
-}  // namespace
 
 SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfig& cfg) {
   SearchReport report;
   report.top_hits.resize(queries.size());
 
   const auto t0 = std::chrono::steady_clock::now();
+
+  const runtime::Schedule sched = runtime::make_search_schedule(
+      queries, db, runtime::ScheduleConfig{cfg.sched, cfg.threads, cfg.grain_cells});
+
+  // Hits per query, merged across threads after the parallel region so the
+  // final keep_top_hits sees every candidate (deterministic under ties).
+  std::vector<std::vector<SearchHit>> merged(queries.size());
 
 #if defined(VALIGN_HAVE_OPENMP)
   const int nthreads = cfg.threads > 0 ? cfg.threads : 1;
@@ -48,22 +54,34 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
     Aligner aligner(cfg.align);
     AlignStats local_stats{};
     std::uint64_t local_aligns = 0;
+    std::uint64_t local_cells = 0;
+    std::vector<std::vector<SearchHit>> local_hits(queries.size());
+    std::size_t cur_query = queries.size();  // sentinel: no query loaded
 
 #if defined(VALIGN_HAVE_OPENMP)
-#pragma omp for schedule(dynamic)
+#pragma omp for schedule(dynamic, 1) nowait
 #endif
-    for (std::size_t q = 0; q < queries.size(); ++q) {
-      aligner.set_query(queries[q]);
-      std::vector<SearchHit> hits;
-      hits.reserve(db.size());
-      for (std::size_t d = 0; d < db.size(); ++d) {
+    for (std::size_t bi = 0; bi < sched.blocks.size(); ++bi) {
+      const runtime::WorkBlock& b = sched.blocks[bi];
+      if (b.query != cur_query) {
+        aligner.set_query(queries[b.query]);
+        cur_query = b.query;
+      }
+      auto& hits = local_hits[b.query];
+      for (std::size_t k = b.begin; k < b.end; ++k) {
+        const std::size_t d = sched.db_index(k);
         const AlignResult r = aligner.align(db[d]);
         local_stats += r.stats;
         ++local_aligns;
+        local_cells += queries[b.query].size() * db[d].size();
         hits.push_back(SearchHit{d, r.score, r.query_end, r.db_end});
       }
-      keep_top(hits, cfg.top_k);
-      report.top_hits[q] = std::move(hits);
+      // Bound per-thread memory: pruning to the thread-local top-k keeps a
+      // superset of the global top-k (anything dropped is dominated by k
+      // better hits already in this thread).
+      if (hits.size() > runtime::top_k_prune_threshold(cfg.top_k)) {
+        keep_top_hits(hits, cfg.top_k);
+      }
     }
 
 #if defined(VALIGN_HAVE_OPENMP)
@@ -72,12 +90,33 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
     {
       report.totals += local_stats;
       report.alignments += local_aligns;
+      report.cells_real += local_cells;
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        merged[q].insert(merged[q].end(), local_hits[q].begin(), local_hits[q].end());
+      }
     }
+  }
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    keep_top_hits(merged[q], cfg.top_k);
+    report.top_hits[q] = std::move(merged[q]);
   }
 
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return report;
+}
+
+SearchReport search_stream(const Dataset& queries, std::istream& db,
+                           const Alphabet& alphabet, const SearchConfig& cfg,
+                           Dataset* collected) {
+  runtime::SearchPipeline pipeline(queries, runtime::PipelineConfig{cfg});
+  FastaReader reader(db, alphabet);
+  while (auto s = reader.next()) {
+    if (collected != nullptr) collected->add(*s);
+    pipeline.push(*std::move(s));
+  }
+  return pipeline.finish();
 }
 
 }  // namespace valign::apps

@@ -1,11 +1,19 @@
 // Database search driver (§V "Use Cases"): every query sequence is aligned
 // against every database sequence; the best hits per query are returned.
+//
+// A thin adapter over the runtime layer: work partitioning comes from
+// runtime::make_search_schedule (pair-granularity, length-bucketed blocks),
+// per-thread Aligners reuse engines through runtime::EngineCache, and the
+// streaming variant (search_stream) runs on runtime::SearchPipeline so FASTA
+// parsing overlaps alignment.
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "valign/core/dispatch.hpp"
 #include "valign/io/sequence.hpp"
+#include "valign/runtime/scheduler.hpp"
 
 namespace valign::apps {
 
@@ -16,24 +24,57 @@ struct SearchHit {
   std::int32_t db_end = -1;
 };
 
+/// Strict total order on hits: score descending, then database index
+/// ascending. Score ties therefore resolve identically no matter how work
+/// was partitioned across threads.
+[[nodiscard]] inline bool hit_before(const SearchHit& a, const SearchHit& b) noexcept {
+  if (a.score != b.score) return a.score > b.score;
+  return a.db_index < b.db_index;
+}
+
+/// Sorts `hits` under hit_before and truncates to the best `top_k`.
+void keep_top_hits(std::vector<SearchHit>& hits, int top_k);
+
 struct SearchConfig {
   Options align{};     ///< Alignment class / approach / ISA / width / scoring.
   int top_k = 10;      ///< Hits retained per query.
-  int threads = 1;     ///< OpenMP threads over queries (1 = serial).
+  int threads = 1;     ///< OpenMP threads (1 = serial).
+  /// Work partitioning: Query = legacy outer-loop parallelism, Pair =
+  /// length-bucketed pair blocks, Auto = Pair when queries alone cannot keep
+  /// `threads` busy.
+  runtime::PairSched sched = runtime::PairSched::Auto;
+  /// Scheduler grain override in DP cells (0 = derive; see runtime/scheduler).
+  std::uint64_t grain_cells = 0;
 };
 
 struct SearchReport {
-  /// top_hits[q] = best hits for query q, sorted by descending score.
+  /// top_hits[q] = best hits for query q, ordered by hit_before.
   std::vector<std::vector<SearchHit>> top_hits;
   AlignStats totals{};
+  /// Real (unpadded) cell updates: sum of query_len * db_len over alignments.
+  std::uint64_t cells_real = 0;
   std::uint64_t alignments = 0;
   double seconds = 0.0;
-  /// Giga cell updates per second over real (unpadded) cells.
+  /// Giga cell updates per second over real (unpadded) cells — the figure of
+  /// merit comparable across engines and with the paper / other aligners.
   [[nodiscard]] double gcups() const noexcept;
+  /// GCUPS over padded cells (totals.cells): the work the engines actually
+  /// performed, including stripe padding. Always >= gcups().
+  [[nodiscard]] double gcups_padded() const noexcept;
 };
 
 /// Align every sequence of `queries` against every sequence of `db`.
 [[nodiscard]] SearchReport search(const Dataset& queries, const Dataset& db,
                                   const SearchConfig& cfg = {});
+
+/// Streaming variant: parses `db` incrementally (FASTA) and overlaps parsing,
+/// profile building, alignment and top-k reduction on a bounded queue
+/// (runtime::SearchPipeline). Hit db_index values refer to record order in
+/// the stream. When `collected` is non-null every parsed database sequence is
+/// appended to it (for reporting names after the fact).
+[[nodiscard]] SearchReport search_stream(const Dataset& queries, std::istream& db,
+                                         const Alphabet& alphabet,
+                                         const SearchConfig& cfg = {},
+                                         Dataset* collected = nullptr);
 
 }  // namespace valign::apps

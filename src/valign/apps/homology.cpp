@@ -43,6 +43,9 @@ HomologyReport detect(const Dataset& ds, const HomologyConfig& cfg) {
 
   const auto t0 = std::chrono::steady_clock::now();
 
+  const runtime::Schedule sched = runtime::make_all_pairs_schedule(
+      ds, runtime::ScheduleConfig{cfg.sched, cfg.threads, cfg.grain_cells});
+
 #if defined(VALIGN_HAVE_OPENMP)
   const int nthreads = cfg.threads > 0 ? cfg.threads : 1;
 #pragma omp parallel num_threads(nthreads)
@@ -51,19 +54,26 @@ HomologyReport detect(const Dataset& ds, const HomologyConfig& cfg) {
     Aligner aligner(cfg.align);
     AlignStats local_stats{};
     std::uint64_t local_aligns = 0;
+    std::uint64_t local_cells = 0;
     std::vector<HomologyEdge> local_edges;
+    std::size_t cur_query = n;  // sentinel: no query loaded
 
 #if defined(VALIGN_HAVE_OPENMP)
-#pragma omp for schedule(dynamic)
+#pragma omp for schedule(dynamic, 1) nowait
 #endif
-    for (std::size_t i = 0; i < n; ++i) {
-      aligner.set_query(ds[i]);
-      for (std::size_t j = i + 1; j < n; ++j) {
+    for (std::size_t bi = 0; bi < sched.blocks.size(); ++bi) {
+      const runtime::WorkBlock& b = sched.blocks[bi];
+      if (b.query != cur_query) {
+        aligner.set_query(ds[b.query]);
+        cur_query = b.query;
+      }
+      for (std::size_t j = b.begin; j < b.end; ++j) {
         const AlignResult r = aligner.align(ds[j]);
         local_stats += r.stats;
         ++local_aligns;
+        local_cells += ds[b.query].size() * ds[j].size();
         if (cfg.keep_edges && r.score >= cfg.score_threshold) {
-          local_edges.push_back(HomologyEdge{i, j, r.score});
+          local_edges.push_back(HomologyEdge{b.query, j, r.score});
         }
       }
     }
@@ -74,9 +84,17 @@ HomologyReport detect(const Dataset& ds, const HomologyConfig& cfg) {
     {
       report.totals += local_stats;
       report.alignments += local_aligns;
+      report.cells_real += local_cells;
       report.edges.insert(report.edges.end(), local_edges.begin(), local_edges.end());
     }
   }
+
+  // Blocks land in nondeterministic order across threads; normalize.
+  std::sort(report.edges.begin(), report.edges.end(),
+            [](const HomologyEdge& x, const HomologyEdge& y) {
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
 
   UnionFind uf(n);
   for (const HomologyEdge& e : report.edges) uf.unite(e.a, e.b);

@@ -1,12 +1,17 @@
 // Homology detection driver (§V "Use Cases"): all-to-all alignment of one
 // dataset; pairs scoring above a threshold become edges of a homology graph,
 // whose connected components are reported as putative protein families.
+//
+// A thin adapter over the runtime layer: the i < j pair triangle is cut into
+// load-balanced blocks by runtime::make_all_pairs_schedule, and per-thread
+// Aligners reuse engines through runtime::EngineCache.
 #pragma once
 
 #include <vector>
 
 #include "valign/core/dispatch.hpp"
 #include "valign/io/sequence.hpp"
+#include "valign/runtime/scheduler.hpp"
 
 namespace valign::apps {
 
@@ -22,14 +27,23 @@ struct HomologyConfig {
   int threads = 1;
   /// Keep edges in the report (disable for counting-only runs).
   bool keep_edges = true;
+  /// Work partitioning: Query = one unit per row of the triangle (legacy),
+  /// Pair = grain-sized blocks, Auto = Pair when rows alone cannot keep
+  /// `threads` busy.
+  runtime::PairSched sched = runtime::PairSched::Auto;
+  /// Scheduler grain override in DP cells (0 = derive; see runtime/scheduler).
+  std::uint64_t grain_cells = 0;
 };
 
 struct HomologyReport {
+  /// Edges sorted by (a, b) — deterministic across thread counts.
   std::vector<HomologyEdge> edges;
   /// cluster_of[i] = representative index of sequence i's family.
   std::vector<std::size_t> cluster_of;
   std::size_t cluster_count = 0;
   AlignStats totals{};
+  /// Real (unpadded) cell updates: sum of len_i * len_j over aligned pairs.
+  std::uint64_t cells_real = 0;
   std::uint64_t alignments = 0;
   double seconds = 0.0;
 };

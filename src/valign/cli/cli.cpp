@@ -3,6 +3,8 @@
 #include <ostream>
 #include <sstream>
 
+#include <fstream>
+
 #include "valign/apps/db_search.hpp"
 #include "valign/cli/args.hpp"
 #include "valign/core/calibrate.hpp"
@@ -10,6 +12,7 @@
 #include "valign/core/scalar.hpp"
 #include "valign/io/fasta.hpp"
 #include "valign/matrices/parser.hpp"
+#include "valign/runtime/scheduler.hpp"
 #include "valign/stats/karlin.hpp"
 #include "valign/version.hpp"
 #include "valign/workload/generator.hpp"
@@ -41,7 +44,10 @@ align options:
   --traceback               print the alignment itself
 search options:
   --top N                   hits per query (default 5)
-  --threads N               OpenMP threads (default 1)
+  --threads N               worker threads (default 1)
+  --pair-sched query|pair|auto   work partitioning granularity (default auto)
+  --cache-engines on|off    reuse engines across width/approach switches (default on)
+  --stream                  stream the database FASTA through the runtime pipeline
 generate options:
   --out FILE --count N --seed S --preset bacteria2k|uniprot --dna
 )";
@@ -61,6 +67,12 @@ Approach parse_approach(const std::string& s) {
   if (s == "scan") return Approach::Scan;
   if (s == "auto") return Approach::Auto;
   throw Error("unknown approach: " + s);
+}
+
+bool parse_on_off(const std::string& s, const char* flag) {
+  if (s == "on" || s == "1" || s == "true") return true;
+  if (s == "off" || s == "0" || s == "false") return false;
+  throw Error(std::string(flag) + ": expected on|off, got " + s);
 }
 
 Isa parse_isa(const std::string& s) {
@@ -173,19 +185,31 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   const Scoring scoring = resolve_scoring(args);
   const Alphabet& alpha = alphabet_for(args);
   const Dataset queries = read_fasta_file(args.positionals()[1], alpha);
-  const Dataset db = read_fasta_file(args.positionals()[2], alpha);
 
   apps::SearchConfig cfg;
   cfg.align = resolve_options(args, scoring);
+  cfg.align.cache_engines = parse_on_off(args.value_or("--cache-engines", "on"),
+                                         "--cache-engines");
   cfg.top_k = static_cast<int>(args.int_value_or("--top", 5));
   cfg.threads = static_cast<int>(args.int_value_or("--threads", 1));
+  cfg.sched = runtime::parse_pair_sched(args.value_or("--pair-sched", "auto"));
 
-  const apps::SearchReport rep = apps::search(queries, db, cfg);
+  Dataset db(alpha);
+  apps::SearchReport rep;
+  if (args.has("--stream")) {
+    std::ifstream in(args.positionals()[2]);
+    if (!in) throw Error("cannot open FASTA file: " + args.positionals()[2]);
+    rep = apps::search_stream(queries, in, alpha, cfg, &db);
+  } else {
+    db = read_fasta_file(args.positionals()[2], alpha);
+    rep = apps::search(queries, db, cfg);
+  }
   const stats::KarlinParams params = stats::lookup_params(scoring.mat(), scoring.gap);
   const std::uint64_t db_residues = db.total_residues();
 
   out << "# " << queries.size() << " queries x " << db.size() << " subjects, "
-      << rep.alignments << " alignments in " << rep.seconds << " s\n";
+      << rep.alignments << " alignments in " << rep.seconds << " s ("
+      << rep.gcups() << " GCUPS real, " << rep.gcups_padded() << " padded)\n";
   out << "# query\tsubject\tscore\tbits\tevalue\n";
   for (std::size_t qi = 0; qi < queries.size(); ++qi) {
     for (const apps::SearchHit& h : rep.top_hits[qi]) {
@@ -294,10 +318,10 @@ int run(std::span<const std::string_view> args, std::ostream& out, std::ostream&
     for (const char* opt :
          {"--class", "--matrix", "--gap-open", "--gap-extend", "--approach", "--isa",
           "--q-seq", "--d-seq", "--top", "--threads", "--out", "--count", "--seed",
-          "--preset"}) {
+          "--preset", "--pair-sched", "--cache-engines"}) {
       parser.add_option(opt);
     }
-    for (const char* sw : {"--dna", "--traceback"}) parser.add_switch(sw);
+    for (const char* sw : {"--dna", "--traceback", "--stream"}) parser.add_switch(sw);
     parser.parse(args);
 
     const std::string& cmd = parser.positionals().empty() ? std::string()

@@ -11,7 +11,8 @@
 // Common options: --class nw|sg|sw, --matrix NAME, --gap-open N,
 // --gap-extend N, --approach scalar|blocked|diagonal|striped|scan|auto,
 // --isa emul|sse41|avx2|avx512|auto, --dna, --traceback (align only),
-// --threads N / --top N (search only).
+// --threads N / --top N / --pair-sched query|pair|auto /
+// --cache-engines on|off / --stream (search only).
 #pragma once
 
 #include <iosfwd>

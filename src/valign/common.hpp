@@ -89,6 +89,8 @@ inline const char* to_string(Isa i) {
 struct GapPenalty {
   int open = 11;    ///< Charged once per gap, on top of the first extension.
   int extend = 1;   ///< Charged once per gap character.
+
+  [[nodiscard]] bool operator==(const GapPenalty&) const = default;
 };
 
 /// Which sequence ends are free of gap penalties in a semi-global alignment.
@@ -110,6 +112,8 @@ struct SemiGlobalEnds {
   [[nodiscard]] bool none_free() const noexcept {
     return !free_query_begin && !free_query_end && !free_db_begin && !free_db_end;
   }
+
+  [[nodiscard]] bool operator==(const SemiGlobalEnds&) const = default;
 };
 
 /// Per-alignment work counters (basis of the paper's complexity analysis, §IV).

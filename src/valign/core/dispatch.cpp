@@ -2,6 +2,7 @@
 
 #include "valign/core/calibrate.hpp"
 #include "valign/core/dispatch_impl.hpp"
+#include "valign/runtime/engine_cache.hpp"
 #include "valign/simd/arch.hpp"
 
 namespace valign {
@@ -73,9 +74,21 @@ Aligner::Aligner(Options opts) : opts_(opts) {
     throw Error(std::string("Aligner: ISA not available on this CPU: ") +
                 to_string(isa_));
   }
+  cache_ = std::make_unique<runtime::EngineCache>(
+      opts.cache_engines ? runtime::EngineCache::kDefaultCapacity : 1);
 }
 
-void Aligner::build(int bits, Approach approach) {
+Aligner::~Aligner() = default;
+Aligner::Aligner(Aligner&&) noexcept = default;
+Aligner& Aligner::operator=(Aligner&&) noexcept = default;
+
+const runtime::EngineCacheStats& Aligner::cache_stats() const noexcept {
+  return cache_->stats();
+}
+
+std::size_t Aligner::query_len() const noexcept { return cache_->query().size(); }
+
+detail::EngineSpec Aligner::make_spec(int bits, Approach approach) const {
   detail::EngineSpec spec;
   spec.klass = opts_.klass;
   spec.approach = approach;
@@ -86,29 +99,37 @@ void Aligner::build(int bits, Approach approach) {
   spec.gap = gap_;
   spec.hscan = opts_.hscan;
   spec.sg_ends = opts_.sg_ends;
-  engine_ = detail::make_engine(spec);
+  return spec;
+}
+
+void Aligner::acquire(int bits, Approach approach) {
+  engine_ = cache_->acquire(make_spec(bits, approach));
   cur_bits_ = bits;
   cur_approach_ = approach;
-  engine_->set_query(query_);
 }
 
 void Aligner::set_query(std::span<const std::uint8_t> query) {
-  query_.assign(query.begin(), query.end());
-  if (engine_) engine_->set_query(query_);
+  cache_->set_query(query);
+  // Stale profile: re-acquire (and lazily re-profile) on the next align().
+  engine_ = nullptr;
+  // A new query gets to re-prove narrow widths for itself.
+  floor_bits_ = 0;
 }
 
 AlignResult Aligner::align(std::span<const std::uint8_t> db) {
   // Resolve the element width for this problem instance.
   int bits = elem_bits(opts_.width);
   if (bits == 0) {
-    // Auto: narrowest safe width, never narrower than a previous build
-    // (avoids rebuild thrash across a database sweep).
+    // Auto: narrowest safe width. For NW/SG the check is a proof, so the
+    // width may narrow again for shorter subjects (the engine cache makes
+    // that switch free); for SW narrow widths are only falsified at run time,
+    // so stay at the widened floor once an overflow has been observed.
     bits = 8;
     while (bits < 32 &&
-           !width_is_safe(opts_.klass, bits, query_.size(), db.size(), gap_, *matrix_)) {
+           !width_is_safe(opts_.klass, bits, query_len(), db.size(), gap_, *matrix_)) {
       bits *= 2;
     }
-    if (bits < cur_bits_) bits = cur_bits_;
+    if (bits < floor_bits_) bits = floor_bits_;
     // The emulated backend only supports 16/32-bit elements.
     if (isa_ == Isa::Emul && bits < 16) bits = 16;
   }
@@ -119,26 +140,27 @@ AlignResult Aligner::align(std::span<const std::uint8_t> db) {
     const int lanes = (isa_ == Isa::Emul) ? opts_.emul_lanes
                                           : simd::native_lanes(isa_, bits);
     approach = opts_.prescription
-                   ? opts_.prescription->choose(opts_.klass, lanes, query_.size())
-                   : prescribe(opts_.klass, lanes, query_.size());
+                   ? opts_.prescription->choose(opts_.klass, lanes, query_len())
+                   : prescribe(opts_.klass, lanes, query_len());
   }
 
-  if (!engine_ || bits != cur_bits_ || approach != cur_approach_) {
-    build(bits, approach);
+  if (engine_ == nullptr || bits != cur_bits_ || approach != cur_approach_) {
+    acquire(bits, approach);
   }
 
   AlignResult res = engine_->align(db);
   // Overflow retry ladder (only when the user left the width to us).
   while (res.overflowed && opts_.width == ElemWidth::Auto && cur_bits_ < 32) {
-    int wider = cur_bits_ * 2;
+    const int wider = cur_bits_ * 2;
     if (opts_.approach == Approach::Auto) {
       const int lanes = (isa_ == Isa::Emul) ? opts_.emul_lanes
                                             : simd::native_lanes(isa_, wider);
       approach = opts_.prescription
-                     ? opts_.prescription->choose(opts_.klass, lanes, query_.size())
-                     : prescribe(opts_.klass, lanes, query_.size());
+                     ? opts_.prescription->choose(opts_.klass, lanes, query_len())
+                     : prescribe(opts_.klass, lanes, query_len());
     }
-    build(wider, approach);
+    acquire(wider, approach);
+    floor_bits_ = wider;
     res = engine_->align(db);
   }
   return res;

@@ -13,6 +13,11 @@
 
 namespace valign {
 
+namespace runtime {
+class EngineCache;
+struct EngineCacheStats;
+}  // namespace runtime
+
 /// Options controlling a dispatched alignment.
 struct Options {
   AlignClass klass = AlignClass::Local;
@@ -36,6 +41,10 @@ struct Options {
   /// Table IV (prescribe()); point at a calibrate() result to use
   /// host-measured crossovers instead. Not owned; must outlive the Aligner.
   const struct PrescriptionTable* prescription = nullptr;
+  /// Keep previously built engines (and their striped query profiles) alive
+  /// in a runtime::EngineCache so width-retry and approach switches reuse
+  /// them. Off = at most one live engine (the pre-cache behaviour).
+  bool cache_engines = true;
 };
 
 namespace detail {
@@ -62,6 +71,8 @@ struct EngineSpec {
   GapPenalty gap{11, 1};
   HscanKind hscan = HscanKind::Linear;
   SemiGlobalEnds sg_ends{};
+
+  [[nodiscard]] bool operator==(const EngineSpec&) const = default;
 };
 
 // Per-ISA factories (one translation unit each, compiled with the matching
@@ -88,12 +99,18 @@ struct EngineSpec {
                                  std::size_t dlen, GapPenalty gap,
                                  const ScoreMatrix& matrix) noexcept;
 
-/// Reusable dispatcher: resolves Options against the host CPU, builds the
-/// engine lazily, applies Table IV for Approach::Auto, and transparently
-/// retries at a wider element width when a result overflows.
+/// Reusable dispatcher: resolves Options against the host CPU, acquires
+/// engines lazily from a runtime::EngineCache, applies Table IV for
+/// Approach::Auto, and transparently retries at a wider element width when a
+/// result overflows. Engines built for earlier widths/approaches stay cached
+/// (with their query profiles), so ladder retries and prescriptive approach
+/// flips cost a lookup, not a reconstruction.
 class Aligner {
  public:
   explicit Aligner(Options opts = {});
+  ~Aligner();
+  Aligner(Aligner&&) noexcept;
+  Aligner& operator=(Aligner&&) noexcept;
 
   /// The scoring scheme in effect (Options defaults resolved).
   [[nodiscard]] const ScoreMatrix& matrix() const noexcept { return *matrix_; }
@@ -105,22 +122,31 @@ class Aligner {
   void set_query(const Sequence& query) { set_query(query.codes()); }
 
   /// Aligns the current query against `db`. Never returns an overflowed
-  /// result when width is Auto: overflow triggers a rebuild at the next
+  /// result when width is Auto: overflow triggers a switch to the next
   /// wider element width and a re-run.
   AlignResult align(std::span<const std::uint8_t> db);
   AlignResult align(const Sequence& db) { return align(db.codes()); }
 
+  /// Engine construction/reuse counters of the underlying cache.
+  [[nodiscard]] const runtime::EngineCacheStats& cache_stats() const noexcept;
+
  private:
-  void build(int bits, Approach approach);
+  [[nodiscard]] detail::EngineSpec make_spec(int bits, Approach approach) const;
+  void acquire(int bits, Approach approach);
+  [[nodiscard]] std::size_t query_len() const noexcept;
 
   Options opts_;
   const ScoreMatrix* matrix_;
   GapPenalty gap_;
   Isa isa_;
-  std::vector<std::uint8_t> query_;
-  std::unique_ptr<detail::EngineBase> engine_;
+  std::unique_ptr<runtime::EngineCache> cache_;
+  detail::EngineBase* engine_ = nullptr;  ///< Owned by cache_.
   int cur_bits_ = 0;
   Approach cur_approach_ = Approach::Auto;
+  /// Local alignments cannot prove narrow widths safe up front; after an
+  /// overflow re-run, stay at the widened width for this query (re-proved
+  /// per query: set_query resets the floor).
+  int floor_bits_ = 0;
 };
 
 /// One-shot convenience wrapper around Aligner.

@@ -5,10 +5,6 @@
 
 namespace valign::instrument {
 
-namespace detail {
-thread_local std::array<std::uint64_t, kOpCategoryCount> tls_counts{};
-}  // namespace detail
-
 const char* to_string(OpCategory c) {
   switch (c) {
     case OpCategory::VecArith: return "vec-arith";

@@ -65,8 +65,12 @@ void reset();
 void count(OpCategory c, std::uint64_t n) noexcept;
 
 namespace detail {
-// Exposed for the hot-path inline increment in counting_vec.hpp.
-extern thread_local std::array<std::uint64_t, kOpCategoryCount> tls_counts;
+// Exposed for the hot-path inline increment in counting_vec.hpp. An inline
+// variable (not extern): every TU owns the definition, so the access needs
+// no cross-TU TLS wrapper call — which GCC resolves to null under
+// -fsanitize=undefined (PR 85400) and which would cost a call in the hot
+// path even when it works.
+inline thread_local std::array<std::uint64_t, kOpCategoryCount> tls_counts{};
 }  // namespace detail
 
 inline void count_inline(OpCategory c, std::uint64_t n) noexcept {

@@ -25,38 +25,52 @@ std::string header_name(const std::string& line) {
 
 }  // namespace
 
-Dataset read_fasta(std::istream& in, const Alphabet& alphabet) {
-  Dataset ds(alphabet);
+FastaReader::FastaReader(std::istream& in, const Alphabet& alphabet)
+    : in_(&in), alphabet_(&alphabet) {}
+
+std::optional<Sequence> FastaReader::next() {
   std::string line;
-  std::string name;
   std::string residues;
-  bool in_record = false;
-
-  auto flush = [&] {
-    if (!in_record) return;
-    if (residues.empty()) {
-      throw Error("FASTA: record '" + name + "' has no residues");
-    }
-    ds.add(Sequence(name, residues, alphabet));
-    residues.clear();
-  };
-
-  while (std::getline(in, line)) {
+  while (std::getline(*in_, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (line[0] == '>') {
-      flush();
-      name = header_name(line);
+      const std::string name = header_name(line);
       if (name.empty()) throw Error("FASTA: header with empty name");
-      in_record = true;
+      if (in_record_) {
+        // The previous record is complete; emit it and hold this header.
+        if (residues.empty()) {
+          throw Error("FASTA: record '" + pending_name_ + "' has no residues");
+        }
+        Sequence s(pending_name_, residues, *alphabet_);
+        pending_name_ = name;
+        ++count_;
+        return s;
+      }
+      pending_name_ = name;
+      in_record_ = true;
     } else if (line[0] == ';') {
       continue;  // classic FASTA comment line
     } else {
-      if (!in_record) throw Error("FASTA: sequence data before first '>' header");
+      if (!in_record_) throw Error("FASTA: sequence data before first '>' header");
       residues += line;
     }
   }
-  flush();
+  if (in_record_) {
+    in_record_ = false;
+    if (residues.empty()) {
+      throw Error("FASTA: record '" + pending_name_ + "' has no residues");
+    }
+    ++count_;
+    return Sequence(pending_name_, residues, *alphabet_);
+  }
+  return std::nullopt;
+}
+
+Dataset read_fasta(std::istream& in, const Alphabet& alphabet) {
+  Dataset ds(alphabet);
+  FastaReader reader(in, alphabet);
+  while (auto s = reader.next()) ds.add(*std::move(s));
   return ds;
 }
 

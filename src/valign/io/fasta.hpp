@@ -2,16 +2,40 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "valign/io/sequence.hpp"
 
 namespace valign {
 
+/// Incremental FASTA parser: yields one record at a time so callers (e.g.
+/// runtime::SearchPipeline) can overlap parsing with alignment instead of
+/// materializing the whole database first. Header lines start with '>'; the
+/// first whitespace-delimited token becomes the sequence name. Throws
+/// valign::Error on malformed input (data before the first header, empty
+/// records).
+class FastaReader {
+ public:
+  /// `in` and `alphabet` must outlive the reader.
+  FastaReader(std::istream& in, const Alphabet& alphabet);
+
+  /// The next record, or nullopt at end of stream.
+  [[nodiscard]] std::optional<Sequence> next();
+
+  /// Records yielded so far.
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+ private:
+  std::istream* in_;
+  const Alphabet* alphabet_;
+  std::string pending_name_;  ///< Header seen but record not yet emitted.
+  bool in_record_ = false;
+  std::size_t count_ = 0;
+};
+
 /// Reads every record of a FASTA stream into a Dataset, encoding residues
-/// with `alphabet`. Header lines start with '>'; the first whitespace-
-/// delimited token becomes the sequence name. Throws valign::Error on
-/// malformed input (data before the first header, empty records).
+/// with `alphabet`. See FastaReader for the accepted grammar and errors.
 [[nodiscard]] Dataset read_fasta(std::istream& in, const Alphabet& alphabet);
 
 /// File-path convenience overload. Throws valign::Error if unreadable.

@@ -1,0 +1,63 @@
+#include "valign/runtime/engine_cache.hpp"
+
+#include <algorithm>
+
+namespace valign::runtime {
+
+EngineCache::EngineCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  entries_.reserve(capacity_);
+}
+
+void EngineCache::set_query(std::span<const std::uint8_t> query) {
+  // Identical re-sets keep the generation: engines holding this query's
+  // profile stay warm. (Common in retry loops and ping-pong query sweeps.)
+  if (query_gen_ != 0 && query.size() == query_.size() &&
+      std::equal(query.begin(), query.end(), query_.begin())) {
+    return;
+  }
+  query_.assign(query.begin(), query.end());
+  ++query_gen_;
+}
+
+detail::EngineBase* EngineCache::acquire(const detail::EngineSpec& spec) {
+  ++stats_.lookups;
+  for (Entry& e : entries_) {
+    if (e.spec == spec) {
+      ++stats_.hits;
+      e.last_used = ++tick_;
+      if (e.query_gen != query_gen_) {
+        e.engine->set_query(query_);
+        e.query_gen = query_gen_;
+        ++stats_.profile_sets;
+      }
+      return e.engine.get();
+    }
+  }
+
+  // Miss: build (may throw for unsupported combinations — nothing inserted).
+  Entry entry;
+  entry.spec = spec;
+  entry.engine = detail::make_engine(spec);
+  ++stats_.builds;
+  entry.engine->set_query(query_);
+  entry.query_gen = query_gen_;
+  ++stats_.profile_sets;
+  entry.last_used = ++tick_;
+
+  if (entries_.size() >= capacity_) {
+    auto lru = std::min_element(entries_.begin(), entries_.end(),
+                                [](const Entry& a, const Entry& b) {
+                                  return a.last_used < b.last_used;
+                                });
+    *lru = std::move(entry);
+    ++stats_.evictions;
+    return lru->engine.get();
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.back().engine.get();
+}
+
+void EngineCache::clear() { entries_.clear(); }
+
+}  // namespace valign::runtime

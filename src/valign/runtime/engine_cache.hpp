@@ -1,0 +1,83 @@
+// Engine cache: reusable pool of constructed alignment engines keyed by
+// EngineSpec.
+//
+// Aligner's width-retry ladder and the Table IV approach selector both switch
+// engines mid-sweep (8 -> 16 -> 32 bits on overflow, Scan <-> Striped across
+// the query-length crossover). Before this cache every switch reconstructed
+// the engine — and with it the striped query profile — from scratch. The
+// cache keeps the last `capacity` engines alive so a switch back is a pointer
+// swap, and re-sets an engine's query profile only when the query actually
+// changed since that engine last ran (tracked by a query generation counter).
+//
+// Not thread-safe: one EngineCache per Aligner per thread, like the engines
+// themselves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "valign/core/dispatch.hpp"
+
+namespace valign::runtime {
+
+/// Observable cache activity, for tests and perf assertions.
+struct EngineCacheStats {
+  std::uint64_t lookups = 0;       ///< acquire() calls.
+  std::uint64_t hits = 0;          ///< acquire() satisfied without building.
+  std::uint64_t builds = 0;        ///< engines constructed.
+  std::uint64_t evictions = 0;     ///< engines destroyed to respect capacity.
+  std::uint64_t profile_sets = 0;  ///< set_query() calls forwarded to engines.
+
+  [[nodiscard]] std::uint64_t misses() const noexcept { return lookups - hits; }
+};
+
+class EngineCache {
+ public:
+  /// `capacity` = maximum live engines. 1 reproduces the pre-cache behaviour
+  /// (every spec change rebuilds); the default comfortably holds one width
+  /// ladder (8/16/32) times both approaches of the prescriptive selector.
+  explicit EngineCache(std::size_t capacity = kDefaultCapacity);
+
+  static constexpr std::size_t kDefaultCapacity = 8;
+
+  /// Records the query that subsequently acquired engines must align.
+  /// Cheap: profiles are rebuilt lazily, per engine, on next acquire().
+  void set_query(std::span<const std::uint8_t> query);
+
+  /// The current query (as recorded by set_query).
+  [[nodiscard]] std::span<const std::uint8_t> query() const noexcept {
+    return query_;
+  }
+
+  /// Returns an engine matching `spec` with the current query loaded,
+  /// constructing one only when no cached engine matches. The pointer stays
+  /// valid until the entry is evicted (LRU) or the cache is cleared — callers
+  /// must treat it as invalidated by the next acquire().
+  [[nodiscard]] detail::EngineBase* acquire(const detail::EngineSpec& spec);
+
+  /// Destroys all cached engines (stats are retained).
+  void clear();
+
+  [[nodiscard]] const EngineCacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Entry {
+    detail::EngineSpec spec;
+    std::unique_ptr<detail::EngineBase> engine;
+    std::uint64_t query_gen = 0;  ///< Generation of the query this engine holds.
+    std::uint64_t last_used = 0;  ///< LRU tick.
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint8_t> query_;
+  std::size_t capacity_;
+  std::uint64_t query_gen_ = 0;
+  std::uint64_t tick_ = 0;
+  EngineCacheStats stats_{};
+};
+
+}  // namespace valign::runtime

@@ -1,0 +1,117 @@
+#include "valign/runtime/pipeline.hpp"
+
+#include <algorithm>
+
+namespace valign::runtime {
+
+SearchPipeline::SearchPipeline(const Dataset& queries, PipelineConfig cfg)
+    : queries_(&queries), cfg_(cfg), t0_(std::chrono::steady_clock::now()) {
+  cfg_.batch_size = std::max<std::size_t>(1, cfg_.batch_size);
+  const auto nworkers =
+      static_cast<std::size_t>(cfg_.search.threads > 0 ? cfg_.search.threads : 1);
+  capacity_ = cfg_.queue_capacity > 0 ? cfg_.queue_capacity : 4 * nworkers;
+
+  states_.resize(nworkers);
+  for (WorkerState& s : states_) s.hits.resize(queries.size());
+  workers_.reserve(nworkers);
+  for (std::size_t w = 0; w < nworkers; ++w) {
+    workers_.emplace_back([this, w] { worker_main(states_[w]); });
+  }
+}
+
+SearchPipeline::~SearchPipeline() {
+  if (!finished_) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+  }
+}
+
+void SearchPipeline::flush_shard() {
+  if (fill_.seqs.empty()) return;
+  Shard shard = std::move(fill_);
+  fill_ = Shard{};
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] { return queue_.size() < capacity_; });
+  queue_.push_back(std::move(shard));
+  lock.unlock();
+  not_empty_.notify_one();
+}
+
+void SearchPipeline::push(Sequence s) {
+  if (fill_.seqs.empty()) fill_.base = next_index_;
+  fill_.seqs.push_back(std::move(s));
+  ++next_index_;
+  if (fill_.seqs.size() >= cfg_.batch_size) flush_shard();
+}
+
+void SearchPipeline::worker_main(WorkerState& state) {
+  Aligner aligner(cfg_.search.align);
+  const Dataset& queries = *queries_;
+  const std::size_t prune_at = top_k_prune_threshold(cfg_.search.top_k);
+
+  for (;;) {
+    Shard shard;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
+      if (queue_.empty()) return;  // closed and drained
+      shard = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      aligner.set_query(queries[q]);
+      auto& hits = state.hits[q];
+      for (std::size_t i = 0; i < shard.seqs.size(); ++i) {
+        const Sequence& d = shard.seqs[i];
+        const AlignResult r = aligner.align(d);
+        state.stats += r.stats;
+        ++state.alignments;
+        state.cells_real += queries[q].size() * d.size();
+        hits.push_back(
+            apps::SearchHit{shard.base + i, r.score, r.query_end, r.db_end});
+      }
+      if (hits.size() > prune_at) apps::keep_top_hits(hits, cfg_.search.top_k);
+    }
+  }
+}
+
+apps::SearchReport SearchPipeline::finish() {
+  flush_shard();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  finished_ = true;
+
+  apps::SearchReport report;
+  report.top_hits.resize(queries_->size());
+  std::vector<apps::SearchHit> merged;
+  for (std::size_t q = 0; q < queries_->size(); ++q) {
+    merged.clear();
+    for (const WorkerState& s : states_) {
+      merged.insert(merged.end(), s.hits[q].begin(), s.hits[q].end());
+    }
+    apps::keep_top_hits(merged, cfg_.search.top_k);
+    report.top_hits[q] = merged;
+  }
+  for (const WorkerState& s : states_) {
+    report.totals += s.stats;
+    report.alignments += s.alignments;
+    report.cells_real += s.cells_real;
+  }
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+  return report;
+}
+
+}  // namespace valign::runtime

@@ -1,0 +1,99 @@
+// Streaming search pipeline: overlaps FASTA parsing, query-profile building,
+// alignment and top-k reduction through a bounded producer/consumer queue.
+//
+// The producer (the thread calling push(), typically walking a FastaReader)
+// batches database sequences into shards; worker threads pop shards, align
+// every query against them with an engine-cached Aligner, and keep a pruned
+// per-query candidate set. finish() joins the workers and merges candidates
+// under the deterministic (score desc, db_index asc) hit order, so a
+// streamed run reports exactly what the batch driver reports.
+//
+// Back-pressure: push() blocks while `queue_capacity` shards are in flight,
+// bounding memory no matter how large the database stream is.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "valign/apps/db_search.hpp"
+
+namespace valign::runtime {
+
+/// Candidate-set size at which a worker prunes back to top_k. Pruning to the
+/// local top-k is lossless for the global top-k (dropped hits are dominated
+/// within one worker) and keeps memory ~O(top_k) per query per worker.
+[[nodiscard]] constexpr std::size_t top_k_prune_threshold(int top_k) noexcept {
+  const auto k = static_cast<std::size_t>(top_k > 0 ? top_k : 0);
+  return 4 * k + 256;
+}
+
+struct PipelineConfig {
+  apps::SearchConfig search{};
+  /// Database sequences per queue shard (amortizes locking and per-shard
+  /// query switches).
+  std::size_t batch_size = 32;
+  /// Maximum shards in flight; 0 = 4x the worker count.
+  std::size_t queue_capacity = 0;
+};
+
+class SearchPipeline {
+ public:
+  /// `queries` must outlive the pipeline. Workers start immediately.
+  SearchPipeline(const Dataset& queries, PipelineConfig cfg);
+  ~SearchPipeline();
+
+  SearchPipeline(const SearchPipeline&) = delete;
+  SearchPipeline& operator=(const SearchPipeline&) = delete;
+
+  /// Appends one database sequence; its db_index is the push order. Blocks
+  /// while the queue is full. Must not be called after finish().
+  void push(Sequence s);
+
+  /// Closes the input, drains the queue, joins the workers and returns the
+  /// merged report. Call exactly once.
+  [[nodiscard]] apps::SearchReport finish();
+
+  /// Database sequences pushed so far.
+  [[nodiscard]] std::size_t pushed() const noexcept { return next_index_; }
+
+ private:
+  struct Shard {
+    std::vector<Sequence> seqs;
+    std::size_t base = 0;  ///< db_index of seqs[0].
+  };
+
+  struct WorkerState {
+    AlignStats stats{};
+    std::uint64_t alignments = 0;
+    std::uint64_t cells_real = 0;
+    std::vector<std::vector<apps::SearchHit>> hits;  // per query
+  };
+
+  void worker_main(WorkerState& state);
+  void flush_shard();  // hand fill_ to the queue (may block)
+
+  const Dataset* queries_;
+  PipelineConfig cfg_;
+  std::size_t capacity_;
+
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Shard> queue_;
+  bool closed_ = false;
+
+  Shard fill_;             ///< Producer-side shard being assembled.
+  std::size_t next_index_ = 0;
+
+  std::vector<WorkerState> states_;
+  std::vector<std::thread> workers_;
+  std::chrono::steady_clock::time_point t0_;
+  bool finished_ = false;
+};
+
+}  // namespace valign::runtime

@@ -1,0 +1,169 @@
+#include "valign/runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "valign/common.hpp"
+
+namespace valign::runtime {
+
+namespace {
+
+// A thread is "kept busy" by this many blocks on average; more blocks means
+// better dynamic balance but more per-block overhead.
+constexpr std::uint64_t kBlocksPerThread = 16;
+
+// Floor for derived grains: below this the per-block query-profile rebuild
+// and hit-merge overheads stop being negligible.
+constexpr std::uint64_t kMinGrainCells = 1u << 21;  // ~2M cells
+
+int resolved_threads(const ScheduleConfig& cfg) {
+  return cfg.threads > 0 ? cfg.threads : 1;
+}
+
+PairSched resolve_mode(const ScheduleConfig& cfg, std::size_t n_queries) {
+  if (cfg.sched != PairSched::Auto) return cfg.sched;
+  // Query-level parallelism balances fine once there are several units per
+  // thread; otherwise go to pair granularity. A single thread has nothing to
+  // balance, so skip the block bookkeeping entirely.
+  const auto threads = static_cast<std::size_t>(resolved_threads(cfg));
+  if (threads <= 1) return PairSched::Query;
+  return n_queries >= 4 * threads ? PairSched::Query : PairSched::Pair;
+}
+
+std::uint64_t resolve_grain(const ScheduleConfig& cfg, std::uint64_t total_cost) {
+  if (cfg.grain_cells > 0) return cfg.grain_cells;
+  const auto threads = static_cast<std::uint64_t>(resolved_threads(cfg));
+  return std::max(kMinGrainCells, total_cost / (threads * kBlocksPerThread) + 1);
+}
+
+void sort_largest_first(std::vector<WorkBlock>& blocks) {
+  // LPT order for schedule(dynamic): stragglers start first. Ties break on
+  // (query, begin) so the schedule itself is deterministic.
+  std::stable_sort(blocks.begin(), blocks.end(),
+                   [](const WorkBlock& a, const WorkBlock& b) {
+                     if (a.cost != b.cost) return a.cost > b.cost;
+                     if (a.query != b.query) return a.query < b.query;
+                     return a.begin < b.begin;
+                   });
+}
+
+}  // namespace
+
+const char* to_string(PairSched s) {
+  switch (s) {
+    case PairSched::Query: return "query";
+    case PairSched::Pair: return "pair";
+    case PairSched::Auto: return "auto";
+  }
+  return "?";
+}
+
+PairSched parse_pair_sched(const std::string& s) {
+  if (s == "query") return PairSched::Query;
+  if (s == "pair") return PairSched::Pair;
+  if (s == "auto") return PairSched::Auto;
+  throw Error("unknown pair scheduling policy: " + s + " (expected query|pair|auto)");
+}
+
+std::uint64_t Schedule::total_cost() const noexcept {
+  return std::accumulate(blocks.begin(), blocks.end(), std::uint64_t{0},
+                         [](std::uint64_t acc, const WorkBlock& b) {
+                           return acc + b.cost;
+                         });
+}
+
+Schedule make_search_schedule(const Dataset& queries, const Dataset& db,
+                              const ScheduleConfig& cfg) {
+  Schedule sched;
+  sched.mode = resolve_mode(cfg, queries.size());
+
+  const std::uint64_t db_residues = db.total_residues();
+
+  if (sched.mode == PairSched::Query) {
+    sched.blocks.reserve(queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      if (db.empty()) break;
+      sched.blocks.push_back(
+          WorkBlock{q, 0, db.size(), queries[q].size() * db_residues});
+    }
+    sort_largest_first(sched.blocks);
+    return sched;
+  }
+
+  // Pair mode: length-bucket the database (longest first) so each block spans
+  // similar subject lengths, then cut each query's sweep into ~grain blocks.
+  sched.order.resize(db.size());
+  std::iota(sched.order.begin(), sched.order.end(), std::size_t{0});
+  std::stable_sort(sched.order.begin(), sched.order.end(),
+                   [&db](std::size_t a, std::size_t b) {
+                     return db[a].size() > db[b].size();
+                   });
+
+  std::uint64_t total = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    total += queries[q].size() * db_residues;
+  }
+  const std::uint64_t grain = resolve_grain(cfg, total);
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const std::uint64_t qlen = queries[q].size();
+    std::size_t begin = 0;
+    std::uint64_t cost = 0;
+    for (std::size_t k = 0; k < sched.order.size(); ++k) {
+      cost += qlen * db[sched.order[k]].size();
+      if (cost >= grain) {
+        sched.blocks.push_back(WorkBlock{q, begin, k + 1, cost});
+        begin = k + 1;
+        cost = 0;
+      }
+    }
+    if (begin < sched.order.size()) {
+      sched.blocks.push_back(WorkBlock{q, begin, sched.order.size(), cost});
+    }
+  }
+  sort_largest_first(sched.blocks);
+  return sched;
+}
+
+Schedule make_all_pairs_schedule(const Dataset& ds, const ScheduleConfig& cfg) {
+  Schedule sched;
+  sched.mode = resolve_mode(cfg, ds.size());
+
+  const std::size_t n = ds.size();
+  if (sched.mode == PairSched::Query) {
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      std::uint64_t cost = 0;
+      for (std::size_t j = i + 1; j < n; ++j) cost += ds[i].size() * ds[j].size();
+      sched.blocks.push_back(WorkBlock{i, i + 1, n, cost});
+    }
+    sort_largest_first(sched.blocks);
+    return sched;
+  }
+
+  // Pair mode: split each row of the triangle by grain. The identity order is
+  // kept (i < j must hold), so no permutation.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) total += ds[i].size() * ds[j].size();
+  }
+  const std::uint64_t grain = resolve_grain(cfg, total);
+
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    std::size_t begin = i + 1;
+    std::uint64_t cost = 0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      cost += ds[i].size() * ds[j].size();
+      if (cost >= grain) {
+        sched.blocks.push_back(WorkBlock{i, begin, j + 1, cost});
+        begin = j + 1;
+        cost = 0;
+      }
+    }
+    if (begin < n) sched.blocks.push_back(WorkBlock{i, begin, n, cost});
+  }
+  sort_largest_first(sched.blocks);
+  return sched;
+}
+
+}  // namespace valign::runtime

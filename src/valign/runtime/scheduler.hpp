@@ -1,0 +1,83 @@
+// Batch scheduler: turns (queries x database) cross products and all-pairs
+// triangles into load-balanced work units at pair granularity.
+//
+// The original drivers parallelized only the outer query loop, so a 4-query
+// search on 8 threads left half the machine idle and a single long query
+// straggled an entire run. Here the pair space is cut into blocks of roughly
+// `grain_cells` DP cells each; blocks are handed to OpenMP `schedule(dynamic)`
+// largest-first (LPT), so threads stay busy regardless of how queries and
+// database lengths are distributed.
+//
+// Pair mode additionally buckets the database by length (a sorted permutation
+// in `Schedule::order`): each block then covers similar-length subjects, which
+// stabilizes the dispatcher's element-width choice within a block and keeps
+// per-block costs predictable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "valign/io/sequence.hpp"
+
+namespace valign::runtime {
+
+/// Work-partitioning policy for the batch drivers.
+enum class PairSched : std::uint8_t {
+  Query,  ///< One unit per query (the legacy outer-loop parallelism).
+  Pair,   ///< Pair-granularity blocks with length bucketing.
+  Auto,   ///< Pair when queries alone cannot keep the threads busy.
+};
+
+[[nodiscard]] const char* to_string(PairSched s);
+
+/// Parses "query" | "pair" | "auto" (throws valign::Error otherwise).
+[[nodiscard]] PairSched parse_pair_sched(const std::string& s);
+
+/// One contiguous run of subjects for one query. `begin`/`end` index the
+/// schedule's subject ordering (see Schedule::db_index), not the database
+/// directly.
+struct WorkBlock {
+  std::size_t query = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;        ///< Half-open.
+  std::uint64_t cost = 0;     ///< Estimated DP cells (sum of qlen * dlen).
+};
+
+struct ScheduleConfig {
+  PairSched sched = PairSched::Auto;
+  int threads = 1;
+  /// Target DP cells per block in Pair mode; 0 derives a grain that gives
+  /// each thread several blocks while keeping per-block overhead (query
+  /// profile rebuild, hit merge) negligible.
+  std::uint64_t grain_cells = 0;
+};
+
+/// A fully materialized work partition.
+struct Schedule {
+  PairSched mode = PairSched::Query;  ///< Resolved (never Auto).
+  std::vector<WorkBlock> blocks;      ///< Largest-cost-first.
+  /// Subject permutation for Pair mode (length-bucketed); empty = identity.
+  std::vector<std::size_t> order;
+
+  /// Maps a block-space subject position to the database index.
+  [[nodiscard]] std::size_t db_index(std::size_t k) const noexcept {
+    return order.empty() ? k : order[k];
+  }
+  /// Total estimated cost across blocks.
+  [[nodiscard]] std::uint64_t total_cost() const noexcept;
+};
+
+/// Cross-product schedule (database-search shape): every query against every
+/// database sequence, each pair covered exactly once.
+[[nodiscard]] Schedule make_search_schedule(const Dataset& queries,
+                                            const Dataset& db,
+                                            const ScheduleConfig& cfg);
+
+/// All-pairs schedule (homology shape): every i < j pair of `ds` exactly
+/// once. Blocks use the identity order; `query` is the row index i and
+/// begin/end range over j.
+[[nodiscard]] Schedule make_all_pairs_schedule(const Dataset& ds,
+                                               const ScheduleConfig& cfg);
+
+}  // namespace valign::runtime

@@ -41,6 +41,11 @@
 #include "valign/instrument/counters.hpp"
 #include "valign/instrument/counting_vec.hpp"
 
+// Batched alignment runtime
+#include "valign/runtime/engine_cache.hpp"
+#include "valign/runtime/pipeline.hpp"
+#include "valign/runtime/scheduler.hpp"
+
 // Workloads and application drivers
 #include "valign/apps/db_search.hpp"
 #include "valign/apps/homology.hpp"

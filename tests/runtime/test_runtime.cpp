@@ -1,0 +1,437 @@
+// The batched alignment runtime: engine cache reuse (including the overflow
+// ladder), scheduler pair-granularity correctness, the streaming pipeline,
+// and deterministic top-k ordering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../support/random_seqs.hpp"
+#include "valign/apps/db_search.hpp"
+#include "valign/apps/homology.hpp"
+#include "valign/core/scalar.hpp"
+#include "valign/io/fasta.hpp"
+#include "valign/runtime/engine_cache.hpp"
+#include "valign/runtime/pipeline.hpp"
+#include "valign/runtime/scheduler.hpp"
+#include "valign/workload/generator.hpp"
+
+namespace valign {
+namespace {
+
+using testing_support::random_codes;
+
+// --- Engine cache ------------------------------------------------------------
+
+TEST(EngineCache, OverflowLadderReusesEngines) {
+  // A long self-alignment scores far beyond int8/int16, so the first align()
+  // climbs the ladder (one build per rung). A second identical call must
+  // perform ZERO additional constructions: every rung's engine is cached.
+  std::mt19937_64 rng(41);
+  const auto q = random_codes(8000, rng);
+  Options opts;
+  opts.klass = AlignClass::Local;
+  opts.approach = Approach::Striped;
+  Aligner aligner(opts);
+  aligner.set_query(q);
+
+  const AlignResult first = aligner.align(q);
+  EXPECT_FALSE(first.overflowed);
+  EXPECT_EQ(first.bits, 32);
+  const std::uint64_t builds_after_first = aligner.cache_stats().builds;
+  EXPECT_GE(builds_after_first, 2u);  // at least one overflow rung climbed
+
+  const AlignResult second = aligner.align(q);
+  EXPECT_EQ(second.score, first.score);
+  EXPECT_EQ(aligner.cache_stats().builds, builds_after_first)
+      << "second call rebuilt an engine the cache should have kept";
+
+  // The ladder's answer matches a direct 32-bit run.
+  Options wide = opts;
+  wide.width = ElemWidth::W32;
+  Aligner direct(wide);
+  direct.set_query(q);
+  EXPECT_EQ(direct.align(q).score, first.score);
+}
+
+TEST(EngineCache, AlternatingWidthsBuildEachEngineOnce) {
+  // Global alignment widths are proved safe up front, so the dispatcher may
+  // narrow again for short subjects. Alternating subject lengths must reuse
+  // the two engines, not reconstruct them per call.
+  std::mt19937_64 rng(42);
+  const auto q = random_codes(60, rng);
+  const auto d_short = random_codes(40, rng);   // fits 16-bit
+  const auto d_long = random_codes(8400, rng);  // worst-case excursion needs 32
+  Options opts;
+  opts.klass = AlignClass::Global;
+  opts.approach = Approach::Striped;
+  Aligner aligner(opts);
+  aligner.set_query(q);
+
+  const AlignResult a = aligner.align(d_short);
+  const AlignResult b = aligner.align(d_long);
+  ASSERT_NE(a.bits, b.bits) << "test premise: the two subjects resolve to "
+                               "different element widths";
+  const std::uint64_t builds = aligner.cache_stats().builds;
+
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(aligner.align(d_short).score, a.score);
+    EXPECT_EQ(aligner.align(d_long).score, b.score);
+  }
+  EXPECT_EQ(aligner.cache_stats().builds, builds)
+      << "width alternation must be construction-free";
+  EXPECT_GE(aligner.cache_stats().hits, 20u);
+}
+
+TEST(EngineCache, ApproachFlipsReuseEnginesAcrossQueries) {
+  // Queries on either side of the Table IV crossover flip Scan <-> Striped.
+  // Revisiting a query length must hit the cache, and an unchanged query
+  // must not trigger a profile rebuild.
+  std::mt19937_64 rng(43);
+  Options opts;
+  opts.klass = AlignClass::Local;
+  opts.width = ElemWidth::W32;
+  Aligner aligner(opts);
+  const auto q_short = random_codes(40, rng);
+  const auto q_long = random_codes(400, rng);
+  const auto d = random_codes(200, rng);
+
+  aligner.set_query(q_short);
+  const AlignResult a = aligner.align(d);
+  aligner.set_query(q_long);
+  const AlignResult b = aligner.align(d);
+  ASSERT_NE(a.approach, b.approach)
+      << "test premise: crossover straddled so the approaches differ";
+  const std::uint64_t builds = aligner.cache_stats().builds;
+  EXPECT_EQ(builds, 2u);
+
+  for (int i = 0; i < 5; ++i) {
+    aligner.set_query(q_short);
+    EXPECT_EQ(aligner.align(d).score, a.score);
+    aligner.set_query(q_long);
+    EXPECT_EQ(aligner.align(d).score, b.score);
+  }
+  EXPECT_EQ(aligner.cache_stats().builds, builds);
+
+  // Re-aligning without changing the query must not even re-set the profile.
+  const std::uint64_t profile_sets = aligner.cache_stats().profile_sets;
+  (void)aligner.align(d);
+  EXPECT_EQ(aligner.cache_stats().profile_sets, profile_sets);
+}
+
+TEST(EngineCache, DisabledCacheKeepsSingleEngine) {
+  std::mt19937_64 rng(44);
+  const auto q = random_codes(60, rng);
+  const auto d_short = random_codes(40, rng);
+  const auto d_long = random_codes(8400, rng);
+  Options opts;
+  opts.klass = AlignClass::Global;
+  opts.approach = Approach::Striped;
+  opts.cache_engines = false;
+  Aligner aligner(opts);
+  aligner.set_query(q);
+  (void)aligner.align(d_short);
+  (void)aligner.align(d_long);
+  (void)aligner.align(d_short);
+  (void)aligner.align(d_long);
+  // Capacity 1: every width flip evicts and rebuilds.
+  EXPECT_EQ(aligner.cache_stats().builds, 4u);
+  EXPECT_GE(aligner.cache_stats().evictions, 3u);
+}
+
+TEST(EngineCache, LruEvictionBoundsLiveEngines) {
+  runtime::EngineCache cache(2);
+  const std::vector<std::uint8_t> q{0, 1, 2, 3, 4};
+  cache.set_query(q);
+  detail::EngineSpec spec;
+  spec.matrix = &ScoreMatrix::blosum62();
+  spec.isa = Isa::Emul;
+  spec.approach = Approach::Striped;
+  spec.bits = 32;
+
+  spec.emul_lanes = 4;
+  (void)cache.acquire(spec);
+  spec.emul_lanes = 8;
+  (void)cache.acquire(spec);
+  EXPECT_EQ(cache.size(), 2u);
+  spec.emul_lanes = 16;
+  (void)cache.acquire(spec);  // evicts lanes=4
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  spec.emul_lanes = 8;
+  (void)cache.acquire(spec);  // still resident
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+// --- Scheduler ---------------------------------------------------------------
+
+TEST(Scheduler, SearchScheduleCoversCrossProductExactlyOnce) {
+  const Dataset queries = workload::bacteria_2k(31, 5);
+  const Dataset db = workload::uniprot_like(37, 32);
+  for (const auto mode : {runtime::PairSched::Query, runtime::PairSched::Pair}) {
+    runtime::ScheduleConfig cfg;
+    cfg.sched = mode;
+    cfg.threads = 8;
+    cfg.grain_cells = 50'000;  // force many blocks
+    const runtime::Schedule sched = runtime::make_search_schedule(queries, db, cfg);
+    std::vector<int> seen(queries.size() * db.size(), 0);
+    std::uint64_t cost = 0;
+    for (const runtime::WorkBlock& b : sched.blocks) {
+      ASSERT_LT(b.query, queries.size());
+      ASSERT_LT(b.begin, b.end);
+      for (std::size_t k = b.begin; k < b.end; ++k) {
+        const std::size_t d = sched.db_index(k);
+        ASSERT_LT(d, db.size());
+        ++seen[b.query * db.size() + d];
+      }
+      cost += b.cost;
+    }
+    for (const int count : seen) EXPECT_EQ(count, 1) << to_string(mode);
+    // Cost model: sum of qlen * dlen over all pairs.
+    std::uint64_t want_cost = 0;
+    for (const Sequence& q : queries) want_cost += q.size() * db.total_residues();
+    EXPECT_EQ(cost, want_cost) << to_string(mode);
+    if (mode == runtime::PairSched::Pair) {
+      EXPECT_GT(sched.blocks.size(), queries.size())
+          << "grain should split each query's sweep";
+      // LPT: largest block first.
+      for (std::size_t i = 1; i < sched.blocks.size(); ++i) {
+        EXPECT_GE(sched.blocks[i - 1].cost, sched.blocks[i].cost);
+      }
+    }
+  }
+}
+
+TEST(Scheduler, AllPairsScheduleCoversTriangleExactlyOnce) {
+  const Dataset ds = workload::bacteria_2k(33, 23);
+  for (const auto mode : {runtime::PairSched::Query, runtime::PairSched::Pair}) {
+    runtime::ScheduleConfig cfg;
+    cfg.sched = mode;
+    cfg.threads = 8;
+    cfg.grain_cells = 100'000;
+    const runtime::Schedule sched = runtime::make_all_pairs_schedule(ds, cfg);
+    std::vector<int> seen(ds.size() * ds.size(), 0);
+    for (const runtime::WorkBlock& b : sched.blocks) {
+      for (std::size_t j = b.begin; j < b.end; ++j) {
+        ASSERT_LT(b.query, j) << "all-pairs blocks must stay strictly above "
+                                 "the diagonal";
+        ++seen[b.query * ds.size() + j];
+      }
+    }
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      for (std::size_t j = 0; j < ds.size(); ++j) {
+        EXPECT_EQ(seen[i * ds.size() + j], i < j ? 1 : 0);
+      }
+    }
+  }
+}
+
+TEST(Scheduler, AutoPicksPairWhenQueriesCannotFillThreads) {
+  const Dataset queries = workload::bacteria_2k(34, 3);
+  const Dataset db = workload::uniprot_like(64, 35);
+  runtime::ScheduleConfig cfg;
+  cfg.threads = 8;
+  EXPECT_EQ(runtime::make_search_schedule(queries, db, cfg).mode,
+            runtime::PairSched::Pair);
+  cfg.threads = 1;
+  // 3 queries comfortably feed one thread.
+  EXPECT_EQ(runtime::make_search_schedule(queries, db, cfg).mode,
+            runtime::PairSched::Query);
+}
+
+TEST(Scheduler, PairModeBucketsByLength) {
+  const Dataset db = workload::uniprot_like(50, 36);
+  const Dataset queries = workload::bacteria_2k(37, 2);
+  runtime::ScheduleConfig cfg;
+  cfg.sched = runtime::PairSched::Pair;
+  const runtime::Schedule sched = runtime::make_search_schedule(queries, db, cfg);
+  ASSERT_EQ(sched.order.size(), db.size());
+  for (std::size_t k = 1; k < sched.order.size(); ++k) {
+    EXPECT_GE(db[sched.order[k - 1]].size(), db[sched.order[k]].size());
+  }
+}
+
+TEST(Scheduler, ParseRoundTrip) {
+  EXPECT_EQ(runtime::parse_pair_sched("query"), runtime::PairSched::Query);
+  EXPECT_EQ(runtime::parse_pair_sched("pair"), runtime::PairSched::Pair);
+  EXPECT_EQ(runtime::parse_pair_sched("auto"), runtime::PairSched::Auto);
+  EXPECT_THROW((void)runtime::parse_pair_sched("zigzag"), Error);
+}
+
+// --- Pair-scheduled search vs serial reference -------------------------------
+
+TEST(RuntimeSearch, PairSchedMatchesQuerySchedAndScalarTruth) {
+  const Dataset queries = workload::bacteria_2k(51, 5);
+  const Dataset db = workload::uniprot_like(40, 52);
+
+  apps::SearchConfig query_cfg;
+  query_cfg.sched = runtime::PairSched::Query;
+  query_cfg.top_k = 7;
+  apps::SearchConfig pair_cfg = query_cfg;
+  pair_cfg.sched = runtime::PairSched::Pair;
+  pair_cfg.grain_cells = 30'000;  // many small blocks
+  pair_cfg.threads = 4;
+
+  const apps::SearchReport a = apps::search(queries, db, query_cfg);
+  const apps::SearchReport b = apps::search(queries, db, pair_cfg);
+  ASSERT_EQ(a.top_hits.size(), b.top_hits.size());
+  EXPECT_EQ(a.alignments, b.alignments);
+  EXPECT_EQ(a.cells_real, b.cells_real);
+  for (std::size_t q = 0; q < a.top_hits.size(); ++q) {
+    ASSERT_EQ(a.top_hits[q].size(), b.top_hits[q].size()) << "query " << q;
+    for (std::size_t k = 0; k < a.top_hits[q].size(); ++k) {
+      EXPECT_EQ(a.top_hits[q][k].db_index, b.top_hits[q][k].db_index)
+          << "query " << q << " rank " << k;
+      EXPECT_EQ(a.top_hits[q][k].score, b.top_hits[q][k].score);
+    }
+  }
+
+  // And the scores are the scalar truth.
+  ScalarAligner<AlignClass::Local> ref(ScoreMatrix::blosum62(),
+                                       ScoreMatrix::blosum62().default_gaps());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    ref.set_query(queries[q].codes());
+    for (const apps::SearchHit& h : b.top_hits[q]) {
+      EXPECT_EQ(ref.align(db[h.db_index].codes()).score, h.score);
+    }
+  }
+}
+
+TEST(RuntimeSearch, KeepTopIsDeterministicUnderTies) {
+  std::vector<apps::SearchHit> hits;
+  for (const std::size_t idx : {7u, 3u, 9u, 1u, 5u}) {
+    hits.push_back(apps::SearchHit{idx, 100, -1, -1});
+  }
+  hits.push_back(apps::SearchHit{2, 200, -1, -1});
+  apps::keep_top_hits(hits, 4);
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(hits[0].db_index, 2u);  // highest score first
+  // Ties resolved by ascending database index.
+  EXPECT_EQ(hits[1].db_index, 1u);
+  EXPECT_EQ(hits[2].db_index, 3u);
+  EXPECT_EQ(hits[3].db_index, 5u);
+}
+
+TEST(RuntimeSearch, HomologyPairSchedMatchesQuerySched) {
+  const Dataset ds = workload::bacteria_2k(53, 14);
+  apps::HomologyConfig query_cfg;
+  query_cfg.score_threshold = 70;
+  query_cfg.sched = runtime::PairSched::Query;
+  apps::HomologyConfig pair_cfg = query_cfg;
+  pair_cfg.sched = runtime::PairSched::Pair;
+  pair_cfg.grain_cells = 40'000;
+  pair_cfg.threads = 4;
+
+  const apps::HomologyReport a = apps::detect(ds, query_cfg);
+  const apps::HomologyReport b = apps::detect(ds, pair_cfg);
+  EXPECT_EQ(a.alignments, b.alignments);
+  ASSERT_EQ(a.edges.size(), b.edges.size());
+  for (std::size_t e = 0; e < a.edges.size(); ++e) {
+    EXPECT_EQ(a.edges[e].a, b.edges[e].a);
+    EXPECT_EQ(a.edges[e].b, b.edges[e].b);
+    EXPECT_EQ(a.edges[e].score, b.edges[e].score);
+  }
+  EXPECT_EQ(a.cluster_count, b.cluster_count);
+}
+
+// --- Streaming pipeline ------------------------------------------------------
+
+TEST(Pipeline, StreamedSearchMatchesBatchSearch) {
+  const Dataset queries = workload::bacteria_2k(61, 4);
+  const Dataset db = workload::uniprot_like(55, 62);
+  std::ostringstream fasta;
+  write_fasta(fasta, db);
+
+  apps::SearchConfig cfg;
+  cfg.top_k = 6;
+  cfg.threads = 3;
+  const apps::SearchReport batch = apps::search(queries, db, cfg);
+
+  std::istringstream in(fasta.str());
+  Dataset collected(db.alphabet());
+  const apps::SearchReport streamed =
+      apps::search_stream(queries, in, db.alphabet(), cfg, &collected);
+
+  EXPECT_EQ(collected.size(), db.size());
+  EXPECT_EQ(streamed.alignments, batch.alignments);
+  EXPECT_EQ(streamed.cells_real, batch.cells_real);
+  ASSERT_EQ(streamed.top_hits.size(), batch.top_hits.size());
+  for (std::size_t q = 0; q < batch.top_hits.size(); ++q) {
+    ASSERT_EQ(streamed.top_hits[q].size(), batch.top_hits[q].size());
+    for (std::size_t k = 0; k < batch.top_hits[q].size(); ++k) {
+      EXPECT_EQ(streamed.top_hits[q][k].db_index, batch.top_hits[q][k].db_index)
+          << "query " << q << " rank " << k;
+      EXPECT_EQ(streamed.top_hits[q][k].score, batch.top_hits[q][k].score);
+    }
+  }
+}
+
+TEST(Pipeline, SmallBatchesAndBackpressure) {
+  const Dataset queries = workload::bacteria_2k(63, 2);
+  const Dataset db = workload::uniprot_like(33, 64);
+
+  runtime::PipelineConfig pcfg;
+  pcfg.search.top_k = 3;
+  pcfg.search.threads = 2;
+  pcfg.batch_size = 1;      // one sequence per shard
+  pcfg.queue_capacity = 2;  // force the producer to block
+  runtime::SearchPipeline pipeline(queries, pcfg);
+  for (const Sequence& s : db) pipeline.push(s);
+  EXPECT_EQ(pipeline.pushed(), db.size());
+  const apps::SearchReport rep = pipeline.finish();
+
+  apps::SearchConfig cfg;
+  cfg.top_k = 3;
+  const apps::SearchReport want = apps::search(queries, db, cfg);
+  ASSERT_EQ(rep.top_hits.size(), want.top_hits.size());
+  for (std::size_t q = 0; q < want.top_hits.size(); ++q) {
+    ASSERT_EQ(rep.top_hits[q].size(), want.top_hits[q].size());
+    for (std::size_t k = 0; k < want.top_hits[q].size(); ++k) {
+      EXPECT_EQ(rep.top_hits[q][k].db_index, want.top_hits[q][k].db_index);
+      EXPECT_EQ(rep.top_hits[q][k].score, want.top_hits[q][k].score);
+    }
+  }
+}
+
+TEST(Pipeline, DestructorJoinsWithoutFinish) {
+  const Dataset queries = workload::bacteria_2k(65, 2);
+  const Dataset db = workload::uniprot_like(8, 66);
+  {
+    runtime::SearchPipeline pipeline(queries, runtime::PipelineConfig{});
+    for (const Sequence& s : db) pipeline.push(s);
+    // No finish(): the destructor must still close and join cleanly.
+  }
+  SUCCEED();
+}
+
+// --- Streaming FASTA reader --------------------------------------------------
+
+TEST(FastaReader, YieldsRecordsIncrementally) {
+  std::istringstream in(">a desc\nMKT\nAYI\n;comment\n>b\nWCWH\n");
+  FastaReader reader(in, Alphabet::protein());
+  const auto a = reader.next();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->name(), "a");
+  EXPECT_EQ(a->to_string(), "MKTAYI");
+  const auto b = reader.next();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->name(), "b");
+  EXPECT_EQ(b->to_string(), "WCWH");
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.count(), 2u);
+}
+
+TEST(FastaReader, DiagnosesMalformedInput) {
+  {
+    std::istringstream in("MKT\n");
+    FastaReader reader(in, Alphabet::protein());
+    EXPECT_THROW((void)reader.next(), Error);
+  }
+  {
+    std::istringstream in(">a\n>b\nMKT\n");
+    FastaReader reader(in, Alphabet::protein());
+    EXPECT_THROW((void)reader.next(), Error);  // record 'a' has no residues
+  }
+}
+
+}  // namespace
+}  // namespace valign

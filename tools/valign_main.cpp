@@ -7,6 +7,10 @@
 #include "valign/cli/cli.hpp"
 
 int main(int argc, char** argv) {
+  // Streamed searches (valign search --stream) interleave parsing with
+  // result output; untie the C/C++ streams so neither side serializes the
+  // other.
+  std::ios::sync_with_stdio(false);
   std::vector<std::string_view> args;
   args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
