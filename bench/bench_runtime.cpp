@@ -22,6 +22,8 @@
 #include <thread>
 
 #include "common.hpp"
+#include "valign/obs/report.hpp"
+#include "valign/runtime/engine_cache.hpp"
 
 using namespace valign;
 using namespace valign::bench;
@@ -59,7 +61,7 @@ std::uint64_t makespan(const runtime::Schedule& sched, int threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("runtime", "pair scheduling + engine cache vs the query-parallel path");
 
   const int threads = 8;
@@ -107,7 +109,8 @@ int main() {
   (void)apps::search(queries, db, paired);
 
   record("query-parallel, cache off (seed)", apps::search(queries, db, legacy));
-  record("pair-sched, cache on", apps::search(queries, db, paired));
+  const apps::SearchReport pair_rep = apps::search(queries, db, paired);
+  record("pair-sched, cache on", pair_rep);
 
   {
     // Streaming: feed the same database through the FASTA pipeline.
@@ -141,5 +144,37 @@ int main() {
   ok &= model_speedup >= 1.5;
   if (host_can_parallelize) ok &= measured >= 1.5;
   std::printf("verdict: %s\n", ok ? "PASS" : "FAIL");
+
+  // Emit the same run-report artifact the CLI writes (--metrics-out), built
+  // from the pair-sched pass. CI uploads this file.
+  const char* report_path = argc > 1 ? argv[1] : "bench_runtime_report.json";
+  obs::RunReport rr;
+  rr.command = "bench_runtime";
+  rr.align_class = to_string(paired.align.klass);
+  rr.approach = to_string(paired.align.approach);
+  rr.isa = to_string(simd::best_isa());
+  rr.matrix = paired.align.matrix != nullptr ? paired.align.matrix->name() : "blosum62";
+  rr.gap_open = ScoreMatrix::from_name(rr.matrix).default_gaps().open;
+  rr.gap_extend = ScoreMatrix::from_name(rr.matrix).default_gaps().extend;
+  rr.threads = threads;
+  rr.sched = runtime::to_string(paired.sched);
+  rr.cache_engines = paired.align.cache_engines;
+  rr.queries = queries.size();
+  rr.subjects = db.size();
+  rr.alignments = pair_rep.alignments;
+  rr.cells_real = pair_rep.cells_real;
+  rr.seconds = pair_rep.seconds;
+  rr.gcups_real = pair_rep.gcups();
+  rr.gcups_padded = pair_rep.gcups_padded();
+  rr.width_counts = pair_rep.width_counts;
+  rr.totals = pair_rep.totals;
+  rr.cache_lookups = pair_rep.cache.lookups;
+  rr.cache_hits = pair_rep.cache.hits;
+  rr.cache_builds = pair_rep.cache.builds;
+  rr.cache_evictions = pair_rep.cache.evictions;
+  rr.cache_profile_sets = pair_rep.cache.profile_sets;
+  rr.capture_environment();
+  rr.write_file(report_path);
+  std::printf("report: %s\n", report_path);
   return ok ? 0 : 1;
 }

@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "valign/io/fasta.hpp"
+#include "valign/obs/report.hpp"
+#include "valign/obs/trace.hpp"
 #include "valign/runtime/pipeline.hpp"
 
 #if defined(VALIGN_HAVE_OPENMP)
@@ -39,12 +41,21 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
 
   const auto t0 = std::chrono::steady_clock::now();
 
-  const runtime::Schedule sched = runtime::make_search_schedule(
-      queries, db, runtime::ScheduleConfig{cfg.sched, cfg.threads, cfg.grain_cells});
+  runtime::Schedule sched;
+  {
+    const obs::StageSpan span(obs::Stage::Schedule);
+    sched = runtime::make_search_schedule(
+        queries, db,
+        runtime::ScheduleConfig{cfg.sched, cfg.threads, cfg.grain_cells});
+  }
+  obs::Histogram& block_us = obs::Registry::global().histogram(
+      "runtime.sched.block_us", obs::block_latency_bounds_us());
 
   // Hits per query, merged across threads after the parallel region so the
   // final keep_top_hits sees every candidate (deterministic under ties).
   std::vector<std::vector<SearchHit>> merged(queries.size());
+
+  obs::StageSpan align_span(obs::Stage::Align);
 
 #if defined(VALIGN_HAVE_OPENMP)
   const int nthreads = cfg.threads > 0 ? cfg.threads : 1;
@@ -55,6 +66,7 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
     AlignStats local_stats{};
     std::uint64_t local_aligns = 0;
     std::uint64_t local_cells = 0;
+    std::array<std::uint64_t, 3> local_width{};
     std::vector<std::vector<SearchHit>> local_hits(queries.size());
     std::size_t cur_query = queries.size();  // sentinel: no query loaded
 
@@ -63,6 +75,7 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
 #endif
     for (std::size_t bi = 0; bi < sched.blocks.size(); ++bi) {
       const runtime::WorkBlock& b = sched.blocks[bi];
+      const obs::TraceSpan block_span(block_us);
       if (b.query != cur_query) {
         aligner.set_query(queries[b.query]);
         cur_query = b.query;
@@ -74,6 +87,7 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
         local_stats += r.stats;
         ++local_aligns;
         local_cells += queries[b.query].size() * db[d].size();
+        ++local_width[static_cast<std::size_t>(obs::width_index(r.bits))];
         hits.push_back(SearchHit{d, r.score, r.query_end, r.db_end});
       }
       // Bound per-thread memory: pruning to the thread-local top-k keeps a
@@ -91,15 +105,25 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
       report.totals += local_stats;
       report.alignments += local_aligns;
       report.cells_real += local_cells;
+      report.cache += aligner.cache_stats();
+      for (std::size_t w = 0; w < local_width.size(); ++w) {
+        report.width_counts[w] += local_width[w];
+      }
       for (std::size_t q = 0; q < queries.size(); ++q) {
         merged[q].insert(merged[q].end(), local_hits[q].begin(), local_hits[q].end());
       }
     }
   }
 
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    keep_top_hits(merged[q], cfg.top_k);
-    report.top_hits[q] = std::move(merged[q]);
+  align_span.stop();
+  runtime::publish_cache_stats(report.cache);
+
+  {
+    const obs::StageSpan reduce_span(obs::Stage::Reduce);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      keep_top_hits(merged[q], cfg.top_k);
+      report.top_hits[q] = std::move(merged[q]);
+    }
   }
 
   report.seconds =
@@ -111,10 +135,15 @@ SearchReport search_stream(const Dataset& queries, std::istream& db,
                            const Alphabet& alphabet, const SearchConfig& cfg,
                            Dataset* collected) {
   runtime::SearchPipeline pipeline(queries, runtime::PipelineConfig{cfg});
-  FastaReader reader(db, alphabet);
-  while (auto s = reader.next()) {
-    if (collected != nullptr) collected->add(*s);
-    pipeline.push(*std::move(s));
+  {
+    // Producer side: parsing overlaps the workers' Align spans, so the Parse
+    // budget includes back-pressure waits on the bounded queue.
+    const obs::StageSpan parse_span(obs::Stage::Parse);
+    FastaReader reader(db, alphabet);
+    while (auto s = reader.next()) {
+      if (collected != nullptr) collected->add(*s);
+      pipeline.push(*std::move(s));
+    }
   }
   return pipeline.finish();
 }

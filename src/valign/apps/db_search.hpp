@@ -8,11 +8,13 @@
 // parsing overlaps alignment.
 #pragma once
 
+#include <array>
 #include <iosfwd>
 #include <vector>
 
 #include "valign/core/dispatch.hpp"
 #include "valign/io/sequence.hpp"
+#include "valign/runtime/engine_cache.hpp"
 #include "valign/runtime/scheduler.hpp"
 
 namespace valign::apps {
@@ -54,6 +56,10 @@ struct SearchReport {
   /// Real (unpadded) cell updates: sum of query_len * db_len over alignments.
   std::uint64_t cells_real = 0;
   std::uint64_t alignments = 0;
+  /// Engine-cache activity summed over every worker's Aligner.
+  runtime::EngineCacheStats cache{};
+  /// Alignments answered at 8/16/32-bit elements (index = log2(bits) - 3).
+  std::array<std::uint64_t, 3> width_counts{};
   double seconds = 0.0;
   /// Giga cell updates per second over real (unpadded) cells — the figure of
   /// merit comparable across engines and with the paper / other aligners.

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <numeric>
 
+#include "valign/obs/report.hpp"
+#include "valign/obs/trace.hpp"
+
 #if defined(VALIGN_HAVE_OPENMP)
 #include <omp.h>
 #endif
@@ -43,8 +46,16 @@ HomologyReport detect(const Dataset& ds, const HomologyConfig& cfg) {
 
   const auto t0 = std::chrono::steady_clock::now();
 
-  const runtime::Schedule sched = runtime::make_all_pairs_schedule(
-      ds, runtime::ScheduleConfig{cfg.sched, cfg.threads, cfg.grain_cells});
+  runtime::Schedule sched;
+  {
+    const obs::StageSpan span(obs::Stage::Schedule);
+    sched = runtime::make_all_pairs_schedule(
+        ds, runtime::ScheduleConfig{cfg.sched, cfg.threads, cfg.grain_cells});
+  }
+  obs::Histogram& block_us = obs::Registry::global().histogram(
+      "runtime.sched.block_us", obs::block_latency_bounds_us());
+
+  obs::StageSpan align_span(obs::Stage::Align);
 
 #if defined(VALIGN_HAVE_OPENMP)
   const int nthreads = cfg.threads > 0 ? cfg.threads : 1;
@@ -55,6 +66,7 @@ HomologyReport detect(const Dataset& ds, const HomologyConfig& cfg) {
     AlignStats local_stats{};
     std::uint64_t local_aligns = 0;
     std::uint64_t local_cells = 0;
+    std::array<std::uint64_t, 3> local_width{};
     std::vector<HomologyEdge> local_edges;
     std::size_t cur_query = n;  // sentinel: no query loaded
 
@@ -63,6 +75,7 @@ HomologyReport detect(const Dataset& ds, const HomologyConfig& cfg) {
 #endif
     for (std::size_t bi = 0; bi < sched.blocks.size(); ++bi) {
       const runtime::WorkBlock& b = sched.blocks[bi];
+      const obs::TraceSpan block_span(block_us);
       if (b.query != cur_query) {
         aligner.set_query(ds[b.query]);
         cur_query = b.query;
@@ -72,6 +85,7 @@ HomologyReport detect(const Dataset& ds, const HomologyConfig& cfg) {
         local_stats += r.stats;
         ++local_aligns;
         local_cells += ds[b.query].size() * ds[j].size();
+        ++local_width[static_cast<std::size_t>(obs::width_index(r.bits))];
         if (cfg.keep_edges && r.score >= cfg.score_threshold) {
           local_edges.push_back(HomologyEdge{b.query, j, r.score});
         }
@@ -85,9 +99,17 @@ HomologyReport detect(const Dataset& ds, const HomologyConfig& cfg) {
       report.totals += local_stats;
       report.alignments += local_aligns;
       report.cells_real += local_cells;
+      report.cache += aligner.cache_stats();
+      for (std::size_t w = 0; w < local_width.size(); ++w) {
+        report.width_counts[w] += local_width[w];
+      }
       report.edges.insert(report.edges.end(), local_edges.begin(), local_edges.end());
     }
   }
+
+  align_span.stop();
+  runtime::publish_cache_stats(report.cache);
+  const obs::StageSpan reduce_span(obs::Stage::Reduce);
 
   // Blocks land in nondeterministic order across threads; normalize.
   std::sort(report.edges.begin(), report.edges.end(),

@@ -7,10 +7,12 @@
 // Aligners reuse engines through runtime::EngineCache.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "valign/core/dispatch.hpp"
 #include "valign/io/sequence.hpp"
+#include "valign/runtime/engine_cache.hpp"
 #include "valign/runtime/scheduler.hpp"
 
 namespace valign::apps {
@@ -45,6 +47,10 @@ struct HomologyReport {
   /// Real (unpadded) cell updates: sum of len_i * len_j over aligned pairs.
   std::uint64_t cells_real = 0;
   std::uint64_t alignments = 0;
+  /// Engine-cache activity summed over every worker's Aligner.
+  runtime::EngineCacheStats cache{};
+  /// Alignments answered at 8/16/32-bit elements (index = log2(bits) - 3).
+  std::array<std::uint64_t, 3> width_counts{};
   double seconds = 0.0;
 };
 

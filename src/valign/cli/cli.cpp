@@ -6,12 +6,15 @@
 #include <fstream>
 
 #include "valign/apps/db_search.hpp"
+#include "valign/apps/homology.hpp"
 #include "valign/cli/args.hpp"
 #include "valign/core/calibrate.hpp"
 #include "valign/core/dispatch.hpp"
 #include "valign/core/scalar.hpp"
 #include "valign/io/fasta.hpp"
 #include "valign/matrices/parser.hpp"
+#include "valign/obs/report.hpp"
+#include "valign/obs/trace.hpp"
 #include "valign/runtime/scheduler.hpp"
 #include "valign/stats/karlin.hpp"
 #include "valign/version.hpp"
@@ -27,6 +30,7 @@ usage:
   valign align  <query.fa> <db.fa>            pairwise-align first records
   valign align  --q-seq SEQ --d-seq SEQ       pairwise-align literal sequences
   valign search <queries.fa> <db.fa>          database search with top hits
+  valign detect <seqs.fa>                     all-to-all homology clustering
   valign generate --out FILE                  write a synthetic FASTA dataset
   valign matrices [NAME]                      list or print scoring matrices
   valign stats                                Karlin-Altschul parameters
@@ -40,10 +44,13 @@ common options:
   --approach scalar|blocked|diagonal|striped|scan|auto   (default auto)
   --isa emul|sse41|avx2|avx512|auto                      (default auto)
   --dna                     DNA alphabet and +2/-3 matrix
+  --metrics-out FILE        write a run report (JSON; CSV when FILE ends in .csv)
+  --trace                   fine-grained spans; prints the per-stage time budget
 align options:
   --traceback               print the alignment itself
-search options:
-  --top N                   hits per query (default 5)
+search/detect options:
+  --top N                   hits per query (default 5; search only)
+  --threshold N             homology edge score threshold (default 60; detect only)
   --threads N               worker threads (default 1)
   --pair-sched query|pair|auto   work partitioning granularity (default auto)
   --cache-engines on|off    reuse engines across width/approach switches (default on)
@@ -125,6 +132,49 @@ const Alphabet& alphabet_for(const ArgParser& args) {
   return args.has("--dna") ? Alphabet::dna() : Alphabet::protein();
 }
 
+/// RunReport skeleton shared by the search/detect drivers: identity and
+/// configuration; the caller fills workload/perf and calls emit_run_report.
+obs::RunReport make_run_report(const char* command, const Scoring& scoring,
+                               const Options& opts, int threads,
+                               runtime::PairSched sched, bool streamed) {
+  obs::RunReport rr;
+  rr.command = command;
+  rr.align_class = to_string(opts.klass);
+  rr.approach = to_string(opts.approach);
+  rr.isa = to_string(opts.isa == Isa::Auto ? simd::best_isa() : opts.isa);
+  rr.matrix = scoring.mat().name();
+  rr.gap_open = scoring.gap.open;
+  rr.gap_extend = scoring.gap.extend;
+  rr.threads = threads;
+  rr.sched = runtime::to_string(sched);
+  rr.streamed = streamed;
+  rr.cache_engines = opts.cache_engines;
+  return rr;
+}
+
+void set_cache_stats(obs::RunReport& rr, const runtime::EngineCacheStats& c) {
+  rr.cache_lookups = c.lookups;
+  rr.cache_hits = c.hits;
+  rr.cache_builds = c.builds;
+  rr.cache_evictions = c.evictions;
+  rr.cache_profile_sets = c.profile_sets;
+}
+
+/// Captures the global stage table / registry into `rr`, writes the report
+/// when --metrics-out was given, and prints the stage budget under --trace.
+void emit_run_report(obs::RunReport& rr, const ArgParser& args, std::ostream& out) {
+  rr.capture_environment();
+  if (const auto path = args.value("--metrics-out")) rr.write_file(*path);
+  if (obs::trace_enabled()) {
+    out << "# stage budget (s):";
+    for (int s = 0; s < obs::kStageCount; ++s) {
+      out << " " << obs::to_string(static_cast<obs::Stage>(s)) << "="
+          << rr.stages[static_cast<std::size_t>(s)].seconds();
+    }
+    out << "\n";
+  }
+}
+
 int cmd_align(const ArgParser& args, std::ostream& out) {
   const Scoring scoring = resolve_scoring(args);
   const Options opts = resolve_options(args, scoring);
@@ -184,7 +234,7 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   }
   const Scoring scoring = resolve_scoring(args);
   const Alphabet& alpha = alphabet_for(args);
-  const Dataset queries = read_fasta_file(args.positionals()[1], alpha);
+  const bool streamed = args.has("--stream");
 
   apps::SearchConfig cfg;
   cfg.align = resolve_options(args, scoring);
@@ -194,19 +244,24 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   cfg.threads = static_cast<int>(args.int_value_or("--threads", 1));
   cfg.sched = runtime::parse_pair_sched(args.value_or("--pair-sched", "auto"));
 
+  obs::StageSpan parse_span(obs::Stage::Parse);
+  const Dataset queries = read_fasta_file(args.positionals()[1], alpha);
   Dataset db(alpha);
   apps::SearchReport rep;
-  if (args.has("--stream")) {
+  if (streamed) {
+    parse_span.stop();  // search_stream times its own producer loop
     std::ifstream in(args.positionals()[2]);
     if (!in) throw Error("cannot open FASTA file: " + args.positionals()[2]);
     rep = apps::search_stream(queries, in, alpha, cfg, &db);
   } else {
     db = read_fasta_file(args.positionals()[2], alpha);
+    parse_span.stop();
     rep = apps::search(queries, db, cfg);
   }
   const stats::KarlinParams params = stats::lookup_params(scoring.mat(), scoring.gap);
   const std::uint64_t db_residues = db.total_residues();
 
+  obs::StageSpan report_span(obs::Stage::Report);
   out << "# " << queries.size() << " queries x " << db.size() << " subjects, "
       << rep.alignments << " alignments in " << rep.seconds << " s ("
       << rep.gcups() << " GCUPS real, " << rep.gcups_padded() << " padded)\n";
@@ -222,6 +277,71 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
           << ev.str() << "\n";
     }
   }
+  report_span.stop();
+
+  obs::RunReport rr = make_run_report("search", scoring, cfg.align, cfg.threads,
+                                      cfg.sched, streamed);
+  rr.queries = queries.size();
+  rr.subjects = db.size();
+  rr.alignments = rep.alignments;
+  rr.cells_real = rep.cells_real;
+  rr.seconds = rep.seconds;
+  rr.gcups_real = rep.gcups();
+  rr.gcups_padded = rep.gcups_padded();
+  rr.width_counts = rep.width_counts;
+  rr.totals = rep.totals;
+  set_cache_stats(rr, rep.cache);
+  emit_run_report(rr, args, out);
+  return 0;
+}
+
+int cmd_detect(const ArgParser& args, std::ostream& out) {
+  if (args.positionals().size() != 2) {
+    throw Error("detect: expected <seqs.fa>");
+  }
+  const Scoring scoring = resolve_scoring(args);
+  const Alphabet& alpha = alphabet_for(args);
+
+  apps::HomologyConfig cfg;
+  cfg.align = resolve_options(args, scoring);
+  cfg.align.cache_engines = parse_on_off(args.value_or("--cache-engines", "on"),
+                                         "--cache-engines");
+  cfg.score_threshold = static_cast<std::int32_t>(args.int_value_or("--threshold", 60));
+  cfg.threads = static_cast<int>(args.int_value_or("--threads", 1));
+  cfg.sched = runtime::parse_pair_sched(args.value_or("--pair-sched", "auto"));
+
+  obs::StageSpan parse_span(obs::Stage::Parse);
+  const Dataset ds = read_fasta_file(args.positionals()[1], alpha);
+  parse_span.stop();
+
+  const apps::HomologyReport rep = apps::detect(ds, cfg);
+
+  obs::StageSpan report_span(obs::Stage::Report);
+  out << "# " << ds.size() << " sequences, " << rep.alignments << " alignments in "
+      << rep.seconds << " s\n";
+  out << "# threshold " << cfg.score_threshold << ": " << rep.edges.size()
+      << " edges, " << rep.cluster_count << " clusters\n";
+  out << "# a\tb\tscore\n";
+  for (const apps::HomologyEdge& e : rep.edges) {
+    out << ds[e.a].name() << "\t" << ds[e.b].name() << "\t" << e.score << "\n";
+  }
+  report_span.stop();
+
+  obs::RunReport rr = make_run_report("detect", scoring, cfg.align, cfg.threads,
+                                      cfg.sched, false);
+  rr.queries = ds.size();
+  rr.subjects = ds.size();
+  rr.alignments = rep.alignments;
+  rr.cells_real = rep.cells_real;
+  rr.seconds = rep.seconds;
+  if (rep.seconds > 0.0) {
+    rr.gcups_real = static_cast<double>(rep.cells_real) / rep.seconds / 1e9;
+    rr.gcups_padded = static_cast<double>(rep.totals.cells) / rep.seconds / 1e9;
+  }
+  rr.width_counts = rep.width_counts;
+  rr.totals = rep.totals;
+  set_cache_stats(rr, rep.cache);
+  emit_run_report(rr, args, out);
   return 0;
 }
 
@@ -318,16 +438,21 @@ int run(std::span<const std::string_view> args, std::ostream& out, std::ostream&
     for (const char* opt :
          {"--class", "--matrix", "--gap-open", "--gap-extend", "--approach", "--isa",
           "--q-seq", "--d-seq", "--top", "--threads", "--out", "--count", "--seed",
-          "--preset", "--pair-sched", "--cache-engines"}) {
+          "--preset", "--pair-sched", "--cache-engines", "--threshold",
+          "--metrics-out"}) {
       parser.add_option(opt);
     }
-    for (const char* sw : {"--dna", "--traceback", "--stream"}) parser.add_switch(sw);
+    for (const char* sw : {"--dna", "--traceback", "--stream", "--trace"}) {
+      parser.add_switch(sw);
+    }
     parser.parse(args);
+    obs::set_trace_enabled(parser.has("--trace"));
 
     const std::string& cmd = parser.positionals().empty() ? std::string()
                                                           : parser.positionals()[0];
     if (cmd == "align") return cmd_align(parser, out);
     if (cmd == "search") return cmd_search(parser, out);
+    if (cmd == "detect") return cmd_detect(parser, out);
     if (cmd == "generate") return cmd_generate(parser, out);
     if (cmd == "matrices") return cmd_matrices(parser, out);
     if (cmd == "stats") return cmd_stats(parser, out);

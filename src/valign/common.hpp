@@ -1,6 +1,7 @@
 // Core vocabulary types shared by every valign module.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstdlib>
 #include <cstddef>
@@ -116,6 +117,45 @@ struct SemiGlobalEnds {
   [[nodiscard]] bool operator==(const SemiGlobalEnds&) const = default;
 };
 
+/// Small fixed-bucket histogram for per-column pass counts. Bucket i counts
+/// columns that took exactly i passes; the last bucket absorbs everything at
+/// or beyond kBuckets-1. Plain (non-atomic) so engines can record in the hot
+/// loop and drivers merge per-thread copies, like the rest of AlignStats.
+struct PassHist {
+  static constexpr int kBuckets = 9;  ///< 0..7 exact, 8 = "8 or more".
+  std::array<std::uint64_t, kBuckets> counts{};
+
+  void record(std::uint64_t passes) noexcept {
+    const std::size_t b = passes < kBuckets - 1
+                              ? static_cast<std::size_t>(passes)
+                              : static_cast<std::size_t>(kBuckets - 1);
+    ++counts[b];
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for (const std::uint64_t c : counts) t += c;
+    return t;
+  }
+
+  /// True when any column needed at least one pass.
+  [[nodiscard]] bool any_nonzero() const noexcept {
+    for (int b = 1; b < kBuckets; ++b) {
+      if (counts[static_cast<std::size_t>(b)] != 0) return true;
+    }
+    return false;
+  }
+
+  PassHist& operator+=(const PassHist& o) noexcept {
+    for (int b = 0; b < kBuckets; ++b) {
+      counts[static_cast<std::size_t>(b)] += o.counts[static_cast<std::size_t>(b)];
+    }
+    return *this;
+  }
+
+  [[nodiscard]] bool operator==(const PassHist&) const = default;
+};
+
 /// Per-alignment work counters (basis of the paper's complexity analysis, §IV).
 struct AlignStats {
   std::uint64_t columns = 0;            ///< DP columns processed (database length).
@@ -123,6 +163,18 @@ struct AlignStats {
   std::uint64_t corrective_epochs = 0;  ///< k: lazy-F corrective epochs (Striped only).
   std::uint64_t hscan_steps = 0;        ///< Horizontal scan steps (Scan only).
   std::uint64_t cells = 0;              ///< DP cells covered (n*m, incl. padding).
+  /// Columns where the cross-lane carry resolved by the horizontal scan
+  /// contributed to the first vector epoch of pass 2 (Scan only; a cheap
+  /// one-test-per-column proxy for how often the scan result matters).
+  std::uint64_t scan_carry_cols = 0;
+  /// Distribution of corrective work: lazy-F passes per column (Striped) and
+  /// corrective re-iterations per block (Blocked). Bucket 0 = converged
+  /// without correction — the paper's explanation for why Scan wins as
+  /// registers widen lives in this histogram's tail.
+  PassHist lazyf_hist{};
+  /// Distribution of cross-lane scan steps per column (Scan only): p-1 per
+  /// column, so the shape shifts right as registers widen.
+  PassHist hscan_hist{};
 
   /// The paper's corrective factor C = k / m / ceil(n/p)  (§IV).
   [[nodiscard]] double corrective_factor(std::uint64_t query_len, int lanes) const {
@@ -140,6 +192,9 @@ struct AlignStats {
     corrective_epochs += o.corrective_epochs;
     hscan_steps += o.hscan_steps;
     cells += o.cells;
+    scan_carry_cols += o.scan_carry_cols;
+    lazyf_hist += o.lazyf_hist;
+    hscan_hist += o.hscan_hist;
     return *this;
   }
 };

@@ -131,7 +131,11 @@ class BlockedAligner {
         }
         if (skip_f) {
           fc = 0;  // exact value irrelevant: any F <= 0 is clamped away
+          res.stats.lazyf_hist.record(0);
         } else {
+          // Bucket = relaxation rounds this block ran (always p-1 when the
+          // SWAT skip does not fire; bucket 0 counts skipped blocks).
+          res.stats.lazyf_hist.record(static_cast<std::uint64_t>(p - 1));
           // Optimistic F: pure extension of the carry across the block
           // (lane s sees fc - s*e).
           const V vF = V::adds(V::broadcast(fc), vLadder2);
@@ -199,6 +203,14 @@ class BlockedAligner {
           res.query_end = static_cast<std::int32_t>(r);
           res.db_end = static_cast<std::int32_t>(m) - 1;
         }
+      }
+      // Boundary endpoints: Blocked supports only the classic all-free ends,
+      // where consuming no query (H[0][m]) or no database (H[n][0]) residues
+      // is admissible at score 0.
+      if (res.score < 0) {
+        res.score = 0;
+        res.query_end = static_cast<std::int32_t>(qlen_) - 1;
+        res.db_end = -1;
       }
       res.overflowed = detail::answer_hit_rails<T>(res.score);
     } else {

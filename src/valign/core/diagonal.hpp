@@ -241,6 +241,14 @@ class DiagonalAligner {
           res.db_end = static_cast<std::int32_t>(m) - 1;
         }
       }
+      // Boundary endpoints: Diagonal supports only the classic all-free ends,
+      // where consuming no query (H[0][m]) or no database (H[n][0]) residues
+      // is admissible at score 0.
+      if (res.score < 0) {
+        res.score = 0;
+        res.query_end = static_cast<std::int32_t>(n) - 1;
+        res.db_end = -1;
+      }
       res.overflowed = detail::answer_hit_rails<T>(res.score);
     } else {
       res.score = best;

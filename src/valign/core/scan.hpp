@@ -127,9 +127,21 @@ class ScanAligner {
                        ? simd::hscan_max_decay_linear(cand, lane_decay)
                        : simd::hscan_max_decay_log(cand, static_cast<T>(lane_decay));
       res.stats.hscan_steps += static_cast<std::uint64_t>(p - 1);
+      res.stats.hscan_hist.record(static_cast<std::uint64_t>(p - 1));
       // Horizontal-scan loop control.
       ins::count_scalar<V>(ins::OpCategory::ScalarArith, static_cast<std::uint64_t>(p - 1));
       ins::count_scalar<V>(ins::OpCategory::ScalarBranch, static_cast<std::uint64_t>(p - 1));
+
+      // Did the resolved cross-lane carry matter? One compare per column
+      // (negligible against the 3L epochs) keeps a census of how often the
+      // scan's extra pass is load-bearing rather than pure overhead. Skipped
+      // for counting vectors: the compare is observability, not part of the
+      // algorithm's op mix, and scan's census must stay mask-free (Fig. 3).
+      if constexpr (!ins::is_counting_v<V>) {
+        if (V::any_gt(V::subs(vB, vGapO), V::load(htarr))) {
+          ++res.stats.scan_carry_cols;
+        }
+      }
 
       // --- pass 2: finalize T = max(Ht, D-tilde - o) ----------------------
       V vDt = vB;

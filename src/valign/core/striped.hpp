@@ -119,7 +119,8 @@ class StripedAligner {
       // worst case instead of exiting early.
       const bool may_converge = (o > 0);
       bool converged = false;
-      for (int k = 0; k < p && !converged; ++k) {
+      int passes = 0;
+      for (int k = 0; k < p && !converged; ++k, ++passes) {
         vF = V::shift_in(vF, f0);
         for (std::size_t t = 0; t < L; ++t) {
           const std::size_t off = t * static_cast<std::size_t>(p);
@@ -139,6 +140,12 @@ class StripedAligner {
           }
         }
       }
+
+      // Histogram bucket = full corrective re-walks this column needed:
+      // 0 = the mandatory check pass converged (F never contributed),
+      // k = k extra re-walks, p = never converged (the o == 0 corner).
+      res.stats.lazyf_hist.record(
+          static_cast<std::uint64_t>(converged ? passes - 1 : passes));
 
       if constexpr (C == AlignClass::Local) {
         lb.end_column(vMax, hstore, L, static_cast<std::int32_t>(j));

@@ -9,6 +9,17 @@ namespace valign {
 
 namespace {
 
+/// Drops trailing line-ending and whitespace characters: CRLF files leave a
+/// '\r' on every getline result, and hand-edited FASTA often carries trailing
+/// spaces/tabs. A whitespace-only line becomes empty (= blank line).
+void rstrip(std::string& line) {
+  while (!line.empty()) {
+    const char c = line.back();
+    if (c != '\r' && c != '\n' && c != ' ' && c != '\t') break;
+    line.pop_back();
+  }
+}
+
 std::string header_name(const std::string& line) {
   // Skip '>' then take the first whitespace-delimited token.
   std::size_t start = 1;
@@ -32,7 +43,7 @@ std::optional<Sequence> FastaReader::next() {
   std::string line;
   std::string residues;
   while (std::getline(*in_, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+    rstrip(line);
     if (line.empty()) continue;
     if (line[0] == '>') {
       const std::string name = header_name(line);

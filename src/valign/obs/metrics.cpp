@@ -1,0 +1,126 @@
+#include "valign/obs/metrics.hpp"
+
+#include "valign/common.hpp"
+
+namespace valign::obs {
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw Error("Histogram: bucket bounds must be strictly increasing");
+    }
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t Histogram::total_count() const noexcept {
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    t += counts_[i].load(std::memory_order_relaxed);
+  }
+  return t;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = slots_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = MetricSample::Kind::Counter;
+    it->second.counter = std::make_unique<Counter>();
+  } else if (it->second.kind != MetricSample::Kind::Counter) {
+    throw Error("Registry: '" + name + "' already registered with another kind");
+  }
+  return *it->second.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = slots_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = MetricSample::Kind::Gauge;
+    it->second.gauge = std::make_unique<Gauge>();
+  } else if (it->second.kind != MetricSample::Kind::Gauge) {
+    throw Error("Registry: '" + name + "' already registered with another kind");
+  }
+  return *it->second.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::span<const std::uint64_t> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = slots_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = MetricSample::Kind::Histogram;
+    it->second.histogram = std::make_unique<Histogram>(
+        std::vector<std::uint64_t>(bounds.begin(), bounds.end()));
+  } else if (it->second.kind != MetricSample::Kind::Histogram) {
+    throw Error("Registry: '" + name + "' already registered with another kind");
+  }
+  return *it->second.histogram;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.samples.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) {  // std::map: already name-sorted
+    MetricSample s;
+    s.name = name;
+    s.kind = slot.kind;
+    switch (slot.kind) {
+      case MetricSample::Kind::Counter:
+        s.value = static_cast<std::int64_t>(slot.counter->value());
+        break;
+      case MetricSample::Kind::Gauge:
+        s.value = slot.gauge->value();
+        break;
+      case MetricSample::Kind::Histogram:
+        s.bucket_bounds = slot.histogram->bounds();
+        s.bucket_counts = slot.histogram->counts();
+        s.sum = slot.histogram->sum();
+        s.value = static_cast<std::int64_t>(slot.histogram->total_count());
+        break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, slot] : slots_) {
+    switch (slot.kind) {
+      case MetricSample::Kind::Counter: slot.counter->reset(); break;
+      case MetricSample::Kind::Gauge: slot.gauge->reset(); break;
+      case MetricSample::Kind::Histogram: slot.histogram->reset(); break;
+    }
+  }
+}
+
+std::size_t Registry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace valign::obs

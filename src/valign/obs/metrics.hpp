@@ -1,0 +1,149 @@
+// Thread-safe metrics registry: named counters, gauges and fixed-bucket
+// histograms shared by the runtime, the drivers and the benches.
+//
+// Design rules, in order of importance:
+//   1. Updates are lock-free (single atomic RMW). Registration takes a mutex
+//      but happens once per metric; hot paths hold a Counter&/Histogram&
+//      obtained at setup, never a name lookup per increment.
+//   2. Metric objects are never destroyed or moved while the registry lives,
+//      so references handed out stay valid (node-stable storage).
+//   3. Everything is exportable: snapshot() returns plain structs that the
+//      RunReport serializes to JSON/CSV (see obs/report.hpp).
+//
+// Naming convention: dotted lowercase paths, unit as a suffix where one
+// applies — e.g. "runtime.engine_cache.hits", "runtime.sched.block_cells",
+// "runtime.pipeline.queue_depth_max". docs/observability.md lists them all.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace valign::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written (or maximum) signed level: queue depths, live engine counts.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  /// Raise to `v` if larger (CAS loop; used for high-water marks).
+  void record_max(std::int64_t v) noexcept {
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts samples <= bounds[i]; one implicit
+/// overflow bucket counts the rest. Bounds are set at registration and
+/// immutable afterwards.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void record(std::uint64_t sample) noexcept {
+    // Linear scan: bucket lists are short (<= 16) and the loop is branch-
+    // predictable; a binary search would cost more in practice.
+    std::size_t b = 0;
+    while (b < bounds_.size() && sample > bounds_[b]) ++b;
+    counts_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// counts()[i] pairs with bounds()[i]; the final entry is the overflow
+  /// bucket.
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t total_count() const noexcept;
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// One exported metric, ready for serialization.
+struct MetricSample {
+  enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+  std::string name;
+  Kind kind = Kind::Counter;
+  std::int64_t value = 0;  ///< Counter/Gauge value; Histogram total count.
+  /// Histogram payload (empty otherwise). bucket_counts has one more entry
+  /// than bucket_bounds (the overflow bucket).
+  std::vector<std::uint64_t> bucket_bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t sum = 0;  ///< Histogram sample sum.
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  ///< Sorted by name.
+};
+
+/// Name-keyed registry. get-or-create semantics: the first caller fixes the
+/// kind (and bounds, for histograms); a kind mismatch on a later call throws.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::span<const std::uint64_t> bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zeroes every metric value (registrations and bounds are kept).
+  void reset_values();
+  [[nodiscard]] std::size_t size() const;
+
+  /// The process-wide registry used by the runtime and the drivers.
+  [[nodiscard]] static Registry& global();
+
+ private:
+  struct Slot {
+    MetricSample::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Slot> slots_;
+};
+
+}  // namespace valign::obs

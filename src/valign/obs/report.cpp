@@ -1,0 +1,282 @@
+#include "valign/obs/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "valign/version.hpp"
+
+namespace valign::obs {
+
+namespace {
+
+/// Minimal JSON emitter: handles the escaping this schema needs (metric and
+/// sequence names are ASCII; control characters are escaped numerically).
+void json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// Comma-separating helper: writes the separator before every item but the
+/// first.
+class Sep {
+ public:
+  explicit Sep(std::ostream& out, const char* sep = ",") : out_(&out), sep_(sep) {}
+  void next() {
+    if (!first_) *out_ << sep_;
+    first_ = false;
+  }
+
+ private:
+  std::ostream* out_;
+  const char* sep_;
+  bool first_ = true;
+};
+
+template <class T>
+void json_array(std::ostream& out, const T& values) {
+  out << '[';
+  Sep sep(out);
+  for (const auto v : values) {
+    sep.next();
+    out << v;
+  }
+  out << ']';
+}
+
+void json_pass_hist(std::ostream& out, const PassHist& h) {
+  out << R"({"buckets":)";
+  json_array(out, h.counts);
+  out << R"(,"last_bucket_is_overflow":true})";
+}
+
+const char* kind_name(MetricSample::Kind k) {
+  switch (k) {
+    case MetricSample::Kind::Counter: return "counter";
+    case MetricSample::Kind::Gauge: return "gauge";
+    case MetricSample::Kind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void RunReport::capture_environment() {
+  version = valign::version();
+  stages = StageTable::global().snapshot();
+  metrics = Registry::global().snapshot();
+  const instrument::OpCounts ops = instrument::snapshot();
+  op_counts = ops.by_category;
+}
+
+void RunReport::write_json(std::ostream& out) const {
+  out << "{";
+  out << R"("schema":)";
+  json_string(out, schema);
+  out << R"(,"tool":)";
+  json_string(out, tool);
+  out << R"(,"version":)";
+  json_string(out, version);
+  out << R"(,"command":)";
+  json_string(out, command);
+
+  out << R"(,"config":{"class":)";
+  json_string(out, align_class);
+  out << R"(,"approach":)";
+  json_string(out, approach);
+  out << R"(,"isa":)";
+  json_string(out, isa);
+  out << R"(,"matrix":)";
+  json_string(out, matrix);
+  out << R"(,"gap_open":)" << gap_open;
+  out << R"(,"gap_extend":)" << gap_extend;
+  out << R"(,"threads":)" << threads;
+  out << R"(,"sched":)";
+  json_string(out, sched);
+  out << R"(,"streamed":)" << (streamed ? "true" : "false");
+  out << R"(,"cache_engines":)" << (cache_engines ? "true" : "false");
+  out << "}";
+
+  out << R"(,"workload":{"queries":)" << queries << R"(,"subjects":)" << subjects
+      << R"(,"alignments":)" << alignments << R"(,"cells_real":)" << cells_real
+      << R"(,"cells_padded":)" << totals.cells << "}";
+
+  out << R"(,"perf":{"seconds":)" << seconds << R"(,"gcups_real":)" << gcups_real
+      << R"(,"gcups_padded":)" << gcups_padded << "}";
+
+  out << R"(,"widths":{)";
+  {
+    Sep sep(out);
+    for (std::size_t i = 0; i < kWidthBits.size(); ++i) {
+      sep.next();
+      out << '"' << kWidthBits[i] << R"(":)" << width_counts[i];
+    }
+  }
+  out << "}";
+
+  out << R"(,"engine":{"columns":)" << totals.columns << R"(,"main_epochs":)"
+      << totals.main_epochs << R"(,"corrective_epochs":)" << totals.corrective_epochs
+      << R"(,"hscan_steps":)" << totals.hscan_steps << R"(,"scan_carry_cols":)"
+      << totals.scan_carry_cols << R"(,"lazyf_pass_hist":)";
+  json_pass_hist(out, totals.lazyf_hist);
+  out << R"(,"hscan_step_hist":)";
+  json_pass_hist(out, totals.hscan_hist);
+  out << "}";
+
+  out << R"(,"engine_cache":{"lookups":)" << cache_lookups << R"(,"hits":)"
+      << cache_hits << R"(,"builds":)" << cache_builds << R"(,"evictions":)"
+      << cache_evictions << R"(,"profile_sets":)" << cache_profile_sets << "}";
+
+  out << R"(,"op_counts":{)";
+  {
+    Sep sep(out);
+    for (int c = 0; c < instrument::kOpCategoryCount; ++c) {
+      sep.next();
+      json_string(out, instrument::to_string(static_cast<instrument::OpCategory>(c)));
+      out << ':' << op_counts[static_cast<std::size_t>(c)];
+    }
+  }
+  out << "}";
+
+  out << R"(,"stages":{)";
+  {
+    Sep sep(out);
+    for (int s = 0; s < kStageCount; ++s) {
+      const StageStats& st = stages[static_cast<std::size_t>(s)];
+      sep.next();
+      json_string(out, to_string(static_cast<Stage>(s)));
+      out << R"(:{"spans":)" << st.spans << R"(,"seconds":)" << st.seconds()
+          << R"(,"max_seconds":)" << static_cast<double>(st.ns_max) / 1e9 << "}";
+    }
+  }
+  out << "}";
+
+  out << R"(,"metrics":[)";
+  {
+    Sep sep(out);
+    for (const MetricSample& m : metrics.samples) {
+      sep.next();
+      out << R"({"name":)";
+      json_string(out, m.name);
+      out << R"(,"kind":")" << kind_name(m.kind) << '"';
+      if (m.kind == MetricSample::Kind::Histogram) {
+        out << R"(,"count":)" << m.value << R"(,"sum":)" << m.sum
+            << R"(,"bounds":)";
+        json_array(out, m.bucket_bounds);
+        out << R"(,"counts":)";
+        json_array(out, m.bucket_counts);
+      } else {
+        out << R"(,"value":)" << m.value;
+      }
+      out << "}";
+    }
+  }
+  out << "]}\n";
+}
+
+void RunReport::write_csv(std::ostream& out) const {
+  out << "key,value\n";
+  auto row = [&out](const std::string& key, const auto& value) {
+    out << key << ',' << value << '\n';
+  };
+  row("schema", schema);
+  row("tool", tool);
+  row("version", version);
+  row("command", command);
+  row("config.class", align_class);
+  row("config.approach", approach);
+  row("config.isa", isa);
+  row("config.matrix", matrix);
+  row("config.gap_open", gap_open);
+  row("config.gap_extend", gap_extend);
+  row("config.threads", threads);
+  row("config.sched", sched);
+  row("config.streamed", streamed ? 1 : 0);
+  row("config.cache_engines", cache_engines ? 1 : 0);
+  row("workload.queries", queries);
+  row("workload.subjects", subjects);
+  row("workload.alignments", alignments);
+  row("workload.cells_real", cells_real);
+  row("workload.cells_padded", totals.cells);
+  row("perf.seconds", seconds);
+  row("perf.gcups_real", gcups_real);
+  row("perf.gcups_padded", gcups_padded);
+  for (std::size_t i = 0; i < kWidthBits.size(); ++i) {
+    row("widths." + std::to_string(kWidthBits[i]), width_counts[i]);
+  }
+  row("engine.columns", totals.columns);
+  row("engine.main_epochs", totals.main_epochs);
+  row("engine.corrective_epochs", totals.corrective_epochs);
+  row("engine.hscan_steps", totals.hscan_steps);
+  row("engine.scan_carry_cols", totals.scan_carry_cols);
+  for (int b = 0; b < PassHist::kBuckets; ++b) {
+    row("engine.lazyf_pass_hist.bucket_" + std::to_string(b),
+        totals.lazyf_hist.counts[static_cast<std::size_t>(b)]);
+    row("engine.hscan_step_hist.bucket_" + std::to_string(b),
+        totals.hscan_hist.counts[static_cast<std::size_t>(b)]);
+  }
+  row("engine_cache.lookups", cache_lookups);
+  row("engine_cache.hits", cache_hits);
+  row("engine_cache.builds", cache_builds);
+  row("engine_cache.evictions", cache_evictions);
+  row("engine_cache.profile_sets", cache_profile_sets);
+  for (int c = 0; c < instrument::kOpCategoryCount; ++c) {
+    row(std::string("op_counts.") +
+            instrument::to_string(static_cast<instrument::OpCategory>(c)),
+        op_counts[static_cast<std::size_t>(c)]);
+  }
+  for (int s = 0; s < kStageCount; ++s) {
+    const StageStats& st = stages[static_cast<std::size_t>(s)];
+    const std::string key = std::string("stages.") + to_string(static_cast<Stage>(s));
+    row(key + ".spans", st.spans);
+    row(key + ".seconds", st.seconds());
+  }
+  for (const MetricSample& m : metrics.samples) {
+    if (m.kind == MetricSample::Kind::Histogram) {
+      row("metrics." + m.name + ".count", m.value);
+      row("metrics." + m.name + ".sum", m.sum);
+      for (std::size_t b = 0; b < m.bucket_counts.size(); ++b) {
+        row("metrics." + m.name + ".bucket_" + std::to_string(b),
+            m.bucket_counts[b]);
+      }
+    } else {
+      row("metrics." + m.name, m.value);
+    }
+  }
+}
+
+void RunReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open metrics output file: " + path);
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+    write_csv(out);
+  } else {
+    write_json(out);
+  }
+}
+
+std::string RunReport::json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace valign::obs

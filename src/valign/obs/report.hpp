@@ -1,0 +1,99 @@
+// RunReport: the self-describing artifact every search/detect/bench run can
+// emit (CLI --metrics-out). One flat struct of plain fields so producers fill
+// exactly what they know; write_json()/write_csv() serialize all of it, with
+// the schema documented in docs/observability.md.
+//
+// Schema id "valign.run_report/1": consumers should tolerate added keys
+// within the same major version.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "valign/common.hpp"
+#include "valign/instrument/counters.hpp"
+#include "valign/obs/trace.hpp"
+
+namespace valign::obs {
+
+/// Index into RunReport::width_counts for an element width in bits.
+[[nodiscard]] constexpr int width_index(int bits) noexcept {
+  return bits <= 8 ? 0 : (bits <= 16 ? 1 : 2);
+}
+
+inline constexpr std::array<int, 3> kWidthBits{8, 16, 32};
+
+struct RunReport {
+  // --- identity -----------------------------------------------------------
+  std::string schema = "valign.run_report/1";
+  std::string tool = "valign";
+  std::string version;  ///< valign::version().
+  std::string command;  ///< "search", "detect", "bench_runtime", ...
+
+  // --- engine configuration ----------------------------------------------
+  std::string align_class;  ///< "NW" | "SG" | "SW".
+  std::string approach;     ///< Requested approach (may be "auto").
+  std::string isa;          ///< Resolved ISA.
+  std::string matrix;
+  int gap_open = 0;
+  int gap_extend = 0;
+  int threads = 1;
+  std::string sched;        ///< Pair-sched policy ("query" | "pair" | "auto").
+  bool streamed = false;
+  bool cache_engines = true;
+
+  // --- workload ------------------------------------------------------------
+  std::uint64_t queries = 0;
+  std::uint64_t subjects = 0;
+  std::uint64_t alignments = 0;
+  std::uint64_t cells_real = 0;  ///< Unpadded DP cells (sum qlen*dlen).
+
+  // --- performance ---------------------------------------------------------
+  double seconds = 0.0;
+  double gcups_real = 0.0;
+  double gcups_padded = 0.0;
+
+  /// Alignments answered at each element width (8/16/32 bits; see
+  /// width_index). Documents the ladder: widths "tried" are those nonzero.
+  std::array<std::uint64_t, 3> width_counts{};
+
+  /// Engine work totals, including the lazy-F pass and hscan step
+  /// histograms fed from the convergence loops.
+  AlignStats totals{};
+
+  // --- engine cache --------------------------------------------------------
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_builds = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_profile_sets = 0;
+
+  /// Op-category census (instrument/). All-zero unless the run used
+  /// instrumented engines (CountingVec); included so instrumented benches
+  /// emit the same artifact.
+  std::array<std::uint64_t, instrument::kOpCategoryCount> op_counts{};
+
+  /// Per-stage time budget (parse/schedule/align/reduce/report).
+  std::array<StageStats, kStageCount> stages{};
+
+  /// Everything registered in the metrics registry at capture time.
+  MetricsSnapshot metrics;
+
+  // --- capture helpers -----------------------------------------------------
+  /// Copies the global stage table, the global registry snapshot, this
+  /// thread's op counters, and the library version into the report.
+  void capture_environment();
+
+  // --- serialization -------------------------------------------------------
+  void write_json(std::ostream& out) const;
+  /// Flat key,value rows (histograms expand to one row per bucket).
+  void write_csv(std::ostream& out) const;
+  /// Writes CSV when `path` ends in ".csv", JSON otherwise. Throws
+  /// valign::Error when the file cannot be opened.
+  void write_file(const std::string& path) const;
+  [[nodiscard]] std::string json() const;
+};
+
+}  // namespace valign::obs

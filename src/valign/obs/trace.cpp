@@ -1,0 +1,64 @@
+#include "valign/obs/trace.hpp"
+
+namespace valign::obs {
+
+namespace {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace
+
+const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::Parse: return "parse";
+    case Stage::Schedule: return "schedule";
+    case Stage::Align: return "align";
+    case Stage::Reduce: return "reduce";
+    case Stage::Report: return "report";
+    case Stage::kCount_: break;
+  }
+  return "?";
+}
+
+StageStats StageTable::stats(Stage s) const noexcept {
+  const Slot& slot = slots_[static_cast<std::size_t>(s)];
+  StageStats out;
+  out.spans = slot.spans.load(std::memory_order_relaxed);
+  out.ns_total = slot.ns_total.load(std::memory_order_relaxed);
+  out.ns_max = slot.ns_max.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::array<StageStats, kStageCount> StageTable::snapshot() const noexcept {
+  std::array<StageStats, kStageCount> out{};
+  for (int s = 0; s < kStageCount; ++s) out[static_cast<std::size_t>(s)] =
+      stats(static_cast<Stage>(s));
+  return out;
+}
+
+void StageTable::reset() noexcept {
+  for (Slot& slot : slots_) {
+    slot.spans.store(0, std::memory_order_relaxed);
+    slot.ns_total.store(0, std::memory_order_relaxed);
+    slot.ns_max.store(0, std::memory_order_relaxed);
+  }
+}
+
+StageTable& StageTable::global() {
+  static StageTable t;
+  return t;
+}
+
+bool trace_enabled() noexcept {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) noexcept {
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::span<const std::uint64_t> block_latency_bounds_us() noexcept {
+  static constexpr std::uint64_t kBounds[] = {10,    40,    160,   640,
+                                              2'560, 10'240, 40'960};
+  return kBounds;
+}
+
+}  // namespace valign::obs

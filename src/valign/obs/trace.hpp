@@ -1,0 +1,142 @@
+// Lightweight stage tracing: RAII spans timed with the steady clock,
+// aggregated into a fixed per-stage time budget.
+//
+// Two tiers:
+//   - StageSpan: coarse pipeline stages (parse -> schedule -> align ->
+//     reduce -> report). A handful per run, so these are always on; the cost
+//     is two steady_clock reads plus three relaxed atomic adds per span.
+//   - TraceSpan: fine-grained work-unit spans (one per schedule block).
+//     Gated on trace_enabled() (the CLI's --trace); when off the constructor
+//     is a single relaxed load and no clock is read.
+//
+// Stages may overlap in wall time (the streaming pipeline parses while
+// workers align), so per-stage totals are CPU-side budgets, not a partition
+// of the run's wall clock.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "valign/obs/metrics.hpp"
+
+namespace valign::obs {
+
+/// Pipeline stages recognized by the run report.
+enum class Stage : std::uint8_t {
+  Parse,     ///< FASTA reading / sequence encoding.
+  Schedule,  ///< Work partitioning (runtime::make_*_schedule).
+  Align,     ///< Engine execution, including profile builds.
+  Reduce,    ///< Hit merging, top-k selection, clustering.
+  Report,    ///< Output formatting and metrics export.
+  kCount_,
+};
+
+inline constexpr int kStageCount = static_cast<int>(Stage::kCount_);
+
+[[nodiscard]] const char* to_string(Stage s);
+
+/// Aggregated timings of one stage.
+struct StageStats {
+  std::uint64_t spans = 0;   ///< Completed spans.
+  std::uint64_t ns_total = 0;
+  std::uint64_t ns_max = 0;  ///< Longest single span.
+
+  [[nodiscard]] double seconds() const noexcept {
+    return static_cast<double>(ns_total) / 1e9;
+  }
+};
+
+/// Fixed table of per-stage aggregates. Thread-safe (relaxed atomics).
+class StageTable {
+ public:
+  void record(Stage s, std::uint64_t ns) noexcept {
+    auto& slot = slots_[static_cast<std::size_t>(s)];
+    slot.spans.fetch_add(1, std::memory_order_relaxed);
+    slot.ns_total.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t cur = slot.ns_max.load(std::memory_order_relaxed);
+    while (ns > cur &&
+           !slot.ns_max.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] StageStats stats(Stage s) const noexcept;
+  [[nodiscard]] std::array<StageStats, kStageCount> snapshot() const noexcept;
+  void reset() noexcept;
+
+  /// The process-wide table used by the drivers (and read by RunReport).
+  [[nodiscard]] static StageTable& global();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> spans{0};
+    std::atomic<std::uint64_t> ns_total{0};
+    std::atomic<std::uint64_t> ns_max{0};
+  };
+  std::array<Slot, kStageCount> slots_{};
+};
+
+/// Global switch for fine-grained tracing (TraceSpan). Coarse StageSpans are
+/// unaffected. Off by default.
+[[nodiscard]] bool trace_enabled() noexcept;
+void set_trace_enabled(bool on) noexcept;
+
+/// RAII span for a coarse pipeline stage; always records into a StageTable
+/// (the global one by default).
+class StageSpan {
+ public:
+  explicit StageSpan(Stage s, StageTable& table = StageTable::global()) noexcept
+      : table_(&table), stage_(s), t0_(std::chrono::steady_clock::now()) {}
+  ~StageSpan() { stop(); }
+
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+  /// Ends the span early (idempotent).
+  void stop() noexcept {
+    if (table_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0_)
+                        .count();
+    table_->record(stage_, static_cast<std::uint64_t>(ns));
+    table_ = nullptr;
+  }
+
+ private:
+  StageTable* table_;
+  Stage stage_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// RAII span recording its duration (in microseconds) into a histogram —
+/// only when trace_enabled(); otherwise construction and destruction are a
+/// relaxed load each.
+class TraceSpan {
+ public:
+  explicit TraceSpan(Histogram& hist) noexcept
+      : hist_(trace_enabled() ? &hist : nullptr) {
+    if (hist_ != nullptr) t0_ = std::chrono::steady_clock::now();
+  }
+  ~TraceSpan() {
+    if (hist_ == nullptr) return;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0_)
+                        .count();
+    hist_->record(static_cast<std::uint64_t>(us));
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point t0_{};
+};
+
+/// Bucket bounds (microseconds) for work-unit latency histograms: ~4x steps
+/// from 10us to 40ms.
+[[nodiscard]] std::span<const std::uint64_t> block_latency_bounds_us() noexcept;
+
+}  // namespace valign::obs

@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "valign/obs/metrics.hpp"
+
 namespace valign::runtime {
+
+void publish_cache_stats(const EngineCacheStats& stats) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("runtime.engine_cache.lookups").add(stats.lookups);
+  reg.counter("runtime.engine_cache.hits").add(stats.hits);
+  reg.counter("runtime.engine_cache.misses").add(stats.misses());
+  reg.counter("runtime.engine_cache.builds").add(stats.builds);
+  reg.counter("runtime.engine_cache.evictions").add(stats.evictions);
+  reg.counter("runtime.engine_cache.profile_sets").add(stats.profile_sets);
+}
 
 EngineCache::EngineCache(std::size_t capacity)
     : capacity_(std::max<std::size_t>(1, capacity)) {

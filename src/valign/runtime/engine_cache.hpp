@@ -31,7 +31,21 @@ struct EngineCacheStats {
   std::uint64_t profile_sets = 0;  ///< set_query() calls forwarded to engines.
 
   [[nodiscard]] std::uint64_t misses() const noexcept { return lookups - hits; }
+
+  /// Merge (drivers accumulate per-thread Aligner caches into one report).
+  EngineCacheStats& operator+=(const EngineCacheStats& o) noexcept {
+    lookups += o.lookups;
+    hits += o.hits;
+    builds += o.builds;
+    evictions += o.evictions;
+    profile_sets += o.profile_sets;
+    return *this;
+  }
 };
+
+/// Adds `stats` to the global metrics registry under
+/// "runtime.engine_cache.*" (see docs/observability.md).
+void publish_cache_stats(const EngineCacheStats& stats);
 
 class EngineCache {
  public:

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "valign/obs/report.hpp"
+#include "valign/obs/trace.hpp"
+
 namespace valign::runtime {
 
 SearchPipeline::SearchPipeline(const Dataset& queries, PipelineConfig cfg)
@@ -36,10 +39,19 @@ void SearchPipeline::flush_shard() {
   if (fill_.seqs.empty()) return;
   Shard shard = std::move(fill_);
   fill_ = Shard{};
+  obs::Registry& reg = obs::Registry::global();
   std::unique_lock<std::mutex> lock(mu_);
+  if (queue_.size() >= capacity_) {
+    // Back-pressure: the parser outran the workers and must stall.
+    reg.counter("runtime.pipeline.producer_waits").add(1);
+  }
   not_full_.wait(lock, [this] { return queue_.size() < capacity_; });
   queue_.push_back(std::move(shard));
+  const std::size_t depth = queue_.size();
   lock.unlock();
+  reg.counter("runtime.pipeline.shards").add(1);
+  reg.gauge("runtime.pipeline.queue_depth_max")
+      .record_max(static_cast<std::int64_t>(depth));
   not_empty_.notify_one();
 }
 
@@ -54,18 +66,28 @@ void SearchPipeline::worker_main(WorkerState& state) {
   Aligner aligner(cfg_.search.align);
   const Dataset& queries = *queries_;
   const std::size_t prune_at = top_k_prune_threshold(cfg_.search.top_k);
+  obs::Histogram& shard_us = obs::Registry::global().histogram(
+      "runtime.pipeline.shard_us", obs::block_latency_bounds_us());
 
   for (;;) {
     Shard shard;
     {
       std::unique_lock<std::mutex> lock(mu_);
       not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
-      if (queue_.empty()) return;  // closed and drained
+      if (queue_.empty()) {
+        // Closed and drained: expose this worker's cache activity before exit
+        // (the Aligner — and its EngineCache — dies with this frame).
+        state.cache = aligner.cache_stats();
+        return;
+      }
       shard = std::move(queue_.front());
       queue_.pop_front();
     }
     not_full_.notify_one();
 
+    // The Align budget counts shard processing only, not queue waits.
+    const obs::StageSpan align_span(obs::Stage::Align);
+    const obs::TraceSpan span(shard_us);
     for (std::size_t q = 0; q < queries.size(); ++q) {
       aligner.set_query(queries[q]);
       auto& hits = state.hits[q];
@@ -75,6 +97,7 @@ void SearchPipeline::worker_main(WorkerState& state) {
         state.stats += r.stats;
         ++state.alignments;
         state.cells_real += queries[q].size() * d.size();
+        ++state.width_counts[static_cast<std::size_t>(obs::width_index(r.bits))];
         hits.push_back(
             apps::SearchHit{shard.base + i, r.score, r.query_end, r.db_end});
       }
@@ -93,6 +116,7 @@ apps::SearchReport SearchPipeline::finish() {
   for (std::thread& t : workers_) t.join();
   finished_ = true;
 
+  const obs::StageSpan reduce_span(obs::Stage::Reduce);
   apps::SearchReport report;
   report.top_hits.resize(queries_->size());
   std::vector<apps::SearchHit> merged;
@@ -108,7 +132,12 @@ apps::SearchReport SearchPipeline::finish() {
     report.totals += s.stats;
     report.alignments += s.alignments;
     report.cells_real += s.cells_real;
+    report.cache += s.cache;
+    for (std::size_t w = 0; w < s.width_counts.size(); ++w) {
+      report.width_counts[w] += s.width_counts[w];
+    }
   }
+  publish_cache_stats(report.cache);
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
   return report;

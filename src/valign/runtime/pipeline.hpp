@@ -12,6 +12,7 @@
 // bounding memory no matter how large the database stream is.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -71,6 +72,8 @@ class SearchPipeline {
     AlignStats stats{};
     std::uint64_t alignments = 0;
     std::uint64_t cells_real = 0;
+    EngineCacheStats cache{};                        ///< Copied at worker exit.
+    std::array<std::uint64_t, 3> width_counts{};     ///< Per element width.
     std::vector<std::vector<apps::SearchHit>> hits;  // per query
   };
 

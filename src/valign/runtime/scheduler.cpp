@@ -4,10 +4,26 @@
 #include <numeric>
 
 #include "valign/common.hpp"
+#include "valign/obs/metrics.hpp"
 
 namespace valign::runtime {
 
 namespace {
+
+/// Bucket bounds (DP cells) for the block-size census: ~4x steps from 64K.
+constexpr std::uint64_t kBlockCellBounds[] = {
+    1u << 16, 1u << 18, 1u << 20, 1u << 22, 1u << 24, 1u << 26};
+
+/// One-time-per-schedule bookkeeping: the registry's view of how work was
+/// partitioned (block count, per-block cell distribution).
+void publish_schedule(const Schedule& sched) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("runtime.sched.schedules").add(1);
+  reg.counter("runtime.sched.blocks").add(sched.blocks.size());
+  obs::Histogram& cells = reg.histogram("runtime.sched.block_cells",
+                                        kBlockCellBounds);
+  for (const WorkBlock& b : sched.blocks) cells.record(b.cost);
+}
 
 // A thread is "kept busy" by this many blocks on average; more blocks means
 // better dynamic balance but more per-block overhead.
@@ -88,6 +104,7 @@ Schedule make_search_schedule(const Dataset& queries, const Dataset& db,
           WorkBlock{q, 0, db.size(), queries[q].size() * db_residues});
     }
     sort_largest_first(sched.blocks);
+    publish_schedule(sched);
     return sched;
   }
 
@@ -123,6 +140,7 @@ Schedule make_search_schedule(const Dataset& queries, const Dataset& db,
     }
   }
   sort_largest_first(sched.blocks);
+  publish_schedule(sched);
   return sched;
 }
 
@@ -138,6 +156,7 @@ Schedule make_all_pairs_schedule(const Dataset& ds, const ScheduleConfig& cfg) {
       sched.blocks.push_back(WorkBlock{i, i + 1, n, cost});
     }
     sort_largest_first(sched.blocks);
+    publish_schedule(sched);
     return sched;
   }
 
@@ -163,6 +182,7 @@ Schedule make_all_pairs_schedule(const Dataset& ds, const ScheduleConfig& cfg) {
     if (begin < n) sched.blocks.push_back(WorkBlock{i, begin, n, cost});
   }
   sort_largest_first(sched.blocks);
+  publish_schedule(sched);
   return sched;
 }
 

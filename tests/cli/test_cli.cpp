@@ -147,6 +147,69 @@ TEST(Cli, GenerateThenSearchRoundTrip) {
   std::filesystem::remove(dpath);
 }
 
+TEST(Cli, SearchWritesMetricsReport) {
+  const auto qpath = temp_file("mq.fa");
+  const auto dpath = temp_file("md.fa");
+  const auto rpath = temp_file("report.json");
+  ASSERT_EQ(run_cli({"generate", "--out", qpath.string(), "--count", "3", "--seed",
+                     "21"}).code, 0);
+  ASSERT_EQ(run_cli({"generate", "--out", dpath.string(), "--count", "10", "--seed",
+                     "22"}).code, 0);
+
+  const CliResult s = run_cli({"search", qpath.string(), dpath.string(),
+                               "--metrics-out", rpath.string(), "--trace"});
+  EXPECT_EQ(s.code, 0) << s.err;
+  EXPECT_NE(s.out.find("# stage budget (s):"), std::string::npos)
+      << "--trace must print the per-stage time budget";
+
+  std::ifstream rf(rpath);
+  ASSERT_TRUE(rf.good()) << "--metrics-out did not create the report";
+  std::stringstream buf;
+  buf << rf.rdbuf();
+  const std::string j = buf.str();
+  for (const char* needle :
+       {"\"schema\":\"valign.run_report/1\"", "\"command\":\"search\"",
+        "\"gcups_real\"", "\"engine_cache\"", "\"stages\"",
+        "\"lazyf_pass_hist\"", "runtime.engine_cache.lookups",
+        "runtime.sched.block_cells"}) {
+    EXPECT_NE(j.find(needle), std::string::npos) << "report missing " << needle;
+  }
+  std::filesystem::remove(qpath);
+  std::filesystem::remove(dpath);
+  std::filesystem::remove(rpath);
+}
+
+TEST(Cli, DetectClustersAndWritesCsvReport) {
+  const auto path = temp_file("detect.fa");
+  const auto rpath = temp_file("report.csv");
+  ASSERT_EQ(run_cli({"generate", "--out", path.string(), "--count", "8", "--seed",
+                     "23"}).code, 0);
+
+  const CliResult d = run_cli({"detect", path.string(), "--threshold", "50",
+                               "--threads", "2", "--metrics-out", rpath.string()});
+  EXPECT_EQ(d.code, 0) << d.err;
+  EXPECT_NE(d.out.find("clusters"), std::string::npos);
+
+  std::ifstream rf(rpath);
+  ASSERT_TRUE(rf.good());
+  std::string first;
+  ASSERT_TRUE(std::getline(rf, first));
+  EXPECT_EQ(first, "key,value");
+  std::stringstream buf;
+  buf << rf.rdbuf();
+  EXPECT_NE(buf.str().find("command,detect"), std::string::npos);
+  EXPECT_NE(buf.str().find("workload.alignments,28"), std::string::npos)
+      << "8 sequences -> 28 i<j pairs";
+  std::filesystem::remove(path);
+  std::filesystem::remove(rpath);
+}
+
+TEST(Cli, DetectRequiresInput) {
+  const CliResult r = run_cli({"detect"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("detect"), std::string::npos);
+}
+
 TEST(Cli, GenerateRequiresOut) {
   EXPECT_EQ(run_cli({"generate"}).code, 1);
   EXPECT_EQ(run_cli({"generate", "--out", "/tmp/x.fa", "--preset", "nope"}).code, 1);

@@ -1,0 +1,173 @@
+// Overflow-boundary behaviour: adversarial inputs whose optimal scores land
+// exactly on (or one off) the int8/int16 saturation rails. The width-retry
+// ladder must PROMOTE to wider elements and return the exact score — never
+// clamp at the rail — and the per-query floor (floor_bits_) must persist
+// across aligns of the same query and reset with the next set_query.
+//
+// Score arithmetic (blosum62 self-matches: W-W = 11, A-A = 4, all perfect
+// matches, no gaps):
+//   1 W + 29 A  -> 11 + 116   = 127    == INT8_MAX  (on the rail)
+//   2 W + 26 A  -> 22 + 104   = 126    just under
+//   2 W + 27 A  -> 22 + 108   = 130    just over
+//   1 W + 8189 A -> 11 + 32756 = 32767 == INT16_MAX (on the rail)
+//   2 W + 8186 A -> 22 + 32744 = 32766 just under
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "valign/core/dispatch.hpp"
+#include "valign/core/scalar.hpp"
+#include "valign/io/sequence.hpp"
+#include "valign/matrices/matrix.hpp"
+#include "valign/runtime/engine_cache.hpp"
+
+namespace valign {
+namespace {
+
+std::vector<std::uint8_t> codes_of(int n_trp, int n_ala) {
+  std::string s(static_cast<std::size_t>(n_trp), 'W');
+  s.append(static_cast<std::size_t>(n_ala), 'A');
+  const Sequence seq("boundary", s, Alphabet::protein());
+  return {seq.codes().begin(), seq.codes().end()};
+}
+
+std::int32_t self_score(const std::vector<std::uint8_t>& q) {
+  return align_scalar(AlignClass::Local, ScoreMatrix::blosum62(), {11, 1}, q, q)
+      .score;
+}
+
+AlignResult run_local(const std::vector<std::uint8_t>& q,
+                      const std::vector<std::uint8_t>& d,
+                      ElemWidth width = ElemWidth::Auto) {
+  Options opts;
+  opts.klass = AlignClass::Local;
+  opts.approach = Approach::Striped;
+  opts.width = width;
+  Aligner aligner(opts);
+  aligner.set_query(q);
+  return aligner.align(d);
+}
+
+TEST(OverflowBoundary, ScoreExactlyAtInt8RailPromotesTo16) {
+  const auto q = codes_of(1, 29);
+  ASSERT_EQ(self_score(q), 127);  // the arithmetic above, verified by scalar
+
+  const AlignResult r = run_local(q, q);
+  EXPECT_EQ(r.score, 127);
+  EXPECT_FALSE(r.overflowed);
+  // 127 saturates int8 (indistinguishable from a clamped larger score), so
+  // the ladder must have answered from a wider rung.
+  EXPECT_GE(r.bits, 16);
+}
+
+TEST(OverflowBoundary, ScoreJustUnderInt8RailStaysAt8) {
+  const auto q = codes_of(2, 26);
+  ASSERT_EQ(self_score(q), 126);
+
+  const AlignResult r = run_local(q, q);
+  EXPECT_EQ(r.score, 126);
+  EXPECT_EQ(r.bits, 8) << "126 < INT8_MAX must be answerable without promotion";
+}
+
+TEST(OverflowBoundary, ScoreJustOverInt8RailIsNotClamped) {
+  const auto q = codes_of(2, 27);
+  ASSERT_EQ(self_score(q), 130);
+
+  // Fixed 8-bit must saturate and say so; it must NOT return a clamped 127.
+  const AlignResult narrow = run_local(q, q, ElemWidth::W8);
+  EXPECT_TRUE(narrow.overflowed);
+
+  const AlignResult r = run_local(q, q);
+  EXPECT_EQ(r.score, 130);
+  EXPECT_GE(r.bits, 16);
+}
+
+TEST(OverflowBoundary, ScoreExactlyAtInt16RailPromotesTo32) {
+  const auto q = codes_of(1, 8189);
+  const AlignResult r = run_local(q, q);
+  EXPECT_EQ(r.score, 32767);
+  EXPECT_FALSE(r.overflowed);
+  EXPECT_EQ(r.bits, 32);
+
+  // Fixed 16-bit saturates on the same input.
+  const AlignResult narrow = run_local(q, q, ElemWidth::W16);
+  EXPECT_TRUE(narrow.overflowed);
+}
+
+TEST(OverflowBoundary, ScoreJustUnderInt16RailStaysAt16) {
+  const auto q = codes_of(2, 8186);
+  const AlignResult r = run_local(q, q);
+  EXPECT_EQ(r.score, 32766);
+  EXPECT_EQ(r.bits, 16);
+}
+
+TEST(OverflowBoundary, FloorPersistsAcrossAlignsOfTheSameQuery) {
+  // First align overflows 8-bit and lands at 16. The per-query floor must
+  // remember that: a later small subject (score 12, fits 8-bit easily) is
+  // still answered at 16 bits — no pointless 8-bit attempt per subject.
+  const auto q = codes_of(2, 27);  // self-score 130 > INT8_MAX
+  const auto tiny = codes_of(0, 3);
+
+  Options opts;
+  opts.klass = AlignClass::Local;
+  opts.approach = Approach::Striped;
+  Aligner aligner(opts);
+  aligner.set_query(q);
+
+  const AlignResult warm = aligner.align(q);
+  ASSERT_GE(warm.bits, 16);
+  const std::uint64_t builds = aligner.cache_stats().builds;
+
+  const AlignResult after = aligner.align(tiny);
+  EXPECT_EQ(after.bits, warm.bits) << "floor forgotten between aligns";
+  EXPECT_EQ(aligner.cache_stats().builds, builds)
+      << "raised floor must reuse the cached wide engine, not build anew";
+
+  // Scores stay exact either way.
+  EXPECT_EQ(after.score,
+            align_scalar(AlignClass::Local, ScoreMatrix::blosum62(), {11, 1}, q, tiny)
+                .score);
+}
+
+TEST(OverflowBoundary, FloorResetsOnSetQuery) {
+  const auto big = codes_of(2, 27);
+  const auto small = codes_of(0, 10);
+
+  Options opts;
+  opts.klass = AlignClass::Local;
+  opts.approach = Approach::Striped;
+  Aligner aligner(opts);
+
+  aligner.set_query(big);
+  ASSERT_GE(aligner.align(big).bits, 16);  // raises the floor
+
+  aligner.set_query(small);
+  const AlignResult r = aligner.align(small);
+  EXPECT_EQ(r.bits, 8) << "floor must reset with the new query";
+  EXPECT_EQ(r.score, 40);  // 10 * A-A
+}
+
+TEST(OverflowBoundary, GlobalWidthsAreProvenNotRetried) {
+  // NW/SG use the static width proof instead of the runtime ladder: the
+  // returned width must satisfy width_is_safe, and narrow widths must never
+  // be attempted when the proof rules them out (no overflow flag ever).
+  const auto q = codes_of(1, 499);  // long enough that 8-bit is unsafe
+  for (const AlignClass klass : {AlignClass::Global, AlignClass::SemiGlobal}) {
+    Options opts;
+    opts.klass = klass;
+    opts.approach = Approach::Striped;
+    Aligner aligner(opts);
+    aligner.set_query(q);
+    const AlignResult r = aligner.align(q);
+    EXPECT_FALSE(r.overflowed);
+    EXPECT_TRUE(width_is_safe(klass, r.bits, q.size(), q.size(), {11, 1},
+                              ScoreMatrix::blosum62()))
+        << to_string(klass) << " answered at an unproven width";
+    EXPECT_EQ(r.score,
+              align_scalar(klass, ScoreMatrix::blosum62(), {11, 1}, q, q).score);
+  }
+}
+
+}  // namespace
+}  // namespace valign

@@ -97,6 +97,67 @@ TEST(Fasta, HandlesCrlfAndComments) {
   EXPECT_EQ(ds[0].to_string(), "MKT");
 }
 
+TEST(Fasta, FinalRecordWithoutTrailingNewline) {
+  std::istringstream in(">s1\nMKT\n>s2\nWWW");  // EOF right after the residues
+  const Dataset ds = read_fasta(in, Alphabet::protein());
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[1].name(), "s2");
+  EXPECT_EQ(ds[1].to_string(), "WWW");
+}
+
+TEST(Fasta, CrlfFinalRecordWithoutTrailingNewline) {
+  std::istringstream in(">s1\r\nMKT\r\n>s2\r\nWWW");
+  const Dataset ds = read_fasta(in, Alphabet::protein());
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].to_string(), "MKT");
+  EXPECT_EQ(ds[1].to_string(), "WWW");
+}
+
+TEST(Fasta, BlankLinesBetweenAndInsideRecords) {
+  std::istringstream in(
+      "\n"
+      ">s1\n"
+      "MK\n"
+      "\n"
+      "TA\n"
+      "\n"
+      "\n"
+      ">s2\n"
+      "\n"
+      "WW\n"
+      "\n");
+  const Dataset ds = read_fasta(in, Alphabet::protein());
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].to_string(), "MKTA");
+  EXPECT_EQ(ds[1].to_string(), "WW");
+}
+
+TEST(Fasta, WhitespaceOnlyLinesAreBlank) {
+  // Lines of spaces/tabs (and stray "\r\r") must not count as residue data —
+  // before the fix they either threw "data before first header" or slipped
+  // an empty record past the no-residues check.
+  std::istringstream in(
+      "   \n"
+      "\t\n"
+      ">s1  \t\n"
+      "MKT  \n"
+      "AYI\t\r\n"
+      "  \r\n"
+      ">s2\r\r\n"
+      "WW \t \n");
+  const Dataset ds = read_fasta(in, Alphabet::protein());
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].name(), "s1");
+  EXPECT_EQ(ds[0].to_string(), "MKTAYI");
+  EXPECT_EQ(ds[1].name(), "s2");
+  EXPECT_EQ(ds[1].to_string(), "WW");
+}
+
+TEST(Fasta, WhitespaceOnlyRecordBodyIsEmpty) {
+  std::istringstream in(">only_blanks\n   \n\t\n>next\nAAA\n");
+  EXPECT_THROW((void)read_fasta(in, Alphabet::protein()), Error);
+}
+
 TEST(Fasta, RejectsMalformedInput) {
   {
     std::istringstream in("MKT\n>late header\nAAA\n");

@@ -1,0 +1,259 @@
+// Observability layer unit tests: metrics registry semantics, stage/trace
+// spans, PassHist bucketing, and the RunReport serializers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "valign/common.hpp"
+#include "valign/obs/metrics.hpp"
+#include "valign/obs/report.hpp"
+#include "valign/obs/trace.hpp"
+
+namespace valign {
+namespace {
+
+// --- PassHist ----------------------------------------------------------------
+
+TEST(PassHist, BucketsExactCountsWithOverflowTail) {
+  PassHist h;
+  h.record(0);
+  h.record(0);
+  h.record(3);
+  h.record(7);
+  h.record(8);
+  h.record(200);  // far past the last bucket
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[3], 1u);
+  EXPECT_EQ(h.counts[7], 1u);
+  EXPECT_EQ(h.counts[8], 2u) << "bucket 8 is '8 or more'";
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_TRUE(h.any_nonzero());
+
+  PassHist other;
+  other.record(3);
+  h += other;
+  EXPECT_EQ(h.counts[3], 2u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(PassHist, MergesThroughAlignStats) {
+  AlignStats a, b;
+  a.lazyf_hist.record(1);
+  b.lazyf_hist.record(1);
+  b.hscan_hist.record(4);
+  a += b;
+  EXPECT_EQ(a.lazyf_hist.counts[1], 2u);
+  EXPECT_EQ(a.hscan_hist.counts[4], 1u);
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(Registry, CountersGaugesAndHistogramsRoundTrip) {
+  obs::Registry reg;
+  reg.counter("a.count").add(3);
+  reg.counter("a.count").add(2);  // same object
+  reg.gauge("a.depth").record_max(7);
+  reg.gauge("a.depth").record_max(4);  // lower: ignored
+  const std::uint64_t bounds[] = {10, 100};
+  obs::Histogram& h = reg.histogram("a.lat", bounds);
+  h.record(5);
+  h.record(50);
+  h.record(5000);
+
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 3u);
+  // Sorted by name.
+  EXPECT_EQ(snap.samples[0].name, "a.count");
+  EXPECT_EQ(snap.samples[0].value, 5);
+  EXPECT_EQ(snap.samples[1].name, "a.depth");
+  EXPECT_EQ(snap.samples[1].value, 7);
+  EXPECT_EQ(snap.samples[2].name, "a.lat");
+  EXPECT_EQ(snap.samples[2].value, 3);  // total count
+  ASSERT_EQ(snap.samples[2].bucket_counts.size(), 3u);
+  EXPECT_EQ(snap.samples[2].bucket_counts[0], 1u);
+  EXPECT_EQ(snap.samples[2].bucket_counts[1], 1u);
+  EXPECT_EQ(snap.samples[2].bucket_counts[2], 1u);  // overflow bucket
+  EXPECT_EQ(snap.samples[2].sum, 5055u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  obs::Registry reg;
+  (void)reg.counter("x");
+  EXPECT_THROW((void)reg.gauge("x"), Error);
+  const std::uint64_t bounds[] = {1};
+  EXPECT_THROW((void)reg.histogram("x", bounds), Error);
+}
+
+TEST(Registry, HistogramRejectsNonIncreasingBounds) {
+  obs::Registry reg;
+  const std::uint64_t bad[] = {10, 10};
+  EXPECT_THROW((void)reg.histogram("h", bad), Error);
+}
+
+TEST(Registry, ResetValuesKeepsRegistrations) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("n");
+  c.add(9);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(&reg.counter("n"), &c) << "reset must not reallocate metric slots";
+}
+
+TEST(Registry, ConcurrentUpdatesDoNotLoseCounts) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("hot");
+  const std::uint64_t bounds[] = {8};
+  obs::Histogram& h = reg.histogram("hist", bounds);
+  constexpr int kThreads = 4;
+  constexpr int kPer = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kPer; ++i) {
+        c.add(1);
+        h.record(static_cast<std::uint64_t>(i % 16));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kPer));
+  EXPECT_EQ(h.total_count(), static_cast<std::uint64_t>(kThreads * kPer));
+}
+
+// --- Tracing -----------------------------------------------------------------
+
+TEST(Trace, StageSpanAggregatesIntoTable) {
+  obs::StageTable table;
+  {
+    const obs::StageSpan s(obs::Stage::Align, table);
+  }
+  {
+    obs::StageSpan s(obs::Stage::Align, table);
+    s.stop();
+    s.stop();  // idempotent
+  }
+  const obs::StageStats st = table.stats(obs::Stage::Align);
+  EXPECT_EQ(st.spans, 2u);
+  EXPECT_GE(st.ns_max, 0u);
+  EXPECT_EQ(table.stats(obs::Stage::Parse).spans, 0u);
+}
+
+TEST(Trace, TraceSpanIsGatedOnEnableFlag) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("t.us", obs::block_latency_bounds_us());
+
+  obs::set_trace_enabled(false);
+  { const obs::TraceSpan s(h); }
+  EXPECT_EQ(h.total_count(), 0u) << "disabled tracing must record nothing";
+
+  obs::set_trace_enabled(true);
+  { const obs::TraceSpan s(h); }
+  obs::set_trace_enabled(false);
+  EXPECT_EQ(h.total_count(), 1u);
+}
+
+// --- RunReport ---------------------------------------------------------------
+
+obs::RunReport sample_report() {
+  obs::RunReport rr;
+  rr.command = "search";
+  rr.align_class = "SW";
+  rr.approach = "auto";
+  rr.isa = "avx2";
+  rr.matrix = "blosum62";
+  rr.gap_open = 11;
+  rr.gap_extend = 1;
+  rr.threads = 2;
+  rr.sched = "pair";
+  rr.queries = 4;
+  rr.subjects = 100;
+  rr.alignments = 400;
+  rr.cells_real = 123456;
+  rr.seconds = 0.5;
+  rr.gcups_real = 0.000246912;
+  rr.width_counts = {390, 10, 0};
+  rr.totals.cells = 130000;
+  rr.totals.lazyf_hist.record(0);
+  rr.totals.lazyf_hist.record(2);
+  rr.cache_lookups = 420;
+  rr.cache_hits = 400;
+  return rr;
+}
+
+TEST(RunReport, JsonContainsSchemaAndSections) {
+  const std::string j = sample_report().json();
+  for (const char* needle :
+       {"\"schema\":\"valign.run_report/1\"", "\"command\":\"search\"",
+        "\"config\"", "\"workload\"", "\"perf\"", "\"widths\"", "\"engine\"",
+        "\"engine_cache\"", "\"stages\"", "\"metrics\"", "\"lazyf_pass_hist\"",
+        "\"hscan_step_hist\"", "\"gcups_real\"", "\"last_bucket_is_overflow\""}) {
+    EXPECT_NE(j.find(needle), std::string::npos) << "missing " << needle;
+  }
+  // Balanced braces — cheap well-formedness proxy without a JSON parser.
+  long depth = 0;
+  for (const char ch : j) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(RunReport, JsonEscapesControlAndQuoteCharacters) {
+  obs::RunReport rr = sample_report();
+  rr.matrix = "we\"ird\\mat\n\x01";
+  const std::string j = rr.json();
+  EXPECT_NE(j.find("we\\\"ird\\\\mat\\n\\u0001"), std::string::npos);
+}
+
+TEST(RunReport, CsvIsFlatKeyValue) {
+  std::ostringstream out;
+  sample_report().write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("key,value"), std::string::npos);
+  EXPECT_NE(csv.find("workload.alignments,400"), std::string::npos);
+  EXPECT_NE(csv.find("engine_cache.hits,400"), std::string::npos);
+}
+
+TEST(RunReport, WriteFilePicksFormatByExtension) {
+  const std::string dir = ::testing::TempDir();
+  const std::string jpath = dir + "/valign_rr.json";
+  const std::string cpath = dir + "/valign_rr.csv";
+  sample_report().write_file(jpath);
+  sample_report().write_file(cpath);
+
+  std::ifstream jf(jpath), cf(cpath);
+  std::string jline, cline;
+  ASSERT_TRUE(std::getline(jf, jline));
+  ASSERT_TRUE(std::getline(cf, cline));
+  EXPECT_EQ(jline.front(), '{');
+  EXPECT_EQ(cline, "key,value");
+  std::remove(jpath.c_str());
+  std::remove(cpath.c_str());
+
+  EXPECT_THROW(sample_report().write_file("/nonexistent-dir/x.json"), Error);
+}
+
+TEST(RunReport, CaptureEnvironmentPullsGlobalState) {
+  obs::Registry::global().counter("test.obs.capture_probe").add(7);
+  { const obs::StageSpan s(obs::Stage::Report); }
+  obs::RunReport rr;
+  rr.capture_environment();
+  EXPECT_FALSE(rr.version.empty());
+  EXPECT_GE(rr.stages[static_cast<std::size_t>(obs::Stage::Report)].spans, 1u);
+  bool found = false;
+  for (const obs::MetricSample& s : rr.metrics.samples) {
+    if (s.name == "test.obs.capture_probe") {
+      found = true;
+      EXPECT_GE(s.value, 7);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace valign

@@ -5,11 +5,14 @@
 
 #include <sstream>
 
+#include <numeric>
+
 #include "../support/random_seqs.hpp"
 #include "valign/apps/db_search.hpp"
 #include "valign/apps/homology.hpp"
 #include "valign/core/scalar.hpp"
 #include "valign/io/fasta.hpp"
+#include "valign/obs/metrics.hpp"
 #include "valign/runtime/engine_cache.hpp"
 #include "valign/runtime/pipeline.hpp"
 #include "valign/runtime/scheduler.hpp"
@@ -404,6 +407,133 @@ TEST(Pipeline, DestructorJoinsWithoutFinish) {
 }
 
 // --- Streaming FASTA reader --------------------------------------------------
+
+// --- Observability ----------------------------------------------------------
+
+std::uint64_t sum_widths(const std::array<std::uint64_t, 3>& w) {
+  return std::accumulate(w.begin(), w.end(), std::uint64_t{0});
+}
+
+TEST(RuntimeMetrics, SearchReportExposesCacheAndWidthActivity) {
+  const Dataset queries = workload::bacteria_2k(71, 3);
+  const Dataset db = workload::uniprot_like(30, 72);
+  apps::SearchConfig cfg;
+  cfg.threads = 2;
+  cfg.sched = runtime::PairSched::Pair;
+  cfg.grain_cells = 20'000;
+  const apps::SearchReport rep = apps::search(queries, db, cfg);
+
+  // Every alignment resolved some element width — no more, no fewer.
+  EXPECT_EQ(sum_widths(rep.width_counts), rep.alignments);
+  // Lookups happen only when the resolved engine spec changes, so there are
+  // fewer of them than alignments — that absence IS the cache working.
+  EXPECT_GT(rep.cache.lookups, 0u);
+  EXPECT_LE(rep.cache.lookups, rep.alignments);
+  // Every miss built an engine (no failed builds in this workload).
+  EXPECT_EQ(rep.cache.misses(), rep.cache.builds);
+  EXPECT_GT(rep.cache.hits, 0u) << "pair blocks revisit queries; must hit";
+  // A worker cannot set more profiles than it answered lookups.
+  EXPECT_LE(rep.cache.profile_sets, rep.cache.lookups);
+}
+
+TEST(RuntimeMetrics, GlobalRegistryAccumulatesCacheAndScheduleCounters) {
+  obs::Registry& reg = obs::Registry::global();
+  const std::uint64_t lookups0 = reg.counter("runtime.engine_cache.lookups").value();
+  const std::uint64_t hits0 = reg.counter("runtime.engine_cache.hits").value();
+  const std::uint64_t sched0 = reg.counter("runtime.sched.schedules").value();
+  const std::uint64_t blocks0 = reg.counter("runtime.sched.blocks").value();
+
+  const Dataset queries = workload::bacteria_2k(73, 2);
+  const Dataset db = workload::uniprot_like(25, 74);
+  apps::SearchConfig cfg;
+  cfg.sched = runtime::PairSched::Pair;
+  cfg.grain_cells = 20'000;
+  const apps::SearchReport rep = apps::search(queries, db, cfg);
+
+  EXPECT_EQ(reg.counter("runtime.engine_cache.lookups").value() - lookups0,
+            rep.cache.lookups);
+  EXPECT_EQ(reg.counter("runtime.engine_cache.hits").value() - hits0,
+            rep.cache.hits);
+  EXPECT_EQ(reg.counter("runtime.sched.schedules").value() - sched0, 1u);
+  // Block coverage: the published block count is the schedule's block count,
+  // and every block's cells landed in the size census histogram.
+  const std::uint64_t new_blocks =
+      reg.counter("runtime.sched.blocks").value() - blocks0;
+  EXPECT_GT(new_blocks, 1u);
+  const runtime::Schedule sched = runtime::make_search_schedule(
+      queries, db, runtime::ScheduleConfig{cfg.sched, cfg.threads, cfg.grain_cells});
+  EXPECT_EQ(new_blocks, sched.blocks.size());
+}
+
+TEST(RuntimeMetrics, StreamedAndBatchReportsAgree) {
+  const Dataset queries = workload::bacteria_2k(75, 3);
+  const Dataset db = workload::uniprot_like(40, 76);
+  apps::SearchConfig cfg;
+  cfg.threads = 3;
+  cfg.top_k = 6;
+
+  const apps::SearchReport batch = apps::search(queries, db, cfg);
+
+  std::ostringstream fasta;
+  write_fasta(fasta, db);
+  std::istringstream in(fasta.str());
+  const apps::SearchReport streamed =
+      apps::search_stream(queries, in, db.alphabet(), cfg);
+
+  // Identical scores and identical work totals, not just similar ones.
+  EXPECT_EQ(streamed.alignments, batch.alignments);
+  EXPECT_EQ(streamed.cells_real, batch.cells_real);
+  EXPECT_EQ(streamed.totals.cells, batch.totals.cells);
+  EXPECT_EQ(streamed.width_counts, batch.width_counts);
+  EXPECT_EQ(sum_widths(streamed.width_counts), streamed.alignments);
+  ASSERT_EQ(streamed.top_hits.size(), batch.top_hits.size());
+  for (std::size_t q = 0; q < batch.top_hits.size(); ++q) {
+    ASSERT_EQ(streamed.top_hits[q].size(), batch.top_hits[q].size());
+    for (std::size_t k = 0; k < batch.top_hits[q].size(); ++k) {
+      EXPECT_EQ(streamed.top_hits[q][k].db_index, batch.top_hits[q][k].db_index);
+      EXPECT_EQ(streamed.top_hits[q][k].score, batch.top_hits[q][k].score);
+    }
+  }
+  // Cache activity is partitioned differently across workers but must stay
+  // self-consistent.
+  EXPECT_GT(streamed.cache.lookups, 0u);
+  EXPECT_EQ(streamed.cache.misses(), streamed.cache.builds);
+
+  // Engine-side histograms merged identically: the same columns were walked.
+  EXPECT_EQ(streamed.totals.lazyf_hist.total(), batch.totals.lazyf_hist.total());
+}
+
+TEST(RuntimeMetrics, PipelinePublishesQueueDepthAndShards) {
+  obs::Registry& reg = obs::Registry::global();
+  const std::uint64_t shards0 = reg.counter("runtime.pipeline.shards").value();
+
+  const Dataset queries = workload::bacteria_2k(77, 2);
+  const Dataset db = workload::uniprot_like(50, 78);
+  std::ostringstream fasta;
+  write_fasta(fasta, db);
+  std::istringstream in(fasta.str());
+  apps::SearchConfig cfg;
+  cfg.threads = 2;
+  const apps::SearchReport rep = apps::search_stream(queries, in, db.alphabet(), cfg);
+  EXPECT_EQ(rep.alignments, queries.size() * db.size());
+
+  const std::uint64_t shards = reg.counter("runtime.pipeline.shards").value() - shards0;
+  EXPECT_GE(shards, 1u);
+  EXPECT_GE(reg.gauge("runtime.pipeline.queue_depth_max").value(), 1);
+}
+
+TEST(RuntimeMetrics, HomologyReportCarriesCacheAndWidths) {
+  const Dataset ds = workload::bacteria_2k(79, 10);
+  apps::HomologyConfig cfg;
+  cfg.threads = 2;
+  cfg.sched = runtime::PairSched::Pair;
+  cfg.grain_cells = 30'000;
+  const apps::HomologyReport rep = apps::detect(ds, cfg);
+  EXPECT_EQ(rep.alignments, ds.size() * (ds.size() - 1) / 2);
+  EXPECT_EQ(sum_widths(rep.width_counts), rep.alignments);
+  EXPECT_GT(rep.cache.lookups, 0u);
+  EXPECT_LE(rep.cache.lookups, rep.alignments);
+}
 
 TEST(FastaReader, YieldsRecordsIncrementally) {
   std::istringstream in(">a desc\nMKT\nAYI\n;comment\n>b\nWCWH\n");
