@@ -17,11 +17,19 @@
 //      numbers are printed for information — 8 software threads on 1 core
 //      cannot speed anything up, so the makespan model is the meaningful
 //      check there.
+//   3. Engine families (enforced at AVX2 or wider): inter-sequence
+//      (lane-packed) vs intra-sequence (striped) GCUPS, swept over database
+//      mean lengths 64..4096 with short-peptide queries. Target: >= 2x on the
+//      short bucket (mean dlen <= 128); the crossover, if the striped engine
+//      catches up, lands in the run report
+//      (bench.interseq.crossover_mean_dlen).
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <thread>
 
 #include "common.hpp"
+#include "valign/obs/metrics.hpp"
 #include "valign/obs/report.hpp"
 #include "valign/runtime/engine_cache.hpp"
 
@@ -57,6 +65,60 @@ std::uint64_t makespan(const runtime::Schedule& sched, int threads) {
     *std::min_element(load.begin(), load.end()) += b.cost;
   }
   return *std::max_element(load.begin(), load.end());
+}
+
+/// Log-normal length model centred on `mean` with a tight spread, so a sweep
+/// bucket really is "database sequences of roughly this length".
+workload::LengthModel bucket_lengths(std::size_t mean) {
+  workload::LengthModel m;
+  m.name = "bucket" + std::to_string(mean);
+  m.sigma = 0.30;
+  m.mu = std::log(static_cast<double>(mean)) - m.sigma * m.sigma / 2.0;
+  m.min_len = 16;
+  m.max_len = 4 * mean;
+  return m;
+}
+
+struct SweepRow {
+  std::size_t mean_dlen;
+  std::size_t subjects;
+  double intra_gcups;
+  double inter_gcups;
+  bool hits_match;
+};
+
+/// Inter-vs-intra engine sweep: short-peptide queries against length buckets
+/// of mean 64..4096. Single-threaded so the numbers compare engine
+/// throughput, not scheduling. Returns one row per bucket.
+std::vector<SweepRow> engine_sweep(const Dataset& queries) {
+  // ~32M DP cells per engine per bucket: large enough to dominate setup,
+  // small enough that the full sweep stays in benchmark territory.
+  const std::uint64_t db_residues = scaled(320'000);
+  std::vector<SweepRow> rows;
+  for (const std::size_t mean : {std::size_t{64}, std::size_t{128},
+                                 std::size_t{256}, std::size_t{512},
+                                 std::size_t{1024}, std::size_t{2048},
+                                 std::size_t{4096}}) {
+    workload::GeneratorConfig gc;
+    gc.lengths = bucket_lengths(mean);
+    gc.seed = 90 + mean;
+    const auto count = static_cast<std::size_t>(
+        std::max<std::uint64_t>(16, db_residues / mean));
+    const Dataset db = workload::generate(count, gc);
+
+    apps::SearchConfig intra;
+    intra.threads = 1;
+    intra.engine = EngineMode::Intra;
+    apps::SearchConfig inter = intra;
+    inter.engine = EngineMode::Inter;
+
+    (void)apps::search(queries, db, inter);  // warm-up (allocations, pages)
+    const apps::SearchReport ri = apps::search(queries, db, intra);
+    const apps::SearchReport rp = apps::search(queries, db, inter);
+    rows.push_back(SweepRow{mean, db.size(), ri.gcups(), rp.gcups(),
+                            hit_checksum(ri) == hit_checksum(rp)});
+  }
+  return rows;
 }
 
 }  // namespace
@@ -141,6 +203,53 @@ int main(int argc, char** argv) {
                                    : "informational: host lacks the cores");
   std::printf("measured streaming speedup:  %.2fx\n", rows[2].gcups / rows[0].gcups);
 
+  // --- Verdict 3: inter-sequence vs intra-sequence engines -----------------
+  // Short-peptide queries (the profile/HMM-fragment shape) against database
+  // length buckets. The lane-packed engine amortizes its per-column scalar
+  // work over every lane; the striped engine pays its per-column tail for one
+  // pair. The crossover (if any) is where that amortization stops winning.
+  workload::GeneratorConfig qg;
+  qg.lengths = bucket_lengths(48);
+  qg.seed = 77;
+  const Dataset short_queries = workload::generate(4, qg);
+  std::printf("\ninter vs intra sweep: %zu short queries (mean %zu aa), 1 thread\n",
+              short_queries.size(),
+              static_cast<std::size_t>(short_queries.mean_length()));
+  std::printf("%10s %10s %12s %12s %9s\n", "mean dlen", "subjects",
+              "intra GCUPS", "inter GCUPS", "speedup");
+  const std::vector<SweepRow> sweep = engine_sweep(short_queries);
+  obs::Registry& reg = obs::Registry::global();
+  std::size_t crossover = 0;  // first bucket where intra catches up (0 = never)
+  double short_speedup = 0.0;
+  for (const SweepRow& r : sweep) {
+    const double speedup = r.intra_gcups > 0 ? r.inter_gcups / r.intra_gcups : 0;
+    std::printf("%10zu %10zu %12.2f %12.2f %8.2fx%s\n", r.mean_dlen, r.subjects,
+                r.intra_gcups, r.inter_gcups, speedup,
+                r.hits_match ? "" : "  HITS DIFFER");
+    ok &= r.hits_match;
+    if (r.mean_dlen <= 128) short_speedup = std::max(short_speedup, speedup);
+    if (crossover == 0 && speedup < 1.0) crossover = r.mean_dlen;
+    const std::string key = "bench.interseq.sweep.mean" + std::to_string(r.mean_dlen);
+    reg.gauge(key + ".intra_mgcups")
+        .set(static_cast<std::int64_t>(1000.0 * r.intra_gcups));
+    reg.gauge(key + ".inter_mgcups")
+        .set(static_cast<std::int64_t>(1000.0 * r.inter_gcups));
+  }
+  // 0 means the packed engine won every bucket on this host.
+  reg.gauge("bench.interseq.crossover_mean_dlen")
+      .set(static_cast<std::int64_t>(crossover));
+  reg.gauge("bench.interseq.short_bucket_speedup_pct")
+      .set(static_cast<std::int64_t>(100.0 * short_speedup));
+  const bool wide_isa = simd::best_isa() == Isa::AVX2 || simd::best_isa() == Isa::AVX512;
+  std::printf("short-bucket (mean <= 128) speedup: %.2fx (%s)\n", short_speedup,
+              wide_isa ? "enforced, target >= 2.00x"
+                       : "informational: host lacks AVX2");
+  std::printf("crossover: %s\n",
+              crossover == 0 ? "none (inter won every bucket)"
+                             : ("intra catches up at mean dlen " +
+                                std::to_string(crossover)).c_str());
+  if (wide_isa) ok &= short_speedup >= 2.0;
+
   ok &= model_speedup >= 1.5;
   if (host_can_parallelize) ok &= measured >= 1.5;
   std::printf("verdict: %s\n", ok ? "PASS" : "FAIL");
@@ -158,6 +267,7 @@ int main(int argc, char** argv) {
   rr.gap_extend = ScoreMatrix::from_name(rr.matrix).default_gaps().extend;
   rr.threads = threads;
   rr.sched = runtime::to_string(paired.sched);
+  rr.engine = to_string(paired.engine);
   rr.cache_engines = paired.align.cache_engines;
   rr.queries = queries.size();
   rr.subjects = db.size();

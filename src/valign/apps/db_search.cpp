@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "valign/io/fasta.hpp"
 #include "valign/obs/report.hpp"
@@ -35,18 +36,35 @@ void keep_top_hits(std::vector<SearchHit>& hits, int top_k) {
   hits.resize(k);
 }
 
+int engine_lane_count(const SearchConfig& cfg) {
+  if (cfg.engine == EngineMode::Intra) return 0;
+  // Probe at the width most pairs will use: i8 for Local (small clamped
+  // scores), i16 otherwise.
+  const BatchAligner probe(cfg.align);
+  return probe.lanes(cfg.align.klass == AlignClass::Local ? 8 : 16);
+}
+
 SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfig& cfg) {
   SearchReport report;
   report.top_hits.resize(queries.size());
 
   const auto t0 = std::chrono::steady_clock::now();
 
+  // Lane count of the packed engine: feeds the scheduler's underfill merge
+  // and the per-block cost model.
+  const int lane_count = engine_lane_count(cfg);
+  int alpha = 0;
+  if (cfg.engine != EngineMode::Intra) {
+    alpha = BatchAligner(cfg.align).matrix().size();
+  }
+
   runtime::Schedule sched;
   {
     const obs::StageSpan span(obs::Stage::Schedule);
     sched = runtime::make_search_schedule(
         queries, db,
-        runtime::ScheduleConfig{cfg.sched, cfg.threads, cfg.grain_cells});
+        runtime::ScheduleConfig{cfg.sched, cfg.threads, cfg.grain_cells,
+                                lane_count});
   }
   obs::Histogram& block_us = obs::Registry::global().histogram(
       "runtime.sched.block_us", obs::block_latency_bounds_us());
@@ -63,12 +81,17 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
 #endif
   {
     Aligner aligner(cfg.align);
+    std::optional<BatchAligner> batcher;
+    if (cfg.engine != EngineMode::Intra) batcher.emplace(cfg.align);
     AlignStats local_stats{};
     std::uint64_t local_aligns = 0;
     std::uint64_t local_cells = 0;
     std::array<std::uint64_t, 3> local_width{};
     std::vector<std::vector<SearchHit>> local_hits(queries.size());
-    std::size_t cur_query = queries.size();  // sentinel: no query loaded
+    std::vector<std::span<const std::uint8_t>> batch_dbs;
+    std::vector<AlignResult> batch_out;
+    std::size_t cur_query = queries.size();    // sentinel: no query loaded
+    std::size_t batch_query = queries.size();  // ditto, for the batcher
 
 #if defined(VALIGN_HAVE_OPENMP)
 #pragma omp for schedule(dynamic, 1) nowait
@@ -76,19 +99,53 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
     for (std::size_t bi = 0; bi < sched.blocks.size(); ++bi) {
       const runtime::WorkBlock& b = sched.blocks[bi];
       const obs::TraceSpan block_span(block_us);
-      if (b.query != cur_query) {
-        aligner.set_query(queries[b.query]);
-        cur_query = b.query;
-      }
+      const std::uint64_t qlen = queries[b.query].size();
+      const std::size_t pairs = b.end - b.begin;
+      const double mean_dlen =
+          (qlen > 0 && pairs > 0)
+              ? static_cast<double>(b.cost) /
+                    (static_cast<double>(qlen) * static_cast<double>(pairs))
+              : 0.0;
+      const EngineMode mode = runtime::resolve_engine(
+          cfg.engine, qlen, pairs, mean_dlen, lane_count, alpha);
       auto& hits = local_hits[b.query];
-      for (std::size_t k = b.begin; k < b.end; ++k) {
-        const std::size_t d = sched.db_index(k);
-        const AlignResult r = aligner.align(db[d]);
-        local_stats += r.stats;
-        ++local_aligns;
-        local_cells += queries[b.query].size() * db[d].size();
-        ++local_width[static_cast<std::size_t>(obs::width_index(r.bits))];
-        hits.push_back(SearchHit{d, r.score, r.query_end, r.db_end});
+
+      if (mode == EngineMode::Inter) {
+        // Lane-packed sweep: the whole block is one batch, so the length
+        // bucketing the scheduler already did keeps lanes in step.
+        if (b.query != batch_query) {
+          batcher->set_query(queries[b.query]);
+          batch_query = b.query;
+        }
+        batch_dbs.clear();
+        for (std::size_t k = b.begin; k < b.end; ++k) {
+          batch_dbs.push_back(db[sched.db_index(k)].codes());
+        }
+        batch_out.resize(pairs);
+        batcher->align_batch(batch_dbs, batch_out);
+        for (std::size_t i = 0; i < pairs; ++i) {
+          const std::size_t d = sched.db_index(b.begin + i);
+          const AlignResult& r = batch_out[i];
+          local_stats += r.stats;
+          ++local_aligns;
+          local_cells += qlen * db[d].size();
+          ++local_width[static_cast<std::size_t>(obs::width_index(r.bits))];
+          hits.push_back(SearchHit{d, r.score, r.query_end, r.db_end});
+        }
+      } else {
+        if (b.query != cur_query) {
+          aligner.set_query(queries[b.query]);
+          cur_query = b.query;
+        }
+        for (std::size_t k = b.begin; k < b.end; ++k) {
+          const std::size_t d = sched.db_index(k);
+          const AlignResult r = aligner.align(db[d]);
+          local_stats += r.stats;
+          ++local_aligns;
+          local_cells += qlen * db[d].size();
+          ++local_width[static_cast<std::size_t>(obs::width_index(r.bits))];
+          hits.push_back(SearchHit{d, r.score, r.query_end, r.db_end});
+        }
       }
       // Bound per-thread memory: pruning to the thread-local top-k keeps a
       // superset of the global top-k (anything dropped is dominated by k
@@ -106,6 +163,11 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
       report.alignments += local_aligns;
       report.cells_real += local_cells;
       report.cache += aligner.cache_stats();
+      if (batcher.has_value()) {
+        report.interseq += batcher->batch_stats();
+        report.interseq_fallbacks += batcher->fallbacks();
+        report.cache += batcher->fallback_cache_stats();
+      }
       for (std::size_t w = 0; w < local_width.size(); ++w) {
         report.width_counts[w] += local_width[w];
       }
@@ -117,6 +179,9 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
 
   align_span.stop();
   runtime::publish_cache_stats(report.cache);
+  if (cfg.engine != EngineMode::Intra) {
+    runtime::publish_interseq_stats(report.interseq, report.interseq_fallbacks);
+  }
 
   {
     const obs::StageSpan reduce_span(obs::Stage::Reduce);

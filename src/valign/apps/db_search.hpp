@@ -47,6 +47,11 @@ struct SearchConfig {
   runtime::PairSched sched = runtime::PairSched::Auto;
   /// Scheduler grain override in DP cells (0 = derive; see runtime/scheduler).
   std::uint64_t grain_cells = 0;
+  /// Engine family: Intra = one pair at a time (Aligner), Inter = lane-packed
+  /// batches (BatchAligner), Auto = per-block cost model
+  /// (runtime::resolve_engine). Results are identical either way; only
+  /// throughput differs.
+  EngineMode engine = EngineMode::Auto;
 };
 
 struct SearchReport {
@@ -60,6 +65,11 @@ struct SearchReport {
   runtime::EngineCacheStats cache{};
   /// Alignments answered at 8/16/32-bit elements (index = log2(bits) - 3).
   std::array<std::uint64_t, 3> width_counts{};
+  /// Lane-packed engine accounting summed over every worker's BatchAligner
+  /// (all-zero when the run stayed intra-task).
+  InterSeqBatchStats interseq{};
+  /// Pairs the packed engine re-ran through the intra ladder (saturation).
+  std::uint64_t interseq_fallbacks = 0;
   double seconds = 0.0;
   /// Giga cell updates per second over real (unpadded) cells — the figure of
   /// merit comparable across engines and with the paper / other aligners.
@@ -68,6 +78,12 @@ struct SearchReport {
   /// performed, including stripe padding. Always >= gcups().
   [[nodiscard]] double gcups_padded() const noexcept;
 };
+
+/// Lane count of the packed engine under `cfg` (0 when the run is forced
+/// intra-task). The scheduler uses it to merge underfilled tail blocks and
+/// publish lane-fill telemetry, so rebuilding a schedule for comparison must
+/// pass the same value.
+[[nodiscard]] int engine_lane_count(const SearchConfig& cfg);
 
 /// Align every sequence of `queries` against every sequence of `db`.
 [[nodiscard]] SearchReport search(const Dataset& queries, const Dataset& db,

@@ -53,6 +53,8 @@ search/detect options:
   --threshold N             homology edge score threshold (default 60; detect only)
   --threads N               worker threads (default 1)
   --pair-sched query|pair|auto   work partitioning granularity (default auto)
+  --engine intra|inter|auto  engine family: one pair per engine vs lane-packed
+                            batches (search only; default auto — see docs/interseq.md)
   --cache-engines on|off    reuse engines across width/approach switches (default on)
   --stream                  stream the database FASTA through the runtime pipeline
 generate options:
@@ -136,7 +138,8 @@ const Alphabet& alphabet_for(const ArgParser& args) {
 /// configuration; the caller fills workload/perf and calls emit_run_report.
 obs::RunReport make_run_report(const char* command, const Scoring& scoring,
                                const Options& opts, int threads,
-                               runtime::PairSched sched, bool streamed) {
+                               runtime::PairSched sched, bool streamed,
+                               EngineMode engine = EngineMode::Intra) {
   obs::RunReport rr;
   rr.command = command;
   rr.align_class = to_string(opts.klass);
@@ -147,6 +150,7 @@ obs::RunReport make_run_report(const char* command, const Scoring& scoring,
   rr.gap_extend = scoring.gap.extend;
   rr.threads = threads;
   rr.sched = runtime::to_string(sched);
+  rr.engine = to_string(engine);
   rr.streamed = streamed;
   rr.cache_engines = opts.cache_engines;
   return rr;
@@ -243,6 +247,7 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   cfg.top_k = static_cast<int>(args.int_value_or("--top", 5));
   cfg.threads = static_cast<int>(args.int_value_or("--threads", 1));
   cfg.sched = runtime::parse_pair_sched(args.value_or("--pair-sched", "auto"));
+  cfg.engine = runtime::parse_engine_mode(args.value_or("--engine", "auto"));
 
   obs::StageSpan parse_span(obs::Stage::Parse);
   const Dataset queries = read_fasta_file(args.positionals()[1], alpha);
@@ -280,7 +285,7 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   report_span.stop();
 
   obs::RunReport rr = make_run_report("search", scoring, cfg.align, cfg.threads,
-                                      cfg.sched, streamed);
+                                      cfg.sched, streamed, cfg.engine);
   rr.queries = queries.size();
   rr.subjects = db.size();
   rr.alignments = rep.alignments;
@@ -438,7 +443,7 @@ int run(std::span<const std::string_view> args, std::ostream& out, std::ostream&
     for (const char* opt :
          {"--class", "--matrix", "--gap-open", "--gap-extend", "--approach", "--isa",
           "--q-seq", "--d-seq", "--top", "--threads", "--out", "--count", "--seed",
-          "--preset", "--pair-sched", "--cache-engines", "--threshold",
+          "--preset", "--pair-sched", "--engine", "--cache-engines", "--threshold",
           "--metrics-out"}) {
       parser.add_option(opt);
     }

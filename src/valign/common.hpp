@@ -2,6 +2,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <cstdlib>
 #include <cstddef>
@@ -28,6 +29,10 @@ enum class Approach : std::uint8_t {
   Diagonal,  ///< Wozniak 1997: vectors along the anti-diagonal.
   Striped,   ///< Farrar 2007: striped layout + lazy-F corrective loop.
   Scan,      ///< This paper: striped layout + two-pass prefix scan.
+  /// Inter-sequence (Rognes 2011 / SWIPE): one independent query x database
+  /// pair per lane, no cross-lane dependencies. Reached through the batch
+  /// dispatcher (BatchAligner), never through `--approach`.
+  InterSeq,
   Auto,      ///< Prescriptive selection per Table IV.
 };
 
@@ -68,7 +73,24 @@ inline const char* to_string(Approach a) {
     case Approach::Diagonal: return "diagonal";
     case Approach::Striped: return "striped";
     case Approach::Scan: return "scan";
+    case Approach::InterSeq: return "interseq";
     case Approach::Auto: return "auto";
+  }
+  return "?";
+}
+
+/// Execution family used by the batch drivers for a block of pairs.
+enum class EngineMode : std::uint8_t {
+  Intra,  ///< One pair at a time, vectorized within its DP matrix.
+  Inter,  ///< Lane-packed: one independent pair per vector lane.
+  Auto,   ///< Cost model per work block (see runtime::resolve_engine).
+};
+
+inline const char* to_string(EngineMode m) {
+  switch (m) {
+    case EngineMode::Intra: return "intra";
+    case EngineMode::Inter: return "inter";
+    case EngineMode::Auto: return "auto";
   }
   return "?";
 }
@@ -199,6 +221,37 @@ struct AlignStats {
   }
 };
 
+/// Occupancy/refill accounting for the inter-sequence (lane-packed) engines.
+/// One column step advances every live lane by one database residue, so
+/// `lane_steps / lane_capacity_steps` is the mean lane occupancy.
+struct InterSeqBatchStats {
+  std::uint64_t batches = 0;              ///< align_batch calls served.
+  std::uint64_t pairs = 0;                ///< Pairs answered by the packed kernel.
+  std::uint64_t column_steps = 0;         ///< Vector column iterations.
+  std::uint64_t lane_steps = 0;           ///< Live lanes summed over column steps.
+  std::uint64_t lane_capacity_steps = 0;  ///< `lanes` summed over column steps.
+  std::uint64_t refills = 0;              ///< Lane reloads after the initial packing.
+  std::uint64_t vector_epochs = 0;        ///< Row-loop vector iterations.
+
+  [[nodiscard]] double occupancy() const noexcept {
+    return lane_capacity_steps == 0
+               ? 0.0
+               : static_cast<double>(lane_steps) /
+                     static_cast<double>(lane_capacity_steps);
+  }
+
+  InterSeqBatchStats& operator+=(const InterSeqBatchStats& o) noexcept {
+    batches += o.batches;
+    pairs += o.pairs;
+    column_steps += o.column_steps;
+    lane_steps += o.lane_steps;
+    lane_capacity_steps += o.lane_capacity_steps;
+    refills += o.refills;
+    vector_epochs += o.vector_epochs;
+    return *this;
+  }
+};
+
 /// Result of a pairwise alignment.
 struct AlignResult {
   std::int32_t score = 0;   ///< Optimal alignment score.
@@ -220,10 +273,15 @@ class Error : public std::runtime_error {
 
 namespace detail {
 
-/// 64-byte aligned, heap-backed array for vector loads/stores.
+/// 64-byte aligned, heap-backed array for vector loads/stores. One cache
+/// line of alignment means an aligned AVX-512 load can never split a line,
+/// and `V::load` (the aligned form) is always legal on vector-stride offsets.
 template <class T>
 class AlignedBuffer {
  public:
+  /// Every allocation starts on a 64-byte (cache-line) boundary.
+  static constexpr std::size_t kAlignment = 64;
+
   AlignedBuffer() = default;
   explicit AlignedBuffer(std::size_t n) { resize(n); }
 
@@ -233,7 +291,9 @@ class AlignedBuffer {
       size_ = n;
       return;
     }
-    void* p = ::operator new[](n * sizeof(T), std::align_val_t{64});
+    void* p = ::operator new[](n * sizeof(T), std::align_val_t{kAlignment});
+    assert(reinterpret_cast<std::uintptr_t>(p) % kAlignment == 0 &&
+           "aligned operator new returned a misaligned block");
     data_.reset(static_cast<T*>(p));
     cap_ = n;
     size_ = n;
@@ -266,4 +326,11 @@ template <class T>
 }
 
 }  // namespace detail
+
+/// 64-byte-aligned vector for query profiles and engine work rows. Grows
+/// without preserving contents (engines fully rewrite on resize); see
+/// detail::AlignedBuffer for the allocation contract.
+template <class T>
+using aligned_vector = detail::AlignedBuffer<T>;
+
 }  // namespace valign

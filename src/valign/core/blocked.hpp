@@ -230,7 +230,7 @@ class BlockedAligner {
   GapPenalty gap_;
   SequentialProfile<T> prof_;
   std::size_t qlen_ = 0;
-  detail::AlignedBuffer<T> h0_, h1_, e_, ladder_, ladder2_;
+  aligned_vector<T> h0_, h1_, e_, ladder_, ladder2_;
 };
 
 }  // namespace valign

@@ -267,7 +267,7 @@ class DiagonalAligner {
   GapPenalty gap_;
   std::vector<std::uint8_t> query_;
   std::vector<T> hc_, ec_, fincol_;
-  detail::AlignedBuffer<T> hbuf_, ebuf_, fbuf_, w_;
+  aligned_vector<T> hbuf_, ebuf_, fbuf_, w_;
 };
 
 }  // namespace valign

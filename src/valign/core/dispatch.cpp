@@ -43,6 +43,24 @@ std::unique_ptr<EngineBase> make_engine(const EngineSpec& s) {
   return eng;
 }
 
+std::unique_ptr<BatchEngineBase> make_batch_engine(const EngineSpec& s) {
+  if (s.matrix == nullptr) throw Error("make_batch_engine: no substitution matrix");
+  std::unique_ptr<BatchEngineBase> eng;
+  switch (s.isa) {
+    case Isa::SSE41: eng = make_batch_engine_sse(s); break;
+    case Isa::AVX2: eng = make_batch_engine_avx2(s); break;
+    case Isa::AVX512: eng = make_batch_engine_avx512(s); break;
+    case Isa::Emul: eng = make_batch_engine_emul(s); break;
+    case Isa::Auto: break;
+  }
+  if (!eng) {
+    throw Error(std::string("make_batch_engine: unsupported combination (") +
+                to_string(s.klass) + "/interseq/" + to_string(s.isa) + "/" +
+                std::to_string(s.bits) + "-bit)");
+  }
+  return eng;
+}
+
 }  // namespace detail
 
 bool width_is_safe(AlignClass klass, int bits, std::size_t qlen, std::size_t dlen,
@@ -164,6 +182,116 @@ AlignResult Aligner::align(std::span<const std::uint8_t> db) {
     res = engine_->align(db);
   }
   return res;
+}
+
+BatchAligner::BatchAligner(Options opts) : opts_(opts), fallback_(opts) {
+  matrix_ = opts.matrix ? opts.matrix : &ScoreMatrix::blosum62();
+  gap_ = (opts.gap.open < 0 || opts.gap.extend < 0) ? matrix_->default_gaps()
+                                                    : opts.gap;
+  isa_ = (opts.isa == Isa::Auto) ? simd::best_isa() : opts.isa;
+  if (!simd::isa_available(isa_)) {
+    throw Error(std::string("BatchAligner: ISA not available on this CPU: ") +
+                to_string(isa_));
+  }
+}
+
+BatchAligner::~BatchAligner() = default;
+BatchAligner::BatchAligner(BatchAligner&&) noexcept = default;
+BatchAligner& BatchAligner::operator=(BatchAligner&&) noexcept = default;
+
+int BatchAligner::lanes(int bits) const noexcept {
+  return (isa_ == Isa::Emul) ? opts_.emul_lanes : simd::native_lanes(isa_, bits);
+}
+
+const runtime::EngineCacheStats& BatchAligner::fallback_cache_stats() const noexcept {
+  return fallback_.cache_stats();
+}
+
+void BatchAligner::set_query(std::span<const std::uint8_t> query) {
+  query_.assign(query.begin(), query.end());
+  engine_has_query_.fill(false);
+  fallback_has_query_ = false;
+}
+
+detail::BatchEngineBase* BatchAligner::engine_for_bits(int bits) {
+  const std::size_t slot = bits == 8 ? 0 : bits == 16 ? 1 : 2;
+  if (!engines_[slot]) {
+    detail::EngineSpec spec;
+    spec.klass = opts_.klass;
+    spec.approach = Approach::InterSeq;
+    spec.isa = isa_;
+    spec.bits = bits;
+    spec.emul_lanes = opts_.emul_lanes;
+    spec.matrix = matrix_;
+    spec.gap = gap_;
+    spec.sg_ends = opts_.sg_ends;
+    engines_[slot] = detail::make_batch_engine(spec);
+    engine_has_query_[slot] = false;
+  }
+  if (!engine_has_query_[slot]) {
+    engines_[slot]->set_query(query_);
+    engine_has_query_[slot] = true;
+  }
+  return engines_[slot].get();
+}
+
+void BatchAligner::align_batch(std::span<const std::span<const std::uint8_t>> dbs,
+                               std::span<AlignResult> out) {
+  if (out.size() != dbs.size()) {
+    throw Error("BatchAligner::align_batch: output size mismatch");
+  }
+  ++stats_.batches;
+
+  // Resolve the element width per pair — the narrowest provably safe one,
+  // exactly like Aligner — then run one packed sub-batch per width so one
+  // long subject never widens the whole batch.
+  const int fixed_bits = elem_bits(opts_.width);
+  for (int bits : {8, 16, 32}) {
+    sub_dbs_.clear();
+    sub_index_.clear();
+    for (std::size_t i = 0; i < dbs.size(); ++i) {
+      int b = fixed_bits;
+      if (b == 0) {
+        b = 8;
+        while (b < 32 &&
+               !width_is_safe(opts_.klass, b, query_.size(), dbs[i].size(), gap_,
+                              *matrix_)) {
+          b *= 2;
+        }
+        if (isa_ == Isa::Emul && b < 16) b = 16;
+      }
+      if (b == bits) {
+        sub_dbs_.push_back(dbs[i]);
+        sub_index_.push_back(i);
+      }
+    }
+    if (sub_dbs_.empty()) continue;
+    sub_out_.resize(sub_dbs_.size());
+    engine_for_bits(bits)->align_batch(sub_dbs_, sub_out_, &stats_);
+    for (std::size_t k = 0; k < sub_index_.size(); ++k) {
+      out[sub_index_[k]] = sub_out_[k];
+    }
+  }
+
+  // Saturated pairs: re-run through the intra-task ladder (which never
+  // returns an overflowed result when the width is Auto).
+  if (opts_.width != ElemWidth::Auto) return;
+  for (std::size_t i = 0; i < dbs.size(); ++i) {
+    if (!out[i].overflowed) continue;
+    if (!fallback_has_query_) {
+      fallback_.set_query(query_);
+      fallback_has_query_ = true;
+    }
+    out[i] = fallback_.align(dbs[i]);
+    ++fallbacks_;
+  }
+}
+
+std::vector<AlignResult> BatchAligner::align_batch(
+    std::span<const std::span<const std::uint8_t>> dbs) {
+  std::vector<AlignResult> out(dbs.size());
+  align_batch(dbs, out);
+  return out;
 }
 
 AlignResult align(const Sequence& query, const Sequence& db, const Options& opts) {

@@ -2,8 +2,10 @@
 // width, with automatic overflow retry at wider elements.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "valign/common.hpp"
 #include "valign/core/prescribe.hpp"
@@ -85,6 +87,32 @@ struct EngineSpec {
 
 [[nodiscard]] std::unique_ptr<EngineBase> make_engine(const EngineSpec& s);
 
+/// Type-erased inter-sequence (lane-packed) batch engine: one independent
+/// query x database pair per vector lane (core/interseq.hpp).
+class BatchEngineBase {
+ public:
+  virtual ~BatchEngineBase() = default;
+  virtual void set_query(std::span<const std::uint8_t> q) = 0;
+  /// Aligns the current query against every sequence of `dbs`, writing
+  /// results in input order (out.size() must equal dbs.size()). Saturated
+  /// pairs carry `overflowed = true`; occupancy accounting goes to `stats`
+  /// when non-null.
+  virtual void align_batch(std::span<const std::span<const std::uint8_t>> dbs,
+                           std::span<AlignResult> out,
+                           InterSeqBatchStats* stats) = 0;
+  [[nodiscard]] virtual int lanes() const noexcept = 0;
+  [[nodiscard]] virtual int bits() const noexcept = 0;
+};
+
+// Per-ISA batch factories, mirroring the intra-task ones. `s.approach` is
+// ignored (the family is always InterSeq). Return nullptr when unsupported.
+[[nodiscard]] std::unique_ptr<BatchEngineBase> make_batch_engine_sse(const EngineSpec& s);
+[[nodiscard]] std::unique_ptr<BatchEngineBase> make_batch_engine_avx2(const EngineSpec& s);
+[[nodiscard]] std::unique_ptr<BatchEngineBase> make_batch_engine_avx512(const EngineSpec& s);
+[[nodiscard]] std::unique_ptr<BatchEngineBase> make_batch_engine_emul(const EngineSpec& s);
+
+[[nodiscard]] std::unique_ptr<BatchEngineBase> make_batch_engine(const EngineSpec& s);
+
 }  // namespace detail
 
 /// True when element width `bits` can represent every intermediate value of
@@ -147,6 +175,71 @@ class Aligner {
   /// overflow re-run, stay at the widened width for this query (re-proved
   /// per query: set_query resets the floor).
   int floor_bits_ = 0;
+};
+
+/// Batch dispatcher for the inter-sequence engine family.
+///
+/// Packs one query against many subjects, lane-parallel (one pair per vector
+/// lane, see core/interseq.hpp). Element width is resolved per pair — the
+/// narrowest provably-safe width, like Aligner — and the batch is split into
+/// per-width sub-batches so one long subject never widens everyone else.
+/// Pairs that saturate at run time (possible for SW and for the +rail of
+/// NW/SG) are transparently re-run through the intra-task ladder (a nested
+/// Aligner), so with `width == Auto` no result is ever returned overflowed.
+///
+/// Options are interpreted as for Aligner except `approach`, which applies
+/// only to the intra-task fallback; the packed engine is always InterSeq.
+class BatchAligner {
+ public:
+  explicit BatchAligner(Options opts = {});
+  ~BatchAligner();
+  BatchAligner(BatchAligner&&) noexcept;
+  BatchAligner& operator=(BatchAligner&&) noexcept;
+
+  [[nodiscard]] const ScoreMatrix& matrix() const noexcept { return *matrix_; }
+  [[nodiscard]] GapPenalty gap() const noexcept { return gap_; }
+  [[nodiscard]] Isa isa() const noexcept { return isa_; }
+  [[nodiscard]] const Options& options() const noexcept { return opts_; }
+  /// Vector lanes (= pairs in flight) at element width `bits` on this ISA.
+  [[nodiscard]] int lanes(int bits) const noexcept;
+
+  void set_query(std::span<const std::uint8_t> query);
+  void set_query(const Sequence& query) { set_query(query.codes()); }
+
+  /// Aligns the current query against every subject; results in input order.
+  void align_batch(std::span<const std::span<const std::uint8_t>> dbs,
+                   std::span<AlignResult> out);
+  [[nodiscard]] std::vector<AlignResult> align_batch(
+      std::span<const std::span<const std::uint8_t>> dbs);
+
+  /// Lifetime occupancy/refill accounting of the packed kernel.
+  [[nodiscard]] const InterSeqBatchStats& batch_stats() const noexcept {
+    return stats_;
+  }
+  /// Pairs re-run through the intra-task ladder after saturating.
+  [[nodiscard]] std::uint64_t fallbacks() const noexcept { return fallbacks_; }
+  /// Engine construction/reuse counters of the fallback Aligner's cache.
+  [[nodiscard]] const runtime::EngineCacheStats& fallback_cache_stats() const noexcept;
+
+ private:
+  [[nodiscard]] detail::BatchEngineBase* engine_for_bits(int bits);
+
+  Options opts_;
+  const ScoreMatrix* matrix_;
+  GapPenalty gap_;
+  Isa isa_;
+  std::vector<std::uint8_t> query_;
+  // One lazily built engine per element width (index log2(bits/8)).
+  std::array<std::unique_ptr<detail::BatchEngineBase>, 3> engines_{};
+  std::array<bool, 3> engine_has_query_{};
+  Aligner fallback_;  ///< Intra-task ladder for saturated pairs.
+  bool fallback_has_query_ = false;
+  InterSeqBatchStats stats_{};
+  std::uint64_t fallbacks_ = 0;
+  // Scratch reused across batches (per-width gather/scatter).
+  std::vector<std::span<const std::uint8_t>> sub_dbs_;
+  std::vector<std::size_t> sub_index_;
+  std::vector<AlignResult> sub_out_;
 };
 
 /// One-shot convenience wrapper around Aligner.

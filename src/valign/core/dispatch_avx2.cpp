@@ -13,4 +13,14 @@ std::unique_ptr<EngineBase> make_engine_avx2(const EngineSpec& s) {
 #endif
 }
 
+std::unique_ptr<BatchEngineBase> make_batch_engine_avx2(const EngineSpec& s) {
+#if defined(__AVX2__)
+  if (!simd::isa_available(Isa::AVX2)) return nullptr;
+  return make_batch_native<simd::V256>(s);
+#else
+  (void)s;
+  return nullptr;
+#endif
+}
+
 }  // namespace valign::detail

@@ -13,4 +13,14 @@ std::unique_ptr<EngineBase> make_engine_avx512(const EngineSpec& s) {
 #endif
 }
 
+std::unique_ptr<BatchEngineBase> make_batch_engine_avx512(const EngineSpec& s) {
+#if defined(__AVX512F__) && defined(__AVX512BW__)
+  if (!simd::isa_available(Isa::AVX512)) return nullptr;
+  return make_batch_native<simd::V512>(s);
+#else
+  (void)s;
+  return nullptr;
+#endif
+}
+
 }  // namespace valign::detail

@@ -19,12 +19,32 @@ std::unique_ptr<EngineBase> make_emul_t(const EngineSpec& s) {
   }
 }
 
+template <class T>
+std::unique_ptr<BatchEngineBase> make_batch_emul_t(const EngineSpec& s) {
+  switch (s.emul_lanes) {
+    case 4: return make_batch_for_vec<simd::VEmul<T, 4>>(s);
+    case 8: return make_batch_for_vec<simd::VEmul<T, 8>>(s);
+    case 16: return make_batch_for_vec<simd::VEmul<T, 16>>(s);
+    case 32: return make_batch_for_vec<simd::VEmul<T, 32>>(s);
+    case 64: return make_batch_for_vec<simd::VEmul<T, 64>>(s);
+    default: return nullptr;
+  }
+}
+
 }  // namespace
 
 std::unique_ptr<EngineBase> make_engine_emul(const EngineSpec& s) {
   switch (s.bits) {
     case 16: return make_emul_t<std::int16_t>(s);
     case 32: return make_emul_t<std::int32_t>(s);
+    default: return nullptr;
+  }
+}
+
+std::unique_ptr<BatchEngineBase> make_batch_engine_emul(const EngineSpec& s) {
+  switch (s.bits) {
+    case 16: return make_batch_emul_t<std::int16_t>(s);
+    case 32: return make_batch_emul_t<std::int32_t>(s);
     default: return nullptr;
   }
 }

@@ -5,6 +5,7 @@
 #include "valign/core/blocked.hpp"
 #include "valign/core/diagonal.hpp"
 #include "valign/core/dispatch.hpp"
+#include "valign/core/interseq.hpp"
 #include "valign/core/scan.hpp"
 #include "valign/core/striped.hpp"
 
@@ -93,6 +94,55 @@ std::unique_ptr<EngineBase> make_native(const EngineSpec& s) {
     case 8: return make_for_vec<VecOf<std::int8_t>>(s);
     case 16: return make_for_vec<VecOf<std::int16_t>>(s);
     case 32: return make_for_vec<VecOf<std::int32_t>>(s);
+    default: return nullptr;
+  }
+}
+
+// --- inter-sequence (batch) factory machinery ------------------------------
+
+template <class Eng>
+class BatchEngineHolder final : public BatchEngineBase {
+ public:
+  explicit BatchEngineHolder(Eng eng) : eng_(std::move(eng)) {}
+
+  void set_query(std::span<const std::uint8_t> q) override { eng_.set_query(q); }
+  void align_batch(std::span<const std::span<const std::uint8_t>> dbs,
+                   std::span<AlignResult> out,
+                   InterSeqBatchStats* stats) override {
+    eng_.align_batch(dbs, out, stats);
+  }
+  [[nodiscard]] int lanes() const noexcept override { return Eng::kLanes; }
+  [[nodiscard]] int bits() const noexcept override {
+    return 8 * int(sizeof(typename Eng::T));
+  }
+
+ private:
+  Eng eng_;
+};
+
+template <simd::SimdVec V>
+std::unique_ptr<BatchEngineBase> make_batch_for_vec(const EngineSpec& s) {
+  switch (s.klass) {
+    case AlignClass::Global:
+      return std::make_unique<BatchEngineHolder<InterSeqAligner<AlignClass::Global, V>>>(
+          InterSeqAligner<AlignClass::Global, V>(*s.matrix, s.gap, s.sg_ends));
+    case AlignClass::SemiGlobal:
+      return std::make_unique<
+          BatchEngineHolder<InterSeqAligner<AlignClass::SemiGlobal, V>>>(
+          InterSeqAligner<AlignClass::SemiGlobal, V>(*s.matrix, s.gap, s.sg_ends));
+    case AlignClass::Local:
+      return std::make_unique<BatchEngineHolder<InterSeqAligner<AlignClass::Local, V>>>(
+          InterSeqAligner<AlignClass::Local, V>(*s.matrix, s.gap, s.sg_ends));
+  }
+  return nullptr;
+}
+
+template <template <class> class VecOf>
+std::unique_ptr<BatchEngineBase> make_batch_native(const EngineSpec& s) {
+  switch (s.bits) {
+    case 8: return make_batch_for_vec<VecOf<std::int8_t>>(s);
+    case 16: return make_batch_for_vec<VecOf<std::int16_t>>(s);
+    case 32: return make_batch_for_vec<VecOf<std::int32_t>>(s);
     default: return nullptr;
   }
 }

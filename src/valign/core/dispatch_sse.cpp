@@ -13,4 +13,14 @@ std::unique_ptr<EngineBase> make_engine_sse(const EngineSpec& s) {
 #endif
 }
 
+std::unique_ptr<BatchEngineBase> make_batch_engine_sse(const EngineSpec& s) {
+#if defined(__SSE4_1__)
+  if (!simd::isa_available(Isa::SSE41)) return nullptr;
+  return make_batch_native<simd::V128>(s);
+#else
+  (void)s;
+  return nullptr;
+#endif
+}
+
 }  // namespace valign::detail

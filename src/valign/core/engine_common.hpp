@@ -1,6 +1,7 @@
 // Helpers shared by the vectorized alignment engines.
 #pragma once
 
+#include <cassert>
 #include <cstring>
 
 #include "valign/common.hpp"
@@ -91,10 +92,12 @@ struct LocalBest {
 
   T best = 0;
   std::int32_t best_j = -1;
-  AlignedBuffer<T> snapshot;
+  aligned_vector<T> snapshot;
 
   void prepare(std::size_t seglen) {
     snapshot.resize(seglen * static_cast<std::size_t>(V::lanes));
+    assert(reinterpret_cast<std::uintptr_t>(snapshot.data()) %
+               aligned_vector<T>::kAlignment == 0);
     best = 0;
     best_j = -1;
   }

@@ -1,0 +1,413 @@
+// Inter-sequence (lane-packed) alignment: one independent query x database
+// pair per vector lane.
+//
+// Every engine elsewhere in core/ vectorizes *within* one DP matrix, so the
+// cross-lane part of the vertical dependency costs corrective passes
+// (Striped's lazy-F) or an extra scan pass (Scan), and short queries waste
+// lanes on stripe padding. Here the vector dimension runs across *pairs*:
+// all lanes share one query, each lane sweeps its own database sequence, and
+// the DP recurrence is executed exactly like the scalar kernel — row by row
+// down the column — but for `lanes` matrices at once. There is no cross-lane
+// dependency at all, so every column is a single unconditional pass (the
+// SWIPE / Rognes-2011 inter-task formulation), which is the highest-GCUPS
+// layout for many-short-pair database search.
+//
+// Layout: work rows are row-major [query_row][lane]; lane l of row r holds
+// H[r][j_l - 1] of pair l, where j_l is the lane's *local* column. Lanes
+// advance in lockstep but are at unrelated local columns: when a lane's
+// sequence ends, its result is extracted and the lane is refilled from the
+// pending queue (its H/E stripes reset to the first-column boundary), so
+// occupancy stays high even when batch sizes are not multiples of the lane
+// count.
+//
+// Substitution scores: the kernel needs W(query[r], db_l[j_l]) — a per-lane
+// matrix column. A per-column "column profile" CP[c][l] = W(c, db_l[j_l]) is
+// gathered from a transposed matrix copy whenever a lane's residue changes;
+// the row loop then issues one aligned vector load per row (CP[query[r]]).
+// The gather costs O(alphabet x lanes) scalar work per column, amortized
+// over `qlen x lanes` DP cells.
+//
+// Saturation: detection is per lane (running column max against the +rail,
+// final score against both rails), so one hot pair never forces the whole
+// batch to a wider element type — the dispatcher re-runs just that pair
+// through the intra-task ladder (see BatchAligner in core/dispatch.hpp).
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "valign/core/engine_common.hpp"
+#include "valign/matrices/matrix.hpp"
+
+namespace valign {
+
+template <AlignClass C, simd::SimdVec V>
+class InterSeqAligner {
+ public:
+  using T = typename V::value_type;
+  static constexpr Approach kApproach = Approach::InterSeq;
+  static constexpr AlignClass kClass = C;
+  static constexpr int kLanes = V::lanes;
+
+  /// `ends` configures free end gaps; honoured when C == SemiGlobal.
+  InterSeqAligner(const ScoreMatrix& matrix, GapPenalty gap,
+                  SemiGlobalEnds ends = {})
+      : matrix_(&matrix), gap_(gap), ends_(ends), alpha_(matrix.size()) {
+    // Transposed matrix copy: trans_[d * alpha + c] = W(c, d), so one lane's
+    // column-profile refresh reads a contiguous row.
+    trans_.resize(static_cast<std::size_t>(alpha_) * static_cast<std::size_t>(alpha_));
+    for (int c = 0; c < alpha_; ++c) {
+      const std::span<const std::int8_t> row = matrix.row(c);
+      for (int d = 0; d < alpha_; ++d) {
+        trans_[static_cast<std::size_t>(d) * static_cast<std::size_t>(alpha_) +
+               static_cast<std::size_t>(c)] = row[d];
+      }
+    }
+  }
+
+  void set_query(std::span<const std::uint8_t> query) {
+    query_.assign(query.begin(), query.end());
+    n_ = query.size();
+    constexpr auto p = static_cast<std::size_t>(V::lanes);
+    h_.resize(std::max<std::size_t>(n_, 1) * p);
+    e_.resize(std::max<std::size_t>(n_, 1) * p);
+    colprof_.resize(static_cast<std::size_t>(alpha_) * p);
+    boundary_row_.resize(2 * p);
+    colmax_.resize(p);
+    assert(reinterpret_cast<std::uintptr_t>(colprof_.data()) %
+               aligned_vector<T>::kAlignment == 0 &&
+           "column profile must start on a cache line");
+    for (std::size_t i = 0; i < colprof_.size(); ++i) colprof_[i] = 0;
+  }
+
+  [[nodiscard]] std::size_t query_length() const noexcept { return n_; }
+
+  /// Aligns the current query against every sequence of `dbs`, writing
+  /// results in input order to `out` (out.size() must equal dbs.size()).
+  /// Per-lane occupancy/refill accounting is accumulated into `bstats` when
+  /// non-null. Results that saturated their element type carry
+  /// `overflowed = true`, exactly like the intra-task engines.
+  void align_batch(std::span<const std::span<const std::uint8_t>> dbs,
+                   std::span<AlignResult> out,
+                   InterSeqBatchStats* bstats = nullptr) {
+    assert(out.size() == dbs.size());
+    constexpr int p = V::lanes;
+    constexpr auto sp = static_cast<std::size_t>(p);
+    constexpr T kNegInf = simd::ElemTraits<T>::neg_inf;
+
+    // Result skeletons + degenerate pairs (empty query and/or subject).
+    std::size_t runnable = 0;
+    for (std::size_t i = 0; i < dbs.size(); ++i) {
+      AlignResult res;
+      res.approach = Approach::InterSeq;
+      res.isa = detail::isa_of<V>();
+      res.lanes = p;
+      res.bits = 8 * int(sizeof(T));
+      res.stats.columns = dbs[i].size();
+      res.stats.cells = n_ * dbs[i].size();
+      if (n_ == 0 || dbs[i].empty()) {
+        out[i] = detail::degenerate_result<C>(res, n_, dbs[i].size(), gap_, ends_);
+      } else {
+        out[i] = res;
+        ++runnable;
+      }
+    }
+    if (runnable == 0) return;
+    if (bstats != nullptr) bstats->pairs += runnable;
+
+    // Whole-array init: every lane starts at the first-column boundary, so
+    // idle lanes (runnable < p) compute on well-defined values.
+    for (std::size_t r = 0; r < n_; ++r) {
+      for (std::size_t l = 0; l < sp; ++l) {
+        h_[r * sp + l] = first_col_value(r);
+        e_[r * sp + l] = kNegInf;
+      }
+    }
+    for (std::size_t i = 0; i < boundary_row_.size(); ++i) boundary_row_[i] = 0;
+
+    // Lane packing: fill each lane with the next runnable pair.
+    std::array<Lane, static_cast<std::size_t>(V::lanes)> lanes{};
+    std::size_t next = 0;
+    int active = 0;
+    for (int l = 0; l < p; ++l) {
+      next = skip_degenerate(dbs, next);
+      if (next >= dbs.size()) break;
+      load_lane(lanes[static_cast<std::size_t>(l)], dbs, next++);
+      ++active;
+    }
+
+    const V vGapO = V::broadcast(detail::clamp_to<T>(gap_.open));
+    const V vGapE = V::broadcast(detail::clamp_to<T>(gap_.extend));
+    const V vNegInf = V::broadcast(kNegInf);
+    const V vZero = V::zero();
+
+    // The top boundary H[-1][j] is zero for SW and for SG with a free query
+    // begin; only then can the per-column boundary fill be skipped.
+    const bool zero_top = (C == AlignClass::Local) ||
+                          (C == AlignClass::SemiGlobal && ends_.free_query_begin);
+    // Track per-lane column maxima when any consumer needs them: the SW best
+    // tracker, or rail detection on saturating element types.
+    constexpr bool kTrackColMax =
+        (C == AlignClass::Local) || simd::ElemTraits<T>::saturating;
+
+    T* hdiag_row = boundary_row_.data();
+    T* hup_row = boundary_row_.data() + sp;
+
+    while (active > 0) {
+      // --- per-lane column prep (scalar, O(lanes)) -------------------------
+      for (int l = 0; l < p; ++l) {
+        Lane& ln = lanes[static_cast<std::size_t>(l)];
+        if (!ln.live) continue;
+        const std::uint8_t code = ln.db[ln.j];
+        if (code != ln.cur_code) {
+          refresh_profile_lane(static_cast<std::size_t>(l), code);
+          ln.cur_code = code;
+        }
+        if (!zero_top) {
+          hdiag_row[l] = (ln.j == 0)
+                             ? T{0}
+                             : detail::row_edge_elem<C, T>(
+                                   static_cast<std::int64_t>(ln.j), gap_, ends_);
+          hup_row[l] = detail::row_edge_elem<C, T>(
+              static_cast<std::int64_t>(ln.j) + 1, gap_, ends_);
+        }
+      }
+      V vHdiag = zero_top ? vZero : V::load(hdiag_row);
+      V vHup = zero_top ? vZero : V::load(hup_row);
+      V vF = vNegInf;
+      V vColMax = vNegInf;
+
+      // --- the column: scalar recurrence, lanes-wide -----------------------
+      for (std::size_t r = 0; r < n_; ++r) {
+        const std::size_t off = r * sp;
+        const V vW = V::load(colprof_.data() +
+                             static_cast<std::size_t>(query_[r]) * sp);
+        const V vHp = V::load(h_.data() + off);
+        const V vE =
+            V::subs(V::max(V::load(e_.data() + off), V::subs(vHp, vGapO)), vGapE);
+        vF = V::subs(V::max(vF, V::subs(vHup, vGapO)), vGapE);
+        V vH = V::adds(vHdiag, vW);
+        vH = V::max(vH, vE);
+        vH = V::max(vH, vF);
+        if constexpr (C == AlignClass::Local) vH = V::max(vH, vZero);
+        if constexpr (kTrackColMax) vColMax = V::max(vColMax, vH);
+        vH.store(h_.data() + off);
+        vE.store(e_.data() + off);
+        vHdiag = vHp;
+        vHup = vH;
+      }
+
+      if (bstats != nullptr) {
+        ++bstats->column_steps;
+        bstats->lane_steps += static_cast<std::uint64_t>(active);
+        bstats->lane_capacity_steps += static_cast<std::uint64_t>(p);
+        bstats->vector_epochs += n_;
+      }
+      if constexpr (kTrackColMax) vColMax.store(colmax_.data());
+
+      // --- per-lane bookkeeping (scalar, O(lanes)) -------------------------
+      for (int l = 0; l < p; ++l) {
+        Lane& ln = lanes[static_cast<std::size_t>(l)];
+        if (!ln.live) continue;
+        const auto sl = static_cast<std::size_t>(l);
+        ++ln.j;
+        if constexpr (simd::ElemTraits<T>::saturating) {
+          if (colmax_[sl] >= simd::ElemTraits<T>::max_value) ln.railed = true;
+        }
+        if constexpr (C == AlignClass::Local) {
+          if (colmax_[sl] > ln.best) {
+            ln.best = colmax_[sl];
+            ln.best_j = static_cast<std::int32_t>(ln.j) - 1;
+            ln.best_r = find_row(sl, ln.best);
+          }
+        }
+        if constexpr (C == AlignClass::SemiGlobal) {
+          if (ends_.free_query_end) {
+            const std::int64_t last = h_[(n_ - 1) * sp + sl];
+            if (last > ln.sg_best) {
+              ln.sg_best = last;
+              ln.sg_best_j = static_cast<std::int32_t>(ln.j) - 1;
+            }
+          }
+        }
+        if (ln.j == ln.db.size()) {
+          finish_lane(sl, ln, out);
+          next = skip_degenerate(dbs, next);
+          if (next < dbs.size()) {
+            load_lane(ln, dbs, next++);
+            reset_lane_column(sl);
+            if (bstats != nullptr) ++bstats->refills;
+          } else {
+            ln.live = false;
+            --active;
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  struct Lane {
+    std::span<const std::uint8_t> db{};
+    std::size_t pair = 0;  ///< Index into the batch's dbs/out arrays.
+    std::size_t j = 0;     ///< Local column (next db residue to consume).
+    bool live = false;
+    bool railed = false;         ///< Column max touched the +rail.
+    std::uint8_t cur_code = 0;   ///< Residue the column profile holds.
+    // SW best tracker (scalar tie-breaks: earliest column, then earliest row).
+    T best = 0;
+    std::int32_t best_j = -1;
+    std::int32_t best_r = -1;
+    // SG running best over the last query row.
+    std::int64_t sg_best = std::numeric_limits<std::int64_t>::min() / 2;
+    std::int32_t sg_best_j = -1;
+  };
+
+  [[nodiscard]] T first_col_value(std::size_t r) const noexcept {
+    if constexpr (C == AlignClass::Local) {
+      (void)r;
+      return T{0};
+    } else {
+      return detail::col_edge_elem<C, T>(static_cast<std::int64_t>(r) + 1, gap_,
+                                         ends_);
+    }
+  }
+
+  /// Advances past pairs already answered as degenerate.
+  [[nodiscard]] std::size_t skip_degenerate(
+      std::span<const std::span<const std::uint8_t>> dbs,
+      std::size_t i) const noexcept {
+    while (i < dbs.size() && dbs[i].empty()) ++i;
+    return i;
+  }
+
+  void load_lane(Lane& ln, std::span<const std::span<const std::uint8_t>> dbs,
+                 std::size_t pair) noexcept {
+    ln.db = dbs[pair];
+    ln.pair = pair;
+    ln.j = 0;
+    ln.live = true;
+    ln.railed = false;
+    ln.best = 0;
+    ln.best_j = -1;
+    ln.best_r = -1;
+    ln.sg_best = std::numeric_limits<std::int64_t>::min() / 2;
+    ln.sg_best_j = -1;
+    // Force a profile refresh on the next column (cur_code is stale).
+    ln.cur_code = static_cast<std::uint8_t>(0xFF);
+  }
+
+  /// Resets one lane's H/E stripes to the first-column boundary (refill).
+  void reset_lane_column(std::size_t l) noexcept {
+    constexpr auto sp = static_cast<std::size_t>(V::lanes);
+    constexpr T kNegInf = simd::ElemTraits<T>::neg_inf;
+    for (std::size_t r = 0; r < n_; ++r) {
+      h_[r * sp + l] = first_col_value(r);
+      e_[r * sp + l] = kNegInf;
+    }
+  }
+
+  /// Re-gathers one lane's column of the profile for db residue `code`.
+  void refresh_profile_lane(std::size_t l, std::uint8_t code) noexcept {
+    constexpr auto sp = static_cast<std::size_t>(V::lanes);
+    const std::int8_t* row =
+        trans_.data() + static_cast<std::size_t>(code) * static_cast<std::size_t>(alpha_);
+    T* dst = colprof_.data() + l;
+    for (int c = 0; c < alpha_; ++c) {
+      dst[static_cast<std::size_t>(c) * sp] = static_cast<T>(row[c]);
+    }
+  }
+
+  /// First query row holding `value` in lane `l`'s current column — the same
+  /// tie-break as the scalar tracker (earliest row of the earliest column).
+  [[nodiscard]] std::int32_t find_row(std::size_t l, T value) const noexcept {
+    constexpr auto sp = static_cast<std::size_t>(V::lanes);
+    for (std::size_t r = 0; r < n_; ++r) {
+      if (h_[r * sp + l] == value) return static_cast<std::int32_t>(r);
+    }
+    return -1;
+  }
+
+  /// Extracts the finished lane's score/ends into its pair's result. The
+  /// lane's final column is still resident in h_ (lane l of every row).
+  void finish_lane(std::size_t l, const Lane& ln, std::span<AlignResult> out) {
+    constexpr auto sp = static_cast<std::size_t>(V::lanes);
+    AlignResult& res = out[ln.pair];
+    const auto n = static_cast<std::int32_t>(n_);
+    const auto m = static_cast<std::int32_t>(ln.db.size());
+
+    if constexpr (C == AlignClass::Global) {
+      const T corner = h_[(n_ - 1) * sp + l];
+      res.score = corner;
+      res.query_end = n - 1;
+      res.db_end = m - 1;
+      res.overflowed = ln.railed || detail::answer_hit_rails<T>(res.score);
+    } else if constexpr (C == AlignClass::SemiGlobal) {
+      // The same endgame as the scalar engine, in the same order, so ends
+      // tie-break identically.
+      std::int64_t best = ln.sg_best;
+      std::int32_t best_r = n - 1;
+      std::int32_t best_j = ln.sg_best_j;
+      const std::int64_t corner = h_[(n_ - 1) * sp + l];
+      if (corner > best) {
+        best = corner;
+        best_r = n - 1;
+        best_j = m - 1;
+      }
+      if (ends_.free_db_end) {
+        for (std::size_t r = 0; r < n_; ++r) {
+          const std::int64_t v = h_[r * sp + l];
+          if (v > best) {
+            best = v;
+            best_r = static_cast<std::int32_t>(r);
+            best_j = m - 1;
+          }
+        }
+      }
+      if (ends_.free_query_end) {
+        const std::int64_t b =
+            detail::col_boundary<C>(static_cast<std::int64_t>(n_), gap_, ends_);
+        if (b > best) {
+          best = b;
+          best_r = n - 1;
+          best_j = -1;
+        }
+      }
+      if (ends_.free_db_end) {
+        const std::int64_t b = detail::row_boundary<C>(
+            static_cast<std::int64_t>(ln.db.size()), gap_, ends_);
+        if (b > best) {
+          best = b;
+          best_r = -1;
+          best_j = m - 1;
+        }
+      }
+      res.score = static_cast<std::int32_t>(best);
+      res.query_end = best_r;
+      res.db_end = best_j;
+      res.overflowed = ln.railed || detail::answer_hit_rails<T>(res.score);
+    } else {
+      res.score = ln.best;
+      res.query_end = ln.best_r;
+      res.db_end = ln.best_j;
+      res.overflowed = ln.railed;
+    }
+  }
+
+  const ScoreMatrix* matrix_;
+  GapPenalty gap_;
+  SemiGlobalEnds ends_;
+  int alpha_ = 0;
+  std::vector<std::int8_t> trans_;    ///< Transposed substitution scores.
+  std::vector<std::uint8_t> query_;
+  std::size_t n_ = 0;
+  aligned_vector<T> h_, e_;           ///< Work rows, row-major [row][lane].
+  aligned_vector<T> colprof_;         ///< Column profile, [code][lane].
+  aligned_vector<T> boundary_row_;    ///< Per-lane H[-1][j-1] / H[-1][j].
+  aligned_vector<T> colmax_;          ///< Per-lane column maxima.
+};
+
+}  // namespace valign

@@ -10,6 +10,7 @@
 // ones (they saturate/clamp low for NW/SG and clamp to zero for SW).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 
@@ -35,6 +36,9 @@ class StripedProfile {
     alpha_ = matrix.size();
     const std::size_t per_code = seglen_ * static_cast<std::size_t>(lanes);
     buf_.resize(per_code * static_cast<std::size_t>(alpha_));
+    assert(reinterpret_cast<std::uintptr_t>(buf_.data()) %
+               aligned_vector<T>::kAlignment == 0 &&
+           "query profile must start on a cache line");
     constexpr T pad = simd::ElemTraits<T>::neg_inf;
     for (int c = 0; c < alpha_; ++c) {
       const std::span<const std::int8_t> row = matrix.row(c);
@@ -60,7 +64,7 @@ class StripedProfile {
   [[nodiscard]] std::size_t query_length() const noexcept { return qlen_; }
 
  private:
-  detail::AlignedBuffer<T> buf_;
+  aligned_vector<T> buf_;
   int lanes_ = 0;
   int alpha_ = 0;
   std::size_t seglen_ = 0;
@@ -105,7 +109,7 @@ class SequentialProfile {
   [[nodiscard]] std::size_t query_length() const noexcept { return qlen_; }
 
  private:
-  detail::AlignedBuffer<T> buf_;
+  aligned_vector<T> buf_;
   int lanes_ = 0;
   int alpha_ = 0;
   std::size_t blocks_ = 0;

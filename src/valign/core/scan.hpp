@@ -245,7 +245,7 @@ class ScanAligner {
   SemiGlobalEnds ends_;
   StripedProfile<T> prof_;
   std::size_t qlen_ = 0;
-  detail::AlignedBuffer<T> h0_, h1_, e_, ht_;
+  aligned_vector<T> h0_, h1_, e_, ht_;
 };
 
 }  // namespace valign

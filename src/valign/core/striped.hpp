@@ -235,7 +235,7 @@ class StripedAligner {
   SemiGlobalEnds ends_;
   StripedProfile<T> prof_;
   std::size_t qlen_ = 0;
-  detail::AlignedBuffer<T> h0_, h1_, e_;
+  aligned_vector<T> h0_, h1_, e_;
 };
 
 }  // namespace valign

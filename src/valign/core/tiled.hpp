@@ -217,7 +217,7 @@ class TiledScanAligner {
   std::size_t tile_rows_;
   std::vector<std::uint8_t> query_;
   StripedProfile<T> prof_;
-  detail::AlignedBuffer<T> h0_, h1_, earr_, htarr_;
+  aligned_vector<T> h0_, h1_, earr_, htarr_;
   std::vector<T> hc_, dc_, hc_next_, dc_next_;
 };
 

@@ -111,6 +111,8 @@ void RunReport::write_json(std::ostream& out) const {
   out << R"(,"threads":)" << threads;
   out << R"(,"sched":)";
   json_string(out, sched);
+  out << R"(,"engine":)";
+  json_string(out, engine);
   out << R"(,"streamed":)" << (streamed ? "true" : "false");
   out << R"(,"cache_engines":)" << (cache_engines ? "true" : "false");
   out << "}";
@@ -209,6 +211,7 @@ void RunReport::write_csv(std::ostream& out) const {
   row("config.gap_extend", gap_extend);
   row("config.threads", threads);
   row("config.sched", sched);
+  row("config.engine", engine);
   row("config.streamed", streamed ? 1 : 0);
   row("config.cache_engines", cache_engines ? 1 : 0);
   row("workload.queries", queries);

@@ -41,6 +41,7 @@ struct RunReport {
   int gap_extend = 0;
   int threads = 1;
   std::string sched;        ///< Pair-sched policy ("query" | "pair" | "auto").
+  std::string engine;       ///< Engine family ("intra" | "inter" | "auto").
   bool streamed = false;
   bool cache_engines = true;
 

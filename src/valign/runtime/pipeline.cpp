@@ -1,6 +1,8 @@
 #include "valign/runtime/pipeline.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <span>
 
 #include "valign/obs/report.hpp"
 #include "valign/obs/trace.hpp"
@@ -64,10 +66,21 @@ void SearchPipeline::push(Sequence s) {
 
 void SearchPipeline::worker_main(WorkerState& state) {
   Aligner aligner(cfg_.search.align);
+  std::optional<BatchAligner> batcher;
+  int lane_count = 0;
+  int alpha = 0;
+  if (cfg_.search.engine != EngineMode::Intra) {
+    batcher.emplace(cfg_.search.align);
+    lane_count = batcher->lanes(
+        cfg_.search.align.klass == AlignClass::Local ? 8 : 16);
+    alpha = batcher->matrix().size();
+  }
   const Dataset& queries = *queries_;
   const std::size_t prune_at = top_k_prune_threshold(cfg_.search.top_k);
   obs::Histogram& shard_us = obs::Registry::global().histogram(
       "runtime.pipeline.shard_us", obs::block_latency_bounds_us());
+  std::vector<std::span<const std::uint8_t>> batch_dbs;
+  std::vector<AlignResult> batch_out;
 
   for (;;) {
     Shard shard;
@@ -75,9 +88,14 @@ void SearchPipeline::worker_main(WorkerState& state) {
       std::unique_lock<std::mutex> lock(mu_);
       not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
       if (queue_.empty()) {
-        // Closed and drained: expose this worker's cache activity before exit
-        // (the Aligner — and its EngineCache — dies with this frame).
+        // Closed and drained: expose this worker's cache and lane accounting
+        // before exit (the engines die with this frame).
         state.cache = aligner.cache_stats();
+        if (batcher.has_value()) {
+          state.cache += batcher->fallback_cache_stats();
+          state.interseq = batcher->batch_stats();
+          state.interseq_fallbacks = batcher->fallbacks();
+        }
         return;
       }
       shard = std::move(queue_.front());
@@ -88,18 +106,44 @@ void SearchPipeline::worker_main(WorkerState& state) {
     // The Align budget counts shard processing only, not queue waits.
     const obs::StageSpan align_span(obs::Stage::Align);
     const obs::TraceSpan span(shard_us);
+    std::uint64_t shard_residues = 0;
+    for (const Sequence& d : shard.seqs) shard_residues += d.size();
     for (std::size_t q = 0; q < queries.size(); ++q) {
-      aligner.set_query(queries[q]);
       auto& hits = state.hits[q];
-      for (std::size_t i = 0; i < shard.seqs.size(); ++i) {
-        const Sequence& d = shard.seqs[i];
-        const AlignResult r = aligner.align(d);
-        state.stats += r.stats;
-        ++state.alignments;
-        state.cells_real += queries[q].size() * d.size();
-        ++state.width_counts[static_cast<std::size_t>(obs::width_index(r.bits))];
-        hits.push_back(
-            apps::SearchHit{shard.base + i, r.score, r.query_end, r.db_end});
+      const double mean_dlen =
+          shard.seqs.empty() ? 0.0
+                             : static_cast<double>(shard_residues) /
+                                   static_cast<double>(shard.seqs.size());
+      const EngineMode mode =
+          resolve_engine(cfg_.search.engine, queries[q].size(),
+                         shard.seqs.size(), mean_dlen, lane_count, alpha);
+      if (mode == EngineMode::Inter) {
+        batcher->set_query(queries[q]);
+        batch_dbs.clear();
+        for (const Sequence& d : shard.seqs) batch_dbs.push_back(d.codes());
+        batch_out.resize(shard.seqs.size());
+        batcher->align_batch(batch_dbs, batch_out);
+        for (std::size_t i = 0; i < shard.seqs.size(); ++i) {
+          const AlignResult& r = batch_out[i];
+          state.stats += r.stats;
+          ++state.alignments;
+          state.cells_real += queries[q].size() * shard.seqs[i].size();
+          ++state.width_counts[static_cast<std::size_t>(obs::width_index(r.bits))];
+          hits.push_back(
+              apps::SearchHit{shard.base + i, r.score, r.query_end, r.db_end});
+        }
+      } else {
+        aligner.set_query(queries[q]);
+        for (std::size_t i = 0; i < shard.seqs.size(); ++i) {
+          const Sequence& d = shard.seqs[i];
+          const AlignResult r = aligner.align(d);
+          state.stats += r.stats;
+          ++state.alignments;
+          state.cells_real += queries[q].size() * d.size();
+          ++state.width_counts[static_cast<std::size_t>(obs::width_index(r.bits))];
+          hits.push_back(
+              apps::SearchHit{shard.base + i, r.score, r.query_end, r.db_end});
+        }
       }
       if (hits.size() > prune_at) apps::keep_top_hits(hits, cfg_.search.top_k);
     }
@@ -133,11 +177,16 @@ apps::SearchReport SearchPipeline::finish() {
     report.alignments += s.alignments;
     report.cells_real += s.cells_real;
     report.cache += s.cache;
+    report.interseq += s.interseq;
+    report.interseq_fallbacks += s.interseq_fallbacks;
     for (std::size_t w = 0; w < s.width_counts.size(); ++w) {
       report.width_counts[w] += s.width_counts[w];
     }
   }
   publish_cache_stats(report.cache);
+  if (cfg_.search.engine != EngineMode::Intra) {
+    publish_interseq_stats(report.interseq, report.interseq_fallbacks);
+  }
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
   return report;

@@ -74,6 +74,8 @@ class SearchPipeline {
     std::uint64_t cells_real = 0;
     EngineCacheStats cache{};                        ///< Copied at worker exit.
     std::array<std::uint64_t, 3> width_counts{};     ///< Per element width.
+    InterSeqBatchStats interseq{};                   ///< Copied at worker exit.
+    std::uint64_t interseq_fallbacks = 0;
     std::vector<std::vector<apps::SearchHit>> hits;  // per query
   };
 

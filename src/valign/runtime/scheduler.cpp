@@ -1,6 +1,7 @@
 #include "valign/runtime/scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "valign/common.hpp"
@@ -14,15 +15,47 @@ namespace {
 constexpr std::uint64_t kBlockCellBounds[] = {
     1u << 16, 1u << 18, 1u << 20, 1u << 22, 1u << 24, 1u << 26};
 
+/// Bucket bounds (percent) for per-block lane fill: how much of the last
+/// vector pack each block actually fills.
+constexpr std::uint64_t kBucketFillBounds[] = {25, 50, 75, 90, 99};
+
 /// One-time-per-schedule bookkeeping: the registry's view of how work was
-/// partitioned (block count, per-block cell distribution).
-void publish_schedule(const Schedule& sched) {
+/// partitioned (block count, per-block cell distribution, and — when the
+/// consumer is lane-packed — per-block lane fill).
+void publish_schedule(const Schedule& sched, int lane_count) {
   obs::Registry& reg = obs::Registry::global();
   reg.counter("runtime.sched.schedules").add(1);
   reg.counter("runtime.sched.blocks").add(sched.blocks.size());
   obs::Histogram& cells = reg.histogram("runtime.sched.block_cells",
                                         kBlockCellBounds);
   for (const WorkBlock& b : sched.blocks) cells.record(b.cost);
+  if (lane_count > 1) {
+    obs::Histogram& fill =
+        reg.histogram("runtime.sched.bucket_fill", kBucketFillBounds);
+    const auto lanes = static_cast<std::uint64_t>(lane_count);
+    for (const WorkBlock& b : sched.blocks) {
+      const std::uint64_t pairs = b.end - b.begin;
+      const std::uint64_t packs = (pairs + lanes - 1) / lanes;
+      fill.record(packs == 0 ? 0 : 100 * pairs / (packs * lanes));
+    }
+  }
+}
+
+/// The last block a query emits is whatever remains after grain-sized cuts —
+/// often a handful of subjects. If it cannot fill even one vector pack and a
+/// neighbour block of the same query exists, merge it there: a lane-packed
+/// consumer would otherwise sweep a mostly-dead vector through the whole
+/// query (padding), the exact overhead the inter-sequence layout removes.
+void merge_underfilled_tail(std::vector<WorkBlock>& blocks, std::size_t first,
+                            int lane_count) {
+  if (lane_count <= 1 || blocks.size() <= first + 1) return;
+  WorkBlock& tail = blocks.back();
+  WorkBlock& prev = blocks[blocks.size() - 2];
+  if (tail.end - tail.begin >= static_cast<std::size_t>(lane_count)) return;
+  if (prev.query != tail.query || prev.end != tail.begin) return;
+  prev.end = tail.end;
+  prev.cost += tail.cost;
+  blocks.pop_back();
 }
 
 // A thread is "kept busy" by this many blocks on average; more blocks means
@@ -82,6 +115,13 @@ PairSched parse_pair_sched(const std::string& s) {
   throw Error("unknown pair scheduling policy: " + s + " (expected query|pair|auto)");
 }
 
+EngineMode parse_engine_mode(const std::string& s) {
+  if (s == "intra") return EngineMode::Intra;
+  if (s == "inter") return EngineMode::Inter;
+  if (s == "auto") return EngineMode::Auto;
+  throw Error("unknown engine family: " + s + " (expected intra|inter|auto)");
+}
+
 std::uint64_t Schedule::total_cost() const noexcept {
   return std::accumulate(blocks.begin(), blocks.end(), std::uint64_t{0},
                          [](std::uint64_t acc, const WorkBlock& b) {
@@ -104,7 +144,7 @@ Schedule make_search_schedule(const Dataset& queries, const Dataset& db,
           WorkBlock{q, 0, db.size(), queries[q].size() * db_residues});
     }
     sort_largest_first(sched.blocks);
-    publish_schedule(sched);
+    publish_schedule(sched, cfg.lane_count);
     return sched;
   }
 
@@ -125,6 +165,7 @@ Schedule make_search_schedule(const Dataset& queries, const Dataset& db,
 
   for (std::size_t q = 0; q < queries.size(); ++q) {
     const std::uint64_t qlen = queries[q].size();
+    const std::size_t first = sched.blocks.size();
     std::size_t begin = 0;
     std::uint64_t cost = 0;
     for (std::size_t k = 0; k < sched.order.size(); ++k) {
@@ -138,9 +179,10 @@ Schedule make_search_schedule(const Dataset& queries, const Dataset& db,
     if (begin < sched.order.size()) {
       sched.blocks.push_back(WorkBlock{q, begin, sched.order.size(), cost});
     }
+    merge_underfilled_tail(sched.blocks, first, cfg.lane_count);
   }
   sort_largest_first(sched.blocks);
-  publish_schedule(sched);
+  publish_schedule(sched, cfg.lane_count);
   return sched;
 }
 
@@ -156,7 +198,7 @@ Schedule make_all_pairs_schedule(const Dataset& ds, const ScheduleConfig& cfg) {
       sched.blocks.push_back(WorkBlock{i, i + 1, n, cost});
     }
     sort_largest_first(sched.blocks);
-    publish_schedule(sched);
+    publish_schedule(sched, cfg.lane_count);
     return sched;
   }
 
@@ -169,6 +211,7 @@ Schedule make_all_pairs_schedule(const Dataset& ds, const ScheduleConfig& cfg) {
   const std::uint64_t grain = resolve_grain(cfg, total);
 
   for (std::size_t i = 0; i + 1 < n; ++i) {
+    const std::size_t first = sched.blocks.size();
     std::size_t begin = i + 1;
     std::uint64_t cost = 0;
     for (std::size_t j = i + 1; j < n; ++j) {
@@ -180,10 +223,63 @@ Schedule make_all_pairs_schedule(const Dataset& ds, const ScheduleConfig& cfg) {
       }
     }
     if (begin < n) sched.blocks.push_back(WorkBlock{i, begin, n, cost});
+    merge_underfilled_tail(sched.blocks, first, cfg.lane_count);
   }
   sort_largest_first(sched.blocks);
-  publish_schedule(sched);
+  publish_schedule(sched, cfg.lane_count);
   return sched;
+}
+
+EngineMode resolve_engine(EngineMode requested, std::size_t qlen,
+                          std::size_t block_pairs, double mean_dlen, int lanes,
+                          int alpha) {
+  if (requested != EngineMode::Auto) return requested;
+  if (qlen == 0 || block_pairs == 0 || lanes <= 1) return EngineMode::Intra;
+
+  // Scalar-equivalent instruction estimates (one vector epoch ~ kEpoch
+  // scalar instructions; constants from inspection of the two inner loops,
+  // validated against bench_runtime's inter-vs-intra sweep).
+  constexpr double kEpoch = 14.0;    // instructions per vector DP epoch
+  constexpr double kFill = 0.6;      // per-entry column-profile gather
+  constexpr double kBook = 4.0;      // per-lane per-column bookkeeping
+  constexpr double kRefill = 1.5;    // per-row lane reset on refill
+  constexpr double kLazyF = 1.35;    // striped corrective-pass inflation
+  constexpr double kColTail = 45.0;  // striped per-column scalar tail
+
+  const auto n = static_cast<double>(qlen);
+  const double p = lanes;
+  const double occupancy =
+      std::min(1.0, static_cast<double>(block_pairs) / p);
+  const double cols = std::max(1.0, mean_dlen);
+
+  // Inter: one column step serves `p * occupancy` pair-columns.
+  const double inter =
+      (n * kEpoch + p * (static_cast<double>(alpha) * kFill + kBook)) /
+          (p * occupancy) +
+      n * kRefill / cols;
+  // Intra (striped): every column serves exactly one pair.
+  const double seg = std::ceil(n / p);
+  const double intra = seg * kEpoch * kLazyF + kColTail;
+
+  return inter < intra ? EngineMode::Inter : EngineMode::Intra;
+}
+
+void publish_interseq_stats(const InterSeqBatchStats& stats,
+                            std::uint64_t fallbacks) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("runtime.interseq.batches").add(stats.batches);
+  reg.counter("runtime.interseq.pairs").add(stats.pairs);
+  reg.counter("runtime.interseq.refills").add(stats.refills);
+  reg.counter("runtime.interseq.fallbacks").add(fallbacks);
+  reg.counter("runtime.interseq.column_steps").add(stats.column_steps);
+  reg.counter("runtime.interseq.lane_steps").add(stats.lane_steps);
+  reg.counter("runtime.interseq.lane_capacity_steps")
+      .add(stats.lane_capacity_steps);
+  reg.counter("runtime.interseq.vector_epochs").add(stats.vector_epochs);
+  if (stats.lane_capacity_steps > 0) {
+    reg.gauge("runtime.interseq.occupancy_pct")
+        .set(static_cast<std::int64_t>(100.0 * stats.occupancy()));
+  }
 }
 
 }  // namespace valign::runtime

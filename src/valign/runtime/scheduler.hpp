@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "valign/common.hpp"
 #include "valign/io/sequence.hpp"
 
 namespace valign::runtime {
@@ -33,6 +34,9 @@ enum class PairSched : std::uint8_t {
 
 /// Parses "query" | "pair" | "auto" (throws valign::Error otherwise).
 [[nodiscard]] PairSched parse_pair_sched(const std::string& s);
+
+/// Parses "intra" | "inter" | "auto" (throws valign::Error otherwise).
+[[nodiscard]] EngineMode parse_engine_mode(const std::string& s);
 
 /// One contiguous run of subjects for one query. `begin`/`end` index the
 /// schedule's subject ordering (see Schedule::db_index), not the database
@@ -51,6 +55,12 @@ struct ScheduleConfig {
   /// each thread several blocks while keeping per-block overhead (query
   /// profile rebuild, hit merge) negligible.
   std::uint64_t grain_cells = 0;
+  /// Vector lanes of the batch engine that will consume the blocks (0 =
+  /// unknown / intra-task consumers). When set, Pair mode merges a trailing
+  /// block smaller than one lane pack into its neighbour instead of leaving
+  /// a mostly-idle vector, and per-block lane fill is published to the
+  /// `runtime.sched.bucket_fill` histogram.
+  int lane_count = 0;
 };
 
 /// A fully materialized work partition.
@@ -79,5 +89,32 @@ struct Schedule {
 /// begin/end range over j.
 [[nodiscard]] Schedule make_all_pairs_schedule(const Dataset& ds,
                                                const ScheduleConfig& cfg);
+
+/// Cost-model resolution of EngineMode::Auto for one work block.
+///
+/// Estimates scalar-equivalent instructions per pair-column for both
+/// families and picks the cheaper one:
+///
+///  - inter-sequence: the column step costs `qlen` vector epochs plus
+///    O(lanes * alpha) scalar profile-gather/bookkeeping, shared by
+///    `min(block_pairs, lanes)` pairs; finished lanes pay a `qlen`-sized
+///    refill every `mean_dlen` columns.
+///  - intra-task (striped estimate): `ceil(qlen/lanes)` epochs per column,
+///    inflated by the lazy-F corrective factor, plus a fixed per-column
+///    scalar tail that only ever serves one pair.
+///
+/// The packed engine wins whenever it can keep most lanes full (block_pairs
+/// approaching `lanes`); intra-task wins on underfilled blocks, where the
+/// shared column step amortizes over too few pairs.
+/// `requested` short-circuits: anything but Auto is returned unchanged.
+[[nodiscard]] EngineMode resolve_engine(EngineMode requested, std::size_t qlen,
+                                        std::size_t block_pairs,
+                                        double mean_dlen, int lanes, int alpha);
+
+/// Folds a driver's accumulated inter-sequence engine accounting into the
+/// global registry (`runtime.interseq.*`: pairs, batches, refills,
+/// saturation fallbacks, column/lane steps and the lane-occupancy gauge).
+void publish_interseq_stats(const InterSeqBatchStats& stats,
+                            std::uint64_t fallbacks);
 
 }  // namespace valign::runtime

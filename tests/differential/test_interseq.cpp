@@ -1,0 +1,281 @@
+// Differential harness for the inter-sequence (lane-packed) engine family:
+// randomized seeded batches pushed through BatchAligner and compared pair by
+// pair against the scalar ground truth — scores AND end positions, since the
+// packed kernel promises scalar-identical tie-breaks.
+//
+// Batch sizes are chosen to never be lane-count multiples on any ISA
+// (1, 3, 5, 9, 33, 65...), so lane refill and end-of-batch underfill run on
+// every host; saturation cases force the per-pair intra-task fallback.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "../support/random_seqs.hpp"
+#include "valign/core/dispatch.hpp"
+#include "valign/core/scalar.hpp"
+#include "valign/matrices/matrix.hpp"
+#include "valign/simd/arch.hpp"
+
+namespace valign {
+namespace {
+
+using testing_support::random_codes;
+using testing_support::related_pair;
+
+constexpr AlignClass kClasses[] = {AlignClass::Global, AlignClass::SemiGlobal,
+                                   AlignClass::Local};
+
+struct Scheme {
+  const char* matrix;
+  GapPenalty gap;
+};
+
+constexpr Scheme kSchemes[] = {
+    {"blosum62", {11, 1}},
+    {"blosum62", {10, 2}},
+    {"blosum50", {13, 2}},
+};
+
+using Batch = std::vector<std::vector<std::uint8_t>>;
+
+std::vector<std::span<const std::uint8_t>> as_spans(const Batch& batch) {
+  std::vector<std::span<const std::uint8_t>> spans;
+  spans.reserve(batch.size());
+  for (const auto& d : batch) spans.emplace_back(d);
+  return spans;
+}
+
+/// Compares one batch against scalar, pair by pair. Ends are compared only
+/// for pairs the packed kernel answered itself (approach InterSeq) — the
+/// intra-task fallback ladder has its own (looser) end conventions.
+int check_batch(const std::vector<std::uint8_t>& q, const Batch& batch,
+                AlignClass klass, const Scheme& s, ElemWidth width,
+                SemiGlobalEnds ends = {}) {
+  const ScoreMatrix& mat = ScoreMatrix::from_name(s.matrix);
+
+  Options opts;
+  opts.klass = klass;
+  opts.width = width;
+  opts.matrix = &mat;
+  opts.gap = s.gap;
+  opts.sg_ends = ends;
+  BatchAligner batcher(opts);
+  batcher.set_query(q);
+  const std::vector<AlignResult> got = batcher.align_batch(as_spans(batch));
+  EXPECT_EQ(got.size(), batch.size());
+
+  ScalarAligner<AlignClass::Global> nw(mat, s.gap);
+  ScalarAligner<AlignClass::SemiGlobal> sg(mat, s.gap, ends);
+  ScalarAligner<AlignClass::Local> sw(mat, s.gap);
+
+  int compared = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "pair " << i << " dlen=" << batch[i].size());
+    AlignResult want;
+    switch (klass) {
+      case AlignClass::Global:
+        nw.set_query(q);
+        want = nw.align(batch[i]);
+        break;
+      case AlignClass::SemiGlobal:
+        sg.set_query(q);
+        want = sg.align(batch[i]);
+        break;
+      case AlignClass::Local:
+        sw.set_query(q);
+        want = sw.align(batch[i]);
+        break;
+    }
+    if (got[i].overflowed) {
+      // Only fixed narrow widths may surface saturation; Auto must have
+      // fallen back to the intra ladder instead.
+      EXPECT_NE(width, ElemWidth::Auto) << "Auto must never report overflow";
+      continue;
+    }
+    EXPECT_EQ(got[i].score, want.score);
+    if (got[i].approach == Approach::InterSeq) {
+      EXPECT_EQ(got[i].query_end, want.query_end);
+      EXPECT_EQ(got[i].db_end, want.db_end);
+    }
+    ++compared;
+  }
+  return compared;
+}
+
+/// One randomized batch per seed: the query and every subject draw lengths
+/// 1..260; half the subjects carry a planted high-identity core.
+Batch make_batch(std::uint64_t seed, std::size_t count,
+                 std::vector<std::uint8_t>& query) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> len(1, 260);
+  const std::size_t qlen = len(rng);
+  query = random_codes(qlen, rng);
+  Batch batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t dlen = len(rng);
+    if (i % 2 == 0) {
+      batch.push_back(random_codes(dlen, rng));
+    } else {
+      const std::size_t core = std::min({qlen, dlen, std::size_t{64}});
+      auto [q2, d] = related_pair(qlen, dlen, core, rng);
+      // Re-plant the core into the live query so the pair is truly related.
+      std::copy(q2.begin(), q2.end(), query.begin());
+      batch.push_back(std::move(d));
+    }
+  }
+  return batch;
+}
+
+TEST(InterSeqDifferential, MatchesScalarAcrossSeededBatches) {
+  // Batch sizes co-prime to every lane count (8..64) exercise both refill
+  // (count > lanes) and trailing underfill (count % lanes != 0).
+  constexpr std::size_t kCounts[] = {1, 3, 9, 33, 65};
+  int compared = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::vector<std::uint8_t> query;
+    const Batch batch = make_batch(seed, kCounts[seed - 1], query);
+    const Scheme& s = kSchemes[seed % 3];
+    for (const AlignClass klass : kClasses) {
+      for (const ElemWidth w : {ElemWidth::Auto, ElemWidth::W32}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "seed=" << seed << " count=" << batch.size() << " class="
+                     << to_string(klass) << " width=" << static_cast<int>(w));
+        compared += check_batch(query, batch, klass, s, w);
+      }
+    }
+  }
+  EXPECT_GE(compared, 300) << "inter-seq differential coverage shrank";
+  std::printf("[interseq-differential] %d batch-vs-scalar comparisons\n", compared);
+}
+
+TEST(InterSeqDifferential, RefillBoundariesWithWildLengthSpread) {
+  // Lengths spanning 1..400 in one batch force constant lane turnover: short
+  // subjects finish and refill while long ones keep their lanes for hundreds
+  // of columns.
+  std::mt19937_64 rng(4242);
+  const auto query = random_codes(120, rng);
+  Batch batch;
+  for (std::size_t i = 0; i < 47; ++i) {
+    const std::size_t dlen = (i % 2 == 0) ? 1 + i * 2 : 400 - i * 3;
+    batch.push_back(random_codes(dlen, rng));
+  }
+  for (const AlignClass klass : kClasses) {
+    SCOPED_TRACE(to_string(klass));
+    check_batch(query, batch, klass, kSchemes[0], ElemWidth::Auto);
+  }
+}
+
+TEST(InterSeqDifferential, DegenerateShapesInBatch) {
+  // Empty subjects inside a batch must come back degenerate while their
+  // neighbours still get lanes; an empty query degenerates the whole batch.
+  std::mt19937_64 rng(7);
+  const auto query = random_codes(33, rng);
+  Batch batch = {random_codes(5, rng), {},           random_codes(65, rng),
+                 {},                   {},           random_codes(1, rng),
+                 std::vector<std::uint8_t>(64, 3),   {}};
+  for (const AlignClass klass : kClasses) {
+    SCOPED_TRACE(to_string(klass));
+    check_batch(query, batch, klass, kSchemes[0], ElemWidth::Auto);
+  }
+  const std::vector<std::uint8_t> empty_query;
+  for (const AlignClass klass : kClasses) {
+    SCOPED_TRACE(::testing::Message() << "empty query, " << to_string(klass));
+    check_batch(empty_query, batch, klass, kSchemes[0], ElemWidth::Auto);
+  }
+}
+
+TEST(InterSeqDifferential, SemiGlobalEndVariantsMatchScalar) {
+  std::mt19937_64 rng(99);
+  std::vector<std::uint8_t> query = random_codes(80, rng);
+  Batch batch;
+  for (std::size_t i = 0; i < 19; ++i) batch.push_back(random_codes(20 + i * 9, rng));
+  const SemiGlobalEnds variants[] = {
+      {true, true, true, true},
+      {false, false, false, false},
+      {true, true, false, false},
+      {false, false, true, true},
+      {true, false, true, false},
+  };
+  for (const SemiGlobalEnds& ends : variants) {
+    SCOPED_TRACE(::testing::Message()
+                 << "ends=" << ends.free_query_begin << ends.free_query_end
+                 << ends.free_db_begin << ends.free_db_end);
+    check_batch(query, batch, AlignClass::SemiGlobal, kSchemes[0],
+                ElemWidth::Auto, ends);
+  }
+}
+
+TEST(InterSeqDifferential, SaturationFallsBackToIntraLadder) {
+  // Identical tryptophan runs score 11 per residue under BLOSUM62: length 40
+  // overflows i8 (440 > 127) and length 3000 overflows i16 (33000 > 32767),
+  // so Auto width must route these pairs through the intra-task ladder while
+  // the small unrelated subjects stay lane-packed.
+  std::mt19937_64 rng(11);
+  const std::uint8_t trp = 17;  // 'W' in the protein alphabet's code order
+  const ScoreMatrix& mat = ScoreMatrix::blosum62();
+  ASSERT_GE(mat.score(trp, trp), 10) << "expected a high-scoring diagonal residue";
+
+  std::vector<std::uint8_t> query(3000, trp);
+  Batch batch = {std::vector<std::uint8_t>(40, trp),    // beyond the i8 rail
+                 random_codes(50, rng),                 // stays narrow
+                 std::vector<std::uint8_t>(3000, trp),  // beyond the i16 rail
+                 random_codes(120, rng)};
+
+  Options opts;
+  opts.klass = AlignClass::Local;
+  opts.matrix = &mat;
+  opts.gap = {11, 1};
+  BatchAligner batcher(opts);
+  batcher.set_query(query);
+  const std::vector<AlignResult> got = batcher.align_batch(as_spans(batch));
+
+  ScalarAligner<AlignClass::Local> sw(mat, {11, 1});
+  sw.set_query(query);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "pair " << i);
+    EXPECT_FALSE(got[i].overflowed);
+    EXPECT_EQ(got[i].score, sw.align(batch[i]).score);
+  }
+  EXPECT_GE(batcher.fallbacks(), 1u)
+      << "the saturating pairs must have used the intra-task ladder";
+
+  // Fixed narrow width: saturation must surface as overflowed, not fall back.
+  opts.width = ElemWidth::W16;
+  if (simd::best_isa() != Isa::Emul || opts.emul_lanes > 0) {
+    BatchAligner fixed(opts);
+    fixed.set_query(query);
+    const std::vector<AlignResult> raw = fixed.align_batch(as_spans(batch));
+    EXPECT_TRUE(raw[2].overflowed) << "i16 cannot represent 33000";
+    EXPECT_EQ(fixed.fallbacks(), 0u);
+  }
+}
+
+TEST(InterSeqDifferential, OccupancyAccountingIsCoherent) {
+  std::mt19937_64 rng(5);
+  const auto query = random_codes(64, rng);
+  Batch batch;
+  for (std::size_t i = 0; i < 37; ++i) batch.push_back(random_codes(30 + i * 5, rng));
+
+  Options opts;
+  opts.klass = AlignClass::Local;
+  BatchAligner batcher(opts);
+  batcher.set_query(query);
+  (void)batcher.align_batch(as_spans(batch));
+
+  const InterSeqBatchStats& st = batcher.batch_stats();
+  EXPECT_EQ(st.pairs, batch.size());
+  EXPECT_GT(st.column_steps, 0u);
+  EXPECT_GE(st.lane_capacity_steps, st.lane_steps);
+  EXPECT_GT(st.occupancy(), 0.0);
+  EXPECT_LE(st.occupancy(), 1.0);
+  const int lanes = batcher.lanes(8);
+  if (static_cast<std::size_t>(lanes) < batch.size()) {
+    EXPECT_GT(st.refills, 0u) << "more pairs than lanes must trigger refills";
+  }
+}
+
+}  // namespace
+}  // namespace valign

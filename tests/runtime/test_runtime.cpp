@@ -461,7 +461,9 @@ TEST(RuntimeMetrics, GlobalRegistryAccumulatesCacheAndScheduleCounters) {
       reg.counter("runtime.sched.blocks").value() - blocks0;
   EXPECT_GT(new_blocks, 1u);
   const runtime::Schedule sched = runtime::make_search_schedule(
-      queries, db, runtime::ScheduleConfig{cfg.sched, cfg.threads, cfg.grain_cells});
+      queries, db,
+      runtime::ScheduleConfig{cfg.sched, cfg.threads, cfg.grain_cells,
+                              apps::engine_lane_count(cfg)});
   EXPECT_EQ(new_blocks, sched.blocks.size());
 }
 
@@ -471,6 +473,11 @@ TEST(RuntimeMetrics, StreamedAndBatchReportsAgree) {
   apps::SearchConfig cfg;
   cfg.threads = 3;
   cfg.top_k = 6;
+  // Force the intra-task engine: padded work totals (totals.cells, the
+  // lazy-F census) are engine-execution details, and the Auto policy may
+  // legitimately pick inter vs intra differently for the two drivers'
+  // partitions. EngineAgnosticReportsAgree covers the Auto contract.
+  cfg.engine = EngineMode::Intra;
 
   const apps::SearchReport batch = apps::search(queries, db, cfg);
 
@@ -501,6 +508,43 @@ TEST(RuntimeMetrics, StreamedAndBatchReportsAgree) {
 
   // Engine-side histograms merged identically: the same columns were walked.
   EXPECT_EQ(streamed.totals.lazyf_hist.total(), batch.totals.lazyf_hist.total());
+}
+
+TEST(RuntimeMetrics, EngineAgnosticReportsAgree) {
+  // Under EngineMode::Auto the two drivers partition work differently and so
+  // may route different blocks through the lane-packed engine. Everything a
+  // caller observes — hits, alignment count, real cells, width mix — must
+  // still match bit-for-bit; only padded work accounting may differ.
+  const Dataset queries = workload::bacteria_2k(75, 3);
+  const Dataset db = workload::uniprot_like(40, 76);
+  apps::SearchConfig cfg;
+  cfg.threads = 3;
+  cfg.top_k = 6;
+  cfg.engine = EngineMode::Auto;
+
+  const apps::SearchReport batch = apps::search(queries, db, cfg);
+
+  std::ostringstream fasta;
+  write_fasta(fasta, db);
+  std::istringstream in(fasta.str());
+  const apps::SearchReport streamed =
+      apps::search_stream(queries, in, db.alphabet(), cfg);
+
+  EXPECT_EQ(streamed.alignments, batch.alignments);
+  EXPECT_EQ(streamed.cells_real, batch.cells_real);
+  EXPECT_EQ(streamed.width_counts, batch.width_counts);
+  EXPECT_GE(streamed.totals.cells, streamed.cells_real);
+  EXPECT_GE(batch.totals.cells, batch.cells_real);
+  ASSERT_EQ(streamed.top_hits.size(), batch.top_hits.size());
+  for (std::size_t q = 0; q < batch.top_hits.size(); ++q) {
+    ASSERT_EQ(streamed.top_hits[q].size(), batch.top_hits[q].size());
+    for (std::size_t k = 0; k < batch.top_hits[q].size(); ++k) {
+      EXPECT_EQ(streamed.top_hits[q][k].db_index, batch.top_hits[q][k].db_index);
+      EXPECT_EQ(streamed.top_hits[q][k].score, batch.top_hits[q][k].score);
+      EXPECT_EQ(streamed.top_hits[q][k].query_end, batch.top_hits[q][k].query_end);
+      EXPECT_EQ(streamed.top_hits[q][k].db_end, batch.top_hits[q][k].db_end);
+    }
+  }
 }
 
 TEST(RuntimeMetrics, PipelinePublishesQueueDepthAndShards) {
