@@ -9,11 +9,12 @@
 // cache-resident). Expected shape: tiled matches the untiled score exactly
 // and recovers throughput as soon as the tile fits in L2.
 #include "common.hpp"
+#include "harness.hpp"
 
 using namespace valign;
 using namespace valign::bench;
 
-int main() {
+int main(int argc, char** argv) {
   banner("DNA tiling", "the paper's §VIII tiling proposal on long sequences");
 
 #if !defined(__AVX512F__) || !defined(__AVX512BW__)
@@ -47,10 +48,19 @@ int main() {
   };
   std::vector<Row> rows;
 
+  // Every engine goes through the unified harness so the timings land in the
+  // bench report (written when a path is given on the command line).
+  Harness harness("bench_dna_tiled");
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(qlen) * static_cast<std::uint64_t>(dlen);
   const auto run = [&]<class Engine>(std::string name, Engine& eng, double mib) {
     eng.set_query(q);
     Sink sink;
-    const double t = time_once([&] { sink(eng.align(d)); });
+    const double t = harness.scenario(name, 1, [&] {
+      sink = Sink{};
+      sink(eng.align(d));
+      return cells;
+    });
     rows.push_back(Row{std::move(name), t, static_cast<std::int32_t>(sink.sum), mib});
   };
 
@@ -96,10 +106,9 @@ int main() {
 
   std::printf("%-26s %10s %10s %12s %9s\n", "engine", "time (s)", "GCUPS",
               "working-set", "score");
-  const double cells = static_cast<double>(qlen) * static_cast<double>(dlen);
   for (const Row& r : rows) {
     std::printf("%-26s %10.3f %10.2f %9.2f MiB %9d\n", r.name.c_str(), r.seconds,
-                cells / r.seconds / 1e9, r.mib, r.score);
+                static_cast<double>(cells) / r.seconds / 1e9, r.mib, r.score);
   }
 
   bool scores_agree = true;
@@ -116,5 +125,6 @@ int main() {
     std::printf("tiling speedup over untiled scan: %.2fx\n",
                 untiled_scan / best_tiled);
   }
+  if (argc > 1) harness.write(argv[1]);
   return scores_agree ? 0 : 1;
 }

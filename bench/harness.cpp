@@ -1,0 +1,84 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "valign/obs/perf.hpp"
+#include "valign/obs/provenance.hpp"
+#include "valign/version.hpp"
+
+namespace valign::bench {
+
+Harness::Harness(std::string command) {
+  report_.command = std::move(command);
+  obs::BenchProvenance& p = report_.provenance;
+  p.tool_version = valign::version();
+  p.isa = valign::to_string(simd::best_isa());
+  p.cpu_model = obs::cpu_model();
+  p.hostname = obs::hostname();
+  p.timestamp_utc = obs::utc_timestamp();
+  p.git_describe = obs::git_describe();
+  p.compiler = obs::compiler_id();
+  p.threads = static_cast<int>(std::thread::hardware_concurrency());
+  p.bench_scale = scale();
+  if (!obs::perf_available()) report_.hw_reason = obs::perf_probe().reason;
+}
+
+double Harness::scenario(const std::string& name, int reps,
+                         const std::function<std::uint64_t()>& fn) {
+  reps = std::max(1, reps);
+  struct Rep {
+    double sec = 0.0;
+    bool hw_ok = false;
+    obs::HwCounts hw{};
+  };
+  std::vector<Rep> runs(static_cast<std::size_t>(reps));
+  std::uint64_t cells = 0;
+  for (Rep& r : runs) {
+    obs::HwCounts before{}, after{};
+    const bool hw_before = obs::read_thread_counters(before);
+    const auto t0 = std::chrono::steady_clock::now();
+    cells = fn();
+    r.sec = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+    if (hw_before && obs::read_thread_counters(after)) {
+      r.hw_ok = true;
+      r.hw = after - before;
+    }
+  }
+
+  // Median by seconds; the median rep's counters are the ones reported so the
+  // timing and the counter column describe the same repetition.
+  std::vector<std::size_t> order(runs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return runs[a].sec < runs[b].sec;
+  });
+  const Rep& median = runs[order[order.size() / 2]];
+
+  obs::BenchScenario s;
+  s.name = name;
+  s.reps = reps;
+  s.sec_min = runs[order.front()].sec;
+  s.sec_median = median.sec;
+  s.sec_max = runs[order.back()].sec;
+  s.cells = cells;
+  if (s.sec_median > 0.0 && cells > 0) {
+    s.gcups_median = static_cast<double>(cells) / s.sec_median / 1e9;
+  }
+  s.hw_available = median.hw_ok;
+  s.hw = median.hw;
+  report_.scenarios.push_back(std::move(s));
+  return median.sec;
+}
+
+void Harness::write(const std::string& path) const {
+  report_.write_file(path);
+  std::printf("bench report: %s\n", path.c_str());
+}
+
+}  // namespace valign::bench

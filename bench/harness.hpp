@@ -1,0 +1,49 @@
+// Unified bench harness: names a scenario, times it N times, reads hardware
+// counters around each repetition when the host allows it, and accumulates
+// everything into a schema-versioned obs::BenchReport (BENCH_<n>.json).
+//
+// Every bench binary that wants to participate in the perf-regression
+// observatory (`valign bench-diff`, CI's bench job) funnels its timed regions
+// through Harness::scenario() instead of hand-rolled time_once() calls. The
+// scenario callback returns the DP-cell count of one repetition (0 for
+// workloads that are not cell-based) so the report can carry GCUPS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "valign/obs/bench_report.hpp"
+
+namespace valign::bench {
+
+class Harness {
+ public:
+  /// `command` names the producing binary ("bench_runtime", ...). Provenance
+  /// (host, CPU, ISA, git describe, compiler, VALIGN_BENCH_SCALE) is captured
+  /// here; the hardware-counter probe runs once and its reason is recorded
+  /// when counters are unavailable.
+  explicit Harness(std::string command);
+
+  /// Runs `fn` `reps` times (>= 1), wall-clocking each repetition and reading
+  /// the calling thread's hardware counters around it. Records a scenario with
+  /// the min/median/max seconds spread, the median-rep GCUPS, and the
+  /// median-rep counters. Returns the median seconds (handy for verdicts).
+  double scenario(const std::string& name, int reps,
+                  const std::function<std::uint64_t()>& fn);
+
+  [[nodiscard]] const obs::BenchReport& report() const noexcept {
+    return report_;
+  }
+  [[nodiscard]] const obs::BenchScenario* find(const std::string& name) const {
+    return report_.find(name);
+  }
+
+  /// Writes the report as JSON and prints the path on stdout.
+  void write(const std::string& path) const;
+
+ private:
+  obs::BenchReport report_;
+};
+
+}  // namespace valign::bench

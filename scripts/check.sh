@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the plain suite plus the ASan+UBSan suite.
+# Tier-1 verification: the plain suite plus the ASan+UBSan suite. The TSan
+# suite (--tsan) is opt-in: it rebuilds with OpenMP off (TSan cannot see
+# libgomp's internal synchronization) and runs the concurrency-heavy test
+# binaries directly.
 #
-#   scripts/check.sh            # both
+#   scripts/check.sh            # plain + sanitize
 #   scripts/check.sh plain      # release build + ctest only
-#   scripts/check.sh sanitize   # sanitized build + ctest only
+#   scripts/check.sh sanitize   # ASan+UBSan build + ctest only
+#   scripts/check.sh --tsan     # TSan build + tests/obs + tests/runtime
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,10 +23,22 @@ run_sanitize() {
   ctest --preset sanitize -j "$(nproc)"
 }
 
+run_tsan() {
+  cmake --preset tsan
+  cmake --build --preset tsan
+  # The obs and runtime suites hold the threaded code paths (metrics registry,
+  # stage/hw tables, pair scheduler, streaming pipeline). gtest_discover_tests
+  # registers per-case names, so run the two binaries directly.
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+  ./build-tsan/tests/test_obs
+  ./build-tsan/tests/test_runtime
+}
+
 case "${1:-all}" in
-  plain)    run_plain ;;
-  sanitize) run_sanitize ;;
-  all)      run_plain; run_sanitize ;;
-  *) echo "usage: $0 [plain|sanitize|all]" >&2; exit 2 ;;
+  plain)         run_plain ;;
+  sanitize)      run_sanitize ;;
+  tsan|--tsan)   run_tsan ;;
+  all)           run_plain; run_sanitize ;;
+  *) echo "usage: $0 [plain|sanitize|--tsan|all]" >&2; exit 2 ;;
 esac
 echo "check.sh: all requested suites passed"

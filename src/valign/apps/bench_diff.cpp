@@ -1,0 +1,91 @@
+#include "valign/apps/bench_diff.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace valign::apps {
+
+const char* to_string(BenchVerdict v) {
+  switch (v) {
+    case BenchVerdict::Improved: return "improved";
+    case BenchVerdict::Unchanged: return "unchanged";
+    case BenchVerdict::Regressed: return "REGRESSED";
+    case BenchVerdict::Added: return "added";
+    case BenchVerdict::Removed: return "removed";
+  }
+  return "?";
+}
+
+BenchDiffResult bench_diff(const obs::BenchReport& baseline,
+                           const obs::BenchReport& current,
+                           const BenchDiffConfig& cfg) {
+  BenchDiffResult out;
+  for (const obs::BenchScenario& base : baseline.scenarios) {
+    BenchDiffRow row;
+    row.name = base.name;
+    row.base_sec = base.sec_median;
+    const obs::BenchScenario* cur = current.find(base.name);
+    if (cur == nullptr) {
+      row.verdict = BenchVerdict::Removed;
+      out.rows.push_back(std::move(row));
+      continue;
+    }
+    row.cur_sec = cur->sec_median;
+    if (base.sec_median <= 0.0 || cur->sec_median <= 0.0) {
+      row.verdict = BenchVerdict::Unchanged;  // incomparable, not a regression
+      ++out.unchanged;
+      out.rows.push_back(std::move(row));
+      continue;
+    }
+    row.delta_pct =
+        100.0 * (cur->sec_median - base.sec_median) / base.sec_median;
+    if (row.delta_pct > cfg.threshold_pct) {
+      row.verdict = BenchVerdict::Regressed;
+      ++out.regressed;
+    } else if (row.delta_pct < -cfg.threshold_pct) {
+      row.verdict = BenchVerdict::Improved;
+      ++out.improved;
+    } else {
+      row.verdict = BenchVerdict::Unchanged;
+      ++out.unchanged;
+    }
+    out.rows.push_back(std::move(row));
+  }
+  for (const obs::BenchScenario& cur : current.scenarios) {
+    if (baseline.find(cur.name) != nullptr) continue;
+    BenchDiffRow row;
+    row.name = cur.name;
+    row.cur_sec = cur.sec_median;
+    row.verdict = BenchVerdict::Added;
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+void print_bench_diff(std::ostream& out, const BenchDiffResult& result,
+                      const BenchDiffConfig& cfg) {
+  char line[256];
+  std::snprintf(line, sizeof line, "%-40s %12s %12s %9s  %s\n", "scenario",
+                "base (s)", "current (s)", "delta", "verdict");
+  out << line;
+  for (const BenchDiffRow& r : result.rows) {
+    char delta[32] = "-";
+    if (r.verdict == BenchVerdict::Improved ||
+        r.verdict == BenchVerdict::Unchanged ||
+        r.verdict == BenchVerdict::Regressed) {
+      std::snprintf(delta, sizeof delta, "%+.1f%%", r.delta_pct);
+    }
+    std::snprintf(line, sizeof line, "%-40s %12.6g %12.6g %9s  %s\n",
+                  r.name.c_str(), r.base_sec, r.cur_sec, delta,
+                  to_string(r.verdict));
+    out << line;
+  }
+  std::snprintf(line, sizeof line,
+                "threshold +/-%.1f%% on median seconds: %d improved, "
+                "%d unchanged, %d regressed\n",
+                cfg.threshold_pct, result.improved, result.unchanged,
+                result.regressed);
+  out << line;
+}
+
+}  // namespace valign::apps

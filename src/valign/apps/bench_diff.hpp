@@ -1,0 +1,60 @@
+// Benchmark trajectory comparison: classify every scenario of a current
+// bench report against a baseline as improved / unchanged / regressed with a
+// noise-aware threshold, so CI (and humans) can gate PRs on "did a hot path
+// get slower". Backs the `valign bench-diff` command.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "valign/obs/bench_report.hpp"
+
+namespace valign::apps {
+
+struct BenchDiffConfig {
+  /// Median-seconds change (in %) below which a scenario counts as
+  /// unchanged. 5 % suits same-host runs; cross-host comparisons (CI runners
+  /// vs a committed baseline) need a much looser value.
+  double threshold_pct = 5.0;
+};
+
+enum class BenchVerdict {
+  Improved,   ///< Median faster by more than the threshold.
+  Unchanged,  ///< Within +/- threshold.
+  Regressed,  ///< Median slower by more than the threshold.
+  Added,      ///< In current only (informational, never fails).
+  Removed,    ///< In baseline only (informational, never fails).
+};
+
+[[nodiscard]] const char* to_string(BenchVerdict v);
+
+struct BenchDiffRow {
+  std::string name;
+  double base_sec = 0.0;   ///< Baseline median seconds (0 when Added).
+  double cur_sec = 0.0;    ///< Current median seconds (0 when Removed).
+  double delta_pct = 0.0;  ///< 100 * (cur - base) / base; 0 when not comparable.
+  BenchVerdict verdict = BenchVerdict::Unchanged;
+};
+
+struct BenchDiffResult {
+  std::vector<BenchDiffRow> rows;  ///< Baseline order, then added scenarios.
+  int improved = 0;
+  int unchanged = 0;
+  int regressed = 0;
+
+  [[nodiscard]] bool has_regression() const noexcept { return regressed > 0; }
+};
+
+/// Compares scenario medians by name. A baseline or current median of zero
+/// seconds makes the pair incomparable (treated as unchanged — a zero-second
+/// scenario is a producer bug, not a perf result).
+[[nodiscard]] BenchDiffResult bench_diff(const obs::BenchReport& baseline,
+                                         const obs::BenchReport& current,
+                                         const BenchDiffConfig& cfg = {});
+
+/// Human-readable per-scenario table plus a one-line verdict summary.
+void print_bench_diff(std::ostream& out, const BenchDiffResult& result,
+                      const BenchDiffConfig& cfg);
+
+}  // namespace valign::apps

@@ -5,6 +5,7 @@
 
 #include <fstream>
 
+#include "valign/apps/bench_diff.hpp"
 #include "valign/apps/db_search.hpp"
 #include "valign/apps/homology.hpp"
 #include "valign/cli/args.hpp"
@@ -13,6 +14,8 @@
 #include "valign/core/scalar.hpp"
 #include "valign/io/fasta.hpp"
 #include "valign/matrices/parser.hpp"
+#include "valign/obs/bench_report.hpp"
+#include "valign/obs/perf.hpp"
 #include "valign/obs/report.hpp"
 #include "valign/obs/trace.hpp"
 #include "valign/runtime/scheduler.hpp"
@@ -35,6 +38,7 @@ usage:
   valign matrices [NAME]                      list or print scoring matrices
   valign stats                                Karlin-Altschul parameters
   valign calibrate                            measure Striped/Scan crossovers
+  valign bench-diff <base.json> <cur.json>    compare two bench reports
   valign info                                 version and CPU capabilities
 
 common options:
@@ -46,6 +50,9 @@ common options:
   --dna                     DNA alphabet and +2/-3 matrix
   --metrics-out FILE        write a run report (JSON; CSV when FILE ends in .csv)
   --trace                   fine-grained spans; prints the per-stage time budget
+  --perf-counters           attach hardware counters (perf_event_open) to stages
+                            and the whole run; degrades to "hw": {"available":
+                            false, ...} in the report where perf is unavailable
 align options:
   --traceback               print the alignment itself
 search/detect options:
@@ -59,6 +66,9 @@ search/detect options:
   --stream                  stream the database FASTA through the runtime pipeline
 generate options:
   --out FILE --count N --seed S --preset bacteria2k|uniprot --dna
+bench-diff options:
+  --threshold-pct P         median-seconds noise threshold in % (default 5);
+                            exit code 1 when any scenario regresses beyond it
 )";
 
 AlignClass parse_class(const std::string& s) {
@@ -236,6 +246,7 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   if (args.positionals().size() != 3) {
     throw Error("search: expected <queries.fa> <db.fa>");
   }
+  obs::PerfScope run_perf(obs::kHwRunSlot);
   const Scoring scoring = resolve_scoring(args);
   const Alphabet& alpha = alphabet_for(args);
   const bool streamed = args.has("--stream");
@@ -296,6 +307,7 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   rr.width_counts = rep.width_counts;
   rr.totals = rep.totals;
   set_cache_stats(rr, rep.cache);
+  run_perf.stop();  // close the whole-run counter window before the snapshot
   emit_run_report(rr, args, out);
   return 0;
 }
@@ -304,6 +316,7 @@ int cmd_detect(const ArgParser& args, std::ostream& out) {
   if (args.positionals().size() != 2) {
     throw Error("detect: expected <seqs.fa>");
   }
+  obs::PerfScope run_perf(obs::kHwRunSlot);
   const Scoring scoring = resolve_scoring(args);
   const Alphabet& alpha = alphabet_for(args);
 
@@ -346,6 +359,7 @@ int cmd_detect(const ArgParser& args, std::ostream& out) {
   rr.width_counts = rep.width_counts;
   rr.totals = rep.totals;
   set_cache_stats(rr, rep.cache);
+  run_perf.stop();  // close the whole-run counter window before the snapshot
   emit_run_report(rr, args, out);
   return 0;
 }
@@ -374,6 +388,24 @@ int cmd_generate(const ArgParser& args, std::ostream& out) {
       << " residues, mean " << static_cast<int>(ds.mean_length()) << ") to " << *path
       << "\n";
   return 0;
+}
+
+int cmd_bench_diff(const ArgParser& args, std::ostream& out) {
+  if (args.positionals().size() != 3) {  // "bench-diff" + two report paths
+    throw Error("bench-diff: expected <baseline.json> <current.json>");
+  }
+  const obs::BenchReport baseline =
+      obs::BenchReport::read_file(args.positionals()[1]);
+  const obs::BenchReport current =
+      obs::BenchReport::read_file(args.positionals()[2]);
+  apps::BenchDiffConfig cfg;
+  if (const auto t = args.value("--threshold-pct")) {
+    cfg.threshold_pct = std::stod(*t);
+    if (cfg.threshold_pct < 0.0) throw Error("bench-diff: --threshold-pct < 0");
+  }
+  const apps::BenchDiffResult result = apps::bench_diff(baseline, current, cfg);
+  print_bench_diff(out, result, cfg);
+  return result.has_regression() ? 1 : 0;
 }
 
 int cmd_matrices(const ArgParser& args, std::ostream& out) {
@@ -444,14 +476,16 @@ int run(std::span<const std::string_view> args, std::ostream& out, std::ostream&
          {"--class", "--matrix", "--gap-open", "--gap-extend", "--approach", "--isa",
           "--q-seq", "--d-seq", "--top", "--threads", "--out", "--count", "--seed",
           "--preset", "--pair-sched", "--engine", "--cache-engines", "--threshold",
-          "--metrics-out"}) {
+          "--metrics-out", "--threshold-pct"}) {
       parser.add_option(opt);
     }
-    for (const char* sw : {"--dna", "--traceback", "--stream", "--trace"}) {
+    for (const char* sw :
+         {"--dna", "--traceback", "--stream", "--trace", "--perf-counters"}) {
       parser.add_switch(sw);
     }
     parser.parse(args);
     obs::set_trace_enabled(parser.has("--trace"));
+    obs::set_perf_enabled(parser.has("--perf-counters"));
 
     const std::string& cmd = parser.positionals().empty() ? std::string()
                                                           : parser.positionals()[0];
@@ -462,6 +496,7 @@ int run(std::span<const std::string_view> args, std::ostream& out, std::ostream&
     if (cmd == "matrices") return cmd_matrices(parser, out);
     if (cmd == "stats") return cmd_stats(parser, out);
     if (cmd == "calibrate") return cmd_calibrate(out);
+    if (cmd == "bench-diff") return cmd_bench_diff(parser, out);
     if (cmd == "info") return cmd_info(out);
     err << "unknown command: " << cmd << "\n" << kUsage;
     return 2;

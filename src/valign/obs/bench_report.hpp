@@ -1,0 +1,74 @@
+// BenchReport: the schema-versioned benchmark artifact ("valign.bench_report/1")
+// that records per-scenario timings with repetition spread, throughput, HW
+// counters when available, and full provenance — the trajectory file
+// (BENCH_<n>.json) every perf PR is judged by.
+//
+// Unlike RunReport (one run's metrics snapshot), a BenchReport is a *set of
+// named scenarios*, each timed N times, so two reports from different
+// commits can be compared scenario-by-scenario with a noise-aware threshold
+// (`valign bench-diff`, src/valign/apps/bench_diff.hpp). That comparison is
+// why this module also parses: read_file() round-trips what write_file()
+// emits (and tolerates added keys within the same major schema version).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "valign/obs/perf.hpp"
+
+namespace valign::obs {
+
+inline constexpr const char* kBenchReportSchema = "valign.bench_report/1";
+
+/// One benchmark scenario: a named workload timed `reps` times.
+struct BenchScenario {
+  std::string name;
+  int reps = 0;
+  double sec_min = 0.0;
+  double sec_median = 0.0;
+  double sec_max = 0.0;
+  std::uint64_t cells = 0;     ///< DP cells per repetition (0 = not cell-based).
+  double gcups_median = 0.0;   ///< cells / sec_median / 1e9.
+  bool hw_available = false;   ///< Counters below are real (median-seconds rep).
+  HwCounts hw{};
+};
+
+/// Where the numbers came from: host, CPU, ISA, build, time.
+struct BenchProvenance {
+  std::string tool_version;   ///< valign::version().
+  std::string isa;            ///< Best ISA resolved on the producing host.
+  std::string cpu_model;      ///< /proc/cpuinfo "model name".
+  std::string hostname;
+  std::string timestamp_utc;  ///< ISO 8601 Z.
+  std::string git_describe;   ///< Baked in at CMake configure time.
+  std::string compiler;
+  int threads = 1;            ///< Hardware concurrency of the host.
+  double bench_scale = 1.0;   ///< VALIGN_BENCH_SCALE in effect.
+};
+
+struct BenchReport {
+  std::string schema = kBenchReportSchema;
+  std::string command;  ///< Producing binary ("bench_runtime", ...).
+  BenchProvenance provenance;
+  /// Why HW counters are absent when no scenario carries them (probe reason
+  /// or "not requested"); empty when counters were collected.
+  std::string hw_reason;
+  std::vector<BenchScenario> scenarios;
+
+  [[nodiscard]] const BenchScenario* find(const std::string& name) const;
+
+  void write_json(std::ostream& out) const;
+  /// Throws valign::Error when the file cannot be opened.
+  void write_file(const std::string& path) const;
+  [[nodiscard]] std::string json() const;
+
+  /// Parses a serialized report. Throws valign::Error on malformed JSON, a
+  /// wrong/missing schema id, or a major version other than 1; added keys
+  /// within the major version are ignored (consumer tolerance).
+  [[nodiscard]] static BenchReport from_json(const std::string& text);
+  [[nodiscard]] static BenchReport read_file(const std::string& path);
+};
+
+}  // namespace valign::obs

@@ -1,0 +1,320 @@
+#include "valign/obs/perf.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace valign::obs {
+
+HwCounts& HwCounts::operator+=(const HwCounts& o) noexcept {
+  cycles += o.cycles;
+  instructions += o.instructions;
+  branch_misses += o.branch_misses;
+  l1d_misses += o.l1d_misses;
+  llc_misses += o.llc_misses;
+  ns_enabled += o.ns_enabled;
+  ns_running += o.ns_running;
+  return *this;
+}
+
+HwCounts HwCounts::operator-(const HwCounts& o) const noexcept {
+  // Saturating: counter wraps/multiplex scaling jitter must not produce huge
+  // unsigned deltas.
+  const auto sub = [](std::uint64_t a, std::uint64_t b) {
+    return a > b ? a - b : 0;
+  };
+  HwCounts d;
+  d.cycles = sub(cycles, o.cycles);
+  d.instructions = sub(instructions, o.instructions);
+  d.branch_misses = sub(branch_misses, o.branch_misses);
+  d.l1d_misses = sub(l1d_misses, o.l1d_misses);
+  d.llc_misses = sub(llc_misses, o.llc_misses);
+  d.ns_enabled = sub(ns_enabled, o.ns_enabled);
+  d.ns_running = sub(ns_running, o.ns_running);
+  return d;
+}
+
+namespace {
+
+std::atomic<bool> g_perf_enabled{false};
+
+}  // namespace
+
+bool perf_enabled() noexcept {
+  return g_perf_enabled.load(std::memory_order_relaxed);
+}
+
+void set_perf_enabled(bool on) noexcept {
+  g_perf_enabled.store(on, std::memory_order_relaxed);
+}
+
+void HwTable::record(int slot, const HwCounts& d) noexcept {
+  if (slot < 0 || slot >= kHwSlotCount) return;
+  Slot& s = slots_[static_cast<std::size_t>(slot)];
+  s.cycles.fetch_add(d.cycles, std::memory_order_relaxed);
+  s.instructions.fetch_add(d.instructions, std::memory_order_relaxed);
+  s.branch_misses.fetch_add(d.branch_misses, std::memory_order_relaxed);
+  s.l1d_misses.fetch_add(d.l1d_misses, std::memory_order_relaxed);
+  s.llc_misses.fetch_add(d.llc_misses, std::memory_order_relaxed);
+  s.ns_enabled.fetch_add(d.ns_enabled, std::memory_order_relaxed);
+  s.ns_running.fetch_add(d.ns_running, std::memory_order_relaxed);
+}
+
+HwCounts HwTable::stats(int slot) const noexcept {
+  HwCounts out;
+  if (slot < 0 || slot >= kHwSlotCount) return out;
+  const Slot& s = slots_[static_cast<std::size_t>(slot)];
+  out.cycles = s.cycles.load(std::memory_order_relaxed);
+  out.instructions = s.instructions.load(std::memory_order_relaxed);
+  out.branch_misses = s.branch_misses.load(std::memory_order_relaxed);
+  out.l1d_misses = s.l1d_misses.load(std::memory_order_relaxed);
+  out.llc_misses = s.llc_misses.load(std::memory_order_relaxed);
+  out.ns_enabled = s.ns_enabled.load(std::memory_order_relaxed);
+  out.ns_running = s.ns_running.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::array<HwCounts, kHwSlotCount> HwTable::snapshot() const noexcept {
+  std::array<HwCounts, kHwSlotCount> out{};
+  for (int s = 0; s < kHwSlotCount; ++s) out[static_cast<std::size_t>(s)] = stats(s);
+  return out;
+}
+
+void HwTable::reset() noexcept {
+  for (Slot& s : slots_) {
+    s.cycles.store(0, std::memory_order_relaxed);
+    s.instructions.store(0, std::memory_order_relaxed);
+    s.branch_misses.store(0, std::memory_order_relaxed);
+    s.l1d_misses.store(0, std::memory_order_relaxed);
+    s.llc_misses.store(0, std::memory_order_relaxed);
+    s.ns_enabled.store(0, std::memory_order_relaxed);
+    s.ns_running.store(0, std::memory_order_relaxed);
+  }
+}
+
+HwTable& HwTable::global() {
+  static HwTable t;
+  return t;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+/// The grouped events, in open order (= read order under PERF_FORMAT_GROUP).
+/// The leader (cycles) must open for the group to exist; siblings that the
+/// PMU rejects (e.g. LLC misses on some VMs) are skipped and read as zero.
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+  std::uint64_t HwCounts::* field;
+};
+
+constexpr EventSpec kEvents[] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, &HwCounts::cycles},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, &HwCounts::instructions},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES, &HwCounts::branch_misses},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16),
+     &HwCounts::l1d_misses},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, &HwCounts::llc_misses},
+};
+constexpr int kMaxEvents = static_cast<int>(std::size(kEvents));
+
+int sys_perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                        unsigned long flags) {
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags));
+}
+
+perf_event_attr make_attr(const EventSpec& ev, bool leader) {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = ev.type;
+  attr.config = ev.config;
+  // Only user-space work of this thread: keeps the module usable at
+  // perf_event_paranoid <= 2 and attributes counts to our code, not the
+  // kernel's page-cache work.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // The whole group starts disabled and is enabled once, via the leader.
+  attr.disabled = leader ? 1 : 0;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return attr;
+}
+
+/// One thread's counter group. Opened lazily, closed at thread exit.
+class ThreadGroup {
+ public:
+  ThreadGroup() {
+    int opened = 0;
+    for (int i = 0; i < kMaxEvents; ++i) {
+      perf_event_attr attr = make_attr(kEvents[i], /*leader=*/i == 0);
+      const int fd = sys_perf_event_open(&attr, /*pid=*/0, /*cpu=*/-1,
+                                         /*group_fd=*/i == 0 ? -1 : fds_[0],
+                                         /*flags=*/0);
+      fds_[i] = fd;
+      if (fd >= 0) {
+        ++opened;
+      } else if (i == 0) {
+        errno_ = errno;
+        return;  // no leader, no group
+      }
+    }
+    if (ioctl(fds_[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+        ioctl(fds_[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+      errno_ = errno;
+      close_all();
+      return;
+    }
+    ok_ = opened > 0;
+  }
+
+  ~ThreadGroup() { close_all(); }
+
+  ThreadGroup(const ThreadGroup&) = delete;
+  ThreadGroup& operator=(const ThreadGroup&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] int open_errno() const noexcept { return errno_; }
+
+  [[nodiscard]] bool read_counts(HwCounts& out) const noexcept {
+    if (!ok_) return false;
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+    std::uint64_t buf[3 + kMaxEvents];
+    const ssize_t n = ::read(fds_[0], buf, sizeof(buf));
+    if (n < static_cast<ssize_t>(3 * sizeof(std::uint64_t))) return false;
+    const std::uint64_t nr = buf[0];
+    const std::uint64_t enabled = buf[1];
+    const std::uint64_t running = buf[2];
+    // Multiplex scaling: when the PMU time-sliced the group, extrapolate by
+    // enabled/running (the kernel-documented estimate).
+    const double scale =
+        (running > 0 && running < enabled)
+            ? static_cast<double>(enabled) / static_cast<double>(running)
+            : 1.0;
+    out = HwCounts{};
+    out.ns_enabled = enabled;
+    out.ns_running = running;
+    std::uint64_t vi = 0;  // index into the packed value[] array
+    for (int i = 0; i < kMaxEvents && vi < nr; ++i) {
+      if (fds_[i] < 0) continue;  // rejected sibling: not in the read buffer
+      const auto raw = static_cast<double>(buf[3 + vi]);
+      out.*(kEvents[i].field) = static_cast<std::uint64_t>(raw * scale);
+      ++vi;
+    }
+    return true;
+  }
+
+ private:
+  void close_all() noexcept {
+    for (int& fd : fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    ok_ = false;
+  }
+
+  int fds_[kMaxEvents] = {-1, -1, -1, -1, -1};
+  bool ok_ = false;
+  int errno_ = 0;
+};
+
+/// This thread's group, opened on first use. Returns nullptr when the open
+/// failed (the probe then carries the reason).
+const ThreadGroup* thread_group() noexcept {
+  thread_local ThreadGroup group;
+  return group.ok() ? &group : nullptr;
+}
+
+std::string describe_open_errno(int err) {
+  switch (err) {
+    case EACCES:
+    case EPERM:
+      return "permission denied (raise /proc/sys/kernel/perf_event_paranoid or "
+             "grant CAP_PERFMON)";
+    case ENOSYS:
+      return "perf_event_open not supported by this kernel";
+    case ENOENT:
+    case EOPNOTSUPP:
+      return "hardware counters not supported on this machine (no PMU; VM?)";
+    default:
+      return std::string("perf_event_open failed: ") + std::strerror(err);
+  }
+}
+
+}  // namespace
+
+const PerfProbe& perf_probe() {
+  static const PerfProbe probe = [] {
+    PerfProbe p;
+    // Probe with a throwaway group on this thread; the real groups are
+    // per-thread and open lazily. A group that opens but cannot be read
+    // (seccomp allowing the syscall but a broken PMU) also counts as
+    // unavailable.
+    ThreadGroup g;
+    if (!g.ok()) {
+      p.available = false;
+      p.reason = describe_open_errno(g.open_errno());
+      return p;
+    }
+    HwCounts c;
+    if (!g.read_counts(c)) {
+      p.available = false;
+      p.reason = "perf event group opened but could not be read";
+      return p;
+    }
+    p.available = true;
+    return p;
+  }();
+  return probe;
+}
+
+bool read_thread_counters(HwCounts& out) noexcept {
+  if (!perf_available()) return false;
+  const ThreadGroup* g = thread_group();
+  return g != nullptr && g->read_counts(out);
+}
+
+PerfScope::PerfScope(int slot, HwTable& table) noexcept {
+  if (!perf_enabled()) return;
+  if (!read_thread_counters(start_)) return;
+  table_ = &table;
+  slot_ = slot;
+}
+
+void PerfScope::stop() noexcept {
+  if (table_ == nullptr) return;
+  HwCounts end;
+  if (read_thread_counters(end)) table_->record(slot_, end - start_);
+  table_ = nullptr;
+}
+
+#else  // !defined(__linux__)
+
+// Non-Linux stub: the probe reports why, every scope is a no-op.
+
+const PerfProbe& perf_probe() {
+  static const PerfProbe probe{false,
+                               "perf_event_open requires Linux (hardware "
+                               "counters unavailable on this platform)"};
+  return probe;
+}
+
+bool read_thread_counters(HwCounts&) noexcept { return false; }
+
+PerfScope::PerfScope(int, HwTable&) noexcept {}
+
+void PerfScope::stop() noexcept { table_ = nullptr; }
+
+#endif
+
+}  // namespace valign::obs

@@ -1,0 +1,138 @@
+// Hardware counter profiling via perf_event_open: cycles, instructions,
+// branch misses and cache misses attributed to pipeline stages and whole
+// runs, so wall-clock exhibits can be explained from instruction-level
+// behavior (the argument Farrar 2007 and Rognes 2011 make for their
+// speedups) instead of guessed at.
+//
+// Design rules:
+//   - Per-thread counting. Each thread opens one *grouped* event set (all
+//     counters scheduled together, one read() for a consistent snapshot)
+//     lazily on first use; group file descriptors live in a thread_local and
+//     close at thread exit. Only user-space work of this process is counted
+//     (exclude_kernel/exclude_hv), which keeps the module usable at
+//     perf_event_paranoid <= 2.
+//   - Graceful degradation. perf_event_open is unavailable in many
+//     containers, on non-Linux hosts, or under restrictive
+//     perf_event_paranoid. The one-time probe records *why* it failed;
+//     every PerfScope then degrades to a no-op and reports/benches emit a
+//     clearly marked `"hw": {"available": false, ...}` stanza rather than
+//     crashing or silently omitting the section. Tier-1 tests never depend
+//     on counters being real.
+//   - Off by default. Counting is gated on set_perf_enabled() (the CLI's
+//     --perf-counters); a disabled PerfScope costs one relaxed atomic load,
+//     preserving the tracing-off overhead budget (<= 2 % on bench_runtime).
+//
+// Attachment points: obs::StageSpan owns a PerfScope (per-stage counters,
+// summed across every thread that executed spans of that stage) and the
+// drivers wrap whole runs in PerfScope(kHwRunSlot). Benches read raw
+// per-thread counters through read_thread_counters().
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace valign::obs {
+
+/// One set of hardware counter readings (cumulative or deltas). When the PMU
+/// multiplexed the group (ns_running < ns_enabled), counter values are
+/// already scaled by enabled/running at read time, the standard estimate.
+struct HwCounts {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t l1d_misses = 0;   ///< L1D read misses.
+  std::uint64_t llc_misses = 0;   ///< Last-level cache misses.
+  std::uint64_t ns_enabled = 0;   ///< Time the group was enabled.
+  std::uint64_t ns_running = 0;   ///< Time it was actually on the PMU.
+
+  /// Instructions per cycle; 0 when no cycles were counted.
+  [[nodiscard]] double ipc() const noexcept {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+  [[nodiscard]] bool any() const noexcept {
+    return (cycles | instructions | branch_misses | l1d_misses | llc_misses) != 0;
+  }
+  HwCounts& operator+=(const HwCounts& o) noexcept;
+  [[nodiscard]] HwCounts operator-(const HwCounts& o) const noexcept;
+};
+
+/// Result of the one-time availability probe (first open attempt).
+struct PerfProbe {
+  bool available = false;
+  std::string reason;  ///< Why not, e.g. "permission denied (...)"; empty when available.
+};
+
+/// Probes perf_event_open once per process and caches the outcome.
+[[nodiscard]] const PerfProbe& perf_probe();
+[[nodiscard]] inline bool perf_available() { return perf_probe().available; }
+
+/// Global switch for implicit counter attachment (StageSpan / run scopes).
+/// Off by default; the CLI's --perf-counters turns it on. Enabling on a host
+/// without perf support is harmless — scopes stay no-ops.
+[[nodiscard]] bool perf_enabled() noexcept;
+void set_perf_enabled(bool on) noexcept;
+
+/// Reads this thread's cumulative counters, opening the thread's event group
+/// on first use. Works whenever the probe succeeded, independent of
+/// perf_enabled() (benches read explicitly without turning on the implicit
+/// attachment). Returns false when unavailable or the read failed.
+[[nodiscard]] bool read_thread_counters(HwCounts& out) noexcept;
+
+/// Aggregation slots: slots [0, kHwRunSlot) mirror obs::Stage in order
+/// (trace.hpp static_asserts the correspondence); kHwRunSlot accumulates
+/// whole-run scopes opened by the drivers.
+inline constexpr int kHwRunSlot = 5;
+inline constexpr int kHwSlotCount = 6;
+
+/// Fixed table of per-slot counter sums. Thread-safe (relaxed atomics), same
+/// shape as StageTable.
+class HwTable {
+ public:
+  void record(int slot, const HwCounts& delta) noexcept;
+  [[nodiscard]] HwCounts stats(int slot) const noexcept;
+  [[nodiscard]] std::array<HwCounts, kHwSlotCount> snapshot() const noexcept;
+  void reset() noexcept;
+
+  /// The process-wide table read by RunReport::capture_environment.
+  [[nodiscard]] static HwTable& global();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> cycles{0};
+    std::atomic<std::uint64_t> instructions{0};
+    std::atomic<std::uint64_t> branch_misses{0};
+    std::atomic<std::uint64_t> l1d_misses{0};
+    std::atomic<std::uint64_t> llc_misses{0};
+    std::atomic<std::uint64_t> ns_enabled{0};
+    std::atomic<std::uint64_t> ns_running{0};
+  };
+  std::array<Slot, kHwSlotCount> slots_{};
+};
+
+/// RAII counter attachment: reads this thread's group at construction and at
+/// stop()/destruction and adds the delta to a HwTable slot. No-op (one
+/// relaxed load) unless perf_enabled() and the probe succeeded.
+class PerfScope {
+ public:
+  explicit PerfScope(int slot, HwTable& table = HwTable::global()) noexcept;
+  ~PerfScope() { stop(); }
+
+  PerfScope(const PerfScope&) = delete;
+  PerfScope& operator=(const PerfScope&) = delete;
+
+  /// Ends the scope early (idempotent).
+  void stop() noexcept;
+  /// True when counters are actually being collected.
+  [[nodiscard]] bool active() const noexcept { return table_ != nullptr; }
+
+ private:
+  HwCounts start_{};
+  HwTable* table_ = nullptr;
+  int slot_ = 0;
+};
+
+}  // namespace valign::obs

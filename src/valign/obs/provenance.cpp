@@ -1,0 +1,73 @@
+#include "valign/obs/provenance.hpp"
+
+#include <ctime>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace valign::obs {
+
+const std::string& hostname() {
+  static const std::string name = [] {
+#if defined(__unix__) || defined(__APPLE__)
+    char buf[256] = {};
+    if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+      return std::string(buf);
+    }
+#endif
+    return std::string("unknown");
+  }();
+  return name;
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+const std::string& cpu_model() {
+  static const std::string model = [] {
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.compare(0, 10, "model name") != 0) continue;
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) break;
+      std::size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      if (start < line.size()) return line.substr(start);
+    }
+    return std::string("unknown");
+  }();
+  return model;
+}
+
+const char* git_describe() {
+#if defined(VALIGN_GIT_DESCRIBE)
+  return VALIGN_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+const char* compiler_id() {
+#if defined(__clang__)
+  return "clang " __VERSION__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace valign::obs

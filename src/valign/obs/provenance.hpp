@@ -1,0 +1,29 @@
+// Run provenance: the "where did this number come from" fields every
+// artifact (run report, bench report) carries so two JSON files can be
+// compared knowing host, CPU, ISA, build and time. All accessors are cheap
+// (cached after first use) and never throw — unknown values come back as
+// "unknown" rather than failing a report write.
+#pragma once
+
+#include <string>
+
+namespace valign::obs {
+
+/// This machine's hostname ("unknown" when it cannot be read).
+[[nodiscard]] const std::string& hostname();
+
+/// Current UTC time, ISO 8601 with a Z suffix (e.g. "2026-08-07T12:34:56Z").
+[[nodiscard]] std::string utc_timestamp();
+
+/// CPU model string from /proc/cpuinfo ("unknown" off Linux).
+[[nodiscard]] const std::string& cpu_model();
+
+/// `git describe --always --dirty` captured at CMake configure time
+/// (VALIGN_GIT_DESCRIBE); "unknown" when the build was not configured inside
+/// a git checkout. Note: configure-time, so stale until the next CMake run.
+[[nodiscard]] const char* git_describe();
+
+/// Compiler identification (__VERSION__, prefixed with the compiler family).
+[[nodiscard]] const char* compiler_id();
+
+}  // namespace valign::obs

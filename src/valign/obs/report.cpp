@@ -1,10 +1,13 @@
 #include "valign/obs/report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 
+#include "valign/obs/provenance.hpp"
+#include "valign/simd/arch.hpp"
 #include "valign/version.hpp"
 
 namespace valign::obs {
@@ -31,6 +34,22 @@ void json_string(std::ostream& out, const std::string& s) {
           out << c;
         }
     }
+  }
+  out << '"';
+}
+
+/// CSV field under RFC 4180 rules: quoted (with doubled inner quotes) only
+/// when the value contains a comma, quote or line break, so the common case
+/// stays byte-identical with the historical output.
+void csv_field(std::ostream& out, const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) {
+    out << s;
+    return;
+  }
+  out << '"';
+  for (const char c : s) {
+    if (c == '"') out << "\"\"";
+    else out << c;
   }
   out << '"';
 }
@@ -68,6 +87,14 @@ void json_pass_hist(std::ostream& out, const PassHist& h) {
   out << R"(,"last_bucket_is_overflow":true})";
 }
 
+void json_hw_counts(std::ostream& out, const HwCounts& c) {
+  out << R"({"cycles":)" << c.cycles << R"(,"instructions":)" << c.instructions
+      << R"(,"ipc":)" << c.ipc() << R"(,"branch_misses":)" << c.branch_misses
+      << R"(,"l1d_misses":)" << c.l1d_misses << R"(,"llc_misses":)" << c.llc_misses
+      << R"(,"ns_enabled":)" << c.ns_enabled << R"(,"ns_running":)" << c.ns_running
+      << "}";
+}
+
 const char* kind_name(MetricSample::Kind k) {
   switch (k) {
     case MetricSample::Kind::Counter: return "counter";
@@ -77,14 +104,71 @@ const char* kind_name(MetricSample::Kind k) {
   return "?";
 }
 
+/// Stage indices ordered by stage *name*, so serialized stage sections are
+/// deterministic and diff cleanly regardless of enum order.
+std::array<int, kStageCount> stages_by_name() {
+  std::array<int, kStageCount> order{};
+  for (int s = 0; s < kStageCount; ++s) order[static_cast<std::size_t>(s)] = s;
+  std::sort(order.begin(), order.end(), [](int a, int b) {
+    return std::string_view(to_string(static_cast<Stage>(a))) <
+           std::string_view(to_string(static_cast<Stage>(b)));
+  });
+  return order;
+}
+
+/// Metric samples ordered by name. Registry snapshots arrive sorted already
+/// (std::map), but hand-assembled reports must serialize deterministically
+/// too, so sorting is re-established here rather than assumed.
+std::vector<const MetricSample*> metrics_by_name(const MetricsSnapshot& snap) {
+  std::vector<const MetricSample*> order;
+  order.reserve(snap.samples.size());
+  for (const MetricSample& m : snap.samples) order.push_back(&m);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const MetricSample* a, const MetricSample* b) {
+                     return a->name < b->name;
+                   });
+  return order;
+}
+
+/// Unambiguous CSV row label for histogram bucket `i` of `n` total buckets:
+/// `bucket_le_<bound>` for bounded buckets, `bucket_overflow` for the tail.
+std::string metric_bucket_label(const std::vector<std::uint64_t>& bounds,
+                                std::size_t i) {
+  if (i < bounds.size()) return "bucket_le_" + std::to_string(bounds[i]);
+  return "bucket_overflow";
+}
+
+/// PassHist rows: buckets 0..kBuckets-2 count exactly k passes; the final
+/// bucket is "k or more".
+std::string pass_bucket_label(int b) {
+  if (b < PassHist::kBuckets - 1) return "bucket_" + std::to_string(b);
+  return "bucket_" + std::to_string(PassHist::kBuckets - 1) + "_or_more";
+}
+
 }  // namespace
 
 void RunReport::capture_environment() {
   version = valign::version();
+  hostname = obs::hostname();
+  timestamp_utc = obs::utc_timestamp();
+  cpu_isa_level = valign::to_string(simd::best_isa());
+  git_describe = obs::git_describe();
   stages = StageTable::global().snapshot();
   metrics = Registry::global().snapshot();
   const instrument::OpCounts ops = instrument::snapshot();
   op_counts = ops.by_category;
+
+  hw_available = perf_enabled() && perf_available();
+  if (!perf_enabled()) {
+    hw_reason = "hardware counters not requested (--perf-counters)";
+  } else {
+    hw_reason = perf_probe().reason;
+  }
+  const std::array<HwCounts, kHwSlotCount> hw = HwTable::global().snapshot();
+  for (int s = 0; s < kStageCount; ++s) {
+    hw_stages[static_cast<std::size_t>(s)] = hw[static_cast<std::size_t>(s)];
+  }
+  hw_run = hw[kHwRunSlot];
 }
 
 void RunReport::write_json(std::ostream& out) const {
@@ -97,6 +181,16 @@ void RunReport::write_json(std::ostream& out) const {
   json_string(out, version);
   out << R"(,"command":)";
   json_string(out, command);
+
+  out << R"(,"provenance":{"hostname":)";
+  json_string(out, hostname);
+  out << R"(,"timestamp_utc":)";
+  json_string(out, timestamp_utc);
+  out << R"(,"cpu_isa_level":)";
+  json_string(out, cpu_isa_level);
+  out << R"(,"git_describe":)";
+  json_string(out, git_describe);
+  out << "}";
 
   out << R"(,"config":{"class":)";
   json_string(out, align_class);
@@ -158,10 +252,11 @@ void RunReport::write_json(std::ostream& out) const {
   }
   out << "}";
 
+  const std::array<int, kStageCount> stage_order = stages_by_name();
   out << R"(,"stages":{)";
   {
     Sep sep(out);
-    for (int s = 0; s < kStageCount; ++s) {
+    for (const int s : stage_order) {
       const StageStats& st = stages[static_cast<std::size_t>(s)];
       sep.next();
       json_string(out, to_string(static_cast<Stage>(s)));
@@ -171,22 +266,39 @@ void RunReport::write_json(std::ostream& out) const {
   }
   out << "}";
 
+  out << R"(,"hw":{"available":)" << (hw_available ? "true" : "false")
+      << R"(,"reason":)";
+  json_string(out, hw_reason);
+  out << R"(,"run":)";
+  json_hw_counts(out, hw_run);
+  out << R"(,"stages":{)";
+  {
+    Sep sep(out);
+    for (const int s : stage_order) {
+      sep.next();
+      json_string(out, to_string(static_cast<Stage>(s)));
+      out << ':';
+      json_hw_counts(out, hw_stages[static_cast<std::size_t>(s)]);
+    }
+  }
+  out << "}}";
+
   out << R"(,"metrics":[)";
   {
     Sep sep(out);
-    for (const MetricSample& m : metrics.samples) {
+    for (const MetricSample* m : metrics_by_name(metrics)) {
       sep.next();
       out << R"({"name":)";
-      json_string(out, m.name);
-      out << R"(,"kind":")" << kind_name(m.kind) << '"';
-      if (m.kind == MetricSample::Kind::Histogram) {
-        out << R"(,"count":)" << m.value << R"(,"sum":)" << m.sum
+      json_string(out, m->name);
+      out << R"(,"kind":")" << kind_name(m->kind) << '"';
+      if (m->kind == MetricSample::Kind::Histogram) {
+        out << R"(,"count":)" << m->value << R"(,"sum":)" << m->sum
             << R"(,"bounds":)";
-        json_array(out, m.bucket_bounds);
+        json_array(out, m->bucket_bounds);
         out << R"(,"counts":)";
-        json_array(out, m.bucket_counts);
+        json_array(out, m->bucket_counts);
       } else {
-        out << R"(,"value":)" << m.value;
+        out << R"(,"value":)" << m->value;
       }
       out << "}";
     }
@@ -197,12 +309,23 @@ void RunReport::write_json(std::ostream& out) const {
 void RunReport::write_csv(std::ostream& out) const {
   out << "key,value\n";
   auto row = [&out](const std::string& key, const auto& value) {
-    out << key << ',' << value << '\n';
+    csv_field(out, key);
+    out << ',';
+    if constexpr (std::is_convertible_v<decltype(value), std::string>) {
+      csv_field(out, value);
+    } else {
+      out << value;
+    }
+    out << '\n';
   };
   row("schema", schema);
   row("tool", tool);
   row("version", version);
   row("command", command);
+  row("provenance.hostname", hostname);
+  row("provenance.timestamp_utc", timestamp_utc);
+  row("provenance.cpu_isa_level", cpu_isa_level);
+  row("provenance.git_describe", git_describe);
   row("config.class", align_class);
   row("config.approach", approach);
   row("config.isa", isa);
@@ -231,9 +354,9 @@ void RunReport::write_csv(std::ostream& out) const {
   row("engine.hscan_steps", totals.hscan_steps);
   row("engine.scan_carry_cols", totals.scan_carry_cols);
   for (int b = 0; b < PassHist::kBuckets; ++b) {
-    row("engine.lazyf_pass_hist.bucket_" + std::to_string(b),
+    row("engine.lazyf_pass_hist." + pass_bucket_label(b),
         totals.lazyf_hist.counts[static_cast<std::size_t>(b)]);
-    row("engine.hscan_step_hist.bucket_" + std::to_string(b),
+    row("engine.hscan_step_hist." + pass_bucket_label(b),
         totals.hscan_hist.counts[static_cast<std::size_t>(b)]);
   }
   row("engine_cache.lookups", cache_lookups);
@@ -246,22 +369,38 @@ void RunReport::write_csv(std::ostream& out) const {
             instrument::to_string(static_cast<instrument::OpCategory>(c)),
         op_counts[static_cast<std::size_t>(c)]);
   }
-  for (int s = 0; s < kStageCount; ++s) {
+  const std::array<int, kStageCount> stage_order = stages_by_name();
+  for (const int s : stage_order) {
     const StageStats& st = stages[static_cast<std::size_t>(s)];
     const std::string key = std::string("stages.") + to_string(static_cast<Stage>(s));
     row(key + ".spans", st.spans);
     row(key + ".seconds", st.seconds());
   }
-  for (const MetricSample& m : metrics.samples) {
-    if (m.kind == MetricSample::Kind::Histogram) {
-      row("metrics." + m.name + ".count", m.value);
-      row("metrics." + m.name + ".sum", m.sum);
-      for (std::size_t b = 0; b < m.bucket_counts.size(); ++b) {
-        row("metrics." + m.name + ".bucket_" + std::to_string(b),
-            m.bucket_counts[b]);
+  row("hw.available", hw_available ? 1 : 0);
+  row("hw.reason", hw_reason);
+  auto hw_rows = [&row](const std::string& prefix, const HwCounts& c) {
+    row(prefix + ".cycles", c.cycles);
+    row(prefix + ".instructions", c.instructions);
+    row(prefix + ".ipc", c.ipc());
+    row(prefix + ".branch_misses", c.branch_misses);
+    row(prefix + ".l1d_misses", c.l1d_misses);
+    row(prefix + ".llc_misses", c.llc_misses);
+  };
+  hw_rows("hw.run", hw_run);
+  for (const int s : stage_order) {
+    hw_rows(std::string("hw.stages.") + to_string(static_cast<Stage>(s)),
+            hw_stages[static_cast<std::size_t>(s)]);
+  }
+  for (const MetricSample* m : metrics_by_name(metrics)) {
+    if (m->kind == MetricSample::Kind::Histogram) {
+      row("metrics." + m->name + ".count", m->value);
+      row("metrics." + m->name + ".sum", m->sum);
+      for (std::size_t b = 0; b < m->bucket_counts.size(); ++b) {
+        row("metrics." + m->name + "." + metric_bucket_label(m->bucket_bounds, b),
+            m->bucket_counts[b]);
       }
     } else {
-      row("metrics." + m.name, m.value);
+      row("metrics." + m->name, m->value);
     }
   }
 }

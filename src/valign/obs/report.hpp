@@ -14,6 +14,7 @@
 
 #include "valign/common.hpp"
 #include "valign/instrument/counters.hpp"
+#include "valign/obs/perf.hpp"
 #include "valign/obs/trace.hpp"
 
 namespace valign::obs {
@@ -31,6 +32,12 @@ struct RunReport {
   std::string tool = "valign";
   std::string version;  ///< valign::version().
   std::string command;  ///< "search", "detect", "bench_runtime", ...
+
+  // --- provenance (additive within run_report/1) ---------------------------
+  std::string hostname;       ///< obs::hostname().
+  std::string timestamp_utc;  ///< ISO 8601 Z, capture time.
+  std::string cpu_isa_level;  ///< Detected best ISA on this host (simd::best_isa).
+  std::string git_describe;   ///< Baked in at CMake configure time.
 
   // --- engine configuration ----------------------------------------------
   std::string align_class;  ///< "NW" | "SG" | "SW".
@@ -82,9 +89,21 @@ struct RunReport {
   /// Everything registered in the metrics registry at capture time.
   MetricsSnapshot metrics;
 
+  // --- hardware counters (obs/perf) ---------------------------------------
+  /// True when counters were requested (--perf-counters) AND the
+  /// perf_event_open probe succeeded. When false, hw_reason says why and the
+  /// hw section is still emitted — clearly marked unavailable, never absent.
+  bool hw_available = false;
+  std::string hw_reason;
+  HwCounts hw_run{};  ///< Whole-run scope (the driver's calling thread).
+  /// Per-stage counters, summed over every thread that executed spans of
+  /// that stage (indexed like `stages`).
+  std::array<HwCounts, kStageCount> hw_stages{};
+
   // --- capture helpers -----------------------------------------------------
-  /// Copies the global stage table, the global registry snapshot, this
-  /// thread's op counters, and the library version into the report.
+  /// Copies the global stage table, the global registry snapshot, the global
+  /// HW counter table, this thread's op counters, provenance and the library
+  /// version into the report.
   void capture_environment();
 
   // --- serialization -------------------------------------------------------

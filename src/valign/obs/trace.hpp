@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "valign/obs/metrics.hpp"
+#include "valign/obs/perf.hpp"
 
 namespace valign::obs {
 
@@ -35,6 +36,11 @@ enum class Stage : std::uint8_t {
 };
 
 inline constexpr int kStageCount = static_cast<int>(Stage::kCount_);
+
+// HwTable slots [0, kHwRunSlot) mirror the Stage enum one-to-one; StageSpan
+// relies on the cast below staying valid.
+static_assert(kStageCount == kHwRunSlot,
+              "obs::Stage and the HwTable stage slots must stay in sync");
 
 [[nodiscard]] const char* to_string(Stage s);
 
@@ -83,12 +89,16 @@ class StageTable {
 [[nodiscard]] bool trace_enabled() noexcept;
 void set_trace_enabled(bool on) noexcept;
 
-/// RAII span for a coarse pipeline stage; always records into a StageTable
-/// (the global one by default).
+/// RAII span for a coarse pipeline stage; always records wall time into a
+/// StageTable (the global one by default). When --perf-counters is on
+/// (obs::perf_enabled()), the embedded PerfScope additionally attributes this
+/// thread's hardware counters to the stage's HwTable slot; when off, that
+/// attachment is a single relaxed load.
 class StageSpan {
  public:
   explicit StageSpan(Stage s, StageTable& table = StageTable::global()) noexcept
-      : table_(&table), stage_(s), t0_(std::chrono::steady_clock::now()) {}
+      : table_(&table), stage_(s), perf_(static_cast<int>(s)),
+        t0_(std::chrono::steady_clock::now()) {}
   ~StageSpan() { stop(); }
 
   StageSpan(const StageSpan&) = delete;
@@ -102,11 +112,13 @@ class StageSpan {
                         .count();
     table_->record(stage_, static_cast<std::uint64_t>(ns));
     table_ = nullptr;
+    perf_.stop();
   }
 
  private:
   StageTable* table_;
   Stage stage_;
+  PerfScope perf_;
   std::chrono::steady_clock::time_point t0_;
 };
 

@@ -1,0 +1,161 @@
+// bench_diff classification tests on synthetic reports, plus the CLI
+// `valign bench-diff` exit-code contract (0 = clean, 1 = regression).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "valign/apps/bench_diff.hpp"
+#include "valign/cli/cli.hpp"
+#include "valign/obs/bench_report.hpp"
+
+namespace valign {
+namespace {
+
+obs::BenchScenario scenario(const std::string& name, double sec_median) {
+  obs::BenchScenario s;
+  s.name = name;
+  s.reps = 3;
+  s.sec_min = sec_median * 0.9;
+  s.sec_median = sec_median;
+  s.sec_max = sec_median * 1.1;
+  return s;
+}
+
+obs::BenchReport report_with(std::initializer_list<obs::BenchScenario> ss) {
+  obs::BenchReport r;
+  r.command = "test";
+  r.scenarios = ss;
+  return r;
+}
+
+TEST(BenchDiff, ClassifiesAgainstThreshold) {
+  const obs::BenchReport base = report_with({
+      scenario("steady", 1.0),
+      scenario("faster", 1.0),
+      scenario("slower", 1.0),
+      scenario("gone", 1.0),
+  });
+  const obs::BenchReport cur = report_with({
+      scenario("steady", 1.04),  // +4% < 5% threshold
+      scenario("faster", 0.80),  // -20%
+      scenario("slower", 1.30),  // +30%
+      scenario("brand_new", 2.0),
+  });
+
+  const apps::BenchDiffResult res = apps::bench_diff(base, cur, {});
+  EXPECT_EQ(res.improved, 1);
+  EXPECT_EQ(res.unchanged, 1);
+  EXPECT_EQ(res.regressed, 1);
+  EXPECT_TRUE(res.has_regression());
+  ASSERT_EQ(res.rows.size(), 5u);
+
+  auto verdict_of = [&](const std::string& name) {
+    for (const apps::BenchDiffRow& r : res.rows) {
+      if (r.name == name) return r.verdict;
+    }
+    ADD_FAILURE() << "row missing: " << name;
+    return apps::BenchVerdict::Unchanged;
+  };
+  EXPECT_EQ(verdict_of("steady"), apps::BenchVerdict::Unchanged);
+  EXPECT_EQ(verdict_of("faster"), apps::BenchVerdict::Improved);
+  EXPECT_EQ(verdict_of("slower"), apps::BenchVerdict::Regressed);
+  EXPECT_EQ(verdict_of("gone"), apps::BenchVerdict::Removed);
+  EXPECT_EQ(verdict_of("brand_new"), apps::BenchVerdict::Added);
+}
+
+TEST(BenchDiff, ThresholdIsConfigurable) {
+  const obs::BenchReport base = report_with({scenario("s", 1.0)});
+  const obs::BenchReport cur = report_with({scenario("s", 1.30)});
+
+  apps::BenchDiffConfig loose;
+  loose.threshold_pct = 50.0;
+  EXPECT_FALSE(apps::bench_diff(base, cur, loose).has_regression());
+
+  apps::BenchDiffConfig tight;
+  tight.threshold_pct = 10.0;
+  EXPECT_TRUE(apps::bench_diff(base, cur, tight).has_regression());
+}
+
+TEST(BenchDiff, ZeroMedianIsIncomparableNotRegressed) {
+  const obs::BenchReport base = report_with({scenario("z", 0.0)});
+  const obs::BenchReport cur = report_with({scenario("z", 5.0)});
+  const apps::BenchDiffResult res = apps::bench_diff(base, cur, {});
+  EXPECT_FALSE(res.has_regression());
+  EXPECT_EQ(res.unchanged, 1);
+}
+
+TEST(BenchDiff, AddedAndRemovedNeverFail) {
+  const obs::BenchReport base = report_with({scenario("only_base", 1.0)});
+  const obs::BenchReport cur = report_with({scenario("only_cur", 1.0)});
+  const apps::BenchDiffResult res = apps::bench_diff(base, cur, {});
+  EXPECT_FALSE(res.has_regression());
+  EXPECT_EQ(res.improved + res.unchanged + res.regressed, 0);
+  EXPECT_EQ(res.rows.size(), 2u);
+}
+
+TEST(BenchDiff, PrintsTableAndSummary) {
+  const obs::BenchReport base = report_with({scenario("hot_loop", 1.0)});
+  const obs::BenchReport cur = report_with({scenario("hot_loop", 2.0)});
+  const apps::BenchDiffConfig cfg;
+  std::ostringstream out;
+  apps::print_bench_diff(out, apps::bench_diff(base, cur, cfg), cfg);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("hot_loop"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("+100.0%"), std::string::npos);
+  EXPECT_NE(text.find("1 regressed"), std::string::npos);
+}
+
+// --- CLI exit codes ----------------------------------------------------------
+
+std::string write_temp_report(const char* tag, const obs::BenchReport& r) {
+  const std::string path =
+      ::testing::TempDir() + "/valign_bd_" + tag + ".json";
+  r.write_file(path);
+  return path;
+}
+
+int run_cli(std::initializer_list<std::string> argv, std::string* text = nullptr) {
+  std::vector<std::string_view> args(argv.begin(), argv.end());
+  std::ostringstream out, err;
+  const int rc = cli::run(args, out, err);
+  if (text != nullptr) *text = out.str() + err.str();
+  return rc;
+}
+
+TEST(BenchDiffCli, ExitCodesFollowVerdicts) {
+  const std::string base =
+      write_temp_report("base", report_with({scenario("s", 1.0)}));
+  const std::string same =
+      write_temp_report("same", report_with({scenario("s", 1.02)}));
+  const std::string slow =
+      write_temp_report("slow", report_with({scenario("s", 3.0)}));
+
+  EXPECT_EQ(run_cli({"bench-diff", base, same}), 0);
+  std::string text;
+  EXPECT_EQ(run_cli({"bench-diff", base, slow}), 1);
+  EXPECT_EQ(run_cli({"bench-diff", base, slow, "--threshold-pct", "300"}, &text), 0)
+      << text;
+
+  // Malformed inputs and bad usage are errors (1 via the CLI catch-all),
+  // never silent successes.
+  EXPECT_EQ(run_cli({"bench-diff", base}), 1);
+  EXPECT_EQ(run_cli({"bench-diff", base, "/nonexistent.json"}), 1);
+  const std::string junk = ::testing::TempDir() + "/valign_bd_junk.json";
+  std::ofstream(junk) << "not json";
+  EXPECT_EQ(run_cli({"bench-diff", base, junk}, &text), 1);
+  EXPECT_NE(text.find("error"), std::string::npos);
+
+  std::remove(base.c_str());
+  std::remove(same.c_str());
+  std::remove(slow.c_str());
+  std::remove(junk.c_str());
+}
+
+}  // namespace
+}  // namespace valign

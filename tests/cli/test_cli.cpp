@@ -157,7 +157,8 @@ TEST(Cli, SearchWritesMetricsReport) {
                      "22"}).code, 0);
 
   const CliResult s = run_cli({"search", qpath.string(), dpath.string(),
-                               "--metrics-out", rpath.string(), "--trace"});
+                               "--metrics-out", rpath.string(), "--trace",
+                               "--perf-counters"});
   EXPECT_EQ(s.code, 0) << s.err;
   EXPECT_NE(s.out.find("# stage budget (s):"), std::string::npos)
       << "--trace must print the per-stage time budget";
@@ -171,8 +172,18 @@ TEST(Cli, SearchWritesMetricsReport) {
        {"\"schema\":\"valign.run_report/1\"", "\"command\":\"search\"",
         "\"gcups_real\"", "\"engine_cache\"", "\"stages\"",
         "\"lazyf_pass_hist\"", "runtime.engine_cache.lookups",
-        "runtime.sched.block_cells"}) {
+        "runtime.sched.block_cells",
+        // --perf-counters: the hw section is always present; either real
+        // counters or a clearly-marked degradation with a reason. Provenance
+        // rides along in the same schema version.
+        "\"provenance\"", "\"cpu_isa_level\"", "\"git_describe\"",
+        "\"hw\":{\"available\":", "\"reason\":", "\"run\":{\"cycles\":"}) {
     EXPECT_NE(j.find(needle), std::string::npos) << "report missing " << needle;
+  }
+  // Degradation is explicit, never silent: unavailable counters must say why.
+  if (j.find("\"available\":false") != std::string::npos) {
+    EXPECT_EQ(j.find("\"reason\":\"\""), std::string::npos)
+        << "unavailable hw section carries an empty reason";
   }
   std::filesystem::remove(qpath);
   std::filesystem::remove(dpath);

@@ -1,0 +1,164 @@
+// BenchReport (valign.bench_report/1) serializer + parser tests: lossless
+// round-trip, strictness on malformed documents, and tolerance of added keys
+// within the major schema version.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "valign/common.hpp"
+#include "valign/obs/bench_report.hpp"
+
+namespace valign {
+namespace {
+
+obs::BenchReport sample_bench_report() {
+  obs::BenchReport r;
+  r.command = "bench_runtime";
+  r.provenance.tool_version = "1.0.0";
+  r.provenance.isa = "avx2";
+  r.provenance.cpu_model = "Some CPU @ 2.10GHz";
+  r.provenance.hostname = "hosty";
+  r.provenance.timestamp_utc = "2026-08-07T10:00:00Z";
+  r.provenance.git_describe = "abc1234-dirty";
+  r.provenance.compiler = "gcc 12.2.0";
+  r.provenance.threads = 8;
+  r.provenance.bench_scale = 0.25;
+  r.hw_reason = "hardware counters not supported on this machine (no PMU; VM?)";
+
+  obs::BenchScenario a;
+  a.name = "search.pair_sched";
+  a.reps = 3;
+  a.sec_min = 0.011;
+  a.sec_median = 0.0125;
+  a.sec_max = 0.019;
+  a.cells = 73233612;
+  a.gcups_median = 5.8586;
+  r.scenarios.push_back(a);
+
+  obs::BenchScenario b;
+  b.name = "weird \"name\", with, commas\n";
+  b.reps = 1;
+  b.sec_median = 2.5;
+  b.hw_available = true;
+  b.hw.cycles = 1000;
+  b.hw.instructions = 2500;
+  b.hw.branch_misses = 3;
+  b.hw.l1d_misses = 40;
+  b.hw.llc_misses = 5;
+  b.hw.ns_enabled = 100;
+  b.hw.ns_running = 50;
+  r.scenarios.push_back(b);
+  return r;
+}
+
+TEST(BenchReport, JsonRoundTripIsLossless) {
+  const obs::BenchReport r = sample_bench_report();
+  const obs::BenchReport p = obs::BenchReport::from_json(r.json());
+
+  EXPECT_EQ(p.schema, obs::kBenchReportSchema);
+  EXPECT_EQ(p.command, r.command);
+  EXPECT_EQ(p.provenance.tool_version, r.provenance.tool_version);
+  EXPECT_EQ(p.provenance.isa, r.provenance.isa);
+  EXPECT_EQ(p.provenance.cpu_model, r.provenance.cpu_model);
+  EXPECT_EQ(p.provenance.hostname, r.provenance.hostname);
+  EXPECT_EQ(p.provenance.timestamp_utc, r.provenance.timestamp_utc);
+  EXPECT_EQ(p.provenance.git_describe, r.provenance.git_describe);
+  EXPECT_EQ(p.provenance.compiler, r.provenance.compiler);
+  EXPECT_EQ(p.provenance.threads, 8);
+  EXPECT_DOUBLE_EQ(p.provenance.bench_scale, 0.25);
+  EXPECT_EQ(p.hw_reason, r.hw_reason);
+
+  ASSERT_EQ(p.scenarios.size(), 2u);
+  const obs::BenchScenario* a = p.find("search.pair_sched");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->reps, 3);
+  EXPECT_DOUBLE_EQ(a->sec_min, 0.011);
+  EXPECT_DOUBLE_EQ(a->sec_median, 0.0125);
+  EXPECT_DOUBLE_EQ(a->sec_max, 0.019);
+  EXPECT_EQ(a->cells, 73233612u);
+  EXPECT_DOUBLE_EQ(a->gcups_median, 5.8586);
+  EXPECT_FALSE(a->hw_available);
+
+  const obs::BenchScenario* b = p.find("weird \"name\", with, commas\n");
+  ASSERT_NE(b, nullptr) << "escaped names must survive the round trip";
+  EXPECT_TRUE(b->hw_available);
+  EXPECT_EQ(b->hw.cycles, 1000u);
+  EXPECT_EQ(b->hw.instructions, 2500u);
+  EXPECT_EQ(b->hw.branch_misses, 3u);
+  EXPECT_EQ(b->hw.l1d_misses, 40u);
+  EXPECT_EQ(b->hw.llc_misses, 5u);
+  EXPECT_EQ(b->hw.ns_enabled, 100u);
+  EXPECT_EQ(b->hw.ns_running, 50u);
+
+  // Serialization is deterministic: same report, same bytes.
+  EXPECT_EQ(r.json(), r.json());
+  EXPECT_EQ(p.json(), r.json()) << "parse+reserialize must be a fixed point";
+}
+
+TEST(BenchReport, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/valign_bench_rt.json";
+  sample_bench_report().write_file(path);
+  const obs::BenchReport p = obs::BenchReport::read_file(path);
+  EXPECT_EQ(p.scenarios.size(), 2u);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(sample_bench_report().write_file("/nonexistent-dir/x.json"),
+               Error);
+  EXPECT_THROW((void)obs::BenchReport::read_file("/nonexistent-dir/x.json"),
+               Error);
+}
+
+TEST(BenchReport, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)obs::BenchReport::from_json(""), Error);
+  EXPECT_THROW((void)obs::BenchReport::from_json("{"), Error);
+  EXPECT_THROW((void)obs::BenchReport::from_json("[]"), Error);
+  EXPECT_THROW((void)obs::BenchReport::from_json("{\"a\":1}{}"), Error)
+      << "trailing garbage";
+  EXPECT_THROW((void)obs::BenchReport::from_json(
+                   R"({"schema":"valign.bench_report/1","scenarios":[{}]})"),
+               Error)
+      << "scenario without a name";
+  EXPECT_THROW((void)obs::BenchReport::from_json(
+                   R"({"schema":"valign.bench_report/1"})"),
+               Error)
+      << "missing scenarios array";
+}
+
+TEST(BenchReport, RejectsForeignSchemas) {
+  EXPECT_THROW((void)obs::BenchReport::from_json(R"({"scenarios":[]})"), Error);
+  EXPECT_THROW((void)obs::BenchReport::from_json(
+                   R"({"schema":"valign.run_report/1","scenarios":[]})"),
+               Error);
+  EXPECT_THROW((void)obs::BenchReport::from_json(
+                   R"({"schema":"valign.bench_report/2","scenarios":[]})"),
+               Error)
+      << "a future major version must be rejected, not misread";
+  EXPECT_THROW((void)obs::BenchReport::from_json(
+                   R"({"schema":"valign.bench_report/12","scenarios":[]})"),
+               Error)
+      << "major 12 is not minor evolution of major 1";
+}
+
+TEST(BenchReport, ToleratesAddedKeysWithinMajorVersion) {
+  // A v1.x producer may add fields anywhere; a v1 consumer must ignore them.
+  const std::string doc = R"({
+    "schema": "valign.bench_report/1.3",
+    "command": "bench_runtime",
+    "new_top_level_section": {"nested": [1, 2, {"deep": true}]},
+    "provenance": {"isa": "avx512", "future_field": null},
+    "scenarios": [
+      {"name": "s1", "reps": 2, "sec_median": 1.5,
+       "future_metric": 9.9, "hw": {"available": false, "why": "x"}}
+    ]
+  })";
+  const obs::BenchReport p = obs::BenchReport::from_json(doc);
+  EXPECT_EQ(p.provenance.isa, "avx512");
+  ASSERT_EQ(p.scenarios.size(), 1u);
+  EXPECT_EQ(p.scenarios[0].reps, 2);
+  EXPECT_DOUBLE_EQ(p.scenarios[0].sec_median, 1.5);
+  EXPECT_FALSE(p.scenarios[0].hw_available);
+}
+
+}  // namespace
+}  // namespace valign

@@ -190,7 +190,12 @@ TEST(RunReport, JsonContainsSchemaAndSections) {
        {"\"schema\":\"valign.run_report/1\"", "\"command\":\"search\"",
         "\"config\"", "\"workload\"", "\"perf\"", "\"widths\"", "\"engine\"",
         "\"engine_cache\"", "\"stages\"", "\"metrics\"", "\"lazyf_pass_hist\"",
-        "\"hscan_step_hist\"", "\"gcups_real\"", "\"last_bucket_is_overflow\""}) {
+        "\"hscan_step_hist\"", "\"gcups_real\"", "\"last_bucket_is_overflow\"",
+        // Additive valign.run_report/1 sections (provenance + hardware
+        // counters) — consumers tolerant of added keys must keep working.
+        "\"provenance\"", "\"hostname\"", "\"timestamp_utc\"",
+        "\"cpu_isa_level\"", "\"git_describe\"", "\"hw\"", "\"available\"",
+        "\"reason\"", "\"cycles\"", "\"ipc\""}) {
     EXPECT_NE(j.find(needle), std::string::npos) << "missing " << needle;
   }
   // Balanced braces — cheap well-formedness proxy without a JSON parser.
@@ -238,12 +243,125 @@ TEST(RunReport, WriteFilePicksFormatByExtension) {
   EXPECT_THROW(sample_report().write_file("/nonexistent-dir/x.json"), Error);
 }
 
+TEST(RunReport, SerializationIsDeterministicAndOrdered) {
+  // Two serializations of the same report must be byte-identical, and stage /
+  // metric sections must be name-sorted, so reports from different runs diff
+  // cleanly.
+  obs::RunReport rr = sample_report();
+  obs::MetricSample z;
+  z.name = "z.last";
+  z.kind = obs::MetricSample::Kind::Counter;
+  z.value = 1;
+  obs::MetricSample a = z;
+  a.name = "a.first";
+  rr.metrics.samples = {z, a};  // deliberately out of order
+
+  const std::string j1 = rr.json();
+  const std::string j2 = rr.json();
+  EXPECT_EQ(j1, j2);
+
+  EXPECT_LT(j1.find("\"a.first\""), j1.find("\"z.last\""));
+  // Stage objects sorted by name: align < parse < reduce < report < schedule.
+  const std::size_t stages = j1.find("\"stages\":{");
+  ASSERT_NE(stages, std::string::npos);
+  std::size_t prev = stages;
+  for (const char* s : {"\"align\"", "\"parse\"", "\"reduce\"", "\"report\"",
+                        "\"schedule\""}) {
+    const std::size_t at = j1.find(s, stages);
+    ASSERT_NE(at, std::string::npos) << s;
+    EXPECT_GT(at, prev) << "stage " << s << " out of name order";
+    prev = at;
+  }
+
+  std::ostringstream c1, c2;
+  rr.write_csv(c1);
+  rr.write_csv(c2);
+  EXPECT_EQ(c1.str(), c2.str());
+  EXPECT_LT(c1.str().find("metrics.a.first"), c1.str().find("metrics.z.last"));
+
+  // A one-metric change must produce a one-line CSV diff, not a reshuffle.
+  obs::RunReport rr2 = rr;
+  rr2.metrics.samples[0].value = 2;  // z.last
+  std::ostringstream c3;
+  rr2.write_csv(c3);
+  const std::string s1 = c1.str(), s3 = c3.str();
+  std::istringstream l1(s1), l3(s3);
+  std::string line1, line3;
+  int differing = 0;
+  while (std::getline(l1, line1) && std::getline(l3, line3)) {
+    if (line1 != line3) ++differing;
+  }
+  EXPECT_EQ(differing, 1);
+}
+
+TEST(RunReport, CsvEscapesCommasAndQuotesInNames) {
+  obs::RunReport rr = sample_report();
+  obs::MetricSample weird;
+  weird.name = "weird,metric\"quoted\"";
+  weird.kind = obs::MetricSample::Kind::Gauge;
+  weird.value = 5;
+  rr.metrics.samples = {weird};
+  rr.matrix = "mat,rix";
+
+  std::ostringstream out;
+  rr.write_csv(out);
+  const std::string csv = out.str();
+  // RFC 4180: field quoted, inner quotes doubled.
+  EXPECT_NE(csv.find("\"metrics.weird,metric\"\"quoted\"\"\",5"),
+            std::string::npos)
+      << csv;
+  EXPECT_NE(csv.find("config.matrix,\"mat,rix\""), std::string::npos);
+  // Every data row still splits into exactly two CSV fields.
+  std::istringstream lines(csv);
+  std::string line;
+  while (std::getline(lines, line)) {
+    int commas_outside_quotes = 0;
+    bool in_quotes = false;
+    for (const char c : line) {
+      if (c == '"') in_quotes = !in_quotes;
+      else if (c == ',' && !in_quotes) ++commas_outside_quotes;
+    }
+    EXPECT_EQ(commas_outside_quotes, 1) << "bad row: " << line;
+  }
+}
+
+TEST(RunReport, CsvLabelsOverflowBucketsUnambiguously) {
+  obs::RunReport rr = sample_report();
+  obs::MetricSample h;
+  h.name = "lat";
+  h.kind = obs::MetricSample::Kind::Histogram;
+  h.value = 3;
+  h.sum = 5055;
+  h.bucket_bounds = {10, 100};
+  h.bucket_counts = {1, 1, 1};
+  rr.metrics.samples = {h};
+
+  std::ostringstream out;
+  rr.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("metrics.lat.bucket_le_10,1"), std::string::npos);
+  EXPECT_NE(csv.find("metrics.lat.bucket_le_100,1"), std::string::npos);
+  EXPECT_NE(csv.find("metrics.lat.bucket_overflow,1"), std::string::npos);
+  // PassHist rows: exact buckets 0..7, then the "8 or more" tail.
+  EXPECT_NE(csv.find("engine.lazyf_pass_hist.bucket_0,1"), std::string::npos);
+  EXPECT_NE(csv.find("engine.lazyf_pass_hist.bucket_8_or_more,0"),
+            std::string::npos);
+  EXPECT_EQ(csv.find("bucket_8,"), std::string::npos)
+      << "the overflow bucket must not look like an exact count";
+}
+
 TEST(RunReport, CaptureEnvironmentPullsGlobalState) {
   obs::Registry::global().counter("test.obs.capture_probe").add(7);
   { const obs::StageSpan s(obs::Stage::Report); }
   obs::RunReport rr;
   rr.capture_environment();
   EXPECT_FALSE(rr.version.empty());
+  EXPECT_FALSE(rr.hostname.empty());
+  EXPECT_FALSE(rr.timestamp_utc.empty());
+  EXPECT_FALSE(rr.cpu_isa_level.empty());
+  EXPECT_FALSE(rr.git_describe.empty());
+  // Degradation contract: whenever counters are absent the reason says why.
+  if (!rr.hw_available) EXPECT_FALSE(rr.hw_reason.empty());
   EXPECT_GE(rr.stages[static_cast<std::size_t>(obs::Stage::Report)].spans, 1u);
   bool found = false;
   for (const obs::MetricSample& s : rr.metrics.samples) {

@@ -1,0 +1,195 @@
+// Hardware counter module tests. The tier-1 suite must pass on hosts with
+// and without a usable PMU, so everything that needs real counters is gated
+// on perf_available(); the degradation contract (probe reason, no-op scopes)
+// is asserted unconditionally.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "valign/obs/perf.hpp"
+#include "valign/obs/trace.hpp"
+
+namespace valign {
+namespace {
+
+volatile std::uint64_t g_spin_sink = 0;
+
+void spin_some_work() {
+  std::uint64_t x = 1;
+  for (int i = 0; i < 2'000'000; ++i) x = x * 6364136223846793005ULL + 1;
+  g_spin_sink = x;
+}
+
+// --- HwCounts arithmetic -----------------------------------------------------
+
+TEST(HwCounts, AccumulateAndSaturatingDelta) {
+  obs::HwCounts a;
+  a.cycles = 100;
+  a.instructions = 250;
+  a.l1d_misses = 7;
+  obs::HwCounts b;
+  b.cycles = 50;
+  b.instructions = 25;
+  b.ns_enabled = 10;
+
+  obs::HwCounts sum = a;
+  sum += b;
+  EXPECT_EQ(sum.cycles, 150u);
+  EXPECT_EQ(sum.instructions, 275u);
+  EXPECT_EQ(sum.l1d_misses, 7u);
+  EXPECT_EQ(sum.ns_enabled, 10u);
+
+  const obs::HwCounts delta = a - b;
+  EXPECT_EQ(delta.cycles, 50u);
+  EXPECT_EQ(delta.instructions, 225u);
+
+  // Counters are monotonic in normal operation, but a multiplex rescale can
+  // make a later reading smaller; deltas must clamp, not wrap.
+  const obs::HwCounts neg = b - a;
+  EXPECT_EQ(neg.cycles, 0u);
+  EXPECT_EQ(neg.instructions, 0u);
+  EXPECT_EQ(neg.ns_enabled, 10u);
+}
+
+TEST(HwCounts, IpcAndAny) {
+  obs::HwCounts c;
+  EXPECT_EQ(c.ipc(), 0.0);
+  EXPECT_FALSE(c.any());
+  c.cycles = 200;
+  c.instructions = 500;
+  EXPECT_DOUBLE_EQ(c.ipc(), 2.5);
+  EXPECT_TRUE(c.any());
+}
+
+// --- probe / degradation -----------------------------------------------------
+
+TEST(PerfProbe, IsCachedAndExplainsUnavailability) {
+  const obs::PerfProbe& p1 = obs::perf_probe();
+  const obs::PerfProbe& p2 = obs::perf_probe();
+  EXPECT_EQ(&p1, &p2) << "probe must run once and cache";
+  if (!p1.available) {
+    EXPECT_FALSE(p1.reason.empty())
+        << "an unavailable PMU must come with a human-readable reason";
+  } else {
+    EXPECT_TRUE(p1.reason.empty());
+  }
+}
+
+TEST(PerfProbe, ReadThreadCountersMatchesProbe) {
+  obs::HwCounts c;
+  EXPECT_EQ(obs::read_thread_counters(c), obs::perf_available());
+  if (obs::perf_available()) {
+    spin_some_work();
+    obs::HwCounts later;
+    ASSERT_TRUE(obs::read_thread_counters(later));
+    const obs::HwCounts delta = later - c;
+    EXPECT_GT(delta.instructions, 0u) << "2M multiplies must retire instructions";
+  }
+}
+
+// --- HwTable -----------------------------------------------------------------
+
+TEST(HwTable, RecordSnapshotReset) {
+  obs::HwTable table;
+  obs::HwCounts d;
+  d.cycles = 5;
+  d.llc_misses = 2;
+  table.record(0, d);
+  table.record(0, d);
+  table.record(obs::kHwRunSlot, d);
+
+  EXPECT_EQ(table.stats(0).cycles, 10u);
+  EXPECT_EQ(table.stats(0).llc_misses, 4u);
+  EXPECT_EQ(table.stats(1).cycles, 0u);
+  const auto snap = table.snapshot();
+  EXPECT_EQ(snap[obs::kHwRunSlot].cycles, 5u);
+
+  table.reset();
+  EXPECT_FALSE(table.stats(0).any());
+  EXPECT_FALSE(table.stats(obs::kHwRunSlot).any());
+}
+
+TEST(HwTable, OutOfRangeSlotsAreIgnored) {
+  obs::HwTable table;
+  obs::HwCounts d;
+  d.cycles = 1;
+  table.record(-1, d);
+  table.record(obs::kHwSlotCount, d);
+  for (int s = 0; s < obs::kHwSlotCount; ++s) {
+    EXPECT_FALSE(table.stats(s).any());
+  }
+}
+
+TEST(HwTable, ConcurrentRecordsDoNotLoseCounts) {
+  obs::HwTable table;
+  constexpr int kThreads = 4;
+  constexpr int kPer = 10000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&table] {
+      obs::HwCounts d;
+      d.instructions = 3;
+      for (int i = 0; i < kPer; ++i) table.record(2, d);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(table.stats(2).instructions,
+            static_cast<std::uint64_t>(kThreads) * kPer * 3);
+}
+
+// --- PerfScope gating --------------------------------------------------------
+
+TEST(PerfScope, DisabledScopeRecordsNothing) {
+  obs::set_perf_enabled(false);
+  obs::HwTable table;
+  {
+    obs::PerfScope s(0, table);
+    EXPECT_FALSE(s.active());
+    spin_some_work();
+  }
+  EXPECT_FALSE(table.stats(0).any());
+}
+
+TEST(PerfScope, EnabledScopeFollowsAvailability) {
+  obs::set_perf_enabled(true);
+  obs::HwTable table;
+  {
+    obs::PerfScope s(1, table);
+    EXPECT_EQ(s.active(), obs::perf_available());
+    spin_some_work();
+    s.stop();
+    s.stop();  // idempotent
+    EXPECT_FALSE(s.active());
+  }
+  obs::set_perf_enabled(false);
+  if (obs::perf_available()) {
+    EXPECT_GT(table.stats(1).instructions, 0u);
+  } else {
+    EXPECT_FALSE(table.stats(1).any()) << "no PMU: scopes must stay silent";
+  }
+}
+
+TEST(PerfScope, StageSpanCarriesCountersIntoMatchingSlot) {
+  // StageSpan owns a PerfScope aimed at the stage's slot in the global
+  // HwTable; with counters enabled and a real PMU, a span leaves a non-zero
+  // per-stage sum behind.
+  obs::HwTable::global().reset();
+  obs::set_perf_enabled(true);
+  {
+    const obs::StageSpan span(obs::Stage::Align);
+    spin_some_work();
+  }
+  obs::set_perf_enabled(false);
+  const obs::HwCounts aligned =
+      obs::HwTable::global().stats(static_cast<int>(obs::Stage::Align));
+  if (obs::perf_available()) {
+    EXPECT_GT(aligned.instructions, 0u);
+  } else {
+    EXPECT_FALSE(aligned.any());
+  }
+  obs::HwTable::global().reset();
+}
+
+}  // namespace
+}  // namespace valign
