@@ -8,6 +8,7 @@
 #   scripts/check.sh plain      # release build + ctest only
 #   scripts/check.sh sanitize   # ASan+UBSan build + ctest only
 #   scripts/check.sh --tsan     # TSan build + tests/obs + tests/runtime
+#   scripts/check.sh --fuzz     # 30s fuzz smoke: FASTA + matrix parsers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,11 +35,25 @@ run_tsan() {
   ./build-tsan/tests/test_runtime
 }
 
+run_fuzz() {
+  # 30-second smoke (15s per target): parsers must survive corpus replay plus
+  # random mutations under ASan+UBSan. With clang this is libFuzzer; with gcc
+  # it is the fallback driver in tests/fuzz/driver_main.cpp — same CLI.
+  cmake -B build-fuzz -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DVALIGN_BUILD_FUZZERS=ON -DVALIGN_ENABLE_FAILPOINTS=OFF
+  cmake --build build-fuzz -j "$(nproc)" --target fuzz_fasta fuzz_matrix
+  ./build-fuzz/tests/fuzz/fuzz_fasta -max_total_time=15 tests/fuzz/corpus/fasta
+  ./build-fuzz/tests/fuzz/fuzz_matrix -max_total_time=15 tests/fuzz/corpus/matrix
+}
+
 case "${1:-all}" in
   plain)         run_plain ;;
   sanitize)      run_sanitize ;;
   tsan|--tsan)   run_tsan ;;
+  fuzz|--fuzz)   run_fuzz ;;
   all)           run_plain; run_sanitize ;;
-  *) echo "usage: $0 [plain|sanitize|--tsan|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [plain|sanitize|--tsan|--fuzz|all]" >&2; exit 2 ;;
 esac
 echo "check.sh: all requested suites passed"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <sstream>
+#include <thread>
 
 #include "valign/io/fasta.hpp"
 #include "valign/obs/report.hpp"
@@ -88,17 +90,29 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
     std::uint64_t local_cells = 0;
     std::array<std::uint64_t, 3> local_width{};
     std::vector<std::vector<SearchHit>> local_hits(queries.size());
+    std::vector<robust::ShardFailure> local_failures;
+    std::uint64_t local_retries = 0;
+    std::uint64_t local_dropped = 0;
     std::vector<std::span<const std::uint8_t>> batch_dbs;
     std::vector<AlignResult> batch_out;
     std::size_t cur_query = queries.size();    // sentinel: no query loaded
     std::size_t batch_query = queries.size();  // ditto, for the batcher
 
-#if defined(VALIGN_HAVE_OPENMP)
-#pragma omp for schedule(dynamic, 1) nowait
-#endif
-    for (std::size_t bi = 0; bi < sched.blocks.size(); ++bi) {
-      const runtime::WorkBlock& b = sched.blocks[bi];
-      const obs::TraceSpan block_span(block_us);
+    // Block-transactional scratch: one attempt accumulates here and commits
+    // only on success, so retried/failed blocks never leave partial hits or
+    // double-counted stats (see docs/robustness.md).
+    AlignStats try_stats{};
+    std::uint64_t try_aligns = 0;
+    std::uint64_t try_cells = 0;
+    std::array<std::uint64_t, 3> try_width{};
+    std::vector<SearchHit> try_hits;
+
+    const auto process_block = [&](const runtime::WorkBlock& b) {
+      try_stats = AlignStats{};
+      try_aligns = 0;
+      try_cells = 0;
+      try_width = {};
+      try_hits.clear();
       const std::uint64_t qlen = queries[b.query].size();
       const std::size_t pairs = b.end - b.begin;
       const double mean_dlen =
@@ -108,7 +122,6 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
               : 0.0;
       const EngineMode mode = runtime::resolve_engine(
           cfg.engine, qlen, pairs, mean_dlen, lane_count, alpha);
-      auto& hits = local_hits[b.query];
 
       if (mode == EngineMode::Inter) {
         // Lane-packed sweep: the whole block is one batch, so the length
@@ -126,11 +139,11 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
         for (std::size_t i = 0; i < pairs; ++i) {
           const std::size_t d = sched.db_index(b.begin + i);
           const AlignResult& r = batch_out[i];
-          local_stats += r.stats;
-          ++local_aligns;
-          local_cells += qlen * db[d].size();
-          ++local_width[static_cast<std::size_t>(obs::width_index(r.bits))];
-          hits.push_back(SearchHit{d, r.score, r.query_end, r.db_end});
+          try_stats += r.stats;
+          ++try_aligns;
+          try_cells += qlen * db[d].size();
+          ++try_width[static_cast<std::size_t>(obs::width_index(r.bits))];
+          try_hits.push_back(SearchHit{d, r.score, r.query_end, r.db_end});
         }
       } else {
         if (b.query != cur_query) {
@@ -140,18 +153,59 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
         for (std::size_t k = b.begin; k < b.end; ++k) {
           const std::size_t d = sched.db_index(k);
           const AlignResult r = aligner.align(db[d]);
-          local_stats += r.stats;
-          ++local_aligns;
-          local_cells += qlen * db[d].size();
-          ++local_width[static_cast<std::size_t>(obs::width_index(r.bits))];
-          hits.push_back(SearchHit{d, r.score, r.query_end, r.db_end});
+          try_stats += r.stats;
+          ++try_aligns;
+          try_cells += qlen * db[d].size();
+          ++try_width[static_cast<std::size_t>(obs::width_index(r.bits))];
+          try_hits.push_back(SearchHit{d, r.score, r.query_end, r.db_end});
         }
       }
-      // Bound per-thread memory: pruning to the thread-local top-k keeps a
-      // superset of the global top-k (anything dropped is dominated by k
-      // better hits already in this thread).
-      if (hits.size() > runtime::top_k_prune_threshold(cfg.top_k)) {
-        keep_top_hits(hits, cfg.top_k);
+    };
+
+#if defined(VALIGN_HAVE_OPENMP)
+#pragma omp for schedule(dynamic, 1) nowait
+#endif
+    for (std::size_t bi = 0; bi < sched.blocks.size(); ++bi) {
+      const runtime::WorkBlock& b = sched.blocks[bi];
+      const obs::TraceSpan block_span(block_us);
+      // Exception capture: a failure is charged to this block (recorded,
+      // results dropped), never allowed to escape the parallel region —
+      // an uncaught exception in an OpenMP worker is std::terminate.
+      for (int attempt = 0;; ++attempt) {
+        try {
+          process_block(b);
+          local_stats += try_stats;
+          local_aligns += try_aligns;
+          local_cells += try_cells;
+          for (std::size_t w = 0; w < try_width.size(); ++w) {
+            local_width[w] += try_width[w];
+          }
+          auto& hits = local_hits[b.query];
+          hits.insert(hits.end(), try_hits.begin(), try_hits.end());
+          // Bound per-thread memory: pruning to the thread-local top-k keeps
+          // a superset of the global top-k (anything dropped is dominated by
+          // k better hits already in this thread).
+          if (hits.size() > runtime::top_k_prune_threshold(cfg.top_k)) {
+            keep_top_hits(hits, cfg.top_k);
+          }
+          break;
+        } catch (const std::exception& e) {
+          if (robust::is_transient_failure(e) &&
+              attempt < cfg.robust.max_retries) {
+            ++local_retries;
+            std::this_thread::sleep_for(std::chrono::milliseconds(2 << attempt));
+            continue;
+          }
+          local_failures.push_back(
+              robust::ShardFailure{b.begin, b.end - b.begin, e.what(), b.query});
+          local_dropped += b.end - b.begin;
+          break;
+        } catch (...) {
+          local_failures.push_back(robust::ShardFailure{
+              b.begin, b.end - b.begin, "unknown exception", b.query});
+          local_dropped += b.end - b.begin;
+          break;
+        }
       }
     }
 
@@ -174,10 +228,29 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
       for (std::size_t q = 0; q < queries.size(); ++q) {
         merged[q].insert(merged[q].end(), local_hits[q].begin(), local_hits[q].end());
       }
+      report.failures.insert(report.failures.end(), local_failures.begin(),
+                             local_failures.end());
+      report.shard_retries += local_retries;
+      report.records_dropped += local_dropped;
     }
   }
 
   align_span.stop();
+  report.worker_errors = report.failures.size();
+  if (report.worker_errors > 0 || report.shard_retries > 0) {
+    auto& reg = obs::Registry::global();
+    reg.counter("runtime.search.worker_errors").add(report.worker_errors);
+    reg.counter("runtime.search.records_dropped").add(report.records_dropped);
+    reg.counter("runtime.search.shard_retries").add(report.shard_retries);
+  }
+  if (report.worker_errors > cfg.robust.max_errors) {
+    std::ostringstream os;
+    os << report.worker_errors << " of " << sched.blocks.size()
+       << " block(s) failed (" << report.records_dropped
+       << " alignment(s) dropped, --max-errors " << cfg.robust.max_errors
+       << "); first: " << report.failures.front().error;
+    throw robust::StatusError(robust::StatusCode::Internal, os.str());
+  }
   runtime::publish_cache_stats(report.cache);
   if (cfg.engine != EngineMode::Intra) {
     runtime::publish_interseq_stats(report.interseq, report.interseq_fallbacks);
@@ -200,17 +273,24 @@ SearchReport search_stream(const Dataset& queries, std::istream& db,
                            const Alphabet& alphabet, const SearchConfig& cfg,
                            Dataset* collected) {
   runtime::SearchPipeline pipeline(queries, runtime::PipelineConfig{cfg});
+  robust::QuarantineStats quarantine;
   {
     // Producer side: parsing overlaps the workers' Align spans, so the Parse
     // budget includes back-pressure waits on the bounded queue.
     const obs::StageSpan parse_span(obs::Stage::Parse);
-    FastaReader reader(db, alphabet);
+    FastaReader reader(db, alphabet,
+                       FastaReaderConfig{cfg.robust.lenient,
+                                         cfg.robust.max_sequence_length});
     while (auto s = reader.next()) {
       if (collected != nullptr) collected->add(*s);
       pipeline.push(*std::move(s));
     }
+    quarantine = reader.quarantine();
   }
-  return pipeline.finish();
+  SearchReport report = pipeline.finish();
+  report.quarantine = quarantine;
+  robust::publish_quarantine_stats(report.quarantine);
+  return report;
 }
 
 }  // namespace valign::apps

@@ -14,6 +14,7 @@
 
 #include "valign/core/dispatch.hpp"
 #include "valign/io/sequence.hpp"
+#include "valign/robust/quarantine.hpp"
 #include "valign/runtime/engine_cache.hpp"
 #include "valign/runtime/scheduler.hpp"
 
@@ -52,6 +53,10 @@ struct SearchConfig {
   /// (runtime::resolve_engine). Results are identical either way; only
   /// throughput differs.
   EngineMode engine = EngineMode::Auto;
+  /// Degraded-mode policy: lenient parsing, worker error budget, transient
+  /// retries, stall watchdog (docs/robustness.md). Defaults are strict, so
+  /// behavior is unchanged unless a caller opts in.
+  robust::RobustPolicy robust{};
 };
 
 struct SearchReport {
@@ -70,6 +75,16 @@ struct SearchReport {
   InterSeqBatchStats interseq{};
   /// Pairs the packed engine re-ran through the intra ladder (saturation).
   std::uint64_t interseq_fallbacks = 0;
+  /// Records skipped by lenient parsing (streaming: the db stream; batch
+  /// callers fold their parse-time tallies in themselves).
+  robust::QuarantineStats quarantine{};
+  /// Work units (pipeline shards / schedule blocks) whose results were lost
+  /// after retries; base/count are db-index ranges for shards, pair counts
+  /// for blocks. Empty on a clean run.
+  std::vector<robust::ShardFailure> failures;
+  std::uint64_t worker_errors = 0;    ///< = failures.size(), pre-summed.
+  std::uint64_t shard_retries = 0;    ///< Transient failures that were retried.
+  std::uint64_t records_dropped = 0;  ///< Alignment results lost to failures.
   double seconds = 0.0;
   /// Giga cell updates per second over real (unpadded) cells — the figure of
   /// merit comparable across engines and with the paper / other aligners.

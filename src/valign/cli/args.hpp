@@ -10,11 +10,14 @@
 #include <vector>
 
 #include "valign/common.hpp"
+#include "valign/robust/status.hpp"
 
 namespace valign::cli {
 
 /// Parses `--flag value`, `--flag=value`, bare `--switch`, and positionals.
-/// Flags must be registered before parse() so typos are diagnosed.
+/// Flags must be registered before parse() so typos are diagnosed. All parse
+/// failures throw robust::StatusError with code invalid_argument, which the
+/// CLI maps to exit code 2 (usage error).
 class ArgParser {
  public:
   /// Register a value-taking flag (e.g. "--matrix").
@@ -22,7 +25,8 @@ class ArgParser {
   /// Register a boolean switch (e.g. "--traceback").
   void add_switch(std::string name) { switches_.insert(std::move(name)); }
 
-  /// Throws valign::Error on unknown flags or missing values.
+  /// Throws robust::StatusError (invalid_argument) on unknown flags or
+  /// missing values.
   void parse(std::span<const std::string_view> args) {
     for (std::size_t i = 0; i < args.size(); ++i) {
       const std::string_view a = args[i];
@@ -31,7 +35,8 @@ class ArgParser {
         std::string name(eq == std::string_view::npos ? a : a.substr(0, eq));
         if (switches_.contains(name)) {
           if (eq != std::string_view::npos) {
-            throw Error("switch " + name + " does not take a value");
+            robust::throw_status(robust::invalid_argument(
+                "switch " + name + " does not take a value"));
           }
           present_.insert(name);
         } else if (options_.contains(name)) {
@@ -40,13 +45,15 @@ class ArgParser {
             value = std::string(a.substr(eq + 1));
           } else {
             if (i + 1 >= args.size()) {
-              throw Error("missing value for " + name);
+              robust::throw_status(
+                  robust::invalid_argument("missing value for " + name));
             }
             value = std::string(args[++i]);
           }
           values_[name] = std::move(value);
         } else {
-          throw Error("unknown flag: " + name);
+          robust::throw_status(robust::invalid_argument(
+              "unknown flag: " + name + " (see valign --help)"));
         }
       } else {
         positionals_.emplace_back(a);
@@ -78,9 +85,11 @@ class ArgParser {
       const long r = std::stol(*v, &pos);
       if (pos != v->size()) throw Error("");
       return r;
+    } catch (const robust::StatusError&) {
+      throw;
     } catch (...) {
-      throw Error("flag " + std::string(name) + " expects an integer, got '" + *v +
-                  "'");
+      robust::throw_status(robust::invalid_argument(
+          "flag " + std::string(name) + " expects an integer, got '" + *v + "'"));
     }
   }
 
@@ -92,8 +101,11 @@ class ArgParser {
       const double r = std::stod(*v, &pos);
       if (pos != v->size()) throw Error("");
       return r;
+    } catch (const robust::StatusError&) {
+      throw;
     } catch (...) {
-      throw Error("flag " + std::string(name) + " expects a number, got '" + *v + "'");
+      robust::throw_status(robust::invalid_argument(
+          "flag " + std::string(name) + " expects a number, got '" + *v + "'"));
     }
   }
 

@@ -18,6 +18,9 @@
 #include "valign/obs/perf.hpp"
 #include "valign/obs/report.hpp"
 #include "valign/obs/trace.hpp"
+#include "valign/robust/failpoint.hpp"
+#include "valign/robust/quarantine.hpp"
+#include "valign/robust/status.hpp"
 #include "valign/runtime/scheduler.hpp"
 #include "valign/stats/karlin.hpp"
 #include "valign/version.hpp"
@@ -64,6 +67,16 @@ search/detect options:
                             batches (search only; default auto — see docs/interseq.md)
   --cache-engines on|off    reuse engines across width/approach switches (default on)
   --stream                  stream the database FASTA through the runtime pipeline
+robustness options (search only; docs/robustness.md):
+  --lenient                 quarantine malformed/oversized db records instead of
+                            failing the run (tallied in the report)
+  --max-errors N            tolerate up to N failed shards/blocks (default 0)
+  --max-seq-len N           quarantine (lenient) or reject records longer than N
+  --stall-timeout-ms N      watchdog: fail fast when the pipeline makes no
+                            progress for N ms (default 0 = off; --stream only)
+  --fail-inject SPEC[,..]   arm failpoints, SPEC = name[:prob[:count]]; needs a
+                            build with -DVALIGN_ENABLE_FAILPOINTS=ON (also via
+                            env VALIGN_FAILPOINTS / VALIGN_FAILPOINT_SEED)
 generate options:
   --out FILE --count N --seed S --preset bacteria2k|uniprot --dna
 bench-diff options:
@@ -71,11 +84,16 @@ bench-diff options:
                             exit code 1 when any scenario regresses beyond it
 )";
 
+/// Shorthand for a usage error (exit code 2 via the StatusError taxonomy).
+[[noreturn]] void usage_error(const std::string& msg) {
+  robust::throw_status(robust::invalid_argument(msg));
+}
+
 AlignClass parse_class(const std::string& s) {
   if (s == "nw" || s == "global") return AlignClass::Global;
   if (s == "sg" || s == "semiglobal") return AlignClass::SemiGlobal;
   if (s == "sw" || s == "local") return AlignClass::Local;
-  throw Error("unknown alignment class: " + s + " (expected nw|sg|sw)");
+  usage_error("unknown alignment class: " + s + " (expected nw|sg|sw)");
 }
 
 Approach parse_approach(const std::string& s) {
@@ -85,13 +103,14 @@ Approach parse_approach(const std::string& s) {
   if (s == "striped") return Approach::Striped;
   if (s == "scan") return Approach::Scan;
   if (s == "auto") return Approach::Auto;
-  throw Error("unknown approach: " + s);
+  usage_error("unknown approach: " + s +
+              " (expected scalar|blocked|diagonal|striped|scan|auto)");
 }
 
 bool parse_on_off(const std::string& s, const char* flag) {
   if (s == "on" || s == "1" || s == "true") return true;
   if (s == "off" || s == "0" || s == "false") return false;
-  throw Error(std::string(flag) + ": expected on|off, got " + s);
+  usage_error(std::string(flag) + ": expected on|off, got " + s);
 }
 
 Isa parse_isa(const std::string& s) {
@@ -100,7 +119,28 @@ Isa parse_isa(const std::string& s) {
   if (s == "avx2") return Isa::AVX2;
   if (s == "avx512") return Isa::AVX512;
   if (s == "auto") return Isa::Auto;
-  throw Error("unknown isa: " + s);
+  usage_error("unknown isa: " + s + " (expected emul|sse41|avx2|avx512|auto)");
+}
+
+/// Non-negative integer flag; anything else is a usage error.
+std::uint64_t uint_flag_or(const ArgParser& args, const char* name,
+                           std::uint64_t fallback) {
+  const long v = args.int_value_or(name, -1);
+  if (!args.has(name)) return fallback;
+  if (v < 0) usage_error(std::string(name) + " must be >= 0");
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Resolves the degraded-mode policy flags (docs/robustness.md).
+robust::RobustPolicy resolve_robust_policy(const ArgParser& args) {
+  robust::RobustPolicy policy;
+  policy.lenient = args.has("--lenient");
+  policy.max_errors = uint_flag_or(args, "--max-errors", 0);
+  policy.max_sequence_length = static_cast<std::size_t>(
+      uint_flag_or(args, "--max-seq-len", policy.max_sequence_length));
+  if (policy.max_sequence_length == 0) usage_error("--max-seq-len must be > 0");
+  policy.stall_timeout_ms = uint_flag_or(args, "--stall-timeout-ms", 0);
+  return policy;
 }
 
 /// Resolved scoring scheme. The DNA matrix is owned (value member) so the
@@ -197,13 +237,13 @@ int cmd_align(const ArgParser& args, std::ostream& out) {
   Sequence q, d;
   if (args.has("--q-seq") || args.has("--d-seq")) {
     if (!args.has("--q-seq") || !args.has("--d-seq")) {
-      throw Error("align: --q-seq and --d-seq must be given together");
+      usage_error("align: --q-seq and --d-seq must be given together");
     }
     q = Sequence("query", *args.value("--q-seq"), alpha);
     d = Sequence("subject", *args.value("--d-seq"), alpha);
   } else {
     if (args.positionals().size() != 3) {  // "align" + two paths
-      throw Error("align: expected <query.fa> <db.fa> or --q-seq/--d-seq");
+      usage_error("align: expected <query.fa> <db.fa> or --q-seq/--d-seq");
     }
     const Dataset qs = read_fasta_file(args.positionals()[1], alpha);
     const Dataset ds = read_fasta_file(args.positionals()[2], alpha);
@@ -244,7 +284,7 @@ int cmd_align(const ArgParser& args, std::ostream& out) {
 
 int cmd_search(const ArgParser& args, std::ostream& out) {
   if (args.positionals().size() != 3) {
-    throw Error("search: expected <queries.fa> <db.fa>");
+    usage_error("search: expected <queries.fa> <db.fa>");
   }
   obs::PerfScope run_perf(obs::kHwRunSlot);
   const Scoring scoring = resolve_scoring(args);
@@ -259,6 +299,11 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   cfg.threads = static_cast<int>(args.int_value_or("--threads", 1));
   cfg.sched = runtime::parse_pair_sched(args.value_or("--pair-sched", "auto"));
   cfg.engine = runtime::parse_engine_mode(args.value_or("--engine", "auto"));
+  cfg.robust = resolve_robust_policy(args);
+  if (cfg.robust.stall_timeout_ms > 0 && !streamed) {
+    usage_error("--stall-timeout-ms requires --stream (the watchdog guards the "
+                "streaming pipeline)");
+  }
 
   obs::StageSpan parse_span(obs::Stage::Parse);
   const Dataset queries = read_fasta_file(args.positionals()[1], alpha);
@@ -267,12 +312,22 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   if (streamed) {
     parse_span.stop();  // search_stream times its own producer loop
     std::ifstream in(args.positionals()[2]);
-    if (!in) throw Error("cannot open FASTA file: " + args.positionals()[2]);
+    if (!in) {
+      throw robust::StatusError(robust::StatusCode::IoTruncated,
+                                "cannot open FASTA file: " + args.positionals()[2]);
+    }
     rep = apps::search_stream(queries, in, alpha, cfg, &db);
   } else {
-    db = read_fasta_file(args.positionals()[2], alpha);
+    // Lenient parsing applies to the database in batch mode too; queries stay
+    // strict (silently dropping a query would change the answer's shape).
+    const FastaReaderConfig db_cfg{cfg.robust.lenient,
+                                   cfg.robust.max_sequence_length};
+    robust::QuarantineStats quarantine;
+    db = read_fasta_file(args.positionals()[2], alpha, db_cfg, &quarantine);
     parse_span.stop();
     rep = apps::search(queries, db, cfg);
+    rep.quarantine = quarantine;
+    robust::publish_quarantine_stats(rep.quarantine);
   }
   const stats::KarlinParams params = stats::lookup_params(scoring.mat(), scoring.gap);
   const std::uint64_t db_residues = db.total_residues();
@@ -281,6 +336,11 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   out << "# " << queries.size() << " queries x " << db.size() << " subjects, "
       << rep.alignments << " alignments in " << rep.seconds << " s ("
       << rep.gcups() << " GCUPS real, " << rep.gcups_padded() << " padded)\n";
+  if (!rep.quarantine.empty() || rep.worker_errors > 0 || rep.shard_retries > 0) {
+    out << "# degraded: " << rep.quarantine.records << " record(s) quarantined, "
+        << rep.worker_errors << " shard failure(s), " << rep.records_dropped
+        << " result(s) dropped, " << rep.shard_retries << " retrie(s)\n";
+  }
   out << "# query\tsubject\tscore\tbits\tevalue\n";
   for (std::size_t qi = 0; qi < queries.size(); ++qi) {
     for (const apps::SearchHit& h : rep.top_hits[qi]) {
@@ -307,6 +367,15 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   rr.width_counts = rep.width_counts;
   rr.totals = rep.totals;
   set_cache_stats(rr, rep.cache);
+  rr.lenient = cfg.robust.lenient;
+  rr.max_errors = cfg.robust.max_errors;
+  rr.quarantined = rep.quarantine.records;
+  rr.quarantined_malformed = rep.quarantine.malformed;
+  rr.quarantined_oversized = rep.quarantine.oversized;
+  rr.quarantined_truncated = rep.quarantine.truncated;
+  rr.worker_errors = rep.worker_errors;
+  rr.shard_retries = rep.shard_retries;
+  rr.records_dropped = rep.records_dropped;
   run_perf.stop();  // close the whole-run counter window before the snapshot
   emit_run_report(rr, args, out);
   return 0;
@@ -314,7 +383,7 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
 
 int cmd_detect(const ArgParser& args, std::ostream& out) {
   if (args.positionals().size() != 2) {
-    throw Error("detect: expected <seqs.fa>");
+    usage_error("detect: expected <seqs.fa>");
   }
   obs::PerfScope run_perf(obs::kHwRunSlot);
   const Scoring scoring = resolve_scoring(args);
@@ -366,7 +435,7 @@ int cmd_detect(const ArgParser& args, std::ostream& out) {
 
 int cmd_generate(const ArgParser& args, std::ostream& out) {
   const auto path = args.value("--out");
-  if (!path) throw Error("generate: --out FILE is required");
+  if (!path) usage_error("generate: --out FILE is required");
   workload::GeneratorConfig cfg;
   cfg.seed = static_cast<std::uint64_t>(args.int_value_or("--seed", 1));
   cfg.dna = args.has("--dna");
@@ -379,7 +448,8 @@ int cmd_generate(const ArgParser& args, std::ostream& out) {
     cfg.lengths = workload::LengthModel::uniprot_protein();
     count = 10000;
   } else {
-    throw Error("generate: unknown preset " + preset);
+    usage_error("generate: unknown preset " + preset +
+                " (expected bacteria2k|uniprot)");
   }
   count = static_cast<std::size_t>(args.int_value_or("--count", static_cast<long>(count)));
   const Dataset ds = workload::generate(count, cfg);
@@ -392,7 +462,7 @@ int cmd_generate(const ArgParser& args, std::ostream& out) {
 
 int cmd_bench_diff(const ArgParser& args, std::ostream& out) {
   if (args.positionals().size() != 3) {  // "bench-diff" + two report paths
-    throw Error("bench-diff: expected <baseline.json> <current.json>");
+    usage_error("bench-diff: expected <baseline.json> <current.json>");
   }
   const obs::BenchReport baseline =
       obs::BenchReport::read_file(args.positionals()[1]);
@@ -400,8 +470,8 @@ int cmd_bench_diff(const ArgParser& args, std::ostream& out) {
       obs::BenchReport::read_file(args.positionals()[2]);
   apps::BenchDiffConfig cfg;
   if (const auto t = args.value("--threshold-pct")) {
-    cfg.threshold_pct = std::stod(*t);
-    if (cfg.threshold_pct < 0.0) throw Error("bench-diff: --threshold-pct < 0");
+    cfg.threshold_pct = args.double_value_or("--threshold-pct", 0.0);
+    if (cfg.threshold_pct < 0.0) usage_error("bench-diff: --threshold-pct < 0");
   }
   const apps::BenchDiffResult result = apps::bench_diff(baseline, current, cfg);
   print_bench_diff(out, result, cfg);
@@ -476,11 +546,12 @@ int run(std::span<const std::string_view> args, std::ostream& out, std::ostream&
          {"--class", "--matrix", "--gap-open", "--gap-extend", "--approach", "--isa",
           "--q-seq", "--d-seq", "--top", "--threads", "--out", "--count", "--seed",
           "--preset", "--pair-sched", "--engine", "--cache-engines", "--threshold",
-          "--metrics-out", "--threshold-pct"}) {
+          "--metrics-out", "--threshold-pct", "--fail-inject", "--max-errors",
+          "--max-seq-len", "--stall-timeout-ms"}) {
       parser.add_option(opt);
     }
-    for (const char* sw :
-         {"--dna", "--traceback", "--stream", "--trace", "--perf-counters"}) {
+    for (const char* sw : {"--dna", "--traceback", "--stream", "--trace",
+                           "--perf-counters", "--lenient"}) {
       parser.add_switch(sw);
     }
     parser.parse(args);
@@ -489,6 +560,36 @@ int run(std::span<const std::string_view> args, std::ostream& out, std::ostream&
 
     const std::string& cmd = parser.positionals().empty() ? std::string()
                                                           : parser.positionals()[0];
+    // Flags whose semantics only exist under `search`: rejecting them early
+    // beats silently ignoring a policy the user thought was in force.
+    if (cmd != "search") {
+      for (const char* f : {"--stream", "--engine", "--lenient", "--max-errors",
+                            "--max-seq-len", "--stall-timeout-ms"}) {
+        if (parser.has(f)) {
+          usage_error(std::string(f) + " is only valid with the search command");
+        }
+      }
+    }
+
+    // Failpoint arming: the env path is always consulted (chaos harnesses set
+    // it around any command); the flag path additionally diagnoses builds
+    // compiled without injection sites.
+    if (const robust::Status s = robust::FailpointRegistry::global().arm_from_env();
+        !s) {
+      usage_error(s.message());
+    }
+    if (const auto spec = parser.value("--fail-inject")) {
+      if (!robust::failpoints_compiled()) {
+        usage_error("--fail-inject requires a build with failpoints compiled in "
+                    "(configure with -DVALIGN_ENABLE_FAILPOINTS=ON)");
+      }
+      if (const robust::Status s =
+              robust::FailpointRegistry::global().arm_specs(*spec);
+          !s) {
+        usage_error(s.message());
+      }
+    }
+
     if (cmd == "align") return cmd_align(parser, out);
     if (cmd == "search") return cmd_search(parser, out);
     if (cmd == "detect") return cmd_detect(parser, out);
@@ -500,6 +601,16 @@ int run(std::span<const std::string_view> args, std::ostream& out, std::ostream&
     if (cmd == "info") return cmd_info(out);
     err << "unknown command: " << cmd << "\n" << kUsage;
     return 2;
+  } catch (const robust::StatusError& e) {
+    // Taxonomy-aware exit codes: usage errors are 2 (shell convention for
+    // "you called it wrong"), runtime failures are 1.
+    if (e.code() == robust::StatusCode::InvalidArgument) {
+      err << "error: " << e.status().message() << "\n";
+      err << "run 'valign --help' for usage\n";
+      return 2;
+    }
+    err << "error: " << e.what() << "\n";
+    return 1;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 1;

@@ -2,6 +2,7 @@
 
 #include "valign/core/calibrate.hpp"
 #include "valign/core/dispatch_impl.hpp"
+#include "valign/robust/failpoint.hpp"
 #include "valign/runtime/engine_cache.hpp"
 #include "valign/simd/arch.hpp"
 
@@ -167,6 +168,12 @@ AlignResult Aligner::align(std::span<const std::uint8_t> db) {
   }
 
   AlignResult res = engine_->align(db);
+  // Chaos site: pretend the element type saturated so the ladder takes one
+  // extra (score-preserving) widen-and-retry step.
+  VALIGN_FAILPOINT("dispatch.ladder",
+                   if (opts_.width == ElemWidth::Auto && cur_bits_ < 32) {
+                     res.overflowed = true;
+                   });
   // Overflow retry ladder (only when the user left the width to us).
   while (res.overflowed && opts_.width == ElemWidth::Auto && cur_bits_ < 32) {
     const int wider = cur_bits_ * 2;

@@ -41,6 +41,7 @@
 
 #include "valign/core/engine_common.hpp"
 #include "valign/matrices/matrix.hpp"
+#include "valign/robust/failpoint.hpp"
 
 namespace valign {
 
@@ -235,6 +236,9 @@ class InterSeqAligner {
         }
         if (ln.j == ln.db.size()) {
           finish_lane(sl, ln, out);
+          // Chaos site: report the finished pair as saturated; the caller's
+          // intra-ladder fallback must reproduce the identical score.
+          VALIGN_FAILPOINT("interseq.refill", out[ln.pair].overflowed = true);
           next = skip_degenerate(dbs, next);
           if (next < dbs.size()) {
             load_lane(ln, dbs, next++);

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "valign/robust/failpoint.hpp"
+
 namespace valign {
 
 namespace {
@@ -36,59 +38,150 @@ std::string header_name(const std::string& line) {
 
 }  // namespace
 
-FastaReader::FastaReader(std::istream& in, const Alphabet& alphabet)
-    : in_(&in), alphabet_(&alphabet) {}
+FastaReader::FastaReader(std::istream& in, const Alphabet& alphabet,
+                         FastaReaderConfig cfg)
+    : in_(&in), alphabet_(&alphabet), cfg_(cfg) {}
+
+void FastaReader::fail(robust::StatusCode code, std::size_t at_line,
+                       const std::string& name, const std::string& reason) {
+  if (cfg_.lenient) {
+    quarantine_.add(robust::QuarantinedRecord{name, at_line, code, reason});
+    return;
+  }
+  std::string msg = "FASTA at line " + std::to_string(at_line);
+  if (!name.empty()) msg += ", record '" + name + "'";
+  msg += ": " + reason;
+  throw robust::StatusError(code, std::move(msg));
+}
+
+std::optional<Sequence> FastaReader::finish_record(const std::string& residues) {
+  if (residues.empty()) {
+    fail(robust::StatusCode::IoMalformed, record_line_, pending_name_,
+         "record has no residues");
+    return std::nullopt;  // lenient: quarantined
+  }
+  try {
+    return Sequence(pending_name_, residues, *alphabet_);
+  } catch (const robust::StatusError&) {
+    throw;  // strict-mode fail() from a nested reader — already categorized
+  } catch (const Error& e) {
+    fail(robust::StatusCode::IoMalformed, record_line_, pending_name_, e.what());
+    return std::nullopt;
+  }
+}
 
 std::optional<Sequence> FastaReader::next() {
   std::string line;
   std::string residues;
-  while (std::getline(*in_, line)) {
+  for (;;) {
+    if (!std::getline(*in_, line)) {
+      if (in_->bad()) {
+        fail(robust::StatusCode::IoTruncated, line_ + 1,
+             in_record_ ? pending_name_ : std::string(),
+             "stream read failed mid-parse");
+        in_record_ = false;
+        return std::nullopt;  // lenient: the tail of the stream is lost
+      }
+      if (in_record_) {
+        in_record_ = false;
+        if (auto done = finish_record(residues)) {
+          ++count_;
+          return done;
+        }
+      }
+      return std::nullopt;
+    }
+    ++line_;
     rstrip(line);
+
+    bool injected = false;
+    VALIGN_FAILPOINT("io.fasta.read", injected = true);
+    if (injected) {
+      // Simulated transient read failure: the line is lost, so the record it
+      // belonged to can no longer be trusted.
+      fail(robust::StatusCode::IoTruncated, line_,
+           in_record_ ? pending_name_ : std::string(),
+           "injected read failure (io.fasta.read)");
+      residues.clear();
+      in_record_ = false;
+      skipping_ = true;  // lenient: resync at the next header
+      continue;
+    }
+
     if (line.empty()) continue;
     if (line[0] == '>') {
       const std::string name = header_name(line);
-      if (name.empty()) throw Error("FASTA: header with empty name");
+      std::optional<Sequence> done;
       if (in_record_) {
-        // The previous record is complete; emit it and hold this header.
-        if (residues.empty()) {
-          throw Error("FASTA: record '" + pending_name_ + "' has no residues");
-        }
-        Sequence s(pending_name_, residues, *alphabet_);
-        pending_name_ = name;
-        ++count_;
-        return s;
+        in_record_ = false;
+        done = finish_record(residues);
+        residues.clear();
       }
-      pending_name_ = name;
-      in_record_ = true;
+      if (name.empty()) {
+        fail(robust::StatusCode::IoMalformed, line_, std::string(),
+             "header with empty name");
+        skipping_ = true;  // lenient: the nameless record's body is discarded
+      } else {
+        pending_name_ = name;
+        record_line_ = line_;
+        in_record_ = true;
+        skipping_ = false;
+      }
+      if (done) {
+        ++count_;
+        return done;
+      }
     } else if (line[0] == ';') {
       continue;  // classic FASTA comment line
     } else {
-      if (!in_record_) throw Error("FASTA: sequence data before first '>' header");
+      if (skipping_) continue;
+      if (!in_record_) {
+        fail(robust::StatusCode::IoMalformed, line_, std::string(),
+             "sequence data before first '>' header");
+        skipping_ = true;
+        continue;
+      }
+      if (residues.size() + line.size() > cfg_.max_sequence_length) {
+        fail(robust::StatusCode::ResourceExhausted, record_line_, pending_name_,
+             "record exceeds max_sequence_length (" +
+                 std::to_string(cfg_.max_sequence_length) + " residues)");
+        residues.clear();
+        in_record_ = false;
+        skipping_ = true;
+        continue;
+      }
       residues += line;
     }
   }
-  if (in_record_) {
-    in_record_ = false;
-    if (residues.empty()) {
-      throw Error("FASTA: record '" + pending_name_ + "' has no residues");
-    }
-    ++count_;
-    return Sequence(pending_name_, residues, *alphabet_);
-  }
-  return std::nullopt;
 }
 
 Dataset read_fasta(std::istream& in, const Alphabet& alphabet) {
+  return read_fasta(in, alphabet, FastaReaderConfig{});
+}
+
+Dataset read_fasta(std::istream& in, const Alphabet& alphabet,
+                   const FastaReaderConfig& cfg,
+                   robust::QuarantineStats* quarantine) {
   Dataset ds(alphabet);
-  FastaReader reader(in, alphabet);
+  FastaReader reader(in, alphabet, cfg);
   while (auto s = reader.next()) ds.add(*std::move(s));
+  if (quarantine != nullptr) *quarantine += reader.quarantine();
   return ds;
 }
 
 Dataset read_fasta_file(const std::string& path, const Alphabet& alphabet) {
+  return read_fasta_file(path, alphabet, FastaReaderConfig{});
+}
+
+Dataset read_fasta_file(const std::string& path, const Alphabet& alphabet,
+                        const FastaReaderConfig& cfg,
+                        robust::QuarantineStats* quarantine) {
   std::ifstream in(path);
-  if (!in) throw Error("cannot open FASTA file: " + path);
-  return read_fasta(in, alphabet);
+  if (!in) {
+    throw robust::StatusError(robust::StatusCode::IoTruncated,
+                              "cannot open FASTA file: " + path);
+  }
+  return read_fasta(in, alphabet, cfg, quarantine);
 }
 
 void write_fasta(std::ostream& out, const Dataset& ds, int width) {

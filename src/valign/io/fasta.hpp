@@ -6,40 +6,84 @@
 #include <string>
 
 #include "valign/io/sequence.hpp"
+#include "valign/robust/quarantine.hpp"
 
 namespace valign {
+
+struct FastaReaderConfig {
+  /// Strict (default): the first malformed record throws robust::StatusError
+  /// (code io_malformed / io_truncated / resource_exhausted) naming the line
+  /// and record. Lenient: bad records are skipped and tallied in
+  /// quarantine(); next() only yields records that parsed cleanly.
+  bool lenient = false;
+  /// Residue cap per record; a corrupt multi-GB record fails (or is
+  /// quarantined) instead of exhausting memory.
+  std::size_t max_sequence_length = std::size_t{1} << 30;
+};
 
 /// Incremental FASTA parser: yields one record at a time so callers (e.g.
 /// runtime::SearchPipeline) can overlap parsing with alignment instead of
 /// materializing the whole database first. Header lines start with '>'; the
-/// first whitespace-delimited token becomes the sequence name. Throws
-/// valign::Error on malformed input (data before the first header, empty
-/// records).
+/// first whitespace-delimited token becomes the sequence name. Malformed
+/// input (data before the first header, empty records, oversized records,
+/// stream failures) throws robust::StatusError in strict mode and is
+/// quarantined in lenient mode — see FastaReaderConfig.
 class FastaReader {
  public:
   /// `in` and `alphabet` must outlive the reader.
-  FastaReader(std::istream& in, const Alphabet& alphabet);
+  FastaReader(std::istream& in, const Alphabet& alphabet,
+              FastaReaderConfig cfg = {});
 
-  /// The next record, or nullopt at end of stream.
+  /// The next clean record, or nullopt at end of stream.
   [[nodiscard]] std::optional<Sequence> next();
 
   /// Records yielded so far.
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
 
+  /// Lines consumed so far (1-based after the first getline).
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+  /// Records skipped in lenient mode (empty in strict mode: the first bad
+  /// record throws instead).
+  [[nodiscard]] const robust::QuarantineStats& quarantine() const noexcept {
+    return quarantine_;
+  }
+
  private:
+  /// Quarantines (lenient) or throws (strict) one bad record/event.
+  void fail(robust::StatusCode code, std::size_t at_line,
+            const std::string& name, const std::string& reason);
+  /// Builds the pending record; nullopt when it was quarantined.
+  [[nodiscard]] std::optional<Sequence> finish_record(const std::string& residues);
+
   std::istream* in_;
   const Alphabet* alphabet_;
-  std::string pending_name_;  ///< Header seen but record not yet emitted.
+  FastaReaderConfig cfg_;
+  std::string pending_name_;   ///< Header seen but record not yet emitted.
+  std::size_t record_line_ = 0;  ///< Line of the pending record's header.
   bool in_record_ = false;
+  bool skipping_ = false;  ///< Lenient: discarding lines until the next header.
+  std::size_t line_ = 0;
   std::size_t count_ = 0;
+  robust::QuarantineStats quarantine_;
 };
 
 /// Reads every record of a FASTA stream into a Dataset, encoding residues
 /// with `alphabet`. See FastaReader for the accepted grammar and errors.
 [[nodiscard]] Dataset read_fasta(std::istream& in, const Alphabet& alphabet);
 
-/// File-path convenience overload. Throws valign::Error if unreadable.
+/// Config-aware overload: lenient mode skips bad records; when `quarantine`
+/// is non-null the reader's tallies are added to it.
+[[nodiscard]] Dataset read_fasta(std::istream& in, const Alphabet& alphabet,
+                                 const FastaReaderConfig& cfg,
+                                 robust::QuarantineStats* quarantine = nullptr);
+
+/// File-path convenience overloads. Throw robust::StatusError (io_truncated)
+/// if unreadable.
 [[nodiscard]] Dataset read_fasta_file(const std::string& path, const Alphabet& alphabet);
+[[nodiscard]] Dataset read_fasta_file(const std::string& path, const Alphabet& alphabet,
+                                      const FastaReaderConfig& cfg,
+                                      robust::QuarantineStats* quarantine = nullptr);
 
 /// Writes `ds` in FASTA format with lines wrapped at `width` residues.
 void write_fasta(std::ostream& out, const Dataset& ds, int width = 70);

@@ -10,6 +10,14 @@ namespace valign {
 
 namespace {
 
+using robust::StatusOr;
+using robust::io_malformed;
+
+/// Fuzz-found hardening bound: no real NCBI matrix has more than ~25
+/// residues, so a header claiming hundreds of columns is garbage — reject it
+/// before allocating n^2 cells.
+constexpr std::size_t kMaxHeaderLetters = 64;
+
 bool is_blank_or_comment(const std::string& line) {
   for (char c : line) {
     if (c == '#') return true;
@@ -18,16 +26,12 @@ bool is_blank_or_comment(const std::string& line) {
   return true;
 }
 
-}  // namespace
+StatusOr<ScoreMatrix> parse_impl(std::istream& in, std::string name,
+                                 GapPenalty default_gaps) {
+  const auto bad = [&name](const std::string& why) {
+    return io_malformed("matrix '" + name + "': " + why);
+  };
 
-ScoreMatrix parse_ncbi_matrix(std::string_view text, std::string name,
-                              GapPenalty default_gaps) {
-  std::istringstream in{std::string(text)};
-  return parse_ncbi_matrix(in, std::move(name), default_gaps);
-}
-
-ScoreMatrix parse_ncbi_matrix(std::istream& in, std::string name,
-                              GapPenalty default_gaps) {
   std::string line;
   std::string header_letters;
 
@@ -37,15 +41,21 @@ ScoreMatrix parse_ncbi_matrix(std::istream& in, std::string name,
     std::istringstream ls(line);
     std::string tok;
     while (ls >> tok) {
-      if (tok.size() != 1) {
-        throw Error("matrix '" + name + "': bad header token '" + tok + "'");
+      if (tok.size() != 1 ||
+          !std::isgraph(static_cast<unsigned char>(tok[0]))) {
+        return bad("bad header token '" + tok + "'");
+      }
+      if (header_letters.find(tok[0]) != std::string::npos) {
+        return bad(std::string("duplicate header letter '") + tok[0] + "'");
       }
       header_letters.push_back(tok[0]);
     }
     break;
   }
-  if (header_letters.empty()) {
-    throw Error("matrix '" + name + "': missing column header");
+  if (header_letters.empty()) return bad("missing column header");
+  if (header_letters.size() > kMaxHeaderLetters) {
+    return bad("header has " + std::to_string(header_letters.size()) +
+               " letters (limit " + std::to_string(kMaxHeaderLetters) + ")");
   }
 
   const int n = static_cast<int>(header_letters.size());
@@ -61,36 +71,77 @@ ScoreMatrix parse_ncbi_matrix(std::istream& in, std::string name,
     std::istringstream ls(line);
     std::string tok;
     if (!(ls >> tok) || tok.size() != 1 || tok[0] != header_letters[static_cast<std::size_t>(row)]) {
-      throw Error("matrix '" + name + "': row " + std::to_string(row) +
-                  " does not start with '" + header_letters[static_cast<std::size_t>(row)] + "'");
+      return bad("row " + std::to_string(row) + " does not start with '" +
+                 header_letters[static_cast<std::size_t>(row)] + "'");
     }
     for (int col = 0; col < n; ++col) {
-      int v = 0;
-      if (!(ls >> v)) {
-        throw Error("matrix '" + name + "': row '" + tok + "' has fewer than " +
-                    std::to_string(n) + " scores");
+      // Token-wise parse: `ls >> int` accepts a leading numeric prefix of
+      // garbage like "4x" and silently misparses NaN/overflow, so read the
+      // whole token and convert it strictly.
+      std::string cell;
+      if (!(ls >> cell)) {
+        return bad("row '" + tok + "' has fewer than " + std::to_string(n) +
+                   " scores");
+      }
+      long v = 0;
+      try {
+        std::size_t pos = 0;
+        v = std::stol(cell, &pos);
+        if (pos != cell.size()) throw std::invalid_argument(cell);
+      } catch (...) {
+        return bad("row '" + tok + "' has non-integer score '" + cell + "'");
       }
       if (v < -128 || v > 127) {
-        throw Error("matrix '" + name + "': score " + std::to_string(v) +
-                    " out of int8 range");
+        return bad("score " + std::to_string(v) + " out of int8 range");
       }
       scores[static_cast<std::size_t>(row) * static_cast<std::size_t>(n) +
              static_cast<std::size_t>(col)] = static_cast<std::int8_t>(v);
     }
-    int extra = 0;
+    std::string extra;
     if (ls >> extra) {
-      throw Error("matrix '" + name + "': row '" + tok + "' has more than " +
-                  std::to_string(n) + " scores");
+      return bad("row '" + tok + "' has more than " + std::to_string(n) +
+                 " scores");
     }
     ++row;
   }
   if (row != n) {
-    throw Error("matrix '" + name + "': expected " + std::to_string(n) +
-                " rows, got " + std::to_string(row));
+    return bad("expected " + std::to_string(n) + " rows, got " +
+               std::to_string(row));
   }
 
-  return ScoreMatrix(std::move(name), Alphabet(header_letters, wildcard),
-                     std::move(scores), default_gaps);
+  try {
+    return ScoreMatrix(std::move(name), Alphabet(header_letters, wildcard),
+                       std::move(scores), default_gaps);
+  } catch (const Error& e) {
+    // Alphabet/ScoreMatrix invariants (defense in depth): report, don't throw.
+    return io_malformed(e.what());
+  }
+}
+
+}  // namespace
+
+StatusOr<ScoreMatrix> try_parse_ncbi_matrix(std::istream& in, std::string name,
+                                            GapPenalty default_gaps) {
+  return parse_impl(in, std::move(name), default_gaps);
+}
+
+StatusOr<ScoreMatrix> try_parse_ncbi_matrix(std::string_view text, std::string name,
+                                            GapPenalty default_gaps) {
+  std::istringstream in{std::string(text)};
+  return parse_impl(in, std::move(name), default_gaps);
+}
+
+ScoreMatrix parse_ncbi_matrix(std::string_view text, std::string name,
+                              GapPenalty default_gaps) {
+  std::istringstream in{std::string(text)};
+  return parse_ncbi_matrix(in, std::move(name), default_gaps);
+}
+
+ScoreMatrix parse_ncbi_matrix(std::istream& in, std::string name,
+                              GapPenalty default_gaps) {
+  StatusOr<ScoreMatrix> parsed = parse_impl(in, std::move(name), default_gaps);
+  if (!parsed.ok()) robust::throw_status(parsed.status());
+  return *std::move(parsed);
 }
 
 std::string format_ncbi_matrix(const ScoreMatrix& m) {

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "valign/matrices/matrix.hpp"
+#include "valign/robust/status.hpp"
 
 namespace valign {
 
@@ -17,13 +18,23 @@ namespace valign {
 ///
 /// The alphabet is taken from the header (wildcard 'X'/'N' detected
 /// automatically). Row characters must match the header order.
-/// Throws valign::Error on malformed input.
+/// Throws valign::Error (robust::StatusError, code io_malformed) on
+/// malformed input.
 [[nodiscard]] ScoreMatrix parse_ncbi_matrix(std::string_view text, std::string name,
                                             GapPenalty default_gaps);
 
 /// Stream overload (reads to EOF).
 [[nodiscard]] ScoreMatrix parse_ncbi_matrix(std::istream& in, std::string name,
                                             GapPenalty default_gaps);
+
+/// Non-throwing core: every malformed input — truncated files, non-numeric
+/// or out-of-int8 cells, oversized or duplicated headers — comes back as a
+/// Status (io_malformed) instead of an exception mid-parse. The throwing
+/// overloads above are thin wrappers over these.
+[[nodiscard]] robust::StatusOr<ScoreMatrix> try_parse_ncbi_matrix(
+    std::string_view text, std::string name, GapPenalty default_gaps);
+[[nodiscard]] robust::StatusOr<ScoreMatrix> try_parse_ncbi_matrix(
+    std::istream& in, std::string name, GapPenalty default_gaps);
 
 /// Renders a matrix back into NCBI text format (round-trips with the parser).
 [[nodiscard]] std::string format_ncbi_matrix(const ScoreMatrix& m);

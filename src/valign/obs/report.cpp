@@ -241,6 +241,13 @@ void RunReport::write_json(std::ostream& out) const {
       << cache_hits << R"(,"builds":)" << cache_builds << R"(,"evictions":)"
       << cache_evictions << R"(,"profile_sets":)" << cache_profile_sets << "}";
 
+  out << R"(,"quarantine":{"lenient":)" << (lenient ? "true" : "false")
+      << R"(,"max_errors":)" << max_errors << R"(,"records":)" << quarantined
+      << R"(,"malformed":)" << quarantined_malformed << R"(,"oversized":)"
+      << quarantined_oversized << R"(,"truncated":)" << quarantined_truncated
+      << R"(,"worker_errors":)" << worker_errors << R"(,"shard_retries":)"
+      << shard_retries << R"(,"records_dropped":)" << records_dropped << "}";
+
   out << R"(,"op_counts":{)";
   {
     Sep sep(out);
@@ -364,6 +371,15 @@ void RunReport::write_csv(std::ostream& out) const {
   row("engine_cache.builds", cache_builds);
   row("engine_cache.evictions", cache_evictions);
   row("engine_cache.profile_sets", cache_profile_sets);
+  row("quarantine.lenient", lenient ? 1 : 0);
+  row("quarantine.max_errors", max_errors);
+  row("quarantine.records", quarantined);
+  row("quarantine.malformed", quarantined_malformed);
+  row("quarantine.oversized", quarantined_oversized);
+  row("quarantine.truncated", quarantined_truncated);
+  row("quarantine.worker_errors", worker_errors);
+  row("quarantine.shard_retries", shard_retries);
+  row("quarantine.records_dropped", records_dropped);
   for (int c = 0; c < instrument::kOpCategoryCount; ++c) {
     row(std::string("op_counts.") +
             instrument::to_string(static_cast<instrument::OpCategory>(c)),

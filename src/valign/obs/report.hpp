@@ -78,6 +78,17 @@ struct RunReport {
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_profile_sets = 0;
 
+  // --- degraded mode (docs/robustness.md) ----------------------------------
+  bool lenient = false;               ///< Lenient parsing was requested.
+  std::uint64_t max_errors = 0;       ///< Worker error budget in effect.
+  std::uint64_t quarantined = 0;      ///< Records skipped by lenient parsing.
+  std::uint64_t quarantined_malformed = 0;
+  std::uint64_t quarantined_oversized = 0;
+  std::uint64_t quarantined_truncated = 0;
+  std::uint64_t worker_errors = 0;    ///< Shards/blocks whose results were lost.
+  std::uint64_t shard_retries = 0;    ///< Transient failures that were retried.
+  std::uint64_t records_dropped = 0;  ///< Alignment results lost to failures.
+
   /// Op-category census (instrument/). All-zero unless the run used
   /// instrumented engines (CountingVec); included so instrumented benches
   /// emit the same artifact.

@@ -1,0 +1,159 @@
+#include "valign/robust/failpoint.hpp"
+
+#include <cstdlib>
+
+namespace valign::robust {
+
+namespace {
+
+/// xorshift64*: deterministic, cheap, good enough for firing decisions.
+std::uint64_t next_rand(std::uint64_t& state) {
+  std::uint64_t x = state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+double to_unit(std::uint64_t r) {
+  return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);  // 2^-53
+}
+
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::global() {
+  static FailpointRegistry registry;
+  return registry;
+}
+
+void FailpointRegistry::arm(const std::string& name, double prob,
+                            std::int64_t count) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  points_[name] = Entry{prob, count, 0, 0};
+  armed_count_.store(points_.size(), std::memory_order_relaxed);
+}
+
+StatusOr<FailpointState> parse_failpoint_spec(const std::string& spec) {
+  FailpointState st;
+  const auto bad = [&spec](const std::string& why) {
+    return invalid_argument("bad failpoint spec '" + spec + "': " + why +
+                            " (expected name[:prob[:count]])");
+  };
+  std::size_t colon = spec.find(':');
+  st.name = spec.substr(0, colon);
+  if (st.name.empty()) return bad("empty name");
+  if (colon == std::string::npos) return st;
+
+  const std::size_t colon2 = spec.find(':', colon + 1);
+  const std::string prob_str =
+      spec.substr(colon + 1, colon2 == std::string::npos ? std::string::npos
+                                                         : colon2 - colon - 1);
+  try {
+    std::size_t pos = 0;
+    st.prob = std::stod(prob_str, &pos);
+    if (pos != prob_str.size()) throw std::invalid_argument(prob_str);
+  } catch (...) {
+    return bad("probability '" + prob_str + "' is not a number");
+  }
+  // NaN compares false against both bounds; the negated form rejects it.
+  if (!(st.prob >= 0.0 && st.prob <= 1.0)) {
+    return bad("probability must be in [0, 1]");
+  }
+  if (colon2 == std::string::npos) return st;
+
+  const std::string count_str = spec.substr(colon2 + 1);
+  try {
+    std::size_t pos = 0;
+    st.remaining = std::stoll(count_str, &pos);
+    if (pos != count_str.size()) throw std::invalid_argument(count_str);
+  } catch (...) {
+    return bad("count '" + count_str + "' is not an integer");
+  }
+  if (st.remaining < 0) return bad("count must be >= 0");
+  return st;
+}
+
+Status FailpointRegistry::arm_specs(const std::string& specs) {
+  std::size_t start = 0;
+  while (start <= specs.size()) {
+    std::size_t comma = specs.find(',', start);
+    if (comma == std::string::npos) comma = specs.size();
+    const std::string one = specs.substr(start, comma - start);
+    if (!one.empty()) {
+      StatusOr<FailpointState> parsed = parse_failpoint_spec(one);
+      if (!parsed.ok()) return parsed.status();
+      arm(parsed->name, parsed->prob, parsed->remaining);
+    }
+    start = comma + 1;
+  }
+  return Status::ok();
+}
+
+Status FailpointRegistry::arm_from_env() {
+  if (const char* seed = std::getenv("VALIGN_FAILPOINT_SEED")) {
+    try {
+      set_seed(std::stoull(seed));
+    } catch (...) {
+      return invalid_argument(std::string("VALIGN_FAILPOINT_SEED '") + seed +
+                              "' is not an integer");
+    }
+  }
+  if (const char* specs = std::getenv("VALIGN_FAILPOINTS")) {
+    return arm_specs(specs);
+  }
+  return Status::ok();
+}
+
+void FailpointRegistry::disarm(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  points_.erase(name);
+  armed_count_.store(points_.size(), std::memory_order_relaxed);
+}
+
+void FailpointRegistry::disarm_all() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::set_seed(std::uint64_t seed) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  rng_ = seed | 1;  // xorshift must not start at zero
+}
+
+bool FailpointRegistry::should_fire(const char* name) noexcept {
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  try {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = points_.find(name);
+    if (it == points_.end()) return false;
+    Entry& e = it->second;
+    ++e.evaluated;
+    if (e.remaining == 0) return false;
+    if (e.prob < 1.0 && to_unit(next_rand(rng_)) >= e.prob) return false;
+    if (e.remaining > 0) --e.remaining;
+    ++e.fired;
+    return true;
+  } catch (...) {
+    return false;  // never let the injection plumbing itself fault a run
+  }
+}
+
+std::uint64_t FailpointRegistry::fired(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.fired;
+}
+
+std::vector<FailpointState> FailpointRegistry::armed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FailpointState> out;
+  out.reserve(points_.size());
+  for (const auto& [name, e] : points_) {
+    out.push_back(FailpointState{name, e.prob, e.remaining, e.evaluated, e.fired});
+  }
+  return out;
+}
+
+}  // namespace valign::robust

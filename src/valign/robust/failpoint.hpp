@@ -1,0 +1,126 @@
+// Failpoint injection (docs/robustness.md): named fault sites compiled into
+// the tree only when the CMake option VALIGN_ENABLE_FAILPOINTS is ON (the
+// sanitize preset turns it on; release builds compile the macro to an empty
+// statement, so production binaries carry zero overhead — not even a branch).
+//
+// A site is written as
+//
+//   VALIGN_FAILPOINT("pipeline.pop", throw StatusError(...));
+//
+// and stays dormant until armed through --fail-inject, the VALIGN_FAILPOINTS
+// environment variable, or FailpointRegistry::arm(). Arming takes a spec of
+// the form `name[:prob[:count]]` (comma-separated list accepted):
+//
+//   pipeline.pop                fire every evaluation
+//   cache.build:0.1             fire with probability 0.1
+//   io.fasta.read:0.5:3        fire at most 3 times, each at p=0.5
+//
+// Firing decisions use a seeded xorshift generator (VALIGN_FAILPOINT_SEED)
+// so chaos runs are reproducible.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "valign/robust/status.hpp"
+
+namespace valign::robust {
+
+/// True when this build compiled the VALIGN_FAILPOINT sites in. Chaos tests
+/// skip themselves (rather than fail) in builds without injection sites.
+[[nodiscard]] constexpr bool failpoints_compiled() noexcept {
+#if defined(VALIGN_ENABLE_FAILPOINTS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Every VALIGN_FAILPOINT site in the tree, by name. The chaos harness
+/// sweeps this list; docs/robustness.md documents each site's failure mode.
+inline constexpr const char* kFailpointCatalog[] = {
+    "io.fasta.read",        // FastaReader: mid-stream read failure
+    "cache.build",          // EngineCache: engine allocation fails (transient)
+    "pipeline.pop",         // SearchPipeline worker: shard processing fails
+    "pipeline.worker_hang", // SearchPipeline worker: cooperative stall
+    "interseq.refill",      // BatchEngine: finished lane reports saturation
+    "dispatch.ladder",      // Aligner: force one overflow -> widen retry
+};
+
+struct FailpointState {
+  std::string name;
+  double prob = 1.0;
+  std::int64_t remaining = -1;  ///< Fires left; -1 = unlimited.
+  std::uint64_t evaluated = 0;  ///< Times a site asked "should I fire?".
+  std::uint64_t fired = 0;
+};
+
+/// Process-global registry of armed failpoints. should_fire() is hot-path
+/// tolerant: a relaxed atomic count of armed points short-circuits the
+/// common (nothing armed) case without taking the lock.
+class FailpointRegistry {
+ public:
+  [[nodiscard]] static FailpointRegistry& global();
+
+  /// Arms `name` to fire with probability `prob`, at most `count` times
+  /// (count < 0 = unlimited). Re-arming replaces the previous setting.
+  void arm(const std::string& name, double prob = 1.0, std::int64_t count = -1);
+
+  /// Parses and arms a comma-separated `name[:prob[:count]]` spec list.
+  /// Returns invalid_argument (arming nothing further) on a malformed spec.
+  [[nodiscard]] Status arm_specs(const std::string& specs);
+
+  /// Arms from $VALIGN_FAILPOINTS and seeds from $VALIGN_FAILPOINT_SEED.
+  /// Unset variables are a no-op; a malformed value is returned as a Status.
+  [[nodiscard]] Status arm_from_env();
+
+  void disarm(const std::string& name);
+  void disarm_all();
+
+  /// Reseeds the firing RNG (chaos runs pin this for reproducibility).
+  void set_seed(std::uint64_t seed);
+
+  /// Decision point behind VALIGN_FAILPOINT. Never throws.
+  [[nodiscard]] bool should_fire(const char* name) noexcept;
+
+  /// Times `name` actually fired since it was (re-)armed.
+  [[nodiscard]] std::uint64_t fired(const std::string& name) const;
+
+  [[nodiscard]] std::vector<FailpointState> armed() const;
+
+ private:
+  struct Entry {
+    double prob = 1.0;
+    std::int64_t remaining = -1;
+    std::uint64_t evaluated = 0;
+    std::uint64_t fired = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> points_;
+  std::uint64_t rng_ = 0x9E3779B97F4A7C15ull;
+  std::atomic<std::size_t> armed_count_{0};
+};
+
+/// Parses one `name[:prob[:count]]` spec. Exposed for the CLI so a bad
+/// --fail-inject value is diagnosed as a usage error before anything runs.
+[[nodiscard]] StatusOr<FailpointState> parse_failpoint_spec(const std::string& spec);
+
+}  // namespace valign::robust
+
+#if defined(VALIGN_ENABLE_FAILPOINTS)
+#define VALIGN_FAILPOINT(name, ...)                                        \
+  do {                                                                     \
+    if (::valign::robust::FailpointRegistry::global().should_fire(name)) { \
+      __VA_ARGS__;                                                         \
+    }                                                                      \
+  } while (0)
+#else
+#define VALIGN_FAILPOINT(name, ...) \
+  do {                              \
+  } while (0)
+#endif

@@ -1,0 +1,46 @@
+#include "valign/robust/quarantine.hpp"
+
+#include <new>
+
+#include "valign/obs/metrics.hpp"
+
+namespace valign::robust {
+
+void QuarantineStats::add(QuarantinedRecord r) {
+  ++records;
+  switch (r.code) {
+    case StatusCode::IoTruncated: ++truncated; break;
+    case StatusCode::ResourceExhausted: ++oversized; break;
+    default: ++malformed; break;
+  }
+  if (samples.size() < kMaxSamples) samples.push_back(std::move(r));
+}
+
+QuarantineStats& QuarantineStats::operator+=(const QuarantineStats& other) {
+  records += other.records;
+  malformed += other.malformed;
+  oversized += other.oversized;
+  truncated += other.truncated;
+  for (const QuarantinedRecord& r : other.samples) {
+    if (samples.size() >= kMaxSamples) break;
+    samples.push_back(r);
+  }
+  return *this;
+}
+
+void publish_quarantine_stats(const QuarantineStats& q) {
+  if (q.empty()) return;
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("runtime.quarantine.records").add(q.records);
+  reg.counter("runtime.quarantine.malformed").add(q.malformed);
+  reg.counter("runtime.quarantine.oversized").add(q.oversized);
+  reg.counter("runtime.quarantine.truncated").add(q.truncated);
+}
+
+bool is_transient_failure(const std::exception& e) noexcept {
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr) return true;
+  const auto* se = dynamic_cast<const StatusError*>(&e);
+  return se != nullptr && se->code() == StatusCode::ResourceExhausted;
+}
+
+}  // namespace valign::robust

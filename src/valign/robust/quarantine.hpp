@@ -1,0 +1,77 @@
+// Record quarantine + degraded-mode policy (docs/robustness.md).
+//
+// Lenient parsing/search skips records it cannot process instead of aborting
+// the run; QuarantineStats tallies what was skipped and why, keeping a small
+// sample of the offending records for diagnostics. The tallies surface as
+// runtime.quarantine.* metrics and the "quarantine" section of
+// valign.run_report/1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "valign/robust/status.hpp"
+
+namespace valign::robust {
+
+struct QuarantinedRecord {
+  std::string name;  ///< Record name; empty when the header never parsed.
+  std::size_t line = 0;  ///< 1-based line where the record starts.
+  StatusCode code = StatusCode::IoMalformed;
+  std::string reason;
+};
+
+struct QuarantineStats {
+  std::uint64_t records = 0;    ///< Total quarantined.
+  std::uint64_t malformed = 0;  ///< io_malformed: grammar/encoding failures.
+  std::uint64_t oversized = 0;  ///< resource_exhausted: max_sequence_length.
+  std::uint64_t truncated = 0;  ///< io_truncated: stream failed mid-record.
+
+  /// First kMaxSamples offenders, for diagnostics; counting continues past
+  /// the cap so `records` is always exact.
+  static constexpr std::size_t kMaxSamples = 16;
+  std::vector<QuarantinedRecord> samples;
+
+  void add(QuarantinedRecord r);
+  QuarantineStats& operator+=(const QuarantineStats& other);
+  [[nodiscard]] bool empty() const noexcept { return records == 0; }
+};
+
+/// Publishes `q` under runtime.quarantine.* in the global metrics registry.
+void publish_quarantine_stats(const QuarantineStats& q);
+
+/// Degraded-mode knobs shared by the batch and streaming search drivers.
+struct RobustPolicy {
+  /// Quarantine malformed/oversized records instead of aborting (--lenient).
+  bool lenient = false;
+  /// Shard/block failures tolerated before the run reports a summarized
+  /// error (--max-errors). 0 = strict: any captured failure fails the run.
+  std::uint64_t max_errors = 0;
+  /// Bounded retry for transient (resource_exhausted / bad_alloc) failures;
+  /// backoff doubles per attempt starting at 2 ms.
+  int max_retries = 2;
+  /// Per-record residue cap forwarded to FastaReader (--max-seq-len).
+  std::size_t max_sequence_length = std::size_t{1} << 30;
+  /// Stall watchdog: fail fast with a diagnostic dump when the pipeline
+  /// makes no progress for this long (--stall-timeout-ms). 0 = off.
+  std::uint64_t stall_timeout_ms = 0;
+};
+
+/// One work unit (pipeline shard or schedule block) that failed after
+/// retries. `base`/`count` give the db-index range whose results were lost.
+struct ShardFailure {
+  /// All-queries sentinel: a pipeline shard loses `base`/`count` for every
+  /// query; a batch schedule block belongs to exactly one.
+  static constexpr std::size_t kAllQueries = static_cast<std::size_t>(-1);
+
+  std::size_t base = 0;
+  std::size_t count = 0;
+  std::string error;
+  std::size_t query = kAllQueries;
+};
+
+/// True when `e` names a failure worth retrying with backoff.
+[[nodiscard]] bool is_transient_failure(const std::exception& e) noexcept;
+
+}  // namespace valign::robust

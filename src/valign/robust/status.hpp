@@ -1,0 +1,149 @@
+// Error taxonomy for the fault-tolerant runtime (docs/robustness.md).
+//
+// Status / StatusOr<T> carry a stable category code plus a human-readable
+// message. Layers that can recover (lenient FASTA parsing, the matrix
+// parser's try_* entry points, pipeline shard retries) pass Status values;
+// layers that cannot throw StatusError, which IS-A valign::Error so every
+// existing `catch (const Error&)` and `EXPECT_THROW(..., Error)` keeps
+// working while new code can switch on the category.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "valign/common.hpp"
+
+namespace valign::robust {
+
+/// Stable category codes. The spellings returned by to_string() are part of
+/// the CLI/report contract (they appear in error messages and exit-code
+/// mapping) — add codes, never rename them.
+enum class StatusCode : std::uint8_t {
+  Ok = 0,
+  /// Caller error: bad CLI flag, malformed --fail-inject spec, conflicting
+  /// options. The CLI maps this (and only this) to exit code 2.
+  InvalidArgument,
+  /// Input violates the format grammar (bad FASTA record, bad matrix cell).
+  IoMalformed,
+  /// The byte stream itself failed: unreadable file, mid-record read error.
+  IoTruncated,
+  /// An engine saturated its element type and no wider retry is possible.
+  EngineSaturated,
+  /// Allocation or capacity failure; retryable (transient by definition).
+  ResourceExhausted,
+  /// Invariant violation inside valign; never retryable.
+  Internal,
+};
+
+[[nodiscard]] constexpr const char* to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::Ok: return "ok";
+    case StatusCode::InvalidArgument: return "invalid_argument";
+    case StatusCode::IoMalformed: return "io_malformed";
+    case StatusCode::IoTruncated: return "io_truncated";
+    case StatusCode::EngineSaturated: return "engine_saturated";
+    case StatusCode::ResourceExhausted: return "resource_exhausted";
+    case StatusCode::Internal: return "internal";
+  }
+  return "?";
+}
+
+class Status {
+ public:
+  Status() = default;  ///< Ok.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::Ok; }
+  explicit operator bool() const noexcept { return is_ok(); }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "io_malformed: FASTA at line 3, record 'q1': ..." — the string
+  /// StatusError exposes through what().
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "ok";
+    return std::string(robust::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::Ok;
+  std::string message_;
+};
+
+[[nodiscard]] inline Status invalid_argument(std::string msg) {
+  return {StatusCode::InvalidArgument, std::move(msg)};
+}
+[[nodiscard]] inline Status io_malformed(std::string msg) {
+  return {StatusCode::IoMalformed, std::move(msg)};
+}
+[[nodiscard]] inline Status io_truncated(std::string msg) {
+  return {StatusCode::IoTruncated, std::move(msg)};
+}
+[[nodiscard]] inline Status engine_saturated(std::string msg) {
+  return {StatusCode::EngineSaturated, std::move(msg)};
+}
+[[nodiscard]] inline Status resource_exhausted(std::string msg) {
+  return {StatusCode::ResourceExhausted, std::move(msg)};
+}
+[[nodiscard]] inline Status internal(std::string msg) {
+  return {StatusCode::Internal, std::move(msg)};
+}
+
+/// The throwing bridge for call sites that cannot return Status. Subclasses
+/// valign::Error so the pre-taxonomy catch sites keep working.
+class StatusError : public Error {
+ public:
+  explicit StatusError(Status status)
+      : Error(status.to_string()), status_(std::move(status)) {}
+  StatusError(StatusCode code, std::string message)
+      : StatusError(Status(code, std::move(message))) {}
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+  [[nodiscard]] StatusCode code() const noexcept { return status_.code(); }
+
+ private:
+  Status status_;
+};
+
+[[noreturn]] inline void throw_status(Status status) {
+  throw StatusError(std::move(status));
+}
+
+/// Either a value or a non-ok Status. Deliberately tiny: exactly what the
+/// parsers need, not a general-purpose expected<> clone.
+template <class T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.is_ok()) {
+      status_ = internal("StatusOr constructed from an ok Status without a value");
+    }
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & { return ensure(), *value_; }
+  [[nodiscard]] const T& value() const& { return ensure(), *value_; }
+  [[nodiscard]] T&& value() && { return ensure(), *std::move(value_); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+ private:
+  void ensure() const {
+    if (!ok()) throw StatusError(status_);
+  }
+
+  Status status_{};  ///< Ok iff value_ holds.
+  std::optional<T> value_;
+};
+
+}  // namespace valign::robust

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "valign/obs/metrics.hpp"
+#include "valign/robust/failpoint.hpp"
 
 namespace valign::runtime {
 
@@ -48,6 +49,10 @@ detail::EngineBase* EngineCache::acquire(const detail::EngineSpec& spec) {
   }
 
   // Miss: build (may throw for unsupported combinations — nothing inserted).
+  VALIGN_FAILPOINT("cache.build",
+                   throw robust::StatusError(
+                       robust::StatusCode::ResourceExhausted,
+                       "injected engine-cache allocation failure (cache.build)"));
   Entry entry;
   entry.spec = spec;
   entry.engine = detail::make_engine(spec);

@@ -1,11 +1,14 @@
 #include "valign/runtime/pipeline.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <optional>
 #include <span>
+#include <sstream>
 
 #include "valign/obs/report.hpp"
 #include "valign/obs/trace.hpp"
+#include "valign/robust/failpoint.hpp"
 
 namespace valign::runtime {
 
@@ -22,18 +25,105 @@ SearchPipeline::SearchPipeline(const Dataset& queries, PipelineConfig cfg)
   for (std::size_t w = 0; w < nworkers; ++w) {
     workers_.emplace_back([this, w] { worker_main(states_[w]); });
   }
+  if (cfg_.search.robust.stall_timeout_ms > 0) {
+    watchdog_ = std::thread([this] { watchdog_main(); });
+  }
 }
 
 SearchPipeline::~SearchPipeline() {
-  if (!finished_) {
+  if (finished_) return;
+  // Exception-unwind path: finish() never ran. Close the queue and tell the
+  // workers to discard what's left — aligning abandoned shards during unwind
+  // would only delay the exception — then join everything so no thread
+  // outlives its WorkerState.
+  discard_.store(true, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  stop_watchdog();
+}
+
+void SearchPipeline::stop_watchdog() {
+  if (!watchdog_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lock(wd_mu_);
+    wd_stop_ = true;
+  }
+  wd_cv_.notify_all();
+  watchdog_.join();
+}
+
+void SearchPipeline::trip_stall() {
+  obs::Registry::global().counter("runtime.pipeline.stalls").add(1);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream os;
+    os << "pipeline stalled: no progress for "
+       << cfg_.search.robust.stall_timeout_ms << " ms"
+       << " (queue_depth=" << queue_.size() << "/" << capacity_
+       << ", records_pushed=" << next_index_ << ", closed=" << closed_
+       << ", producer_waiting=" << producer_waiting_
+       << ", workers=" << workers_.size() << ")";
+    stall_diagnostic_ = os.str();
+    stalled_.store(true, std::memory_order_release);
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+void SearchPipeline::throw_stalled() {
+  std::string diag;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    diag = stall_diagnostic_;
+  }
+  throw robust::StatusError(robust::StatusCode::Internal, diag);
+}
+
+void SearchPipeline::watchdog_main() {
+  using clock = std::chrono::steady_clock;
+  const auto timeout = std::chrono::milliseconds(cfg_.search.robust.stall_timeout_ms);
+  const auto poll = std::min<std::chrono::milliseconds>(
+      timeout / 4 + std::chrono::milliseconds(1), std::chrono::milliseconds(50));
+  std::uint64_t last = progress_.load(std::memory_order_relaxed);
+  auto last_change = clock::now();
+  std::unique_lock<std::mutex> lock(wd_mu_);
+  for (;;) {
+    if (wd_cv_.wait_for(lock, poll, [this] { return wd_stop_; })) return;
+    const std::uint64_t cur = progress_.load(std::memory_order_relaxed);
+    const auto now = clock::now();
+    if (cur != last) {
+      last = cur;
+      last_change = now;
+      continue;
+    }
+    bool pending = false;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
-      closed_ = true;
+      const std::lock_guard<std::mutex> qlock(mu_);
+      pending = !queue_.empty() || producer_waiting_;
     }
-    not_empty_.notify_all();
-    for (std::thread& t : workers_) {
-      if (t.joinable()) t.join();
+    if (!pending) {
+      // Idle (e.g. a slow upstream parser) is not a stall.
+      last_change = now;
+      continue;
     }
+    if (now - last_change < timeout) continue;
+    trip_stall();
+    return;
+  }
+}
+
+void SearchPipeline::hang_for_watchdog() {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!stalled_.load(std::memory_order_relaxed) &&
+         std::chrono::steady_clock::now() - t0 < std::chrono::seconds(10)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }
 
@@ -47,10 +137,20 @@ void SearchPipeline::flush_shard() {
     // Back-pressure: the parser outran the workers and must stall.
     reg.counter("runtime.pipeline.producer_waits").add(1);
   }
-  not_full_.wait(lock, [this] { return queue_.size() < capacity_; });
+  producer_waiting_ = true;
+  not_full_.wait(lock, [this] {
+    return queue_.size() < capacity_ || stalled_.load(std::memory_order_acquire);
+  });
+  producer_waiting_ = false;
+  if (stalled_.load(std::memory_order_acquire)) {
+    lock.unlock();
+    throw_stalled();
+  }
   queue_.push_back(std::move(shard));
   const std::size_t depth = queue_.size();
   lock.unlock();
+  ++shards_flushed_;
+  progress_.fetch_add(1, std::memory_order_relaxed);
   reg.counter("runtime.pipeline.shards").add(1);
   reg.gauge("runtime.pipeline.queue_depth_max")
       .record_max(static_cast<std::int64_t>(depth));
@@ -58,6 +158,7 @@ void SearchPipeline::flush_shard() {
 }
 
 void SearchPipeline::push(Sequence s) {
+  if (stalled_.load(std::memory_order_acquire)) throw_stalled();
   if (fill_.seqs.empty()) fill_.base = next_index_;
   fill_.seqs.push_back(std::move(s));
   ++next_index_;
@@ -82,34 +183,29 @@ void SearchPipeline::worker_main(WorkerState& state) {
   std::vector<std::span<const std::uint8_t>> batch_dbs;
   std::vector<AlignResult> batch_out;
 
-  for (;;) {
-    Shard shard;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
-      if (queue_.empty()) {
-        // Closed and drained: expose this worker's cache and lane accounting
-        // before exit (the engines die with this frame).
-        state.cache = aligner.cache_stats();
-        if (batcher.has_value()) {
-          state.cache += batcher->fallback_cache_stats();
-          state.interseq = batcher->batch_stats();
-          state.interseq_fallbacks = batcher->fallbacks();
-        }
-        return;
-      }
-      shard = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    not_full_.notify_one();
+  // Shard-transactional scratch: one attempt accumulates here and commits
+  // into `state` only on success, so a failed or retried attempt never
+  // leaves partial hits or double-counted stats behind.
+  AlignStats try_stats{};
+  std::uint64_t try_alignments = 0;
+  std::uint64_t try_cells = 0;
+  std::array<std::uint64_t, 3> try_width{};
+  std::vector<std::vector<apps::SearchHit>> try_hits(queries.size());
 
-    // The Align budget counts shard processing only, not queue waits.
-    const obs::StageSpan align_span(obs::Stage::Align);
-    const obs::TraceSpan span(shard_us);
+  const auto process_shard = [&](const Shard& shard) {
+    try_stats = AlignStats{};
+    try_alignments = 0;
+    try_cells = 0;
+    try_width = {};
+    for (auto& h : try_hits) h.clear();
+    VALIGN_FAILPOINT("pipeline.pop",
+                     throw robust::StatusError(
+                         robust::StatusCode::Internal,
+                         "injected shard-processing failure (pipeline.pop)"));
     std::uint64_t shard_residues = 0;
     for (const Sequence& d : shard.seqs) shard_residues += d.size();
     for (std::size_t q = 0; q < queries.size(); ++q) {
-      auto& hits = state.hits[q];
+      auto& hits = try_hits[q];
       const double mean_dlen =
           shard.seqs.empty() ? 0.0
                              : static_cast<double>(shard_residues) /
@@ -125,10 +221,10 @@ void SearchPipeline::worker_main(WorkerState& state) {
         batcher->align_batch(batch_dbs, batch_out);
         for (std::size_t i = 0; i < shard.seqs.size(); ++i) {
           const AlignResult& r = batch_out[i];
-          state.stats += r.stats;
-          ++state.alignments;
-          state.cells_real += queries[q].size() * shard.seqs[i].size();
-          ++state.width_counts[static_cast<std::size_t>(obs::width_index(r.bits))];
+          try_stats += r.stats;
+          ++try_alignments;
+          try_cells += queries[q].size() * shard.seqs[i].size();
+          ++try_width[static_cast<std::size_t>(obs::width_index(r.bits))];
           hits.push_back(
               apps::SearchHit{shard.base + i, r.score, r.query_end, r.db_end});
         }
@@ -137,20 +233,105 @@ void SearchPipeline::worker_main(WorkerState& state) {
         for (std::size_t i = 0; i < shard.seqs.size(); ++i) {
           const Sequence& d = shard.seqs[i];
           const AlignResult r = aligner.align(d);
-          state.stats += r.stats;
-          ++state.alignments;
-          state.cells_real += queries[q].size() * d.size();
-          ++state.width_counts[static_cast<std::size_t>(obs::width_index(r.bits))];
+          try_stats += r.stats;
+          ++try_alignments;
+          try_cells += queries[q].size() * d.size();
+          ++try_width[static_cast<std::size_t>(obs::width_index(r.bits))];
           hits.push_back(
               apps::SearchHit{shard.base + i, r.score, r.query_end, r.db_end});
         }
       }
+    }
+  };
+
+  const auto commit_shard = [&] {
+    state.stats += try_stats;
+    state.alignments += try_alignments;
+    state.cells_real += try_cells;
+    for (std::size_t w = 0; w < try_width.size(); ++w) {
+      state.width_counts[w] += try_width[w];
+    }
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      auto& hits = state.hits[q];
+      hits.insert(hits.end(), try_hits[q].begin(), try_hits[q].end());
       if (hits.size() > prune_at) apps::keep_top_hits(hits, cfg_.search.top_k);
     }
+  };
+
+  const auto export_state = [&] {
+    // Expose this worker's cache and lane accounting before exit (the
+    // engines die with this frame).
+    state.cache = aligner.cache_stats();
+    if (batcher.has_value()) {
+      state.cache += batcher->fallback_cache_stats();
+      state.interseq = batcher->batch_stats();
+      state.interseq_fallbacks = batcher->fallbacks();
+    }
+  };
+
+  for (;;) {
+    Shard shard;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] {
+        return !queue_.empty() || closed_ ||
+               stalled_.load(std::memory_order_acquire);
+      });
+      if (stalled_.load(std::memory_order_acquire) || queue_.empty()) {
+        export_state();
+        return;
+      }
+      shard = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    progress_.fetch_add(1, std::memory_order_relaxed);
+    if (discard_.load(std::memory_order_relaxed)) continue;  // unwinding
+
+    VALIGN_FAILPOINT("pipeline.worker_hang", hang_for_watchdog());
+    if (stalled_.load(std::memory_order_acquire)) {
+      export_state();
+      return;
+    }
+
+    // The Align budget counts shard processing only, not queue waits.
+    const obs::StageSpan align_span(obs::Stage::Align);
+    const obs::TraceSpan span(shard_us);
+    for (int attempt = 0;; ++attempt) {
+      try {
+        process_shard(shard);
+        commit_shard();
+        break;
+      } catch (const std::exception& e) {
+        if (robust::is_transient_failure(e) &&
+            attempt < cfg_.search.robust.max_retries &&
+            !stalled_.load(std::memory_order_acquire)) {
+          ++state.shard_retries;
+          // Bounded backoff: 2, 4, 8... ms. Transient by taxonomy means a
+          // later attempt can succeed (allocation pressure, cache churn).
+          std::this_thread::sleep_for(std::chrono::milliseconds(2 << attempt));
+          continue;
+        }
+        state.failures.push_back(
+            robust::ShardFailure{shard.base, shard.seqs.size(), e.what()});
+        state.records_dropped += shard.seqs.size();
+        break;
+      } catch (...) {
+        state.failures.push_back(robust::ShardFailure{
+            shard.base, shard.seqs.size(), "unknown exception"});
+        state.records_dropped += shard.seqs.size();
+        break;
+      }
+    }
+    progress_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 apps::SearchReport SearchPipeline::finish() {
+  // flush_shard() may throw on a tripped watchdog; the destructor then
+  // handles teardown. On the normal path, close and join everything before
+  // deciding whether the error budget was blown, so a throw below leaves no
+  // running threads behind.
   flush_shard();
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -158,8 +339,12 @@ apps::SearchReport SearchPipeline::finish() {
   }
   not_empty_.notify_all();
   for (std::thread& t : workers_) t.join();
+  stop_watchdog();
   finished_ = true;
 
+  if (stalled_.load(std::memory_order_acquire)) throw_stalled();
+
+  obs::Registry& reg = obs::Registry::global();
   const obs::StageSpan reduce_span(obs::Stage::Reduce);
   apps::SearchReport report;
   report.top_hits.resize(queries_->size());
@@ -182,6 +367,26 @@ apps::SearchReport SearchPipeline::finish() {
     for (std::size_t w = 0; w < s.width_counts.size(); ++w) {
       report.width_counts[w] += s.width_counts[w];
     }
+    report.failures.insert(report.failures.end(), s.failures.begin(),
+                           s.failures.end());
+    report.shard_retries += s.shard_retries;
+    report.records_dropped += s.records_dropped;
+  }
+  report.worker_errors = report.failures.size();
+  if (report.worker_errors > 0) {
+    reg.counter("runtime.pipeline.worker_errors").add(report.worker_errors);
+    reg.counter("runtime.pipeline.records_dropped").add(report.records_dropped);
+  }
+  if (report.shard_retries > 0) {
+    reg.counter("runtime.pipeline.shard_retries").add(report.shard_retries);
+  }
+  if (report.worker_errors > cfg_.search.robust.max_errors) {
+    std::ostringstream os;
+    os << report.worker_errors << " of " << shards_flushed_ << " shard(s) failed ("
+       << report.records_dropped << " records dropped, --max-errors "
+       << cfg_.search.robust.max_errors << "); first: "
+       << report.failures.front().error;
+    throw robust::StatusError(robust::StatusCode::Internal, os.str());
   }
   publish_cache_stats(report.cache);
   if (cfg_.search.engine != EngineMode::Intra) {

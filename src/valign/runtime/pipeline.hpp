@@ -10,9 +10,18 @@
 //
 // Back-pressure: push() blocks while `queue_capacity` shards are in flight,
 // bounding memory no matter how large the database stream is.
+//
+// Fault tolerance (docs/robustness.md): an exception escaping shard
+// processing fails the shard, not the process — workers capture it, retry
+// transient failures with bounded backoff, and record permanent failures in
+// the report. finish() rethrows a summarized error only when the
+// cfg.search.robust.max_errors budget is exceeded. An optional stall
+// watchdog (stall_timeout_ms > 0) trips when neither producer nor workers
+// make progress and fails push()/finish() fast with a diagnostic dump.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -46,17 +55,22 @@ class SearchPipeline {
  public:
   /// `queries` must outlive the pipeline. Workers start immediately.
   SearchPipeline(const Dataset& queries, PipelineConfig cfg);
+  /// Safe on every path, including exception unwind before finish(): closes
+  /// the queue, tells workers to discard unprocessed shards, and joins them.
   ~SearchPipeline();
 
   SearchPipeline(const SearchPipeline&) = delete;
   SearchPipeline& operator=(const SearchPipeline&) = delete;
 
   /// Appends one database sequence; its db_index is the push order. Blocks
-  /// while the queue is full. Must not be called after finish().
+  /// while the queue is full. Must not be called after finish(). Throws
+  /// robust::StatusError (internal) if the stall watchdog tripped.
   void push(Sequence s);
 
   /// Closes the input, drains the queue, joins the workers and returns the
-  /// merged report. Call exactly once.
+  /// merged report. Call exactly once. Throws robust::StatusError when more
+  /// than cfg.search.robust.max_errors shards failed, or when the stall
+  /// watchdog tripped; the pipeline is fully torn down first either way.
   [[nodiscard]] apps::SearchReport finish();
 
   /// Database sequences pushed so far.
@@ -77,10 +91,22 @@ class SearchPipeline {
     InterSeqBatchStats interseq{};                   ///< Copied at worker exit.
     std::uint64_t interseq_fallbacks = 0;
     std::vector<std::vector<apps::SearchHit>> hits;  // per query
+    // Degraded-mode accounting (see docs/robustness.md).
+    std::vector<robust::ShardFailure> failures;  ///< Permanent shard failures.
+    std::uint64_t shard_retries = 0;  ///< Transient-failure re-attempts.
+    std::uint64_t records_dropped = 0;  ///< Records in failed shards.
   };
 
   void worker_main(WorkerState& state);
   void flush_shard();  // hand fill_ to the queue (may block)
+  void watchdog_main();
+  void trip_stall();
+  void stop_watchdog();
+  /// Cooperative busy-wait used by the pipeline.worker_hang failpoint: spins
+  /// until the watchdog trips (or a 10 s cap), so stall handling is testable
+  /// without wedging the test binary.
+  void hang_for_watchdog();
+  [[noreturn]] void throw_stalled();
 
   const Dataset* queries_;
   PipelineConfig cfg_;
@@ -91,12 +117,23 @@ class SearchPipeline {
   std::condition_variable not_empty_;
   std::deque<Shard> queue_;
   bool closed_ = false;
+  bool producer_waiting_ = false;  ///< Producer blocked on back-pressure.
+  std::string stall_diagnostic_;   ///< Written once by trip_stall().
 
   Shard fill_;             ///< Producer-side shard being assembled.
   std::size_t next_index_ = 0;
+  std::size_t shards_flushed_ = 0;  ///< Producer-side; for error summaries.
+
+  std::atomic<bool> stalled_{false};   ///< Watchdog tripped; fail fast.
+  std::atomic<bool> discard_{false};   ///< Unwind: drop shards, don't align.
+  std::atomic<std::uint64_t> progress_{0};  ///< Bumped on push/pop/complete.
 
   std::vector<WorkerState> states_;
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
+  std::mutex wd_mu_;
+  std::condition_variable wd_cv_;
+  bool wd_stop_ = false;
   std::chrono::steady_clock::time_point t0_;
   bool finished_ = false;
 };

@@ -6,6 +6,7 @@
 
 #include "valign/common.hpp"
 #include "valign/obs/metrics.hpp"
+#include "valign/robust/status.hpp"
 
 namespace valign::runtime {
 
@@ -112,14 +113,16 @@ PairSched parse_pair_sched(const std::string& s) {
   if (s == "query") return PairSched::Query;
   if (s == "pair") return PairSched::Pair;
   if (s == "auto") return PairSched::Auto;
-  throw Error("unknown pair scheduling policy: " + s + " (expected query|pair|auto)");
+  robust::throw_status(robust::invalid_argument(
+      "unknown pair scheduling policy: " + s + " (expected query|pair|auto)"));
 }
 
 EngineMode parse_engine_mode(const std::string& s) {
   if (s == "intra") return EngineMode::Intra;
   if (s == "inter") return EngineMode::Inter;
   if (s == "auto") return EngineMode::Auto;
-  throw Error("unknown engine family: " + s + " (expected intra|inter|auto)");
+  robust::throw_status(robust::invalid_argument(
+      "unknown engine family: " + s + " (expected intra|inter|auto)"));
 }
 
 std::uint64_t Schedule::total_cost() const noexcept {

@@ -142,9 +142,9 @@ TEST(BenchDiffCli, ExitCodesFollowVerdicts) {
   EXPECT_EQ(run_cli({"bench-diff", base, slow, "--threshold-pct", "300"}, &text), 0)
       << text;
 
-  // Malformed inputs and bad usage are errors (1 via the CLI catch-all),
-  // never silent successes.
-  EXPECT_EQ(run_cli({"bench-diff", base}), 1);
+  // Bad usage is an argument error (exit 2, docs/robustness.md taxonomy);
+  // malformed inputs are runtime errors (exit 1). Never silent successes.
+  EXPECT_EQ(run_cli({"bench-diff", base}), 2);
   EXPECT_EQ(run_cli({"bench-diff", base, "/nonexistent.json"}), 1);
   const std::string junk = ::testing::TempDir() + "/valign_bd_junk.json";
   std::ofstream(junk) << "not json";

@@ -117,8 +117,10 @@ TEST(Cli, AlignDnaSequences) {
 }
 
 TEST(Cli, AlignRejectsBadFlags) {
-  EXPECT_EQ(run_cli({"align", "--q-seq", "MKT"}).code, 1);  // missing --d-seq
-  EXPECT_EQ(run_cli({"align", "--q-seq", "M", "--d-seq", "M", "--class", "zz"}).code, 1);
+  // Usage errors are exit 2; runtime failures (missing file, unknown matrix
+  // looked up at runtime) stay exit 1.
+  EXPECT_EQ(run_cli({"align", "--q-seq", "MKT"}).code, 2);  // missing --d-seq
+  EXPECT_EQ(run_cli({"align", "--q-seq", "M", "--d-seq", "M", "--class", "zz"}).code, 2);
   EXPECT_EQ(run_cli({"align", "--q-seq", "M", "--d-seq", "M", "--matrix", "nope"}).code,
             1);
   EXPECT_EQ(run_cli({"align", "/no/such.fa", "/no/such2.fa"}).code, 1);
@@ -217,13 +219,60 @@ TEST(Cli, DetectClustersAndWritesCsvReport) {
 
 TEST(Cli, DetectRequiresInput) {
   const CliResult r = run_cli({"detect"});
-  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("detect"), std::string::npos);
 }
 
 TEST(Cli, GenerateRequiresOut) {
-  EXPECT_EQ(run_cli({"generate"}).code, 1);
-  EXPECT_EQ(run_cli({"generate", "--out", "/tmp/x.fa", "--preset", "nope"}).code, 1);
+  EXPECT_EQ(run_cli({"generate"}).code, 2);
+  EXPECT_EQ(run_cli({"generate", "--out", "/tmp/x.fa", "--preset", "nope"}).code, 2);
+}
+
+TEST(Cli, ArgumentErrorsExitTwoWithUsableMessages) {
+  {  // Unknown flag names the flag and points at --help.
+    const CliResult r = run_cli({"search", "--frobnicate", "a.fa", "b.fa"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("--frobnicate"), std::string::npos) << r.err;
+    EXPECT_NE(r.err.find("--help"), std::string::npos) << r.err;
+  }
+  {  // Non-integer value for an integer flag.
+    const CliResult r = run_cli({"search", "a.fa", "b.fa", "--top", "lots"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("--top"), std::string::npos) << r.err;
+  }
+  {  // Bad enum value lists the accepted spellings.
+    const CliResult r = run_cli({"search", "a.fa", "b.fa", "--engine", "warp"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("intra|inter|auto"), std::string::npos) << r.err;
+  }
+  {  // Search-only flags are rejected elsewhere, not silently ignored.
+    const CliResult r = run_cli({"detect", "x.fa", "--stream"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("--stream"), std::string::npos) << r.err;
+  }
+  {
+    const CliResult r = run_cli({"align", "--q-seq", "M", "--d-seq", "M",
+                                 "--engine", "inter"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("--engine"), std::string::npos) << r.err;
+  }
+  {  // Watchdog without the pipeline it guards.
+    const CliResult r = run_cli({"search", "a.fa", "b.fa", "--stall-timeout-ms",
+                                 "100"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("--stream"), std::string::npos) << r.err;
+  }
+  {  // Malformed --fail-inject spec (probability out of range). Exit 2 both in
+     // failpoint builds (bad spec) and release builds (flag unsupported).
+    const CliResult r = run_cli({"search", "a.fa", "b.fa", "--fail-inject",
+                                 "pipeline.pop:7"});
+    EXPECT_EQ(r.code, 2);
+  }
+  {
+    const CliResult r = run_cli({"search", "a.fa", "b.fa", "--max-seq-len", "-4"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("--max-seq-len"), std::string::npos) << r.err;
+  }
 }
 
 TEST(Cli, MatricesListAndPrint) {

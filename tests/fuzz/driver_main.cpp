@@ -1,0 +1,118 @@
+// Fallback fuzz driver for toolchains without libFuzzer (gcc). Replays every
+// corpus file through LLVMFuzzerTestOneInput, then spends the time budget on
+// seeded random mutations of the corpus (byte flips, truncations, splices,
+// random blobs). Accepts the libFuzzer flags scripts/check.sh passes:
+//
+//   fuzz_target [-max_total_time=SECONDS] [-seed=N] CORPUS_DIR...
+//
+// Not a coverage-guided fuzzer — a deterministic smoke harness with the same
+// entry point, so the same targets run everywhere and CI can gate on them.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::vector<std::string> load_corpus(const std::vector<std::string>& dirs) {
+  std::vector<std::string> corpus;
+  for (const std::string& dir : dirs) {
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file()) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      corpus.emplace_back(std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>());
+    }
+    if (ec) std::fprintf(stderr, "warning: cannot read corpus dir %s\n",
+                         dir.c_str());
+  }
+  return corpus;
+}
+
+std::string mutate(const std::vector<std::string>& corpus,
+                   std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> kind(0, 3);
+  auto pick = [&]() -> std::string {
+    if (corpus.empty()) return {};
+    return corpus[rng() % corpus.size()];
+  };
+  std::string s = pick();
+  switch (kind(rng)) {
+    case 0: {  // byte flips
+      if (s.empty()) break;
+      const std::size_t flips = 1 + rng() % 8;
+      for (std::size_t i = 0; i < flips; ++i) {
+        s[rng() % s.size()] = static_cast<char>(rng() & 0xff);
+      }
+      break;
+    }
+    case 1: {  // truncate
+      if (!s.empty()) s.resize(rng() % s.size());
+      break;
+    }
+    case 2: {  // splice two seeds
+      const std::string other = pick();
+      const std::size_t cut = s.empty() ? 0 : rng() % s.size();
+      s = s.substr(0, cut) + other;
+      break;
+    }
+    default: {  // random blob
+      s.resize(rng() % 512);
+      for (char& c : s) c = static_cast<char>(rng() & 0xff);
+      break;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long max_total_time = 10;
+  std::uint64_t seed = 0x5eedf00d;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "-max_total_time=", 16) == 0) {
+      max_total_time = std::strtol(a + 16, nullptr, 10);
+    } else if (std::strncmp(a, "-seed=", 6) == 0) {
+      seed = std::strtoull(a + 6, nullptr, 10);
+    } else if (a[0] == '-') {
+      // Ignore other libFuzzer flags so the same command line works for both
+      // drivers.
+    } else {
+      dirs.emplace_back(a);
+    }
+  }
+
+  const std::vector<std::string> corpus = load_corpus(dirs);
+  for (const std::string& input : corpus) {
+    (void)LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(input.data()), input.size());
+  }
+
+  std::mt19937_64 rng(seed);
+  std::uint64_t execs = corpus.size();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(max_total_time);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::string input = mutate(corpus, rng);
+    (void)LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(input.data()), input.size());
+    ++execs;
+  }
+  std::printf("fallback driver: %llu execs, %zu corpus seeds, seed=%llu\n",
+              static_cast<unsigned long long>(execs), corpus.size(),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fuzz target: lenient FASTA parsing must never throw or crash on arbitrary
+// bytes — every malformed record is quarantined, never fatal. Strict mode may
+// throw, but only the typed StatusError; anything else (std::bad_alloc aside)
+// is a bug the fuzzer should surface as a crash.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "valign/io/fasta.hpp"
+#include "valign/robust/quarantine.hpp"
+#include "valign/robust/status.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const valign::Alphabet alpha = valign::Alphabet::protein();
+
+  {
+    // Lenient: must swallow anything. Cap record size so adversarial inputs
+    // can't balloon memory; oversized records land in quarantine.
+    std::istringstream in(text);
+    valign::robust::QuarantineStats q;
+    const valign::FastaReaderConfig cfg{true, 1 << 16};
+    (void)valign::read_fasta(in, alpha, cfg, &q);
+  }
+  {
+    // Strict: the only acceptable exception is the typed taxonomy error.
+    std::istringstream in(text);
+    try {
+      (void)valign::read_fasta(
+          in, alpha, valign::FastaReaderConfig{false, 1 << 16}, nullptr);
+    } catch (const valign::robust::StatusError&) {
+      // expected for malformed input
+    }
+  }
+  return 0;
+}

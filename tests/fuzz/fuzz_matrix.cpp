@@ -1,0 +1,21 @@
+// Fuzz target: try_parse_ncbi_matrix is the non-throwing core of the matrix
+// parser — arbitrary bytes must come back as a Status, never as an exception
+// or a crash (truncated tables, NaN/overflow cells, duplicate headers, ...).
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "valign/matrices/parser.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const auto parsed = valign::try_parse_ncbi_matrix(
+      text, "fuzz", valign::GapPenalty{11, 1});
+  if (parsed.ok()) {
+    // A matrix that parsed must be internally consistent enough to render.
+    (void)valign::format_ncbi_matrix(*parsed);
+  }
+  return 0;
+}

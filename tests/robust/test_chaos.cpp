@@ -1,0 +1,410 @@
+// Chaos harness (docs/robustness.md): sweep every cataloged failpoint over
+// the streamed and batched search drivers and assert the degraded runs are
+// principled — no crash, failures/quarantine accounted for in the report,
+// and the surviving top-k exactly equal to a clean run restricted to the
+// records that survived.
+//
+// Determinism: sites that fire per-shard/per-build are armed with a fire
+// *count* (p=1, N fires) so the failure set never depends on RNG draw order;
+// the per-line FASTA site uses a seeded probability (hundreds of draws make
+// zero fires impossible in practice). All tests skip in builds without
+// failpoint sites (release).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../support/random_seqs.hpp"
+#include "valign/apps/db_search.hpp"
+#include "valign/io/fasta.hpp"
+#include "valign/robust/failpoint.hpp"
+#include "valign/runtime/scheduler.hpp"
+
+namespace valign::apps {
+namespace {
+
+using robust::FailpointRegistry;
+using robust::StatusError;
+using testing_support::random_protein;
+
+struct DisarmGuard {
+  ~DisarmGuard() { FailpointRegistry::global().disarm_all(); }
+};
+
+constexpr std::uint64_t kChaosSeed = 20260807;
+
+Dataset make_queries() {
+  std::mt19937_64 rng(3);
+  Dataset qs(Alphabet::protein());
+  qs.add(random_protein("q0", 56, rng));
+  qs.add(random_protein("q1", 88, rng));
+  return qs;
+}
+
+Dataset make_db(std::size_t n = 160) {
+  std::mt19937_64 rng(17);
+  std::uniform_int_distribution<std::size_t> len(30, 110);
+  Dataset db(Alphabet::protein());
+  for (std::size_t i = 0; i < n; ++i) {
+    db.add(random_protein("d" + std::to_string(i), len(rng), rng));
+  }
+  return db;
+}
+
+std::string to_fasta(const Dataset& db) {
+  std::ostringstream out;
+  write_fasta(out, db);
+  return out.str();
+}
+
+/// Hits as (subject name, score) pairs — comparable across runs whose
+/// db_index spaces differ (stream order vs survivor order).
+using NamedHits = std::vector<std::vector<std::pair<std::string, std::int32_t>>>;
+
+NamedHits named_hits(const SearchReport& rep, const Dataset& db) {
+  NamedHits named(rep.top_hits.size());
+  for (std::size_t q = 0; q < rep.top_hits.size(); ++q) {
+    for (const SearchHit& h : rep.top_hits[q]) {
+      named[q].emplace_back(db[h.db_index].name(), h.score);
+    }
+  }
+  return named;
+}
+
+/// The db records that survived a streamed chaos run: everything collected
+/// minus the [base, base+count) ranges of failed shards.
+Dataset survivors_of(const Dataset& collected, const SearchReport& rep) {
+  std::vector<bool> lost(collected.size(), false);
+  for (const robust::ShardFailure& f : rep.failures) {
+    for (std::size_t i = f.base; i < f.base + f.count && i < collected.size();
+         ++i) {
+      lost[i] = true;
+    }
+  }
+  Dataset out(collected.alphabet());
+  for (std::size_t i = 0; i < collected.size(); ++i) {
+    if (!lost[i]) out.add(collected[i]);
+  }
+  return out;
+}
+
+/// Ground truth for a survivor set: a clean batch run over exactly those
+/// records (failpoints must be disarmed by the caller first). Relative record
+/// order is preserved by construction, so score tie-breaks (db_index
+/// ascending) resolve identically.
+void expect_matches_clean_run(const Dataset& queries, const Dataset& survivors,
+                              const SearchConfig& cfg, const NamedHits& chaos,
+                              const char* label) {
+  SearchConfig clean_cfg = cfg;
+  clean_cfg.robust = robust::RobustPolicy{};  // strict: any failure throws
+  const SearchReport clean = apps::search(queries, survivors, clean_cfg);
+  const NamedHits expected = named_hits(clean, survivors);
+  ASSERT_EQ(chaos.size(), expected.size()) << label;
+  for (std::size_t q = 0; q < expected.size(); ++q) {
+    EXPECT_EQ(chaos[q], expected[q]) << label << ", query " << q;
+  }
+}
+
+struct StreamRun {
+  SearchReport report;
+  Dataset collected{Alphabet::protein()};
+};
+
+StreamRun run_stream(const Dataset& queries, const std::string& fasta,
+                     const SearchConfig& cfg) {
+  StreamRun run;
+  std::istringstream in(fasta);
+  run.report =
+      apps::search_stream(queries, in, Alphabet::protein(), cfg, &run.collected);
+  return run;
+}
+
+SearchConfig chaos_config() {
+  SearchConfig cfg;
+  cfg.threads = 2;
+  cfg.top_k = 5;
+  cfg.robust.lenient = true;
+  cfg.robust.max_errors = 1'000'000;  // capture failures, never abort
+  return cfg;
+}
+
+// --- streamed search ---------------------------------------------------------
+
+TEST(Chaos, StreamShardLossLeavesSurvivorTopKIntact) {
+  if (!robust::failpoints_compiled()) {
+    GTEST_SKIP() << "build has no failpoint sites (VALIGN_ENABLE_FAILPOINTS=OFF)";
+  }
+  const DisarmGuard guard;
+  const Dataset queries = make_queries();
+  const std::string fasta = to_fasta(make_db());
+
+  auto& reg = FailpointRegistry::global();
+  reg.set_seed(kChaosSeed);
+  reg.arm("pipeline.pop", 1.0, 2);  // exactly two shards fail
+
+  const SearchConfig cfg = chaos_config();
+  const StreamRun run = run_stream(queries, fasta, cfg);
+  reg.disarm_all();
+
+  EXPECT_EQ(run.report.worker_errors, 2u);
+  ASSERT_EQ(run.report.failures.size(), 2u);
+  for (const robust::ShardFailure& f : run.report.failures) {
+    EXPECT_NE(f.error.find("pipeline.pop"), std::string::npos);
+  }
+  const Dataset survivors = survivors_of(run.collected, run.report);
+  EXPECT_EQ(run.collected.size() - survivors.size(), run.report.records_dropped);
+  EXPECT_GT(run.report.records_dropped, 0u);
+  expect_matches_clean_run(queries, survivors, cfg,
+                           named_hits(run.report, run.collected),
+                           "pipeline.pop stream");
+}
+
+TEST(Chaos, StreamLenientParsingQuarantinesInjectedReadFailures) {
+  if (!robust::failpoints_compiled()) {
+    GTEST_SKIP() << "build has no failpoint sites (VALIGN_ENABLE_FAILPOINTS=OFF)";
+  }
+  const DisarmGuard guard;
+  const Dataset db = make_db();
+  const Dataset queries = make_queries();
+
+  auto& reg = FailpointRegistry::global();
+  reg.set_seed(kChaosSeed);
+  reg.arm("io.fasta.read", 0.1);  // per input line; hundreds of draws
+
+  const SearchConfig cfg = chaos_config();
+  const StreamRun run = run_stream(queries, to_fasta(db), cfg);
+  reg.disarm_all();
+
+  // Every lost record must be tallied as a quarantine event.
+  EXPECT_LT(run.collected.size(), db.size());
+  EXPECT_FALSE(run.report.quarantine.empty());
+  EXPECT_GT(run.report.quarantine.truncated, 0u);
+
+  const Dataset survivors = survivors_of(run.collected, run.report);
+  expect_matches_clean_run(queries, survivors, cfg,
+                           named_hits(run.report, run.collected),
+                           "io.fasta.read stream");
+}
+
+TEST(Chaos, StreamTransientAllocationFailuresAreRetriedWithoutLoss) {
+  if (!robust::failpoints_compiled()) {
+    GTEST_SKIP() << "build has no failpoint sites (VALIGN_ENABLE_FAILPOINTS=OFF)";
+  }
+  const DisarmGuard guard;
+  const Dataset queries = make_queries();
+  const Dataset db = make_db();
+
+  auto& reg = FailpointRegistry::global();
+  reg.set_seed(kChaosSeed);
+  // Two engine builds fail with resource_exhausted; worst case both land in
+  // one shard and its two retries (default max_retries=2) absorb them.
+  reg.arm("cache.build", 1.0, 2);
+
+  SearchConfig cfg = chaos_config();
+  // cache.build sits on the intra path (EngineCache); Auto would resolve
+  // these shards to the inter engine and never evaluate it.
+  cfg.engine = EngineMode::Intra;
+  const StreamRun run = run_stream(queries, to_fasta(db), cfg);
+  reg.disarm_all();
+
+  EXPECT_GE(run.report.shard_retries, 1u);
+  EXPECT_EQ(run.report.worker_errors, 0u);
+  EXPECT_EQ(run.collected.size(), db.size());
+  expect_matches_clean_run(queries, run.collected, cfg,
+                           named_hits(run.report, run.collected),
+                           "cache.build stream");
+}
+
+TEST(Chaos, StreamSaturationInjectionsPreserveScores) {
+  if (!robust::failpoints_compiled()) {
+    GTEST_SKIP() << "build has no failpoint sites (VALIGN_ENABLE_FAILPOINTS=OFF)";
+  }
+  const DisarmGuard guard;
+  const Dataset queries = make_queries();
+  const Dataset db = make_db();
+  const std::string fasta = to_fasta(db);
+
+  // dispatch.ladder forces a widen-retry, interseq.refill forces an
+  // intra-ladder fallback: both must reproduce the exact clean scores with
+  // zero records lost (the injection is absorbed below the result layer).
+  for (const char* fp : {"dispatch.ladder", "interseq.refill"}) {
+    auto& reg = FailpointRegistry::global();
+    reg.disarm_all();
+    reg.set_seed(kChaosSeed);
+    reg.arm(fp, 1.0, 8);
+
+    SearchConfig cfg = chaos_config();
+    // Pin the engine family that owns each site: dispatch.ladder fires in
+    // Aligner::align (intra), interseq.refill in the lane refill loop (inter).
+    cfg.engine = std::string(fp) == "interseq.refill" ? EngineMode::Inter
+                                                      : EngineMode::Intra;
+    const StreamRun run = run_stream(queries, fasta, cfg);
+    reg.disarm_all();
+
+    EXPECT_EQ(run.report.worker_errors, 0u) << fp;
+    EXPECT_EQ(run.collected.size(), db.size()) << fp;
+    expect_matches_clean_run(queries, run.collected, cfg,
+                             named_hits(run.report, run.collected), fp);
+  }
+}
+
+TEST(Chaos, StreamWorkerHangFailsFastUnderWatchdog) {
+  if (!robust::failpoints_compiled()) {
+    GTEST_SKIP() << "build has no failpoint sites (VALIGN_ENABLE_FAILPOINTS=OFF)";
+  }
+  const DisarmGuard guard;
+  const Dataset queries = make_queries();
+  const std::string fasta = to_fasta(make_db());
+
+  auto& reg = FailpointRegistry::global();
+  reg.set_seed(kChaosSeed);
+  reg.arm("pipeline.worker_hang", 1.0, 1);
+
+  SearchConfig cfg = chaos_config();
+  cfg.threads = 1;
+  cfg.robust.stall_timeout_ms = 100;
+  try {
+    const StreamRun run = run_stream(queries, fasta, cfg);
+    FAIL() << "a hung worker must trip the watchdog, got "
+           << run.report.alignments << " alignments";
+  } catch (const StatusError& e) {
+    EXPECT_NE(std::string(e.what()).find("pipeline stalled"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- batched search ----------------------------------------------------------
+
+/// Maps a batch run's block failures back to the (query, db_index) pairs they
+/// covered, by rebuilding the (deterministic) schedule the driver used.
+std::set<std::pair<std::size_t, std::size_t>> lost_pairs(
+    const Dataset& queries, const Dataset& db, const SearchConfig& cfg,
+    const SearchReport& rep) {
+  const int lane_count = engine_lane_count(cfg);
+  const runtime::Schedule sched = runtime::make_search_schedule(
+      queries, db,
+      runtime::ScheduleConfig{cfg.sched, cfg.threads, cfg.grain_cells,
+                              lane_count});
+  std::set<std::pair<std::size_t, std::size_t>> lost;
+  for (const robust::ShardFailure& f : rep.failures) {
+    EXPECT_NE(f.query, robust::ShardFailure::kAllQueries)
+        << "batch failures must name their query";
+    for (std::size_t k = f.base; k < f.base + f.count; ++k) {
+      lost.insert({f.query, sched.db_index(k)});
+    }
+  }
+  return lost;
+}
+
+TEST(Chaos, BatchBlockLossLeavesSurvivingPairsTopKIntact) {
+  if (!robust::failpoints_compiled()) {
+    GTEST_SKIP() << "build has no failpoint sites (VALIGN_ENABLE_FAILPOINTS=OFF)";
+  }
+  const DisarmGuard guard;
+  const Dataset queries = make_queries();
+  const Dataset db = make_db();
+
+  SearchConfig cfg = chaos_config();
+  cfg.robust.max_retries = 0;  // every injected failure loses its block
+  cfg.engine = EngineMode::Intra;  // cache.build is an intra-path site
+
+  // Ground truth: every pair's score, from a clean exhaustive run.
+  SearchConfig full_cfg = cfg;
+  full_cfg.top_k = static_cast<int>(db.size());
+  full_cfg.robust = robust::RobustPolicy{};
+  const SearchReport full = apps::search(queries, db, full_cfg);
+
+  auto& reg = FailpointRegistry::global();
+  reg.set_seed(kChaosSeed);
+  reg.arm("cache.build", 1.0, 2);  // two engine builds fail -> two lost blocks
+
+  const SearchReport rep = apps::search(queries, db, cfg);
+  reg.disarm_all();
+  ASSERT_GT(rep.worker_errors, 0u);
+  EXPECT_LE(rep.worker_errors, 2u);
+
+  const auto lost = lost_pairs(queries, db, cfg, rep);
+  EXPECT_EQ(lost.size(), rep.records_dropped);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    std::vector<SearchHit> expected;
+    for (const SearchHit& h : full.top_hits[q]) {
+      if (!lost.contains({q, h.db_index})) expected.push_back(h);
+    }
+    keep_top_hits(expected, cfg.top_k);
+    ASSERT_EQ(rep.top_hits[q].size(), expected.size()) << "query " << q;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(rep.top_hits[q][i].db_index, expected[i].db_index)
+          << "query " << q << " hit " << i;
+      EXPECT_EQ(rep.top_hits[q][i].score, expected[i].score)
+          << "query " << q << " hit " << i;
+    }
+  }
+}
+
+TEST(Chaos, BatchSaturationInjectionsPreserveScores) {
+  if (!robust::failpoints_compiled()) {
+    GTEST_SKIP() << "build has no failpoint sites (VALIGN_ENABLE_FAILPOINTS=OFF)";
+  }
+  const DisarmGuard guard;
+  const Dataset queries = make_queries();
+  const Dataset db = make_db();
+
+  // cache.build is transient (absorbed by retries); the other two are
+  // score-preserving by design. None may lose records or change scores.
+  for (const char* fp : {"dispatch.ladder", "interseq.refill", "cache.build"}) {
+    auto& reg = FailpointRegistry::global();
+    reg.disarm_all();
+    reg.set_seed(kChaosSeed);
+    reg.arm(fp, 1.0, fp == std::string("cache.build") ? 2 : 8);
+
+    SearchConfig cfg = chaos_config();
+    cfg.engine = std::string(fp) == "interseq.refill" ? EngineMode::Inter
+                                                      : EngineMode::Intra;
+    const SearchReport chaos = apps::search(queries, db, cfg);
+    EXPECT_EQ(chaos.worker_errors, 0u) << fp;
+
+    reg.disarm_all();
+    SearchConfig clean_cfg = cfg;
+    clean_cfg.robust = robust::RobustPolicy{};
+    const SearchReport clean = apps::search(queries, db, clean_cfg);
+    const NamedHits a = named_hits(chaos, db);
+    const NamedHits b = named_hits(clean, db);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(a[q], b[q]) << fp << ", query " << q;
+    }
+  }
+}
+
+TEST(Chaos, BatchLenientParsingQuarantinesCorruptRecords) {
+  // No failpoints needed: textual corruption exercises the same quarantine
+  // path the CLI uses for on-disk databases, so this runs in release too.
+  const Dataset queries = make_queries();
+  const Dataset db = make_db(40);
+  std::string fasta = to_fasta(db);
+  fasta += ">corrupt1\n";                       // empty record
+  fasta += ">corrupt2\nNOTAPROTE1NLINE\n";      // bad residue ('1')
+  std::istringstream in(fasta);
+
+  robust::QuarantineStats quarantine;
+  const Dataset parsed =
+      read_fasta(in, Alphabet::protein(), FastaReaderConfig{true}, &quarantine);
+  EXPECT_EQ(parsed.size(), db.size());
+  EXPECT_EQ(quarantine.records, 2u);
+
+  SearchConfig cfg;
+  cfg.top_k = 5;
+  const SearchReport chaos = apps::search(queries, parsed, cfg);
+  const SearchReport clean = apps::search(queries, db, cfg);
+  const NamedHits a = named_hits(chaos, parsed);
+  const NamedHits b = named_hits(clean, db);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(a[q], b[q]) << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace valign::apps

@@ -1,0 +1,146 @@
+// Failpoint registry and spec parsing (robust/failpoint.hpp).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "valign/robust/failpoint.hpp"
+
+namespace valign::robust {
+namespace {
+
+/// Disarms everything on scope exit so tests can't leak armed failpoints
+/// into later suites (the registry is process-global).
+struct DisarmGuard {
+  ~DisarmGuard() { FailpointRegistry::global().disarm_all(); }
+};
+
+TEST(Failpoint, SpecParsesNameProbCount) {
+  const auto plain = parse_failpoint_spec("pipeline.pop");
+  ASSERT_TRUE(plain.ok()) << plain.status().to_string();
+  EXPECT_EQ(plain->name, "pipeline.pop");
+  EXPECT_EQ(plain->prob, 1.0);
+  EXPECT_EQ(plain->remaining, -1);
+
+  const auto prob = parse_failpoint_spec("cache.build:0.25");
+  ASSERT_TRUE(prob.ok()) << prob.status().to_string();
+  EXPECT_EQ(prob->name, "cache.build");
+  EXPECT_DOUBLE_EQ(prob->prob, 0.25);
+
+  const auto full = parse_failpoint_spec("io.fasta.read:0.5:3");
+  ASSERT_TRUE(full.ok()) << full.status().to_string();
+  EXPECT_DOUBLE_EQ(full->prob, 0.5);
+  EXPECT_EQ(full->remaining, 3);
+}
+
+TEST(Failpoint, SpecRejectsMalformedInput) {
+  for (const char* bad : {"", ":0.5", "x:nan", "x:2.0", "x:-0.5", "x:0.5:-1",
+                          "x:0.5:many", "x:0.5:1.5"}) {
+    const auto r = parse_failpoint_spec(bad);
+    EXPECT_FALSE(r.ok()) << "spec '" << bad << "' should not parse";
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::InvalidArgument);
+      // The message must be usable: it names the offending spec and the
+      // expected grammar.
+      EXPECT_NE(r.status().message().find("name[:prob[:count]]"),
+                std::string::npos)
+          << r.status().message();
+    }
+  }
+}
+
+TEST(Failpoint, DisarmedNeverFires) {
+  const DisarmGuard guard;
+  auto& reg = FailpointRegistry::global();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(reg.should_fire("pipeline.pop"));
+  }
+  EXPECT_TRUE(reg.armed().empty());
+}
+
+TEST(Failpoint, ArmedAtOneAlwaysFires) {
+  const DisarmGuard guard;
+  auto& reg = FailpointRegistry::global();
+  reg.arm("pipeline.pop");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(reg.should_fire("pipeline.pop"));
+  }
+  EXPECT_EQ(reg.fired("pipeline.pop"), 10u);
+  EXPECT_FALSE(reg.should_fire("cache.build"));  // other sites untouched
+}
+
+TEST(Failpoint, CountBoundsFires) {
+  const DisarmGuard guard;
+  auto& reg = FailpointRegistry::global();
+  reg.arm("cache.build", 1.0, 3);
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (reg.should_fire("cache.build")) ++fires;
+  }
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(Failpoint, ProbabilityIsSeededAndRoughlyCalibrated) {
+  const DisarmGuard guard;
+  auto& reg = FailpointRegistry::global();
+
+  auto fires_with_seed = [&](std::uint64_t seed) {
+    reg.set_seed(seed);
+    reg.arm("io.fasta.read", 0.3);  // re-arm resets the counters
+    int fires = 0;
+    for (int i = 0; i < 1000; ++i) {
+      if (reg.should_fire("io.fasta.read")) ++fires;
+    }
+    return fires;
+  };
+
+  const int a = fires_with_seed(12345);
+  const int b = fires_with_seed(12345);
+  EXPECT_EQ(a, b) << "same seed must reproduce the same firing sequence";
+  // p=0.3 over 1000 draws: anything outside [200, 400] means a broken RNG
+  // mapping, not bad luck (~7 sigma).
+  EXPECT_GT(a, 200);
+  EXPECT_LT(a, 400);
+}
+
+TEST(Failpoint, ArmSpecsParsesLists) {
+  const DisarmGuard guard;
+  auto& reg = FailpointRegistry::global();
+  const Status ok = reg.arm_specs("pipeline.pop:0.5,cache.build:1.0:2");
+  ASSERT_TRUE(ok.is_ok()) << ok.to_string();
+  EXPECT_EQ(reg.armed().size(), 2u);
+
+  const Status bad = reg.arm_specs("pipeline.pop:oops");
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.code(), StatusCode::InvalidArgument);
+}
+
+TEST(Failpoint, StateReportsEvaluations) {
+  const DisarmGuard guard;
+  auto& reg = FailpointRegistry::global();
+  reg.arm("dispatch.ladder", 0.0);  // armed but never fires
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(reg.should_fire("dispatch.ladder"));
+  }
+  const auto armed = reg.armed();
+  ASSERT_EQ(armed.size(), 1u);
+  EXPECT_EQ(armed[0].name, "dispatch.ladder");
+  EXPECT_EQ(armed[0].evaluated, 5u);
+  EXPECT_EQ(armed[0].fired, 0u);
+}
+
+TEST(Failpoint, MacroCompilesInEveryBuild) {
+  // In failpoint builds the macro consults the registry; in release builds it
+  // is an empty statement. Either way this must compile and not fire here.
+  const DisarmGuard guard;
+  bool fired = false;
+  VALIGN_FAILPOINT("pipeline.pop", fired = true);
+  EXPECT_FALSE(fired);
+  if (failpoints_compiled()) {
+    FailpointRegistry::global().arm("pipeline.pop");
+    VALIGN_FAILPOINT("pipeline.pop", fired = true);
+    EXPECT_TRUE(fired);
+  }
+}
+
+}  // namespace
+}  // namespace valign::robust

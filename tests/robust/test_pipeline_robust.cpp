@@ -1,0 +1,206 @@
+// SearchPipeline fault tolerance: destructor safety, worker exception
+// capture, the --max-errors budget, transient retries, and the stall
+// watchdog. Failpoint-driven tests skip themselves in builds without
+// injection sites (release): arming would be a silent no-op there.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "../support/random_seqs.hpp"
+#include "valign/apps/db_search.hpp"
+#include "valign/robust/failpoint.hpp"
+#include "valign/runtime/pipeline.hpp"
+
+namespace valign::runtime {
+namespace {
+
+using robust::FailpointRegistry;
+using robust::StatusError;
+using testing_support::random_protein;
+
+struct DisarmGuard {
+  ~DisarmGuard() { FailpointRegistry::global().disarm_all(); }
+};
+
+Dataset make_queries(std::size_t n = 2) {
+  std::mt19937_64 rng(7);
+  Dataset qs(Alphabet::protein());
+  for (std::size_t i = 0; i < n; ++i) {
+    qs.add(random_protein("q" + std::to_string(i), 48 + 16 * i, rng));
+  }
+  return qs;
+}
+
+Dataset make_db(std::size_t n, std::uint64_t seed = 11) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> len(30, 90);
+  Dataset db(Alphabet::protein());
+  for (std::size_t i = 0; i < n; ++i) {
+    db.add(random_protein("d" + std::to_string(i), len(rng), rng));
+  }
+  return db;
+}
+
+void push_all(SearchPipeline& p, const Dataset& db) {
+  for (const Sequence& s : db) p.push(s);
+}
+
+// --- destructor safety (regression: never-called finish()) -------------------
+
+TEST(PipelineRobust, DestructorWithoutFinishJoinsIdleWorkers) {
+  const Dataset queries = make_queries();
+  // Workers are blocked on the empty queue; the destructor must close and
+  // join them without finish() ever running (no deadlock, no terminate).
+  SearchPipeline pipeline(queries, PipelineConfig{});
+}
+
+TEST(PipelineRobust, DestructorWithoutFinishDrainsPendingShards) {
+  const Dataset queries = make_queries();
+  const Dataset db = make_db(100);
+  PipelineConfig cfg;
+  cfg.search.threads = 2;
+  cfg.batch_size = 4;
+  {
+    SearchPipeline pipeline(queries, cfg);
+    push_all(pipeline, db);
+    // Simulated producer-side exception: the pipeline goes out of scope with
+    // shards still queued. The destructor discards them and joins.
+  }
+  SUCCEED();
+}
+
+TEST(PipelineRobust, DestructorAfterFinishIsANoop) {
+  const Dataset queries = make_queries();
+  const Dataset db = make_db(8);
+  SearchPipeline pipeline(queries, PipelineConfig{});
+  push_all(pipeline, db);
+  const apps::SearchReport rep = pipeline.finish();
+  EXPECT_EQ(rep.alignments, queries.size() * db.size());
+  // Destructor runs at scope exit on the finished_ fast path.
+}
+
+// --- worker exception capture + error budget ---------------------------------
+
+TEST(PipelineRobust, ShardFailureWithinBudgetIsRecordedNotThrown) {
+  if (!robust::failpoints_compiled()) {
+    GTEST_SKIP() << "build has no failpoint sites (VALIGN_ENABLE_FAILPOINTS=OFF)";
+  }
+  const DisarmGuard guard;
+  const Dataset queries = make_queries();
+  const Dataset db = make_db(40);
+
+  PipelineConfig cfg;
+  cfg.batch_size = 8;  // 5 shards
+  cfg.search.robust.max_errors = 1;
+  FailpointRegistry::global().arm("pipeline.pop", 1.0, 1);  // fail one shard
+
+  SearchPipeline pipeline(queries, cfg);
+  push_all(pipeline, db);
+  const apps::SearchReport rep = pipeline.finish();
+
+  EXPECT_EQ(rep.worker_errors, 1u);
+  ASSERT_EQ(rep.failures.size(), 1u);
+  EXPECT_EQ(rep.failures[0].count, 8u);
+  EXPECT_EQ(rep.failures[0].base % 8, 0u);
+  EXPECT_NE(rep.failures[0].error.find("pipeline.pop"), std::string::npos);
+  EXPECT_EQ(rep.records_dropped, 8u);
+  // The other four shards were aligned normally.
+  EXPECT_EQ(rep.alignments, queries.size() * (db.size() - 8));
+}
+
+TEST(PipelineRobust, ShardFailuresBeyondBudgetThrowSummarizedError) {
+  if (!robust::failpoints_compiled()) {
+    GTEST_SKIP() << "build has no failpoint sites (VALIGN_ENABLE_FAILPOINTS=OFF)";
+  }
+  const DisarmGuard guard;
+  const Dataset queries = make_queries();
+  const Dataset db = make_db(16);
+
+  PipelineConfig cfg;
+  cfg.batch_size = 4;
+  cfg.search.robust.max_errors = 0;  // strict
+  FailpointRegistry::global().arm("pipeline.pop");  // every shard fails
+
+  SearchPipeline pipeline(queries, cfg);
+  push_all(pipeline, db);
+  try {
+    (void)pipeline.finish();
+    FAIL() << "finish() should rethrow when the error budget is exceeded";
+  } catch (const StatusError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("4 of 4 shard(s) failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("--max-errors 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("pipeline.pop"), std::string::npos) << what;
+  }
+  // finish() joined everything before throwing; destruction is clean.
+}
+
+TEST(PipelineRobust, TransientFailureIsRetriedAndSucceeds) {
+  if (!robust::failpoints_compiled()) {
+    GTEST_SKIP() << "build has no failpoint sites (VALIGN_ENABLE_FAILPOINTS=OFF)";
+  }
+  const DisarmGuard guard;
+  const Dataset queries = make_queries();
+  const Dataset db = make_db(12);
+
+  // cache.build throws resource_exhausted — transient by taxonomy — exactly
+  // once; the retry rebuilds the engine and the shard completes.
+  FailpointRegistry::global().arm("cache.build", 1.0, 1);
+
+  PipelineConfig cfg;
+  cfg.search.robust.max_errors = 0;  // a permanent failure would throw
+  SearchPipeline pipeline(queries, cfg);
+  push_all(pipeline, db);
+  const apps::SearchReport rep = pipeline.finish();
+
+  EXPECT_GE(rep.shard_retries, 1u);
+  EXPECT_EQ(rep.worker_errors, 0u);
+  EXPECT_EQ(rep.alignments, queries.size() * db.size());
+}
+
+// --- stall watchdog ----------------------------------------------------------
+
+TEST(PipelineRobust, WatchdogTripsOnHungWorkerWithDiagnostic) {
+  if (!robust::failpoints_compiled()) {
+    GTEST_SKIP() << "build has no failpoint sites (VALIGN_ENABLE_FAILPOINTS=OFF)";
+  }
+  const DisarmGuard guard;
+  const Dataset queries = make_queries(1);
+  const Dataset db = make_db(40);
+
+  PipelineConfig cfg;
+  cfg.search.threads = 1;
+  cfg.batch_size = 4;  // several shards stay queued behind the hung one
+  cfg.search.robust.stall_timeout_ms = 100;
+  FailpointRegistry::global().arm("pipeline.worker_hang", 1.0, 1);
+
+  SearchPipeline pipeline(queries, cfg);
+  try {
+    push_all(pipeline, db);
+    (void)pipeline.finish();
+    FAIL() << "a hung worker with pending shards must trip the watchdog";
+  } catch (const StatusError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pipeline stalled"), std::string::npos) << what;
+    EXPECT_NE(what.find("queue_depth"), std::string::npos) << what;
+    EXPECT_NE(what.find("no progress for 100 ms"), std::string::npos) << what;
+  }
+  // Destructor tears the stalled pipeline down without hanging the test.
+}
+
+TEST(PipelineRobust, WatchdogStaysQuietOnHealthyRun) {
+  const Dataset queries = make_queries();
+  const Dataset db = make_db(30);
+  PipelineConfig cfg;
+  cfg.search.threads = 2;
+  cfg.search.robust.stall_timeout_ms = 10'000;
+  SearchPipeline pipeline(queries, cfg);
+  push_all(pipeline, db);
+  const apps::SearchReport rep = pipeline.finish();
+  EXPECT_EQ(rep.alignments, queries.size() * db.size());
+  EXPECT_EQ(rep.worker_errors, 0u);
+}
+
+}  // namespace
+}  // namespace valign::runtime

@@ -1,0 +1,140 @@
+// Lenient FASTA parsing, quarantine accounting, and the strict-mode error
+// messages (line numbers + record names).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "valign/io/fasta.hpp"
+#include "valign/robust/quarantine.hpp"
+#include "valign/robust/status.hpp"
+
+namespace valign {
+namespace {
+
+using robust::QuarantinedRecord;
+using robust::QuarantineStats;
+using robust::StatusCode;
+using robust::StatusError;
+
+/// what() of the StatusError thrown by strict parsing of `fasta`.
+std::string strict_error(const std::string& fasta) {
+  std::istringstream in(fasta);
+  try {
+    (void)read_fasta(in, Alphabet::protein());
+  } catch (const StatusError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(FastaQuarantine, StrictErrorsNameLineAndRecord) {
+  // Empty record: the diagnostic must carry the header's line number and the
+  // record's name, so a bad line in a multi-GB file is findable.
+  const std::string empty_rec = strict_error(">a\nMKT\n>broken\n>c\nMKV\n");
+  EXPECT_NE(empty_rec.find("io_malformed"), std::string::npos) << empty_rec;
+  EXPECT_NE(empty_rec.find("line 3"), std::string::npos) << empty_rec;
+  EXPECT_NE(empty_rec.find("'broken'"), std::string::npos) << empty_rec;
+
+  const std::string before_header = strict_error("MKT\n");
+  EXPECT_NE(before_header.find("line 1"), std::string::npos) << before_header;
+
+  const std::string bad_residue = strict_error(">ok\nMKT\n>weird\nM1T\n");
+  EXPECT_NE(bad_residue.find("'weird'"), std::string::npos) << bad_residue;
+  EXPECT_NE(bad_residue.find("line 3"), std::string::npos) << bad_residue;
+}
+
+TEST(FastaQuarantine, StrictOversizedRecordIsResourceExhausted) {
+  std::istringstream in(">big\nMKTAYIAKQR\n");
+  FastaReader reader(in, Alphabet::protein(),
+                     FastaReaderConfig{false, 4});
+  try {
+    (void)reader.next();
+    FAIL() << "oversized record should throw in strict mode";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.code(), StatusCode::ResourceExhausted);
+    EXPECT_NE(std::string(e.what()).find("max_sequence_length"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'big'"), std::string::npos);
+  }
+}
+
+TEST(FastaQuarantine, LenientSkipsBadRecordsAndKeepsGoodOnes) {
+  // bad1: empty record; bad2: invalid residue; bad3: oversized. The three
+  // good records must come through with their residues intact.
+  std::istringstream in(
+      ">good1\nMKT\n"
+      ">bad1\n"
+      ">good2\nMKV\n"
+      ">bad2\nM1T\n"
+      ">bad3\nMKTAYIAKQRMKTAYIAKQR\n"
+      ">good3\nMK\n");
+  QuarantineStats q;
+  const Dataset ds =
+      read_fasta(in, Alphabet::protein(), FastaReaderConfig{true, 10}, &q);
+
+  ASSERT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds[0].name(), "good1");
+  EXPECT_EQ(ds[1].name(), "good2");
+  EXPECT_EQ(ds[2].name(), "good3");
+
+  EXPECT_EQ(q.records, 3u);
+  EXPECT_EQ(q.malformed, 2u);
+  EXPECT_EQ(q.oversized, 1u);
+  EXPECT_EQ(q.truncated, 0u);
+  ASSERT_EQ(q.samples.size(), 3u);
+  EXPECT_EQ(q.samples[0].name, "bad1");
+  EXPECT_EQ(q.samples[1].name, "bad2");
+  EXPECT_EQ(q.samples[2].name, "bad3");
+  EXPECT_EQ(q.samples[2].code, StatusCode::ResourceExhausted);
+}
+
+TEST(FastaQuarantine, LenientResyncsAfterDataBeforeFirstHeader) {
+  std::istringstream in("GARBAGE\nMORE\n>ok\nMKT\n");
+  QuarantineStats q;
+  const Dataset ds =
+      read_fasta(in, Alphabet::protein(), FastaReaderConfig{true}, &q);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].name(), "ok");
+  // One quarantine event per resync, not one per garbage line.
+  EXPECT_EQ(q.records, 1u);
+}
+
+TEST(FastaQuarantine, SampleCapDoesNotLoseCounts) {
+  std::ostringstream fasta;
+  for (int i = 0; i < 40; ++i) fasta << ">bad" << i << "\n";  // all empty
+  fasta << ">good\nMKT\n";
+  std::istringstream in(fasta.str());
+  QuarantineStats q;
+  const Dataset ds =
+      read_fasta(in, Alphabet::protein(), FastaReaderConfig{true}, &q);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(q.records, 40u);
+  EXPECT_EQ(q.samples.size(), QuarantineStats::kMaxSamples);
+}
+
+TEST(FastaQuarantine, StatsMergeAcrossReaders) {
+  QuarantineStats a;
+  a.add(QuarantinedRecord{"x", 1, StatusCode::IoMalformed, "r"});
+  QuarantineStats b;
+  b.add(QuarantinedRecord{"y", 2, StatusCode::ResourceExhausted, "r"});
+  b.add(QuarantinedRecord{"z", 3, StatusCode::IoTruncated, "r"});
+  a += b;
+  EXPECT_EQ(a.records, 3u);
+  EXPECT_EQ(a.malformed, 1u);
+  EXPECT_EQ(a.oversized, 1u);
+  EXPECT_EQ(a.truncated, 1u);
+  EXPECT_EQ(a.samples.size(), 3u);
+}
+
+TEST(FastaQuarantine, StrictModeMatchesLegacyBehaviourOnCleanInput) {
+  std::istringstream in(">a desc ignored\nMK\nTA\n>b\nVW\n");
+  const Dataset ds = read_fasta(in, Alphabet::protein());
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0].name(), "a");
+  EXPECT_EQ(ds[0].size(), 4u);
+  EXPECT_EQ(ds[1].name(), "b");
+}
+
+}  // namespace
+}  // namespace valign

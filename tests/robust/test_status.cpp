@@ -1,0 +1,74 @@
+// Status / StatusOr / StatusError taxonomy (robust/status.hpp).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "valign/robust/status.hpp"
+
+namespace valign::robust {
+namespace {
+
+TEST(RobustStatus, CodesHaveStableSpellings) {
+  EXPECT_STREQ(to_string(StatusCode::Ok), "ok");
+  EXPECT_STREQ(to_string(StatusCode::InvalidArgument), "invalid_argument");
+  EXPECT_STREQ(to_string(StatusCode::IoMalformed), "io_malformed");
+  EXPECT_STREQ(to_string(StatusCode::IoTruncated), "io_truncated");
+  EXPECT_STREQ(to_string(StatusCode::EngineSaturated), "engine_saturated");
+  EXPECT_STREQ(to_string(StatusCode::ResourceExhausted), "resource_exhausted");
+  EXPECT_STREQ(to_string(StatusCode::Internal), "internal");
+}
+
+TEST(RobustStatus, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), StatusCode::Ok);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(RobustStatus, FactoriesCarryCodeAndMessage) {
+  const Status s = io_malformed("bad record");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::IoMalformed);
+  EXPECT_EQ(s.message(), "bad record");
+  EXPECT_EQ(s.to_string(), "io_malformed: bad record");
+}
+
+TEST(RobustStatus, StatusErrorIsAValignError) {
+  try {
+    throw_status(resource_exhausted("no memory"));
+    FAIL() << "throw_status returned";
+  } catch (const Error& e) {  // the pre-taxonomy catch type still works
+    EXPECT_EQ(std::string(e.what()), "resource_exhausted: no memory");
+  }
+  try {
+    throw_status(invalid_argument("bad flag"));
+    FAIL() << "throw_status returned";
+  } catch (const StatusError& e) {  // and new code can switch on the category
+    EXPECT_EQ(e.code(), StatusCode::InvalidArgument);
+    EXPECT_EQ(e.status().message(), "bad flag");
+  }
+}
+
+TEST(RobustStatus, StatusOrHoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().is_ok());
+}
+
+TEST(RobustStatus, StatusOrHoldsError) {
+  const StatusOr<int> v = io_truncated("eof");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::IoTruncated);
+  EXPECT_THROW((void)v.value(), StatusError);
+}
+
+TEST(RobustStatus, StatusOrRejectsOkStatusWithoutValue) {
+  const StatusOr<int> v = Status::ok();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::Internal);
+}
+
+}  // namespace
+}  // namespace valign::robust
