@@ -288,6 +288,49 @@ int main(int argc, char** argv) {
                                 std::to_string(crossover)).c_str());
   if (wide_isa) ok &= short_speedup >= 2.0;
 
+  // --- Verdict 4: two-stage prescreen on a mixed-length search -------------
+  // End-to-end (not per-kernel): the same Local top-k search with the
+  // prescreen off vs auto. The i8 screen sweeps every pair; the escalation
+  // cutoff then skips full DP for pairs whose upper bound cannot reach the
+  // top-k, so the win scales with (1 - selectivity). Hits must be
+  // bit-identical — the filter is exact (docs/prefilter.md).
+  apps::SearchConfig pf_off;
+  pf_off.align.klass = AlignClass::Local;
+  pf_off.threads = 1;
+  pf_off.top_k = 5;
+  pf_off.prefilter = PrefilterMode::Off;
+  apps::SearchConfig pf_auto = pf_off;
+  pf_auto.prefilter = PrefilterMode::Auto;
+
+  (void)apps::search(queries, db, pf_auto);  // warm-up
+  apps::SearchReport off_rep, pf_rep;
+  const double pf_off_sec = harness.scenario("prefilter.mixed_search.off", reps, [&] {
+    off_rep = apps::search(queries, db, pf_off);
+    return off_rep.cells_real;
+  });
+  const double pf_auto_sec = harness.scenario("prefilter.mixed_search.auto", reps, [&] {
+    pf_rep = apps::search(queries, db, pf_auto);
+    return pf_rep.cells_real;
+  });
+  const double pf_speedup = pf_auto_sec > 0.0 ? pf_off_sec / pf_auto_sec : 0.0;
+  const bool pf_hits_match = hit_checksum(off_rep) == hit_checksum(pf_rep);
+  std::printf("\nprefilter (SW top-%d, mixed-length db, 1 thread):\n", pf_off.top_k);
+  std::printf("  off:  %8.3f s\n  auto: %8.3f s  (end-to-end speedup %.2fx)\n",
+              pf_off_sec, pf_auto_sec, pf_speedup);
+  std::printf("  screened %llu, escaped %llu, escalated %llu "
+              "(selectivity %.1f%%, %llu saturated)%s\n",
+              static_cast<unsigned long long>(pf_rep.prefilter.screened),
+              static_cast<unsigned long long>(pf_rep.prefilter.escaped),
+              static_cast<unsigned long long>(pf_rep.prefilter.escalated),
+              100.0 * pf_rep.prefilter.selectivity(),
+              static_cast<unsigned long long>(pf_rep.prefilter.saturated),
+              pf_hits_match ? "" : "  HITS DIFFER");
+  ok &= pf_hits_match;
+  reg.gauge("bench.prefilter.selectivity_pct")
+      .set(static_cast<std::int64_t>(100.0 * pf_rep.prefilter.selectivity()));
+  reg.gauge("bench.prefilter.speedup_pct")
+      .set(static_cast<std::int64_t>(100.0 * pf_speedup));
+
   ok &= model_speedup >= 1.5;
   if (host_can_parallelize) ok &= measured >= 1.5;
   std::printf("verdict: %s\n", ok ? "PASS" : "FAIL");
@@ -321,6 +364,18 @@ int main(int argc, char** argv) {
   rr.cache_builds = pair_rep.cache.builds;
   rr.cache_evictions = pair_rep.cache.evictions;
   rr.cache_profile_sets = pair_rep.cache.profile_sets;
+  // Prescreen section from the Verdict-4 pass (the pair-sched pass ran with
+  // the prescreen off).
+  rr.prefilter_mode = to_string(pf_auto.prefilter);
+  rr.prefilter_enabled = pf_rep.prefilter.enabled;
+  rr.prefilter_screened = pf_rep.prefilter.screened;
+  rr.prefilter_escaped = pf_rep.prefilter.escaped;
+  rr.prefilter_escalated = pf_rep.prefilter.escalated;
+  rr.prefilter_saturated = pf_rep.prefilter.saturated;
+  rr.prefilter_screen_failures = pf_rep.prefilter.screen_failures;
+  rr.prefilter_chunks = pf_rep.prefilter.chunks;
+  rr.prefilter_screen_cells = pf_rep.prefilter.screen_cells;
+  rr.prefilter_selectivity = pf_rep.prefilter.selectivity();
   rr.capture_environment();
   rr.write_file(report_path);
   std::printf("report: %s\n", report_path);

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <numeric>
 #include <optional>
 #include <sstream>
 #include <thread>
 
+#include "valign/core/prefilter.hpp"
 #include "valign/io/fasta.hpp"
 #include "valign/obs/report.hpp"
 #include "valign/obs/trace.hpp"
@@ -46,11 +48,360 @@ int engine_lane_count(const SearchConfig& cfg) {
   return probe.lanes(cfg.align.klass == AlignClass::Local ? 8 : 16);
 }
 
-SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfig& cfg) {
+bool prefilter_active(const SearchConfig& cfg, std::size_t db_size) {
+  switch (cfg.prefilter) {
+    case PrefilterMode::Off: return false;
+    case PrefilterMode::Force: return true;
+    case PrefilterMode::Auto: break;
+  }
+  // The screen's local-score bound is weak for Global alignment (NW true
+  // scores sit far below the SW bound, so nearly everything escalates and
+  // the screen pass is pure overhead). Small databases amortize nothing.
+  if (cfg.align.klass == AlignClass::Global) return false;
+  const auto k = static_cast<std::size_t>(std::max(cfg.top_k, 0));
+  return db_size >= std::max<std::size_t>(64, 8 * k);
+}
+
+namespace {
+
+/// Pairs per stage-one screen batch: a multiple of every lane count, large
+/// enough to amortize query-profile setup, small enough that the degraded
+/// unit after a screen failure stays cheap.
+constexpr std::size_t kScreenBlock = 512;
+
+/// One stage-one unit: `query` against subjects `begin..end` of the
+/// length-sorted order.
+struct ScreenBlock {
+  std::size_t query;
+  std::size_t begin;
+  std::size_t end;  ///< Half-open.
+};
+
+/// Two-stage driver (docs/prefilter.md): screen every pair with the i8
+/// score-only prescreen, then escalate candidates best-upper-bound-first
+/// through the intra/inter ladder until the remaining upper bounds cannot
+/// displace the running k-th best true score. Work is bucketed *after*
+/// screening, so `runtime.sched.bucket_fill` sees only survivor chunks.
+/// Stage one parallelizes over (query, block); stage two over queries.
+SearchReport search_prefiltered(const Dataset& queries, const Dataset& db,
+                                const SearchConfig& cfg,
+                                std::chrono::steady_clock::time_point t0) {
   SearchReport report;
   report.top_hits.resize(queries.size());
+  report.prefilter.enabled = true;
 
+  const PrefilterModel model = cfg.prefilter_model
+                                   ? *cfg.prefilter_model
+                                   : PrefilterModel::conservative();
+  const std::int64_t margin = model.margin_for(cfg.align.klass);
+  const int lane_count = engine_lane_count(cfg);
+  int alpha = 0;
+  if (cfg.engine != EngineMode::Intra) {
+    alpha = BatchAligner(cfg.align).matrix().size();
+  }
+
+  // Length-descending subject order: screen lanes stay in step, and
+  // escalation chunk cost estimates stay meaningful.
+  std::vector<std::size_t> order(db.size());
+  std::vector<ScreenBlock> blocks;
+  {
+    const obs::StageSpan span(obs::Stage::Schedule);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&db](std::size_t a, std::size_t b) {
+                       return db[a].size() > db[b].size();
+                     });
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      for (std::size_t begin = 0; begin < order.size(); begin += kScreenBlock) {
+        blocks.push_back(
+            ScreenBlock{q, begin, std::min(begin + kScreenBlock, order.size())});
+      }
+    }
+  }
+
+  // verdicts[q * db.size() + k] is the verdict for (query q, subject
+  // order[k]) — order-space, so each screen block writes one contiguous run.
+  std::vector<PrefilterVerdict> verdicts(queries.size() * db.size());
+  PrefilterStats screen_stats{};
+
+  obs::StageSpan align_span(obs::Stage::Align);
+
+#if defined(VALIGN_HAVE_OPENMP)
+  const int nthreads = cfg.threads > 0 ? cfg.threads : 1;
+#endif
+
+  // ---- Stage one: screen every pair. ----
+#if defined(VALIGN_HAVE_OPENMP)
+#pragma omp parallel num_threads(nthreads)
+#endif
+  {
+    Prefilter pf(cfg.align);
+    std::size_t pf_query = queries.size();  // sentinel: no query loaded
+    std::vector<std::span<const std::uint8_t>> screen_dbs;
+    std::uint64_t local_failures = 0;
+
+#if defined(VALIGN_HAVE_OPENMP)
+#pragma omp for schedule(dynamic, 1) nowait
+#endif
+    for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+      const ScreenBlock& b = blocks[bi];
+      if (b.query != pf_query) {
+        pf.set_query(queries[b.query]);
+        pf_query = b.query;
+      }
+      screen_dbs.clear();
+      for (std::size_t k = b.begin; k < b.end; ++k) {
+        screen_dbs.push_back(db[order[k]].codes());
+      }
+      const std::span<PrefilterVerdict> out(
+          verdicts.data() + b.query * db.size() + b.begin, b.end - b.begin);
+      try {
+        pf.screen(screen_dbs, out);
+      } catch (const std::exception&) {
+        // Degrade, never drop: the whole block goes through full DP, which
+        // is exactly the unfiltered behaviour for these pairs.
+        for (PrefilterVerdict& v : out) v = PrefilterVerdict{0, true};
+        ++local_failures;
+      }
+    }
+
+#if defined(VALIGN_HAVE_OPENMP)
+#pragma omp critical
+#endif
+    {
+      screen_stats += pf.stats();
+      report.prefilter.screen_failures += local_failures;
+    }
+  }
+  report.prefilter.saturated = screen_stats.saturated;
+  report.prefilter.screen_cells = screen_stats.cells;
+  // Screened = submitted: blocks a failure degraded to full DP still count.
+  report.prefilter.screened = queries.size() * db.size();
+
+  // ---- Stage two: escalate best-bound-first, per query. ----
+  const std::size_t chunk_cap =
+      std::max<std::size_t>(16, lane_count > 0
+                                    ? 2 * static_cast<std::size_t>(lane_count)
+                                    : 0);
+  const auto top_k = static_cast<std::size_t>(std::max(cfg.top_k, 0));
+  obs::Histogram& block_us = obs::Registry::global().histogram(
+      "runtime.sched.block_us", obs::block_latency_bounds_us());
+
+#if defined(VALIGN_HAVE_OPENMP)
+#pragma omp parallel num_threads(nthreads)
+#endif
+  {
+    Aligner aligner(cfg.align);
+    std::optional<BatchAligner> batcher;
+    if (cfg.engine != EngineMode::Intra) batcher.emplace(cfg.align);
+    AlignStats local_stats{};
+    std::uint64_t local_aligns = 0;
+    std::uint64_t local_cells = 0;
+    std::array<std::uint64_t, 3> local_width{};
+    std::vector<robust::ShardFailure> local_failures;
+    std::uint64_t local_retries = 0;
+    std::uint64_t local_dropped = 0;
+    std::uint64_t local_escalated = 0;
+    std::uint64_t local_chunks = 0;
+    CandidateQueue queue;
+    std::vector<std::size_t> chunk(chunk_cap);
+    std::vector<std::span<const std::uint8_t>> batch_dbs;
+    std::vector<AlignResult> batch_out;
+    std::vector<SearchHit> hits;
+
+    // Chunk-transactional scratch (same contract as the unfiltered driver):
+    // a failed attempt never leaves partial hits, stats, or — crucially —
+    // cutoff updates behind, so a dropped chunk cannot tighten the bar for
+    // pairs that are still alive.
+    AlignStats try_stats{};
+    std::uint64_t try_cells = 0;
+    std::array<std::uint64_t, 3> try_width{};
+    std::vector<SearchHit> try_hits;
+
+#if defined(VALIGN_HAVE_OPENMP)
+#pragma omp for schedule(dynamic, 1) nowait
+#endif
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const std::uint64_t qlen = queries[q].size();
+      queue.reset(db.size());
+      const PrefilterVerdict* v = verdicts.data() + q * db.size();
+      for (std::size_t k = 0; k < db.size(); ++k) queue.push(order[k], v[k]);
+      queue.seal();
+      TopKCutoff cutoff(top_k);
+      hits.clear();
+      bool query_loaded = false;
+      bool batch_loaded = false;
+
+      // Ramp: the first chunk only needs to seed the k-th-best cutoff, and
+      // the queue is bound-sorted, so a small first bite usually pins the
+      // final cutoff at once; lane-width chunks after that keep the packed
+      // engine full for whatever survives.
+      std::size_t cap = std::min(chunk_cap, std::max<std::size_t>(top_k, 16));
+      for (;;) {
+        const std::size_t n = queue.pop_chunk(cap, cutoff.cutoff(), margin, chunk);
+        if (n == 0) break;
+        cap = chunk_cap;
+        ++local_chunks;
+        local_escalated += n;
+        runtime::record_block_fill(n, lane_count);
+        const obs::TraceSpan block_span(block_us);
+
+        std::uint64_t chunk_residues = 0;
+        for (std::size_t i = 0; i < n; ++i) chunk_residues += db[chunk[i]].size();
+        const double mean_dlen =
+            n > 0 ? static_cast<double>(chunk_residues) / static_cast<double>(n)
+                  : 0.0;
+        const EngineMode mode = runtime::resolve_engine(
+            cfg.engine, qlen, n, mean_dlen, lane_count, alpha);
+
+        const auto align_chunk = [&] {
+          try_stats = AlignStats{};
+          try_cells = 0;
+          try_width = {};
+          try_hits.clear();
+          if (mode == EngineMode::Inter) {
+            if (!batch_loaded) {
+              batcher->set_query(queries[q]);
+              batch_loaded = true;
+            }
+            batch_dbs.clear();
+            for (std::size_t i = 0; i < n; ++i) {
+              batch_dbs.push_back(db[chunk[i]].codes());
+            }
+            batch_out.resize(n);
+            batcher->align_batch(batch_dbs, batch_out);
+            for (std::size_t i = 0; i < n; ++i) {
+              const AlignResult& r = batch_out[i];
+              try_stats += r.stats;
+              try_cells += qlen * db[chunk[i]].size();
+              ++try_width[static_cast<std::size_t>(obs::width_index(r.bits))];
+              try_hits.push_back(
+                  SearchHit{chunk[i], r.score, r.query_end, r.db_end});
+            }
+          } else {
+            if (!query_loaded) {
+              aligner.set_query(queries[q]);
+              query_loaded = true;
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+              const AlignResult r = aligner.align(db[chunk[i]]);
+              try_stats += r.stats;
+              try_cells += qlen * db[chunk[i]].size();
+              ++try_width[static_cast<std::size_t>(obs::width_index(r.bits))];
+              try_hits.push_back(
+                  SearchHit{chunk[i], r.score, r.query_end, r.db_end});
+            }
+          }
+        };
+
+        for (int attempt = 0;; ++attempt) {
+          try {
+            align_chunk();
+            local_stats += try_stats;
+            local_aligns += n;
+            local_cells += try_cells;
+            for (std::size_t w = 0; w < try_width.size(); ++w) {
+              local_width[w] += try_width[w];
+            }
+            for (const SearchHit& h : try_hits) {
+              cutoff.offer(h.score);
+              hits.push_back(h);
+            }
+            if (hits.size() > runtime::top_k_prune_threshold(cfg.top_k)) {
+              keep_top_hits(hits, cfg.top_k);
+            }
+            break;
+          } catch (const std::exception& e) {
+            if (robust::is_transient_failure(e) &&
+                attempt < cfg.robust.max_retries) {
+              ++local_retries;
+              std::this_thread::sleep_for(std::chrono::milliseconds(2 << attempt));
+              continue;
+            }
+            local_failures.push_back(robust::ShardFailure{0, n, e.what(), q});
+            local_dropped += n;
+            break;
+          } catch (...) {
+            local_failures.push_back(
+                robust::ShardFailure{0, n, "unknown exception", q});
+            local_dropped += n;
+            break;
+          }
+        }
+      }
+
+      keep_top_hits(hits, cfg.top_k);
+      report.top_hits[q] = hits;  // Each query is owned by exactly one thread.
+    }
+
+#if defined(VALIGN_HAVE_OPENMP)
+#pragma omp critical
+#endif
+    {
+      report.totals += local_stats;
+      report.alignments += local_aligns;
+      report.cells_real += local_cells;
+      report.cache += aligner.cache_stats();
+      if (batcher.has_value()) {
+        report.interseq += batcher->batch_stats();
+        report.interseq_fallbacks += batcher->fallbacks();
+        report.cache += batcher->fallback_cache_stats();
+      }
+      for (std::size_t w = 0; w < local_width.size(); ++w) {
+        report.width_counts[w] += local_width[w];
+      }
+      report.failures.insert(report.failures.end(), local_failures.begin(),
+                             local_failures.end());
+      report.shard_retries += local_retries;
+      report.records_dropped += local_dropped;
+      report.prefilter.escalated += local_escalated;
+      report.prefilter.chunks += local_chunks;
+    }
+  }
+
+  align_span.stop();
+  report.prefilter.escaped =
+      report.prefilter.screened > report.prefilter.escalated
+          ? report.prefilter.screened - report.prefilter.escalated
+          : 0;
+  report.worker_errors = report.failures.size();
+  if (report.worker_errors > 0 || report.shard_retries > 0) {
+    auto& reg = obs::Registry::global();
+    reg.counter("runtime.search.worker_errors").add(report.worker_errors);
+    reg.counter("runtime.search.records_dropped").add(report.records_dropped);
+    reg.counter("runtime.search.shard_retries").add(report.shard_retries);
+  }
+  if (report.worker_errors > cfg.robust.max_errors) {
+    std::ostringstream os;
+    os << report.worker_errors << " escalation chunk(s) failed ("
+       << report.records_dropped << " alignment(s) dropped, --max-errors "
+       << cfg.robust.max_errors << "); first: " << report.failures.front().error;
+    throw robust::StatusError(robust::StatusCode::Internal, os.str());
+  }
+  runtime::publish_cache_stats(report.cache);
+  if (cfg.engine != EngineMode::Intra) {
+    runtime::publish_interseq_stats(report.interseq, report.interseq_fallbacks);
+  }
+  runtime::publish_prefilter_stats(screen_stats, report.prefilter.screened,
+                                   report.prefilter.escalated,
+                                   report.prefilter.screen_failures,
+                                   report.prefilter.chunks);
+
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return report;
+}
+
+}  // namespace
+
+SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfig& cfg) {
   const auto t0 = std::chrono::steady_clock::now();
+  if (prefilter_active(cfg, db.size())) {
+    return search_prefiltered(queries, db, cfg, t0);
+  }
+
+  SearchReport report;
+  report.top_hits.resize(queries.size());
 
   // Lane count of the packed engine: feeds the scheduler's underfill merge
   // and the per-block cost model.

@@ -12,6 +12,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "valign/core/calibrate.hpp"
 #include "valign/core/dispatch.hpp"
 #include "valign/io/sequence.hpp"
 #include "valign/robust/quarantine.hpp"
@@ -57,6 +58,54 @@ struct SearchConfig {
   /// retries, stall watchdog (docs/robustness.md). Defaults are strict, so
   /// behavior is unchanged unless a caller opts in.
   robust::RobustPolicy robust{};
+  /// Two-stage prescreen (docs/prefilter.md): Off = full DP on every pair,
+  /// Force = always screen, Auto = screen when the workload shape profits
+  /// (large database, non-Global class). Hits are bit-identical either way.
+  PrefilterMode prefilter = PrefilterMode::Off;
+  /// Escalation margin model for the prescreen; null = the structural
+  /// zero-margin model (PrefilterModel::conservative()). Not owned; must
+  /// outlive the search call.
+  const PrefilterModel* prefilter_model = nullptr;
+};
+
+/// Whether the two-stage prescreen runs for this configuration and database
+/// cardinality. Streaming callers, which cannot know the cardinality up
+/// front, pass SIZE_MAX (a stream is presumed large).
+[[nodiscard]] bool prefilter_active(const SearchConfig& cfg, std::size_t db_size);
+
+/// Two-stage prescreen accounting (docs/prefilter.md); all-zero with the
+/// prescreen off. `screened` counts pairs submitted to the screen, including
+/// blocks a screen failure degraded to full DP; `escalated` counts pairs
+/// that went through full DP; `escaped = screened - escalated` is the DP the
+/// filter saved.
+struct PrefilterReport {
+  bool enabled = false;
+  std::uint64_t screened = 0;
+  std::uint64_t escaped = 0;
+  std::uint64_t escalated = 0;
+  std::uint64_t saturated = 0;        ///< Screens that hit the rail (forced escalation).
+  std::uint64_t screen_failures = 0;  ///< Screen blocks degraded to full DP.
+  std::uint64_t chunks = 0;           ///< Escalation work blocks executed.
+  std::uint64_t screen_cells = 0;     ///< DP cells spent by the screen pass.
+
+  /// Share of screened pairs that needed full DP, in [0, 1].
+  [[nodiscard]] double selectivity() const noexcept {
+    return screened == 0 ? 0.0
+                         : static_cast<double>(escalated) /
+                               static_cast<double>(screened);
+  }
+
+  PrefilterReport& operator+=(const PrefilterReport& o) noexcept {
+    enabled = enabled || o.enabled;
+    screened += o.screened;
+    escaped += o.escaped;
+    escalated += o.escalated;
+    saturated += o.saturated;
+    screen_failures += o.screen_failures;
+    chunks += o.chunks;
+    screen_cells += o.screen_cells;
+    return *this;
+  }
 };
 
 struct SearchReport {
@@ -75,6 +124,8 @@ struct SearchReport {
   InterSeqBatchStats interseq{};
   /// Pairs the packed engine re-ran through the intra ladder (saturation).
   std::uint64_t interseq_fallbacks = 0;
+  /// Two-stage prescreen accounting (all-zero when the prescreen was off).
+  PrefilterReport prefilter{};
   /// Records skipped by lenient parsing (streaming: the db stream; batch
   /// callers fold their parse-time tallies in themselves).
   robust::QuarantineStats quarantine{};

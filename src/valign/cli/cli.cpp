@@ -66,6 +66,9 @@ search/detect options:
   --engine intra|inter|auto  engine family: one pair per engine vs lane-packed
                             batches (search only; default auto — see docs/interseq.md)
   --cache-engines on|off    reuse engines across width/approach switches (default on)
+  --prefilter off|auto|force   two-stage search: i8 score-only prescreen, then
+                            escalate survivors through the full ladder (search
+                            only; default auto — see docs/prefilter.md)
   --stream                  stream the database FASTA through the runtime pipeline
 robustness options (search only; docs/robustness.md):
   --lenient                 quarantine malformed/oversized db records instead of
@@ -299,6 +302,7 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   cfg.threads = static_cast<int>(args.int_value_or("--threads", 1));
   cfg.sched = runtime::parse_pair_sched(args.value_or("--pair-sched", "auto"));
   cfg.engine = runtime::parse_engine_mode(args.value_or("--engine", "auto"));
+  cfg.prefilter = runtime::parse_prefilter_mode(args.value_or("--prefilter", "auto"));
   cfg.robust = resolve_robust_policy(args);
   if (cfg.robust.stall_timeout_ms > 0 && !streamed) {
     usage_error("--stall-timeout-ms requires --stream (the watchdog guards the "
@@ -336,6 +340,12 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   out << "# " << queries.size() << " queries x " << db.size() << " subjects, "
       << rep.alignments << " alignments in " << rep.seconds << " s ("
       << rep.gcups() << " GCUPS real, " << rep.gcups_padded() << " padded)\n";
+  if (rep.prefilter.enabled) {
+    out << "# prefilter: " << rep.prefilter.screened << " pairs screened, "
+        << rep.prefilter.escaped << " escaped full DP, " << rep.prefilter.escalated
+        << " escalated (" << static_cast<int>(100.0 * rep.prefilter.selectivity())
+        << "% selectivity, " << rep.prefilter.saturated << " saturated)\n";
+  }
   if (!rep.quarantine.empty() || rep.worker_errors > 0 || rep.shard_retries > 0) {
     out << "# degraded: " << rep.quarantine.records << " record(s) quarantined, "
         << rep.worker_errors << " shard failure(s), " << rep.records_dropped
@@ -376,6 +386,16 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   rr.worker_errors = rep.worker_errors;
   rr.shard_retries = rep.shard_retries;
   rr.records_dropped = rep.records_dropped;
+  rr.prefilter_mode = to_string(cfg.prefilter);
+  rr.prefilter_enabled = rep.prefilter.enabled;
+  rr.prefilter_screened = rep.prefilter.screened;
+  rr.prefilter_escaped = rep.prefilter.escaped;
+  rr.prefilter_escalated = rep.prefilter.escalated;
+  rr.prefilter_saturated = rep.prefilter.saturated;
+  rr.prefilter_screen_failures = rep.prefilter.screen_failures;
+  rr.prefilter_chunks = rep.prefilter.chunks;
+  rr.prefilter_screen_cells = rep.prefilter.screen_cells;
+  rr.prefilter_selectivity = rep.prefilter.selectivity();
   run_perf.stop();  // close the whole-run counter window before the snapshot
   emit_run_report(rr, args, out);
   return 0;
@@ -547,7 +567,7 @@ int run(std::span<const std::string_view> args, std::ostream& out, std::ostream&
           "--q-seq", "--d-seq", "--top", "--threads", "--out", "--count", "--seed",
           "--preset", "--pair-sched", "--engine", "--cache-engines", "--threshold",
           "--metrics-out", "--threshold-pct", "--fail-inject", "--max-errors",
-          "--max-seq-len", "--stall-timeout-ms"}) {
+          "--max-seq-len", "--stall-timeout-ms", "--prefilter"}) {
       parser.add_option(opt);
     }
     for (const char* sw : {"--dna", "--traceback", "--stream", "--trace",
@@ -564,7 +584,7 @@ int run(std::span<const std::string_view> args, std::ostream& out, std::ostream&
     // beats silently ignoring a policy the user thought was in force.
     if (cmd != "search") {
       for (const char* f : {"--stream", "--engine", "--lenient", "--max-errors",
-                            "--max-seq-len", "--stall-timeout-ms"}) {
+                            "--max-seq-len", "--stall-timeout-ms", "--prefilter"}) {
         if (parser.has(f)) {
           usage_error(std::string(f) + " is only valid with the search command");
         }

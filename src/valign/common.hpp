@@ -95,6 +95,22 @@ inline const char* to_string(EngineMode m) {
   return "?";
 }
 
+/// Two-stage search prescreen policy (see core/prefilter.hpp).
+enum class PrefilterMode : std::uint8_t {
+  Off,    ///< Full DP on every pair (legacy single-stage search).
+  Auto,   ///< Enable the i8 prescreen when the workload shape profits from it.
+  Force,  ///< Always prescreen, regardless of workload shape.
+};
+
+inline const char* to_string(PrefilterMode m) {
+  switch (m) {
+    case PrefilterMode::Off: return "off";
+    case PrefilterMode::Auto: return "auto";
+    case PrefilterMode::Force: return "force";
+  }
+  return "?";
+}
+
 inline const char* to_string(Isa i) {
   switch (i) {
     case Isa::Emul: return "emul";

@@ -4,7 +4,9 @@
 #include <random>
 #include <sstream>
 
+#include "valign/core/prefilter.hpp"
 #include "valign/core/prescribe.hpp"
+#include "valign/core/scalar.hpp"
 #include "valign/core/scan.hpp"
 #include "valign/core/striped.hpp"
 #include "valign/workload/generator.hpp"
@@ -201,6 +203,73 @@ PrescriptionTable calibrate(const CalibrationConfig& cfg) {
   calibrate_class<AlignClass::SemiGlobal>(cfg, db, table);
   calibrate_class<AlignClass::Local>(cfg, db, table);
   return table;
+}
+
+int PrefilterModel::margin_for(AlignClass klass) const noexcept {
+  return margin[static_cast<std::size_t>(class_row(klass))];
+}
+
+std::string PrefilterModel::to_string() const {
+  std::ostringstream os;
+  os << "prefilter margins NW/SG/SW = " << margin[0] << "/" << margin[1] << "/"
+     << margin[2] << ", saturated " << saturated_pct << "%";
+  return os.str();
+}
+
+PrefilterModel calibrate_prefilter(const PrefilterCalibrationConfig& cfg) {
+  const ScoreMatrix& mat = cfg.matrix ? *cfg.matrix : ScoreMatrix::blosum62();
+
+  workload::GeneratorConfig gen;
+  gen.lengths = workload::LengthModel::uniprot_protein();
+  gen.seed = cfg.seed;
+  const Dataset db = workload::generate(cfg.db_count, gen);
+  gen.seed = cfg.seed + 1;
+  const Dataset queries = workload::generate(cfg.query_count, gen);
+
+  Options opts;
+  opts.matrix = &mat;
+  opts.gap = cfg.gap;
+  Prefilter pf(opts);
+
+  ScalarAligner<AlignClass::Global> nw(mat, cfg.gap);
+  ScalarAligner<AlignClass::SemiGlobal> sg(mat, cfg.gap);
+  ScalarAligner<AlignClass::Local> sw(mat, cfg.gap);
+
+  std::vector<std::span<const std::uint8_t>> dbs;
+  dbs.reserve(db.size());
+  for (const Sequence& s : db) dbs.push_back(s.codes());
+  std::vector<PrefilterVerdict> verdicts(db.size());
+
+  PrefilterModel model = PrefilterModel::conservative();
+  std::uint64_t screened = 0;
+  std::uint64_t saturated = 0;
+  for (const Sequence& q : queries) {
+    pf.set_query(q.codes());
+    nw.set_query(q.codes());
+    sg.set_query(q.codes());
+    sw.set_query(q.codes());
+    pf.screen(dbs, verdicts);
+    for (std::size_t i = 0; i < db.size(); ++i) {
+      ++screened;
+      if (verdicts[i].escalate) {
+        // Saturation rail: the bound is unusable and the pair escalates
+        // unconditionally, so it contributes no margin evidence.
+        ++saturated;
+        continue;
+      }
+      const std::int32_t bound = verdicts[i].score;
+      const std::array<std::int32_t, 3> truth = {
+          nw.align(dbs[i]).score, sg.align(dbs[i]).score, sw.align(dbs[i]).score};
+      for (std::size_t row = 0; row < 3; ++row) {
+        const int gap_to_true = static_cast<int>(truth[row] - bound);
+        if (gap_to_true > model.margin[row]) model.margin[row] = gap_to_true;
+      }
+    }
+  }
+  model.saturated_pct =
+      screened == 0 ? 0
+                    : static_cast<int>((saturated * 100 + screened / 2) / screened);
+  return model;
 }
 
 }  // namespace valign

@@ -58,4 +58,47 @@ struct CalibrationConfig {
 /// back to the paper's values for that column).
 [[nodiscard]] PrescriptionTable calibrate(const CalibrationConfig& cfg = {});
 
+/// Escalation-threshold model for the two-stage prescreen
+/// (core/prefilter.hpp). The screen score is a *structural* upper bound on
+/// the true score, so a zero margin is already sound; calibration exists to
+/// verify that claim empirically on this host's engines (a measured margin
+/// above zero would flag a kernel bug, not tune around it) and to record the
+/// observed saturation share for capacity planning.
+struct PrefilterModel {
+  /// Slack added to a screen score before comparing it against the running
+  /// k-th best true score, per alignment class row (NW/SG/SW). Never
+  /// negative: a negative margin could drop true hits.
+  std::array<int, 3> margin{};
+  /// Share of screened pairs whose i8 screen saturated (forced escalation),
+  /// in percent, as observed on the calibration corpus.
+  int saturated_pct = 0;
+
+  [[nodiscard]] int margin_for(AlignClass klass) const noexcept;
+
+  /// The structural model: zero margin everywhere. Safe on any host because
+  /// screen >= true holds by construction whenever the screen did not
+  /// saturate — and saturated pairs always escalate.
+  [[nodiscard]] static PrefilterModel conservative() noexcept { return {}; }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Prefilter calibration corpus knobs. The defaults run well under a second.
+struct PrefilterCalibrationConfig {
+  std::size_t db_count = 48;
+  std::size_t query_count = 3;
+  std::uint64_t seed = 23;
+  const ScoreMatrix* matrix = nullptr;  ///< default BLOSUM62
+  GapPenalty gap{11, 1};
+};
+
+/// Measures screen-vs-true score gaps on a generated corpus where true
+/// scores come from the scalar ground-truth engines. The returned margins
+/// are max(0, max(true - screen)) per class over non-saturated pairs —
+/// expected to be exactly zero (see PrefilterModel); saturated pairs are
+/// excluded from the margin (they escalate unconditionally) but counted in
+/// `saturated_pct`.
+[[nodiscard]] PrefilterModel calibrate_prefilter(
+    const PrefilterCalibrationConfig& cfg = {});
+
 }  // namespace valign

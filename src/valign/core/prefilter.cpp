@@ -1,0 +1,147 @@
+#include "valign/core/prefilter.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "valign/robust/failpoint.hpp"
+#include "valign/robust/status.hpp"
+#include "valign/simd/arch.hpp"
+
+namespace valign {
+
+namespace {
+
+// Saturated pairs outrank every representable true score in the candidate
+// queue, so they are escalated first and can never be cut off.
+constexpr std::int64_t kSaturatedKey =
+    std::int64_t{std::numeric_limits<std::int32_t>::max()} + 1;
+
+}  // namespace
+
+GapPenalty cap_gap_for_screen(GapPenalty gap, int bits) noexcept {
+  const int rail = (bits >= 32) ? std::numeric_limits<int>::max()
+                                : (1 << (bits - 1)) - 1;
+  return {std::min(gap.open, rail), std::min(gap.extend, rail)};
+}
+
+Prefilter::Prefilter(const Options& opts) {
+  matrix_ = opts.matrix ? opts.matrix : &ScoreMatrix::blosum62();
+  const GapPenalty gap = (opts.gap.open < 0 || opts.gap.extend < 0)
+                             ? matrix_->default_gaps()
+                             : opts.gap;
+  isa_ = (opts.isa == Isa::Auto) ? simd::best_isa() : opts.isa;
+  if (!simd::isa_available(isa_)) {
+    throw Error(std::string("Prefilter: ISA not available on this CPU: ") +
+                to_string(isa_));
+  }
+  // Narrowest element width the resolved backend packs; the emulated batch
+  // backend starts at 16-bit. The upper-bound argument is width-independent.
+  const int bits = (isa_ == Isa::Emul) ? 16 : 8;
+  screen_gap_ = cap_gap_for_screen(gap, bits);
+
+  detail::EngineSpec spec;
+  spec.klass = AlignClass::Local;  // Cross-class upper bound.
+  spec.approach = Approach::InterSeq;
+  spec.isa = isa_;
+  spec.bits = bits;
+  spec.emul_lanes = opts.emul_lanes;
+  spec.matrix = matrix_;
+  spec.gap = screen_gap_;
+  engine_ = detail::make_batch_engine(spec);
+}
+
+Prefilter::~Prefilter() = default;
+Prefilter::Prefilter(Prefilter&&) noexcept = default;
+Prefilter& Prefilter::operator=(Prefilter&&) noexcept = default;
+
+int Prefilter::lanes() const noexcept { return engine_->lanes(); }
+int Prefilter::bits() const noexcept { return engine_->bits(); }
+
+void Prefilter::set_query(std::span<const std::uint8_t> query) {
+  engine_->set_query(query);
+}
+
+void Prefilter::screen(std::span<const std::span<const std::uint8_t>> dbs,
+                       std::span<PrefilterVerdict> out) {
+  if (out.size() != dbs.size()) {
+    throw Error("Prefilter::screen: output size mismatch");
+  }
+  // Chaos site: a failed screen must degrade the caller to unfiltered search
+  // for this block (docs/robustness.md; tests/robust/test_chaos.cpp).
+  VALIGN_FAILPOINT("prefilter.screen",
+                   throw robust::StatusError(
+                       robust::StatusCode::Internal,
+                       "prefilter.screen failpoint: injected screen failure"));
+  scratch_.resize(dbs.size());
+  engine_->align_batch(dbs, scratch_, nullptr);
+  ++stats_.batches;
+  stats_.pairs += dbs.size();
+  for (std::size_t i = 0; i < dbs.size(); ++i) {
+    out[i].score = scratch_[i].score;
+    out[i].escalate = scratch_[i].overflowed;
+    stats_.saturated += scratch_[i].overflowed ? 1 : 0;
+    stats_.cells += scratch_[i].stats.cells;
+  }
+}
+
+void TopKCutoff::offer(std::int32_t true_score) {
+  if (k_ == 0) return;
+  if (heap_.size() < k_) {
+    heap_.push_back(true_score);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    return;
+  }
+  if (true_score <= heap_.front()) return;
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.back() = true_score;
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+std::int64_t TopKCutoff::cutoff() const noexcept {
+  if (k_ == 0) return std::numeric_limits<std::int64_t>::max();
+  if (heap_.size() < k_) return std::numeric_limits<std::int64_t>::min();
+  return heap_.front();
+}
+
+void CandidateQueue::reset(std::size_t expected) {
+  entries_.clear();
+  if (expected != 0) entries_.reserve(expected);
+  next_ = 0;
+}
+
+void CandidateQueue::push(std::size_t db_index, const PrefilterVerdict& v) {
+  entries_.push_back({v.escalate ? kSaturatedKey : std::int64_t{v.score},
+                      db_index});
+}
+
+void CandidateQueue::seal() {
+  std::sort(entries_.begin() + static_cast<std::ptrdiff_t>(next_),
+            entries_.end(), [](const Entry& a, const Entry& b) {
+              if (a.key != b.key) return a.key > b.key;
+              return a.db_index < b.db_index;
+            });
+}
+
+std::size_t CandidateQueue::pop_chunk(std::size_t max_n, std::int64_t cutoff,
+                                      std::int64_t margin,
+                                      std::span<std::size_t> out) {
+  std::size_t n = 0;
+  while (n < max_n && next_ < entries_.size()) {
+    const Entry& e = entries_[next_];
+    // The queue is bound-sorted: once the best remaining upper bound cannot
+    // displace the k-th best true score (ties break by database index, so a
+    // bound *equal* to the cutoff must still be escalated), neither can
+    // anything behind it. Saturated keys exceed every true score and are
+    // therefore never cut.
+    if (e.key != kSaturatedKey && e.key + margin < cutoff) {
+      dropped_ += entries_.size() - next_;
+      next_ = entries_.size();
+      break;
+    }
+    out[n++] = e.db_index;
+    ++next_;
+  }
+  return n;
+}
+
+}  // namespace valign

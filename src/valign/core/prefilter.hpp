@@ -1,0 +1,170 @@
+// Two-stage search prescreen (docs/prefilter.md).
+//
+// Stage one sweeps the whole database per query through the narrow-element
+// inter-sequence engine (core/interseq.hpp) running *score-only local*
+// alignment with gap penalties capped into the element range. That score is
+// a structural upper bound on the true score for every alignment class:
+//
+//   - every NW/SG path is also a Smith-Waterman candidate path whose end-gap
+//     costs are non-negative, so SW >= SG >= NW under the same scheme;
+//   - capping gap penalties at the element maximum only lowers path costs,
+//     which is monotone non-decreasing in the score;
+//   - low-side i8 saturation clamps values upward (local DP already clamps
+//     at zero), and high-side saturation is detected by the engine's rail
+//     check and surfaces as `overflowed`, which we translate into a forced
+//     escalation — never a drop.
+//
+// Stage two escalates candidates best-screen-first through the existing
+// intra/inter ladder and stops once the next upper bound (plus a calibrated
+// non-negative margin) can no longer displace the running k-th best true
+// score — so filtered top-k equals unfiltered top-k, score and tie-break
+// order both. tests/differential/test_prefilter.cpp holds that property
+// across classes x schemes x engines x thresholds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "valign/common.hpp"
+#include "valign/core/dispatch.hpp"
+
+namespace valign {
+
+/// Stage-one outcome for one (query, db) pair.
+struct PrefilterVerdict {
+  std::int32_t score = 0;  ///< Screen score: upper bound on the true score.
+  /// The screen saturated its element type; the bound is unusable and the
+  /// pair must go through full DP unconditionally.
+  bool escalate = false;
+};
+
+/// Lifetime accounting for one Prefilter instance (merged across threads by
+/// the drivers, published as `runtime.prefilter.*`).
+struct PrefilterStats {
+  std::uint64_t batches = 0;    ///< screen() calls served.
+  std::uint64_t pairs = 0;      ///< Pairs screened.
+  std::uint64_t saturated = 0;  ///< Pairs whose screen saturated (forced escalation).
+  std::uint64_t cells = 0;      ///< DP cells spent screening.
+
+  PrefilterStats& operator+=(const PrefilterStats& o) noexcept {
+    batches += o.batches;
+    pairs += o.pairs;
+    saturated += o.saturated;
+    cells += o.cells;
+    return *this;
+  }
+};
+
+/// Gap penalties for the screen: the true penalties clamped to the maximum
+/// the screen's element type can represent. Capping can only lower a path's
+/// cost, so the screen stays an upper bound on the true score.
+[[nodiscard]] GapPenalty cap_gap_for_screen(GapPenalty gap, int bits) noexcept;
+
+/// Score-only i8 local prescreen over the lane-packed inter-sequence engine.
+///
+/// Options are interpreted as for BatchAligner except `klass` and `width`,
+/// which the screen fixes itself (always Local — the cross-class upper bound
+/// — at the narrowest element width the resolved ISA packs: 8-bit native,
+/// 16-bit under Emul, whose batch backend starts at 16).
+class Prefilter {
+ public:
+  explicit Prefilter(const Options& opts = {});
+  ~Prefilter();
+  Prefilter(Prefilter&&) noexcept;
+  Prefilter& operator=(Prefilter&&) noexcept;
+
+  [[nodiscard]] const ScoreMatrix& matrix() const noexcept { return *matrix_; }
+  /// The capped penalties actually used by the screen.
+  [[nodiscard]] GapPenalty screen_gap() const noexcept { return screen_gap_; }
+  [[nodiscard]] Isa isa() const noexcept { return isa_; }
+  [[nodiscard]] int lanes() const noexcept;
+  [[nodiscard]] int bits() const noexcept;
+  [[nodiscard]] const PrefilterStats& stats() const noexcept { return stats_; }
+
+  void set_query(std::span<const std::uint8_t> query);
+  void set_query(const Sequence& query) { set_query(query.codes()); }
+
+  /// Screens the current query against every subject, writing one verdict
+  /// per subject in input order (out.size() must equal dbs.size()).
+  /// Saturated lanes come back `escalate = true`. Hosts the
+  /// "prefilter.screen" failpoint; a throw here must degrade the caller to
+  /// unfiltered search for the affected block, never drop its pairs.
+  void screen(std::span<const std::span<const std::uint8_t>> dbs,
+              std::span<PrefilterVerdict> out);
+
+ private:
+  const ScoreMatrix* matrix_;
+  GapPenalty screen_gap_;
+  Isa isa_;
+  std::unique_ptr<detail::BatchEngineBase> engine_;
+  PrefilterStats stats_{};
+  std::vector<AlignResult> scratch_;
+};
+
+/// Running k-th-best-true-score tracker for the escalation loop: a bounded
+/// min-heap of the k best *true* scores seen so far for one query.
+class TopKCutoff {
+ public:
+  explicit TopKCutoff(std::size_t k) : k_(k) {}
+
+  void offer(std::int32_t true_score);
+
+  /// The current k-th best true score: the displacement bar a candidate's
+  /// upper bound must reach. INT64_MIN until k scores have been seen (nothing
+  /// may be dropped yet); INT64_MAX when k == 0 (no hit can ever be kept, so
+  /// every candidate is droppable).
+  [[nodiscard]] std::int64_t cutoff() const noexcept;
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
+  void reset() { heap_.clear(); }
+
+ private:
+  std::size_t k_;
+  std::vector<std::int32_t> heap_;  ///< Min-heap (std::greater ordering).
+};
+
+/// Per-query candidate queue: screened pairs ordered best-upper-bound-first
+/// (saturated pairs first of all), consumed in chunks by the escalation loop
+/// until the cutoff proves the remainder cannot enter the top-k.
+class CandidateQueue {
+ public:
+  /// Drops accumulated entries; keeps capacity and the dropped counter.
+  void reset(std::size_t expected = 0);
+
+  void push(std::size_t db_index, const PrefilterVerdict& v);
+
+  /// Sorts (escalate first, then screen score descending, db index ascending
+  /// for deterministic ties). Must be called once, after the last push.
+  void seal();
+
+  /// Pops up to `max_n` candidate db indices into `out`, stopping early when
+  /// the best remaining candidate satisfies `upper_bound + margin < cutoff`
+  /// — at which point every remaining candidate is provably outside the
+  /// top-k (the queue is bound-sorted) and the queue drops them all.
+  /// Returns the number of indices written.
+  [[nodiscard]] std::size_t pop_chunk(std::size_t max_n, std::int64_t cutoff,
+                                      std::int64_t margin,
+                                      std::span<std::size_t> out);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return entries_.size() - next_;
+  }
+  /// Candidates eliminated without full DP (cumulative across reset()).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  struct Entry {
+    /// Screen score; saturated pairs carry INT32_MAX + 1, above every
+    /// representable true score, so they sort first and can never be dropped.
+    std::int64_t key;
+    std::size_t db_index;
+  };
+  std::vector<Entry> entries_;
+  std::size_t next_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace valign

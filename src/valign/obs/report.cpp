@@ -207,6 +207,8 @@ void RunReport::write_json(std::ostream& out) const {
   json_string(out, sched);
   out << R"(,"engine":)";
   json_string(out, engine);
+  out << R"(,"prefilter":)";
+  json_string(out, prefilter_mode);
   out << R"(,"streamed":)" << (streamed ? "true" : "false");
   out << R"(,"cache_engines":)" << (cache_engines ? "true" : "false");
   out << "}";
@@ -247,6 +249,14 @@ void RunReport::write_json(std::ostream& out) const {
       << quarantined_oversized << R"(,"truncated":)" << quarantined_truncated
       << R"(,"worker_errors":)" << worker_errors << R"(,"shard_retries":)"
       << shard_retries << R"(,"records_dropped":)" << records_dropped << "}";
+
+  out << R"(,"prefilter":{"enabled":)" << (prefilter_enabled ? "true" : "false")
+      << R"(,"screened":)" << prefilter_screened << R"(,"escaped":)"
+      << prefilter_escaped << R"(,"escalated":)" << prefilter_escalated
+      << R"(,"saturated":)" << prefilter_saturated << R"(,"screen_failures":)"
+      << prefilter_screen_failures << R"(,"chunks":)" << prefilter_chunks
+      << R"(,"screen_cells":)" << prefilter_screen_cells << R"(,"selectivity":)"
+      << prefilter_selectivity << "}";
 
   out << R"(,"op_counts":{)";
   {
@@ -342,6 +352,7 @@ void RunReport::write_csv(std::ostream& out) const {
   row("config.threads", threads);
   row("config.sched", sched);
   row("config.engine", engine);
+  row("config.prefilter", prefilter_mode);
   row("config.streamed", streamed ? 1 : 0);
   row("config.cache_engines", cache_engines ? 1 : 0);
   row("workload.queries", queries);
@@ -380,6 +391,15 @@ void RunReport::write_csv(std::ostream& out) const {
   row("quarantine.worker_errors", worker_errors);
   row("quarantine.shard_retries", shard_retries);
   row("quarantine.records_dropped", records_dropped);
+  row("prefilter.enabled", prefilter_enabled ? 1 : 0);
+  row("prefilter.screened", prefilter_screened);
+  row("prefilter.escaped", prefilter_escaped);
+  row("prefilter.escalated", prefilter_escalated);
+  row("prefilter.saturated", prefilter_saturated);
+  row("prefilter.screen_failures", prefilter_screen_failures);
+  row("prefilter.chunks", prefilter_chunks);
+  row("prefilter.screen_cells", prefilter_screen_cells);
+  row("prefilter.selectivity", prefilter_selectivity);
   for (int c = 0; c < instrument::kOpCategoryCount; ++c) {
     row(std::string("op_counts.") +
             instrument::to_string(static_cast<instrument::OpCategory>(c)),

@@ -49,6 +49,7 @@ struct RunReport {
   int threads = 1;
   std::string sched;        ///< Pair-sched policy ("query" | "pair" | "auto").
   std::string engine;       ///< Engine family ("intra" | "inter" | "auto").
+  std::string prefilter_mode = "off";  ///< Prescreen policy ("off"|"auto"|"force").
   bool streamed = false;
   bool cache_engines = true;
 
@@ -88,6 +89,17 @@ struct RunReport {
   std::uint64_t worker_errors = 0;    ///< Shards/blocks whose results were lost.
   std::uint64_t shard_retries = 0;    ///< Transient failures that were retried.
   std::uint64_t records_dropped = 0;  ///< Alignment results lost to failures.
+
+  // --- two-stage prescreen (docs/prefilter.md) -----------------------------
+  bool prefilter_enabled = false;              ///< Prescreen ran for this run.
+  std::uint64_t prefilter_screened = 0;        ///< Pairs submitted to the screen.
+  std::uint64_t prefilter_escaped = 0;         ///< Pairs eliminated without full DP.
+  std::uint64_t prefilter_escalated = 0;       ///< Pairs that went through full DP.
+  std::uint64_t prefilter_saturated = 0;       ///< Screens that hit the i8 rail.
+  std::uint64_t prefilter_screen_failures = 0; ///< Screen blocks degraded to full DP.
+  std::uint64_t prefilter_chunks = 0;          ///< Escalation work blocks executed.
+  std::uint64_t prefilter_screen_cells = 0;    ///< DP cells spent screening.
+  double prefilter_selectivity = 0.0;          ///< escalated / screened, in [0, 1].
 
   /// Op-category census (instrument/). All-zero unless the run used
   /// instrumented engines (CountingVec); included so instrumented benches

@@ -49,6 +49,7 @@ inline constexpr const char* kFailpointCatalog[] = {
     "pipeline.worker_hang", // SearchPipeline worker: cooperative stall
     "interseq.refill",      // BatchEngine: finished lane reports saturation
     "dispatch.ladder",      // Aligner: force one overflow -> widen retry
+    "prefilter.screen",     // Prefilter: screening a block fails (degrade to full DP)
 };
 
 struct FailpointState {

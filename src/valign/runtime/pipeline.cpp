@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <limits>
 #include <optional>
 #include <span>
 #include <sstream>
@@ -183,14 +184,116 @@ void SearchPipeline::worker_main(WorkerState& state) {
   std::vector<std::span<const std::uint8_t>> batch_dbs;
   std::vector<AlignResult> batch_out;
 
+  // Two-stage prescreen (docs/prefilter.md). The stream's cardinality is
+  // unknown up front, so Auto treats it as large. Each worker keeps its own
+  // per-query running k-th-best cutoff across shards: a worker sees a subset
+  // of all pairs, so its cutoff never exceeds the global one and dropping
+  // against it is strictly conservative.
+  const bool prefilter_on = apps::prefilter_active(
+      cfg_.search, std::numeric_limits<std::size_t>::max());
+  const PrefilterModel model = cfg_.search.prefilter_model
+                                   ? *cfg_.search.prefilter_model
+                                   : PrefilterModel::conservative();
+  const std::int64_t margin = model.margin_for(cfg_.search.align.klass);
+  const auto top_k = static_cast<std::size_t>(std::max(cfg_.search.top_k, 0));
+  const std::size_t chunk_cap =
+      std::max<std::size_t>(16, lane_count > 0
+                                    ? 2 * static_cast<std::size_t>(lane_count)
+                                    : 0);
+  std::optional<Prefilter> prefilter;
+  std::vector<TopKCutoff> cutoffs;
+  if (prefilter_on) {
+    prefilter.emplace(cfg_.search.align);
+    cutoffs.assign(queries.size(), TopKCutoff(top_k));
+  }
+  std::vector<PrefilterVerdict> verdicts;
+  CandidateQueue queue;
+  std::vector<std::size_t> chunk(chunk_cap);
+
   // Shard-transactional scratch: one attempt accumulates here and commits
   // into `state` only on success, so a failed or retried attempt never
-  // leaves partial hits or double-counted stats behind.
+  // leaves partial hits or double-counted stats behind. The cutoffs are
+  // shadowed the same way: a failed attempt must not tighten the bar with
+  // scores of pairs whose results were dropped.
   AlignStats try_stats{};
   std::uint64_t try_alignments = 0;
   std::uint64_t try_cells = 0;
   std::array<std::uint64_t, 3> try_width{};
   std::vector<std::vector<apps::SearchHit>> try_hits(queries.size());
+  std::uint64_t try_screened = 0;
+  std::uint64_t try_escalated = 0;
+  std::uint64_t try_screen_failures = 0;
+  std::uint64_t try_chunks = 0;
+  std::vector<TopKCutoff> try_cutoffs;
+
+  // Stage two for one (query, shard): escalate the sealed candidate queue
+  // chunk by chunk until the remaining screen bounds fall below the cutoff.
+  const auto escalate_query = [&](const Shard& shard, std::size_t q,
+                                  TopKCutoff& cutoff) {
+    auto& hits = try_hits[q];
+    const std::uint64_t qlen = queries[q].size();
+    bool query_loaded = false;
+    bool batch_loaded = false;
+    // Ramp: a small first bite seeds (or confirms) the k-th-best cutoff
+    // before committing to lane-width chunks — see the batch driver.
+    std::size_t cap = std::min(
+        chunk_cap, std::max<std::size_t>(static_cast<std::size_t>(
+                                             std::max(cfg_.search.top_k, 0)),
+                                         16));
+    for (;;) {
+      const std::size_t n = queue.pop_chunk(cap, cutoff.cutoff(), margin, chunk);
+      if (n == 0) break;
+      cap = chunk_cap;
+      ++try_chunks;
+      try_escalated += n;
+      record_block_fill(n, lane_count);
+      std::uint64_t chunk_residues = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        chunk_residues += shard.seqs[chunk[i]].size();
+      }
+      const double mean_dlen =
+          static_cast<double>(chunk_residues) / static_cast<double>(n);
+      const EngineMode mode = resolve_engine(cfg_.search.engine, qlen, n,
+                                             mean_dlen, lane_count, alpha);
+      if (mode == EngineMode::Inter) {
+        if (!batch_loaded) {
+          batcher->set_query(queries[q]);
+          batch_loaded = true;
+        }
+        batch_dbs.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+          batch_dbs.push_back(shard.seqs[chunk[i]].codes());
+        }
+        batch_out.resize(n);
+        batcher->align_batch(batch_dbs, batch_out);
+        for (std::size_t i = 0; i < n; ++i) {
+          const AlignResult& r = batch_out[i];
+          try_stats += r.stats;
+          ++try_alignments;
+          try_cells += qlen * shard.seqs[chunk[i]].size();
+          ++try_width[static_cast<std::size_t>(obs::width_index(r.bits))];
+          cutoff.offer(r.score);
+          hits.push_back(apps::SearchHit{shard.base + chunk[i], r.score,
+                                         r.query_end, r.db_end});
+        }
+      } else {
+        if (!query_loaded) {
+          aligner.set_query(queries[q]);
+          query_loaded = true;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const AlignResult r = aligner.align(shard.seqs[chunk[i]]);
+          try_stats += r.stats;
+          ++try_alignments;
+          try_cells += qlen * shard.seqs[chunk[i]].size();
+          ++try_width[static_cast<std::size_t>(obs::width_index(r.bits))];
+          cutoff.offer(r.score);
+          hits.push_back(apps::SearchHit{shard.base + chunk[i], r.score,
+                                         r.query_end, r.db_end});
+        }
+      }
+    }
+  };
 
   const auto process_shard = [&](const Shard& shard) {
     try_stats = AlignStats{};
@@ -198,10 +301,39 @@ void SearchPipeline::worker_main(WorkerState& state) {
     try_cells = 0;
     try_width = {};
     for (auto& h : try_hits) h.clear();
+    try_screened = 0;
+    try_escalated = 0;
+    try_screen_failures = 0;
+    try_chunks = 0;
     VALIGN_FAILPOINT("pipeline.pop",
                      throw robust::StatusError(
                          robust::StatusCode::Internal,
                          "injected shard-processing failure (pipeline.pop)"));
+    if (prefilter_on) {
+      try_cutoffs = cutoffs;
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        verdicts.resize(shard.seqs.size());
+        batch_dbs.clear();
+        for (const Sequence& d : shard.seqs) batch_dbs.push_back(d.codes());
+        prefilter->set_query(queries[q]);
+        try {
+          prefilter->screen(batch_dbs, verdicts);
+        } catch (const std::exception&) {
+          // Degrade, never drop: every pair of this (query, shard) block
+          // goes through full DP, exactly the unfiltered behaviour.
+          for (PrefilterVerdict& v : verdicts) v = PrefilterVerdict{0, true};
+          ++try_screen_failures;
+        }
+        try_screened += shard.seqs.size();
+        queue.reset(shard.seqs.size());
+        for (std::size_t i = 0; i < shard.seqs.size(); ++i) {
+          queue.push(i, verdicts[i]);
+        }
+        queue.seal();
+        escalate_query(shard, q, try_cutoffs[q]);
+      }
+      return;
+    }
     std::uint64_t shard_residues = 0;
     for (const Sequence& d : shard.seqs) shard_residues += d.size();
     for (std::size_t q = 0; q < queries.size(); ++q) {
@@ -256,6 +388,13 @@ void SearchPipeline::worker_main(WorkerState& state) {
       hits.insert(hits.end(), try_hits[q].begin(), try_hits[q].end());
       if (hits.size() > prune_at) apps::keep_top_hits(hits, cfg_.search.top_k);
     }
+    if (prefilter_on) {
+      state.prefilter_screened += try_screened;
+      state.prefilter_escalated += try_escalated;
+      state.prefilter_failures += try_screen_failures;
+      state.prefilter_chunks += try_chunks;
+      cutoffs.swap(try_cutoffs);  // The attempt succeeded; adopt its cutoffs.
+    }
   };
 
   const auto export_state = [&] {
@@ -267,6 +406,7 @@ void SearchPipeline::worker_main(WorkerState& state) {
       state.interseq = batcher->batch_stats();
       state.interseq_fallbacks = batcher->fallbacks();
     }
+    if (prefilter.has_value()) state.prefilter_stats = prefilter->stats();
   };
 
   for (;;) {
@@ -357,6 +497,7 @@ apps::SearchReport SearchPipeline::finish() {
     apps::keep_top_hits(merged, cfg_.search.top_k);
     report.top_hits[q] = merged;
   }
+  PrefilterStats prefilter_stats{};
   for (const WorkerState& s : states_) {
     report.totals += s.stats;
     report.alignments += s.alignments;
@@ -371,6 +512,21 @@ apps::SearchReport SearchPipeline::finish() {
                            s.failures.end());
     report.shard_retries += s.shard_retries;
     report.records_dropped += s.records_dropped;
+    prefilter_stats += s.prefilter_stats;
+    report.prefilter.screened += s.prefilter_screened;
+    report.prefilter.escalated += s.prefilter_escalated;
+    report.prefilter.screen_failures += s.prefilter_failures;
+    report.prefilter.chunks += s.prefilter_chunks;
+  }
+  if (apps::prefilter_active(cfg_.search,
+                             std::numeric_limits<std::size_t>::max())) {
+    report.prefilter.enabled = true;
+    report.prefilter.saturated = prefilter_stats.saturated;
+    report.prefilter.screen_cells = prefilter_stats.cells;
+    report.prefilter.escaped =
+        report.prefilter.screened > report.prefilter.escalated
+            ? report.prefilter.screened - report.prefilter.escalated
+            : 0;
   }
   report.worker_errors = report.failures.size();
   if (report.worker_errors > 0) {
@@ -391,6 +547,12 @@ apps::SearchReport SearchPipeline::finish() {
   publish_cache_stats(report.cache);
   if (cfg_.search.engine != EngineMode::Intra) {
     publish_interseq_stats(report.interseq, report.interseq_fallbacks);
+  }
+  if (report.prefilter.enabled) {
+    publish_prefilter_stats(prefilter_stats, report.prefilter.screened,
+                            report.prefilter.escalated,
+                            report.prefilter.screen_failures,
+                            report.prefilter.chunks);
   }
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();

@@ -90,6 +90,11 @@ class SearchPipeline {
     std::array<std::uint64_t, 3> width_counts{};     ///< Per element width.
     InterSeqBatchStats interseq{};                   ///< Copied at worker exit.
     std::uint64_t interseq_fallbacks = 0;
+    PrefilterStats prefilter_stats{};                ///< Copied at worker exit.
+    std::uint64_t prefilter_screened = 0;    ///< Pairs submitted to the screen.
+    std::uint64_t prefilter_escalated = 0;   ///< Pairs escalated to full DP.
+    std::uint64_t prefilter_failures = 0;    ///< Screens degraded to full DP.
+    std::uint64_t prefilter_chunks = 0;      ///< Escalation chunks executed.
     std::vector<std::vector<apps::SearchHit>> hits;  // per query
     // Degraded-mode accounting (see docs/robustness.md).
     std::vector<robust::ShardFailure> failures;  ///< Permanent shard failures.

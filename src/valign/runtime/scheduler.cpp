@@ -125,6 +125,14 @@ EngineMode parse_engine_mode(const std::string& s) {
       "unknown engine family: " + s + " (expected intra|inter|auto)"));
 }
 
+PrefilterMode parse_prefilter_mode(const std::string& s) {
+  if (s == "off") return PrefilterMode::Off;
+  if (s == "auto") return PrefilterMode::Auto;
+  if (s == "force") return PrefilterMode::Force;
+  robust::throw_status(robust::invalid_argument(
+      "unknown prefilter mode: " + s + " (expected off|auto|force)"));
+}
+
 std::uint64_t Schedule::total_cost() const noexcept {
   return std::accumulate(blocks.begin(), blocks.end(), std::uint64_t{0},
                          [](std::uint64_t acc, const WorkBlock& b) {
@@ -282,6 +290,35 @@ void publish_interseq_stats(const InterSeqBatchStats& stats,
   if (stats.lane_capacity_steps > 0) {
     reg.gauge("runtime.interseq.occupancy_pct")
         .set(static_cast<std::int64_t>(100.0 * stats.occupancy()));
+  }
+}
+
+void record_block_fill(std::size_t pairs, int lane_count) {
+  if (lane_count <= 1 || pairs == 0) return;
+  obs::Histogram& fill = obs::Registry::global().histogram(
+      "runtime.sched.bucket_fill", kBucketFillBounds);
+  const auto lanes = static_cast<std::uint64_t>(lane_count);
+  const std::uint64_t packs = (pairs + lanes - 1) / lanes;
+  fill.record(100 * pairs / (packs * lanes));
+}
+
+void publish_prefilter_stats(const PrefilterStats& stats,
+                             std::uint64_t screened, std::uint64_t escalated,
+                             std::uint64_t screen_failures,
+                             std::uint64_t chunks) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("runtime.prefilter.pairs_screened").add(screened);
+  reg.counter("runtime.prefilter.pairs_escalated").add(escalated);
+  const std::uint64_t escaped = screened > escalated ? screened - escalated : 0;
+  reg.counter("runtime.prefilter.pairs_escaped").add(escaped);
+  reg.counter("runtime.prefilter.saturated").add(stats.saturated);
+  reg.counter("runtime.prefilter.screen_failures").add(screen_failures);
+  reg.counter("runtime.prefilter.chunks").add(chunks);
+  reg.counter("runtime.prefilter.batches").add(stats.batches);
+  reg.counter("runtime.prefilter.cells").add(stats.cells);
+  if (screened > 0) {
+    reg.gauge("runtime.prefilter.selectivity_pct")
+        .set(static_cast<std::int64_t>(100 * escalated / screened));
   }
 }
 

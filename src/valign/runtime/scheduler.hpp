@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "valign/common.hpp"
+#include "valign/core/prefilter.hpp"
 #include "valign/io/sequence.hpp"
 
 namespace valign::runtime {
@@ -37,6 +38,9 @@ enum class PairSched : std::uint8_t {
 
 /// Parses "intra" | "inter" | "auto" (throws valign::Error otherwise).
 [[nodiscard]] EngineMode parse_engine_mode(const std::string& s);
+
+/// Parses "off" | "auto" | "force" (throws valign::Error otherwise).
+[[nodiscard]] PrefilterMode parse_prefilter_mode(const std::string& s);
 
 /// One contiguous run of subjects for one query. `begin`/`end` index the
 /// schedule's subject ordering (see Schedule::db_index), not the database
@@ -116,5 +120,24 @@ struct Schedule {
 /// saturation fallbacks, column/lane steps and the lane-occupancy gauge).
 void publish_interseq_stats(const InterSeqBatchStats& stats,
                             std::uint64_t fallbacks);
+
+/// Records one *post-screen* work block's lane fill into the
+/// `runtime.sched.bucket_fill` histogram. The two-stage drivers bucket only
+/// survivors — screening happens before any blocks exist — so prefilter-
+/// rejected pairs never appear in the occupancy census (they used to, when
+/// a full cross-product schedule was built up front).
+void record_block_fill(std::size_t pairs, int lane_count);
+
+/// Folds a driver's accumulated prescreen accounting into the global
+/// registry (`runtime.prefilter.*`: pairs screened/escaped/escalated,
+/// saturation count, screen failures, escalation chunks, and the
+/// selectivity gauge = escalated pairs as a percentage of screened).
+/// `screened` counts pairs submitted to the screen, including blocks a
+/// screen failure degraded to full DP; `escalated` counts pairs that went
+/// through full DP, so `screened - escalated` is the work the filter saved.
+void publish_prefilter_stats(const PrefilterStats& stats,
+                             std::uint64_t screened, std::uint64_t escalated,
+                             std::uint64_t screen_failures,
+                             std::uint64_t chunks);
 
 }  // namespace valign::runtime

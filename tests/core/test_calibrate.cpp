@@ -2,9 +2,13 @@
 #include <gtest/gtest.h>
 
 #include "../support/random_seqs.hpp"
+#include "valign/apps/db_search.hpp"
 #include "valign/core/calibrate.hpp"
 #include "valign/core/dispatch.hpp"
+#include "valign/core/prefilter.hpp"
 #include "valign/core/prescribe.hpp"
+#include "valign/core/scalar.hpp"
+#include "valign/workload/generator.hpp"
 
 namespace valign {
 namespace {
@@ -94,6 +98,119 @@ TEST(Aligner, UsesInjectedPrescriptionTable) {
   Aligner a2(opts2);
   a2.set_query(q);
   EXPECT_EQ(a2.align(d).approach, Approach::Striped);
+}
+
+// --- prefilter margin model (docs/prefilter.md) ------------------------------
+
+/// The property the whole two-stage design rests on: for every pair the
+/// screen either saturates (forced escalation) or yields an upper bound that
+/// `screen + margin >= true` for every alignment class. A violation here is a
+/// false negative — a hit the filter could silently drop.
+TEST(PrefilterCalibration, ModelNeverFalseNegativeOnKnownScores) {
+  std::mt19937_64 rng(202);
+  std::uniform_int_distribution<std::size_t> len(15, 220);
+  const auto query = testing_support::random_codes(96, rng);
+  std::vector<std::vector<std::uint8_t>> db;
+  for (std::size_t i = 0; i < 60; ++i) {
+    db.push_back(testing_support::random_codes(len(rng), rng));
+  }
+  // A couple of high-identity subjects: large true scores stress the bound
+  // where it is tightest (gap capping only helps gapped paths).
+  db.push_back(query);
+  db.emplace_back(query.begin(), query.begin() + 48);
+
+  const ScoreMatrix& mat = ScoreMatrix::blosum62();
+  const GapPenalty gap{11, 1};
+  Options opts;
+  opts.matrix = &mat;
+  opts.gap = gap;
+  Prefilter pf(opts);
+  pf.set_query(query);
+  std::vector<std::span<const std::uint8_t>> spans(db.begin(), db.end());
+  std::vector<PrefilterVerdict> verdicts(db.size());
+  pf.screen(spans, verdicts);
+
+  const PrefilterModel model = PrefilterModel::conservative();
+  ScalarAligner<AlignClass::Global> nw(mat, gap);
+  ScalarAligner<AlignClass::SemiGlobal> sg(mat, gap);
+  ScalarAligner<AlignClass::Local> sw(mat, gap);
+  nw.set_query(query);
+  sg.set_query(query);
+  sw.set_query(query);
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "subject " << i << " dlen=" << db[i].size());
+    if (verdicts[i].escalate) continue;  // the saturation rail: always full DP
+    const std::int64_t bound = verdicts[i].score;
+    EXPECT_GE(bound + model.margin_for(AlignClass::Global), nw.align(db[i]).score);
+    EXPECT_GE(bound + model.margin_for(AlignClass::SemiGlobal), sg.align(db[i]).score);
+    EXPECT_GE(bound + model.margin_for(AlignClass::Local), sw.align(db[i]).score);
+  }
+}
+
+TEST(PrefilterCalibration, SaturationRailIsExplicit) {
+  // All-tryptophan pairs exceed any i8 (and, long enough, i16) screen: the
+  // verdict must say escalate, and the stats must count the saturation. The
+  // score field of a saturated verdict is meaningless and must not be relied
+  // on — the rail, not the bound, is the contract.
+  const std::uint8_t trp = 17;
+  const std::vector<std::uint8_t> query(4000, trp);
+  const std::vector<std::uint8_t> subject(4000, trp);  // 44000 > 32767 too
+  Prefilter pf;
+  pf.set_query(query);
+  const std::span<const std::uint8_t> span(subject);
+  std::vector<PrefilterVerdict> verdicts(1);
+  pf.screen({&span, 1}, verdicts);
+  EXPECT_TRUE(verdicts[0].escalate);
+  EXPECT_EQ(pf.stats().saturated, 1u);
+  EXPECT_EQ(pf.stats().pairs, 1u);
+}
+
+TEST(PrefilterCalibration, MeasuredMarginsAreZeroAndSane) {
+  // The structural bound predicts exactly zero margin on any corpus; a
+  // nonzero measurement would mean the screen undercounts somewhere, which
+  // the differential battery would trip on as dropped hits.
+  PrefilterCalibrationConfig cfg;
+  cfg.db_count = 12;
+  cfg.query_count = 2;
+  cfg.seed = 5;
+  const PrefilterModel model = calibrate_prefilter(cfg);
+  for (const AlignClass klass :
+       {AlignClass::Global, AlignClass::SemiGlobal, AlignClass::Local}) {
+    EXPECT_EQ(model.margin_for(klass), 0) << to_string(klass);
+  }
+  EXPECT_GE(model.saturated_pct, 0);
+  EXPECT_LE(model.saturated_pct, 100);
+  EXPECT_FALSE(model.to_string().empty());
+}
+
+TEST(PrefilterCalibration, SelectivityPinnedOnSeededCorpus) {
+  // Regression pin for the seeded bench-like corpus, Local class — the
+  // regime the prescreen is selective in (the i8 screen with uncapped
+  // {11,1} gaps computes the exact SW score, so only the top-k band, its
+  // ties and saturated pairs escalate). Bounds are generous: this trips on
+  // the filter breaking, not on noise.
+  const Dataset queries = workload::bacteria_2k(7, 3);
+  const Dataset db = workload::uniprot_like(200, 8);
+  apps::SearchConfig cfg;
+  cfg.align.klass = AlignClass::Local;
+  cfg.top_k = 5;
+  cfg.prefilter = PrefilterMode::Force;
+  const apps::SearchReport rep = apps::search(queries, db, cfg);
+
+  EXPECT_EQ(rep.prefilter.screened, queries.size() * db.size());
+  EXPECT_GE(rep.prefilter.escalated,
+            queries.size() * static_cast<std::size_t>(cfg.top_k));
+  EXPECT_GT(rep.prefilter.escaped, 0u)
+      << "the filter stopped eliminating anything on the seeded corpus";
+  const double sel = rep.prefilter.selectivity();
+  EXPECT_GT(sel, 0.0);
+  EXPECT_LT(sel, 0.50) << "selectivity regressed: most pairs escalate on a "
+                          "corpus where the screen is exact";
+
+  // The SemiGlobal screen is exact too but structurally looser (an SG path
+  // must cross the whole matrix; the SW bound need not), so no selectivity
+  // is pinned there — only the equality contract, which the differential
+  // battery holds.
 }
 
 }  // namespace

@@ -1,0 +1,303 @@
+// Differential battery for the two-stage search prescreen (docs/prefilter.md):
+// seeded workloads searched twice — prefilter off vs force — and the per-query
+// top-k compared entry by entry. The contract is *exact* equality: same
+// scores AND same tie-break order (score desc, db_index asc), across classes,
+// scoring schemes, engine families, thread counts and top-k depths.
+//
+// Adversarial shapes get their own cases: duplicated subjects (score ties
+// straddling the k-th boundary), single-residue mutants (screen scores
+// clustered within a few points of the cutoff), and all-saturating i8 inputs
+// (every screen hits the rail and must escalate, never drop).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "../support/random_seqs.hpp"
+#include "valign/apps/db_search.hpp"
+#include "valign/core/calibrate.hpp"
+#include "valign/core/prefilter.hpp"
+#include "valign/io/fasta.hpp"
+#include "valign/matrices/matrix.hpp"
+
+namespace valign::apps {
+namespace {
+
+using testing_support::random_codes;
+
+constexpr AlignClass kClasses[] = {AlignClass::Global, AlignClass::SemiGlobal,
+                                   AlignClass::Local};
+
+struct Scheme {
+  const char* matrix;
+  GapPenalty gap;
+};
+
+constexpr Scheme kSchemes[] = {
+    {"blosum62", {11, 1}},
+    {"blosum50", {13, 2}},
+};
+
+Sequence protein(std::string name, std::vector<std::uint8_t> codes) {
+  return Sequence(std::move(name), std::move(codes), Alphabet::protein());
+}
+
+/// Queries with distinct length regimes; cores planted into the db below so
+/// the top-k is contested, not a uniform noise floor.
+Dataset make_queries(std::mt19937_64& rng) {
+  Dataset qs(Alphabet::protein());
+  qs.add(protein("q0", random_codes(40, rng)));
+  qs.add(protein("q1", random_codes(90, rng)));
+  qs.add(protein("q2", random_codes(150, rng)));
+  return qs;
+}
+
+/// Mixed-length database: two thirds noise, one third carrying a copied
+/// fragment of some query (strong hits at every length scale).
+Dataset make_db(const Dataset& queries, std::size_t n, std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::size_t> len(20, 240);
+  Dataset db(Alphabet::protein());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::uint8_t> d = random_codes(len(rng), rng);
+    if (i % 3 == 0) {
+      const Sequence& q = queries[i % queries.size()];
+      const std::size_t core = std::min({q.size(), d.size(), std::size_t{48}});
+      std::copy_n(q.codes().begin(), core, d.begin());
+    }
+    db.add(protein("d" + std::to_string(i), std::move(d)));
+  }
+  return db;
+}
+
+/// Exact hit-vector equality under the hit_before order: the filtered run
+/// must reproduce scores and tie-breaks, not just the score multiset.
+/// Returns the number of hit entries compared.
+int expect_same_hits(const SearchReport& off, const SearchReport& on,
+                     const char* label) {
+  EXPECT_EQ(off.top_hits.size(), on.top_hits.size()) << label;
+  int compared = 0;
+  for (std::size_t q = 0; q < off.top_hits.size(); ++q) {
+    EXPECT_EQ(off.top_hits[q].size(), on.top_hits[q].size())
+        << label << ", query " << q;
+    const std::size_t n = std::min(off.top_hits[q].size(), on.top_hits[q].size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(off.top_hits[q][i].db_index, on.top_hits[q][i].db_index)
+          << label << ", query " << q << " hit " << i;
+      EXPECT_EQ(off.top_hits[q][i].score, on.top_hits[q][i].score)
+          << label << ", query " << q << " hit " << i;
+      ++compared;
+    }
+  }
+  return compared;
+}
+
+/// Runs the same search with the prescreen off and forced, checks the
+/// equality contract plus the report's accounting identity, and returns the
+/// comparison count.
+int diff_search(const Dataset& queries, const Dataset& db, SearchConfig cfg,
+                const char* label) {
+  cfg.prefilter = PrefilterMode::Off;
+  const SearchReport off = apps::search(queries, db, cfg);
+  EXPECT_FALSE(off.prefilter.enabled) << label;
+  EXPECT_EQ(off.prefilter.screened, 0u) << label;
+
+  cfg.prefilter = PrefilterMode::Force;
+  const SearchReport on = apps::search(queries, db, cfg);
+  EXPECT_TRUE(on.prefilter.enabled) << label;
+  EXPECT_EQ(on.prefilter.screened, queries.size() * db.size()) << label;
+  EXPECT_EQ(on.prefilter.escaped + on.prefilter.escalated, on.prefilter.screened)
+      << label;
+  // Escalations, not screens, are full alignments; the report must count the
+  // DP actually performed so GCUPS stays honest.
+  EXPECT_EQ(on.alignments, on.prefilter.escalated) << label;
+  return expect_same_hits(off, on, label);
+}
+
+TEST(PrefilterDifferential, FilteredTopKMatchesUnfilteredAcrossConfigs) {
+  std::mt19937_64 rng(6102);
+  const Dataset queries = make_queries(rng);
+  const Dataset db = make_db(queries, 110, rng);
+
+  int compared = 0;
+  int config = 0;
+  for (const AlignClass klass : kClasses) {
+    for (const Scheme& s : kSchemes) {
+      for (const EngineMode engine :
+           {EngineMode::Auto, EngineMode::Intra, EngineMode::Inter}) {
+        for (const int top_k : {1, 3, 8}) {
+          SearchConfig cfg;
+          cfg.align.klass = klass;
+          cfg.align.matrix = &ScoreMatrix::from_name(s.matrix);
+          cfg.align.gap = s.gap;
+          cfg.engine = engine;
+          cfg.top_k = top_k;
+          cfg.threads = 1 + (config++ % 2);  // alternate serial / 2 workers
+          std::ostringstream label;
+          label << to_string(klass) << "/" << s.matrix << " " << s.gap.open
+                << "/" << s.gap.extend << " engine=" << to_string(engine)
+                << " k=" << top_k << " t=" << cfg.threads;
+          SCOPED_TRACE(label.str());
+          compared += diff_search(queries, db, cfg, label.str().c_str());
+        }
+      }
+    }
+  }
+  EXPECT_GE(compared, 500) << "prefilter differential coverage shrank";
+  std::printf("[prefilter-differential] %d filtered-vs-unfiltered hit "
+              "comparisons\n", compared);
+}
+
+TEST(PrefilterDifferential, DuplicateSubjectsKeepTieBreakOrder) {
+  // Five copies of each base subject: whole tie groups share one score, and
+  // top_k = 7 lands the cut *inside* a group, so any tie-break deviation
+  // (db_index order) is visible, not masked by truncation.
+  std::mt19937_64 rng(31);
+  Dataset queries(Alphabet::protein());
+  queries.add(protein("q", random_codes(70, rng)));
+  Dataset db(Alphabet::protein());
+  std::size_t idx = 0;
+  for (std::size_t base = 0; base < 12; ++base) {
+    const std::vector<std::uint8_t> d = random_codes(60, rng);
+    for (int copy = 0; copy < 5; ++copy) {
+      db.add(protein("d" + std::to_string(idx++), d));
+    }
+  }
+  for (const AlignClass klass : kClasses) {
+    SearchConfig cfg;
+    cfg.align.klass = klass;
+    cfg.top_k = 7;
+    cfg.threads = 2;
+    SCOPED_TRACE(to_string(klass));
+    diff_search(queries, db, cfg, to_string(klass));
+  }
+}
+
+TEST(PrefilterDifferential, NearThresholdMutantsStayExact) {
+  // Single-residue mutants of one base subject: true scores (and screen upper
+  // bounds) cluster within a few points, so the k-th-best cutoff sits in a
+  // dense score band — the regime where an off-by-one margin or a non-strict
+  // drop comparison would lose a legitimate hit.
+  std::mt19937_64 rng(47);
+  Dataset queries(Alphabet::protein());
+  const std::vector<std::uint8_t> q = random_codes(80, rng);
+  queries.add(protein("q", q));
+  Dataset db(Alphabet::protein());
+  std::uniform_int_distribution<std::size_t> pos(0, q.size() - 1);
+  std::uniform_int_distribution<int> res(0, 19);
+  for (std::size_t i = 0; i < 64; ++i) {
+    std::vector<std::uint8_t> d = q;
+    d[pos(rng)] = static_cast<std::uint8_t>(res(rng));
+    db.add(protein("m" + std::to_string(i), std::move(d)));
+  }
+  for (const AlignClass klass : kClasses) {
+    for (const int top_k : {1, 8}) {
+      SearchConfig cfg;
+      cfg.align.klass = klass;
+      cfg.top_k = top_k;
+      cfg.threads = 2;
+      std::ostringstream label;
+      label << to_string(klass) << " k=" << top_k;
+      SCOPED_TRACE(label.str());
+      diff_search(queries, db, cfg, label.str().c_str());
+    }
+  }
+}
+
+TEST(PrefilterDifferential, AllSaturatingInputsEscalateEverything) {
+  // Identical tryptophan runs score 11/residue under BLOSUM62: every pair
+  // exceeds the i8 rail (127), so every screen must come back saturated and
+  // every pair must take the full-DP path — the conservative rail, proven by
+  // the report's accounting, with hits still exactly equal.
+  std::mt19937_64 rng(58);
+  const std::uint8_t trp = 17;  // 'W' in the protein alphabet's code order
+  Dataset queries(Alphabet::protein());
+  queries.add(protein("wq", std::vector<std::uint8_t>(200, trp)));
+  Dataset db(Alphabet::protein());
+  for (std::size_t i = 0; i < 40; ++i) {
+    db.add(protein("w" + std::to_string(i),
+                   std::vector<std::uint8_t>(30 + i * 4, trp)));
+  }
+  for (const AlignClass klass : {AlignClass::Local, AlignClass::SemiGlobal}) {
+    SearchConfig cfg;
+    cfg.align.klass = klass;
+    cfg.top_k = 6;
+    SCOPED_TRACE(to_string(klass));
+
+    cfg.prefilter = PrefilterMode::Off;
+    const SearchReport off = apps::search(queries, db, cfg);
+    cfg.prefilter = PrefilterMode::Force;
+    const SearchReport on = apps::search(queries, db, cfg);
+
+    // 30*11 = 330 > 127: the shortest subject already saturates, so no pair
+    // may escape the screen. (Emul hosts screen at 16 bits; 330 < 32767, so
+    // gate the all-saturated assertion on an 8-bit screen.)
+    Prefilter probe;
+    if (probe.bits() == 8) {
+      EXPECT_EQ(on.prefilter.saturated, on.prefilter.screened);
+      EXPECT_EQ(on.prefilter.escalated, on.prefilter.screened);
+      EXPECT_EQ(on.prefilter.escaped, 0u);
+    }
+    expect_same_hits(off, on, to_string(klass));
+  }
+}
+
+TEST(PrefilterDifferential, CalibratedMarginModelStaysExact) {
+  // A measured margin model only ever *adds* slack (margins >= 0), so the
+  // filter with a calibrated model must stay exact too — this guards the
+  // plumbing (model threading through SearchConfig), not just the math.
+  PrefilterCalibrationConfig ccfg;
+  ccfg.db_count = 10;
+  ccfg.query_count = 2;
+  ccfg.seed = 91;
+  const PrefilterModel model = calibrate_prefilter(ccfg);
+
+  std::mt19937_64 rng(77);
+  const Dataset queries = make_queries(rng);
+  const Dataset db = make_db(queries, 80, rng);
+  for (const AlignClass klass : kClasses) {
+    SearchConfig cfg;
+    cfg.align.klass = klass;
+    cfg.top_k = 5;
+    cfg.threads = 2;
+    cfg.prefilter_model = &model;
+    SCOPED_TRACE(to_string(klass));
+    diff_search(queries, db, cfg, to_string(klass));
+  }
+}
+
+TEST(PrefilterDifferential, StreamedFilteredMatchesBatchUnfiltered) {
+  // The pipeline's prefilter path (per-shard screens, persistent per-query
+  // cutoffs) against the batch driver with the filter off: same hits, same
+  // order, and the streamed report's accounting identity holds.
+  std::mt19937_64 rng(63);
+  const Dataset queries = make_queries(rng);
+  const Dataset db = make_db(queries, 150, rng);
+  std::ostringstream fasta;
+  write_fasta(fasta, db);
+
+  for (const AlignClass klass : kClasses) {
+    SearchConfig cfg;
+    cfg.align.klass = klass;
+    cfg.top_k = 6;
+    cfg.threads = 2;
+    SCOPED_TRACE(to_string(klass));
+
+    cfg.prefilter = PrefilterMode::Off;
+    const SearchReport batch_off = apps::search(queries, db, cfg);
+
+    cfg.prefilter = PrefilterMode::Force;
+    std::istringstream in(fasta.str());
+    const SearchReport streamed =
+        apps::search_stream(queries, in, Alphabet::protein(), cfg);
+    EXPECT_TRUE(streamed.prefilter.enabled);
+    EXPECT_EQ(streamed.prefilter.screened, queries.size() * db.size());
+    EXPECT_EQ(streamed.prefilter.escaped + streamed.prefilter.escalated,
+              streamed.prefilter.screened);
+    expect_same_hits(batch_off, streamed, to_string(klass));
+  }
+}
+
+}  // namespace
+}  // namespace valign::apps

@@ -379,6 +379,69 @@ TEST(Chaos, BatchSaturationInjectionsPreserveScores) {
   }
 }
 
+TEST(Chaos, PrefilterScreenFailureDegradesToUnfilteredSearch) {
+  // An injected screen failure must cost throughput, never answers: the
+  // affected block degrades to full DP for every one of its pairs (all-
+  // escalate), so the top-k stays exactly equal to a clean unfiltered run —
+  // in both the batch driver (per-query screen blocks) and the streamed
+  // pipeline (per-shard screens).
+  if (!robust::failpoints_compiled()) {
+    GTEST_SKIP() << "build has no failpoint sites (VALIGN_ENABLE_FAILPOINTS=OFF)";
+  }
+  const DisarmGuard guard;
+  const Dataset queries = make_queries();
+  const Dataset db = make_db();
+
+  SearchConfig clean_cfg = chaos_config();
+  clean_cfg.robust = robust::RobustPolicy{};
+  clean_cfg.prefilter = PrefilterMode::Off;
+  const SearchReport clean = apps::search(queries, db, clean_cfg);
+  const NamedHits expected = named_hits(clean, db);
+
+  auto& reg = FailpointRegistry::global();
+
+  {  // batch: 2 queries x 160 subjects = 2 screen blocks; one of them fails
+    reg.set_seed(kChaosSeed);
+    reg.arm("prefilter.screen", 1.0, 1);
+    SearchConfig cfg = chaos_config();
+    cfg.prefilter = PrefilterMode::Force;
+    const SearchReport rep = apps::search(queries, db, cfg);
+    reg.disarm_all();
+
+    EXPECT_EQ(rep.worker_errors, 0u) << "a screen failure is not a shard failure";
+    EXPECT_EQ(rep.records_dropped, 0u);
+    EXPECT_GE(rep.prefilter.screen_failures, 1u);
+    // The degraded block's pairs still count as screened and escalated, so
+    // the accounting identity survives the failure.
+    EXPECT_EQ(rep.prefilter.screened, queries.size() * db.size());
+    EXPECT_EQ(rep.prefilter.escaped + rep.prefilter.escalated,
+              rep.prefilter.screened);
+    const NamedHits got = named_hits(rep, db);
+    for (std::size_t q = 0; q < expected.size(); ++q) {
+      EXPECT_EQ(got[q], expected[q]) << "batch, query " << q;
+    }
+  }
+
+  {  // streamed: several shard screens fail; survivors must be consistent
+    reg.set_seed(kChaosSeed);
+    reg.arm("prefilter.screen", 1.0, 3);
+    SearchConfig cfg = chaos_config();
+    cfg.prefilter = PrefilterMode::Force;
+    const StreamRun run = run_stream(queries, to_fasta(db), cfg);
+    reg.disarm_all();
+
+    EXPECT_EQ(run.report.worker_errors, 0u);
+    EXPECT_EQ(run.collected.size(), db.size());
+    EXPECT_GE(run.report.prefilter.screen_failures, 1u);
+    EXPECT_EQ(run.report.prefilter.escaped + run.report.prefilter.escalated,
+              run.report.prefilter.screened);
+    const NamedHits got = named_hits(run.report, run.collected);
+    for (std::size_t q = 0; q < expected.size(); ++q) {
+      EXPECT_EQ(got[q], expected[q]) << "stream, query " << q;
+    }
+  }
+}
+
 TEST(Chaos, BatchLenientParsingQuarantinesCorruptRecords) {
   // No failpoints needed: textual corruption exercises the same quarantine
   // path the CLI uses for on-disk databases, so this runs in release too.

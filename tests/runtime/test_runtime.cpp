@@ -607,5 +607,56 @@ TEST(FastaReader, DiagnosesMalformedInput) {
   }
 }
 
+TEST(RuntimeMetrics, BucketFillCountsOnlyPrefilterSurvivors) {
+  // With the prescreen on, pairs are screened *before* bucketing: the
+  // runtime.sched.bucket_fill histogram must see exactly one sample per
+  // escalation chunk (the survivor blocks actually packed into lanes) and
+  // none for the pairs the filter rejected — otherwise the occupancy
+  // telemetry reports lanes that were never filled.
+  obs::Registry& reg = obs::Registry::global();
+  static constexpr std::uint64_t kFillBounds[] = {25, 50, 75, 90, 99};
+  obs::Histogram& fill = reg.histogram("runtime.sched.bucket_fill", kFillBounds);
+
+  const Dataset queries = workload::bacteria_2k(81, 2);
+  const Dataset db = workload::uniprot_like(150, 82);
+  apps::SearchConfig cfg;
+  cfg.engine = EngineMode::Inter;
+  cfg.sched = runtime::PairSched::Pair;
+  cfg.top_k = 3;
+  cfg.prefilter = PrefilterMode::Force;
+
+  const std::uint64_t fills0 = fill.total_count();
+  const std::uint64_t sum0 = fill.sum();
+  const apps::SearchReport rep = apps::search(queries, db, cfg);
+  const std::uint64_t fills = fill.total_count() - fills0;
+  const std::uint64_t sum = fill.sum() - sum0;
+
+  ASSERT_GT(rep.prefilter.escaped, 0u)
+      << "corpus produced no rejections; the assertion below would be vacuous";
+  ASSERT_GT(rep.prefilter.chunks, 0u);
+  const int lanes = apps::engine_lane_count(cfg);
+  if (lanes > 1) {
+    // One histogram sample per survivor chunk — rejected pairs never bucketed.
+    EXPECT_EQ(fills, rep.prefilter.chunks);
+    // Occupancy samples are percentages of actually-packed lanes.
+    EXPECT_GT(sum, 0u);
+    EXPECT_LE(sum, 100 * fills);
+  } else {
+    EXPECT_EQ(fills, 0u) << "single-lane hosts must not record lane fill";
+  }
+
+  // Contrast: the unfiltered run goes through make_search_schedule, which
+  // buckets every pair; its fill samples are per schedule block, not per
+  // escalation chunk, and strictly more pairs land in lanes.
+  cfg.prefilter = PrefilterMode::Off;
+  const std::uint64_t fills1 = fill.total_count();
+  const apps::SearchReport off = apps::search(queries, db, cfg);
+  EXPECT_EQ(off.prefilter.chunks, 0u);
+  if (lanes > 1) {
+    EXPECT_GT(fill.total_count(), fills1)
+        << "the unfiltered pair scheduler must keep publishing lane fill";
+  }
+}
+
 }  // namespace
 }  // namespace valign
