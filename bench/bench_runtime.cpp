@@ -331,6 +331,81 @@ int main(int argc, char** argv) {
   reg.gauge("bench.prefilter.speedup_pct")
       .set(static_cast<std::int64_t>(100.0 * pf_speedup));
 
+  // --- Verdict 5: intra-task kernels per lane count ------------------------
+  // Striped (lazy-F) vs Scan (fixed two-pass) vs Deconstructed (prefix-max
+  // fix-up, docs/kernels.md) at each native lane count the widest ISA
+  // provides — element widths i8/i16/i32 map to the lane columns. Single
+  // pairs through one Aligner so the rows compare kernels, not scheduling;
+  // each (engine, lane) cell runs through the harness, so the GCUPS rows and
+  // their HW counters land in the bench report. Semi-global is the shape
+  // where the lazy-F corrective tail hurts most; the verdict (enforced at
+  // AVX2 or wider) is that the deconstructed kernel beats BOTH incumbents on
+  // at least one lane count.
+  workload::GeneratorConfig kqg;
+  kqg.lengths = bucket_lengths(128);
+  kqg.seed = 201;
+  const Dataset kernel_q = workload::generate(1, kqg);
+  workload::GeneratorConfig kdg;
+  kdg.lengths = bucket_lengths(300);
+  kdg.seed = 202;
+  const Dataset kernel_db = workload::generate(scaled(48), kdg);
+  std::printf("\nintra-task kernels (SG, q=%zu aa, %zu subjects, 1 thread):\n",
+              kernel_q[0].size(), kernel_db.size());
+  std::printf("%6s %6s %10s %10s %14s\n", "lanes", "width", "striped", "scan",
+              "deconstructed");
+  const Approach kernels[] = {Approach::Striped, Approach::Scan,
+                              Approach::Deconstructed};
+  bool dec_won_cell = false;
+  bool kernel_scores_match = true;
+  for (const ElemWidth w : {ElemWidth::W8, ElemWidth::W16, ElemWidth::W32}) {
+    const int lanes = simd::native_lanes(simd::best_isa(), elem_bits(w));
+    double gcups_by_engine[3] = {};
+    std::int64_t sums[3] = {};
+    for (std::size_t e = 0; e < 3; ++e) {
+      Options ko;
+      ko.klass = AlignClass::SemiGlobal;
+      ko.approach = kernels[e];
+      ko.width = w;
+      Aligner al(ko);
+      al.set_query(kernel_q[0].codes());
+      std::uint64_t cells = 0;
+      const std::string name = std::string("kernel.") + to_string(kernels[e]) +
+                               ".lanes" + std::to_string(lanes);
+      const double sec = harness.scenario(name.c_str(), reps, [&] {
+        std::int64_t sum = 0;
+        cells = 0;
+        for (const Sequence& d : kernel_db) {
+          const AlignResult r = al.align(d.codes());
+          // Forced narrow widths may saturate; saturated pairs score
+          // identically (the rail) so the checksum still matches.
+          sum += r.score;
+          cells += kernel_q[0].size() * d.size();
+        }
+        sums[e] = sum;
+        return cells;
+      });
+      gcups_by_engine[e] =
+          sec > 0.0 ? static_cast<double>(cells) / sec / 1e9 : 0.0;
+      const std::string key = "bench.kernel." + std::string(to_string(kernels[e])) +
+                              ".lanes" + std::to_string(lanes) + ".mgcups";
+      reg.gauge(key).set(
+          static_cast<std::int64_t>(1000.0 * gcups_by_engine[e]));
+    }
+    kernel_scores_match &= sums[0] == sums[1] && sums[1] == sums[2];
+    const bool dec_wins = gcups_by_engine[2] > gcups_by_engine[0] &&
+                          gcups_by_engine[2] > gcups_by_engine[1];
+    dec_won_cell |= dec_wins;
+    std::printf("%6d %6d %10.2f %10.2f %14.2f%s%s\n", lanes, elem_bits(w),
+                gcups_by_engine[0], gcups_by_engine[1], gcups_by_engine[2],
+                dec_wins ? "  <- deconstructed wins" : "",
+                sums[0] == sums[1] && sums[1] == sums[2] ? "" : "  SCORES DIFFER");
+  }
+  std::printf("deconstructed beats striped AND scan on >= 1 lane count: %s (%s)\n",
+              dec_won_cell ? "yes" : "no",
+              wide_isa ? "enforced" : "informational: host lacks AVX2");
+  ok &= kernel_scores_match;
+  if (wide_isa) ok &= dec_won_cell;
+
   ok &= model_speedup >= 1.5;
   if (host_can_parallelize) ok &= measured >= 1.5;
   std::printf("verdict: %s\n", ok ? "PASS" : "FAIL");
@@ -364,6 +439,11 @@ int main(int argc, char** argv) {
   rr.cache_builds = pair_rep.cache.builds;
   rr.cache_evictions = pair_rep.cache.evictions;
   rr.cache_profile_sets = pair_rep.cache.profile_sets;
+  rr.profile_cache_lookups = pair_rep.profile_cache.lookups;
+  rr.profile_cache_hits = pair_rep.profile_cache.hits;
+  rr.profile_cache_builds = pair_rep.profile_cache.builds;
+  rr.profile_cache_evictions = pair_rep.profile_cache.evictions;
+  rr.profile_cache_fast_builds = pair_rep.profile_cache.fast_builds;
   // Prescreen section from the Verdict-4 pass (the pair-sched pass ran with
   // the prescreen off).
   rr.prefilter_mode = to_string(pf_auto.prefilter);

@@ -89,6 +89,7 @@ SearchReport search_prefiltered(const Dataset& queries, const Dataset& db,
   SearchReport report;
   report.top_hits.resize(queries.size());
   report.prefilter.enabled = true;
+  const ProfileCacheStats pc0 = SharedProfileCache::global().stats();
 
   const PrefilterModel model = cfg.prefilter_model
                                    ? *cfg.prefilter_model
@@ -252,7 +253,8 @@ SearchReport search_prefiltered(const Dataset& queries, const Dataset& db,
             n > 0 ? static_cast<double>(chunk_residues) / static_cast<double>(n)
                   : 0.0;
         const EngineMode mode = runtime::resolve_engine(
-            cfg.engine, qlen, n, mean_dlen, lane_count, alpha);
+            cfg.engine, qlen, n, mean_dlen, lane_count, alpha,
+            cfg.align.klass, cfg.align.model);
 
         const auto align_chunk = [&] {
           try_stats = AlignStats{};
@@ -378,7 +380,9 @@ SearchReport search_prefiltered(const Dataset& queries, const Dataset& db,
        << cfg.robust.max_errors << "); first: " << report.failures.front().error;
     throw robust::StatusError(robust::StatusCode::Internal, os.str());
   }
+  report.profile_cache = SharedProfileCache::global().stats() - pc0;
   runtime::publish_cache_stats(report.cache);
+  runtime::publish_kernel_stats(report.profile_cache, report.totals);
   if (cfg.engine != EngineMode::Intra) {
     runtime::publish_interseq_stats(report.interseq, report.interseq_fallbacks);
   }
@@ -402,6 +406,7 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
 
   SearchReport report;
   report.top_hits.resize(queries.size());
+  const ProfileCacheStats pc0 = SharedProfileCache::global().stats();
 
   // Lane count of the packed engine: feeds the scheduler's underfill merge
   // and the per-block cost model.
@@ -472,7 +477,8 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
                     (static_cast<double>(qlen) * static_cast<double>(pairs))
               : 0.0;
       const EngineMode mode = runtime::resolve_engine(
-          cfg.engine, qlen, pairs, mean_dlen, lane_count, alpha);
+          cfg.engine, qlen, pairs, mean_dlen, lane_count, alpha,
+          cfg.align.klass, cfg.align.model);
 
       if (mode == EngineMode::Inter) {
         // Lane-packed sweep: the whole block is one batch, so the length
@@ -602,7 +608,9 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
        << "); first: " << report.failures.front().error;
     throw robust::StatusError(robust::StatusCode::Internal, os.str());
   }
+  report.profile_cache = SharedProfileCache::global().stats() - pc0;
   runtime::publish_cache_stats(report.cache);
+  runtime::publish_kernel_stats(report.profile_cache, report.totals);
   if (cfg.engine != EngineMode::Intra) {
     runtime::publish_interseq_stats(report.interseq, report.interseq_fallbacks);
   }

@@ -14,6 +14,7 @@
 
 #include "valign/core/calibrate.hpp"
 #include "valign/core/dispatch.hpp"
+#include "valign/core/profile_cache.hpp"
 #include "valign/io/sequence.hpp"
 #include "valign/robust/quarantine.hpp"
 #include "valign/runtime/engine_cache.hpp"
@@ -119,6 +120,9 @@ struct SearchReport {
   runtime::EngineCacheStats cache{};
   /// Alignments answered at 8/16/32-bit elements (index = log2(bits) - 3).
   std::array<std::uint64_t, 3> width_counts{};
+  /// Shared query-profile cache activity attributable to this run (delta of
+  /// the process-wide cache across the run; see docs/kernels.md).
+  ProfileCacheStats profile_cache{};
   /// Lane-packed engine accounting summed over every worker's BatchAligner
   /// (all-zero when the run stayed intra-task).
   InterSeqBatchStats interseq{};

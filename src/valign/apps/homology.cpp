@@ -42,6 +42,7 @@ class UnionFind {
 
 HomologyReport detect(const Dataset& ds, const HomologyConfig& cfg) {
   HomologyReport report;
+  const ProfileCacheStats pc0 = SharedProfileCache::global().stats();
   const std::size_t n = ds.size();
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -108,7 +109,9 @@ HomologyReport detect(const Dataset& ds, const HomologyConfig& cfg) {
   }
 
   align_span.stop();
+  report.profile_cache = SharedProfileCache::global().stats() - pc0;
   runtime::publish_cache_stats(report.cache);
+  runtime::publish_kernel_stats(report.profile_cache, report.totals);
   const obs::StageSpan reduce_span(obs::Stage::Reduce);
 
   // Blocks land in nondeterministic order across threads; normalize.

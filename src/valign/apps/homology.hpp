@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "valign/core/dispatch.hpp"
+#include "valign/core/profile_cache.hpp"
 #include "valign/io/sequence.hpp"
 #include "valign/runtime/engine_cache.hpp"
 #include "valign/runtime/scheduler.hpp"
@@ -49,6 +50,8 @@ struct HomologyReport {
   std::uint64_t alignments = 0;
   /// Engine-cache activity summed over every worker's Aligner.
   runtime::EngineCacheStats cache{};
+  /// Shared query-profile cache activity attributable to this run.
+  ProfileCacheStats profile_cache{};
   /// Alignments answered at 8/16/32-bit elements (index = log2(bits) - 3).
   std::array<std::uint64_t, 3> width_counts{};
   double seconds = 0.0;

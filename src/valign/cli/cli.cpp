@@ -40,7 +40,7 @@ usage:
   valign generate --out FILE                  write a synthetic FASTA dataset
   valign matrices [NAME]                      list or print scoring matrices
   valign stats                                Karlin-Altschul parameters
-  valign calibrate                            measure Striped/Scan crossovers
+  valign calibrate                            measure engine crossovers on this host
   valign bench-diff <base.json> <cur.json>    compare two bench reports
   valign info                                 version and CPU capabilities
 
@@ -48,7 +48,7 @@ common options:
   --class nw|sg|sw          alignment class (default sw)
   --matrix NAME             substitution matrix (default blosum62)
   --gap-open N --gap-extend N   penalties (default: matrix's NCBI defaults)
-  --approach scalar|blocked|diagonal|striped|scan|auto   (default auto)
+  --approach scalar|blocked|diagonal|striped|scan|deconstructed|auto   (default auto)
   --isa emul|sse41|avx2|avx512|auto                      (default auto)
   --dna                     DNA alphabet and +2/-3 matrix
   --metrics-out FILE        write a run report (JSON; CSV when FILE ends in .csv)
@@ -105,9 +105,10 @@ Approach parse_approach(const std::string& s) {
   if (s == "diagonal") return Approach::Diagonal;
   if (s == "striped") return Approach::Striped;
   if (s == "scan") return Approach::Scan;
+  if (s == "deconstructed") return Approach::Deconstructed;
   if (s == "auto") return Approach::Auto;
   usage_error("unknown approach: " + s +
-              " (expected scalar|blocked|diagonal|striped|scan|auto)");
+              " (expected scalar|blocked|diagonal|striped|scan|deconstructed|auto)");
 }
 
 bool parse_on_off(const std::string& s, const char* flag) {
@@ -215,6 +216,14 @@ void set_cache_stats(obs::RunReport& rr, const runtime::EngineCacheStats& c) {
   rr.cache_builds = c.builds;
   rr.cache_evictions = c.evictions;
   rr.cache_profile_sets = c.profile_sets;
+}
+
+void set_profile_cache_stats(obs::RunReport& rr, const ProfileCacheStats& c) {
+  rr.profile_cache_lookups = c.lookups;
+  rr.profile_cache_hits = c.hits;
+  rr.profile_cache_builds = c.builds;
+  rr.profile_cache_evictions = c.evictions;
+  rr.profile_cache_fast_builds = c.fast_builds;
 }
 
 /// Captures the global stage table / registry into `rr`, writes the report
@@ -377,6 +386,7 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   rr.width_counts = rep.width_counts;
   rr.totals = rep.totals;
   set_cache_stats(rr, rep.cache);
+  set_profile_cache_stats(rr, rep.profile_cache);
   rr.lenient = cfg.robust.lenient;
   rr.max_errors = cfg.robust.max_errors;
   rr.quarantined = rep.quarantine.records;
@@ -448,6 +458,7 @@ int cmd_detect(const ArgParser& args, std::ostream& out) {
   rr.width_counts = rep.width_counts;
   rr.totals = rep.totals;
   set_cache_stats(rr, rep.cache);
+  set_profile_cache_stats(rr, rep.profile_cache);
   run_perf.stop();  // close the whole-run counter window before the snapshot
   emit_run_report(rr, args, out);
   return 0;
@@ -531,6 +542,11 @@ int cmd_calibrate(std::ostream& out) {
   const PrescriptionTable measured = calibrate();
   out << "measured:\n" << measured.to_string();
   out << "paper (Table IV):\n" << PrescriptionTable::paper().to_string();
+  out << "measuring the three-engine model "
+         "(striped/scan/deconstructed)...\n";
+  const EngineModel engines = calibrate_engines();
+  out << "measured:\n" << engines.to_string();
+  out << "pinned (reference host):\n" << EngineModel::pinned().to_string();
   return 0;
 }
 

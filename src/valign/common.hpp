@@ -29,12 +29,21 @@ enum class Approach : std::uint8_t {
   Diagonal,  ///< Wozniak 1997: vectors along the anti-diagonal.
   Striped,   ///< Farrar 2007: striped layout + lazy-F corrective loop.
   Scan,      ///< This paper: striped layout + two-pass prefix scan.
+  /// Snytsar 2019 (arXiv:1909.00899): striped layout with the lazy-F loop
+  /// deconstructed into one cross-lane prefix-max followed by a single
+  /// conditional fix-up pass. Bounded corrective work, unlike Striped.
+  Deconstructed,
   /// Inter-sequence (Rognes 2011 / SWIPE): one independent query x database
   /// pair per lane, no cross-lane dependencies. Reached through the batch
   /// dispatcher (BatchAligner), never through `--approach`.
   InterSeq,
   Auto,      ///< Prescriptive selection per Table IV.
 };
+
+/// Number of Approach enumerators (array-index bound for per-approach
+/// censuses such as AlignStats::approach_counts).
+inline constexpr std::size_t kApproachCount =
+    static_cast<std::size_t>(Approach::Auto) + 1;
 
 /// Instruction-set backends available for the vector engines.
 enum class Isa : std::uint8_t {
@@ -73,6 +82,7 @@ inline const char* to_string(Approach a) {
     case Approach::Diagonal: return "diagonal";
     case Approach::Striped: return "striped";
     case Approach::Scan: return "scan";
+    case Approach::Deconstructed: return "deconstructed";
     case Approach::InterSeq: return "interseq";
     case Approach::Auto: return "auto";
   }
@@ -213,6 +223,17 @@ struct AlignStats {
   /// Distribution of cross-lane scan steps per column (Scan only): p-1 per
   /// column, so the shape shifts right as registers widen.
   PassHist hscan_hist{};
+  /// Fix-up passes per column for the Deconstructed engine: bucket 0 counts
+  /// columns where the resolved cross-lane F could not improve any cell (the
+  /// second pass was skipped outright), bucket 1 columns that ran the single
+  /// fix-up pass. Never reaches bucket 2 — that bound is the point.
+  PassHist prefix_hist{};
+  /// Alignments answered per resolved engine, indexed by the Approach
+  /// enumerator (the Auto slot stays zero — a result always carries a
+  /// concrete engine). Incremented once per dispatched alignment by
+  /// Aligner/BatchAligner, so Auto's per-block picks are visible in run
+  /// reports without widening every driver.
+  std::array<std::uint64_t, kApproachCount> approach_counts{};
 
   /// The paper's corrective factor C = k / m / ceil(n/p)  (§IV).
   [[nodiscard]] double corrective_factor(std::uint64_t query_len, int lanes) const {
@@ -233,6 +254,10 @@ struct AlignStats {
     scan_carry_cols += o.scan_carry_cols;
     lazyf_hist += o.lazyf_hist;
     hscan_hist += o.hscan_hist;
+    prefix_hist += o.prefix_hist;
+    for (std::size_t a = 0; a < approach_counts.size(); ++a) {
+      approach_counts[a] += o.approach_counts[a];
+    }
     return *this;
   }
 };

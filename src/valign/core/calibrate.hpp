@@ -58,6 +58,48 @@ struct CalibrationConfig {
 /// back to the paper's values for that column).
 [[nodiscard]] PrescriptionTable calibrate(const CalibrationConfig& cfg = {});
 
+/// Three-engine generalization of the PrescriptionTable: per (class, lane
+/// column) the measured winner below and above one crossover length, over
+/// {Striped, Scan, Deconstructed}. Table IV only ranks the first two; once
+/// the deconstructed kernel enters the race the short/long winners are no
+/// longer derivable from a bool, so each cell names them outright.
+///
+/// `Approach::Auto` resolves through a model with this precedence:
+/// Options::model (injected) > Options::prescription (legacy two-engine
+/// table) > EngineModel::pinned() (measured on a reference host, committed)
+/// — and pinned() degrades to paper() cells for lane columns that were not
+/// measurable. docs/kernels.md walks through the calibration workflow.
+struct EngineModel {
+  struct Cell {
+    Approach short_winner = Approach::Striped;
+    Approach long_winner = Approach::Scan;
+    /// Query length where the winner flips; 0 = one engine dominates the
+    /// whole measured range (short_winner == long_winner then).
+    int crossover = 0;
+  };
+  std::array<std::array<Cell, 3>, 3> cells{};  ///< [class row][lane column]
+
+  [[nodiscard]] Approach choose(AlignClass klass, int lanes,
+                                std::size_t qlen) const noexcept;
+  [[nodiscard]] const Cell& cell(AlignClass klass, int lanes) const noexcept;
+
+  /// Two-engine model lifted from the paper's Table IV (fallback when no
+  /// measurement is available; never picks Deconstructed).
+  [[nodiscard]] static EngineModel paper() noexcept;
+  /// Crossovers measured by calibrate_engines() on the reference build host
+  /// and committed (see the definition for provenance). The default model
+  /// behind Approach::Auto.
+  [[nodiscard]] static const EngineModel& pinned() noexcept;
+
+  /// One row per class: winners and crossover per lane column.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Measure the three-engine decision model on this host. Same probe corpus
+/// and timing discipline as calibrate(); lane columns the CPU cannot run
+/// natively keep their paper() cells.
+[[nodiscard]] EngineModel calibrate_engines(const CalibrationConfig& cfg = {});
+
 /// Escalation-threshold model for the two-stage prescreen
 /// (core/prefilter.hpp). The screen score is a *structural* upper bound on
 /// the true score, so a zero margin is already sound; calibration exists to

@@ -1,45 +1,53 @@
-// Prefix-scan vectorized alignment — the paper's contribution (§IV, Alg. 4).
+// Deconstructed lazy-F alignment (Snytsar 2019, arXiv:1909.00899),
+// generalized to NW/SG/SW.
 //
-// Same striped layout as Farrar, but the vertical dependency is resolved
-// algebraically instead of iteratively (Khajeh-Saeed et al. 2010, Eqs. 2-5):
+// Same striped layout and main pass as Farrar, but the corrective lazy-F
+// loop is deconstructed: instead of re-walking the column until the F
+// contributions converge (up to p-1 extra passes, branch-unpredictable),
+// the cross-lane F carries are resolved *exactly* by one horizontal
+// prefix-max with per-lane decay L*Gext — the same primitive the Scan
+// engine uses — and at most ONE fix-up pass re-applies them:
 //
-//   pass 1: compute I (E) and the temporary T-tilde (Ht) that ignores the
-//           column maximum, plus a per-lane running max-with-decay aggregate;
-//   hscan:  a p-1 step horizontal max-scan (decay L*Gext per lane step)
-//           resolves the cross-lane carries exactly;
-//   pass 2: finalize T = max(Ht, D-tilde + Gopen) walking the column again.
+//   pass 1:  Farrar's main pass, unchanged (F within-lane only);
+//   hscan:   F entering lane s = max over s' <= s of carry(s') - (s-s')*L*e,
+//            computed in p-1 shift/max steps from the pass-1 F carry-outs;
+//   pass 2:  a single conditional walk H = max(H, F), F = F - e. Each row is
+//            pre-checked with the sound convergence test (F > H - o against
+//            the not-yet-updated H), so the walk stops — usually before row
+//            0, i.e. the whole pass is skipped — as soon as pass 1's own F
+//            chain provably dominates the carried one.
 //
-// Exactly two passes per column, unconditionally — which is why Scan's
-// runtime is flat across scoring schemes (Fig. 5) while Striped's varies.
+// Why one pass suffices: the prefix-max already accounts for every
+// cross-lane path, and a gap re-opened from a cell that pass 2 itself
+// improved (H == F) costs F - o - e, which extension (F - e) dominates for
+// o >= 0. So unlike Farrar's loop there is nothing left to iterate on.
+// Corrective work is therefore *bounded*: <= L epochs per column, recorded
+// in AlignStats::prefix_hist (bucket 0 = skipped, 1 = fix-up ran) —
+// Striped's unbounded lazyf_hist tail is exactly what this engine removes.
 #pragma once
 
+#include <bit>
 #include <span>
 
 #include "valign/core/engine_common.hpp"
 #include "valign/core/profile.hpp"
 #include "valign/core/profile_cache.hpp"
+#include "valign/simd/scan_ops.hpp"
 
 namespace valign {
 
-/// Strategy for the cross-lane scan step (ablation knob; the paper's
-/// implementation and complexity analysis use the linear form).
-enum class HscanKind : std::uint8_t {
-  Linear,  ///< p-1 shift/max steps (what the paper describes).
-  Log,     ///< lg(p) doubling steps (Blelloch-style).
-};
-
 template <AlignClass C, simd::SimdVec V>
-class ScanAligner {
+class DeconstructedAligner {
  public:
   using T = typename V::value_type;
-  static constexpr Approach kApproach = Approach::Scan;
+  static constexpr Approach kApproach = Approach::Deconstructed;
   static constexpr AlignClass kClass = C;
   static constexpr int kLanes = V::lanes;
 
   /// `ends` configures free end gaps; honoured when C == SemiGlobal.
-  ScanAligner(const ScoreMatrix& matrix, GapPenalty gap,
-              HscanKind hscan = HscanKind::Linear, SemiGlobalEnds ends = {})
-      : matrix_(&matrix), gap_(gap), hscan_(hscan), ends_(ends) {}
+  DeconstructedAligner(const ScoreMatrix& matrix, GapPenalty gap,
+                       SemiGlobalEnds ends = {})
+      : matrix_(&matrix), gap_(gap), ends_(ends) {}
 
   void set_query(std::span<const std::uint8_t> query) {
     prof_ = SharedProfileCache::global().acquire<T>(*matrix_, query, V::lanes);
@@ -48,7 +56,13 @@ class ScanAligner {
     h0_.resize(vecs);
     h1_.resize(vecs);
     e_.resize(vecs);
-    ht_.resize(vecs);
+    assert(reinterpret_cast<std::uintptr_t>(h0_.data()) %
+                   aligned_vector<T>::kAlignment == 0 &&
+           reinterpret_cast<std::uintptr_t>(h1_.data()) %
+                   aligned_vector<T>::kAlignment == 0 &&
+           reinterpret_cast<std::uintptr_t>(e_.data()) %
+                   aligned_vector<T>::kAlignment == 0 &&
+           "work rows must start on a cache line for aligned vector loads");
   }
 
   [[nodiscard]] std::size_t query_length() const noexcept { return qlen_; }
@@ -62,7 +76,7 @@ class ScanAligner {
     const std::int64_t e = gap_.extend;
 
     AlignResult res;
-    res.approach = Approach::Scan;
+    res.approach = Approach::Deconstructed;
     res.isa = detail::isa_of<V>();
     res.lanes = p;
     res.bits = 8 * int(sizeof(T));
@@ -76,14 +90,13 @@ class ScanAligner {
     T* hload = h0_.data();
     T* hstore = h1_.data();
     T* earr = e_.data();
-    T* htarr = ht_.data();
     detail::init_striped_column<C, T>(hload, earr, L, p, qlen_, gap_, ends_);
 
     const V vGapO = V::broadcast(detail::clamp_to<T>(o));
     const V vGapE = V::broadcast(detail::clamp_to<T>(e));
     const V vNegInf = V::broadcast(V::neg_inf);
     const V vZero = V::zero();
-    V vMax = vNegInf;
+    V vMax = vNegInf;  // +rail overflow sentinel (and the SW running best)
 
     // Cross-lane decay: one lane step spans L query rows.
     const T lane_decay =
@@ -92,71 +105,86 @@ class ScanAligner {
     detail::LocalBest<V> lb;
     if constexpr (C == AlignClass::Local) lb.prepare(L);
 
+    // SemiGlobal: running best over the last query row across columns.
     std::int64_t sg_best = std::numeric_limits<std::int64_t>::min();
     std::int32_t sg_best_j = -1;
 
     for (std::size_t j = 0; j < m; ++j) {
       const int code = db[j];
-      const T hb_prev =
-          (j == 0) ? T{0}
-                   : detail::row_edge_elem<C, T>(static_cast<std::int64_t>(j), gap_,
-                                                 ends_);
-      V vHdiag = V::shift_in(V::load(hload + (L - 1) * static_cast<std::size_t>(p)),
-                             hb_prev);
-      V vA = vNegInf;  // per-lane aggregate max_t(Ht[t] - (L-1-t)*e)
+      // F candidate entering row 0: open a gap from the top boundary.
+      const T f0 = detail::clamp_to<T>(
+          detail::row_boundary<C>(static_cast<std::int64_t>(j) + 1, gap_, ends_) - o - e);
+      V vF = V::shift_in(vNegInf, f0);
+      // Diagonal carry: previous column's H shifted down one row, with the
+      // previous column's top boundary entering lane 0.
+      const T hb = (j == 0)
+                       ? T{0}
+                       : detail::row_edge_elem<C, T>(static_cast<std::int64_t>(j), gap_,
+                                                     ends_);
+      V vHdiag = V::shift_in(V::load(hload + (L - 1) * static_cast<std::size_t>(p)), hb);
 
-      // --- pass 1: E, T-tilde, per-lane aggregate -------------------------
+      // --- pass 1: Farrar's main pass, F within-lane only -----------------
       for (std::size_t t = 0; t < L; ++t) {
         const std::size_t off = t * static_cast<std::size_t>(p);
+        V vH = V::adds(vHdiag, V::load(prof_->epoch(code, t)));
         const V vHp = V::load(hload + off);
         const V vE = V::subs(V::max(V::load(earr + off), V::subs(vHp, vGapO)), vGapE);
-        V vHt = V::max(V::adds(vHdiag, V::load(prof_->epoch(code, t))), vE);
-        if constexpr (C == AlignClass::Local) vHt = V::max(vHt, vZero);
+        vH = V::max(vH, vE);
+        vH = V::max(vH, vF);
+        if constexpr (C == AlignClass::Local) vH = V::max(vH, vZero);
+        vMax = V::max(vMax, vH);
+        vH.store(hstore + off);
         vE.store(earr + off);
-        vHt.store(htarr + off);
-        vA = V::max(V::subs(vA, vGapE), vHt);
+        vF = V::subs(V::max(vF, V::subs(vH, vGapO)), vGapE);
         vHdiag = vHp;
         ins::count_scalar<V>(ins::OpCategory::ScalarArith, 2);
         ins::count_scalar<V>(ins::OpCategory::ScalarBranch, 1);
       }
+      res.stats.main_epochs += L;
 
-      // --- horizontal scan: resolve cross-lane D-tilde carries ------------
-      const T hb =
-          detail::row_edge_elem<C, T>(static_cast<std::int64_t>(j) + 1, gap_, ends_);
-      const V cand = V::subs(V::shift_in(vA, hb), vGapE);
-      const V vB = (hscan_ == HscanKind::Linear)
-                       ? simd::hscan_max_decay_linear(cand, lane_decay)
-                       : simd::hscan_max_decay_log(cand, static_cast<T>(lane_decay));
-      res.stats.hscan_steps += static_cast<std::uint64_t>(p - 1);
-      res.stats.hscan_hist.record(static_cast<std::uint64_t>(p - 1));
-      // Horizontal-scan loop control.
-      ins::count_scalar<V>(ins::OpCategory::ScalarArith, static_cast<std::uint64_t>(p - 1));
-      ins::count_scalar<V>(ins::OpCategory::ScalarBranch, static_cast<std::uint64_t>(p - 1));
+      // --- hscan: resolve the cross-lane F carries exactly ----------------
+      // vF now holds each lane's carry-out past its last row; shifted up one
+      // lane (with the top-boundary candidate entering lane 0) these are the
+      // row-0 entry candidates, and the decaying prefix-max folds in every
+      // multi-lane extension path.
+      // Blelloch doubling: lg(p) shift/subs/max steps, not the paper's p-1
+      // linear walk — on 32/64-lane registers this is the difference between
+      // the hscan being noise and being a second pass of its own.
+      const V vFin =
+          simd::hscan_max_decay_log(V::shift_in(vF, f0), lane_decay);
+      const auto hsteps = static_cast<std::uint64_t>(
+          std::bit_width(static_cast<unsigned>(p - 1)));
+      res.stats.hscan_steps += hsteps;
+      res.stats.hscan_hist.record(hsteps);
+      ins::count_scalar<V>(ins::OpCategory::ScalarArith, hsteps);
+      ins::count_scalar<V>(ins::OpCategory::ScalarBranch, hsteps);
 
-      // Did the resolved cross-lane carry matter? One compare per column
-      // (negligible against the 3L epochs) keeps a census of how often the
-      // scan's extra pass is load-bearing rather than pure overhead. Skipped
-      // for counting vectors: the compare is observability, not part of the
-      // algorithm's op mix, and scan's census must stay mask-free (Fig. 3).
-      if constexpr (!ins::is_counting_v<V>) {
-        if (V::any_gt(V::subs(vB, vGapO), V::load(htarr))) {
-          ++res.stats.scan_carry_cols;
-        }
-      }
-
-      // --- pass 2: finalize T = max(Ht, D-tilde - o) ----------------------
-      V vDt = vB;
+      // --- pass 2: one conditional fix-up walk ----------------------------
+      // The row test is the sound form of Farrar's convergence test: compare
+      // the carried F against the stored H *before* touching the row. Once no
+      // lane has F > H - o, pass 1's own F chain dominates the carried one at
+      // every remaining row (F1[t+1] >= H1[t] - o - e and F1 decays by at
+      // most e per row, so F[t'] <= F1[t'] <= H1[t'] for all t' beyond the
+      // test), and stopping is exact for any o >= 0 — no o == 0 caveat.
+      // Testing *after* the row update (Farrar's published form) compares the
+      // next F against the row just raised, while H one row down may sit up
+      // to e lower: weak open penalties (o <= e) fall into that hole.
+      std::uint64_t walked = 0;
+      vF = vFin;
       for (std::size_t t = 0; t < L; ++t) {
         const std::size_t off = t * static_cast<std::size_t>(p);
-        const V vHt = V::load(htarr + off);
-        const V vH = V::max(vHt, V::subs(vDt, vGapO));
-        vMax = V::max(vMax, vH);
+        V vH = V::load(hstore + off);
+        ins::count_scalar<V>(ins::OpCategory::ScalarArith, 3);
+        ins::count_scalar<V>(ins::OpCategory::ScalarBranch, 2);
+        if (!V::any_gt(vF, V::subs(vH, vGapO))) break;
+        ++walked;
+        vH = V::max(vH, vF);
         vH.store(hstore + off);
-        vDt = V::subs(V::max(vDt, vHt), vGapE);
-        ins::count_scalar<V>(ins::OpCategory::ScalarArith, 2);
-        ins::count_scalar<V>(ins::OpCategory::ScalarBranch, 1);
+        vMax = V::max(vMax, vH);
+        ++res.stats.corrective_epochs;
+        vF = V::subs(vF, vGapE);
       }
-      res.stats.main_epochs += 2 * L;
+      res.stats.prefix_hist.record(walked);
 
       if constexpr (C == AlignClass::Local) {
         lb.end_column(vMax, hstore, L, static_cast<std::int32_t>(j));
@@ -175,6 +203,7 @@ class ScanAligner {
       std::swap(hload, hstore);
     }
 
+    // `hload` now holds the final column (post-swap).
     const T* hfinal = hload;
     if constexpr (C == AlignClass::Global) {
       res.score = detail::striped_get(hfinal, L, p, qlen_ - 1);
@@ -242,11 +271,10 @@ class ScanAligner {
  private:
   const ScoreMatrix* matrix_;
   GapPenalty gap_;
-  HscanKind hscan_;
   SemiGlobalEnds ends_;
   std::shared_ptr<const StripedProfile<T>> prof_;
   std::size_t qlen_ = 0;
-  aligned_vector<T> h0_, h1_, e_, ht_;
+  aligned_vector<T> h0_, h1_, e_;
 };
 
 }  // namespace valign

@@ -153,14 +153,16 @@ AlignResult Aligner::align(std::span<const std::uint8_t> db) {
     if (isa_ == Isa::Emul && bits < 16) bits = 16;
   }
 
-  // Resolve the approach (Table IV when Auto).
+  // Resolve the approach when Auto: injected three-engine model, then an
+  // injected two-engine prescription table, then the pinned measured model.
   Approach approach = opts_.approach;
   if (approach == Approach::Auto) {
     const int lanes = (isa_ == Isa::Emul) ? opts_.emul_lanes
                                           : simd::native_lanes(isa_, bits);
-    approach = opts_.prescription
+    approach = opts_.model ? opts_.model->choose(opts_.klass, lanes, query_len())
+               : opts_.prescription
                    ? opts_.prescription->choose(opts_.klass, lanes, query_len())
-                   : prescribe(opts_.klass, lanes, query_len());
+                   : EngineModel::pinned().choose(opts_.klass, lanes, query_len());
   }
 
   if (engine_ == nullptr || bits != cur_bits_ || approach != cur_approach_) {
@@ -180,14 +182,20 @@ AlignResult Aligner::align(std::span<const std::uint8_t> db) {
     if (opts_.approach == Approach::Auto) {
       const int lanes = (isa_ == Isa::Emul) ? opts_.emul_lanes
                                             : simd::native_lanes(isa_, wider);
-      approach = opts_.prescription
+      approach = opts_.model
+                     ? opts_.model->choose(opts_.klass, lanes, query_len())
+                 : opts_.prescription
                      ? opts_.prescription->choose(opts_.klass, lanes, query_len())
-                     : prescribe(opts_.klass, lanes, query_len());
+                     : EngineModel::pinned().choose(opts_.klass, lanes,
+                                                    query_len());
     }
     acquire(wider, approach);
     floor_bits_ = wider;
     res = engine_->align(db);
   }
+  // Census of the resolved engine; folds into driver totals through
+  // AlignStats::operator+= (run report: engine.approaches).
+  ++res.stats.approach_counts[static_cast<std::size_t>(res.approach)];
   return res;
 }
 
@@ -277,6 +285,10 @@ void BatchAligner::align_batch(std::span<const std::span<const std::uint8_t>> db
     engine_for_bits(bits)->align_batch(sub_dbs_, sub_out_, &stats_);
     for (std::size_t k = 0; k < sub_index_.size(); ++k) {
       out[sub_index_[k]] = sub_out_[k];
+      // Packed-engine census; a pair later re-run through the intra ladder
+      // is overwritten wholesale, so its count moves with it.
+      ++out[sub_index_[k]].stats.approach_counts[static_cast<std::size_t>(
+          out[sub_index_[k]].approach)];
     }
   }
 

@@ -39,10 +39,16 @@ struct Options {
   /// Free-end-gap configuration for AlignClass::SemiGlobal (ignored
   /// otherwise). Only Scalar/Striped/Scan honour non-default settings.
   SemiGlobalEnds sg_ends{};
-  /// Decision table consulted by Approach::Auto. Null = the paper's
-  /// Table IV (prescribe()); point at a calibrate() result to use
-  /// host-measured crossovers instead. Not owned; must outlive the Aligner.
+  /// Decision table consulted by Approach::Auto. Null = the measured
+  /// three-engine EngineModel::pinned() (unless `model` below overrides);
+  /// point at a calibrate() result to use host-measured two-engine
+  /// crossovers instead. Not owned; must outlive the Aligner.
   const struct PrescriptionTable* prescription = nullptr;
+  /// Three-engine decision model consulted by Approach::Auto ahead of
+  /// `prescription`. Null = prescription if set, else EngineModel::pinned().
+  /// Point at a calibrate_engines() result to use host-measured crossovers.
+  /// Not owned; must outlive the Aligner.
+  const struct EngineModel* model = nullptr;
   /// Keep previously built engines (and their striped query profiles) alive
   /// in a runtime::EngineCache so width-retry and approach switches reuse
   /// them. Off = at most one live engine (the pre-cache behaviour).

@@ -1,6 +1,9 @@
 // Emulated-backend engine factory: any power-of-two lane count in {4..64},
-// 16- or 32-bit elements, Striped and Scan only (the baselines are reached
-// through their templates directly when emulation is wanted).
+// 16- or 32-bit elements, Striped/Scan/Deconstructed only (the Blocked and
+// Diagonal baselines are reached through their templates directly when
+// emulation is wanted). The engines' work rows are 64-byte aligned_vectors,
+// so the alignment asserts hold under VALIGN_SANITIZE here too even though
+// the emulated V::load has no hardware alignment requirement.
 #include "valign/core/dispatch_impl.hpp"
 
 namespace valign::detail {

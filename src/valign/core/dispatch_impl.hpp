@@ -3,6 +3,7 @@
 #pragma once
 
 #include "valign/core/blocked.hpp"
+#include "valign/core/deconstructed.hpp"
 #include "valign/core/diagonal.hpp"
 #include "valign/core/dispatch.hpp"
 #include "valign/core/interseq.hpp"
@@ -55,6 +56,11 @@ std::unique_ptr<EngineBase> make_for_class_vec(const EngineSpec& s, bool striped
     case Approach::Scan:
       return std::make_unique<EngineHolder<ScanAligner<C, V>>>(
           ScanAligner<C, V>(*s.matrix, s.gap, s.hscan, s.sg_ends));
+    case Approach::Deconstructed:
+      // Available in every factory, including the emulated one: like
+      // Striped/Scan it honours all SemiGlobalEnds variants.
+      return std::make_unique<EngineHolder<DeconstructedAligner<C, V>>>(
+          DeconstructedAligner<C, V>(*s.matrix, s.gap, s.sg_ends));
     case Approach::Blocked:
       if (striped_scan_only ||
           (C == AlignClass::SemiGlobal && !s.sg_ends.all_free())) {

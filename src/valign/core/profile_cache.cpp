@@ -1,0 +1,54 @@
+#include "valign/core/profile_cache.hpp"
+
+#include <cstring>
+
+namespace valign {
+
+ProfileCacheStats SharedProfileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SharedProfileCache::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  stats_ = ProfileCacheStats{};
+}
+
+SharedProfileCache& SharedProfileCache::global() {
+  static SharedProfileCache cache;
+  return cache;
+}
+
+std::uint64_t SharedProfileCache::hash_bytes(const void* data,
+                                             std::size_t n) noexcept {
+  // FNV-1a. Collisions are harmless (keys compare full content), the hash
+  // only short-circuits the comparison.
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t SharedProfileCache::matrix_fingerprint(const ScoreMatrix& m) {
+  std::uint64_t h = hash_bytes(m.name().data(), m.name().size());
+  const int alpha = m.size();
+  h ^= static_cast<std::uint64_t>(alpha) * 0x9e3779b97f4a7c15ULL;
+  for (int c = 0; c < alpha; ++c) {
+    const std::span<const std::int8_t> row = m.row(c);
+    h ^= hash_bytes(row.data(), row.size());
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool SharedProfileCache::spans_equal(const std::vector<std::uint8_t>& a,
+                                     std::span<const std::uint8_t> b) noexcept {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+}  // namespace valign

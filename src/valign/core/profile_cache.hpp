@@ -1,0 +1,131 @@
+// Process-wide cache of striped query profiles, shared across engines.
+//
+// A database search touches the same query with several engines (the width
+// ladder's i8/i16/i32 attempts, Auto's striped/scan/deconstructed switches,
+// one engine clone per worker thread), and every one of them used to gather
+// its own copy of the same substitution rows. The profile depends only on
+// (matrix, query, lanes, element type) — none of gap penalties, alignment
+// class or approach — so all of those consumers can share one immutable
+// build. SSW (arXiv:1208.6350) showed this reuse is table stakes for search
+// throughput; here it also feeds the `runtime.kernel.profile_cache.*`
+// counters so the saving is auditable per run.
+//
+// Entries are keyed by content (matrix fingerprint + query bytes), never by
+// address alone, so a ScoreMatrix rebuilt at a recycled address cannot alias
+// a stale profile. Lookup takes a mutex; the returned shared_ptr is
+// immutable and safe to read from any thread while the cache evicts or
+// resets underneath it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "valign/core/profile.hpp"
+#include "valign/matrices/matrix.hpp"
+
+namespace valign {
+
+/// Counters mirrored into the metrics registry by the runtime layer
+/// (runtime.kernel.profile_cache.*; see docs/kernels.md).
+struct ProfileCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t builds = 0;       ///< Misses; every miss builds exactly once.
+  std::uint64_t evictions = 0;
+  std::uint64_t fast_builds = 0;  ///< Builds that took the small-alphabet path.
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+/// Member-wise difference: per-run deltas from two global() snapshots (the
+/// cache is process-wide, so drivers report what *their* run added).
+[[nodiscard]] inline ProfileCacheStats operator-(const ProfileCacheStats& a,
+                                                 const ProfileCacheStats& b) noexcept {
+  return {a.lookups - b.lookups, a.hits - b.hits, a.builds - b.builds,
+          a.evictions - b.evictions, a.fast_builds - b.fast_builds};
+}
+
+class SharedProfileCache {
+ public:
+  /// LRU capacity in profiles. Sized for a streaming search's working set
+  /// (queries in flight x 3 widths x a safety margin), not a whole corpus.
+  static constexpr std::size_t kCapacity = 64;
+
+  /// Returns the cached profile for (matrix, query, lanes, T), building and
+  /// inserting it on a miss. The result is immutable and outlives eviction.
+  template <class T>
+  [[nodiscard]] std::shared_ptr<const StripedProfile<T>> acquire(
+      const ScoreMatrix& matrix, std::span<const std::uint8_t> query, int lanes) {
+    const std::uint64_t mfp = matrix_fingerprint(matrix);
+    const std::uint64_t qh = hash_bytes(query.data(), query.size());
+    const int bits = 8 * static_cast<int>(sizeof(T));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.lookups;
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if (it->matrix_fp == mfp && it->lanes == lanes && it->elem_bits == bits &&
+          it->qhash == qh && spans_equal(it->query, query)) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it);  // mark most-recently-used
+        return std::static_pointer_cast<const StripedProfile<T>>(it->profile);
+      }
+    }
+
+    auto prof = std::make_shared<StripedProfile<T>>();
+    prof->build(matrix, query, lanes);
+    ++stats_.builds;
+    if (prof->built_fast()) ++stats_.fast_builds;
+
+    Entry e;
+    e.matrix_fp = mfp;
+    e.lanes = lanes;
+    e.elem_bits = bits;
+    e.qhash = qh;
+    e.query.assign(query.begin(), query.end());
+    e.profile = std::static_pointer_cast<const void>(
+        std::shared_ptr<const StripedProfile<T>>(prof));
+    lru_.push_front(std::move(e));
+    while (lru_.size() > kCapacity) {
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    return prof;
+  }
+
+  [[nodiscard]] ProfileCacheStats stats() const;
+  /// Drops every entry and zeroes the counters (test isolation; outstanding
+  /// shared_ptrs stay valid).
+  void reset();
+
+  /// The process-wide instance every engine's set_query goes through.
+  [[nodiscard]] static SharedProfileCache& global();
+
+ private:
+  struct Entry {
+    std::uint64_t matrix_fp = 0;
+    int lanes = 0;
+    int elem_bits = 0;
+    std::uint64_t qhash = 0;
+    std::vector<std::uint8_t> query;
+    std::shared_ptr<const void> profile;
+  };
+
+  static std::uint64_t hash_bytes(const void* data, std::size_t n) noexcept;
+  /// Content fingerprint of a matrix (name, alphabet size, every score).
+  static std::uint64_t matrix_fingerprint(const ScoreMatrix& m);
+  static bool spans_equal(const std::vector<std::uint8_t>& a,
+                          std::span<const std::uint8_t> b) noexcept;
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used; size <= kCapacity + 1
+  ProfileCacheStats stats_;
+};
+
+}  // namespace valign

@@ -13,6 +13,7 @@
 
 #include "valign/core/engine_common.hpp"
 #include "valign/core/profile.hpp"
+#include "valign/core/profile_cache.hpp"
 
 namespace valign {
 
@@ -30,9 +31,9 @@ class StripedAligner {
       : matrix_(&matrix), gap_(gap), ends_(ends) {}
 
   void set_query(std::span<const std::uint8_t> query) {
-    prof_.build(*matrix_, query, V::lanes);
+    prof_ = SharedProfileCache::global().acquire<T>(*matrix_, query, V::lanes);
     qlen_ = query.size();
-    const std::size_t vecs = prof_.seglen() * static_cast<std::size_t>(V::lanes);
+    const std::size_t vecs = prof_->seglen() * static_cast<std::size_t>(V::lanes);
     h0_.resize(vecs);
     h1_.resize(vecs);
     e_.resize(vecs);
@@ -43,7 +44,7 @@ class StripedAligner {
   AlignResult align(std::span<const std::uint8_t> db) {
     namespace ins = instrument;
     constexpr int p = V::lanes;
-    const std::size_t L = prof_.seglen();
+    const std::size_t L = prof_ ? prof_->seglen() : 1;
     const std::size_t m = db.size();
     const std::int64_t o = gap_.open;
     const std::int64_t e = gap_.extend;
@@ -94,7 +95,7 @@ class StripedAligner {
 
       for (std::size_t t = 0; t < L; ++t) {
         const std::size_t off = t * static_cast<std::size_t>(p);
-        V vH = V::adds(vHdiag, V::load(prof_.epoch(code, t)));
+        V vH = V::adds(vHdiag, V::load(prof_->epoch(code, t)));
         const V vHp = V::load(hload + off);
         const V vE = V::subs(V::max(V::load(earr + off), V::subs(vHp, vGapO)), vGapE);
         vH = V::max(vH, vE);
@@ -112,12 +113,15 @@ class StripedAligner {
 
       // Lazy-F corrective loop (Algorithm 5's "while F contributes").
       //
-      // The convergence test is Farrar's: stop once no lane's carried F can
-      // beat re-opening from the stored H. Its soundness needs o > 0 — at
-      // o == 0 a carried F *equal* to H still matters downstream (extension
-      // and re-opening tie), so for that corner the loop runs its full
-      // worst case instead of exiting early.
-      const bool may_converge = (o > 0);
+      // The convergence test is the sound form of Farrar's: compare the
+      // carried F against the stored H *before* touching the row. Once no
+      // lane has F > H - o, pass 1's own F chain dominates the carried one
+      // at every remaining row and across lane wraps (F1[t+1] >= H1[t] - o
+      // - e and F1 decays by at most e per row), so the whole loop can stop
+      // — exact for any o >= 0, including o == 0. Farrar's published form
+      // tests *after* the row update, comparing the next F against the row
+      // just raised while H one row down may sit up to e lower; weak open
+      // penalties (o <= e) fall into that e-sized hole.
       bool converged = false;
       int passes = 0;
       for (int k = 0; k < p && !converged; ++k, ++passes) {
@@ -125,25 +129,25 @@ class StripedAligner {
         for (std::size_t t = 0; t < L; ++t) {
           const std::size_t off = t * static_cast<std::size_t>(p);
           V vH = V::load(hstore + off);
+          // Loop control plus consuming the convergence mask in scalar code
+          // (movemask transfer, test, conditional jump).
+          ins::count_scalar<V>(ins::OpCategory::ScalarArith, 3);
+          ins::count_scalar<V>(ins::OpCategory::ScalarBranch, 2);
+          if (!V::any_gt(vF, V::subs(vH, vGapO))) {
+            converged = true;
+            break;
+          }
           vH = V::max(vH, vF);
           vH.store(hstore + off);
           vMax = V::max(vMax, vH);
           ++res.stats.corrective_epochs;
           vF = V::subs(vF, vGapE);
-          // Loop control plus consuming the convergence mask in scalar code
-          // (movemask transfer, test, conditional jump).
-          ins::count_scalar<V>(ins::OpCategory::ScalarArith, 3);
-          ins::count_scalar<V>(ins::OpCategory::ScalarBranch, 2);
-          if (may_converge && !V::any_gt(vF, V::subs(vH, vGapO))) {
-            converged = true;
-            break;
-          }
         }
       }
 
       // Histogram bucket = full corrective re-walks this column needed:
       // 0 = the mandatory check pass converged (F never contributed),
-      // k = k extra re-walks, p = never converged (the o == 0 corner).
+      // k = k extra re-walks, p = F stayed live through every lane wrap.
       res.stats.lazyf_hist.record(
           static_cast<std::uint64_t>(converged ? passes - 1 : passes));
 
@@ -233,7 +237,7 @@ class StripedAligner {
   const ScoreMatrix* matrix_;
   GapPenalty gap_;
   SemiGlobalEnds ends_;
-  StripedProfile<T> prof_;
+  std::shared_ptr<const StripedProfile<T>> prof_;
   std::size_t qlen_ = 0;
   aligned_vector<T> h0_, h1_, e_;
 };

@@ -237,11 +237,27 @@ void RunReport::write_json(std::ostream& out) const {
   json_pass_hist(out, totals.lazyf_hist);
   out << R"(,"hscan_step_hist":)";
   json_pass_hist(out, totals.hscan_hist);
-  out << "}";
+  out << R"(,"prefix_pass_hist":)";
+  json_pass_hist(out, totals.prefix_hist);
+  out << R"(,"approaches":{)";
+  {
+    Sep sep(out);
+    for (std::size_t a = 0; a < totals.approach_counts.size(); ++a) {
+      sep.next();
+      out << '"' << to_string(static_cast<Approach>(a)) << R"(":)"
+          << totals.approach_counts[a];
+    }
+  }
+  out << "}}";
 
   out << R"(,"engine_cache":{"lookups":)" << cache_lookups << R"(,"hits":)"
       << cache_hits << R"(,"builds":)" << cache_builds << R"(,"evictions":)"
       << cache_evictions << R"(,"profile_sets":)" << cache_profile_sets << "}";
+
+  out << R"(,"profile_cache":{"lookups":)" << profile_cache_lookups
+      << R"(,"hits":)" << profile_cache_hits << R"(,"builds":)"
+      << profile_cache_builds << R"(,"evictions":)" << profile_cache_evictions
+      << R"(,"fast_builds":)" << profile_cache_fast_builds << "}";
 
   out << R"(,"quarantine":{"lenient":)" << (lenient ? "true" : "false")
       << R"(,"max_errors":)" << max_errors << R"(,"records":)" << quarantined
@@ -376,12 +392,23 @@ void RunReport::write_csv(std::ostream& out) const {
         totals.lazyf_hist.counts[static_cast<std::size_t>(b)]);
     row("engine.hscan_step_hist." + pass_bucket_label(b),
         totals.hscan_hist.counts[static_cast<std::size_t>(b)]);
+    row("engine.prefix_pass_hist." + pass_bucket_label(b),
+        totals.prefix_hist.counts[static_cast<std::size_t>(b)]);
+  }
+  for (std::size_t a = 0; a < totals.approach_counts.size(); ++a) {
+    row(std::string("engine.approaches.") + to_string(static_cast<Approach>(a)),
+        totals.approach_counts[a]);
   }
   row("engine_cache.lookups", cache_lookups);
   row("engine_cache.hits", cache_hits);
   row("engine_cache.builds", cache_builds);
   row("engine_cache.evictions", cache_evictions);
   row("engine_cache.profile_sets", cache_profile_sets);
+  row("profile_cache.lookups", profile_cache_lookups);
+  row("profile_cache.hits", profile_cache_hits);
+  row("profile_cache.builds", profile_cache_builds);
+  row("profile_cache.evictions", profile_cache_evictions);
+  row("profile_cache.fast_builds", profile_cache_fast_builds);
   row("quarantine.lenient", lenient ? 1 : 0);
   row("quarantine.max_errors", max_errors);
   row("quarantine.records", quarantined);

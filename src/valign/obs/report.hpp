@@ -68,8 +68,9 @@ struct RunReport {
   /// width_index). Documents the ladder: widths "tried" are those nonzero.
   std::array<std::uint64_t, 3> width_counts{};
 
-  /// Engine work totals, including the lazy-F pass and hscan step
-  /// histograms fed from the convergence loops.
+  /// Engine work totals, including the lazy-F / prefix fix-up pass and hscan
+  /// step histograms fed from the convergence loops and the per-approach
+  /// census (totals.approach_counts → the JSON engine.approaches object).
   AlignStats totals{};
 
   // --- engine cache --------------------------------------------------------
@@ -78,6 +79,13 @@ struct RunReport {
   std::uint64_t cache_builds = 0;
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_profile_sets = 0;
+
+  // --- shared query-profile cache (core/profile_cache, docs/kernels.md) ----
+  std::uint64_t profile_cache_lookups = 0;
+  std::uint64_t profile_cache_hits = 0;
+  std::uint64_t profile_cache_builds = 0;
+  std::uint64_t profile_cache_evictions = 0;
+  std::uint64_t profile_cache_fast_builds = 0;  ///< Small-alphabet fused builds.
 
   // --- degraded mode (docs/robustness.md) ----------------------------------
   bool lenient = false;               ///< Lenient parsing was requested.

@@ -15,6 +15,7 @@ namespace valign::runtime {
 
 SearchPipeline::SearchPipeline(const Dataset& queries, PipelineConfig cfg)
     : queries_(&queries), cfg_(cfg), t0_(std::chrono::steady_clock::now()) {
+  profile_cache_start_ = SharedProfileCache::global().stats();
   cfg_.batch_size = std::max<std::size_t>(1, cfg_.batch_size);
   const auto nworkers =
       static_cast<std::size_t>(cfg_.search.threads > 0 ? cfg_.search.threads : 1);
@@ -253,8 +254,9 @@ void SearchPipeline::worker_main(WorkerState& state) {
       }
       const double mean_dlen =
           static_cast<double>(chunk_residues) / static_cast<double>(n);
-      const EngineMode mode = resolve_engine(cfg_.search.engine, qlen, n,
-                                             mean_dlen, lane_count, alpha);
+      const EngineMode mode =
+          resolve_engine(cfg_.search.engine, qlen, n, mean_dlen, lane_count,
+                         alpha, cfg_.search.align.klass, cfg_.search.align.model);
       if (mode == EngineMode::Inter) {
         if (!batch_loaded) {
           batcher->set_query(queries[q]);
@@ -342,9 +344,9 @@ void SearchPipeline::worker_main(WorkerState& state) {
           shard.seqs.empty() ? 0.0
                              : static_cast<double>(shard_residues) /
                                    static_cast<double>(shard.seqs.size());
-      const EngineMode mode =
-          resolve_engine(cfg_.search.engine, queries[q].size(),
-                         shard.seqs.size(), mean_dlen, lane_count, alpha);
+      const EngineMode mode = resolve_engine(
+          cfg_.search.engine, queries[q].size(), shard.seqs.size(), mean_dlen,
+          lane_count, alpha, cfg_.search.align.klass, cfg_.search.align.model);
       if (mode == EngineMode::Inter) {
         batcher->set_query(queries[q]);
         batch_dbs.clear();
@@ -544,7 +546,10 @@ apps::SearchReport SearchPipeline::finish() {
        << report.failures.front().error;
     throw robust::StatusError(robust::StatusCode::Internal, os.str());
   }
+  report.profile_cache =
+      SharedProfileCache::global().stats() - profile_cache_start_;
   publish_cache_stats(report.cache);
+  publish_kernel_stats(report.profile_cache, report.totals);
   if (cfg_.search.engine != EngineMode::Intra) {
     publish_interseq_stats(report.interseq, report.interseq_fallbacks);
   }

@@ -140,6 +140,8 @@ class SearchPipeline {
   std::condition_variable wd_cv_;
   bool wd_stop_ = false;
   std::chrono::steady_clock::time_point t0_;
+  /// Profile-cache snapshot at construction (the run's delta baseline).
+  ProfileCacheStats profile_cache_start_{};
   bool finished_ = false;
 };
 

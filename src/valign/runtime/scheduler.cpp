@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "valign/common.hpp"
+#include "valign/core/calibrate.hpp"
+#include "valign/core/profile_cache.hpp"
 #include "valign/obs/metrics.hpp"
 #include "valign/robust/status.hpp"
 
@@ -243,7 +245,8 @@ Schedule make_all_pairs_schedule(const Dataset& ds, const ScheduleConfig& cfg) {
 
 EngineMode resolve_engine(EngineMode requested, std::size_t qlen,
                           std::size_t block_pairs, double mean_dlen, int lanes,
-                          int alpha) {
+                          int alpha, AlignClass klass,
+                          const EngineModel* model) {
   if (requested != EngineMode::Auto) return requested;
   if (qlen == 0 || block_pairs == 0 || lanes <= 1) return EngineMode::Intra;
 
@@ -255,7 +258,9 @@ EngineMode resolve_engine(EngineMode requested, std::size_t qlen,
   constexpr double kBook = 4.0;      // per-lane per-column bookkeeping
   constexpr double kRefill = 1.5;    // per-row lane reset on refill
   constexpr double kLazyF = 1.35;    // striped corrective-pass inflation
-  constexpr double kColTail = 45.0;  // striped per-column scalar tail
+  constexpr double kScan = 1.30;     // scan's fixed second pass (lighter ops)
+  constexpr double kDecon = 1.10;    // deconstructed: hscan + rare fix-up
+  constexpr double kColTail = 45.0;  // intra per-column scalar tail
 
   const auto n = static_cast<double>(qlen);
   const double p = lanes;
@@ -268,9 +273,15 @@ EngineMode resolve_engine(EngineMode requested, std::size_t qlen,
       (n * kEpoch + p * (static_cast<double>(alpha) * kFill + kBook)) /
           (p * occupancy) +
       n * kRefill / cols;
-  // Intra (striped): every column serves exactly one pair.
+  // Intra: every column serves exactly one pair. The corrective inflation
+  // depends on which engine Approach::Auto would run for this shape.
+  const Approach pick =
+      (model ? *model : EngineModel::pinned()).choose(klass, lanes, qlen);
+  const double inflate = pick == Approach::Scan            ? kScan
+                         : pick == Approach::Deconstructed ? kDecon
+                                                           : kLazyF;
   const double seg = std::ceil(n / p);
-  const double intra = seg * kEpoch * kLazyF + kColTail;
+  const double intra = seg * kEpoch * inflate + kColTail;
 
   return inter < intra ? EngineMode::Inter : EngineMode::Intra;
 }
@@ -290,6 +301,28 @@ void publish_interseq_stats(const InterSeqBatchStats& stats,
   if (stats.lane_capacity_steps > 0) {
     reg.gauge("runtime.interseq.occupancy_pct")
         .set(static_cast<std::int64_t>(100.0 * stats.occupancy()));
+  }
+}
+
+void publish_kernel_stats(const ProfileCacheStats& cache,
+                          const AlignStats& totals) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("runtime.kernel.profile_cache.lookups").add(cache.lookups);
+  reg.counter("runtime.kernel.profile_cache.hits").add(cache.hits);
+  reg.counter("runtime.kernel.profile_cache.builds").add(cache.builds);
+  reg.counter("runtime.kernel.profile_cache.evictions").add(cache.evictions);
+  reg.counter("runtime.kernel.profile_cache.fast_builds").add(cache.fast_builds);
+  std::uint64_t ran = 0;
+  for (int b = 1; b < PassHist::kBuckets; ++b) {
+    ran += totals.prefix_hist.counts[static_cast<std::size_t>(b)];
+  }
+  reg.counter("runtime.kernel.prefix_pass.skipped").add(totals.prefix_hist.counts[0]);
+  reg.counter("runtime.kernel.prefix_pass.ran").add(ran);
+  for (std::size_t a = 0; a < kApproachCount; ++a) {
+    if (totals.approach_counts[a] == 0) continue;
+    reg.counter(std::string("runtime.kernel.approach.") +
+                to_string(static_cast<Approach>(a)))
+        .add(totals.approach_counts[a]);
   }
 }
 

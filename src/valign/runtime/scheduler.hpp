@@ -22,6 +22,11 @@
 #include "valign/core/prefilter.hpp"
 #include "valign/io/sequence.hpp"
 
+namespace valign {
+struct EngineModel;        // core/calibrate.hpp
+struct ProfileCacheStats;  // core/profile_cache.hpp
+}
+
 namespace valign::runtime {
 
 /// Work-partitioning policy for the batch drivers.
@@ -103,9 +108,12 @@ struct Schedule {
 ///    O(lanes * alpha) scalar profile-gather/bookkeeping, shared by
 ///    `min(block_pairs, lanes)` pairs; finished lanes pay a `qlen`-sized
 ///    refill every `mean_dlen` columns.
-///  - intra-task (striped estimate): `ceil(qlen/lanes)` epochs per column,
-///    inflated by the lazy-F corrective factor, plus a fixed per-column
-///    scalar tail that only ever serves one pair.
+///  - intra-task: `ceil(qlen/lanes)` epochs per column, inflated by a
+///    per-approach corrective factor — the one Approach::Auto would pick for
+///    this (class, lanes, qlen) under `model` (null = EngineModel::pinned()).
+///    Striped pays the lazy-F re-walk tail; Scan pays its fixed second pass;
+///    Deconstructed pays only the rare single fix-up. A fixed per-column
+///    scalar tail that only ever serves one pair is added to all three.
 ///
 /// The packed engine wins whenever it can keep most lanes full (block_pairs
 /// approaching `lanes`); intra-task wins on underfilled blocks, where the
@@ -113,7 +121,9 @@ struct Schedule {
 /// `requested` short-circuits: anything but Auto is returned unchanged.
 [[nodiscard]] EngineMode resolve_engine(EngineMode requested, std::size_t qlen,
                                         std::size_t block_pairs,
-                                        double mean_dlen, int lanes, int alpha);
+                                        double mean_dlen, int lanes, int alpha,
+                                        AlignClass klass = AlignClass::Local,
+                                        const EngineModel* model = nullptr);
 
 /// Folds a driver's accumulated inter-sequence engine accounting into the
 /// global registry (`runtime.interseq.*`: pairs, batches, refills,
@@ -139,5 +149,14 @@ void publish_prefilter_stats(const PrefilterStats& stats,
                              std::uint64_t screened, std::uint64_t escalated,
                              std::uint64_t screen_failures,
                              std::uint64_t chunks);
+
+/// Folds a run's kernel-level accounting into the global registry
+/// (`runtime.kernel.*`, docs/kernels.md): the shared query-profile cache's
+/// per-run deltas (profile_cache.lookups/hits/builds/evictions/fast_builds),
+/// the deconstructed engine's fix-up census (prefix_pass.skipped/ran), and
+/// one `approach.<name>` counter per engine that answered alignments — how
+/// Approach::Auto actually resolved, block by block.
+void publish_kernel_stats(const ProfileCacheStats& cache,
+                          const AlignStats& totals);
 
 }  // namespace valign::runtime

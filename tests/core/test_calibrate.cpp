@@ -100,6 +100,74 @@ TEST(Aligner, UsesInjectedPrescriptionTable) {
   EXPECT_EQ(a2.align(d).approach, Approach::Striped);
 }
 
+// --- three-engine model (docs/kernels.md) ------------------------------------
+
+TEST(EngineModel, PaperModelNeverPicksDeconstructed) {
+  // The paper() fallback is Table IV lifted verbatim: Striped/Scan only,
+  // agreeing with the legacy prescription on both sides of each crossover.
+  const EngineModel m = EngineModel::paper();
+  for (const AlignClass c :
+       {AlignClass::Global, AlignClass::SemiGlobal, AlignClass::Local}) {
+    for (const int lanes : {4, 8, 16}) {
+      for (const std::size_t qlen : {10u, 100u, 200u, 1000u}) {
+        const Approach a = m.choose(c, lanes, qlen);
+        EXPECT_NE(a, Approach::Deconstructed);
+        EXPECT_EQ(a, PrescriptionTable::paper().choose(c, lanes, qlen));
+      }
+    }
+  }
+}
+
+TEST(EngineModel, ChooseFollowsCellWinnersAroundTheCrossover) {
+  EngineModel m;
+  m.cells[2][1] = {Approach::Scan, Approach::Deconstructed, 150};  // SW @8
+  EXPECT_EQ(m.choose(AlignClass::Local, 8, 149), Approach::Scan);
+  EXPECT_EQ(m.choose(AlignClass::Local, 8, 150), Approach::Deconstructed);
+  // Zero crossover = one engine dominates the whole range.
+  m.cells[2][1] = {Approach::Deconstructed, Approach::Deconstructed, 0};
+  EXPECT_EQ(m.choose(AlignClass::Local, 8, 1), Approach::Deconstructed);
+  EXPECT_EQ(m.choose(AlignClass::Local, 8, 100000), Approach::Deconstructed);
+  // Lane counts outside {4,8,16} clamp to the nearest column.
+  EXPECT_EQ(&m.cell(AlignClass::Local, 32), &m.cell(AlignClass::Local, 16));
+  EXPECT_EQ(&m.cell(AlignClass::Local, 2), &m.cell(AlignClass::Local, 4));
+}
+
+TEST(EngineModel, PinnedIsWellFormedAndPrintable) {
+  const EngineModel& m = EngineModel::pinned();
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("NW"), std::string::npos);
+  EXPECT_NE(s.find("SG"), std::string::npos);
+  EXPECT_NE(s.find("SW"), std::string::npos);
+  for (const auto& row : m.cells) {
+    for (const auto& c : row) {
+      EXPECT_GE(c.crossover, 0);
+      // Zero crossover must mean a single dominating winner.
+      if (c.crossover == 0) EXPECT_EQ(c.short_winner, c.long_winner);
+    }
+  }
+}
+
+TEST(CalibrateEngines, ProducesAValidModel) {
+  CalibrationConfig cfg;
+  cfg.db_count = 8;
+  cfg.lengths = {16, 64, 192};
+  cfg.min_seconds = 0.001;  // keep the test fast; noise is fine here
+  const EngineModel m = calibrate_engines(cfg);
+  for (const auto& row : m.cells) {
+    for (const auto& c : row) {
+      EXPECT_GE(c.crossover, 0);
+      EXPECT_LE(c.crossover, 300);
+      if (c.crossover == 0) EXPECT_EQ(c.short_winner, c.long_winner);
+    }
+  }
+}
+
+TEST(CalibrateEngines, RejectsDegenerateConfig) {
+  CalibrationConfig cfg;
+  cfg.lengths = {100};
+  EXPECT_THROW((void)calibrate_engines(cfg), Error);
+}
+
 // --- prefilter margin model (docs/prefilter.md) ------------------------------
 
 /// The property the whole two-stage design rests on: for every pair the

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../support/random_seqs.hpp"
+#include "valign/core/calibrate.hpp"
 #include "valign/core/dispatch.hpp"
 #include "valign/core/scalar.hpp"
 
@@ -213,26 +214,46 @@ TEST(Prescribe, CrossoversGrowWithLanesForLocal) {
             prescribe_crossover(AlignClass::Local, 4));
 }
 
-TEST(Dispatch, AutoApproachFollowsPrescription) {
+TEST(Dispatch, AutoApproachFollowsEngineModel) {
+  // Approach::Auto resolves through an injected EngineModel ahead of any
+  // PrescriptionTable (precedence: model > prescription > pinned()).
   std::mt19937_64 rng(7);
   Options opts;
   opts.klass = AlignClass::Local;
   opts.width = ElemWidth::W32;
+  EngineModel model;
+  for (auto& row : model.cells)
+    for (auto& c : row)
+      c = {Approach::Scan, Approach::Deconstructed, 120};
+  opts.model = &model;
   Aligner aligner(opts);
-  const int lanes = simd::native_lanes(aligner.isa(), 32);
-  const int cross = prescribe_crossover(AlignClass::Local, lanes);
   {
-    const auto q = random_codes(static_cast<std::size_t>(cross) - 10, rng);
+    const auto q = random_codes(80, rng);
     aligner.set_query(q);
     const AlignResult r = aligner.align(random_codes(100, rng));
     EXPECT_EQ(r.approach, Approach::Scan);
   }
   {
-    const auto q = random_codes(static_cast<std::size_t>(cross) + 10, rng);
+    const auto q = random_codes(200, rng);
     aligner.set_query(q);
     const AlignResult r = aligner.align(random_codes(100, rng));
-    EXPECT_EQ(r.approach, Approach::Striped);
+    EXPECT_EQ(r.approach, Approach::Deconstructed);
   }
+}
+
+TEST(Dispatch, AutoApproachDefaultsToPinnedModel) {
+  // With nothing injected, Auto follows EngineModel::pinned().
+  std::mt19937_64 rng(11);
+  Options opts;
+  opts.klass = AlignClass::Local;
+  opts.width = ElemWidth::W32;
+  Aligner aligner(opts);
+  const int lanes = simd::native_lanes(aligner.isa(), 32);
+  const auto q = random_codes(90, rng);
+  aligner.set_query(q);
+  const AlignResult r = aligner.align(random_codes(100, rng));
+  EXPECT_EQ(r.approach,
+            EngineModel::pinned().choose(AlignClass::Local, lanes, q.size()));
 }
 
 }  // namespace

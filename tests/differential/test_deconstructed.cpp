@@ -1,0 +1,220 @@
+// Deconstructed-engine differential battery (docs/kernels.md): the
+// prefix-max lazy-F kernel pushed through the dispatcher and compared
+// against the scalar ground truth across alignment classes, element widths,
+// scoring schemes — including the weak-open schemes (o <= e) whose
+// convergence soundness the kernel's pre-update test was designed for — and
+// the overflow ladder's retry path.
+//
+// Also the Approach::Auto property test: an EngineModel only ever chooses
+// WHICH engine answers, so any model — paper, pinned, or adversarial —
+// must produce bit-identical scores on the same workload.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "../support/random_seqs.hpp"
+#include "valign/core/calibrate.hpp"
+#include "valign/core/dispatch.hpp"
+#include "valign/core/scalar.hpp"
+#include "valign/matrices/matrix.hpp"
+#include "valign/simd/arch.hpp"
+
+namespace valign {
+namespace {
+
+using testing_support::random_codes;
+using testing_support::related_pair;
+
+constexpr AlignClass kClasses[] = {AlignClass::Global, AlignClass::SemiGlobal,
+                                   AlignClass::Local};
+
+struct Scheme {
+  const char* matrix;
+  GapPenalty gap;
+};
+
+// The last two schemes open gaps for <= one extension: the regime where
+// Farrar's textbook post-update convergence test is unsound (an e-sized
+// blind spot; see core/striped.hpp). The battery holding on them is what
+// certifies the pre-update test in both the striped and deconstructed loops.
+constexpr Scheme kSchemes[] = {
+    {"blosum62", {11, 1}},
+    {"blosum62", {10, 2}},
+    {"blosum50", {13, 2}},
+    {"blosum62", {1, 1}},
+    {"blosum62", {0, 4}},
+};
+
+struct Case {
+  std::uint64_t seed = 0;
+  std::vector<std::uint8_t> q, d;
+  const char* shape = "";
+};
+
+/// One randomized workload per seed: lengths 1..300, alternating unrelated
+/// pairs and pairs with a planted high-identity core (the planted cores push
+/// scores toward the i8/i16 rails, exercising the width-retry ladder).
+Case make_case(std::uint64_t seed) {
+  Case c;
+  c.seed = seed;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> len(1, 300);
+  const std::size_t qlen = len(rng);
+  const std::size_t dlen = len(rng);
+  if (seed % 2 == 0) {
+    c.q = random_codes(qlen, rng);
+    c.d = random_codes(dlen, rng);
+    c.shape = "unrelated";
+  } else {
+    const std::size_t core = std::min({qlen, dlen, std::size_t{96}});
+    auto [q, d] = related_pair(qlen, dlen, core, rng);
+    c.q = std::move(q);
+    c.d = std::move(d);
+    c.shape = "related";
+  }
+  return c;
+}
+
+/// Deconstructed vs scalar for one (case, class, scheme) at every width
+/// worth checking. Returns the number of score comparisons performed.
+int run_cell(const Case& c, AlignClass klass, const Scheme& s) {
+  const ScoreMatrix& mat = ScoreMatrix::from_name(s.matrix);
+  const AlignResult want = align_scalar(klass, mat, s.gap, c.q, c.d);
+
+  // Auto walks the ladder (i8 -> i16 -> i32) and must land on the exact
+  // score; W32 pins the widest backend; W16/W8 run only where saturation is
+  // structurally ruled out, pinning the narrow backends directly.
+  std::vector<ElemWidth> widths = {ElemWidth::Auto, ElemWidth::W32};
+  if (width_is_safe(klass, 16, c.q.size(), c.d.size(), s.gap, mat)) {
+    widths.push_back(ElemWidth::W16);
+  }
+  if (width_is_safe(klass, 8, c.q.size(), c.d.size(), s.gap, mat)) {
+    widths.push_back(ElemWidth::W8);
+  }
+
+  int compared = 0;
+  for (const ElemWidth w : widths) {
+    Options opts;
+    opts.klass = klass;
+    opts.approach = Approach::Deconstructed;
+    opts.width = w;
+    opts.matrix = &mat;
+    opts.gap = s.gap;
+    Aligner aligner(opts);
+    aligner.set_query(c.q);
+    const AlignResult got = aligner.align(c.d);
+    if (got.overflowed) {
+      EXPECT_NE(w, ElemWidth::Auto) << "Auto must never report overflow";
+      EXPECT_NE(w, ElemWidth::W32) << "W32 must never report overflow";
+      continue;
+    }
+    EXPECT_EQ(got.score, want.score) << "width " << static_cast<int>(w);
+    EXPECT_EQ(got.approach, Approach::Deconstructed);
+    ++compared;
+  }
+  return compared;
+}
+
+TEST(DeconstructedDifferential, MatchesScalarAcrossSeededWorkloads) {
+  // 36 seeds x 3 classes x >=2 widths >= 300 deconstructed-vs-scalar score
+  // comparisons; the floor is asserted so shrinking the matrix cannot
+  // silently gut the suite.
+  constexpr std::uint64_t kSeeds = 36;
+  int compared = 0;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const Case c = make_case(seed);
+    for (const AlignClass klass : kClasses) {
+      SCOPED_TRACE(::testing::Message()
+                   << "seed=" << c.seed << " shape=" << c.shape
+                   << " q=" << c.q.size() << " d=" << c.d.size()
+                   << " class=" << to_string(klass));
+      compared += run_cell(c, klass, kSchemes[seed % 5]);
+    }
+  }
+  EXPECT_GE(compared, 300) << "deconstructed coverage shrank below the target";
+  std::printf("[deconstructed] %d engine-vs-scalar score comparisons\n",
+              compared);
+}
+
+TEST(DeconstructedDifferential, WidthRetryLadderStaysExact) {
+  // Pairs engineered to saturate i8 (long planted cores, match-heavy
+  // scoring): Auto must walk the ladder and still land on the scalar score,
+  // and the width census must show at least one escalation happened.
+  std::mt19937_64 rng(99);
+  const ScoreMatrix& mat = ScoreMatrix::from_name("blosum62");
+  const GapPenalty gap{11, 1};
+  int escalated = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto [q, d] = related_pair(220, 240, 200, rng);
+    for (const AlignClass klass : kClasses) {
+      SCOPED_TRACE(::testing::Message()
+                   << "i=" << i << " class=" << to_string(klass));
+      const AlignResult want = align_scalar(klass, mat, gap, q, d);
+      Options opts;
+      opts.klass = klass;
+      opts.approach = Approach::Deconstructed;
+      opts.width = ElemWidth::Auto;
+      opts.matrix = &mat;
+      opts.gap = gap;
+      Aligner aligner(opts);
+      aligner.set_query(q);
+      const AlignResult got = aligner.align(d);
+      EXPECT_FALSE(got.overflowed);
+      EXPECT_EQ(got.score, want.score);
+      if (got.bits > 8) ++escalated;
+    }
+  }
+  EXPECT_GT(escalated, 0) << "battery never left i8; it no longer exercises "
+                             "the retry ladder";
+}
+
+TEST(DeconstructedDifferential, AutoModelNeverChangesScores) {
+  // Property: the EngineModel behind Approach::Auto selects the engine, and
+  // engines are score-identical, so ANY model yields the same scores. Run
+  // the same workload under the paper model, the pinned model, and two
+  // adversarial single-engine models; all four must agree with scalar.
+  EngineModel all_decon;
+  for (auto& row : all_decon.cells)
+    for (auto& c : row)
+      c = {Approach::Deconstructed, Approach::Deconstructed, 0};
+  EngineModel all_scan;
+  for (auto& row : all_scan.cells)
+    for (auto& c : row)
+      c = {Approach::Scan, Approach::Scan, 0};
+  const EngineModel paper = EngineModel::paper();
+  const EngineModel* models[] = {nullptr /* pinned */, &paper, &all_decon,
+                                 &all_scan};
+
+  const ScoreMatrix& mat = ScoreMatrix::from_name("blosum62");
+  const GapPenalty gap{10, 2};
+  for (std::uint64_t seed = 40; seed < 46; ++seed) {
+    const Case c = make_case(seed);
+    for (const AlignClass klass : kClasses) {
+      SCOPED_TRACE(::testing::Message() << "seed=" << seed << " class="
+                                        << to_string(klass));
+      const AlignResult want = align_scalar(klass, mat, gap, c.q, c.d);
+      for (const EngineModel* m : models) {
+        Options opts;
+        opts.klass = klass;
+        opts.approach = Approach::Auto;
+        opts.matrix = &mat;
+        opts.gap = gap;
+        opts.model = m;
+        Aligner aligner(opts);
+        aligner.set_query(c.q);
+        const AlignResult got = aligner.align(c.d);
+        EXPECT_FALSE(got.overflowed);
+        EXPECT_EQ(got.score, want.score);
+        // The census records whichever engine the model resolved to.
+        EXPECT_EQ(got.stats.approach_counts[static_cast<std::size_t>(
+                      got.approach)],
+                  1u);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace valign

@@ -86,13 +86,19 @@ TEST(EngineCache, AlternatingWidthsBuildEachEngineOnce) {
 }
 
 TEST(EngineCache, ApproachFlipsReuseEnginesAcrossQueries) {
-  // Queries on either side of the Table IV crossover flip Scan <-> Striped.
+  // Queries on either side of an engine-model crossover flip engines.
   // Revisiting a query length must hit the cache, and an unchanged query
-  // must not trigger a profile rebuild.
+  // must not trigger a profile rebuild. The model is injected so the flip
+  // is guaranteed no matter what this host's pinned crossovers say.
   std::mt19937_64 rng(43);
+  EngineModel model;
+  for (auto& row : model.cells)
+    for (auto& c : row)
+      c = {Approach::Scan, Approach::Deconstructed, 100};
   Options opts;
   opts.klass = AlignClass::Local;
   opts.width = ElemWidth::W32;
+  opts.model = &model;
   Aligner aligner(opts);
   const auto q_short = random_codes(40, rng);
   const auto q_long = random_codes(400, rng);
@@ -434,6 +440,59 @@ TEST(RuntimeMetrics, SearchReportExposesCacheAndWidthActivity) {
   EXPECT_GT(rep.cache.hits, 0u) << "pair blocks revisit queries; must hit";
   // A worker cannot set more profiles than it answered lookups.
   EXPECT_LE(rep.cache.profile_sets, rep.cache.lookups);
+}
+
+TEST(RuntimeMetrics, ProfileCacheHitsAcrossBlocksWithoutChangingTopK) {
+  // Multi-block pair scheduling revisits each query once per block, so the
+  // shared query-profile cache (core/profile_cache, docs/kernels.md) must
+  // serve rebuilds from memory: hit rate > 0, and reuse must be invisible in
+  // the results — the top-k of a warm pair-sched run equals a cold
+  // query-sched run bit for bit.
+  SharedProfileCache::global().reset();
+  obs::Registry& reg = obs::Registry::global();
+  const std::uint64_t lookups0 =
+      reg.counter("runtime.kernel.profile_cache.lookups").value();
+  const std::uint64_t hits0 =
+      reg.counter("runtime.kernel.profile_cache.hits").value();
+
+  const Dataset queries = workload::bacteria_2k(77, 3);
+  const Dataset db = workload::uniprot_like(36, 78);
+  apps::SearchConfig cfg;
+  cfg.sched = runtime::PairSched::Pair;
+  cfg.grain_cells = 10'000;  // small grain => several blocks per query
+  cfg.engine = EngineMode::Intra;
+  const apps::SearchReport warm = apps::search(queries, db, cfg);
+
+  EXPECT_GT(warm.profile_cache.lookups, 0u);
+  EXPECT_GT(warm.profile_cache.hits, 0u)
+      << "pair blocks revisit queries; the shared profile cache must hit";
+  EXPECT_GT(warm.profile_cache.hit_rate(), 0.0);
+  // The report's per-run delta is exactly what reached the global registry.
+  EXPECT_EQ(reg.counter("runtime.kernel.profile_cache.lookups").value() -
+                lookups0,
+            warm.profile_cache.lookups);
+  EXPECT_EQ(reg.counter("runtime.kernel.profile_cache.hits").value() - hits0,
+            warm.profile_cache.hits);
+  // Every alignment was answered by exactly one engine (the census the
+  // runtime.kernel.approach.* counters are fed from).
+  std::uint64_t census = 0;
+  for (const std::uint64_t n : warm.totals.approach_counts) census += n;
+  EXPECT_EQ(census, warm.alignments);
+
+  // Cold run, one block per query: no reuse possible across blocks, same
+  // hits.
+  SharedProfileCache::global().reset();
+  apps::SearchConfig cold_cfg = cfg;
+  cold_cfg.sched = runtime::PairSched::Query;
+  const apps::SearchReport cold = apps::search(queries, db, cold_cfg);
+  ASSERT_EQ(warm.top_hits.size(), cold.top_hits.size());
+  for (std::size_t q = 0; q < warm.top_hits.size(); ++q) {
+    ASSERT_EQ(warm.top_hits[q].size(), cold.top_hits[q].size());
+    for (std::size_t k = 0; k < warm.top_hits[q].size(); ++k) {
+      EXPECT_EQ(warm.top_hits[q][k].db_index, cold.top_hits[q][k].db_index);
+      EXPECT_EQ(warm.top_hits[q][k].score, cold.top_hits[q][k].score);
+    }
+  }
 }
 
 TEST(RuntimeMetrics, GlobalRegistryAccumulatesCacheAndScheduleCounters) {
