@@ -31,6 +31,7 @@
 #include "common.hpp"
 #include "harness.hpp"
 #include "valign/obs/metrics.hpp"
+#include "valign/obs/query_trace.hpp"
 #include "valign/obs/report.hpp"
 #include "valign/runtime/engine_cache.hpp"
 
@@ -405,6 +406,48 @@ int main(int argc, char** argv) {
               wide_isa ? "enforced" : "informational: host lacks AVX2");
   ok &= kernel_scores_match;
   if (wide_isa) ok &= dec_won_cell;
+
+  // --- Verdict 6 (informational): request-tracing overhead -----------------
+  // The same single-thread Local search with request tracing off vs on
+  // (docs/observability.md). The recording path is a relaxed load plus a
+  // bounded per-thread append, so the delta should be noise; the gauges let
+  // CI watch the trend without gating the run on timer jitter. Hits must
+  // still match — tracing is an observer, never a participant.
+  apps::SearchConfig tcfg;
+  tcfg.align.klass = AlignClass::Local;
+  tcfg.threads = 1;
+  tcfg.top_k = 5;
+  apps::SearchReport toff_rep, ton_rep;
+  (void)apps::search(queries, db, tcfg);  // warm-up
+  const double toff_sec = harness.scenario("trace.search.off", reps, [&] {
+    toff_rep = apps::search(queries, db, tcfg);
+    return toff_rep.cells_real;
+  });
+  obs::query_trace_reset();
+  obs::set_query_trace_enabled(true);
+  const double ton_sec = harness.scenario("trace.search.on", reps, [&] {
+    obs::query_trace_reset();  // bound the sinks to one rep's events
+    ton_rep = apps::search(queries, db, tcfg);
+    return ton_rep.cells_real;
+  });
+  obs::set_query_trace_enabled(false);
+  const obs::TraceLog tlog = obs::collect_query_trace();
+  obs::query_trace_reset();
+  const double trace_overhead_pct =
+      toff_sec > 0.0 ? (ton_sec / toff_sec - 1.0) * 100.0 : 0.0;
+  const bool trace_hits_match = hit_checksum(toff_rep) == hit_checksum(ton_rep);
+  std::printf("\nrequest tracing (same search, 1 thread):\n");
+  std::printf("  off: %8.3f s   on: %8.3f s   overhead %+.1f%%  "
+              "(%zu events, %llu dropped)%s\n",
+              toff_sec, ton_sec, trace_overhead_pct, tlog.event_count(),
+              static_cast<unsigned long long>(tlog.dropped),
+              trace_hits_match ? "" : "  HITS DIFFER");
+  ok &= trace_hits_match;
+  reg.gauge("bench.trace.overhead_pct")
+      .set(static_cast<std::int64_t>(trace_overhead_pct));
+  reg.gauge("bench.trace.events")
+      .set(static_cast<std::int64_t>(tlog.event_count()));
+  reg.gauge("bench.trace.dropped").set(static_cast<std::int64_t>(tlog.dropped));
 
   ok &= model_speedup >= 1.5;
   if (host_can_parallelize) ok &= measured >= 1.5;

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validate a valign --trace-timeline export (schema valign.trace_timeline/1).
+
+Stdlib-only, used by CI after the trace smoke run and handy locally:
+
+    valign search q.fa db.fa --trace-timeline timeline.json
+    python3 scripts/check_trace.py timeline.json
+
+Checks, in order:
+  1. The file parses as JSON and carries the expected schema marker.
+  2. traceEvents is a list of objects whose phases are limited to the set
+     the writer emits (M metadata, X complete slices, i instants, b/e
+     async-nestable query spans), every event has pid 1 and a numeric
+     ts >= 0, and every X slice has dur >= 0.
+  3. Async spans pair up: per (cat, id) the b/e events balance to zero and
+     never go negative in timestamp order, so every query span that opens
+     also closes.
+  4. Thread coverage: every tid that records events has a thread_name
+     metadata record.
+  5. Per-query spans cover >= --min-coverage (default 0.95) of the work
+     window -- the [min ts, max ts+dur] hull over screen/escalate/align
+     work slices and the parse/schedule stages. Mirrors the acceptance
+     test in tests/obs/test_query_trace.cpp.
+
+Exits 0 when every check passes, 1 with a message on stderr otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+# Slice names as the writer emits them (src/valign/obs/query_trace.cpp):
+# the per-thread work slices plus the parse/schedule stages. The align and
+# reduce stage *envelopes* are excluded: their tail is worker-join and
+# stats-aggregation time after the last per-query event, which no query
+# span can attribute (the last work slice's thread emits its query_end
+# after the slice closes, so the window end stays covered). Report-stage
+# and flush bookkeeping are likewise outside the window.
+WORK_STAGE_NAMES = {"stage.parse", "stage.schedule"}
+WORK_SLICE_NAMES = {"screen", "escalate", "align"}
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict):
+        fail("top-level value is not an object")
+    if doc.get("schema") != "valign.trace_timeline/1":
+        fail(f"schema marker missing or wrong: {doc.get('schema')!r}")
+    if not isinstance(doc.get("traceEvents"), list):
+        fail("traceEvents is missing or not a list")
+    return doc
+
+
+def check_events(events: list) -> dict:
+    """Structural checks; returns tid -> thread_name map."""
+    names = {}
+    seen_tids = set()
+    span_depth = {}  # (cat, id) -> open count
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"traceEvents[{i}] is not an object")
+        ph = e.get("ph")
+        if ph not in ("M", "X", "i", "b", "e"):
+            fail(f"traceEvents[{i}]: unexpected phase {ph!r}")
+        if e.get("pid") != 1:
+            fail(f"traceEvents[{i}]: pid is {e.get('pid')!r}, expected 1")
+        if ph == "M":
+            if e.get("name") == "thread_name":
+                names[e.get("tid")] = e.get("args", {}).get("name", "")
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"traceEvents[{i}]: bad ts {ts!r}")
+        seen_tids.add(e.get("tid"))
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"traceEvents[{i}]: X slice with bad dur {dur!r}")
+        elif ph in ("b", "e"):
+            key = (e.get("cat"), e.get("id"))
+            if None in key:
+                fail(f"traceEvents[{i}]: async event without cat/id")
+            d = span_depth.get(key, 0) + (1 if ph == "b" else -1)
+            if d < 0:
+                fail(f"span {key} closed before it opened")
+            span_depth[key] = d
+    dangling = [k for k, d in span_depth.items() if d != 0]
+    if dangling:
+        fail(f"{len(dangling)} async span(s) never closed, e.g. {dangling[0]}")
+    unnamed = [t for t in seen_tids if t not in names]
+    if unnamed:
+        fail(f"tids without thread_name metadata: {sorted(unnamed)}")
+    return names
+
+
+def coverage(events: list) -> float:
+    """Fraction of the work window covered by per-query async spans."""
+    w0, w1 = None, None
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        name = e.get("name", "")
+        if name not in WORK_SLICE_NAMES and name not in WORK_STAGE_NAMES:
+            continue
+        lo, hi = e["ts"], e["ts"] + e.get("dur", 0)
+        w0 = lo if w0 is None else min(w0, lo)
+        w1 = hi if w1 is None else max(w1, hi)
+    # The window starts at query admission: the batch driver parses its
+    # FASTA inputs before any query id exists, so that head of stage.parse
+    # is unattributable by design (streamed runs admit queries first, and
+    # their parse stage is covered normally).
+    first_qb = min((e["ts"] for e in events
+                    if e.get("ph") == "i" and e.get("name") == "query_begin"),
+                   default=None)
+    if first_qb is not None and w0 is not None:
+        w0 = max(w0, first_qb)
+    if w0 is None or w1 <= w0:
+        return 1.0  # no work recorded: nothing to cover
+
+    spans = {}
+    for e in events:
+        if e.get("ph") not in ("b", "e") or e.get("cat") != "query":
+            continue
+        lo, hi = spans.get(e["id"], (e["ts"], e["ts"]))
+        spans[e["id"]] = (min(lo, e["ts"]), max(hi, e["ts"]))
+    covered, cur = 0.0, None
+    for lo, hi in sorted(spans.values()):
+        if cur is None or lo > cur[1]:
+            if cur is not None:
+                covered += max(0.0, min(cur[1], w1) - max(cur[0], w0))
+            cur = (lo, hi)
+        else:
+            cur = (cur[0], max(cur[1], hi))
+    if cur is not None:
+        covered += max(0.0, min(cur[1], w1) - max(cur[0], w0))
+    return covered / (w1 - w0)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("timeline", help="path to the --trace-timeline JSON file")
+    ap.add_argument("--min-coverage", type=float, default=0.95,
+                    help="required query-span coverage of the work window")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="require at least this many non-metadata events")
+    args = ap.parse_args()
+
+    doc = load(args.timeline)
+    events = doc["traceEvents"]
+    names = check_events(events)
+    real = [e for e in events if e.get("ph") != "M"]
+    if len(real) < args.min_events:
+        fail(f"only {len(real)} events recorded (need >= {args.min_events})")
+    other = doc.get("otherData", {})
+    dropped = other.get("dropped", 0)
+    cov = coverage(events)
+    if cov < args.min_coverage:
+        fail(f"query spans cover {cov:.1%} of the work window "
+             f"(need >= {args.min_coverage:.0%})")
+    print(f"check_trace: OK: {len(real)} events on {len(names)} track(s), "
+          f"{other.get('queries', '?')} queries, {dropped} dropped, "
+          f"coverage {cov:.1%}")
+
+
+if __name__ == "__main__":
+    main()

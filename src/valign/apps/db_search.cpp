@@ -5,6 +5,7 @@
 #include <numeric>
 #include <optional>
 #include <sstream>
+#include <string>
 #include <thread>
 
 #include "valign/core/prefilter.hpp"
@@ -64,6 +65,28 @@ bool prefilter_active(const SearchConfig& cfg, std::size_t db_size) {
 
 namespace {
 
+/// Timeline track label for the calling worker ("omp-3"; "main" without
+/// OpenMP). Sticky across parallel regions — OpenMP reuses its thread pool.
+void name_worker_thread() {
+  if (!obs::query_trace_enabled()) return;
+#if defined(VALIGN_HAVE_OPENMP)
+  obs::set_trace_thread_name("omp-" + std::to_string(omp_get_thread_num()));
+#else
+  obs::set_trace_thread_name("main");
+#endif
+}
+
+/// Opens every query's async timeline span up front (one QueryBegin instant
+/// each, a0 = query length) so per-query spans cover scheduling too.
+void trace_query_begins(const Dataset& queries) {
+  if (!obs::query_trace_enabled()) return;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    obs::TraceContext(static_cast<std::uint32_t>(q))
+        .instant(obs::TraceEventKind::QueryBegin,
+                 static_cast<std::int64_t>(queries[q].size()));
+  }
+}
+
 /// Pairs per stage-one screen batch: a multiple of every lane count, large
 /// enough to amortize query-profile setup, small enough that the degraded
 /// unit after a screen failure stays cheap.
@@ -89,6 +112,7 @@ SearchReport search_prefiltered(const Dataset& queries, const Dataset& db,
   SearchReport report;
   report.top_hits.resize(queries.size());
   report.prefilter.enabled = true;
+  trace_query_begins(queries);
   const ProfileCacheStats pc0 = SharedProfileCache::global().stats();
 
   const PrefilterModel model = cfg.prefilter_model
@@ -136,6 +160,7 @@ SearchReport search_prefiltered(const Dataset& queries, const Dataset& db,
 #pragma omp parallel num_threads(nthreads)
 #endif
   {
+    name_worker_thread();
     Prefilter pf(cfg.align);
     std::size_t pf_query = queries.size();  // sentinel: no query loaded
     std::vector<std::span<const std::uint8_t>> screen_dbs;
@@ -156,6 +181,10 @@ SearchReport search_prefiltered(const Dataset& queries, const Dataset& db,
       }
       const std::span<PrefilterVerdict> out(
           verdicts.data() + b.query * db.size() + b.begin, b.end - b.begin);
+      const obs::TraceSlice screen_slice(
+          obs::TraceEventKind::Screen,
+          obs::TraceContext(static_cast<std::uint32_t>(b.query)),
+          static_cast<std::int64_t>(b.end - b.begin), pf.lanes());
       try {
         pf.screen(screen_dbs, out);
       } catch (const std::exception&) {
@@ -192,6 +221,7 @@ SearchReport search_prefiltered(const Dataset& queries, const Dataset& db,
 #pragma omp parallel num_threads(nthreads)
 #endif
   {
+    name_worker_thread();
     Aligner aligner(cfg.align);
     std::optional<BatchAligner> batcher;
     if (cfg.engine != EngineMode::Intra) batcher.emplace(cfg.align);
@@ -223,6 +253,7 @@ SearchReport search_prefiltered(const Dataset& queries, const Dataset& db,
 #pragma omp for schedule(dynamic, 1) nowait
 #endif
     for (std::size_t q = 0; q < queries.size(); ++q) {
+      const obs::TraceContext qtrace(static_cast<std::uint32_t>(q));
       const std::uint64_t qlen = queries[q].size();
       queue.reset(db.size());
       const PrefilterVerdict* v = verdicts.data() + q * db.size();
@@ -246,6 +277,9 @@ SearchReport search_prefiltered(const Dataset& queries, const Dataset& db,
         local_escalated += n;
         runtime::record_block_fill(n, lane_count);
         const obs::TraceSpan block_span(block_us);
+        const obs::TraceSlice chunk_slice(obs::TraceEventKind::Escalate, qtrace,
+                                          static_cast<std::int64_t>(n),
+                                          lane_count);
 
         std::uint64_t chunk_residues = 0;
         for (std::size_t i = 0; i < n; ++i) chunk_residues += db[chunk[i]].size();
@@ -264,6 +298,7 @@ SearchReport search_prefiltered(const Dataset& queries, const Dataset& db,
           if (mode == EngineMode::Inter) {
             if (!batch_loaded) {
               batcher->set_query(queries[q]);
+              batcher->set_trace(qtrace);
               batch_loaded = true;
             }
             batch_dbs.clear();
@@ -283,6 +318,7 @@ SearchReport search_prefiltered(const Dataset& queries, const Dataset& db,
           } else {
             if (!query_loaded) {
               aligner.set_query(queries[q]);
+              aligner.set_trace(qtrace);
               query_loaded = true;
             }
             for (std::size_t i = 0; i < n; ++i) {
@@ -317,13 +353,18 @@ SearchReport search_prefiltered(const Dataset& queries, const Dataset& db,
             if (robust::is_transient_failure(e) &&
                 attempt < cfg.robust.max_retries) {
               ++local_retries;
+              qtrace.instant(obs::TraceEventKind::Retry, attempt + 1);
               std::this_thread::sleep_for(std::chrono::milliseconds(2 << attempt));
               continue;
             }
+            qtrace.instant(obs::TraceEventKind::Degraded,
+                           static_cast<std::int64_t>(n));
             local_failures.push_back(robust::ShardFailure{0, n, e.what(), q});
             local_dropped += n;
             break;
           } catch (...) {
+            qtrace.instant(obs::TraceEventKind::Degraded,
+                           static_cast<std::int64_t>(n));
             local_failures.push_back(
                 robust::ShardFailure{0, n, "unknown exception", q});
             local_dropped += n;
@@ -334,6 +375,8 @@ SearchReport search_prefiltered(const Dataset& queries, const Dataset& db,
 
       keep_top_hits(hits, cfg.top_k);
       report.top_hits[q] = hits;  // Each query is owned by exactly one thread.
+      qtrace.instant(obs::TraceEventKind::QueryEnd,
+                     static_cast<std::int64_t>(hits.size()));
     }
 
 #if defined(VALIGN_HAVE_OPENMP)
@@ -406,6 +449,7 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
 
   SearchReport report;
   report.top_hits.resize(queries.size());
+  trace_query_begins(queries);
   const ProfileCacheStats pc0 = SharedProfileCache::global().stats();
 
   // Lane count of the packed engine: feeds the scheduler's underfill merge
@@ -438,6 +482,7 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
 #pragma omp parallel num_threads(nthreads)
 #endif
   {
+    name_worker_thread();
     Aligner aligner(cfg.align);
     std::optional<BatchAligner> batcher;
     if (cfg.engine != EngineMode::Intra) batcher.emplace(cfg.align);
@@ -479,12 +524,19 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
       const EngineMode mode = runtime::resolve_engine(
           cfg.engine, qlen, pairs, mean_dlen, lane_count, alpha,
           cfg.align.klass, cfg.align.model);
+      const obs::TraceSlice align_slice(
+          obs::TraceEventKind::Align,
+          obs::TraceContext(static_cast<std::uint32_t>(b.query)),
+          static_cast<std::int64_t>(pairs),
+          mode == EngineMode::Inter ? lane_count : 1);
 
       if (mode == EngineMode::Inter) {
         // Lane-packed sweep: the whole block is one batch, so the length
         // bucketing the scheduler already did keeps lanes in step.
         if (b.query != batch_query) {
           batcher->set_query(queries[b.query]);
+          batcher->set_trace(
+              obs::TraceContext(static_cast<std::uint32_t>(b.query)));
           batch_query = b.query;
         }
         batch_dbs.clear();
@@ -505,6 +557,8 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
       } else {
         if (b.query != cur_query) {
           aligner.set_query(queries[b.query]);
+          aligner.set_trace(
+              obs::TraceContext(static_cast<std::uint32_t>(b.query)));
           cur_query = b.query;
         }
         for (std::size_t k = b.begin; k < b.end; ++k) {
@@ -524,6 +578,7 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
 #endif
     for (std::size_t bi = 0; bi < sched.blocks.size(); ++bi) {
       const runtime::WorkBlock& b = sched.blocks[bi];
+      const obs::TraceContext qtrace(static_cast<std::uint32_t>(b.query));
       const obs::TraceSpan block_span(block_us);
       // Exception capture: a failure is charged to this block (recorded,
       // results dropped), never allowed to escape the parallel region —
@@ -550,14 +605,19 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
           if (robust::is_transient_failure(e) &&
               attempt < cfg.robust.max_retries) {
             ++local_retries;
+            qtrace.instant(obs::TraceEventKind::Retry, attempt + 1);
             std::this_thread::sleep_for(std::chrono::milliseconds(2 << attempt));
             continue;
           }
+          qtrace.instant(obs::TraceEventKind::Degraded,
+                         static_cast<std::int64_t>(b.end - b.begin));
           local_failures.push_back(
               robust::ShardFailure{b.begin, b.end - b.begin, e.what(), b.query});
           local_dropped += b.end - b.begin;
           break;
         } catch (...) {
+          qtrace.instant(obs::TraceEventKind::Degraded,
+                         static_cast<std::int64_t>(b.end - b.begin));
           local_failures.push_back(robust::ShardFailure{
               b.begin, b.end - b.begin, "unknown exception", b.query});
           local_dropped += b.end - b.begin;
@@ -620,6 +680,9 @@ SearchReport search(const Dataset& queries, const Dataset& db, const SearchConfi
     for (std::size_t q = 0; q < queries.size(); ++q) {
       keep_top_hits(merged[q], cfg.top_k);
       report.top_hits[q] = std::move(merged[q]);
+      obs::TraceContext(static_cast<std::uint32_t>(q))
+          .instant(obs::TraceEventKind::QueryEnd,
+                   static_cast<std::int64_t>(report.top_hits[q].size()));
     }
   }
 

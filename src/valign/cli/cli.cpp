@@ -1,5 +1,6 @@
 #include "valign/cli/cli.hpp"
 
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -15,7 +16,9 @@
 #include "valign/io/fasta.hpp"
 #include "valign/matrices/parser.hpp"
 #include "valign/obs/bench_report.hpp"
+#include "valign/obs/flush.hpp"
 #include "valign/obs/perf.hpp"
+#include "valign/obs/query_trace.hpp"
 #include "valign/obs/report.hpp"
 #include "valign/obs/trace.hpp"
 #include "valign/robust/failpoint.hpp"
@@ -70,6 +73,11 @@ search/detect options:
                             escalate survivors through the full ladder (search
                             only; default auto — see docs/prefilter.md)
   --stream                  stream the database FASTA through the runtime pipeline
+  --trace-timeline FILE     per-query Chrome-trace/Perfetto timeline of the run
+                            (search only; open in ui.perfetto.dev — see
+                            docs/observability.md)
+  --metrics-interval-ms N   rewrite --metrics-out atomically every N ms while
+                            the search runs (search only; requires --metrics-out)
 robustness options (search only; docs/robustness.md):
   --lenient                 quarantine malformed/oversized db records instead of
                             failing the run (tallied in the report)
@@ -318,6 +326,29 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
                 "streaming pipeline)");
   }
 
+  const auto timeline_path = args.value("--trace-timeline");
+  if (timeline_path) {
+    if (!obs::query_trace_compiled()) {
+      usage_error("--trace-timeline requires a build with request tracing "
+                  "compiled in (configure with -DVALIGN_ENABLE_QUERY_TRACE=ON)");
+    }
+    obs::query_trace_reset();
+    obs::set_query_trace_enabled(true);
+    obs::set_trace_thread_name("main");
+  }
+  const std::uint64_t metrics_interval_ms =
+      uint_flag_or(args, "--metrics-interval-ms", 0);
+  if (metrics_interval_ms > 0 && !args.has("--metrics-out")) {
+    usage_error("--metrics-interval-ms requires --metrics-out (the periodic "
+                "flusher needs a snapshot path)");
+  }
+  std::optional<obs::MetricsFlusher> flusher;
+  if (metrics_interval_ms > 0) {
+    flusher.emplace(*args.value("--metrics-out"), metrics_interval_ms,
+                    make_run_report("search", scoring, cfg.align, cfg.threads,
+                                    cfg.sched, streamed, cfg.engine));
+  }
+
   obs::StageSpan parse_span(obs::Stage::Parse);
   const Dataset queries = read_fasta_file(args.positionals()[1], alpha);
   Dataset db(alpha);
@@ -407,7 +438,20 @@ int cmd_search(const ArgParser& args, std::ostream& out) {
   rr.prefilter_screen_cells = rep.prefilter.screen_cells;
   rr.prefilter_selectivity = rep.prefilter.selectivity();
   run_perf.stop();  // close the whole-run counter window before the snapshot
+  // Final report last: the flusher's final live snapshot must not race the
+  // exit-time report onto the same path.
+  if (flusher.has_value()) {
+    flusher->stop();
+    rr.snapshot_seq = flusher->flushes();
+  }
   emit_run_report(rr, args, out);
+  if (timeline_path) {
+    obs::set_query_trace_enabled(false);
+    const obs::TimelineWriter writer(obs::collect_query_trace());
+    writer.write_file(*timeline_path);
+    out << "# trace timeline: " << writer.log().event_count() << " events ("
+        << writer.log().dropped << " dropped) -> " << *timeline_path << "\n";
+  }
   return 0;
 }
 
@@ -583,7 +627,8 @@ int run(std::span<const std::string_view> args, std::ostream& out, std::ostream&
           "--q-seq", "--d-seq", "--top", "--threads", "--out", "--count", "--seed",
           "--preset", "--pair-sched", "--engine", "--cache-engines", "--threshold",
           "--metrics-out", "--threshold-pct", "--fail-inject", "--max-errors",
-          "--max-seq-len", "--stall-timeout-ms", "--prefilter"}) {
+          "--max-seq-len", "--stall-timeout-ms", "--prefilter", "--trace-timeline",
+          "--metrics-interval-ms"}) {
       parser.add_option(opt);
     }
     for (const char* sw : {"--dna", "--traceback", "--stream", "--trace",
@@ -600,7 +645,8 @@ int run(std::span<const std::string_view> args, std::ostream& out, std::ostream&
     // beats silently ignoring a policy the user thought was in force.
     if (cmd != "search") {
       for (const char* f : {"--stream", "--engine", "--lenient", "--max-errors",
-                            "--max-seq-len", "--stall-timeout-ms", "--prefilter"}) {
+                            "--max-seq-len", "--stall-timeout-ms", "--prefilter",
+                            "--trace-timeline", "--metrics-interval-ms"}) {
         if (parser.has(f)) {
           usage_error(std::string(f) + " is only valid with the search command");
         }

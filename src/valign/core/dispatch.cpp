@@ -191,6 +191,8 @@ AlignResult Aligner::align(std::span<const std::uint8_t> db) {
     }
     acquire(wider, approach);
     floor_bits_ = wider;
+    // Timeline: one instant per widen-and-retry step (a0 = new width).
+    trace_.instant(obs::TraceEventKind::Retry, static_cast<std::uint32_t>(wider));
     res = engine_->align(db);
   }
   // Census of the resolved engine; folds into driver totals through
@@ -220,6 +222,11 @@ int BatchAligner::lanes(int bits) const noexcept {
 
 const runtime::EngineCacheStats& BatchAligner::fallback_cache_stats() const noexcept {
   return fallback_.cache_stats();
+}
+
+void BatchAligner::set_trace(obs::TraceContext ctx) noexcept {
+  trace_ = ctx;
+  fallback_.set_trace(ctx);
 }
 
 void BatchAligner::set_query(std::span<const std::uint8_t> query) {
@@ -301,6 +308,9 @@ void BatchAligner::align_batch(std::span<const std::span<const std::uint8_t>> db
       fallback_.set_query(query_);
       fallback_has_query_ = true;
     }
+    // Timeline: one instant per saturated pair re-run through the intra
+    // ladder (a0 = pair index within the batch).
+    trace_.instant(obs::TraceEventKind::Fallback, static_cast<std::uint32_t>(i));
     out[i] = fallback_.align(dbs[i]);
     ++fallbacks_;
   }

@@ -12,6 +12,7 @@
 #include "valign/core/scan.hpp"  // HscanKind
 #include "valign/io/sequence.hpp"
 #include "valign/matrices/matrix.hpp"
+#include "valign/obs/query_trace.hpp"
 
 namespace valign {
 
@@ -155,6 +156,11 @@ class Aligner {
   void set_query(std::span<const std::uint8_t> query);
   void set_query(const Sequence& query) { set_query(query.codes()); }
 
+  /// Attributes subsequent width-retry trace events to this query's trace
+  /// context (request-scoped tracing, obs/query_trace.hpp). Contexts travel
+  /// by value; a default context records without a query id.
+  void set_trace(obs::TraceContext ctx) noexcept { trace_ = ctx; }
+
   /// Aligns the current query against `db`. Never returns an overflowed
   /// result when width is Auto: overflow triggers a switch to the next
   /// wider element width and a re-run.
@@ -181,6 +187,7 @@ class Aligner {
   /// overflow re-run, stay at the widened width for this query (re-proved
   /// per query: set_query resets the floor).
   int floor_bits_ = 0;
+  obs::TraceContext trace_{};  ///< Query attribution for retry events.
 };
 
 /// Batch dispatcher for the inter-sequence engine family.
@@ -212,6 +219,10 @@ class BatchAligner {
   void set_query(std::span<const std::uint8_t> query);
   void set_query(const Sequence& query) { set_query(query.codes()); }
 
+  /// Attributes saturation-fallback (and nested width-retry) trace events to
+  /// this query's trace context; forwarded to the fallback Aligner.
+  void set_trace(obs::TraceContext ctx) noexcept;
+
   /// Aligns the current query against every subject; results in input order.
   void align_batch(std::span<const std::span<const std::uint8_t>> dbs,
                    std::span<AlignResult> out);
@@ -242,6 +253,7 @@ class BatchAligner {
   bool fallback_has_query_ = false;
   InterSeqBatchStats stats_{};
   std::uint64_t fallbacks_ = 0;
+  obs::TraceContext trace_{};  ///< Query attribution for fallback events.
   // Scratch reused across batches (per-width gather/scatter).
   std::vector<std::span<const std::uint8_t>> sub_dbs_;
   std::vector<std::size_t> sub_index_;

@@ -1,272 +1,26 @@
 #include "valign/obs/bench_report.hpp"
 
-#include <cctype>
-#include <cmath>
-#include <cstdio>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <ostream>
 #include <sstream>
 
 #include "valign/common.hpp"
+#include "valign/obs/json.hpp"
 
 namespace valign::obs {
 
 namespace {
 
-// --- emission ----------------------------------------------------------------
+// The parser/emitters live in obs/json.{hpp,cpp}; the short aliases keep the
+// hand-rolled serialization below readable.
 
 void json_string(std::ostream& out, const std::string& s) {
-  out << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      case '\r': out << "\\r"; break;
-      case '\t': out << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out << buf;
-        } else {
-          out << c;
-        }
-    }
-  }
-  out << '"';
+  json::write_string(out, s);
 }
 
-/// Doubles are emitted with enough digits to round-trip (%.17g collapses to
-/// short forms for the common values).
-void json_double(std::ostream& out, double v) {
-  if (!std::isfinite(v)) {
-    out << 0;  // JSON has no inf/nan; a zero is the least-surprising stand-in
-    return;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  out << buf;
-}
+void json_double(std::ostream& out, double v) { json::write_double(out, v); }
 
-// --- parsing -----------------------------------------------------------------
-//
-// Minimal recursive-descent JSON reader: just enough for the bench-report
-// schema (objects, arrays, strings, numbers, bools, null), strict on
-// structure so malformed baselines fail loudly instead of diffing garbage.
-
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind kind = Kind::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  [[nodiscard]] const JsonValue* get(const std::string& key) const {
-    if (kind != Kind::Object) return nullptr;
-    const auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-  [[nodiscard]] std::string str_or(const std::string& key,
-                                   const std::string& fallback = "") const {
-    const JsonValue* v = get(key);
-    return v != nullptr && v->kind == Kind::String ? v->string : fallback;
-  }
-  [[nodiscard]] double num_or(const std::string& key, double fallback = 0.0) const {
-    const JsonValue* v = get(key);
-    return v != nullptr && v->kind == Kind::Number ? v->number : fallback;
-  }
-  [[nodiscard]] std::uint64_t u64_or(const std::string& key,
-                                     std::uint64_t fallback = 0) const {
-    const JsonValue* v = get(key);
-    if (v == nullptr || v->kind != Kind::Number || v->number < 0) return fallback;
-    return static_cast<std::uint64_t>(v->number);
-  }
-  [[nodiscard]] bool bool_or(const std::string& key, bool fallback = false) const {
-    const JsonValue* v = get(key);
-    return v != nullptr && v->kind == Kind::Bool ? v->boolean : fallback;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (pos_ != s_.size()) fail("trailing characters after JSON document");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw Error("bench report JSON: " + what + " (at byte " +
-                std::to_string(pos_) + ")");
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
-                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= s_.size()) fail("unexpected end of input");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* lit) {
-    const std::size_t n = std::char_traits<char>::length(lit);
-    if (s_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  JsonValue value() {
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': {
-        JsonValue v;
-        v.kind = JsonValue::Kind::String;
-        v.string = string();
-        return v;
-      }
-      case 't':
-      case 'f': {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Bool;
-        if (consume_literal("true")) v.boolean = true;
-        else if (consume_literal("false")) v.boolean = false;
-        else fail("bad literal");
-        return v;
-      }
-      case 'n': {
-        if (!consume_literal("null")) fail("bad literal");
-        return JsonValue{};
-      }
-      default: return number();
-    }
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::Object;
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      if (peek() != '"') fail("expected object key");
-      std::string key = string();
-      expect(':');
-      v.object.emplace(std::move(key), value());
-      const char c = peek();
-      ++pos_;
-      if (c == '}') return v;
-      if (c != ',') fail("expected ',' or '}' in object");
-    }
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::Array;
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value());
-      const char c = peek();
-      ++pos_;
-      if (c == ']') return v;
-      if (c != ',') fail("expected ',' or ']' in array");
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= s_.size()) fail("unterminated string");
-      const char c = s_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= s_.size()) fail("unterminated escape");
-      const char e = s_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = s_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape");
-          }
-          // Producers only escape control characters; anything else is kept
-          // as a replacement byte rather than implementing full UTF-16.
-          out += code < 0x80 ? static_cast<char>(code) : '?';
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue number() {
-    skip_ws();
-    const std::size_t start = pos_;
-    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '-' || s_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::Number;
-    try {
-      v.number = std::stod(s_.substr(start, pos_ - start));
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
-HwCounts parse_hw(const JsonValue& v) {
+HwCounts parse_hw(const json::Value& v) {
   HwCounts c;
   c.cycles = v.u64_or("cycles");
   c.instructions = v.u64_or("instructions");
@@ -360,8 +114,8 @@ std::string BenchReport::json() const {
 }
 
 BenchReport BenchReport::from_json(const std::string& text) {
-  const JsonValue root = JsonParser(text).parse();
-  if (root.kind != JsonValue::Kind::Object) {
+  const json::Value root = json::parse(text, "bench report JSON");
+  if (root.kind != json::Value::Kind::Object) {
     throw Error("bench report JSON: top level must be an object");
   }
   BenchReport r;
@@ -376,7 +130,7 @@ BenchReport BenchReport::from_json(const std::string& text) {
   }
   r.command = root.str_or("command");
   r.hw_reason = root.str_or("hw_reason");
-  if (const JsonValue* p = root.get("provenance")) {
+  if (const json::Value* p = root.get("provenance")) {
     r.provenance.tool_version = p->str_or("tool_version");
     r.provenance.isa = p->str_or("isa");
     r.provenance.cpu_model = p->str_or("cpu_model");
@@ -387,12 +141,12 @@ BenchReport BenchReport::from_json(const std::string& text) {
     r.provenance.threads = static_cast<int>(p->num_or("threads", 1));
     r.provenance.bench_scale = p->num_or("bench_scale", 1.0);
   }
-  const JsonValue* scen = root.get("scenarios");
-  if (scen == nullptr || scen->kind != JsonValue::Kind::Array) {
+  const json::Value* scen = root.get("scenarios");
+  if (scen == nullptr || scen->kind != json::Value::Kind::Array) {
     throw Error("bench report JSON: missing \"scenarios\" array");
   }
-  for (const JsonValue& sv : scen->array) {
-    if (sv.kind != JsonValue::Kind::Object) {
+  for (const json::Value& sv : scen->array) {
+    if (sv.kind != json::Value::Kind::Object) {
       throw Error("bench report JSON: scenario entries must be objects");
     }
     BenchScenario s;
@@ -404,7 +158,7 @@ BenchReport BenchReport::from_json(const std::string& text) {
     s.sec_max = sv.num_or("sec_max");
     s.cells = sv.u64_or("cells");
     s.gcups_median = sv.num_or("gcups_median");
-    if (const JsonValue* hw = sv.get("hw")) {
+    if (const json::Value* hw = sv.get("hw")) {
       s.hw_available = hw->bool_or("available");
       if (s.hw_available) s.hw = parse_hw(*hw);
     }

@@ -1,0 +1,87 @@
+#include "valign/obs/flush.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "valign/common.hpp"
+#include "valign/obs/metrics.hpp"
+#include "valign/obs/query_trace.hpp"
+
+namespace valign::obs {
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& body) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) throw Error("cannot open output file: " + tmp);
+    body(out);
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw Error("failed writing output file: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("cannot rename " + tmp + " to " + path);
+  }
+}
+
+MetricsFlusher::MetricsFlusher(std::string path, std::uint64_t interval_ms,
+                               RunReport proto)
+    : path_(std::move(path)),
+      interval_ms_(interval_ms > 0 ? interval_ms : 1),
+      proto_(std::move(proto)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+MetricsFlusher::~MetricsFlusher() { stop(); }
+
+void MetricsFlusher::stop() noexcept {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stop_requested_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsFlusher::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    try {
+      flush_once();
+    } catch (...) {
+      // Snapshots are best-effort; the exit-time report still goes through
+      // the caller's error handling.
+    }
+    lock.lock();
+  }
+  lock.unlock();
+  // Final flush so runs shorter than one interval still leave live state.
+  try {
+    flush_once();
+  } catch (...) {
+  }
+}
+
+void MetricsFlusher::flush_once() {
+  const std::uint64_t seq = flushes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Registry::global().counter("runtime.metrics.flushes").add();
+  RunReport rr = proto_;
+  rr.live_snapshot = true;
+  rr.snapshot_seq = seq;
+  rr.capture_environment();
+  rr.write_file(path_);  // write_file goes through atomic_write_file
+  trace_instant(TraceEventKind::Flush, kNoQuery, static_cast<std::int64_t>(seq));
+}
+
+}  // namespace valign::obs

@@ -1,0 +1,74 @@
+// Crash-safe artifact writes and live metrics snapshots.
+//
+// atomic_write_file() is the one way any obs artifact reaches disk: the
+// content is written to a temp file next to the target and renamed into
+// place, so a reader (or a kill -9) never observes a truncated JSON/CSV
+// document — only the previous complete version or the new one.
+//
+// MetricsFlusher turns the exit-only RunReport into live state: a background
+// thread re-captures the global registry / stage table / HW counters every
+// interval and atomically rewrites the report file (the CLI's
+// --metrics-interval-ms). Long-running processes can then be observed by
+// just reading the file; the final exit-time report overwrites the last
+// snapshot through the same helper.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "valign/obs/report.hpp"
+
+namespace valign::obs {
+
+/// Writes `body(out)` to `path` atomically: temp file in the same directory
+/// (`path` + ".tmp"), flushed, then renamed over `path`. Throws
+/// valign::Error when the file cannot be opened, the stream fails, or the
+/// rename fails (the temp file is removed on failure).
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& body);
+
+/// Periodic snapshot writer. Copies `proto` (the run's static config /
+/// workload fields), stamps it as a live snapshot, captures the current
+/// global environment and atomically writes it to `path` every
+/// `interval_ms` — plus once at stop(), so even runs shorter than one
+/// interval leave a snapshot behind. Each flush bumps the
+/// `runtime.metrics.flushes` counter and records a Flush trace instant.
+class MetricsFlusher {
+ public:
+  MetricsFlusher(std::string path, std::uint64_t interval_ms, RunReport proto);
+  ~MetricsFlusher();
+
+  MetricsFlusher(const MetricsFlusher&) = delete;
+  MetricsFlusher& operator=(const MetricsFlusher&) = delete;
+
+  /// Stops the background thread after one final flush (idempotent).
+  /// Flush errors are swallowed here — an unwritable snapshot must not
+  /// abort the run it observes.
+  void stop() noexcept;
+
+  /// Completed flushes so far.
+  [[nodiscard]] std::uint64_t flushes() const noexcept {
+    return flushes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void flush_once();
+
+  std::string path_;
+  std::uint64_t interval_ms_;
+  RunReport proto_;
+  std::atomic<std::uint64_t> flushes_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;  ///< Guarded by mu_.
+  std::thread thread_;
+};
+
+}  // namespace valign::obs

@@ -1,0 +1,52 @@
+// Dependency-free JSON utilities shared by every obs artifact that both
+// writes and reads JSON (bench reports, trace timelines, metrics snapshots).
+//
+// The reader is a minimal strict recursive-descent parser: objects, arrays,
+// strings, numbers, bools, null — enough for our own schemas, and strict on
+// structure so malformed artifacts fail loudly instead of being half-read.
+// The writer side is just the two escaping helpers every emitter needs;
+// serialization itself stays hand-rolled per schema for deterministic key
+// order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace valign::obs::json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* get(const std::string& key) const;
+  [[nodiscard]] std::string str_or(const std::string& key,
+                                   const std::string& fallback = "") const;
+  [[nodiscard]] double num_or(const std::string& key, double fallback = 0.0) const;
+  [[nodiscard]] std::uint64_t u64_or(const std::string& key,
+                                     std::uint64_t fallback = 0) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback = false) const;
+};
+
+/// Parses one complete JSON document (trailing garbage is an error). Throws
+/// valign::Error with `what` as the message prefix on malformed input.
+[[nodiscard]] Value parse(const std::string& text,
+                          const std::string& what = "JSON");
+
+/// Emits `s` as a quoted JSON string, escaping quotes/backslashes/control
+/// characters.
+void write_string(std::ostream& out, const std::string& s);
+
+/// Emits a double with enough digits to round-trip (%.17g). Non-finite
+/// values are emitted as 0 — JSON has no inf/nan.
+void write_double(std::ostream& out, double v);
+
+}  // namespace valign::obs::json

@@ -37,6 +37,34 @@ void Histogram::reset() noexcept {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+double histogram_quantile(std::span<const std::uint64_t> bounds,
+                          std::span<const std::uint64_t> counts,
+                          double q) noexcept {
+  if (counts.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Target rank in (0, total]; rank r means "the r-th smallest sample".
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double c = static_cast<double>(counts[i]);
+    if (c == 0.0) continue;
+    if (cum + c >= rank) {
+      const double lo = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      if (i >= bounds.size()) return lo;  // overflow bucket: saturate at lo
+      const double hi = static_cast<double>(bounds[i]);
+      const double frac = rank <= cum ? 0.0 : (rank - cum) / c;
+      return lo + frac * (hi - lo);
+    }
+    cum += c;
+  }
+  // All mass below rank (floating-point edge): report the largest estimate.
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
 Counter& Registry::counter(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = slots_.try_emplace(name);

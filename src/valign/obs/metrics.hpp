@@ -96,6 +96,18 @@ class Histogram {
   std::atomic<std::uint64_t> sum_{0};
 };
 
+/// Estimates the q-quantile (q in [0, 1]) of a fixed-bucket histogram by
+/// linear interpolation inside the bucket holding the target rank: bucket i
+/// spans (bounds[i-1], bounds[i]] (the first bucket starts at 0) and samples
+/// are assumed uniform within it. Ranks landing in the unbounded overflow
+/// bucket return the last finite bound — a deliberate *underestimate* that
+/// says "at least this much" rather than inventing a tail shape. Returns 0
+/// for an empty histogram. `counts` must have bounds.size() + 1 entries
+/// (the registry snapshot layout).
+[[nodiscard]] double histogram_quantile(std::span<const std::uint64_t> bounds,
+                                        std::span<const std::uint64_t> counts,
+                                        double q) noexcept;
+
 /// One exported metric, ready for serialization.
 struct MetricSample {
   enum class Kind : std::uint8_t { Counter, Gauge, Histogram };

@@ -1,0 +1,414 @@
+#include "valign/obs/query_trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "valign/common.hpp"
+#include "valign/obs/flush.hpp"
+#include "valign/obs/json.hpp"
+#include "valign/obs/perf.hpp"
+#include "valign/obs/trace.hpp"
+
+namespace valign::obs {
+
+namespace {
+
+/// Default per-thread bound: 64Ki events x 64 B = 4 MiB per recording thread.
+constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+/// One thread's bounded single-producer event buffer. The owner thread is
+/// the only writer: an append is a relaxed load of its own count, a slot
+/// write, and a release store publishing the slot to acquire-side readers
+/// (collect_query_trace). A full buffer drops and counts — never blocks.
+struct Sink {
+  explicit Sink(std::size_t cap) : buf(cap) {}
+
+  std::vector<TraceEvent> buf;
+  std::atomic<std::size_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+  int tid = 0;         ///< Registration order, starting at 1 (0 = query track).
+  std::string name;    ///< Guarded by Registry::mu.
+
+  void append(const TraceEvent& ev) noexcept {
+    const std::size_t n = count.load(std::memory_order_relaxed);
+    if (n >= buf.size()) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    buf[n] = ev;
+    count.store(n + 1, std::memory_order_release);
+  }
+};
+
+struct SinkRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Sink>> sinks;  ///< Guarded by mu; never shrinks.
+  std::atomic<std::size_t> capacity{kDefaultCapacity};
+};
+
+SinkRegistry& registry() {
+  static SinkRegistry r;
+  return r;
+}
+
+/// The calling thread's sink, registered on first use. The registry keeps a
+/// shared_ptr so events survive thread exit (pipeline workers are joined
+/// before collection). Returns nullptr only if registration failed.
+Sink* this_thread_sink() noexcept {
+  thread_local std::shared_ptr<Sink> t_sink;
+  if (t_sink == nullptr) {
+    try {
+      SinkRegistry& r = registry();
+      auto s = std::make_shared<Sink>(r.capacity.load(std::memory_order_relaxed));
+      const std::lock_guard<std::mutex> lock(r.mu);
+      s->tid = static_cast<int>(r.sinks.size()) + 1;
+      r.sinks.push_back(s);
+      t_sink = std::move(s);
+    } catch (...) {
+      return nullptr;
+    }
+  }
+  return t_sink.get();
+}
+
+/// Nanoseconds since the process-wide trace epoch (first call).
+std::uint64_t now_ns() noexcept {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  const auto d = std::chrono::steady_clock::now() - epoch;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(d).count();
+  return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+}
+
+void append_event(const TraceEvent& ev) noexcept {
+  Sink* s = this_thread_sink();
+  if (s != nullptr) s->append(ev);
+}
+
+}  // namespace
+
+const char* to_string(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::Stage: return "stage";
+    case TraceEventKind::Align: return "align";
+    case TraceEventKind::Screen: return "screen";
+    case TraceEventKind::Escalate: return "escalate";
+    case TraceEventKind::QueryBegin: return "query_begin";
+    case TraceEventKind::QueryEnd: return "query_end";
+    case TraceEventKind::Enqueue: return "enqueue";
+    case TraceEventKind::Dequeue: return "dequeue";
+    case TraceEventKind::Fallback: return "fallback";
+    case TraceEventKind::Retry: return "retry";
+    case TraceEventKind::Degraded: return "degraded";
+    case TraceEventKind::Quarantine: return "quarantine";
+    case TraceEventKind::Flush: return "flush";
+    case TraceEventKind::kCount_: break;
+  }
+  return "unknown";
+}
+
+void set_query_trace_enabled(bool on) noexcept {
+#if VALIGN_ENABLE_QUERY_TRACE
+  detail::g_query_trace.store(on, std::memory_order_relaxed);
+#else
+  (void)on;
+#endif
+}
+
+void query_trace_set_capacity(std::size_t events_per_thread) {
+  if (events_per_thread == 0) events_per_thread = 1;
+  registry().capacity.store(events_per_thread, std::memory_order_relaxed);
+}
+
+std::size_t query_trace_capacity() {
+  return registry().capacity.load(std::memory_order_relaxed);
+}
+
+void query_trace_reset() {
+  SinkRegistry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  const std::size_t cap = r.capacity.load(std::memory_order_relaxed);
+  for (const auto& s : r.sinks) {
+    s->count.store(0, std::memory_order_relaxed);
+    s->dropped.store(0, std::memory_order_relaxed);
+    if (s->buf.size() != cap) std::vector<TraceEvent>(cap).swap(s->buf);
+  }
+}
+
+void set_trace_thread_name(const std::string& name) {
+  if (!query_trace_enabled()) return;
+  Sink* s = this_thread_sink();
+  if (s == nullptr) return;
+  const std::lock_guard<std::mutex> lock(registry().mu);
+  s->name = name;
+}
+
+std::size_t TraceLog::event_count() const noexcept {
+  std::size_t n = 0;
+  for (const ThreadTrace& t : threads) n += t.events.size();
+  return n;
+}
+
+TraceLog collect_query_trace() {
+  TraceLog log;
+  SinkRegistry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& s : r.sinks) {
+    const std::size_t n = s->count.load(std::memory_order_acquire);
+    const std::uint64_t dropped = s->dropped.load(std::memory_order_relaxed);
+    if (n == 0 && dropped == 0) continue;
+    ThreadTrace t;
+    t.tid = s->tid;
+    t.name = s->name;
+    t.dropped = dropped;
+    t.events.assign(s->buf.begin(), s->buf.begin() + static_cast<long>(n));
+    log.dropped += dropped;
+    log.threads.push_back(std::move(t));
+  }
+  return log;
+}
+
+void TraceContext::instant(TraceEventKind kind, std::int64_t a0,
+                           std::int64_t a1) const noexcept {
+  trace_instant(kind, id_, a0, a1);
+}
+
+void trace_instant(TraceEventKind kind, std::uint32_t query, std::int64_t a0,
+                   std::int64_t a1) noexcept {
+  if (!query_trace_enabled()) return;
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.query = query;
+  ev.a0 = a0;
+  ev.a1 = a1;
+  ev.ts_ns = now_ns();
+  append_event(ev);
+}
+
+TraceSlice::TraceSlice(TraceEventKind kind, TraceContext ctx, std::int64_t a0,
+                       std::int64_t a1) noexcept {
+  if (!query_trace_enabled()) return;
+  active_ = true;
+  ev_.kind = kind;
+  ev_.query = ctx.id();
+  ev_.a0 = a0;
+  ev_.a1 = a1;
+  if (perf_enabled()) {
+    HwCounts c;
+    if (read_thread_counters(c)) {
+      hw_ = true;
+      hw_cycles0_ = c.cycles;
+      hw_instructions0_ = c.instructions;
+      hw_l1d0_ = c.l1d_misses;
+    }
+  }
+  ev_.ts_ns = now_ns();
+}
+
+void TraceSlice::set_args(std::int64_t a0, std::int64_t a1) noexcept {
+  ev_.a0 = a0;
+  ev_.a1 = a1;
+}
+
+void TraceSlice::stop() noexcept {
+  if (!active_) return;
+  active_ = false;
+  const std::uint64_t end = now_ns();
+  ev_.dur_ns = end > ev_.ts_ns ? end - ev_.ts_ns : 1;
+  if (hw_) {
+    HwCounts c;
+    if (read_thread_counters(c)) {
+      ev_.hw_cycles = c.cycles - hw_cycles0_;
+      ev_.hw_instructions = c.instructions - hw_instructions0_;
+      ev_.hw_l1d_misses = c.l1d_misses - hw_l1d0_;
+    }
+  }
+  append_event(ev_);
+}
+
+// --- timeline export ---------------------------------------------------------
+
+namespace {
+
+/// Chrome-trace name + arg labels per kind. Index = TraceEventKind value.
+struct KindMeta {
+  const char* cat;
+  const char* arg0;  ///< nullptr = omit.
+  const char* arg1;
+};
+
+constexpr KindMeta kKindMeta[kTraceEventKindCount] = {
+    {"stage", "stage", nullptr},        // Stage (name resolved separately)
+    {"work", "pairs", "lanes"},         // Align
+    {"work", "pairs", "lanes"},         // Screen
+    {"work", "pairs", "lanes"},         // Escalate
+    {"query", nullptr, nullptr},        // QueryBegin
+    {"query", "hits", nullptr},         // QueryEnd
+    {"queue", "db_base", "size"},       // Enqueue
+    {"queue", "db_base", "size"},       // Dequeue
+    {"event", "pair", "bits"},          // Fallback
+    {"event", "attempt", "bits"},       // Retry
+    {"event", "units", nullptr},        // Degraded
+    {"event", "records", nullptr},      // Quarantine
+    {"event", "seq", nullptr},          // Flush
+};
+
+void write_us(std::ostream& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1000.0);
+  out << buf;
+}
+
+/// The slice name shown on the track: stage slices carry the stage's own
+/// name ("parse", "align", ...), everything else the kind name.
+std::string event_name(const TraceEvent& ev) {
+  if (ev.kind == TraceEventKind::Stage) {
+    const auto s = static_cast<int>(ev.a0);
+    if (s >= 0 && s < kStageCount) {
+      return std::string("stage.") + to_string(static_cast<Stage>(s));
+    }
+    return "stage.unknown";
+  }
+  return to_string(ev.kind);
+}
+
+void write_args(std::ostream& out, const TraceEvent& ev) {
+  const KindMeta& meta = kKindMeta[static_cast<int>(ev.kind)];
+  out << "{";
+  bool first = true;
+  const auto field = [&](const char* key) -> std::ostream& {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << key << "\":";
+    return out;
+  };
+  if (ev.query != kNoQuery) field("query") << ev.query;
+  if (meta.arg0 != nullptr && ev.kind != TraceEventKind::Stage) {
+    field(meta.arg0) << ev.a0;
+  }
+  if (meta.arg1 != nullptr) field(meta.arg1) << ev.a1;
+  if (ev.hw_cycles > 0) {
+    field("ipc");
+    json::write_double(out, static_cast<double>(ev.hw_instructions) /
+                                static_cast<double>(ev.hw_cycles));
+    field("l1d_misses") << ev.hw_l1d_misses;
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void TimelineWriter::write_json(std::ostream& out) const {
+  // Merge all per-thread streams, sorted by timestamp (ties: tid, then kind)
+  // so viewers and validators see a monotone event list.
+  struct Ref {
+    const TraceEvent* ev;
+    int tid;
+  };
+  std::vector<Ref> refs;
+  refs.reserve(log_.event_count());
+  for (const ThreadTrace& t : log_.threads) {
+    for (const TraceEvent& ev : t.events) refs.push_back({&ev, t.tid});
+  }
+  std::stable_sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    if (a.ev->ts_ns != b.ev->ts_ns) return a.ev->ts_ns < b.ev->ts_ns;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return static_cast<int>(a.ev->kind) < static_cast<int>(b.ev->kind);
+  });
+
+  // Async span per query: [first event ts, last event end].
+  struct Span {
+    std::uint64_t begin_ns = ~std::uint64_t{0};
+    std::uint64_t end_ns = 0;
+  };
+  std::map<std::uint32_t, Span> queries;
+  for (const Ref& r : refs) {
+    if (r.ev->query == kNoQuery) continue;
+    Span& s = queries[r.ev->query];
+    s.begin_ns = std::min(s.begin_ns, r.ev->ts_ns);
+    s.end_ns = std::max(s.end_ns, r.ev->ts_ns + r.ev->dur_ns);
+  }
+
+  out << R"({"schema":"valign.trace_timeline/1","displayTimeUnit":"ms")";
+  out << R"(,"otherData":{"tool":"valign","events":)" << log_.event_count()
+      << R"(,"queries":)" << queries.size() << R"(,"dropped":)" << log_.dropped
+      << "}";
+  out << R"(,"traceEvents":[)";
+  bool first = true;
+  const auto emit = [&](const char* /*tag*/) -> std::ostream& {
+    if (!first) out << ',';
+    first = false;
+    out << "\n";
+    return out;
+  };
+
+  // Track metadata: pid 1 is the process, tid 0 hosts the per-query async
+  // spans, real threads start at tid 1.
+  emit("m") << R"({"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"valign"}})";
+  emit("m") << R"({"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"queries"}})";
+  for (const ThreadTrace& t : log_.threads) {
+    emit("m") << R"({"ph":"M","pid":1,"tid":)" << t.tid
+              << R"(,"name":"thread_name","args":)";
+    out << R"({"name":)";
+    json::write_string(out, t.name.empty()
+                                ? "thread-" + std::to_string(t.tid)
+                                : t.name);
+    out << "}}";
+  }
+
+  // One b/e async-nestable pair per query on the shared query track.
+  for (const auto& [query, span] : queries) {
+    char id[16];
+    std::snprintf(id, sizeof id, "0x%x", query);
+    emit("b") << R"({"ph":"b","pid":1,"tid":0,"cat":"query","id":")" << id
+              << R"(","name":"query )" << query << R"(","ts":)";
+    write_us(out, span.begin_ns);
+    out << "}";
+    emit("e") << R"({"ph":"e","pid":1,"tid":0,"cat":"query","id":")" << id
+              << R"(","name":"query )" << query << R"(","ts":)";
+    write_us(out, span.end_ns);
+    out << "}";
+  }
+
+  // The events themselves: X slices and i instants on their thread's track.
+  for (const Ref& r : refs) {
+    const TraceEvent& ev = *r.ev;
+    const KindMeta& meta = kKindMeta[static_cast<int>(ev.kind)];
+    const bool slice = ev.dur_ns > 0;
+    emit("x") << R"({"ph":")" << (slice ? 'X' : 'i') << R"(","pid":1,"tid":)"
+              << r.tid << R"(,"cat":")" << meta.cat << R"(","name":)";
+    json::write_string(out, event_name(ev));
+    out << R"(,"ts":)";
+    write_us(out, ev.ts_ns);
+    if (slice) {
+      out << R"(,"dur":)";
+      write_us(out, ev.dur_ns);
+    } else {
+      out << R"(,"s":"t")";
+    }
+    out << R"(,"args":)";
+    write_args(out, ev);
+    out << "}";
+  }
+  out << "\n]}\n";
+}
+
+void TimelineWriter::write_file(const std::string& path) const {
+  atomic_write_file(path, [this](std::ostream& out) { write_json(out); });
+}
+
+std::string TimelineWriter::json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace valign::obs

@@ -1,0 +1,209 @@
+// Request-scoped tracing: every query gets a TraceContext (its trace id),
+// and instrumented layers append timestamped events — enqueue, dequeue,
+// screen, escalate, align, fallback — to a lock-free bounded per-thread sink
+// as the query moves reader -> scheduler -> prefilter -> engine lanes. A
+// TimelineWriter turns the collected log into Chrome-trace/Perfetto JSON:
+// one track per worker thread, one async span per query, with lane
+// occupancy and (when --perf-counters is on) IPC / L1D-miss annotations on
+// every slice.
+//
+// Design rules:
+//   - Zero cost when off. Every recording call starts with
+//     query_trace_enabled(): a single relaxed atomic load, and a constexpr
+//     `false` (whole call compiled out) when the build sets
+//     VALIGN_ENABLE_QUERY_TRACE=0. Nothing here allocates or takes a lock on
+//     the hot path even when tracing is on.
+//   - Single-producer sinks. Each thread owns one bounded event buffer;
+//     appends are a relaxed index load + slot write + release index store.
+//     When the buffer is full, events are *dropped and counted* — tracing
+//     must never apply back-pressure to the pipeline it observes.
+//   - Contexts travel by value. A TraceContext is just the query's 32-bit
+//     trace id; layers pass copies (scheduler -> pipeline shard -> dispatch)
+//     and each event records the id plus the recording thread, so the
+//     timeline can stitch cross-thread query journeys back together.
+//
+// Collection (collect_query_trace) and control (reset/capacity) are
+// mutex-guarded and meant for run boundaries, not the hot path.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#ifndef VALIGN_ENABLE_QUERY_TRACE
+#define VALIGN_ENABLE_QUERY_TRACE 1
+#endif
+
+#if VALIGN_ENABLE_QUERY_TRACE
+#include <atomic>
+#endif
+
+namespace valign::obs {
+
+/// What happened. Slice kinds (recorded with a duration) and instant kinds
+/// (dur_ns = 0) share the enum; TimelineWriter picks the Chrome phase.
+enum class TraceEventKind : std::uint8_t {
+  Stage,       ///< Slice: a coarse pipeline stage (a0 = obs::Stage index).
+  Align,       ///< Slice: full-DP alignment of a block/shard (a0 = pairs, a1 = lanes).
+  Screen,      ///< Slice: prefilter prescreen of a block (a0 = pairs, a1 = lanes).
+  Escalate,    ///< Slice: exact re-alignment of screen survivors (a0 = pairs, a1 = lanes).
+  QueryBegin,  ///< Instant: query admitted to the run (opens the async span).
+  QueryEnd,    ///< Instant: query's hits reduced (a0 = hits kept; closes the span).
+  Enqueue,     ///< Instant: shard pushed to the pipeline queue (a0 = db base, a1 = size).
+  Dequeue,     ///< Instant: shard popped by a worker (a0 = db base, a1 = size).
+  Fallback,    ///< Instant: lane-packed result saturated, intra ladder re-ran (a0 = pair, a1 = bits).
+  Retry,       ///< Instant: width-retry / transient retry (a0 = attempt or bits).
+  Degraded,    ///< Instant: work unit failed and was skipped under --max-errors.
+  Quarantine,  ///< Instant: malformed records quarantined (a0 = records).
+  Flush,       ///< Instant: periodic metrics snapshot written (a0 = seq).
+  kCount_,
+};
+
+inline constexpr int kTraceEventKindCount = static_cast<int>(TraceEventKind::kCount_);
+
+[[nodiscard]] const char* to_string(TraceEventKind k);
+
+/// Sentinel query id for events not attributable to one query.
+inline constexpr std::uint32_t kNoQuery = 0xffffffffu;
+
+/// One recorded event. Timestamps are nanoseconds on the steady clock,
+/// relative to a process-wide trace epoch (first use). dur_ns == 0 marks an
+/// instant. hw_* are per-slice deltas of this thread's counters, populated
+/// only when --perf-counters is on and the PMU probe succeeded.
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::int64_t a0 = 0;              ///< Kind-specific argument (see enum docs).
+  std::int64_t a1 = 0;
+  std::uint64_t hw_cycles = 0;
+  std::uint64_t hw_instructions = 0;
+  std::uint64_t hw_l1d_misses = 0;
+  std::uint32_t query = kNoQuery;
+  TraceEventKind kind = TraceEventKind::Stage;
+};
+
+/// Whether this build compiled the tracing sites in (the CLI uses this to
+/// reject --trace-timeline instead of writing an empty timeline).
+[[nodiscard]] constexpr bool query_trace_compiled() noexcept {
+  return VALIGN_ENABLE_QUERY_TRACE != 0;
+}
+
+/// Runtime gate. With VALIGN_ENABLE_QUERY_TRACE=0 the getter is constexpr
+/// false and every recording call in the binary is dead code.
+#if VALIGN_ENABLE_QUERY_TRACE
+namespace detail {
+inline std::atomic<bool> g_query_trace{false};
+}  // namespace detail
+[[nodiscard]] inline bool query_trace_enabled() noexcept {
+  return detail::g_query_trace.load(std::memory_order_relaxed);
+}
+#else
+[[nodiscard]] constexpr bool query_trace_enabled() noexcept { return false; }
+#endif
+void set_query_trace_enabled(bool on) noexcept;  ///< No-op when compiled out.
+
+/// Events per thread before drops start. Takes effect for sinks created
+/// afterwards and for all sinks at the next query_trace_reset().
+void query_trace_set_capacity(std::size_t events_per_thread);
+[[nodiscard]] std::size_t query_trace_capacity();
+
+/// Clears all recorded events and drop counters. Only call while no thread
+/// is recording (run boundaries): buffers are resized here.
+void query_trace_reset();
+
+/// Labels the calling thread's track in the exported timeline ("worker-3",
+/// "main", ...). Safe to call any time; last writer wins.
+void set_trace_thread_name(const std::string& name);
+
+/// One thread's collected events.
+struct ThreadTrace {
+  int tid = 0;                     ///< Small sequential id (registration order).
+  std::string name;                ///< From set_trace_thread_name; may be empty.
+  std::uint64_t dropped = 0;       ///< Events lost to the capacity bound.
+  std::vector<TraceEvent> events;  ///< In recording order (ts ascending per thread).
+};
+
+/// Everything recorded since the last reset.
+struct TraceLog {
+  std::vector<ThreadTrace> threads;
+  std::uint64_t dropped = 0;  ///< Sum over threads.
+  [[nodiscard]] std::size_t event_count() const noexcept;
+};
+
+/// Snapshots all per-thread sinks (acquire reads; safe while recording
+/// continues, events appended after the snapshot are simply not included).
+[[nodiscard]] TraceLog collect_query_trace();
+
+/// The per-query trace id, passed by value through scheduler, pipeline and
+/// dispatch. Default-constructed contexts record kNoQuery.
+class TraceContext {
+ public:
+  TraceContext() = default;
+  explicit TraceContext(std::uint32_t query_id) noexcept : id_(query_id) {}
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+
+  /// Records an instant event attributed to this query (no-op when tracing
+  /// is off).
+  void instant(TraceEventKind kind, std::int64_t a0 = 0,
+               std::int64_t a1 = 0) const noexcept;
+
+ private:
+  std::uint32_t id_ = kNoQuery;
+};
+
+/// Records an instant not tied to a context (queue-level events).
+void trace_instant(TraceEventKind kind, std::uint32_t query = kNoQuery,
+                   std::int64_t a0 = 0, std::int64_t a1 = 0) noexcept;
+
+/// RAII slice: records kind + args with the enclosed duration on this
+/// thread's track. When --perf-counters is on, also attaches the cycles /
+/// instructions / L1D-miss deltas of the enclosed region. Construction when
+/// tracing is off is one relaxed load.
+class TraceSlice {
+ public:
+  explicit TraceSlice(TraceEventKind kind, TraceContext ctx = {},
+                      std::int64_t a0 = 0, std::int64_t a1 = 0) noexcept;
+  ~TraceSlice() { stop(); }
+
+  TraceSlice(const TraceSlice&) = delete;
+  TraceSlice& operator=(const TraceSlice&) = delete;
+
+  /// Updates the slice arguments before it closes (e.g. survivor counts
+  /// known only after the work ran).
+  void set_args(std::int64_t a0, std::int64_t a1) noexcept;
+  /// Ends the slice early (idempotent).
+  void stop() noexcept;
+
+ private:
+  TraceEvent ev_{};
+  std::uint64_t hw_cycles0_ = 0;
+  std::uint64_t hw_instructions0_ = 0;
+  std::uint64_t hw_l1d0_ = 0;
+  bool active_ = false;
+  bool hw_ = false;
+};
+
+/// Renders a TraceLog as Chrome-trace / Perfetto JSON (the "JSON Array
+/// Format" inside an object wrapper): thread-name metadata, one `X`
+/// (complete) event per slice, `i` instants, and `b`/`e` async-nestable
+/// spans per query so a query's journey across threads reads as one row.
+/// Timestamps are microseconds (fractional) from the trace epoch.
+class TimelineWriter {
+ public:
+  explicit TimelineWriter(TraceLog log) : log_(std::move(log)) {}
+
+  void write_json(std::ostream& out) const;
+  /// Atomic write: temp file in the same directory, then rename. Throws
+  /// valign::Error on I/O failure.
+  void write_file(const std::string& path) const;
+  [[nodiscard]] std::string json() const;
+
+  [[nodiscard]] const TraceLog& log() const noexcept { return log_; }
+
+ private:
+  TraceLog log_;
+};
+
+}  // namespace valign::obs

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "valign/obs/flush.hpp"
 #include "valign/obs/provenance.hpp"
 #include "valign/simd/arch.hpp"
 #include "valign/version.hpp"
@@ -220,6 +221,9 @@ void RunReport::write_json(std::ostream& out) const {
   out << R"(,"perf":{"seconds":)" << seconds << R"(,"gcups_real":)" << gcups_real
       << R"(,"gcups_padded":)" << gcups_padded << "}";
 
+  out << R"(,"snapshot":{"live":)" << (live_snapshot ? "true" : "false")
+      << R"(,"seq":)" << snapshot_seq << "}";
+
   out << R"(,"widths":{)";
   {
     Sep sep(out);
@@ -330,6 +334,11 @@ void RunReport::write_json(std::ostream& out) const {
         json_array(out, m->bucket_bounds);
         out << R"(,"counts":)";
         json_array(out, m->bucket_counts);
+        // Bucket-interpolated estimates (histogram_quantile, metrics.hpp):
+        // uniform within a bucket, saturating at the last finite bound.
+        out << R"(,"p50":)" << histogram_quantile(m->bucket_bounds, m->bucket_counts, 0.50)
+            << R"(,"p95":)" << histogram_quantile(m->bucket_bounds, m->bucket_counts, 0.95)
+            << R"(,"p99":)" << histogram_quantile(m->bucket_bounds, m->bucket_counts, 0.99);
       } else {
         out << R"(,"value":)" << m->value;
       }
@@ -379,6 +388,8 @@ void RunReport::write_csv(std::ostream& out) const {
   row("perf.seconds", seconds);
   row("perf.gcups_real", gcups_real);
   row("perf.gcups_padded", gcups_padded);
+  row("snapshot.live", live_snapshot ? 1 : 0);
+  row("snapshot.seq", snapshot_seq);
   for (std::size_t i = 0; i < kWidthBits.size(); ++i) {
     row("widths." + std::to_string(kWidthBits[i]), width_counts[i]);
   }
@@ -458,6 +469,12 @@ void RunReport::write_csv(std::ostream& out) const {
     if (m->kind == MetricSample::Kind::Histogram) {
       row("metrics." + m->name + ".count", m->value);
       row("metrics." + m->name + ".sum", m->sum);
+      row("metrics." + m->name + ".p50",
+          histogram_quantile(m->bucket_bounds, m->bucket_counts, 0.50));
+      row("metrics." + m->name + ".p95",
+          histogram_quantile(m->bucket_bounds, m->bucket_counts, 0.95));
+      row("metrics." + m->name + ".p99",
+          histogram_quantile(m->bucket_bounds, m->bucket_counts, 0.99));
       for (std::size_t b = 0; b < m->bucket_counts.size(); ++b) {
         row("metrics." + m->name + "." + metric_bucket_label(m->bucket_bounds, b),
             m->bucket_counts[b]);
@@ -469,13 +486,15 @@ void RunReport::write_csv(std::ostream& out) const {
 }
 
 void RunReport::write_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw Error("cannot open metrics output file: " + path);
-  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
-    write_csv(out);
-  } else {
-    write_json(out);
-  }
+  // Atomic temp-file + rename (obs/flush.hpp): a reader — or a kill — never
+  // sees a truncated report, only the previous complete one or this one.
+  atomic_write_file(path, [this, &path](std::ostream& out) {
+    if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0) {
+      write_csv(out);
+    } else {
+      write_json(out);
+    }
+  });
 }
 
 std::string RunReport::json() const {

@@ -53,6 +53,12 @@ struct RunReport {
   bool streamed = false;
   bool cache_engines = true;
 
+  // --- live snapshots (obs/flush.hpp, additive within run_report/1) --------
+  /// True when this document is a periodic MetricsFlusher snapshot of a run
+  /// still in progress rather than the exit-time report.
+  bool live_snapshot = false;
+  std::uint64_t snapshot_seq = 0;  ///< Flush ordinal within the run (0 = exit report).
+
   // --- workload ------------------------------------------------------------
   std::uint64_t queries = 0;
   std::uint64_t subjects = 0;

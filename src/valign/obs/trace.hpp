@@ -22,6 +22,7 @@
 
 #include "valign/obs/metrics.hpp"
 #include "valign/obs/perf.hpp"
+#include "valign/obs/query_trace.hpp"
 
 namespace valign::obs {
 
@@ -98,6 +99,7 @@ class StageSpan {
  public:
   explicit StageSpan(Stage s, StageTable& table = StageTable::global()) noexcept
       : table_(&table), stage_(s), perf_(static_cast<int>(s)),
+        trace_(TraceEventKind::Stage, TraceContext{}, static_cast<int>(s)),
         t0_(std::chrono::steady_clock::now()) {}
   ~StageSpan() { stop(); }
 
@@ -113,12 +115,16 @@ class StageSpan {
     table_->record(stage_, static_cast<std::uint64_t>(ns));
     table_ = nullptr;
     perf_.stop();
+    trace_.stop();
   }
 
  private:
   StageTable* table_;
   Stage stage_;
   PerfScope perf_;
+  /// When --trace-timeline is active, the stage also appears as a timeline
+  /// slice on this thread's track (one relaxed load otherwise).
+  TraceSlice trace_;
   std::chrono::steady_clock::time_point t0_;
 };
 

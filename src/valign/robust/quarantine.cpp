@@ -3,6 +3,7 @@
 #include <new>
 
 #include "valign/obs/metrics.hpp"
+#include "valign/obs/query_trace.hpp"
 
 namespace valign::robust {
 
@@ -30,6 +31,8 @@ QuarantineStats& QuarantineStats::operator+=(const QuarantineStats& other) {
 
 void publish_quarantine_stats(const QuarantineStats& q) {
   if (q.empty()) return;
+  obs::trace_instant(obs::TraceEventKind::Quarantine, obs::kNoQuery,
+                     static_cast<std::int64_t>(q.records));
   obs::Registry& reg = obs::Registry::global();
   reg.counter("runtime.quarantine.records").add(q.records);
   reg.counter("runtime.quarantine.malformed").add(q.malformed);

@@ -6,6 +6,7 @@
 #include <optional>
 #include <span>
 #include <sstream>
+#include <string>
 
 #include "valign/obs/report.hpp"
 #include "valign/obs/trace.hpp"
@@ -23,9 +24,23 @@ SearchPipeline::SearchPipeline(const Dataset& queries, PipelineConfig cfg)
 
   states_.resize(nworkers);
   for (WorkerState& s : states_) s.hits.resize(queries.size());
+  // Timeline: open every query's async span before any shard can arrive, so
+  // per-query spans cover the full streamed run.
+  if (obs::query_trace_enabled()) {
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      obs::TraceContext(static_cast<std::uint32_t>(q))
+          .instant(obs::TraceEventKind::QueryBegin,
+                   static_cast<std::int64_t>(queries[q].size()));
+    }
+  }
   workers_.reserve(nworkers);
   for (std::size_t w = 0; w < nworkers; ++w) {
-    workers_.emplace_back([this, w] { worker_main(states_[w]); });
+    workers_.emplace_back([this, w] {
+      if (obs::query_trace_enabled()) {
+        obs::set_trace_thread_name("worker-" + std::to_string(w));
+      }
+      worker_main(states_[w]);
+    });
   }
   if (cfg_.search.robust.stall_timeout_ms > 0) {
     watchdog_ = std::thread([this] { watchdog_main(); });
@@ -133,6 +148,8 @@ void SearchPipeline::flush_shard() {
   if (fill_.seqs.empty()) return;
   Shard shard = std::move(fill_);
   fill_ = Shard{};
+  const std::size_t shard_base = shard.base;
+  const std::size_t shard_count = shard.seqs.size();
   obs::Registry& reg = obs::Registry::global();
   std::unique_lock<std::mutex> lock(mu_);
   if (queue_.size() >= capacity_) {
@@ -153,6 +170,9 @@ void SearchPipeline::flush_shard() {
   lock.unlock();
   ++shards_flushed_;
   progress_.fetch_add(1, std::memory_order_relaxed);
+  obs::trace_instant(obs::TraceEventKind::Enqueue, obs::kNoQuery,
+                     static_cast<std::int64_t>(shard_base),
+                     static_cast<std::int64_t>(shard_count));
   reg.counter("runtime.pipeline.shards").add(1);
   reg.gauge("runtime.pipeline.queue_depth_max")
       .record_max(static_cast<std::int64_t>(depth));
@@ -248,6 +268,10 @@ void SearchPipeline::worker_main(WorkerState& state) {
       ++try_chunks;
       try_escalated += n;
       record_block_fill(n, lane_count);
+      const obs::TraceSlice chunk_slice(
+          obs::TraceEventKind::Escalate,
+          obs::TraceContext(static_cast<std::uint32_t>(q)),
+          static_cast<std::int64_t>(n), lane_count);
       std::uint64_t chunk_residues = 0;
       for (std::size_t i = 0; i < n; ++i) {
         chunk_residues += shard.seqs[chunk[i]].size();
@@ -260,6 +284,7 @@ void SearchPipeline::worker_main(WorkerState& state) {
       if (mode == EngineMode::Inter) {
         if (!batch_loaded) {
           batcher->set_query(queries[q]);
+          batcher->set_trace(obs::TraceContext(static_cast<std::uint32_t>(q)));
           batch_loaded = true;
         }
         batch_dbs.clear();
@@ -281,6 +306,7 @@ void SearchPipeline::worker_main(WorkerState& state) {
       } else {
         if (!query_loaded) {
           aligner.set_query(queries[q]);
+          aligner.set_trace(obs::TraceContext(static_cast<std::uint32_t>(q)));
           query_loaded = true;
         }
         for (std::size_t i = 0; i < n; ++i) {
@@ -318,6 +344,10 @@ void SearchPipeline::worker_main(WorkerState& state) {
         batch_dbs.clear();
         for (const Sequence& d : shard.seqs) batch_dbs.push_back(d.codes());
         prefilter->set_query(queries[q]);
+        const obs::TraceSlice screen_slice(
+            obs::TraceEventKind::Screen,
+            obs::TraceContext(static_cast<std::uint32_t>(q)),
+            static_cast<std::int64_t>(shard.seqs.size()), prefilter->lanes());
         try {
           prefilter->screen(batch_dbs, verdicts);
         } catch (const std::exception&) {
@@ -347,8 +377,14 @@ void SearchPipeline::worker_main(WorkerState& state) {
       const EngineMode mode = resolve_engine(
           cfg_.search.engine, queries[q].size(), shard.seqs.size(), mean_dlen,
           lane_count, alpha, cfg_.search.align.klass, cfg_.search.align.model);
+      const obs::TraceSlice align_slice(
+          obs::TraceEventKind::Align,
+          obs::TraceContext(static_cast<std::uint32_t>(q)),
+          static_cast<std::int64_t>(shard.seqs.size()),
+          mode == EngineMode::Inter ? lane_count : 1);
       if (mode == EngineMode::Inter) {
         batcher->set_query(queries[q]);
+        batcher->set_trace(obs::TraceContext(static_cast<std::uint32_t>(q)));
         batch_dbs.clear();
         for (const Sequence& d : shard.seqs) batch_dbs.push_back(d.codes());
         batch_out.resize(shard.seqs.size());
@@ -364,6 +400,7 @@ void SearchPipeline::worker_main(WorkerState& state) {
         }
       } else {
         aligner.set_query(queries[q]);
+        aligner.set_trace(obs::TraceContext(static_cast<std::uint32_t>(q)));
         for (std::size_t i = 0; i < shard.seqs.size(); ++i) {
           const Sequence& d = shard.seqs[i];
           const AlignResult r = aligner.align(d);
@@ -428,6 +465,9 @@ void SearchPipeline::worker_main(WorkerState& state) {
     }
     not_full_.notify_one();
     progress_.fetch_add(1, std::memory_order_relaxed);
+    obs::trace_instant(obs::TraceEventKind::Dequeue, obs::kNoQuery,
+                       static_cast<std::int64_t>(shard.base),
+                       static_cast<std::int64_t>(shard.seqs.size()));
     if (discard_.load(std::memory_order_relaxed)) continue;  // unwinding
 
     VALIGN_FAILPOINT("pipeline.worker_hang", hang_for_watchdog());
@@ -449,16 +489,22 @@ void SearchPipeline::worker_main(WorkerState& state) {
             attempt < cfg_.search.robust.max_retries &&
             !stalled_.load(std::memory_order_acquire)) {
           ++state.shard_retries;
+          obs::trace_instant(obs::TraceEventKind::Retry, obs::kNoQuery,
+                             attempt + 1);
           // Bounded backoff: 2, 4, 8... ms. Transient by taxonomy means a
           // later attempt can succeed (allocation pressure, cache churn).
           std::this_thread::sleep_for(std::chrono::milliseconds(2 << attempt));
           continue;
         }
+        obs::trace_instant(obs::TraceEventKind::Degraded, obs::kNoQuery,
+                           static_cast<std::int64_t>(shard.seqs.size()));
         state.failures.push_back(
             robust::ShardFailure{shard.base, shard.seqs.size(), e.what()});
         state.records_dropped += shard.seqs.size();
         break;
       } catch (...) {
+        obs::trace_instant(obs::TraceEventKind::Degraded, obs::kNoQuery,
+                           static_cast<std::int64_t>(shard.seqs.size()));
         state.failures.push_back(robust::ShardFailure{
             shard.base, shard.seqs.size(), "unknown exception"});
         state.records_dropped += shard.seqs.size();
@@ -498,6 +544,9 @@ apps::SearchReport SearchPipeline::finish() {
     }
     apps::keep_top_hits(merged, cfg_.search.top_k);
     report.top_hits[q] = merged;
+    obs::TraceContext(static_cast<std::uint32_t>(q))
+        .instant(obs::TraceEventKind::QueryEnd,
+                 static_cast<std::int64_t>(report.top_hits[q].size()));
   }
   PrefilterStats prefilter_stats{};
   for (const WorkerState& s : states_) {

@@ -275,6 +275,84 @@ TEST(Cli, ArgumentErrorsExitTwoWithUsableMessages) {
   }
 }
 
+TEST(Cli, SearchWritesTraceTimeline) {
+  const auto qpath = temp_file("tq.fa");
+  const auto dpath = temp_file("td.fa");
+  const auto tpath = temp_file("timeline.json");
+  ASSERT_EQ(run_cli({"generate", "--out", qpath.string(), "--count", "3", "--seed",
+                     "31"}).code, 0);
+  ASSERT_EQ(run_cli({"generate", "--out", dpath.string(), "--count", "12", "--seed",
+                     "32"}).code, 0);
+
+  const CliResult s = run_cli({"search", qpath.string(), dpath.string(),
+                               "--trace-timeline", tpath.string(),
+                               "--threads", "2", "--stream"});
+  EXPECT_EQ(s.code, 0) << s.err;
+  EXPECT_NE(s.out.find("# trace timeline:"), std::string::npos) << s.out;
+
+  std::ifstream tf(tpath);
+  ASSERT_TRUE(tf.good()) << "--trace-timeline did not create the file";
+  std::stringstream buf;
+  buf << tf.rdbuf();
+  const std::string j = buf.str();
+  for (const char* needle :
+       {"\"schema\":\"valign.trace_timeline/1\"", "\"traceEvents\":[",
+        "\"ph\":\"M\"", "\"ph\":\"b\"", "\"ph\":\"e\"", "\"ph\":\"X\"",
+        "\"cat\":\"query\"", "thread_name"}) {
+    EXPECT_NE(j.find(needle), std::string::npos) << needle;
+  }
+  std::filesystem::remove(qpath);
+  std::filesystem::remove(dpath);
+  std::filesystem::remove(tpath);
+}
+
+TEST(Cli, SearchPeriodicMetricsSnapshots) {
+  const auto qpath = temp_file("fq.fa");
+  const auto dpath = temp_file("fd.fa");
+  const auto rpath = temp_file("live_report.json");
+  ASSERT_EQ(run_cli({"generate", "--out", qpath.string(), "--count", "2", "--seed",
+                     "41"}).code, 0);
+  ASSERT_EQ(run_cli({"generate", "--out", dpath.string(), "--count", "8", "--seed",
+                     "42"}).code, 0);
+
+  const CliResult s = run_cli({"search", qpath.string(), dpath.string(),
+                               "--metrics-out", rpath.string(),
+                               "--metrics-interval-ms", "5"});
+  EXPECT_EQ(s.code, 0) << s.err;
+  std::ifstream rf(rpath);
+  ASSERT_TRUE(rf.good());
+  std::stringstream buf;
+  buf << rf.rdbuf();
+  // The exit-time report overwrites the last live snapshot through the same
+  // atomic writer; the final document is complete and marked not-live.
+  EXPECT_NE(buf.str().find("\"snapshot\":{\"live\":false"), std::string::npos)
+      << buf.str().substr(0, 200);
+  EXPECT_FALSE(std::filesystem::exists(rpath.string() + ".tmp"));
+  std::filesystem::remove(qpath);
+  std::filesystem::remove(dpath);
+  std::filesystem::remove(rpath);
+}
+
+TEST(Cli, TraceFlagsUsageErrors) {
+  {  // The periodic flusher needs a snapshot path to write to.
+    const CliResult r = run_cli({"search", "a.fa", "b.fa",
+                                 "--metrics-interval-ms", "50"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("--metrics-out"), std::string::npos) << r.err;
+  }
+  {  // Search-only flags are rejected elsewhere instead of silently ignored.
+    const CliResult r = run_cli({"align", "--q-seq", "ARN", "--d-seq", "ARN",
+                                 "--trace-timeline", "/tmp/t.json"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("--trace-timeline"), std::string::npos) << r.err;
+  }
+  {
+    const CliResult r = run_cli({"detect", "s.fa", "--metrics-interval-ms", "5"});
+    EXPECT_EQ(r.code, 2);
+    EXPECT_NE(r.err.find("--metrics-interval-ms"), std::string::npos) << r.err;
+  }
+}
+
 TEST(Cli, MatricesListAndPrint) {
   const CliResult list = run_cli({"matrices"});
   EXPECT_EQ(list.code, 0);

@@ -1,0 +1,498 @@
+// Request-scoped tracing: sink/drop semantics, the Chrome-trace timeline
+// writer (validated with the in-repo obs::json parser), per-query span
+// coverage over a real search, histogram quantiles, atomic file writes and
+// the periodic metrics flusher.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "valign/apps/db_search.hpp"
+#include "valign/obs/flush.hpp"
+#include "valign/obs/json.hpp"
+#include "valign/obs/metrics.hpp"
+#include "valign/obs/query_trace.hpp"
+#include "valign/obs/report.hpp"
+#include "valign/obs/trace.hpp"
+#include "valign/workload/generator.hpp"
+
+namespace valign {
+namespace {
+
+// The gtest build compiles with the default VALIGN_ENABLE_QUERY_TRACE=ON;
+// the constexpr-false variant is covered by the build option itself.
+static_assert(obs::query_trace_compiled(),
+              "tests expect tracing compiled in (default configuration)");
+
+/// Enables tracing for one test and restores the quiescent default after.
+class QueryTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::query_trace_set_capacity(1 << 16);
+    obs::query_trace_reset();
+    obs::set_query_trace_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_query_trace_enabled(false);
+    obs::query_trace_set_capacity(1 << 16);
+    obs::query_trace_reset();
+  }
+};
+
+std::filesystem::path temp_file(const std::string& name) {
+  return std::filesystem::temp_directory_path() / ("valign_qt_" + name);
+}
+
+// --- Sink semantics ----------------------------------------------------------
+
+TEST_F(QueryTraceTest, InstantsAndSlicesAreCollected) {
+  obs::set_trace_thread_name("tester");
+  const obs::TraceContext ctx(7);
+  ctx.instant(obs::TraceEventKind::QueryBegin, 123);
+  {
+    obs::TraceSlice slice(obs::TraceEventKind::Align, ctx, 16, 8);
+  }
+  obs::trace_instant(obs::TraceEventKind::Enqueue, obs::kNoQuery, 0, 32);
+
+  const obs::TraceLog log = obs::collect_query_trace();
+  ASSERT_EQ(log.event_count(), 3u);
+  EXPECT_EQ(log.dropped, 0u);
+
+  const obs::ThreadTrace* mine = nullptr;
+  for (const obs::ThreadTrace& t : log.threads) {
+    if (t.name == "tester") mine = &t;
+  }
+  ASSERT_NE(mine, nullptr);
+  ASSERT_EQ(mine->events.size(), 3u);
+  EXPECT_EQ(mine->events[0].kind, obs::TraceEventKind::QueryBegin);
+  EXPECT_EQ(mine->events[0].query, 7u);
+  EXPECT_EQ(mine->events[0].a0, 123);
+  EXPECT_EQ(mine->events[0].dur_ns, 0u) << "instants have no duration";
+  // The slice is appended at stop, after the enqueue-free instant above; its
+  // timestamp is its start and its duration is at least 1 ns.
+  const obs::TraceEvent& slice = mine->events[1];
+  EXPECT_EQ(slice.kind, obs::TraceEventKind::Align);
+  EXPECT_GE(slice.dur_ns, 1u);
+  EXPECT_EQ(slice.a0, 16);
+  EXPECT_EQ(slice.a1, 8);
+  // Per-thread timestamps are non-decreasing (single-producer sink).
+  for (std::size_t i = 1; i < mine->events.size(); ++i) {
+    EXPECT_GE(mine->events[i].ts_ns, mine->events[i - 1].ts_ns);
+  }
+}
+
+TEST_F(QueryTraceTest, FullSinkDropsAndCounts) {
+  obs::query_trace_set_capacity(4);
+  obs::query_trace_reset();
+  for (int i = 0; i < 10; ++i) {
+    obs::trace_instant(obs::TraceEventKind::Retry, obs::kNoQuery, i);
+  }
+  const obs::TraceLog log = obs::collect_query_trace();
+  EXPECT_EQ(log.event_count(), 4u) << "capacity bounds the buffer";
+  EXPECT_EQ(log.dropped, 6u) << "overflow is dropped and counted, never blocks";
+  // The first events survive; drops happen at the tail.
+  bool found = false;
+  for (const obs::ThreadTrace& t : log.threads) {
+    if (t.events.size() == 4u) {
+      found = true;
+      EXPECT_EQ(t.dropped, 6u);
+      EXPECT_EQ(t.events[0].a0, 0);
+      EXPECT_EQ(t.events[3].a0, 3);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(QueryTraceTest, DisabledRecordsNothing) {
+  obs::set_query_trace_enabled(false);
+  obs::trace_instant(obs::TraceEventKind::Retry);
+  const obs::TraceContext ctx(1);
+  ctx.instant(obs::TraceEventKind::QueryBegin);
+  {
+    obs::TraceSlice slice(obs::TraceEventKind::Align, ctx);
+  }
+  const obs::TraceLog log = obs::collect_query_trace();
+  EXPECT_EQ(log.event_count(), 0u);
+  EXPECT_EQ(log.dropped, 0u);
+}
+
+TEST_F(QueryTraceTest, EventsSurviveThreadExit) {
+  std::thread t([] {
+    obs::set_trace_thread_name("short-lived");
+    obs::trace_instant(obs::TraceEventKind::Dequeue, obs::kNoQuery, 5, 6);
+  });
+  t.join();
+  const obs::TraceLog log = obs::collect_query_trace();
+  const obs::ThreadTrace* found = nullptr;
+  for (const obs::ThreadTrace& tt : log.threads) {
+    if (tt.name == "short-lived") found = &tt;
+  }
+  ASSERT_NE(found, nullptr) << "a joined thread's events must still collect";
+  ASSERT_EQ(found->events.size(), 1u);
+  EXPECT_EQ(found->events[0].a0, 5);
+}
+
+// --- Timeline export ---------------------------------------------------------
+
+/// One parsed Chrome-trace event with the fields the invariants need.
+struct ParsedEvent {
+  std::string ph;
+  std::string cat;
+  std::string id;
+  double ts = 0.0;
+  double dur = 0.0;
+  std::uint64_t tid = 0;
+};
+
+std::vector<ParsedEvent> parsed_events(const obs::json::Value& doc) {
+  std::vector<ParsedEvent> out;
+  const obs::json::Value* events = doc.get("traceEvents");
+  EXPECT_NE(events, nullptr);
+  for (const obs::json::Value& e : events->array) {
+    ParsedEvent p;
+    p.ph = e.str_or("ph");
+    p.cat = e.str_or("cat");
+    p.id = e.str_or("id");
+    p.ts = e.num_or("ts");
+    p.dur = e.num_or("dur");
+    p.tid = e.u64_or("tid");
+    EXPECT_EQ(e.u64_or("pid"), 1u) << "single-process trace";
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+TEST_F(QueryTraceTest, TimelineJsonParsesAndPairsAsyncSpans) {
+  obs::set_trace_thread_name("main");
+  for (std::uint32_t q = 0; q < 3; ++q) {
+    const obs::TraceContext ctx(q);
+    ctx.instant(obs::TraceEventKind::QueryBegin, 100 + q);
+    {
+      obs::TraceSlice slice(obs::TraceEventKind::Align, ctx, 4, 8);
+    }
+    ctx.instant(obs::TraceEventKind::QueryEnd, 2);
+  }
+  const obs::TimelineWriter writer(obs::collect_query_trace());
+  const obs::json::Value doc =
+      obs::json::parse(writer.json(), "trace timeline");
+
+  EXPECT_EQ(doc.str_or("schema"), "valign.trace_timeline/1");
+  const obs::json::Value* other = doc.get("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->u64_or("queries"), 3u);
+  EXPECT_EQ(other->u64_or("dropped"), 0u);
+
+  const std::vector<ParsedEvent> events = parsed_events(doc);
+  std::map<std::string, int> open_spans;  // id -> b minus e
+  std::map<std::uint64_t, bool> named_tids;
+  int slices = 0;
+  for (const ParsedEvent& e : events) {
+    EXPECT_GE(e.ts, 0.0);
+    if (e.ph == "M") {
+      named_tids[e.tid] = true;
+    } else if (e.ph == "b") {
+      EXPECT_EQ(e.cat, "query");
+      EXPECT_EQ(e.tid, 0u) << "async query spans live on the query track";
+      ++open_spans[e.id];
+    } else if (e.ph == "e") {
+      --open_spans[e.id];
+      EXPECT_GE(open_spans[e.id], 0) << "e before b for id " << e.id;
+    } else if (e.ph == "X") {
+      EXPECT_GT(e.dur, 0.0);
+      ++slices;
+    }
+  }
+  EXPECT_EQ(slices, 3);
+  ASSERT_EQ(open_spans.size(), 3u) << "one async id per query";
+  for (const auto& [id, balance] : open_spans) {
+    EXPECT_EQ(balance, 0) << "unbalanced b/e for " << id;
+  }
+  EXPECT_TRUE(named_tids[0]) << "query track has thread_name metadata";
+  for (const ParsedEvent& e : events) {
+    if (e.ph == "X" || e.ph == "i") {
+      EXPECT_TRUE(named_tids[e.tid]) << "tid " << e.tid << " unnamed";
+    }
+  }
+}
+
+TEST_F(QueryTraceTest, TimelineWriteFileIsAtomic) {
+  obs::trace_instant(obs::TraceEventKind::Flush, obs::kNoQuery, 1);
+  const obs::TimelineWriter writer(obs::collect_query_trace());
+  const auto path = temp_file("timeline.json");
+  writer.write_file(path.string());
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+  std::ifstream in(path);
+  std::stringstream body;
+  body << in.rdbuf();
+  EXPECT_NO_THROW(obs::json::parse(body.str(), "timeline file"));
+  std::filesystem::remove(path);
+}
+
+// --- Coverage over a real search ---------------------------------------------
+
+/// Fraction of the run's work window (reader/schedule/screen/align events)
+/// covered by the union of per-query spans [first event ts, last event end].
+/// The window is built from the per-thread work slices plus the parse and
+/// schedule stages — NOT the align/reduce stage envelopes, whose tail is the
+/// worker-join / stats-aggregation jitter after the last per-query event,
+/// which no query span can attribute (and which makes the measure flaky on
+/// a loaded host). The thread that runs the last work slice always emits
+/// its QueryEnd after that slice closes, so the window end stays covered.
+double query_span_coverage(const obs::TraceLog& log) {
+  const auto is_work = [](const obs::TraceEvent& e) {
+    switch (e.kind) {
+      case obs::TraceEventKind::Screen:
+      case obs::TraceEventKind::Escalate:
+      case obs::TraceEventKind::Align:
+        return true;
+      case obs::TraceEventKind::Stage: {
+        const auto s = static_cast<obs::Stage>(e.a0);
+        return s == obs::Stage::Parse || s == obs::Stage::Schedule;
+      }
+      default:
+        return false;
+    }
+  };
+  std::uint64_t w0 = std::numeric_limits<std::uint64_t>::max(), w1 = 0;
+  std::uint64_t first_begin = std::numeric_limits<std::uint64_t>::max();
+  std::map<std::uint32_t, std::pair<std::uint64_t, std::uint64_t>> spans;
+  for (const obs::ThreadTrace& t : log.threads) {
+    for (const obs::TraceEvent& e : t.events) {
+      const std::uint64_t end = e.ts_ns + e.dur_ns;
+      if (is_work(e)) {
+        w0 = std::min(w0, e.ts_ns);
+        w1 = std::max(w1, end);
+      }
+      if (e.query == obs::kNoQuery) continue;
+      if (e.kind == obs::TraceEventKind::QueryBegin) {
+        first_begin = std::min(first_begin, e.ts_ns);
+      }
+      auto [it, inserted] = spans.try_emplace(e.query, e.ts_ns, end);
+      if (!inserted) {
+        it->second.first = std::min(it->second.first, e.ts_ns);
+        it->second.second = std::max(it->second.second, end);
+      }
+    }
+  }
+  // The window starts at query admission: parse work before the first
+  // QueryBegin (the batch driver loads its FASTA inputs before query ids
+  // exist) is unattributable by design.
+  if (first_begin != std::numeric_limits<std::uint64_t>::max()) {
+    w0 = std::max(w0, first_begin);
+  }
+  if (w0 >= w1) return 0.0;
+  // Merge the per-query intervals and measure their overlap with [w0, w1].
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> iv;
+  iv.reserve(spans.size());
+  for (const auto& [q, s] : spans) iv.push_back(s);
+  std::sort(iv.begin(), iv.end());
+  std::uint64_t covered = 0, cur0 = 0, cur1 = 0;
+  bool open = false;
+  const auto flush = [&] {
+    const std::uint64_t lo = std::max(cur0, w0);
+    const std::uint64_t hi = std::min(cur1, w1);
+    if (hi > lo) covered += hi - lo;
+  };
+  for (const auto& [a, b] : iv) {
+    if (!open || a > cur1) {
+      if (open) flush();
+      cur0 = a;
+      cur1 = b;
+      open = true;
+    } else {
+      cur1 = std::max(cur1, b);
+    }
+  }
+  if (open) flush();
+  return static_cast<double>(covered) / static_cast<double>(w1 - w0);
+}
+
+TEST_F(QueryTraceTest, SearchSpansCoverTheWorkWindow) {
+  const Dataset queries = workload::bacteria_2k(/*seed=*/21, /*count=*/4);
+  const Dataset db = workload::uniprot_like(96, 22);  // >= 64: auto threshold
+  apps::SearchConfig cfg;
+  cfg.align.klass = AlignClass::Local;
+  cfg.prefilter = PrefilterMode::Auto;
+  cfg.top_k = 3;
+  cfg.threads = 2;
+  const apps::SearchReport rep = apps::search(queries, db, cfg);
+  ASSERT_EQ(rep.top_hits.size(), queries.size());
+
+  obs::TraceLog log = obs::collect_query_trace();
+  ASSERT_GT(log.event_count(), 0u);
+  std::map<std::uint32_t, int> begins, ends;
+  bool saw_screen = false, saw_escalate = false;
+  for (const obs::ThreadTrace& t : log.threads) {
+    for (const obs::TraceEvent& e : t.events) {
+      if (e.kind == obs::TraceEventKind::QueryBegin) ++begins[e.query];
+      if (e.kind == obs::TraceEventKind::QueryEnd) ++ends[e.query];
+      if (e.kind == obs::TraceEventKind::Screen) saw_screen = true;
+      if (e.kind == obs::TraceEventKind::Escalate) saw_escalate = true;
+    }
+  }
+  EXPECT_TRUE(saw_screen) << "prefiltered search records Screen slices";
+  EXPECT_TRUE(saw_escalate);
+  for (std::uint32_t q = 0; q < queries.size(); ++q) {
+    EXPECT_EQ(begins[q], 1) << "query " << q;
+    EXPECT_EQ(ends[q], 1) << "query " << q;
+  }
+  // Acceptance: per-query spans cover >= 95% of the work window.
+  EXPECT_GE(query_span_coverage(log), 0.95);
+
+  // The same log renders to valid Chrome-trace JSON.
+  const obs::TimelineWriter writer(std::move(log));
+  const obs::json::Value doc =
+      obs::json::parse(writer.json(), "search timeline");
+  const obs::json::Value* other = doc.get("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->u64_or("queries"), queries.size());
+}
+
+TEST_F(QueryTraceTest, UnfilteredSearchRecordsAlignSlices) {
+  const Dataset queries = workload::bacteria_2k(/*seed=*/31, /*count=*/3);
+  const Dataset db = workload::uniprot_like(12, 32);  // < 64: prefilter stays off
+  apps::SearchConfig cfg;
+  cfg.align.klass = AlignClass::Local;
+  cfg.top_k = 2;
+  const apps::SearchReport rep = apps::search(queries, db, cfg);
+  ASSERT_FALSE(rep.prefilter.enabled);
+
+  const obs::TraceLog log = obs::collect_query_trace();
+  bool saw_align = false;
+  for (const obs::ThreadTrace& t : log.threads) {
+    for (const obs::TraceEvent& e : t.events) {
+      if (e.kind == obs::TraceEventKind::Align && e.query != obs::kNoQuery) {
+        saw_align = true;
+        EXPECT_GT(e.a0, 0) << "Align slices carry the pair count";
+      }
+    }
+  }
+  EXPECT_TRUE(saw_align);
+  EXPECT_GE(query_span_coverage(log), 0.95);
+}
+
+// --- Quantiles ---------------------------------------------------------------
+
+TEST(HistogramQuantile, InterpolatesWithinBuckets) {
+  const std::uint64_t bounds[] = {10, 100};
+  const std::uint64_t counts[] = {10, 0, 10};  // 10 in (0,10], 10 overflow
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 0.25), 5.0)
+      << "rank 5 of 10 in bucket (0,10] -> midpoint";
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 0.75), 100.0)
+      << "overflow bucket saturates at the last finite bound";
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, counts, 1.0), 100.0);
+}
+
+TEST(HistogramQuantile, EdgeCases) {
+  const std::uint64_t bounds[] = {10, 100};
+  const std::uint64_t none[] = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, none, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, {}, 0.5), 0.0);
+  const std::uint64_t one[] = {0, 4, 0};
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, one, 0.0), 10.0)
+      << "q=0 clamps to the bucket's low edge";
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, one, 0.5), 55.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, one, -1.0), 10.0);
+  EXPECT_DOUBLE_EQ(obs::histogram_quantile(bounds, one, 2.0), 100.0);
+}
+
+TEST(HistogramQuantile, ReportEmitsPercentilesForHistograms) {
+  obs::Registry& reg = obs::Registry::global();
+  const std::uint64_t bounds[] = {10, 100, 1000};
+  obs::Histogram& h = reg.histogram("test.query_trace.latency", bounds);
+  for (int i = 0; i < 10; ++i) h.record(5);
+  obs::RunReport rr;
+  rr.command = "test";
+  rr.capture_environment();
+  std::ostringstream os;
+  rr.write_json(os);
+  const obs::json::Value doc = obs::json::parse(os.str(), "run report");
+  const obs::json::Value* metrics = doc.get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  bool found = false;
+  for (const obs::json::Value& m : metrics->array) {
+    if (m.str_or("name") != "test.query_trace.latency") continue;
+    found = true;
+    EXPECT_NE(m.get("p50"), nullptr);
+    EXPECT_NE(m.get("p95"), nullptr);
+    EXPECT_NE(m.get("p99"), nullptr);
+    EXPECT_DOUBLE_EQ(m.num_or("p50"), 5.0);
+    EXPECT_DOUBLE_EQ(m.num_or("p99"), 9.9);
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- Atomic writes and the metrics flusher -----------------------------------
+
+TEST(AtomicWrite, WritesViaTempAndRename) {
+  const auto path = temp_file("atomic.txt");
+  obs::atomic_write_file(path.string(),
+                         [](std::ostream& out) { out << "payload\n"; });
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "payload");
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicWrite, FailureLeavesNoArtifacts) {
+  const std::string path = (std::filesystem::temp_directory_path() /
+                            "valign_qt_no_such_dir" / "report.json")
+                               .string();
+  EXPECT_THROW(
+      obs::atomic_write_file(path, [](std::ostream& out) { out << "x"; }),
+      Error);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(MetricsFlusher, WritesLiveSnapshotsAndFinalFlush) {
+  const auto path = temp_file("snapshot.json");
+  obs::RunReport proto;
+  proto.command = "flusher-test";
+  const std::uint64_t flushes_before =
+      obs::Registry::global().counter("runtime.metrics.flushes").value();
+  {
+    obs::MetricsFlusher flusher(path.string(), 5, proto);
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    flusher.stop();
+    EXPECT_GE(flusher.flushes(), 1u);
+  }
+  std::ifstream in(path);
+  std::stringstream body;
+  body << in.rdbuf();
+  const obs::json::Value doc = obs::json::parse(body.str(), "snapshot");
+  EXPECT_EQ(doc.str_or("command"), "flusher-test");
+  const obs::json::Value* snap = doc.get("snapshot");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_TRUE(snap->bool_or("live"));
+  EXPECT_GE(snap->u64_or("seq"), 1u);
+  EXPECT_GT(obs::Registry::global().counter("runtime.metrics.flushes").value(),
+            flushes_before);
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(MetricsFlusher, StopIsIdempotentAndFlushesShortRuns) {
+  const auto path = temp_file("snapshot_short.json");
+  obs::RunReport proto;
+  proto.command = "short";
+  obs::MetricsFlusher flusher(path.string(), 60000, proto);  // longer than test
+  flusher.stop();
+  flusher.stop();
+  EXPECT_GE(flusher.flushes(), 1u) << "stop() performs a final flush";
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace valign
